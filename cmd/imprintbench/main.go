@@ -1,0 +1,105 @@
+// Command imprintbench regenerates the tables and figures of the column
+// imprints paper (SIGMOD 2013) over the synthetic dataset suite.
+//
+// Usage:
+//
+//	imprintbench [-exp all|table1|fig3|...|fig11[,...]] [-scale 1.0]
+//	             [-seed 42] [-queries 3] [-maxcols 0]
+//	             [-format text|csv] [-outdir DIR]
+//
+// The default output is the text rendering of each experiment: the same
+// rows and series the paper reports, regenerated at the configured
+// scale. -format csv emits machine-readable rows instead (to stdout, or
+// one file per experiment under -outdir). EXPERIMENTS.md records a
+// reference run against the paper's findings.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(harness.IDs(), ", ")+") or 'all'")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = a few hundred thousand rows per dataset)")
+		seed    = flag.Uint64("seed", 42, "deterministic generation seed")
+		queries = flag.Int("queries", 3, "queries per selectivity step per column")
+		maxcols = flag.Int("maxcols", 0, "max columns per dataset in query experiments (0 = all)")
+		format  = flag.String("format", "text", "output format: text or csv")
+		outdir  = flag.String("outdir", "", "with -format csv: write one CSV file per experiment here")
+	)
+	flag.Parse()
+
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "imprintbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	cfg := harness.Config{
+		Scale:                 *scale,
+		Seed:                  *seed,
+		QueriesPerSelectivity: *queries,
+		MaxColumnsPerDataset:  *maxcols,
+	}
+
+	ids := harness.IDs()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		exp, err := harness.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imprintbench:", err)
+			os.Exit(2)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		switch *format {
+		case "text":
+			fmt.Printf("=== %s (%v)\n%s\n", exp.Title, elapsed, exp.Text)
+		case "csv":
+			if err := emitCSV(exp, *outdir); err != nil {
+				fmt.Fprintln(os.Stderr, "imprintbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// emitCSV writes an experiment's structured rows as CSV: to a per-
+// experiment file under dir when set, otherwise to stdout with a
+// leading comment line naming the experiment.
+func emitCSV(exp *harness.Experiment, dir string) error {
+	var w io.Writer = os.Stdout
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, exp.ID+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	} else {
+		fmt.Fprintf(w, "# %s\n", exp.Title)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(exp.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(exp.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestEmitCSVToDir(t *testing.T) {
+	dir := t.TempDir()
+	exp := &harness.Experiment{
+		ID:     "fig0",
+		Title:  "Test experiment",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	if err := emitCSV(exp, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if string(data) != want {
+		t.Errorf("csv = %q, want %q", data, want)
+	}
+}
+
+func TestEmitCSVEscaping(t *testing.T) {
+	dir := t.TempDir()
+	exp := &harness.Experiment{
+		ID:     "q",
+		Header: []string{"name"},
+		Rows:   [][]string{{`value,with "quotes"`}},
+	}
+	if err := emitCSV(exp, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "q.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"value,with ""quotes"""`) {
+		t.Errorf("csv escaping wrong: %q", data)
+	}
+}

@@ -1,0 +1,90 @@
+// Command imprintdump builds a column imprints index over a binary
+// column file (written by imprintgen) and reports its statistics:
+// geometry, compression, entropy, size against zonemap and WAH, and a
+// Figure 3 style fingerprint.
+//
+// Usage:
+//
+//	imprintdump [-lines 24] [-queries] file.col
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+
+	"repro/internal/colfile"
+	"repro/internal/coltype"
+	"repro/internal/inspect"
+)
+
+func main() {
+	var (
+		lines   = flag.Int("lines", 24, "fingerprint lines to print (0 = none)")
+		queries = flag.Bool("queries", false, "run the selectivity sweep and print per-query times")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: imprintdump [-lines N] [-queries] file.col")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := colfile.Kind(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	switch kind {
+	case reflect.Int8:
+		dump[int8](path, *lines, *queries)
+	case reflect.Int16:
+		dump[int16](path, *lines, *queries)
+	case reflect.Int32:
+		dump[int32](path, *lines, *queries)
+	case reflect.Int64:
+		dump[int64](path, *lines, *queries)
+	case reflect.Uint8:
+		dump[uint8](path, *lines, *queries)
+	case reflect.Uint16:
+		dump[uint16](path, *lines, *queries)
+	case reflect.Uint32:
+		dump[uint32](path, *lines, *queries)
+	case reflect.Uint64:
+		dump[uint64](path, *lines, *queries)
+	case reflect.Float32:
+		dump[float32](path, *lines, *queries)
+	case reflect.Float64:
+		dump[float64](path, *lines, *queries)
+	default:
+		fatal(fmt.Errorf("unsupported value kind %v", kind))
+	}
+}
+
+func dump[V coltype.Value](path string, lines int, withQueries bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	col, err := colfile.Read[V](f)
+	if err != nil {
+		fatal(err)
+	}
+	report, err := inspect.Column(path, col, lines, withQueries)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(report.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imprintdump:", err)
+	os.Exit(1)
+}

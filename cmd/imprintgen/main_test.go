@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/colfile"
+	"repro/internal/column"
+)
+
+func TestWriteColumnRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.col")
+	c := column.New("c", []int64{7, 8, 9})
+	if err := writeColumn(path, c); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := colfile.Read[int64](f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWriteColumnBadPath(t *testing.T) {
+	c := column.New("c", []int64{1})
+	if err := writeColumn(filepath.Join(t.TempDir(), "no", "such", "dir", "x.col"), c); err == nil {
+		t.Fatal("invalid path accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package imprints
+
+// Integration tests: for every column of every synthetic dataset, all
+// four evaluation strategies (scan, imprints, zonemap, WAH) must return
+// identical results across the selectivity sweep. This is the
+// end-to-end guarantee behind every figure of the evaluation.
+
+import (
+	"testing"
+
+	"repro/internal/coltype"
+	"repro/internal/column"
+	"repro/internal/dataset"
+	"repro/internal/scan"
+	"repro/internal/wah"
+	"repro/internal/workload"
+	"repro/internal/zonemap"
+)
+
+func crossCheck[V coltype.Value](t *testing.T, ds, name string, vals []V) {
+	t.Helper()
+	imp := Build(vals, Options{Seed: 99})
+	zm := zonemap.Build(vals, zonemap.Options{})
+	wb := wah.BuildWithHistogram(vals, imp.Histogram())
+	tl := NewTwoLevel(imp, 16)
+	queries := workload.Ranges(vals, workload.DefaultSelectivities(), 1, 17)
+
+	res := make([]uint32, 0, len(vals))
+	for _, q := range queries {
+		want, _ := scan.RangeIDs(vals, q.Low, q.High, nil)
+
+		got, _ := imp.RangeIDs(q.Low, q.High, res[:0])
+		compareIDs(t, got, want, ds+"."+name+"/imprints")
+
+		got, _ = zm.RangeIDs(q.Low, q.High, res[:0])
+		compareIDs(t, got, want, ds+"."+name+"/zonemap")
+
+		got, _ = wb.RangeIDs(q.Low, q.High, res[:0])
+		compareIDs(t, got, want, ds+"."+name+"/wah")
+
+		got, _ = tl.RangeIDs(q.Low, q.High, res[:0])
+		compareIDs(t, got, want, ds+"."+name+"/twolevel")
+
+		// Streaming iterator agrees and respects order.
+		n := 0
+		ok := true
+		for id := range imp.Range(q.Low, q.High) {
+			if n >= len(want) || id != want[n] {
+				ok = false
+				break
+			}
+			n++
+		}
+		if !ok || n != len(want) {
+			t.Fatalf("%s.%s: iterator diverged from scan", ds, name)
+		}
+
+		// Counts agree too.
+		cnt, _ := imp.CountRange(q.Low, q.High)
+		if cnt != uint64(len(want)) {
+			t.Fatalf("%s.%s: CountRange %d, scan %d", ds, name, cnt, len(want))
+		}
+	}
+}
+
+func compareIDs(t *testing.T, got, want []uint32, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ids, scan found %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id[%d] = %d, scan says %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllEvaluatorsAgreeOnAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	for _, ds := range dataset.All(dataset.Config{Scale: 0.04, Seed: 31}) {
+		for _, c := range ds.Columns {
+			switch col := c.(type) {
+			case *column.Column[int8]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[int16]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[int32]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[int64]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[uint8]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[uint16]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[uint32]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[uint64]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[float32]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			case *column.Column[float64]:
+				crossCheck(t, ds.Name, col.Name(), col.Values())
+			default:
+				t.Fatalf("unhandled column type %T", c)
+			}
+		}
+	}
+}
+
+// The parallel build must agree with the sequential one on real dataset
+// shapes, not just synthetic columns.
+func TestParallelBuildAgreesOnDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	ds := dataset.Routing(dataset.Config{Scale: 0.1, Seed: 33})
+	lat := ds.Column("trips.lat").(*column.Column[float64]).Values()
+	seq := Build(lat, Options{Seed: 3})
+	par := BuildParallel(lat, Options{Seed: 3}, 4)
+	queries := workload.Ranges(lat, workload.DefaultSelectivities(), 2, 5)
+	for _, q := range queries {
+		a, _ := seq.RangeIDs(q.Low, q.High, nil)
+		b, _ := par.RangeIDs(q.Low, q.High, nil)
+		compareIDs(t, b, a, "parallel-vs-sequential")
+	}
+}

@@ -1,0 +1,87 @@
+package imprints_test
+
+import (
+	"fmt"
+
+	imprints "repro"
+)
+
+// ExampleBuild demonstrates the core build-and-query loop.
+func ExampleBuild() {
+	col := []int64{15, 8, 31, 22, 7, 19, 25, 3, 42, 11, 28, 16, 35, 9, 21, 14}
+	ix := imprints.Build(col, imprints.Options{Seed: 1})
+
+	ids, _ := ix.RangeIDs(10, 25, nil) // 10 <= v < 25
+	for _, id := range ids {
+		fmt.Println(id, col[id])
+	}
+	// Output:
+	// 0 15
+	// 3 22
+	// 5 19
+	// 9 11
+	// 11 16
+	// 14 21
+	// 15 14
+}
+
+// ExampleIndex_CountRange counts without materializing ids.
+func ExampleIndex_CountRange() {
+	col := []int32{5, 10, 15, 20, 25, 30, 35, 40}
+	ix := imprints.Build(col, imprints.Options{Seed: 1})
+	n, _ := ix.CountRange(10, 30)
+	fmt.Println(n)
+	// Output: 4
+}
+
+// ExampleEvaluateAnd shows a two-attribute conjunction with late
+// materialization.
+func ExampleEvaluateAnd() {
+	qty := []int64{5, 50, 10, 60, 20, 70, 30, 80}
+	price := []float64{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}
+	ixQty := imprints.Build(qty, imprints.Options{Seed: 1})
+	ixPrice := imprints.Build(price, imprints.Options{Seed: 2})
+
+	ids, _ := imprints.EvaluateAnd(nil,
+		imprints.NewRangeConjunct(ixQty, 40, 100),    // qty in [40, 100)
+		imprints.NewRangeConjunct(ixPrice, 3.0, 7.0), // price in [3, 7)
+	)
+	fmt.Println(ids)
+	// Output: [3 5]
+}
+
+// ExampleIndex_Range streams results lazily; breaking early stops the
+// evaluation (a LIMIT).
+func ExampleIndex_Range() {
+	col := make([]int64, 1000)
+	for i := range col {
+		col[i] = int64(i)
+	}
+	ix := imprints.Build(col, imprints.Options{Seed: 1})
+	count := 0
+	for id := range ix.Range(100, 900) {
+		_ = id
+		count++
+		if count == 3 {
+			break // LIMIT 3
+		}
+	}
+	fmt.Println(count)
+	// Output: 3
+}
+
+// ExampleBuildStringIndex indexes a string attribute through dictionary
+// encoding.
+func ExampleBuildStringIndex() {
+	cities := []string{"paris", "berlin", "prague", "boston", "paris", "porto"}
+	si := imprints.BuildStringIndex("city", cities, imprints.Options{Seed: 1})
+	ids, _ := si.PrefixIDs("p", nil)
+	for _, id := range ids {
+		fmt.Println(id, si.Symbol(id))
+	}
+	// Output:
+	// 0 paris
+	// 2 prague
+	// 4 paris
+	// 5 porto
+}

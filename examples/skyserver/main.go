@@ -1,0 +1,70 @@
+// Skyserver: the paper's adversarial SDSS workload — high-cardinality,
+// uniformly distributed scientific doubles with no local clustering.
+// Compares all four evaluation strategies (scan, imprints, zonemap, WAH
+// bitmap) on storage overhead and query latency across the selectivity
+// sweep, reproducing the paper's headline robustness result: imprints
+// stay around ~12% storage overhead where WAH approaches 100%.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	imprints "repro"
+)
+
+func main() {
+	const n = 2_000_000
+	rng := rand.New(rand.NewPCG(3, 9))
+	// photoprofile.profMean: uniform reals, the paper's Figure 3 column.
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = rng.Float64() * 30
+	}
+
+	ix := imprints.Build(col, imprints.Options{Seed: 1})
+	zm := imprints.BuildZonemap(col)
+	wb := imprints.BuildWAHShared(col, ix) // same binning as the imprint
+
+	colBytes := float64(8 * n)
+	fmt.Printf("column: %d uniform float64 (%.0f MB), entropy %.3f\n",
+		n, colBytes/(1<<20), ix.Entropy())
+	fmt.Printf("storage overhead: imprints %.1f%% | zonemap %.1f%% | wah %.1f%%\n\n",
+		100*float64(ix.SizeBytes())/colBytes,
+		100*float64(zm.SizeBytes())/colBytes,
+		100*float64(wb.SizeBytes())/colBytes)
+
+	fmt.Println("selectivity  scan(ms)  imprints(ms)  zonemap(ms)  wah(ms)  results")
+	res := make([]uint32, 0, n)
+	for _, sel := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9} {
+		lo := rng.Float64() * 30 * (1 - sel)
+		hi := lo + 30*sel
+
+		t0 := time.Now()
+		ids, _ := imprints.ScanRange(col, lo, hi, res[:0])
+		tScan := time.Since(t0)
+		nres := len(ids)
+
+		t0 = time.Now()
+		res, _ = ix.RangeIDs(lo, hi, res[:0])
+		tImp := time.Since(t0)
+
+		t0 = time.Now()
+		res, _ = zm.RangeIDs(lo, hi, res[:0])
+		tZm := time.Since(t0)
+
+		t0 = time.Now()
+		res, _ = wb.RangeIDs(lo, hi, res[:0])
+		tWah := time.Since(t0)
+
+		fmt.Printf("%-12.2f %-9.2f %-13.2f %-12.2f %-8.2f %d\n",
+			sel, ms(tScan), ms(tImp), ms(tZm), ms(tWah), nres)
+	}
+
+	fmt.Println("\nNote the paper's crossover: on uniform data the imprint wins at")
+	fmt.Println("high selectivity and converges to scan cost as selectivity drops,")
+	fmt.Println("while WAH pays its decompression overhead everywhere.")
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -1,0 +1,95 @@
+// Warehouse: the paper's update story (Section 4) on an Airtraffic-style
+// workload — monthly batch appends extend the imprint without touching
+// existing vectors, point updates go through a delta structure merged at
+// query time, saturation marking eventually triggers a rebuild, and the
+// index round-trips through its binary serialization for reuse across
+// restarts.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+
+	imprints "repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(11, 13))
+
+	// Month 0 load: delay minutes, skewed around small values.
+	col := genMonth(rng, nil, 200_000)
+	ix := imprints.Build(col, imprints.Options{Seed: 5})
+	fmt.Printf("initial load: %d rows, %d stored vectors\n", ix.Len(), ix.StoredVectors())
+
+	// Twelve monthly appends (Section 4.1): no existing vector changes.
+	for m := 1; m <= 12; m++ {
+		col = genMonth(rng, col, 200_000)
+		ix.Append(col)
+	}
+	fmt.Printf("after 12 appends: %d rows, %d stored vectors, saturation %.3f\n",
+		ix.Len(), ix.StoredVectors(), ix.Saturation())
+
+	// Query: heavily delayed flights (delay >= 180 minutes).
+	ids, st := ix.AtLeast(180, nil)
+	fmt.Printf("delay >= 180min: %d flights, %d cachelines skipped\n\n",
+		len(ids), st.CachelinesSkipped)
+
+	// Point updates via the delta (Section 4.2): corrections come in,
+	// queries merge them, and nothing is rewritten in place.
+	delta := imprints.NewDelta[int16]()
+	for u := 0; u < 5_000; u++ {
+		id := uint32(rng.IntN(len(col)))
+		delta.Update(id, int16(rng.IntN(600)-60))
+	}
+	ids2, _ := ix.RangeIDsDelta(180, 600, delta, nil)
+	fmt.Printf("after 5000 corrections (delta): %d flights in [180,600)\n", len(ids2))
+
+	// The imprint can also absorb updates in place by widening vectors —
+	// at the cost of saturation.
+	before := ix.Saturation()
+	for u := 0; u < 30_000; u++ {
+		id := rng.IntN(len(col))
+		v := int16(rng.IntN(600) - 60)
+		col[id] = v
+		ix.MarkUpdated(id, v)
+	}
+	fmt.Printf("saturation after in-place marking: %.3f -> %.3f (extra bits: %d)\n",
+		before, ix.Saturation(), ix.ExtraBits())
+
+	if ix.NeedsRebuild(0.25, delta.Len(), 0.01) {
+		fmt.Println("rebuild heuristic fired; rebuilding during next scan...")
+		ix = ix.Rebuild()
+		fmt.Printf("rebuilt: saturation back to %.3f\n", ix.Saturation())
+	}
+
+	// Persist and reload (the index reattaches to the column).
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		panic(err)
+	}
+	serialized := buf.Len()
+	loaded, err := imprints.ReadIndex[int16](&buf, col)
+	if err != nil {
+		panic(err)
+	}
+	a, _ := ix.RangeIDs(120, 240, nil)
+	b, _ := loaded.RangeIDs(120, 240, nil)
+	fmt.Printf("serialized %d bytes; reloaded index agrees on %d results: %v\n",
+		serialized, len(a), len(a) == len(b))
+}
+
+// genMonth appends one month of skewed delay data to col.
+func genMonth(rng *rand.Rand, col []int16, rows int) []int16 {
+	for i := 0; i < rows; i++ {
+		d := rng.NormFloat64()*12 - 3
+		if rng.IntN(20) == 0 {
+			d += float64(rng.IntN(300))
+		}
+		if d < -60 {
+			d = -60
+		}
+		col = append(col, int16(d))
+	}
+	return col
+}

@@ -1,0 +1,106 @@
+package imprints
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFacadeEvaluateOrAndNot(t *testing.T) {
+	n := 3000
+	rng := rand.New(rand.NewPCG(61, 61))
+	a := make([]int64, n)
+	b := make([]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = int64(rng.IntN(1000))
+		b[i] = int64(rng.IntN(1000))
+	}
+	ixA := Build(a, Options{Seed: 1})
+	ixB := Build(b, Options{Seed: 2})
+
+	or, _ := EvaluateOr(nil,
+		NewRangeConjunct(ixA, 100, 200),
+		NewRangeConjunct(ixB, 800, 900),
+	)
+	var wantOr int
+	for i := 0; i < n; i++ {
+		if (a[i] >= 100 && a[i] < 200) || (b[i] >= 800 && b[i] < 900) {
+			wantOr++
+		}
+	}
+	if len(or) != wantOr {
+		t.Errorf("EvaluateOr = %d, want %d", len(or), wantOr)
+	}
+
+	andNot, _ := EvaluateAndNot(nil,
+		NewRangeConjunct(ixA, 0, 500),
+		NewRangeConjunct(ixB, 0, 500),
+	)
+	var wantAN int
+	for i := 0; i < n; i++ {
+		if a[i] < 500 && !(b[i] < 500) {
+			wantAN++
+		}
+	}
+	if len(andNot) != wantAN {
+		t.Errorf("EvaluateAndNot = %d, want %d", len(andNot), wantAN)
+	}
+}
+
+func TestFacadeRunAlgebra(t *testing.T) {
+	a := []CandidateRun{{Start: 0, Count: 10, Exact: true}}
+	b := []CandidateRun{{Start: 5, Count: 10, Exact: false}}
+	if got := IntersectRuns(a, b); len(got) != 1 || got[0].Count != 5 {
+		t.Errorf("IntersectRuns = %+v", got)
+	}
+	if got := UnionRuns(a, b); TotalRunCachelines(got) != 15 {
+		t.Errorf("UnionRuns covers %d", TotalRunCachelines(got))
+	}
+	if got := DiffRuns(a, b); TotalRunCachelines(got) != 10 {
+		// b is inexact, so the overlap survives (as inexact candidates).
+		t.Errorf("DiffRuns covers %d", TotalRunCachelines(got))
+	}
+}
+
+func TestFacadeMultiRangeAndInSet(t *testing.T) {
+	rng := rand.New(rand.NewPCG(62, 62))
+	col := make([]int64, 4000)
+	for i := range col {
+		col[i] = int64(rng.IntN(100))
+	}
+	ix := Build(col, Options{Seed: 3})
+
+	multi, _ := ix.MultiRangeIDs([][2]int64{{10, 20}, {50, 60}}, nil)
+	inset, _ := ix.InSetIDs([]int64{5, 42, 77}, nil)
+	var wantM, wantS int
+	for _, v := range col {
+		if (v >= 10 && v < 20) || (v >= 50 && v < 60) {
+			wantM++
+		}
+		if v == 5 || v == 42 || v == 77 {
+			wantS++
+		}
+	}
+	if len(multi) != wantM {
+		t.Errorf("MultiRangeIDs = %d, want %d", len(multi), wantM)
+	}
+	if len(inset) != wantS {
+		t.Errorf("InSetIDs = %d, want %d", len(inset), wantS)
+	}
+}
+
+func TestFacadeEstimateAndSaturation(t *testing.T) {
+	col := mkCol(10000, 63)
+	ix := Build(col, Options{Seed: 4})
+	lo := col[0] - 1000
+	hi := col[0] + 1000
+	est := ix.EstimateSelectivity(lo, hi)
+	if est < 0 || est > 1 {
+		t.Errorf("EstimateSelectivity = %v", est)
+	}
+	if s := ix.Saturation(); s <= 0 || s >= 1 {
+		t.Errorf("Saturation = %v", s)
+	}
+	if ix.NeedsRebuild(0.99, 0, 0.99) {
+		t.Error("fresh index wants a rebuild")
+	}
+}

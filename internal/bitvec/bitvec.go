@@ -1,0 +1,194 @@
+// Package bitvec provides dense, uncompressed bit vectors backed by
+// []uint64 words. They are the workhorse behind the WAH bitmap comparator
+// (decode target and id-aligned result merging, Section 6.3 of the paper)
+// and are also used for test oracles.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a fixed-length dense bit vector. The zero value is an empty
+// vector; use New to pre-size one.
+type Vector struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// New returns a vector of n bits, all unset.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the backing words. The caller must not change the length.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// SizeBytes returns the memory footprint of the payload in bytes.
+func (v *Vector) SizeBytes() int64 { return int64(len(v.words)) * 8 }
+
+// Set sets bit i.
+func (v *Vector) Set(i int) {
+	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear unsets bit i.
+func (v *Vector) Clear(i int) {
+	v.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Reset unsets every bit, keeping the allocation.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or sets v = v | o. Both vectors must have the same length.
+func (v *Vector) Or(o *Vector) {
+	v.checkLen(o)
+	for i, w := range o.words {
+		v.words[i] |= w
+	}
+}
+
+// And sets v = v & o. Both vectors must have the same length.
+func (v *Vector) And(o *Vector) {
+	v.checkLen(o)
+	for i, w := range o.words {
+		v.words[i] &= w
+	}
+}
+
+// AndNot sets v = v &^ o. Both vectors must have the same length.
+func (v *Vector) AndNot(o *Vector) {
+	v.checkLen(o)
+	for i, w := range o.words {
+		v.words[i] &^= w
+	}
+}
+
+// Xor sets v = v ^ o. Both vectors must have the same length.
+func (v *Vector) Xor(o *Vector) {
+	v.checkLen(o)
+	for i, w := range o.words {
+		v.words[i] ^= w
+	}
+}
+
+func (v *Vector) checkLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+// Equal reports whether two vectors have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SetRun sets bits [from, from+count).
+func (v *Vector) SetRun(from, count int) {
+	if count <= 0 {
+		return
+	}
+	to := from + count // exclusive
+	if to > v.n {
+		panic("bitvec: SetRun out of range")
+	}
+	fw, lw := from>>6, (to-1)>>6
+	fo, lo := uint(from)&63, uint(to-1)&63
+	if fw == lw {
+		v.words[fw] |= (^uint64(0) << fo) & (^uint64(0) >> (63 - lo))
+		return
+	}
+	v.words[fw] |= ^uint64(0) << fo
+	for i := fw + 1; i < lw; i++ {
+		v.words[i] = ^uint64(0)
+	}
+	v.words[lw] |= ^uint64(0) >> (63 - lo)
+}
+
+// ForEachSet calls f with the position of every set bit in ascending
+// order.
+func (v *Vector) ForEachSet(f func(i int)) {
+	for wi, w := range v.words {
+		base := wi << 6
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			f(base + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendSetIDs appends the position of every set bit, offset by base, to
+// dst and returns the extended slice. Positions are appended in ascending
+// order.
+func (v *Vector) AppendSetIDs(dst []uint32, base uint32) []uint32 {
+	for wi, w := range v.words {
+		wbase := base + uint32(wi<<6)
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			dst = append(dst, wbase+uint32(tz))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// String renders the vector as 'x'/'.' runes, matching the paper's
+// Figure 3 rendering convention (least-significant bit first).
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('x')
+		} else {
+			sb.WriteByte('.')
+		}
+	}
+	return sb.String()
+}
+
+// HammingDistance returns the number of differing bits between v and o
+// (the paper's "edit distance" between two bit vectors: the bits that need
+// to be set plus unset to turn one into the other).
+func (v *Vector) HammingDistance(o *Vector) int {
+	v.checkLen(o)
+	d := 0
+	for i, w := range v.words {
+		d += bits.OnesCount64(w ^ o.words[i])
+	}
+	return d
+}

@@ -1,0 +1,280 @@
+package bitvec
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	v := New(0)
+	if v.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", v.Len())
+	}
+	if v.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", v.Count())
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(200)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, i := range idx {
+		v.Set(i)
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Count() != len(idx) {
+		t.Errorf("Count = %d, want %d", v.Count(), len(idx))
+	}
+	for _, i := range idx {
+		v.Clear(i)
+	}
+	if v.Count() != 0 {
+		t.Errorf("Count after clear = %d, want 0", v.Count())
+	}
+}
+
+func TestSetRunSingleWord(t *testing.T) {
+	v := New(64)
+	v.SetRun(3, 5) // bits 3..7
+	for i := 0; i < 64; i++ {
+		want := i >= 3 && i < 8
+		if v.Get(i) != want {
+			t.Errorf("bit %d = %v, want %v", i, v.Get(i), want)
+		}
+	}
+}
+
+func TestSetRunCrossWord(t *testing.T) {
+	v := New(256)
+	v.SetRun(60, 140) // bits 60..199
+	for i := 0; i < 256; i++ {
+		want := i >= 60 && i < 200
+		if v.Get(i) != want {
+			t.Errorf("bit %d = %v, want %v", i, v.Get(i), want)
+		}
+	}
+	if v.Count() != 140 {
+		t.Errorf("Count = %d, want 140", v.Count())
+	}
+}
+
+func TestSetRunZeroCount(t *testing.T) {
+	v := New(10)
+	v.SetRun(5, 0)
+	if v.Count() != 0 {
+		t.Errorf("Count = %d, want 0", v.Count())
+	}
+}
+
+func TestSetRunOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	v := New(10)
+	v.SetRun(5, 6)
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := New(130)
+	b := New(130)
+	a.Set(0)
+	a.Set(100)
+	b.Set(100)
+	b.Set(129)
+
+	or := New(130)
+	or.Or(a)
+	or.Or(b)
+	if or.Count() != 3 || !or.Get(0) || !or.Get(100) || !or.Get(129) {
+		t.Errorf("Or wrong: %v", or)
+	}
+
+	and := New(130)
+	and.Or(a)
+	and.And(b)
+	if and.Count() != 1 || !and.Get(100) {
+		t.Errorf("And wrong: %v", and)
+	}
+
+	andnot := New(130)
+	andnot.Or(a)
+	andnot.AndNot(b)
+	if andnot.Count() != 1 || !andnot.Get(0) {
+		t.Errorf("AndNot wrong: %v", andnot)
+	}
+
+	xor := New(130)
+	xor.Or(a)
+	xor.Xor(b)
+	if xor.Count() != 2 || !xor.Get(0) || !xor.Get(129) {
+		t.Errorf("Xor wrong: %v", xor)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(10).Or(New(11))
+}
+
+func TestForEachSetOrder(t *testing.T) {
+	v := New(300)
+	want := []int{2, 63, 64, 191, 192, 299}
+	for _, i := range want {
+		v.Set(i)
+	}
+	var got []int
+	v.ForEachSet(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendSetIDs(t *testing.T) {
+	v := New(70)
+	v.Set(1)
+	v.Set(69)
+	ids := v.AppendSetIDs(nil, 1000)
+	if len(ids) != 2 || ids[0] != 1001 || ids[1] != 1069 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	v := New(5)
+	v.Set(0)
+	v.Set(3)
+	if got := v.String(); got != "x..x." {
+		t.Errorf("String = %q, want %q", got, "x..x.")
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(1)
+	b.Set(71)
+	if d := a.HammingDistance(b); d != 2 {
+		t.Errorf("HammingDistance = %d, want 2", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	if !a.Equal(b) {
+		t.Error("empty vectors should be equal")
+	}
+	a.Set(50)
+	if a.Equal(b) {
+		t.Error("different vectors reported equal")
+	}
+	b.Set(50)
+	if !a.Equal(b) {
+		t.Error("same vectors reported unequal")
+	}
+	if a.Equal(New(101)) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := New(100)
+	v.SetRun(0, 100)
+	v.Reset()
+	if v.Count() != 0 {
+		t.Errorf("Count after Reset = %d", v.Count())
+	}
+	if v.Len() != 100 {
+		t.Errorf("Len after Reset = %d", v.Len())
+	}
+}
+
+// Property: a Vector agrees with a map-of-bools model under random Set,
+// Clear and SetRun operations.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed uint64, nOps uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		const n = 257
+		v := New(n)
+		model := make(map[int]bool)
+		for op := 0; op < int(nOps); op++ {
+			switch rng.IntN(3) {
+			case 0:
+				i := rng.IntN(n)
+				v.Set(i)
+				model[i] = true
+			case 1:
+				i := rng.IntN(n)
+				v.Clear(i)
+				delete(model, i)
+			case 2:
+				from := rng.IntN(n)
+				count := rng.IntN(n - from)
+				v.SetRun(from, count)
+				for i := from; i < from+count; i++ {
+					model[i] = true
+				}
+			}
+		}
+		if v.Count() != len(model) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if v.Get(i) != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count equals the number of positions visited by ForEachSet and
+// positions are strictly ascending.
+func TestQuickForEachMatchesCount(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		n := 1 + rng.IntN(500)
+		v := New(n)
+		for i := 0; i < n/3; i++ {
+			v.Set(rng.IntN(n))
+		}
+		prev := -1
+		cnt := 0
+		ok := true
+		v.ForEachSet(func(i int) {
+			if i <= prev {
+				ok = false
+			}
+			prev = i
+			cnt++
+		})
+		return ok && cnt == v.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package coltype defines the set of column value types supported by the
+// column-imprints reproduction and small helpers over them.
+//
+// The paper's C implementation is macro-expanded once per "coltype" (char,
+// short, int, long, float, double, ...). In Go we use a single type
+// parameter constrained by Value instead. All supported types have a fixed
+// width of 1, 2, 4 or 8 bytes, which determines how many values fit in one
+// 64-byte cacheline (the granularity at which an imprint vector is built).
+package coltype
+
+import (
+	"math"
+	"reflect"
+)
+
+// CachelineBytes is the cacheline size assumed throughout the paper
+// (Section 2.3: "we assume the commonly used size of 64 bytes").
+const CachelineBytes = 64
+
+// Value enumerates the column element types an imprints index can cover:
+// all fixed-width signed/unsigned integers and both floating point widths.
+// Strings are supported indirectly through dictionary encoding (see package
+// column).
+type Value interface {
+	~int8 | ~int16 | ~int32 | ~int64 |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Width returns the size of V in bytes (1, 2, 4 or 8).
+func Width[V Value]() int {
+	var v V
+	return int(reflect.TypeOf(v).Size())
+}
+
+// ValuesPerCacheline returns how many V values fit in one 64-byte
+// cacheline: 8 for 8-byte types up to 64 for 1-byte types.
+func ValuesPerCacheline[V Value]() int {
+	return CachelineBytes / Width[V]()
+}
+
+// MaxOf returns the maximum representable value of V. It is used to pad
+// unused histogram bin borders, mirroring the paper's coltype_MAX default
+// (Algorithm 2).
+func MaxOf[V Value]() V {
+	var v V
+	switch reflect.TypeOf(v).Kind() {
+	case reflect.Int8:
+		i := int64(math.MaxInt8)
+		return V(i)
+	case reflect.Int16:
+		i := int64(math.MaxInt16)
+		return V(i)
+	case reflect.Int32:
+		i := int64(math.MaxInt32)
+		return V(i)
+	case reflect.Int64:
+		i := int64(math.MaxInt64)
+		return V(i)
+	case reflect.Uint8:
+		u := uint64(math.MaxUint8)
+		return V(u)
+	case reflect.Uint16:
+		u := uint64(math.MaxUint16)
+		return V(u)
+	case reflect.Uint32:
+		u := uint64(math.MaxUint32)
+		return V(u)
+	case reflect.Uint64:
+		u := uint64(math.MaxUint64)
+		return V(u)
+	case reflect.Float32:
+		f := float64(math.MaxFloat32)
+		return V(f)
+	case reflect.Float64:
+		f := math.MaxFloat64
+		return V(f)
+	}
+	panic("coltype: unsupported value kind")
+}
+
+// MinOf returns the minimum representable value of V (the "-infinity" end
+// of the domain D in the paper's bin description).
+func MinOf[V Value]() V {
+	var v V
+	switch reflect.TypeOf(v).Kind() {
+	case reflect.Int8:
+		i := int64(math.MinInt8)
+		return V(i)
+	case reflect.Int16:
+		i := int64(math.MinInt16)
+		return V(i)
+	case reflect.Int32:
+		i := int64(math.MinInt32)
+		return V(i)
+	case reflect.Int64:
+		i := int64(math.MinInt64)
+		return V(i)
+	case reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		u := uint64(0)
+		return V(u)
+	case reflect.Float32:
+		f := float64(-math.MaxFloat32)
+		return V(f)
+	case reflect.Float64:
+		f := -math.MaxFloat64
+		return V(f)
+	}
+	panic("coltype: unsupported value kind")
+}
+
+// IsFloat reports whether V is a floating point type.
+func IsFloat[V Value]() bool {
+	var v V
+	k := reflect.TypeOf(v).Kind()
+	return k == reflect.Float32 || k == reflect.Float64
+}
+
+// TypeName returns a short name for V suitable for reports ("int32",
+// "float64", ...). Named types report their underlying kind.
+func TypeName[V Value]() string {
+	var v V
+	return reflect.TypeOf(v).Kind().String()
+}

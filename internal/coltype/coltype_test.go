@@ -1,0 +1,133 @@
+package coltype
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWidth(t *testing.T) {
+	if got := Width[int8](); got != 1 {
+		t.Errorf("Width[int8] = %d, want 1", got)
+	}
+	if got := Width[uint8](); got != 1 {
+		t.Errorf("Width[uint8] = %d, want 1", got)
+	}
+	if got := Width[int16](); got != 2 {
+		t.Errorf("Width[int16] = %d, want 2", got)
+	}
+	if got := Width[int32](); got != 4 {
+		t.Errorf("Width[int32] = %d, want 4", got)
+	}
+	if got := Width[float32](); got != 4 {
+		t.Errorf("Width[float32] = %d, want 4", got)
+	}
+	if got := Width[int64](); got != 8 {
+		t.Errorf("Width[int64] = %d, want 8", got)
+	}
+	if got := Width[float64](); got != 8 {
+		t.Errorf("Width[float64] = %d, want 8", got)
+	}
+}
+
+func TestValuesPerCacheline(t *testing.T) {
+	if got := ValuesPerCacheline[int8](); got != 64 {
+		t.Errorf("ValuesPerCacheline[int8] = %d, want 64", got)
+	}
+	if got := ValuesPerCacheline[int16](); got != 32 {
+		t.Errorf("ValuesPerCacheline[int16] = %d, want 32", got)
+	}
+	if got := ValuesPerCacheline[int32](); got != 16 {
+		t.Errorf("ValuesPerCacheline[int32] = %d, want 16", got)
+	}
+	if got := ValuesPerCacheline[float64](); got != 8 {
+		t.Errorf("ValuesPerCacheline[float64] = %d, want 8", got)
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	if got := MaxOf[int8](); got != math.MaxInt8 {
+		t.Errorf("MaxOf[int8] = %d", got)
+	}
+	if got := MaxOf[int16](); got != math.MaxInt16 {
+		t.Errorf("MaxOf[int16] = %d", got)
+	}
+	if got := MaxOf[int32](); got != math.MaxInt32 {
+		t.Errorf("MaxOf[int32] = %d", got)
+	}
+	if got := MaxOf[int64](); got != math.MaxInt64 {
+		t.Errorf("MaxOf[int64] = %d", got)
+	}
+	if got := MaxOf[uint8](); got != math.MaxUint8 {
+		t.Errorf("MaxOf[uint8] = %d", got)
+	}
+	if got := MaxOf[uint64](); got != math.MaxUint64 {
+		t.Errorf("MaxOf[uint64] = %d", got)
+	}
+	if got := MaxOf[float32](); got != math.MaxFloat32 {
+		t.Errorf("MaxOf[float32] = %v", got)
+	}
+	if got := MaxOf[float64](); got != math.MaxFloat64 {
+		t.Errorf("MaxOf[float64] = %v", got)
+	}
+}
+
+func TestMinOf(t *testing.T) {
+	if got := MinOf[int8](); got != math.MinInt8 {
+		t.Errorf("MinOf[int8] = %d", got)
+	}
+	if got := MinOf[int64](); got != math.MinInt64 {
+		t.Errorf("MinOf[int64] = %d", got)
+	}
+	if got := MinOf[uint32](); got != 0 {
+		t.Errorf("MinOf[uint32] = %d", got)
+	}
+	if got := MinOf[float64](); got != -math.MaxFloat64 {
+		t.Errorf("MinOf[float64] = %v", got)
+	}
+}
+
+// TestMaxOfNamedType checks that named types with supported underlying
+// types work: the constraint uses approximation (~int32 etc).
+func TestMaxOfNamedType(t *testing.T) {
+	type myInt int32
+	if got := MaxOf[myInt](); got != math.MaxInt32 {
+		t.Errorf("MaxOf[myInt] = %d, want %d", got, math.MaxInt32)
+	}
+	if got := Width[myInt](); got != 4 {
+		t.Errorf("Width[myInt] = %d, want 4", got)
+	}
+}
+
+func TestIsFloat(t *testing.T) {
+	if IsFloat[int32]() {
+		t.Error("IsFloat[int32] = true")
+	}
+	if !IsFloat[float32]() {
+		t.Error("IsFloat[float32] = false")
+	}
+	if !IsFloat[float64]() {
+		t.Error("IsFloat[float64] = false")
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	if got := TypeName[int64](); got != "int64" {
+		t.Errorf("TypeName[int64] = %q", got)
+	}
+	if got := TypeName[float32](); got != "float32" {
+		t.Errorf("TypeName[float32] = %q", got)
+	}
+}
+
+func TestMaxGreaterThanMin(t *testing.T) {
+	// Ordering sanity for every supported type.
+	if !(MaxOf[int8]() > MinOf[int8]()) {
+		t.Error("int8 max <= min")
+	}
+	if !(MaxOf[uint16]() > MinOf[uint16]()) {
+		t.Error("uint16 max <= min")
+	}
+	if !(MaxOf[float32]() > MinOf[float32]()) {
+		t.Error("float32 max <= min")
+	}
+}

@@ -1,0 +1,280 @@
+package column
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	c := New("qty", []int32{5, 7, 9})
+	if c.Name() != "qty" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Get(1) != 7 {
+		t.Errorf("Get(1) = %d", c.Get(1))
+	}
+	if c.WidthBytes() != 4 {
+		t.Errorf("WidthBytes = %d", c.WidthBytes())
+	}
+	if c.TypeName() != "int32" {
+		t.Errorf("TypeName = %q", c.TypeName())
+	}
+	if c.SizeBytes() != 12 {
+		t.Errorf("SizeBytes = %d", c.SizeBytes())
+	}
+}
+
+func TestAppendReturnsFirstID(t *testing.T) {
+	c := NewEmpty[int64]("a", 0)
+	if id := c.Append(1, 2, 3); id != 0 {
+		t.Errorf("first Append id = %d", id)
+	}
+	if id := c.Append(4); id != 3 {
+		t.Errorf("second Append id = %d", id)
+	}
+	if c.Len() != 4 || c.Get(3) != 4 {
+		t.Errorf("column after appends: len=%d", c.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	c := New("m", []float64{3.5, -1.25, 9.75, 0})
+	lo, hi := c.MinMax()
+	if lo != -1.25 || hi != 9.75 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestMinMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("e", []int32{}).MinMax()
+}
+
+func TestDistinctUpTo(t *testing.T) {
+	c := New("d", []int16{1, 1, 2, 2, 3})
+	if got := c.DistinctUpTo(10); got != 3 {
+		t.Errorf("DistinctUpTo(10) = %d, want 3", got)
+	}
+	if got := c.DistinctUpTo(2); got != 2 {
+		t.Errorf("DistinctUpTo(2) = %d, want 2 (capped)", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := New("x", []uint8{1, 2})
+	want := "x uint8[2] (2 bytes)"
+	if got := Describe(c); got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+}
+
+func TestStringDictRoundTrip(t *testing.T) {
+	vals := []string{"ORD", "JFK", "AMS", "JFK", "ORD", "AMS", "AMS"}
+	d := EncodeStrings("origin", vals)
+	if d.Cardinality() != 3 {
+		t.Fatalf("Cardinality = %d", d.Cardinality())
+	}
+	codes := d.Codes()
+	if codes.Len() != len(vals) {
+		t.Fatalf("codes len = %d", codes.Len())
+	}
+	for i, s := range vals {
+		if got := d.Symbol(codes.Get(i)); got != s {
+			t.Errorf("row %d: decoded %q, want %q", i, got, s)
+		}
+	}
+	// Codes are ordered lexicographically.
+	if !(d.Symbol(0) < d.Symbol(1) && d.Symbol(1) < d.Symbol(2)) {
+		t.Error("dictionary not lexicographically ordered")
+	}
+}
+
+func TestStringDictCodeRange(t *testing.T) {
+	d := EncodeStrings("s", []string{"apple", "banana", "cherry", "date"})
+	lo, hi, ok := d.CodeRange("banana", "cherry")
+	if !ok || lo != 1 || hi != 3 {
+		t.Errorf("CodeRange = %d,%d,%v; want 1,3,true", lo, hi, ok)
+	}
+	// Range between entries: covers nothing.
+	if _, _, ok := d.CodeRange("aa", "ab"); ok {
+		t.Error("empty range reported ok")
+	}
+	// Open-ended style range covering everything.
+	lo, hi, ok = d.CodeRange("a", "zzz")
+	if !ok || lo != 0 || hi != 4 {
+		t.Errorf("full CodeRange = %d,%d,%v", lo, hi, ok)
+	}
+}
+
+func TestStringDictSizeBytes(t *testing.T) {
+	d := EncodeStrings("s", []string{"ab", "cd", "ab"})
+	// 3 int32 codes + 4 bytes of symbols.
+	if got := d.SizeBytes(); got != 3*4+4 {
+		t.Errorf("SizeBytes = %d, want 16", got)
+	}
+}
+
+func TestDeltaBasics(t *testing.T) {
+	d := NewDelta[int64]()
+	if d.Len() != 0 {
+		t.Fatalf("empty delta Len = %d", d.Len())
+	}
+	d.Insert(100, 42)
+	d.Delete(5)
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if !d.IsDeleted(5) || d.IsDeleted(6) {
+		t.Error("IsDeleted wrong")
+	}
+	if v, ok := d.Override(100); !ok || v != 42 {
+		t.Error("Override wrong")
+	}
+	// Re-inserting a deleted id revives it.
+	d.Insert(5, 7)
+	if d.IsDeleted(5) {
+		t.Error("insert did not revive deleted id")
+	}
+	// Deleting an overridden id drops the override.
+	d.Delete(100)
+	if _, ok := d.Override(100); ok {
+		t.Error("delete did not drop override")
+	}
+}
+
+func TestDeltaMerge(t *testing.T) {
+	d := NewDelta[int32]()
+	d.Delete(2)
+	d.Insert(10, 55) // qualifies for [50,60)
+	d.Insert(11, 99) // does not qualify
+	d.Update(4, 51)  // override: old row 4 qualified, new value still qualifies
+	base := []uint32{1, 2, 4, 7}
+	got := d.Merge(base, 50, 60)
+	want := []uint32{1, 4, 7, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Merge = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeltaMergeEmptyDeltaIsIdentity(t *testing.T) {
+	d := NewDelta[int32]()
+	base := []uint32{3, 5}
+	got := d.Merge(base, 0, 10)
+	if &got[0] != &base[0] || len(got) != 2 {
+		t.Error("empty delta should return input unchanged")
+	}
+}
+
+func TestDeltaApplyTo(t *testing.T) {
+	d := NewDelta[int16]()
+	base := []int16{10, 20, 30, 40}
+	d.Delete(1)
+	d.Update(2, 35)
+	d.Insert(4, 50)
+	d.Insert(6, 70) // gap beyond base: appended in id order
+	got := d.ApplyTo(base)
+	want := []int16{10, 35, 40, 50, 70}
+	if len(got) != len(want) {
+		t.Fatalf("ApplyTo = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ApplyTo = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeltaRatio(t *testing.T) {
+	d := NewDelta[int32]()
+	d.Insert(0, 1)
+	if got := d.Ratio(10); got != 0.1 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := d.Ratio(0); got != 1 {
+		t.Errorf("Ratio(0) = %v", got)
+	}
+}
+
+// Property: Merge(baseResult) equals a scan over ApplyTo-materialized
+// data restricted to ids (deleted rows keep their ids out; inserted rows
+// appear iff their value qualifies).
+func TestQuickDeltaMergeMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		n := 50 + rng.IntN(200)
+		base := make([]int32, n)
+		for i := range base {
+			base[i] = int32(rng.IntN(1000))
+		}
+		d := NewDelta[int32]()
+		for k := 0; k < rng.IntN(40); k++ {
+			id := uint32(rng.IntN(n + 20))
+			switch rng.IntN(3) {
+			case 0:
+				d.Delete(id)
+			case 1:
+				d.Insert(id, int32(rng.IntN(1000)))
+			case 2:
+				d.Update(id, int32(rng.IntN(1000)))
+			}
+		}
+		low := int32(rng.IntN(900))
+		high := low + int32(rng.IntN(100)) + 1
+
+		// Base index result: ids of base rows qualifying.
+		var baseIDs []uint32
+		for id, v := range base {
+			if v >= low && v < high {
+				baseIDs = append(baseIDs, uint32(id))
+			}
+		}
+		got := d.Merge(baseIDs, low, high)
+
+		// Naive expectation from first principles.
+		var want []uint32
+		for id := 0; id < n+20; id++ {
+			uid := uint32(id)
+			if d.IsDeleted(uid) {
+				continue
+			}
+			var v int32
+			if ov, ok := d.Override(uid); ok {
+				v = ov
+			} else if id < n {
+				v = base[id]
+			} else {
+				continue // id beyond base with no insert: row absent
+			}
+			if v >= low && v < high {
+				want = append(want, uid)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package column
+
+import (
+	"sort"
+
+	"repro/internal/coltype"
+)
+
+// Delta is the update side-structure of Section 4.2: columnar stores
+// never update in place; instead insertions and deletions accumulate in a
+// delta that is merged with index results at query time. When the delta
+// grows too large relative to the base column the index is rebuilt during
+// the next scan (Section 4.2's "disregard the entire secondary index and
+// rebuild it").
+//
+// Value updates are modeled, as in positional update handling, as a
+// delete of the old row plus an insert of the new value under the same
+// id.
+type Delta[V coltype.Value] struct {
+	deleted map[uint32]struct{}
+	// inserts maps row id -> value for rows added or overwritten since
+	// the index was built. Ids may exceed the base column length (fresh
+	// rows) or shadow existing ids (value updates).
+	inserts map[uint32]V
+}
+
+// NewDelta returns an empty delta.
+func NewDelta[V coltype.Value]() *Delta[V] {
+	return &Delta[V]{
+		deleted: make(map[uint32]struct{}),
+		inserts: make(map[uint32]V),
+	}
+}
+
+// Delete marks row id as deleted.
+func (d *Delta[V]) Delete(id uint32) {
+	delete(d.inserts, id)
+	d.deleted[id] = struct{}{}
+}
+
+// Insert records a new or replacement value for row id.
+func (d *Delta[V]) Insert(id uint32, v V) {
+	delete(d.deleted, id)
+	d.inserts[id] = v
+}
+
+// Update records an in-place value change for an existing row (delete +
+// insert under the same id).
+func (d *Delta[V]) Update(id uint32, v V) { d.Insert(id, v) }
+
+// Len returns the number of pending delta entries.
+func (d *Delta[V]) Len() int { return len(d.deleted) + len(d.inserts) }
+
+// IsDeleted reports whether id is deleted.
+func (d *Delta[V]) IsDeleted(id uint32) bool {
+	_, ok := d.deleted[id]
+	return ok
+}
+
+// Override returns the pending value for id, if any.
+func (d *Delta[V]) Override(id uint32) (V, bool) {
+	v, ok := d.inserts[id]
+	return v, ok
+}
+
+// Merge rewrites a sorted id list produced by an index over the base
+// column into the delta-consistent result for the half-open range
+// [low, high): deleted ids are dropped, overridden ids are re-checked
+// against their new value, and qualifying inserted ids are merged in
+// id order. The returned slice reuses ids' backing array when possible.
+func (d *Delta[V]) Merge(ids []uint32, low, high V) []uint32 {
+	if d.Len() == 0 {
+		return ids
+	}
+	// Filter the base result in place.
+	out := ids[:0]
+	for _, id := range ids {
+		if _, del := d.deleted[id]; del {
+			continue
+		}
+		if v, ok := d.inserts[id]; ok {
+			// Overridden: the base value qualified but the current value
+			// decides; it will be added back from the insert set below,
+			// so drop it here to avoid duplicates.
+			_ = v
+			continue
+		}
+		out = append(out, id)
+	}
+	// Collect qualifying inserted/overridden ids.
+	var extra []uint32
+	for id, v := range d.inserts {
+		if v >= low && v < high {
+			extra = append(extra, id)
+		}
+	}
+	if len(extra) == 0 {
+		return out
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return mergeSorted(out, extra)
+}
+
+// mergeSorted merges two ascending id lists into a fresh ascending list.
+func mergeSorted(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Ratio returns the delta size relative to the base column length; a
+// rebuild policy can compare it against a threshold.
+func (d *Delta[V]) Ratio(baseLen int) float64 {
+	if baseLen == 0 {
+		return 1
+	}
+	return float64(d.Len()) / float64(baseLen)
+}
+
+// ApplyTo materializes base+delta into a fresh value slice (used when
+// rebuilding the index after saturation). Deleted rows are dropped;
+// overridden rows carry their new value; inserted rows beyond the base
+// length are appended in id order.
+func (d *Delta[V]) ApplyTo(base []V) []V {
+	out := make([]V, 0, len(base)+len(d.inserts))
+	for id, v := range base {
+		if _, del := d.deleted[uint32(id)]; del {
+			continue
+		}
+		if nv, ok := d.inserts[uint32(id)]; ok {
+			out = append(out, nv)
+			continue
+		}
+		out = append(out, v)
+	}
+	var tail []uint32
+	for id := range d.inserts {
+		if int(id) >= len(base) {
+			tail = append(tail, id)
+		}
+	}
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	for _, id := range tail {
+		out = append(out, d.inserts[id])
+	}
+	return out
+}

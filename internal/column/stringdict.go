@@ -1,0 +1,78 @@
+package column
+
+import "sort"
+
+// StringDict dictionary-encodes a string attribute into an int32 code
+// column so that secondary indexes (which operate on fixed-width values)
+// can cover it. This mirrors how column stores such as MonetDB handle the
+// "str" columns that appear in the paper's Airtraffic and TPC-H datasets.
+//
+// Codes are assigned in lexicographic order of the distinct strings, so
+// range predicates on strings translate directly to range predicates on
+// codes.
+type StringDict struct {
+	codes   *Column[int32]
+	symbols []string // sorted; code i maps to symbols[i]
+}
+
+// EncodeStrings builds a dictionary-encoded column from vals.
+func EncodeStrings(name string, vals []string) *StringDict {
+	uniq := make(map[string]int32, 64)
+	for _, s := range vals {
+		uniq[s] = 0
+	}
+	symbols := make([]string, 0, len(uniq))
+	for s := range uniq {
+		symbols = append(symbols, s)
+	}
+	sort.Strings(symbols)
+	for i, s := range symbols {
+		uniq[s] = int32(i)
+	}
+	codes := make([]int32, len(vals))
+	for i, s := range vals {
+		codes[i] = uniq[s]
+	}
+	return &StringDict{codes: New(name, codes), symbols: symbols}
+}
+
+// Codes returns the int32 code column; build indexes over this.
+func (d *StringDict) Codes() *Column[int32] { return d.codes }
+
+// Symbol returns the string for a code.
+func (d *StringDict) Symbol(code int32) string { return d.symbols[code] }
+
+// Cardinality returns the number of distinct strings.
+func (d *StringDict) Cardinality() int { return len(d.symbols) }
+
+// CodeRange translates an inclusive string range [lo, hi] into a
+// half-open code range [loCode, hiCode) suitable for index queries.
+// ok is false when no dictionary entry falls inside the range.
+func (d *StringDict) CodeRange(lo, hi string) (loCode, hiCode int32, ok bool) {
+	l := sort.SearchStrings(d.symbols, lo)
+	h := sort.Search(len(d.symbols), func(i int) bool { return d.symbols[i] > hi })
+	if l >= h {
+		return 0, 0, false
+	}
+	return int32(l), int32(h), true
+}
+
+// CodeRangeExclusive translates the half-open string range [lo, hi)
+// into a half-open code range. ok is false when no entry qualifies.
+func (d *StringDict) CodeRangeExclusive(lo, hi string) (loCode, hiCode int32, ok bool) {
+	l := sort.SearchStrings(d.symbols, lo)
+	h := sort.SearchStrings(d.symbols, hi)
+	if l >= h {
+		return 0, 0, false
+	}
+	return int32(l), int32(h), true
+}
+
+// SizeBytes returns the payload size: codes plus dictionary strings.
+func (d *StringDict) SizeBytes() int64 {
+	n := d.codes.SizeBytes()
+	for _, s := range d.symbols {
+		n += int64(len(s))
+	}
+	return n
+}

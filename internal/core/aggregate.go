@@ -1,0 +1,129 @@
+package core
+
+import "math/bits"
+
+// Min returns the smallest value in the column using the imprint to
+// restrict the search: the global minimum must live in a cacheline
+// whose vector sets the lowest truly-occupied bin, so only cachelines
+// carrying the candidate bin bit are read. Imprint bits are a superset
+// of the occupied bins (updates only add bits, Section 4.2), so after
+// scanning the candidate cachelines the result is accepted only if some
+// scanned value actually falls into a bin at or below the candidate —
+// otherwise the bit was stale and the search advances to the next
+// occupied bin. On clustered, unmodified data the first candidate bin
+// wins and a tiny fraction of the column is touched.
+func (ix *Index[V]) Min() (V, QueryStats) {
+	return ix.extreme(true)
+}
+
+// Max returns the largest value in the column, symmetric to Min.
+func (ix *Index[V]) Max() (V, QueryStats) {
+	return ix.extreme(false)
+}
+
+func (ix *Index[V]) extreme(min bool) (V, QueryStats) {
+	var st QueryStats
+	// Pass 1: the union of all vectors gives the candidate bins.
+	var all uint64
+	ix.runs(func(vec uint64, _ int) bool {
+		st.Probes++
+		all |= vec
+		return true
+	})
+	if ix.pendingCount > 0 {
+		st.Probes++
+		all |= ix.pendingVec
+	}
+	var best V
+	if all == 0 {
+		return best, st // unreachable for a built index
+	}
+
+	col := ix.col
+	vpc := ix.vpc
+	found := false
+	// scanMatching reads every cacheline whose vector intersects bitMask
+	// and folds its values into best.
+	scanMatching := func(bitMask uint64) {
+		consider := func(fromCl, cls int) {
+			from := fromCl * vpc
+			to := (fromCl + cls) * vpc
+			if to > ix.n {
+				to = ix.n
+			}
+			st.CachelinesScanned += uint64(cls)
+			for id := from; id < to; id++ {
+				st.Comparisons++
+				v := col[id]
+				if !found || (min && v < best) || (!min && v > best) {
+					best = v
+					found = true
+				}
+			}
+		}
+		iVec, cl := 0, 0
+		for _, e := range ix.dict {
+			cnt := int(e.Count())
+			if e.Repeat() {
+				st.Probes++
+				if ix.vecs.get(iVec)&bitMask != 0 {
+					consider(cl, cnt)
+				} else {
+					st.CachelinesSkipped += uint64(cnt)
+				}
+				iVec++
+				cl += cnt
+			} else {
+				for j := 0; j < cnt; j++ {
+					st.Probes++
+					if ix.vecs.get(iVec)&bitMask != 0 {
+						consider(cl, 1)
+					} else {
+						st.CachelinesSkipped++
+					}
+					iVec++
+					cl++
+				}
+			}
+		}
+		if ix.pendingCount > 0 {
+			st.Probes++
+			if ix.pendingVec&bitMask != 0 {
+				consider(ix.committed, 1)
+			} else {
+				st.CachelinesSkipped++
+			}
+		}
+	}
+
+	// Walk candidate bins from the extreme end. The scan for bin b is
+	// conclusive once some scanned value truly lies at or beyond bin b
+	// (unscanned cachelines cannot hold anything more extreme: a missing
+	// bit guarantees an empty bin). Stale bits — possible after
+	// MarkUpdated — just push the walk to the next occupied bin.
+	remaining := all
+	var tried uint64
+	for remaining != 0 {
+		var b int
+		if min {
+			b = bits.TrailingZeros64(remaining)
+		} else {
+			b = 63 - bits.LeadingZeros64(remaining)
+		}
+		bit := uint64(1) << uint(b)
+		remaining &^= bit
+		tried |= bit
+		scanMatching(bit)
+		if found {
+			bb := ix.hist.Bin(best)
+			if (min && bb <= b) || (!min && bb >= b) {
+				return best, st
+			}
+		}
+	}
+	// All bits were stale beyond their bins (possible only after heavy
+	// update marking); best still holds the extreme of everything
+	// scanned, which at this point covers every non-empty cacheline
+	// carrying any occupied bit — i.e. the whole column.
+	return best, st
+}

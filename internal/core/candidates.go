@@ -1,0 +1,286 @@
+package core
+
+import "repro/internal/coltype"
+
+// CandidateRun is a maximal run of consecutive cachelines that may
+// contain qualifying values. Exact runs are cachelines whose every value
+// is guaranteed to qualify (the innermask fast path), so materialization
+// can skip the false-positive check. Candidate runs are the currency of
+// the late-materialization strategy of Section 3: for multi-attribute
+// conjunctions the per-column runs are merge-joined *before* any value is
+// touched, and only the surviving cachelines are checked.
+type CandidateRun struct {
+	Start uint32 // first cacheline number of the run
+	Count uint32 // number of consecutive cachelines
+	Exact bool   // every value in the run qualifies
+}
+
+// RangeCachelines evaluates [low, high) down to a candidate cacheline
+// list without materializing ids.
+func (ix *Index[V]) RangeCachelines(low, high V) ([]CandidateRun, QueryStats) {
+	p := pred[V]{low: low, high: high, lowIncl: true}
+	return ix.cachelinesPred(&p)
+}
+
+// AtLeastCachelines evaluates v >= low down to candidate cachelines.
+func (ix *Index[V]) AtLeastCachelines(low V) ([]CandidateRun, QueryStats) {
+	p := pred[V]{low: low, lowIncl: true, highUnb: true}
+	return ix.cachelinesPred(&p)
+}
+
+// LessThanCachelines evaluates v < high down to candidate cachelines.
+func (ix *Index[V]) LessThanCachelines(high V) ([]CandidateRun, QueryStats) {
+	p := pred[V]{high: high, lowUnb: true}
+	return ix.cachelinesPred(&p)
+}
+
+// PointCachelines evaluates v == x down to candidate cachelines.
+func (ix *Index[V]) PointCachelines(x V) ([]CandidateRun, QueryStats) {
+	p := pred[V]{low: x, high: x, lowIncl: true, highIncl: true}
+	return ix.cachelinesPred(&p)
+}
+
+func (ix *Index[V]) cachelinesPred(p *pred[V]) ([]CandidateRun, QueryStats) {
+	var st QueryStats
+	mask, inner := ix.masks(p)
+	var runs []CandidateRun
+
+	push := func(cl, cnt int, exact bool) {
+		if n := len(runs); n > 0 {
+			last := &runs[n-1]
+			if last.Exact == exact && last.Start+last.Count == uint32(cl) {
+				last.Count += uint32(cnt)
+				return
+			}
+		}
+		runs = append(runs, CandidateRun{Start: uint32(cl), Count: uint32(cnt), Exact: exact})
+	}
+
+	iVec, cl := 0, 0
+	for _, e := range ix.dict {
+		cnt := int(e.Count())
+		if e.Repeat() {
+			st.Probes++
+			vec := ix.vecs.get(iVec)
+			iVec++
+			if vec&mask != 0 {
+				exact := vec&^inner == 0
+				if exact {
+					st.CachelinesExact += uint64(cnt)
+				} else {
+					st.CachelinesScanned += uint64(cnt)
+				}
+				push(cl, cnt, exact)
+			} else {
+				st.CachelinesSkipped += uint64(cnt)
+			}
+			cl += cnt
+		} else {
+			for j := 0; j < cnt; j++ {
+				st.Probes++
+				vec := ix.vecs.get(iVec)
+				iVec++
+				if vec&mask != 0 {
+					exact := vec&^inner == 0
+					if exact {
+						st.CachelinesExact++
+					} else {
+						st.CachelinesScanned++
+					}
+					push(cl, 1, exact)
+				} else {
+					st.CachelinesSkipped++
+				}
+				cl++
+			}
+		}
+	}
+	if ix.pendingCount > 0 {
+		st.Probes++
+		if ix.pendingVec&mask != 0 {
+			// The partial tail is never exact: its cacheline is not full.
+			st.CachelinesScanned++
+			push(ix.committed, 1, false)
+		} else {
+			st.CachelinesSkipped++
+		}
+	}
+	return runs, st
+}
+
+// IntersectRuns merge-joins two sorted candidate run lists, keeping only
+// cachelines present in both. An output cacheline is Exact only when it
+// is exact on both sides; otherwise values must be re-checked during
+// materialization.
+func IntersectRuns(a, b []CandidateRun) []CandidateRun {
+	var out []CandidateRun
+	push := func(start, count uint32, exact bool) {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Exact == exact && last.Start+last.Count == start {
+				last.Count += count
+				return
+			}
+		}
+		out = append(out, CandidateRun{Start: start, Count: count, Exact: exact})
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ra, rb := a[i], b[j]
+		aEnd := ra.Start + ra.Count
+		bEnd := rb.Start + rb.Count
+		lo := max32(ra.Start, rb.Start)
+		hi := min32(aEnd, bEnd)
+		if lo < hi {
+			push(lo, hi-lo, ra.Exact && rb.Exact)
+		}
+		if aEnd <= bEnd {
+			i++
+		}
+		if bEnd <= aEnd {
+			j++
+		}
+	}
+	return out
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TotalCachelines sums the cachelines covered by a run list.
+func TotalCachelines(runs []CandidateRun) uint64 {
+	var t uint64
+	for _, r := range runs {
+		t += uint64(r.Count)
+	}
+	return t
+}
+
+// CheckFunc reports whether row id satisfies a conjunct's predicate on
+// its own base column.
+type CheckFunc func(id uint32) bool
+
+// RangeCheck returns a CheckFunc testing ix's column against [low, high);
+// it is the per-conjunct residual predicate applied after merge-joining
+// candidate runs.
+func (ix *Index[V]) RangeCheck(low, high V) CheckFunc {
+	col := ix.col
+	return func(id uint32) bool {
+		v := col[id]
+		return v >= low && v < high
+	}
+}
+
+// MaterializeRuns converts a candidate run list into ascending ids,
+// applying every check to rows of non-exact runs (exact runs are emitted
+// wholesale). vpc is the values-per-cacheline of the indexes that
+// produced the runs (they must agree), and n bounds ids of the trailing
+// partial cacheline. comparisons reports how many residual predicate
+// evaluations were spent.
+func MaterializeRuns(runs []CandidateRun, vpc, n int, res []uint32, checks ...CheckFunc) (ids []uint32, comparisons uint64) {
+	for _, r := range runs {
+		from := int(r.Start) * vpc
+		to := (int(r.Start) + int(r.Count)) * vpc
+		if to > n {
+			to = n
+		}
+		if r.Exact {
+			for id := from; id < to; id++ {
+				res = append(res, uint32(id))
+			}
+			continue
+		}
+		for id := from; id < to; id++ {
+			ok := true
+			for _, c := range checks {
+				comparisons++
+				if !c(uint32(id)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				res = append(res, uint32(id))
+			}
+		}
+	}
+	return res, comparisons
+}
+
+// Conjunct pairs an index with a range so multi-attribute conjunctions
+// can be expressed over columns of different value types.
+type Conjunct interface {
+	// Runs evaluates the conjunct to its candidate cacheline list.
+	Runs() ([]CandidateRun, QueryStats)
+	// Check is the residual predicate on the conjunct's base column.
+	Check() CheckFunc
+	// Geometry returns the values-per-cacheline and column length, which
+	// must agree across all conjuncts of one conjunction.
+	Geometry() (vpc, n int)
+}
+
+// rangeConjunct is the Conjunct for a [low, high) predicate over an
+// imprints index.
+type rangeConjunct[V coltype.Value] struct {
+	ix        *Index[V]
+	low, high V
+}
+
+// NewRangeConjunct builds a Conjunct for low <= ix.Column()[id] < high.
+func NewRangeConjunct[V coltype.Value](ix *Index[V], low, high V) Conjunct {
+	return &rangeConjunct[V]{ix: ix, low: low, high: high}
+}
+
+func (c *rangeConjunct[V]) Runs() ([]CandidateRun, QueryStats) {
+	return c.ix.RangeCachelines(c.low, c.high)
+}
+
+func (c *rangeConjunct[V]) Check() CheckFunc { return c.ix.RangeCheck(c.low, c.high) }
+
+func (c *rangeConjunct[V]) Geometry() (int, int) { return c.ix.vpc, c.ix.n }
+
+// EvaluateAnd evaluates a conjunction of range predicates with late
+// materialization: each conjunct is reduced to candidate cachelines, the
+// lists are merge-joined, and only then are the surviving rows checked
+// against the residual predicates (Section 3's multi-attribute
+// evaluation). All conjuncts must cover columns of identical length and
+// cacheline geometry.
+func EvaluateAnd(res []uint32, conjs ...Conjunct) ([]uint32, QueryStats) {
+	if len(conjs) == 0 {
+		return res, QueryStats{}
+	}
+	var st QueryStats
+	vpc0, n0 := conjs[0].Geometry()
+	runs, s := conjs[0].Runs()
+	st.Add(s)
+	for _, c := range conjs[1:] {
+		vpc, n := c.Geometry()
+		if vpc != vpc0 || n != n0 {
+			panic("core: conjunction over misaligned columns")
+		}
+		r, s := c.Runs()
+		st.Add(s)
+		runs = IntersectRuns(runs, r)
+		if len(runs) == 0 {
+			return res, st
+		}
+	}
+	checks := make([]CheckFunc, len(conjs))
+	for i, c := range conjs {
+		checks[i] = c.Check()
+	}
+	ids, comparisons := MaterializeRuns(runs, vpc0, n0, res, checks...)
+	st.Comparisons += comparisons
+	return ids, st
+}

@@ -1,0 +1,214 @@
+// Package core implements column imprints, the secondary index structure
+// of Sidirourgos & Kersten, "Column Imprints: A Secondary Index
+// Structure", SIGMOD 2013.
+//
+// A column imprint summarizes each 64-byte cacheline of a column with a
+// small bit vector: bit b is set iff at least one value in the cacheline
+// falls into bin b of a sampled, approximately equi-height histogram of
+// at most 64 bins (package histogram). Consecutive identical imprint
+// vectors are run-length compressed through a cacheline dictionary
+// (DictEntry). Range queries intersect a query bit mask with the imprint
+// vectors to decide — at cacheline granularity — which parts of the
+// column must be fetched; an inner mask detects cachelines whose every
+// value is guaranteed to qualify so false-positive checks can be skipped
+// (Algorithms 1–3 of the paper).
+package core
+
+import (
+	"repro/internal/coltype"
+	"repro/internal/histogram"
+)
+
+// Options configures index construction.
+type Options struct {
+	// SampleSize is the histogram sample size; 0 means the paper default
+	// of 2048 values.
+	SampleSize int
+	// Seed drives the deterministic sampling.
+	Seed uint64
+	// CountDuplicates selects the equi-height binning variant that keeps
+	// duplicate sample values (see histogram.Options).
+	CountDuplicates bool
+	// ValuesPerCacheline overrides how many values one imprint vector
+	// covers. 0 derives it from the 64-byte cacheline: 64/sizeof(V).
+	// The paper (Section 2.3) notes that the access granularity of the
+	// engine — e.g. the vector size of a vectorized executor — is the
+	// right unit; this knob models that choice and feeds the granularity
+	// ablation benchmark.
+	ValuesPerCacheline int
+	// MaxBins caps the number of histogram bins (and imprint vector
+	// bits) below the default 64. Must be 0 (default), 8, 16, 32 or 64.
+	MaxBins int
+}
+
+// Index is a column imprints secondary index over a column of V values.
+// The index references, but does not own, the indexed column.
+type Index[V coltype.Value] struct {
+	col  []V
+	hist *histogram.Histogram[V]
+	vecs vecstore
+	dict []DictEntry
+
+	vpc       int // values covered per imprint vector
+	n         int // total values covered (committed + pending)
+	committed int // full cachelines pushed through the dictionary
+
+	// Trailing partial cacheline, kept out of the dictionary so appends
+	// never have to rewrite committed state (Section 4.1).
+	pendingVec   uint64
+	pendingCount int
+
+	// extraBits counts imprint bits set after construction by saturation
+	// marking (Section 4.2); it drives the rebuild heuristic.
+	extraBits int
+
+	opts Options
+}
+
+// Build constructs a column imprints index over col (Algorithm 1,
+// "imprints()"). It panics if col is empty.
+func Build[V coltype.Value](col []V, opts Options) *Index[V] {
+	if len(col) == 0 {
+		panic("core: cannot build an imprint over an empty column")
+	}
+	hist := histogram.Build(col, histogram.Options{
+		SampleSize:      opts.SampleSize,
+		Seed:            opts.Seed,
+		CountDuplicates: opts.CountDuplicates,
+	})
+	clampBins(hist, opts.MaxBins)
+	ix := newWithHistogram(col, hist, opts)
+	ix.extend(col)
+	return ix
+}
+
+// BuildWithHistogram constructs an index using a pre-built histogram.
+// The paper's bit-binned WAH comparator shares the imprint binning this
+// way (Section 6: "the bins used are identical to those used for the
+// imprints index").
+func BuildWithHistogram[V coltype.Value](col []V, hist *histogram.Histogram[V], opts Options) *Index[V] {
+	if len(col) == 0 {
+		panic("core: cannot build an imprint over an empty column")
+	}
+	ix := newWithHistogram(col, hist, opts)
+	ix.extend(col)
+	return ix
+}
+
+func newWithHistogram[V coltype.Value](col []V, hist *histogram.Histogram[V], opts Options) *Index[V] {
+	vpc := opts.ValuesPerCacheline
+	if vpc <= 0 {
+		vpc = coltype.ValuesPerCacheline[V]()
+	}
+	return &Index[V]{
+		col:  col,
+		hist: hist,
+		vecs: newVecstore(vectorWidth(hist.Bins)),
+		vpc:  vpc,
+		opts: opts,
+	}
+}
+
+// clampBins reduces a histogram to at most maxBins bins by merging the
+// top bins into the last kept one.
+func clampBins[V coltype.Value](h *histogram.Histogram[V], maxBins int) {
+	switch maxBins {
+	case 0, 8, 16, 32, 64:
+	default:
+		panic("core: MaxBins must be 0, 8, 16, 32 or 64")
+	}
+	if maxBins == 0 || h.Bins <= maxBins {
+		return
+	}
+	mx := coltype.MaxOf[V]()
+	for i := maxBins - 1; i < histogram.MaxBins; i++ {
+		h.Borders[i] = mx
+	}
+	h.Bins = maxBins
+}
+
+// vectorWidth rounds a bin count up to a storable vector width.
+func vectorWidth(bins int) int {
+	switch {
+	case bins <= 8:
+		return 8
+	case bins <= 16:
+		return 16
+	case bins <= 32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// extend feeds values into the imprint builder, committing a dictionary
+// update per completed cacheline.
+func (ix *Index[V]) extend(vals []V) {
+	vec := ix.pendingVec
+	fill := ix.pendingCount
+	for _, v := range vals {
+		vec |= 1 << uint(ix.hist.Bin(v))
+		fill++
+		if fill == ix.vpc {
+			ix.commit(vec)
+			vec, fill = 0, 0
+		}
+	}
+	ix.pendingVec, ix.pendingCount = vec, fill
+	ix.n += len(vals)
+}
+
+// Len returns the number of values the index covers.
+func (ix *Index[V]) Len() int { return ix.n }
+
+// Column returns the indexed column slice.
+func (ix *Index[V]) Column() []V { return ix.col }
+
+// Bins returns the number of histogram bins backing the imprint vectors.
+func (ix *Index[V]) Bins() int { return ix.hist.Bins }
+
+// Histogram exposes the bin borders (shared with the WAH comparator).
+func (ix *Index[V]) Histogram() *histogram.Histogram[V] { return ix.hist }
+
+// ValuesPerCacheline returns how many values one imprint vector covers.
+func (ix *Index[V]) ValuesPerCacheline() int { return ix.vpc }
+
+// Cachelines returns the total number of cachelines covered, including a
+// trailing partial one.
+func (ix *Index[V]) Cachelines() int {
+	if ix.pendingCount > 0 {
+		return ix.committed + 1
+	}
+	return ix.committed
+}
+
+// DictEntries returns the number of cacheline dictionary entries.
+func (ix *Index[V]) DictEntries() int { return len(ix.dict) }
+
+// StoredVectors returns the number of imprint vectors physically stored
+// after compression.
+func (ix *Index[V]) StoredVectors() int { return ix.vecs.len() }
+
+// PendingVector returns the imprint vector of the trailing partial
+// cacheline and the number of values it covers (0 if none).
+func (ix *Index[V]) PendingVector() (vec uint64, count int) {
+	return ix.pendingVec, ix.pendingCount
+}
+
+// SizeBytes returns the index memory footprint: packed imprint vectors,
+// cacheline dictionary and histogram borders. This matches what the
+// paper charges imprints for in Figures 5–7.
+func (ix *Index[V]) SizeBytes() int64 {
+	borders := int64(histogram.MaxBins * coltype.Width[V]())
+	return ix.vecs.sizeBytes() + int64(len(ix.dict))*4 + borders
+}
+
+// CompressionRatio returns stored vectors / committed cachelines — the
+// fraction of imprint vectors that survived run-length compression
+// (lower is better; 1.0 means nothing compressed).
+func (ix *Index[V]) CompressionRatio() float64 {
+	if ix.committed == 0 {
+		return 1
+	}
+	return float64(ix.vecs.len()) / float64(ix.committed)
+}

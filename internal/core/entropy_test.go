@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropyBounds(t *testing.T) {
+	cols := map[string][]int64{
+		"sorted":    sortedCol(20000),
+		"random":    randomCol(20000, 1<<40, 1),
+		"clustered": clusteredCol(20000, 2),
+		"skewed":    skewedCol(20000, 3),
+		"constant":  constantCol(20000),
+	}
+	for name, col := range cols {
+		ix := Build(col, Options{Seed: 1})
+		e := ix.Entropy()
+		if e < 0 || e > 1 {
+			t.Errorf("%s: entropy %v out of [0,1]", name, e)
+		}
+	}
+}
+
+func TestEntropyOrderingAcrossRegimes(t *testing.T) {
+	// The paper's qualitative result (Figure 3): random/uniform columns
+	// have high entropy (~0.8), clustered walks low (~0.3), constant ~0.
+	n := 50000
+	eConst := Build(constantCol(n), Options{Seed: 1}).Entropy()
+	eSorted := Build(sortedCol(n), Options{Seed: 1}).Entropy()
+	eClustered := Build(clusteredCol(n, 2), Options{Seed: 1}).Entropy()
+	eRandom := Build(randomCol(n, 1<<40, 3), Options{Seed: 1}).Entropy()
+	if eConst != 0 {
+		t.Errorf("constant entropy = %v, want 0", eConst)
+	}
+	if !(eSorted < eClustered && eClustered < eRandom) {
+		t.Errorf("entropy ordering violated: sorted %v, clustered %v, random %v",
+			eSorted, eClustered, eRandom)
+	}
+	if eRandom < 0.5 {
+		t.Errorf("uniform random entropy %v unexpectedly low", eRandom)
+	}
+	if eSorted > 0.2 {
+		t.Errorf("sorted entropy %v unexpectedly high", eSorted)
+	}
+}
+
+func TestEntropySingleCacheline(t *testing.T) {
+	// One cacheline: no transitions, entropy 0.
+	ix := Build([]int64{1, 2, 3, 4, 5, 6, 7, 8}, Options{Seed: 1})
+	if e := ix.Entropy(); e != 0 {
+		t.Errorf("single-cacheline entropy = %v, want 0", e)
+	}
+}
+
+func TestEntropyIncludesPendingTail(t *testing.T) {
+	// Two "cachelines" where the second is partial and very different:
+	// entropy must be nonzero.
+	col := []int64{1, 1, 1, 1, 1, 1, 1, 1, 1 << 40, 1 << 41, 1 << 42}
+	ix := Build(col, Options{Seed: 1})
+	if e := ix.Entropy(); e == 0 {
+		t.Error("entropy ignored the pending tail")
+	}
+}
+
+// Property: entropy is always within [0,1] — the edit distance between
+// two vectors never exceeds the sum of their popcounts.
+func TestQuickEntropyBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		col := clusteredCol(500+int(seed%3000), seed)
+		ix := Build(col, Options{Seed: seed})
+		e := ix.Entropy()
+		return e >= 0 && e <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintRendering(t *testing.T) {
+	col := []int64{10, 20, 30, 40, 50, 60, 70, 10, // cacheline 1
+		10, 10, 10, 10, 10, 10, 10, 10} // cacheline 2
+	ix := Build(col, Options{Seed: 1})
+	fp := ix.Fingerprint(0)
+	lines := strings.Split(strings.TrimRight(fp, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("fingerprint has %d lines, want 2:\n%s", len(lines), fp)
+	}
+	for _, ln := range lines {
+		if len(ln) != ix.Bins() {
+			t.Errorf("line width %d, want %d", len(ln), ix.Bins())
+		}
+		for _, c := range ln {
+			if c != 'x' && c != '.' {
+				t.Errorf("unexpected rune %q", c)
+			}
+		}
+	}
+	// Cacheline 1 has 7 distinct values = 7 bits; cacheline 2 exactly 1.
+	if got := strings.Count(lines[0], "x"); got != 7 {
+		t.Errorf("line 1 has %d x's, want 7", got)
+	}
+	if got := strings.Count(lines[1], "x"); got != 1 {
+		t.Errorf("line 2 has %d x's, want 1", got)
+	}
+}
+
+func TestFingerprintMaxLines(t *testing.T) {
+	col := randomCol(10000, 100000, 4)
+	ix := Build(col, Options{Seed: 4})
+	fp := ix.Fingerprint(10)
+	if got := strings.Count(fp, "\n"); got != 10 {
+		t.Errorf("fingerprint emitted %d lines, want 10", got)
+	}
+}
+
+func TestFingerprintIncludesPending(t *testing.T) {
+	col := randomCol(12, 1000, 5) // 1 full cacheline + 4 pending
+	ix := Build(col, Options{Seed: 5})
+	fp := ix.Fingerprint(0)
+	if got := strings.Count(fp, "\n"); got != 2 {
+		t.Errorf("fingerprint emitted %d lines, want 2 (incl. pending)", got)
+	}
+}

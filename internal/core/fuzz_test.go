@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIndex hardens deserialization against arbitrary input: it must
+// reject or load — never panic, never over-allocate absurdly.
+func FuzzReadIndex(f *testing.F) {
+	// Seed with a valid image and a few mutations.
+	col := make([]int64, 100)
+	for i := range col {
+		col[i] = int64(i * 37 % 1000)
+	}
+	ix := Build(col, Options{Seed: 1})
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CIMP"))
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadIndex[int64](bytes.NewReader(data), col)
+		if err != nil {
+			return
+		}
+		// A successfully loaded index must answer queries without
+		// panicking and within bounds.
+		ids, _ := got.RangeIDs(0, 1000, nil)
+		for _, id := range ids {
+			if int(id) >= len(col) {
+				t.Fatalf("id %d out of range", id)
+			}
+		}
+	})
+}
+
+// FuzzRangeQuery checks the query path against the scan oracle for
+// arbitrary column bytes and bounds.
+func FuzzRangeQuery(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, int64(2), int64(7))
+	f.Add([]byte{255, 0, 255, 0}, int64(-5), int64(300))
+	f.Add([]byte{}, int64(0), int64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, low, high int64) {
+		if len(data) == 0 {
+			return
+		}
+		col := make([]int64, len(data))
+		for i, b := range data {
+			col[i] = int64(b) * 7
+		}
+		ix := Build(col, Options{Seed: 42})
+		got, _ := ix.RangeIDs(low, high, nil)
+		want := scanIDs(col, low, high)
+		if len(got) != len(want) {
+			t.Fatalf("RangeIDs %d results, scan %d (low=%d high=%d)", len(got), len(want), low, high)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("id[%d] = %d, scan %d", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package core
+
+import "repro/internal/coltype"
+
+// TwoLevel augments a column imprint with a second, coarser level: one
+// summary vector per block of cachelines, computed as the bitwise OR of
+// the block's imprint vectors. Queries probe the summary first and skip
+// whole blocks whose summary misses the query mask, trading a little
+// extra space for fewer probes on very large columns. This implements
+// the "multi-level imprints organization" sketched as future work in
+// Section 7 of the paper.
+type TwoLevel[V coltype.Value] struct {
+	base      *Index[V]
+	blockSize int // cachelines per level-2 block
+	l2        []uint64
+	anchors   []cursor // stream position of each block's first cacheline
+}
+
+// cursor is a resumable position in the compressed per-cacheline vector
+// stream.
+type cursor struct {
+	entry  int // dictionary entry index
+	offset int // cachelines already consumed inside the entry
+	vec    int // index of the entry's first stored vector
+}
+
+// advanceCursor moves c forward by k cachelines of ix's stream.
+func advanceCursor[V coltype.Value](c *cursor, ix *Index[V], k int) {
+	for k > 0 {
+		e := ix.dict[c.entry]
+		cnt := int(e.Count())
+		left := cnt - c.offset
+		step := k
+		if step > left {
+			step = left
+		}
+		c.offset += step
+		k -= step
+		if c.offset == cnt {
+			c.entry++
+			c.offset = 0
+			if e.Repeat() {
+				c.vec++
+			} else {
+				c.vec += cnt
+			}
+		}
+	}
+}
+
+// cursorVec returns the imprint vector at c without advancing.
+func cursorVec[V coltype.Value](c *cursor, ix *Index[V]) uint64 {
+	e := ix.dict[c.entry]
+	if e.Repeat() {
+		return ix.vecs.get(c.vec)
+	}
+	return ix.vecs.get(c.vec + c.offset)
+}
+
+// DefaultBlockSize is a reasonable level-2 granularity: with 64-bit
+// values one block summarizes 32 cachelines = 2 KiB of data.
+const DefaultBlockSize = 32
+
+// NewTwoLevel builds the second level over an existing index.
+// blockSize <= 0 selects DefaultBlockSize.
+func NewTwoLevel[V coltype.Value](base *Index[V], blockSize int) *TwoLevel[V] {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	t := &TwoLevel[V]{base: base, blockSize: blockSize}
+	var cur cursor
+	clInBlock := 0
+	var acc uint64
+	needAnchor := true
+	base.decompress(func(_ int, vec uint64) bool {
+		if needAnchor {
+			t.anchors = append(t.anchors, cur)
+			needAnchor = false
+		}
+		acc |= vec
+		clInBlock++
+		advanceCursor(&cur, base, 1)
+		if clInBlock == blockSize {
+			t.l2 = append(t.l2, acc)
+			acc, clInBlock = 0, 0
+			needAnchor = true
+		}
+		return true
+	})
+	if clInBlock > 0 {
+		t.l2 = append(t.l2, acc)
+	}
+	if base.pendingCount > 0 {
+		if clInBlock > 0 {
+			// Fold the partial tail into the open last block.
+			t.l2[len(t.l2)-1] |= base.pendingVec
+		} else {
+			// The tail starts its own block; its anchor is past the end
+			// of the dictionary and is never dereferenced.
+			t.anchors = append(t.anchors, cur)
+			t.l2 = append(t.l2, base.pendingVec)
+		}
+	}
+	return t
+}
+
+// Base returns the underlying single-level index.
+func (t *TwoLevel[V]) Base() *Index[V] { return t.base }
+
+// Blocks returns the number of level-2 blocks.
+func (t *TwoLevel[V]) Blocks() int { return len(t.l2) }
+
+// BlockSize returns the cachelines summarized per block.
+func (t *TwoLevel[V]) BlockSize() int { return t.blockSize }
+
+// SizeBytes returns the extra footprint of the second level.
+func (t *TwoLevel[V]) SizeBytes() int64 {
+	return int64(len(t.l2))*8 + int64(len(t.anchors))*24
+}
+
+// RangeIDs evaluates [low, high) like Index.RangeIDs but skips whole
+// blocks via the level-2 summaries. Probes counts level-2 probes plus
+// the level-1 probes inside surviving blocks.
+func (t *TwoLevel[V]) RangeIDs(low, high V, res []uint32) ([]uint32, QueryStats) {
+	var st QueryStats
+	ix := t.base
+	p := pred[V]{low: low, high: high, lowIncl: true}
+	mask, inner := ix.masks(&p)
+	col := ix.col
+	vpc := ix.vpc
+	total := ix.Cachelines()
+
+	for b, summary := range t.l2 {
+		st.Probes++
+		firstCl := b * t.blockSize
+		lastCl := firstCl + t.blockSize // exclusive
+		if lastCl > total {
+			lastCl = total
+		}
+		if summary&mask == 0 {
+			st.CachelinesSkipped += uint64(lastCl - firstCl)
+			continue
+		}
+		// Walk the block's cachelines through level 1.
+		cur := t.anchors[b]
+		for cl := firstCl; cl < lastCl; cl++ {
+			var vec uint64
+			if cl < ix.committed {
+				vec = cursorVec(&cur, ix)
+				advanceCursor(&cur, ix, 1)
+			} else {
+				vec = ix.pendingVec
+			}
+			st.Probes++
+			if vec&mask == 0 {
+				st.CachelinesSkipped++
+				continue
+			}
+			from := cl * vpc
+			to := from + vpc
+			if to > ix.n {
+				to = ix.n
+			}
+			if vec&^inner == 0 && to == from+vpc {
+				st.CachelinesExact++
+				for id := from; id < to; id++ {
+					res = append(res, uint32(id))
+				}
+				continue
+			}
+			st.CachelinesScanned++
+			for id := from; id < to; id++ {
+				st.Comparisons++
+				if p.match(col[id]) {
+					res = append(res, uint32(id))
+				}
+			}
+		}
+	}
+	return res, st
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoLevelMatchesBase(t *testing.T) {
+	cols := map[string][]int64{
+		"clustered": clusteredCol(40000, 1),
+		"random":    randomCol(40000, 1<<30, 2),
+		"sorted":    sortedCol(40000),
+		"partial":   clusteredCol(40005, 3),
+		"tiny":      randomCol(5, 10, 4),
+		"oneblock":  randomCol(64, 1000, 5),
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	for name, col := range cols {
+		base := Build(col, Options{Seed: 21})
+		for _, bs := range []int{1, 4, 32, 1000} {
+			tl := NewTwoLevel(base, bs)
+			for q := 0; q < 20; q++ {
+				low := int64(rng.IntN(1 << 30))
+				high := low + int64(rng.IntN(1<<25))
+				got, _ := tl.RangeIDs(low, high, nil)
+				want, _ := base.RangeIDs(low, high, nil)
+				equalIDs(t, got, want, name)
+			}
+		}
+	}
+}
+
+func TestTwoLevelBlockCount(t *testing.T) {
+	col := randomCol(8000, 100000, 6) // 1000 cachelines
+	base := Build(col, Options{Seed: 1})
+	tl := NewTwoLevel(base, 100)
+	if tl.Blocks() != 10 {
+		t.Errorf("Blocks = %d, want 10", tl.Blocks())
+	}
+	if tl.BlockSize() != 100 {
+		t.Errorf("BlockSize = %d", tl.BlockSize())
+	}
+	if tl.Base() != base {
+		t.Error("Base() does not return the underlying index")
+	}
+	if tl.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+}
+
+func TestTwoLevelDefaultBlockSize(t *testing.T) {
+	col := randomCol(8000, 1000, 7)
+	tl := NewTwoLevel(Build(col, Options{Seed: 1}), 0)
+	if tl.BlockSize() != DefaultBlockSize {
+		t.Errorf("BlockSize = %d, want default %d", tl.BlockSize(), DefaultBlockSize)
+	}
+}
+
+func TestTwoLevelSkipsBlocksOnWalkData(t *testing.T) {
+	// The second level pays off on data with block-scale locality but
+	// cacheline-scale variation: consecutive imprints differ (so the
+	// dictionary cannot run-length compress them and the base index
+	// probes every cacheline), yet blocks cover a narrow value region
+	// (so a selective query prunes whole blocks). A coarse random walk
+	// has exactly that shape.
+	rng := rand.New(rand.NewPCG(3, 3))
+	col := make([]int64, 80000) // 10000 cachelines
+	v := int64(1 << 29)
+	for i := range col {
+		v += int64(rng.IntN(10001)) - 5000
+		col[i] = v
+	}
+	base := Build(col, Options{Seed: 2})
+	tl := NewTwoLevel(base, 64)
+	lo, _ := col[0], col[0]
+	for _, x := range col {
+		if x < lo {
+			lo = x
+		}
+	}
+	low, high := lo+1000, lo+30000 // narrow interior range
+	_, stBase := base.RangeIDs(low, high, nil)
+	gotTL, stTL := tl.RangeIDs(low, high, nil)
+	equalIDs(t, gotTL, scanIDs(col, low, high), "two-level walk")
+	if stTL.Probes >= stBase.Probes {
+		t.Errorf("two-level probes %d not fewer than base %d", stTL.Probes, stBase.Probes)
+	}
+}
+
+func TestTwoLevelPendingOwnBlock(t *testing.T) {
+	// Committed cachelines fill blocks exactly; the pending tail opens a
+	// fresh block.
+	col := randomCol(8*4+3, 100, 8) // 4 cachelines + 3 pending values
+	base := Build(col, Options{Seed: 1})
+	tl := NewTwoLevel(base, 4)
+	if tl.Blocks() != 2 {
+		t.Fatalf("Blocks = %d, want 2", tl.Blocks())
+	}
+	got, _ := tl.RangeIDs(0, 100, nil)
+	equalIDs(t, got, scanIDs(col, 0, 100), "pending block")
+}
+
+// Property: two-level results equal base results for arbitrary geometry.
+func TestQuickTwoLevelEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x2e))
+		n := 1 + rng.IntN(5000)
+		col := make([]int64, n)
+		for i := range col {
+			col[i] = int64(rng.IntN(10000))
+		}
+		base := Build(col, Options{Seed: seed})
+		tl := NewTwoLevel(base, 1+rng.IntN(50))
+		low := int64(rng.IntN(10000))
+		high := low + int64(rng.IntN(3000))
+		got, _ := tl.RangeIDs(low, high, nil)
+		want, _ := base.RangeIDs(low, high, nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParallelIdenticalToSequential(t *testing.T) {
+	cols := map[string][]int64{
+		"clustered": clusteredCol(50000, 1),
+		"random":    randomCol(50000, 1<<40, 2),
+		"sorted":    sortedCol(50000),
+		"constant":  constantCol(50000),
+		"skewed":    skewedCol(50000, 3),
+		"partial":   randomCol(50003, 100000, 4),
+	}
+	for name, col := range cols {
+		seq := Build(col, Options{Seed: 77})
+		for _, workers := range []int{2, 3, 4, 8} {
+			par := BuildParallel(col, Options{Seed: 77}, workers)
+			equalIndexes(t, seq, par, name)
+		}
+	}
+}
+
+func TestBuildParallelSmallColumnFallsBack(t *testing.T) {
+	col := randomCol(20, 100, 5)
+	seq := Build(col, Options{Seed: 1})
+	par := BuildParallel(col, Options{Seed: 1}, 8)
+	equalIndexes(t, seq, par, "small fallback")
+}
+
+func TestBuildParallelSingleWorker(t *testing.T) {
+	col := clusteredCol(10000, 6)
+	seq := Build(col, Options{Seed: 2})
+	par := BuildParallel(col, Options{Seed: 2}, 1)
+	equalIndexes(t, seq, par, "one worker")
+}
+
+func TestBuildParallelEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildParallel([]int64{}, Options{}, 4)
+}
+
+func TestBuildParallelQueries(t *testing.T) {
+	col := clusteredCol(30000, 7)
+	par := BuildParallel(col, Options{Seed: 3}, 6)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for q := 0; q < 30; q++ {
+		low := int64(rng.IntN(1000000))
+		high := low + int64(rng.IntN(100000))
+		got, _ := par.RangeIDs(low, high, nil)
+		equalIDs(t, got, scanIDs(col, low, high), "parallel query")
+	}
+}
+
+// Property: parallel equals sequential for arbitrary sizes and worker
+// counts, including run-heavy columns that stress boundary stitching.
+func TestQuickParallelEquivalence(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xff))
+		n := 64 + rng.IntN(20000)
+		col := make([]int64, n)
+		// Run-heavy data: long stretches of a single value.
+		v := int64(rng.IntN(100))
+		for i := range col {
+			if rng.IntN(200) == 0 {
+				v = int64(rng.IntN(100))
+			}
+			col[i] = v
+		}
+		workers := 2 + rng.IntN(7)
+		seq := Build(col, Options{Seed: seed})
+		par := BuildParallel(col, Options{Seed: seed}, workers)
+		if seq.n != par.n || seq.committed != par.committed ||
+			seq.pendingVec != par.pendingVec || seq.pendingCount != par.pendingCount {
+			return false
+		}
+		if len(seq.dict) != len(par.dict) || seq.vecs.n != par.vecs.n {
+			return false
+		}
+		for i := range seq.dict {
+			if seq.dict[i] != par.dict[i] {
+				return false
+			}
+		}
+		for i := 0; i < seq.vecs.n; i++ {
+			if seq.vecs.get(i) != par.vecs.get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

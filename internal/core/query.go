@@ -1,0 +1,315 @@
+package core
+
+import "repro/internal/coltype"
+
+// QueryStats instruments one query evaluation. Probes and Comparisons
+// are the implementation-independent counters behind Figure 11 of the
+// paper: Probes counts index structure inspections (imprint vectors
+// checked here; zones or WAH words for the comparators) and Comparisons
+// counts value comparisons spent weeding out false positives.
+type QueryStats struct {
+	Probes            uint64
+	Comparisons       uint64
+	CachelinesScanned uint64 // cachelines whose values were examined
+	CachelinesExact   uint64 // cachelines emitted wholesale via innermask
+	CachelinesSkipped uint64 // cachelines pruned by the imprint
+}
+
+// Add accumulates o into s.
+func (s *QueryStats) Add(o QueryStats) {
+	s.Probes += o.Probes
+	s.Comparisons += o.Comparisons
+	s.CachelinesScanned += o.CachelinesScanned
+	s.CachelinesExact += o.CachelinesExact
+	s.CachelinesSkipped += o.CachelinesSkipped
+}
+
+// pred is a range predicate with optional unbounded and inclusive ends.
+// The canonical paper query is [low, high): lowIncl=true, highIncl=false
+// (Algorithm 3 checks "col[id] < high AND col[id] >= low").
+type pred[V coltype.Value] struct {
+	low, high         V
+	lowUnb, highUnb   bool
+	lowIncl, highIncl bool
+}
+
+func (p *pred[V]) match(v V) bool {
+	if !p.lowUnb {
+		if p.lowIncl {
+			if v < p.low {
+				return false
+			}
+		} else if v <= p.low {
+			return false
+		}
+	}
+	if !p.highUnb {
+		if p.highIncl {
+			if v > p.high {
+				return false
+			}
+		} else if v >= p.high {
+			return false
+		}
+	}
+	return true
+}
+
+// masks builds the query mask and innermask of Algorithm 3. mask has a
+// bit for every bin that may contain qualifying values (conservatively
+// over-approximated at the borders); innermask has a bit only for bins
+// that lie entirely inside the query range (conservatively
+// under-approximated), so that an imprint vector with no bits outside
+// innermask guarantees every value in the cacheline qualifies.
+func (ix *Index[V]) masks(p *pred[V]) (mask, inner uint64) {
+	h := ix.hist
+	for i := 0; i < h.Bins; i++ {
+		lo, hi, loUnb, hiUnb := h.BinBounds(i)
+
+		// Overlap: some value in [lo, hi) may satisfy p.
+		overlap := true
+		if !p.highUnb && !loUnb {
+			if p.highIncl {
+				overlap = lo <= p.high
+			} else {
+				overlap = lo < p.high
+			}
+		}
+		if overlap && !p.lowUnb && !hiUnb {
+			// Need a value >= / > low inside [lo, hi): hi must exceed low.
+			overlap = hi > p.low
+		}
+		if overlap {
+			mask |= 1 << uint(i)
+		}
+
+		// Containment: every value in [lo, hi) satisfies p.
+		contained := true
+		if !p.lowUnb {
+			if loUnb {
+				contained = false
+			} else if p.lowIncl {
+				contained = lo >= p.low
+			} else {
+				contained = lo > p.low
+			}
+		}
+		if contained && !p.highUnb {
+			if hiUnb {
+				contained = false
+			} else {
+				// All bin values are < hi; hi <= high suffices for both
+				// inclusive and exclusive upper query bounds.
+				contained = hi <= p.high
+			}
+		}
+		if contained {
+			inner |= 1 << uint(i)
+		}
+	}
+	return mask, inner
+}
+
+// RangeIDs returns the ascending ids of all values in the half-open
+// range [low, high), appended to res (pass nil to allocate). This is
+// Algorithm 3 of the paper.
+func (ix *Index[V]) RangeIDs(low, high V, res []uint32) ([]uint32, QueryStats) {
+	p := pred[V]{low: low, high: high, lowIncl: true}
+	return ix.queryPred(&p, res)
+}
+
+// RangeIDsClosed returns ids of values in the closed range [low, high],
+// the "low <= v <= high" formulation of Section 3.
+func (ix *Index[V]) RangeIDsClosed(low, high V, res []uint32) ([]uint32, QueryStats) {
+	p := pred[V]{low: low, high: high, lowIncl: true, highIncl: true}
+	return ix.queryPred(&p, res)
+}
+
+// AtLeast returns ids of values >= low.
+func (ix *Index[V]) AtLeast(low V, res []uint32) ([]uint32, QueryStats) {
+	p := pred[V]{low: low, lowIncl: true, highUnb: true}
+	return ix.queryPred(&p, res)
+}
+
+// LessThan returns ids of values < high.
+func (ix *Index[V]) LessThan(high V, res []uint32) ([]uint32, QueryStats) {
+	p := pred[V]{high: high, lowUnb: true}
+	return ix.queryPred(&p, res)
+}
+
+// PointIDs returns ids of values equal to v (a point query).
+func (ix *Index[V]) PointIDs(v V, res []uint32) ([]uint32, QueryStats) {
+	p := pred[V]{low: v, high: v, lowIncl: true, highIncl: true}
+	return ix.queryPred(&p, res)
+}
+
+// queryPred drives Algorithm 3 over the cacheline dictionary.
+func (ix *Index[V]) queryPred(p *pred[V], res []uint32) ([]uint32, QueryStats) {
+	var st QueryStats
+	mask, inner := ix.masks(p)
+	col := ix.col
+	vpc := ix.vpc
+
+	emitAll := func(from, to int) { // [from, to) ids, all qualify
+		for id := from; id < to; id++ {
+			res = append(res, uint32(id))
+		}
+	}
+	// The canonical [low, high) query gets a branch-lean check loop; the
+	// generic matcher handles unbounded/inclusive variants.
+	fastRange := !p.lowUnb && !p.highUnb && p.lowIncl && !p.highIncl
+	low, high := p.low, p.high
+	emitChecked := func(from, to int) {
+		st.Comparisons += uint64(to - from)
+		if fastRange {
+			for id := from; id < to; id++ {
+				v := col[id]
+				if v >= low && v < high {
+					res = append(res, uint32(id))
+				}
+			}
+			return
+		}
+		for id := from; id < to; id++ {
+			if p.match(col[id]) {
+				res = append(res, uint32(id))
+			}
+		}
+	}
+
+	iVec, cl := 0, 0
+	for _, e := range ix.dict {
+		cnt := int(e.Count())
+		if e.Repeat() {
+			// One imprint vector describes the next cnt cachelines.
+			st.Probes++
+			vec := ix.vecs.get(iVec)
+			iVec++
+			if vec&mask != 0 {
+				if vec&^inner == 0 {
+					st.CachelinesExact += uint64(cnt)
+					emitAll(cl*vpc, (cl+cnt)*vpc)
+				} else {
+					st.CachelinesScanned += uint64(cnt)
+					emitChecked(cl*vpc, (cl+cnt)*vpc)
+				}
+			} else {
+				st.CachelinesSkipped += uint64(cnt)
+			}
+			cl += cnt
+		} else {
+			// cnt distinct imprint vectors, one cacheline each.
+			for j := 0; j < cnt; j++ {
+				st.Probes++
+				vec := ix.vecs.get(iVec)
+				iVec++
+				if vec&mask != 0 {
+					if vec&^inner == 0 {
+						st.CachelinesExact++
+						emitAll(cl*vpc, (cl+1)*vpc)
+					} else {
+						st.CachelinesScanned++
+						emitChecked(cl*vpc, (cl+1)*vpc)
+					}
+				} else {
+					st.CachelinesSkipped++
+				}
+				cl++
+			}
+		}
+	}
+
+	// Trailing partial cacheline (not covered by the dictionary).
+	if ix.pendingCount > 0 {
+		st.Probes++
+		if ix.pendingVec&mask != 0 {
+			from := ix.committed * vpc
+			if ix.pendingVec&^inner == 0 {
+				st.CachelinesExact++
+				emitAll(from, ix.n)
+			} else {
+				st.CachelinesScanned++
+				emitChecked(from, ix.n)
+			}
+		} else {
+			st.CachelinesSkipped++
+		}
+	}
+	return res, st
+}
+
+// CountRange returns the number of values in [low, high) without
+// materializing ids.
+func (ix *Index[V]) CountRange(low, high V) (uint64, QueryStats) {
+	var st QueryStats
+	p := pred[V]{low: low, high: high, lowIncl: true}
+	mask, inner := ix.masks(&p)
+	col := ix.col
+	vpc := ix.vpc
+	var count uint64
+
+	countChecked := func(from, to int) {
+		for id := from; id < to; id++ {
+			st.Comparisons++
+			if p.match(col[id]) {
+				count++
+			}
+		}
+	}
+
+	iVec, cl := 0, 0
+	for _, e := range ix.dict {
+		cnt := int(e.Count())
+		if e.Repeat() {
+			st.Probes++
+			vec := ix.vecs.get(iVec)
+			iVec++
+			if vec&mask != 0 {
+				if vec&^inner == 0 {
+					st.CachelinesExact += uint64(cnt)
+					count += uint64(cnt * vpc)
+				} else {
+					st.CachelinesScanned += uint64(cnt)
+					countChecked(cl*vpc, (cl+cnt)*vpc)
+				}
+			} else {
+				st.CachelinesSkipped += uint64(cnt)
+			}
+			cl += cnt
+		} else {
+			for j := 0; j < cnt; j++ {
+				st.Probes++
+				vec := ix.vecs.get(iVec)
+				iVec++
+				if vec&mask != 0 {
+					if vec&^inner == 0 {
+						st.CachelinesExact++
+						count += uint64(vpc)
+					} else {
+						st.CachelinesScanned++
+						countChecked(cl*vpc, (cl+1)*vpc)
+					}
+				} else {
+					st.CachelinesSkipped++
+				}
+				cl++
+			}
+		}
+	}
+	if ix.pendingCount > 0 {
+		st.Probes++
+		if ix.pendingVec&mask != 0 {
+			from := ix.committed * vpc
+			if ix.pendingVec&^inner == 0 {
+				st.CachelinesExact++
+				count += uint64(ix.n - from)
+			} else {
+				st.CachelinesScanned++
+				countChecked(from, ix.n)
+			}
+		} else {
+			st.CachelinesSkipped++
+		}
+	}
+	return count, st
+}

@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// vecstore is a packed array of imprint vectors. The paper points out
+// that a column with low sampled cardinality needs only 8-, 16- or 32-bit
+// imprint vectors instead of full 64-bit ones (Section 2.4); storing them
+// at their true width keeps the reported index sizes honest. Vectors are
+// packed inside a []uint64 arena; widths always divide 64, so a vector
+// never straddles a word boundary.
+//
+// All geometry is powers of two, so indexing compiles to shifts and
+// masks — get() is on the query hot path (one call per index probe).
+type vecstore struct {
+	words []uint64
+	n     int    // number of vectors stored
+	width uint   // vector width in bits: 8, 16, 32 or 64
+	mask  uint64 // width low bits set
+
+	perShift uint // log2(vectors per word)
+	slotMask uint // vectors per word - 1
+	bitShift uint // log2(width)
+}
+
+func newVecstore(widthBits int) vecstore {
+	var bitShift uint
+	switch widthBits {
+	case 8:
+		bitShift = 3
+	case 16:
+		bitShift = 4
+	case 32:
+		bitShift = 5
+	case 64:
+		bitShift = 6
+	default:
+		panic(fmt.Sprintf("core: invalid imprint vector width %d", widthBits))
+	}
+	var mask uint64
+	if widthBits == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1) << uint(widthBits)) - 1
+	}
+	perShift := 6 - bitShift // 64/width = 2^(6-bitShift)
+	return vecstore{
+		width:    uint(widthBits),
+		mask:     mask,
+		perShift: perShift,
+		slotMask: (1 << perShift) - 1,
+		bitShift: bitShift,
+	}
+}
+
+// perWord returns how many vectors fit in one backing word.
+func (s *vecstore) perWord() int { return 1 << s.perShift }
+
+// append stores vector v (which must fit in the configured width).
+func (s *vecstore) append(v uint64) {
+	if v&^s.mask != 0 {
+		panic(fmt.Sprintf("core: imprint vector %#x exceeds width %d", v, s.width))
+	}
+	slot := uint(s.n) & s.slotMask
+	if slot == 0 {
+		s.words = append(s.words, 0)
+	}
+	s.words[len(s.words)-1] |= v << (slot << s.bitShift)
+	s.n++
+}
+
+// get returns vector i.
+func (s *vecstore) get(i int) uint64 {
+	w := s.words[uint(i)>>s.perShift]
+	shift := (uint(i) & s.slotMask) << s.bitShift
+	return (w >> shift) & s.mask
+}
+
+// set overwrites vector i (used by saturation marking, Section 4.2).
+func (s *vecstore) set(i int, v uint64) {
+	if v&^s.mask != 0 {
+		panic(fmt.Sprintf("core: imprint vector %#x exceeds width %d", v, s.width))
+	}
+	shift := (uint(i) & s.slotMask) << s.bitShift
+	w := &s.words[uint(i)>>s.perShift]
+	*w = (*w &^ (s.mask << shift)) | v<<shift
+}
+
+// last returns the most recently appended vector. It returns 0 when the
+// store is empty; imprint vectors of real cachelines are never zero (every
+// value sets at least one bin bit), so 0 doubles as "no previous vector".
+func (s *vecstore) last() uint64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.get(s.n - 1)
+}
+
+// len returns the number of stored vectors.
+func (s *vecstore) len() int { return s.n }
+
+// sizeBytes returns the payload footprint: n vectors at width bits each,
+// rounded up to whole words as allocated.
+func (s *vecstore) sizeBytes() int64 { return int64(len(s.words)) * 8 }

@@ -1,0 +1,108 @@
+// Package dataset generates synthetic equivalents of the five real-world
+// datasets of the paper's evaluation (Table 1): Routing, SDSS, Cnet,
+// Airtraffic and TPC-H 100. The originals are not distributable, so each
+// generator reproduces the properties the paper says drive index
+// behaviour — per-column entropy profile, cardinality, value type mix
+// and local clustering — at a configurable scale. See DESIGN.md for the
+// substitution rationale.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/column"
+)
+
+// Dataset is a named collection of typed columns (a denormalized slice
+// of the original schema).
+type Dataset struct {
+	// Name identifies the dataset ("Routing", "SDSS", ...).
+	Name string
+	// Columns holds the generated columns, type-erased.
+	Columns []column.Any
+	// Rows is the maximum row count across columns (Table 1's "Max rows").
+	Rows int
+	// Representative names the column printed in Figure 3 for this
+	// dataset.
+	Representative string
+	// PaperSize, PaperCols and PaperRows record the original dataset's
+	// Table 1 statistics for side-by-side reporting.
+	PaperSize string
+	PaperCols int
+	PaperRows string
+}
+
+// Config controls generation.
+type Config struct {
+	// Scale multiplies the default row counts. 1.0 generates the default
+	// bench scale (a few hundred thousand rows per dataset); tests use
+	// much smaller scales.
+	Scale float64
+	// Seed drives all randomness; identical configs generate identical
+	// datasets.
+	Seed uint64
+}
+
+// rows scales a base row count, keeping at least a handful of rows.
+func (c Config) rows(base int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	n := int(float64(base) * s)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// SizeBytes sums the payload bytes of all columns.
+func (d *Dataset) SizeBytes() int64 {
+	var s int64
+	for _, c := range d.Columns {
+		s += c.SizeBytes()
+	}
+	return s
+}
+
+// Column returns a column by name, or nil.
+func (d *Dataset) Column(name string) column.Any {
+	for _, c := range d.Columns {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// TypeNames lists the distinct value type names present, sorted.
+func (d *Dataset) TypeNames() []string {
+	set := map[string]struct{}{}
+	for _, c := range d.Columns {
+		set[c.TypeName()] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarizes the dataset.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s: %d columns, %d rows, %.1f MB",
+		d.Name, len(d.Columns), d.Rows, float64(d.SizeBytes())/(1<<20))
+}
+
+// All generates every dataset at the given config.
+func All(cfg Config) []*Dataset {
+	return []*Dataset{
+		Routing(cfg),
+		SDSS(cfg),
+		Cnet(cfg),
+		Airtraffic(cfg),
+		TPCH(cfg),
+	}
+}

@@ -1,0 +1,219 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/column"
+	"repro/internal/core"
+)
+
+const testScale = 0.05
+
+func testCfg() Config { return Config{Scale: testScale, Seed: 42} }
+
+func TestAllDatasetsGenerate(t *testing.T) {
+	sets := All(testCfg())
+	if len(sets) != 5 {
+		t.Fatalf("All generated %d datasets", len(sets))
+	}
+	names := map[string]bool{}
+	for _, d := range sets {
+		names[d.Name] = true
+		if len(d.Columns) == 0 {
+			t.Errorf("%s has no columns", d.Name)
+		}
+		if d.Rows == 0 {
+			t.Errorf("%s has no rows", d.Name)
+		}
+		if d.SizeBytes() <= 0 {
+			t.Errorf("%s has no payload", d.Name)
+		}
+		if d.Column(d.Representative) == nil {
+			t.Errorf("%s: representative column %q missing", d.Name, d.Representative)
+		}
+		if d.PaperCols == 0 || d.PaperSize == "" || d.PaperRows == "" {
+			t.Errorf("%s: paper reference stats missing", d.Name)
+		}
+		for _, c := range d.Columns {
+			if c.Len() == 0 {
+				t.Errorf("%s.%s empty", d.Name, c.Name())
+			}
+		}
+	}
+	for _, want := range []string{"Routing", "SDSS", "Cnet", "Airtraffic", "TPC-H"} {
+		if !names[want] {
+			t.Errorf("dataset %s missing", want)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Routing(testCfg())
+	b := Routing(testCfg())
+	ca := a.Column("trips.lat").(*column.Column[float64])
+	cb := b.Column("trips.lat").(*column.Column[float64])
+	if ca.Len() != cb.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 0; i < ca.Len(); i++ {
+		if ca.Get(i) != cb.Get(i) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	// A different seed changes the data.
+	c := Routing(Config{Scale: testScale, Seed: 43})
+	cc := c.Column("trips.lat").(*column.Column[float64])
+	same := true
+	for i := 0; i < min(100, cc.Len()); i++ {
+		if ca.Get(i) != cc.Get(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestScaleControlsRows(t *testing.T) {
+	small := SDSS(Config{Scale: 0.02, Seed: 1})
+	large := SDSS(Config{Scale: 0.08, Seed: 1})
+	if large.Rows <= small.Rows {
+		t.Errorf("scale had no effect: %d vs %d", small.Rows, large.Rows)
+	}
+}
+
+func TestTypeMixMatchesPaper(t *testing.T) {
+	// Table 1 type statements: Routing has int+long(+double coords),
+	// SDSS real/double/long, Airtraffic int/short/char(str), TPC-H
+	// int/date/str-ish.
+	has := func(d *Dataset, typ string) bool {
+		for _, tn := range d.TypeNames() {
+			if tn == typ {
+				return true
+			}
+		}
+		return false
+	}
+	r := Routing(testCfg())
+	if !has(r, "int32") || !has(r, "int64") || !has(r, "float64") {
+		t.Errorf("Routing types = %v", r.TypeNames())
+	}
+	s := SDSS(testCfg())
+	if !has(s, "float32") || !has(s, "float64") || !has(s, "int64") {
+		t.Errorf("SDSS types = %v", s.TypeNames())
+	}
+	a := Airtraffic(testCfg())
+	if !has(a, "int16") || !has(a, "uint8") || !has(a, "int32") {
+		t.Errorf("Airtraffic types = %v", a.TypeNames())
+	}
+}
+
+// entropyOf builds an imprint over a typed column and returns E.
+func entropyOf(t *testing.T, c column.Any) float64 {
+	t.Helper()
+	switch col := c.(type) {
+	case *column.Column[float64]:
+		return core.Build(col.Values(), core.Options{Seed: 1}).Entropy()
+	case *column.Column[float32]:
+		return core.Build(col.Values(), core.Options{Seed: 1}).Entropy()
+	case *column.Column[int16]:
+		return core.Build(col.Values(), core.Options{Seed: 1}).Entropy()
+	case *column.Column[int32]:
+		return core.Build(col.Values(), core.Options{Seed: 1}).Entropy()
+	default:
+		t.Fatalf("unhandled column type %T", c)
+		return 0
+	}
+}
+
+// TestEntropyProfilesMatchFigure3 checks the qualitative entropy ordering
+// of Figure 3: SDSS uniform columns are high-entropy (paper: 0.794),
+// while Routing walks, Airtraffic categories, Cnet attributes and the
+// TPC-H retail price are all low (0.2-0.35).
+func TestEntropyProfilesMatchFigure3(t *testing.T) {
+	cfg := Config{Scale: 0.25, Seed: 7} // enough rows for stable entropy
+	eSDSS := entropyOf(t, SDSS(cfg).Column("photoprofile.profmean"))
+	eRouting := entropyOf(t, Routing(cfg).Column("trips.lat"))
+	eAir := entropyOf(t, Airtraffic(cfg).Column("ontime.AirlineID"))
+	eCnet := entropyOf(t, Cnet(cfg).Column("cnet.attr18"))
+	eTPCH := entropyOf(t, TPCH(cfg).Column("part.p_retailprice"))
+
+	if eSDSS < 0.55 {
+		t.Errorf("SDSS entropy %.3f too low; paper ~0.79", eSDSS)
+	}
+	for name, e := range map[string]float64{
+		"Routing": eRouting, "Airtraffic": eAir, "Cnet": eCnet, "TPC-H": eTPCH,
+	} {
+		if e >= eSDSS {
+			t.Errorf("%s entropy %.3f not below SDSS %.3f", name, e, eSDSS)
+		}
+		if e > 0.6 {
+			t.Errorf("%s entropy %.3f unexpectedly high; paper reports 0.2-0.35", name, e)
+		}
+	}
+}
+
+func TestCnetSparsity(t *testing.T) {
+	d := Cnet(testCfg())
+	c := d.Column("cnet.attr18").(*column.Column[int32])
+	zeros := 0
+	for _, v := range c.Values() {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(c.Len())
+	if frac < 0.5 {
+		t.Errorf("cnet.attr18 only %.0f%% sparse; expected mostly absent values", frac*100)
+	}
+}
+
+func TestRoutingTimestampsMonotone(t *testing.T) {
+	d := Routing(testCfg())
+	ts := d.Column("trips.timestamp").(*column.Column[int64])
+	for i := 1; i < ts.Len(); i++ {
+		if ts.Get(i) < ts.Get(i-1) {
+			t.Fatalf("timestamp decreased at row %d", i)
+		}
+	}
+}
+
+func TestAirtrafficMonthsOrdered(t *testing.T) {
+	d := Airtraffic(testCfg())
+	m := d.Column("ontime.Month").(*column.Column[int16])
+	for i := 1; i < m.Len(); i++ {
+		if m.Get(i) < m.Get(i-1) {
+			t.Fatalf("month decreased at row %d", i)
+		}
+	}
+}
+
+func TestTPCHRetailPriceFormula(t *testing.T) {
+	d := TPCH(testCfg())
+	c := d.Column("part.p_retailprice").(*column.Column[float64])
+	// dbgen: for pk=1, price = (90000 + 0 + 100*1)/100 = 901.00
+	if got := c.Get(0); got != 901.00 {
+		t.Errorf("p_retailprice[pk=1] = %v, want 901.00", got)
+	}
+	// Range sanity: TPC-H retail prices live in [900, 2100].
+	for i := 0; i < c.Len(); i++ {
+		if v := c.Get(i); v < 900 || v > 2100 {
+			t.Fatalf("p_retailprice[%d] = %v outside [900,2100]", i, v)
+		}
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	d := Routing(testCfg())
+	if d.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

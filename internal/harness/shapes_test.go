@@ -1,0 +1,106 @@
+package harness
+
+// Shape regression tests: the qualitative findings of the paper's
+// figures, asserted against the structured experiment rows so a future
+// code change that silently breaks a reproduced result fails CI.
+
+import (
+	"strconv"
+	"testing"
+)
+
+func shapeCfg() Config { return Config{Scale: 0.1, Seed: 42} }
+
+func cell(t *testing.T, row []string, header []string, name string) float64 {
+	t.Helper()
+	for i, h := range header {
+		if h == name {
+			v, err := strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				t.Fatalf("cell %s = %q: %v", name, row[i], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no column %q in %v", name, header)
+	return 0
+}
+
+// Figure 6's headline: imprints total overhead stays in the "few
+// percent" regime for every dataset, never above the ~12.5% ceiling
+// plus dictionary slack.
+func TestShapeFig6ImprintsCeiling(t *testing.T) {
+	exp := Fig6(MeasureAll(shapeCfg(), false))
+	totals := 0
+	for _, row := range exp.Rows {
+		if row[1] != "(total)" {
+			continue
+		}
+		totals++
+		imp := cell(t, row, exp.Header, "imprints%")
+		if imp > 14 {
+			t.Errorf("%s: imprints overhead %.1f%% above ceiling", row[0], imp)
+		}
+		zm := cell(t, row, exp.Header, "zonemap%")
+		if imp > zm+1 {
+			t.Errorf("%s: imprints %.1f%% above zonemap %.1f%%", row[0], imp, zm)
+		}
+	}
+	if totals != 5 {
+		t.Fatalf("expected 5 dataset totals, saw %d", totals)
+	}
+}
+
+// Figure 7's headline: on high-entropy columns WAH deteriorates far
+// beyond imprints, which stay flat.
+func TestShapeFig7Robustness(t *testing.T) {
+	exp := Fig7(MeasureAll(shapeCfg(), false))
+	var hi int
+	for _, row := range exp.Rows {
+		e := cell(t, row, exp.Header, "entropy")
+		imp := cell(t, row, exp.Header, "imprints%")
+		if e < 0.6 {
+			continue
+		}
+		hi++
+		wah := cell(t, row, exp.Header, "wah%")
+		if imp > 14 {
+			t.Errorf("high-entropy %s: imprints %.1f%%", row[1], imp)
+		}
+		if wah < 2*imp {
+			t.Errorf("high-entropy %s: WAH %.1f%% not well above imprints %.1f%%", row[1], wah, imp)
+		}
+	}
+	if hi == 0 {
+		t.Fatal("no high-entropy columns in sweep")
+	}
+}
+
+// Figure 4's headline: the majority of columns are low-entropy but a
+// meaningful high-entropy tail exists.
+func TestShapeFig4Distribution(t *testing.T) {
+	runs := MeasureAll(shapeCfg(), false)
+	low, high := 0, 0
+	for _, r := range runs {
+		if r.Entropy <= 0.4 {
+			low++
+		}
+		if r.Entropy >= 0.6 {
+			high++
+		}
+	}
+	if low <= len(runs)/2 {
+		t.Errorf("only %d/%d columns low-entropy; paper: clear majority", low, len(runs))
+	}
+	if high == 0 {
+		t.Error("no high-entropy tail; the robustness experiments need one")
+	}
+}
+
+// Table 1 shape: five datasets with the paper's type mixes.
+func TestShapeTable1(t *testing.T) {
+	exp := Table1(shapeCfg())
+	if len(exp.Rows) != 5 {
+		t.Fatalf("Table 1 has %d rows", len(exp.Rows))
+	}
+}

@@ -1,0 +1,87 @@
+package histogram
+
+import (
+	"sort"
+
+	"repro/internal/coltype"
+)
+
+// Alternative bin-search implementations, kept for the ablation study of
+// Section 2.5. The paper reports that explicitly unrolling the binary
+// search into independent if-statements without else-branches made the
+// search "three times faster, or even more" than a loop; Bin (in
+// histogram.go) is our production variant — a branch-free six-level
+// descent the compiler turns into conditional moves. BinPaper mirrors
+// the paper's macro-expanded right/middle/left structure, and BinLoop
+// and BinStdlib are the naive baselines. BenchmarkAblationGetBin
+// compares all four.
+
+// BinPaper locates the bin with the paper's unrolled scheme: at each of
+// the six levels the candidate range is halved by three independent,
+// else-free comparisons (the right, middle and left macros). Every
+// if-statement may fire; the last assignment wins, which is why the
+// search proceeds from the highest bin downward.
+func (h *Histogram[V]) BinPaper(v V) int {
+	b := &h.Borders
+	res := 0
+	// Level by level, each test is independent of the previous one's
+	// outcome (no else), exactly like the paper's macro expansion.
+	lo, hi := 0, MaxBins // candidate border window [lo, hi)
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		// right: v in [b[mid], +inf) -> continue right half
+		if v >= b[mid] {
+			lo = mid
+		}
+		// left: v below the window start border -> continue left half
+		if v < b[mid] {
+			hi = mid
+		}
+	}
+	// lo is the largest border index with b[lo] <= v, unless v < b[0].
+	if v >= b[lo] {
+		res = lo + 1
+	}
+	if res >= h.Bins {
+		res = h.Bins - 1
+	}
+	return res
+}
+
+// BinLoop is the textbook loop-based binary search (the implementation
+// the paper's unrolling is measured against).
+func (h *Histogram[V]) BinLoop(v V) int {
+	lo, hi := 0, MaxBins // first border index with b[i] > v lies in [lo, hi]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.Borders[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= h.Bins {
+		lo = h.Bins - 1
+	}
+	return lo
+}
+
+// BinStdlib uses sort.Search, the idiomatic but closure-indirected
+// variant.
+func (h *Histogram[V]) BinStdlib(v V) int {
+	n := sort.Search(MaxBins, func(i int) bool { return h.Borders[i] > v })
+	if n >= h.Bins {
+		n = h.Bins - 1
+	}
+	return n
+}
+
+// Compile-time interface sanity: all variants share the signature.
+var _ = func() bool {
+	h := &Histogram[int64]{Bins: 8}
+	h.Borders[0] = 1
+	for i := 1; i < MaxBins; i++ {
+		h.Borders[i] = coltype.MaxOf[int64]()
+	}
+	return h.Bin(0) == h.BinPaper(0) && h.Bin(0) == h.BinLoop(0) && h.Bin(0) == h.BinStdlib(0)
+}()

@@ -1,0 +1,90 @@
+package histogram
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// All bin-search variants must agree with the linear reference on every
+// input, across cardinality regimes.
+func TestBinVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 30; trial++ {
+		card := 1 + rng.IntN(300)
+		col := make([]int64, 2000)
+		for i := range col {
+			col[i] = int64(rng.IntN(card) * 11)
+		}
+		h := Build(col, Options{Seed: uint64(trial)})
+		for probe := 0; probe < 400; probe++ {
+			v := int64(rng.IntN(card*11+40) - 20)
+			want := h.binLinear(v)
+			if got := h.Bin(v); got != want {
+				t.Fatalf("Bin(%d) = %d, want %d", v, got, want)
+			}
+			if got := h.BinPaper(v); got != want {
+				t.Fatalf("BinPaper(%d) = %d, want %d", v, got, want)
+			}
+			if got := h.BinLoop(v); got != want {
+				t.Fatalf("BinLoop(%d) = %d, want %d", v, got, want)
+			}
+			if got := h.BinStdlib(v); got != want {
+				t.Fatalf("BinStdlib(%d) = %d, want %d", v, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickBinVariantsAgreeFloats(t *testing.T) {
+	f := func(seed uint64, v float64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		col := make([]float64, 1500)
+		for i := range col {
+			col[i] = rng.Float64() * 1000
+		}
+		h := Build(col, Options{Seed: seed})
+		want := h.Bin(v)
+		return h.BinPaper(v) == want && h.BinLoop(v) == want && h.BinStdlib(v) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkAblationGetBin reproduces the paper's Section 2.5 comparison
+// of bin search implementations.
+func BenchmarkAblationGetBin(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	col := make([]int64, 1<<16)
+	for i := range col {
+		col[i] = rng.Int64N(1 << 40)
+	}
+	h := Build(col, Options{Seed: 1})
+	probes := make([]int64, 4096)
+	for i := range probes {
+		probes[i] = rng.Int64N(1 << 40)
+	}
+	sink := 0
+	b.Run("branchless", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += h.Bin(probes[i&4095])
+		}
+	})
+	b.Run("paper-unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += h.BinPaper(probes[i&4095])
+		}
+	})
+	b.Run("loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += h.BinLoop(probes[i&4095])
+		}
+	})
+	b.Run("stdlib", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += h.BinStdlib(probes[i&4095])
+		}
+	})
+	_ = sink
+}

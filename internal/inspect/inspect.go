@@ -1,0 +1,136 @@
+// Package inspect builds human-readable reports about a single column
+// and its candidate secondary indexes. It is the engine behind
+// cmd/imprintdump, factored out so the reporting logic is testable.
+package inspect
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/coltype"
+	"repro/internal/core"
+	"repro/internal/scan"
+	"repro/internal/wah"
+	"repro/internal/workload"
+	"repro/internal/zonemap"
+)
+
+// Report summarizes one column and the three index structures over it.
+type Report struct {
+	Name     string
+	TypeName string
+	Rows     int
+	ColBytes int64
+
+	Bins          int
+	SampledUnique int
+	Cachelines    int
+	VPC           int
+	DictEntries   int
+	StoredVectors int
+	Compression   float64
+	Entropy       float64
+	BuildTime     time.Duration
+
+	ImprintsBytes int64
+	ZonemapBytes  int64
+	WAHBytes      int64
+
+	Fingerprint string
+	Sweep       []SweepRow
+}
+
+// SweepRow is one selectivity-sweep measurement.
+type SweepRow struct {
+	Selectivity                float64
+	ScanUs, ImpUs, ZmUs, WahUs int64
+	Results                    int
+}
+
+// Column builds a report. fingerprintLines <= 0 skips the print;
+// withSweep runs the ten-step selectivity workload.
+func Column[V coltype.Value](name string, col []V, fingerprintLines int, withSweep bool) (*Report, error) {
+	if len(col) == 0 {
+		return nil, fmt.Errorf("inspect: column %s is empty", name)
+	}
+	t0 := time.Now()
+	ix := core.Build(col, core.Options{Seed: 42})
+	buildTime := time.Since(t0)
+	zm := zonemap.Build(col, zonemap.Options{})
+	wb := wah.BuildWithHistogram(col, ix.Histogram())
+
+	r := &Report{
+		Name:          name,
+		TypeName:      coltype.TypeName[V](),
+		Rows:          len(col),
+		ColBytes:      int64(len(col)) * int64(coltype.Width[V]()),
+		Bins:          ix.Bins(),
+		SampledUnique: ix.Histogram().SampledUnique,
+		Cachelines:    ix.Cachelines(),
+		VPC:           ix.ValuesPerCacheline(),
+		DictEntries:   ix.DictEntries(),
+		StoredVectors: ix.StoredVectors(),
+		Compression:   ix.CompressionRatio(),
+		Entropy:       ix.Entropy(),
+		BuildTime:     buildTime,
+		ImprintsBytes: ix.SizeBytes(),
+		ZonemapBytes:  zm.SizeBytes(),
+		WAHBytes:      wb.SizeBytes(),
+	}
+	if fingerprintLines > 0 {
+		r.Fingerprint = ix.Fingerprint(fingerprintLines)
+	}
+	if withSweep {
+		res := make([]uint32, 0, len(col))
+		for _, q := range workload.Ranges(col, workload.DefaultSelectivities(), 1, 7) {
+			row := SweepRow{Selectivity: q.Achieved}
+			t0 := time.Now()
+			ids, _ := scan.RangeIDs(col, q.Low, q.High, res[:0])
+			row.ScanUs = time.Since(t0).Microseconds()
+			row.Results = len(ids)
+			t0 = time.Now()
+			res, _ = ix.RangeIDs(q.Low, q.High, res[:0])
+			row.ImpUs = time.Since(t0).Microseconds()
+			t0 = time.Now()
+			res, _ = zm.RangeIDs(q.Low, q.High, res[:0])
+			row.ZmUs = time.Since(t0).Microseconds()
+			t0 = time.Now()
+			res, _ = wb.RangeIDs(q.Low, q.High, res[:0])
+			row.WahUs = time.Since(t0).Microseconds()
+			r.Sweep = append(r.Sweep, row)
+		}
+	}
+	return r, nil
+}
+
+// Render formats the report for the terminal.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	sz := func(b int64) string { return fmt.Sprintf("%.2fMB", float64(b)/(1<<20)) }
+	fmt.Fprintf(&sb, "column        %s (%s, %d rows, %s)\n", r.Name, r.TypeName, r.Rows, sz(r.ColBytes))
+	fmt.Fprintf(&sb, "bins          %d (%d unique sampled)\n", r.Bins, r.SampledUnique)
+	fmt.Fprintf(&sb, "cachelines    %d (%d values each)\n", r.Cachelines, r.VPC)
+	fmt.Fprintf(&sb, "dict entries  %d\n", r.DictEntries)
+	fmt.Fprintf(&sb, "vectors       %d stored (compression ratio %.4f)\n", r.StoredVectors, r.Compression)
+	fmt.Fprintf(&sb, "entropy       %.6f\n", r.Entropy)
+	fmt.Fprintf(&sb, "build time    %v\n", r.BuildTime)
+	fmt.Fprintf(&sb, "index sizes   imprints %s | zonemap %s | wah %s\n",
+		sz(r.ImprintsBytes), sz(r.ZonemapBytes), sz(r.WAHBytes))
+	fmt.Fprintf(&sb, "overhead      imprints %.1f%% | zonemap %.1f%% | wah %.1f%%\n",
+		100*float64(r.ImprintsBytes)/float64(r.ColBytes),
+		100*float64(r.ZonemapBytes)/float64(r.ColBytes),
+		100*float64(r.WAHBytes)/float64(r.ColBytes))
+	if r.Fingerprint != "" {
+		fmt.Fprintf(&sb, "\nimprint fingerprint:\n%s", r.Fingerprint)
+	}
+	if len(r.Sweep) > 0 {
+		sb.WriteString("\nselectivity sweep ([low,high) per step, times in µs):\n")
+		sb.WriteString("sel      scan     imprints zonemap  wah      results\n")
+		for _, row := range r.Sweep {
+			fmt.Fprintf(&sb, "%-8.3f %-8d %-8d %-8d %-8d %d\n",
+				row.Selectivity, row.ScanUs, row.ImpUs, row.ZmUs, row.WahUs, row.Results)
+		}
+	}
+	return sb.String()
+}

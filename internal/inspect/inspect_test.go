@@ -1,0 +1,78 @@
+package inspect
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestColumnReport(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	col := make([]int64, 10000)
+	for i := range col {
+		col[i] = int64(rng.IntN(100000))
+	}
+	r, err := Column("test.col", col, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows != 10000 || r.TypeName != "int64" || r.ColBytes != 80000 {
+		t.Errorf("geometry: %+v", r)
+	}
+	if r.Bins == 0 || r.Cachelines != 1250 || r.VPC != 8 {
+		t.Errorf("index geometry: %+v", r)
+	}
+	if r.Entropy < 0 || r.Entropy > 1 {
+		t.Errorf("entropy %v", r.Entropy)
+	}
+	if r.ImprintsBytes <= 0 || r.ZonemapBytes <= 0 || r.WAHBytes <= 0 {
+		t.Error("index sizes missing")
+	}
+	if strings.Count(r.Fingerprint, "\n") != 8 {
+		t.Errorf("fingerprint lines: %q", r.Fingerprint)
+	}
+	if len(r.Sweep) != 10 {
+		t.Errorf("sweep rows = %d", len(r.Sweep))
+	}
+	for _, row := range r.Sweep {
+		if row.Selectivity < 0 || row.Selectivity > 1 {
+			t.Errorf("sweep selectivity %v", row.Selectivity)
+		}
+	}
+}
+
+func TestColumnReportNoExtras(t *testing.T) {
+	col := []float32{1, 2, 3, 4, 5}
+	r, err := Column("tiny", col, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fingerprint != "" || len(r.Sweep) != 0 {
+		t.Error("extras generated despite being disabled")
+	}
+}
+
+func TestColumnReportEmpty(t *testing.T) {
+	if _, err := Column("empty", []int64{}, 0, false); err == nil {
+		t.Fatal("empty column accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	col := make([]int32, 5000)
+	for i := range col {
+		col[i] = int32(rng.IntN(1000))
+	}
+	r, err := Column("render.col", col, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"render.col", "int32", "bins", "entropy",
+		"imprints", "zonemap", "wah", "selectivity sweep", "fingerprint"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+}

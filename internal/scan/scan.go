@@ -1,0 +1,44 @@
+// Package scan provides the sequential-scan baseline of the paper's
+// evaluation: a full pass over the column with one comparison pair per
+// value, materializing the ids of qualifying rows.
+package scan
+
+import "repro/internal/coltype"
+
+// Stats counts the work done by a scan. Comparisons always equals the
+// column length — the scan looks at every value.
+type Stats struct {
+	Comparisons uint64
+}
+
+// RangeIDs returns ascending ids of values in the half-open range
+// [low, high), appended to res.
+func RangeIDs[V coltype.Value](col []V, low, high V, res []uint32) ([]uint32, Stats) {
+	for i, v := range col {
+		if v >= low && v < high {
+			res = append(res, uint32(i))
+		}
+	}
+	return res, Stats{Comparisons: uint64(len(col))}
+}
+
+// CountRange returns the number of values in [low, high).
+func CountRange[V coltype.Value](col []V, low, high V) (uint64, Stats) {
+	var n uint64
+	for _, v := range col {
+		if v >= low && v < high {
+			n++
+		}
+	}
+	return n, Stats{Comparisons: uint64(len(col))}
+}
+
+// PointIDs returns ascending ids of values equal to v.
+func PointIDs[V coltype.Value](col []V, v V, res []uint32) ([]uint32, Stats) {
+	for i, x := range col {
+		if x == v {
+			res = append(res, uint32(i))
+		}
+	}
+	return res, Stats{Comparisons: uint64(len(col))}
+}

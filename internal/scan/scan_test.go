@@ -1,0 +1,70 @@
+package scan
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRangeIDs(t *testing.T) {
+	col := []int32{5, 1, 9, 3, 7, 3}
+	ids, st := RangeIDs(col, 3, 8, nil)
+	want := []uint32{0, 3, 4, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if st.Comparisons != uint64(len(col)) {
+		t.Errorf("Comparisons = %d, want %d", st.Comparisons, len(col))
+	}
+}
+
+func TestRangeIDsEmpty(t *testing.T) {
+	ids, st := RangeIDs([]float64{}, 0, 1, nil)
+	if len(ids) != 0 || st.Comparisons != 0 {
+		t.Error("empty column scan misbehaved")
+	}
+}
+
+func TestRangeIDsAppendsToBuffer(t *testing.T) {
+	col := []int64{1, 2, 3}
+	buf := []uint32{999}
+	ids, _ := RangeIDs(col, 2, 4, buf)
+	if len(ids) != 3 || ids[0] != 999 || ids[1] != 1 || ids[2] != 2 {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestCountRangeMatchesRangeIDs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	col := make([]float32, 5000)
+	for i := range col {
+		col[i] = rng.Float32() * 100
+	}
+	for q := 0; q < 20; q++ {
+		low := rng.Float32() * 90
+		high := low + rng.Float32()*10
+		ids, _ := RangeIDs(col, low, high, nil)
+		cnt, _ := CountRange(col, low, high)
+		if uint64(len(ids)) != cnt {
+			t.Fatalf("CountRange = %d, RangeIDs = %d", cnt, len(ids))
+		}
+	}
+}
+
+func TestPointIDs(t *testing.T) {
+	col := []uint8{7, 3, 7, 7, 1}
+	ids, _ := PointIDs(col, 7, nil)
+	want := []uint32{0, 2, 3}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}

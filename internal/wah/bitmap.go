@@ -1,0 +1,172 @@
+package wah
+
+import (
+	"math/bits"
+
+	"repro/internal/coltype"
+	"repro/internal/histogram"
+)
+
+// BitmapIndex is the bit-binned, WAH-compressed bitmap comparator of the
+// paper's evaluation: one compressed bit vector per histogram bin; a
+// value sets the bit at its row position in the vector of its bin. The
+// binning is identical to the one the imprints index uses.
+type BitmapIndex[V coltype.Value] struct {
+	col  []V
+	hist *histogram.Histogram[V]
+	vecs []Vector // one per bin
+	n    int
+}
+
+// Options configures bitmap construction.
+type Options struct {
+	// SampleSize, Seed and CountDuplicates configure the shared binning;
+	// see histogram.Options.
+	SampleSize      int
+	Seed            uint64
+	CountDuplicates bool
+}
+
+// Build constructs the bitmap index over col. It panics if col is empty.
+func Build[V coltype.Value](col []V, opts Options) *BitmapIndex[V] {
+	if len(col) == 0 {
+		panic("wah: empty column")
+	}
+	hist := histogram.Build(col, histogram.Options{
+		SampleSize:      opts.SampleSize,
+		Seed:            opts.Seed,
+		CountDuplicates: opts.CountDuplicates,
+	})
+	return BuildWithHistogram(col, hist)
+}
+
+// BuildWithHistogram constructs the bitmap index over col using a
+// pre-built (typically shared with imprints) histogram.
+func BuildWithHistogram[V coltype.Value](col []V, hist *histogram.Histogram[V]) *BitmapIndex[V] {
+	if len(col) == 0 {
+		panic("wah: empty column")
+	}
+	ix := &BitmapIndex[V]{
+		col:  col,
+		hist: hist,
+		vecs: make([]Vector, hist.Bins),
+		n:    len(col),
+	}
+	// Each row sets one bit in exactly one bin vector. Every vector
+	// tracks its own length, so the zero-gap before each set bit is
+	// appended lazily and the vectors stay run-compressed.
+	for row, v := range col {
+		b := hist.Bin(v)
+		vec := &ix.vecs[b]
+		vec.AppendRun(uint64(row)-vec.nbits, false)
+		vec.AppendBit(true)
+	}
+	// Pad all vectors to the column length.
+	for b := range ix.vecs {
+		vec := &ix.vecs[b]
+		vec.AppendRun(uint64(len(col))-vec.nbits, false)
+	}
+	return ix
+}
+
+// Len returns the number of rows covered.
+func (ix *BitmapIndex[V]) Len() int { return ix.n }
+
+// Bins returns the number of bin vectors.
+func (ix *BitmapIndex[V]) Bins() int { return ix.hist.Bins }
+
+// Histogram exposes the shared binning.
+func (ix *BitmapIndex[V]) Histogram() *histogram.Histogram[V] { return ix.hist }
+
+// Words returns the total number of encoded WAH words across all bins.
+func (ix *BitmapIndex[V]) Words() int {
+	w := 0
+	for b := range ix.vecs {
+		w += ix.vecs[b].Words()
+	}
+	return w
+}
+
+// SizeBytes returns the index footprint: compressed vectors plus the bin
+// borders (charged identically to imprints for fairness).
+func (ix *BitmapIndex[V]) SizeBytes() int64 {
+	s := int64(histogram.MaxBins * coltype.Width[V]())
+	for b := range ix.vecs {
+		s += ix.vecs[b].SizeBytes()
+	}
+	return s
+}
+
+// QueryStats mirrors core.QueryStats: Probes counts WAH words examined,
+// Comparisons counts candidate value checks.
+type QueryStats struct {
+	Probes      uint64
+	Comparisons uint64
+	BinsProbed  uint64
+}
+
+// RangeIDs returns ascending ids of values in [low, high).
+//
+// Bins fully inside the range contribute their rows directly; the (at
+// most two) border bins contribute candidates that are checked against
+// the column. Per-bin results are merged through id-aligned bitvectors
+// as Section 6.3 of the imprints paper describes, so ids come out
+// ordered without a final sort.
+func (ix *BitmapIndex[V]) RangeIDs(low, high V, res []uint32) ([]uint32, QueryStats) {
+	var st QueryStats
+	words := (ix.n + 63) / 64
+	sure := make([]uint64, words)
+	check := make([]uint64, words)
+	anyCheck := false
+	h := ix.hist
+	for b := 0; b < h.Bins; b++ {
+		lo, hi, loUnb, hiUnb := h.BinBounds(b)
+		overlap := (loUnb || lo < high) && (hiUnb || hi > low)
+		if !overlap {
+			continue
+		}
+		contained := !loUnb && lo >= low && !hiUnb && hi <= high
+		st.BinsProbed++
+		if contained {
+			st.Probes += uint64(ix.vecs[b].OrInto(sure))
+		} else {
+			st.Probes += uint64(ix.vecs[b].OrInto(check))
+			anyCheck = true
+		}
+	}
+	col := ix.col
+	for wi := 0; wi < words; wi++ {
+		s := sure[wi]
+		var c uint64
+		if anyCheck {
+			c = check[wi]
+		}
+		both := s | c
+		base := uint32(wi << 6)
+		for both != 0 {
+			tz := bits.TrailingZeros64(both)
+			both &= both - 1
+			id := base + uint32(tz)
+			if s&(1<<uint(tz)) != 0 {
+				res = append(res, id)
+				continue
+			}
+			st.Comparisons++
+			v := col[id]
+			if v >= low && v < high {
+				res = append(res, id)
+			}
+		}
+	}
+	return res, st
+}
+
+// CountRange returns the number of values in [low, high).
+func (ix *BitmapIndex[V]) CountRange(low, high V) (uint64, QueryStats) {
+	ids, st := ix.RangeIDs(low, high, nil)
+	return uint64(len(ids)), st
+}
+
+// BinVector exposes the compressed vector of one bin (for tests and the
+// harness's per-structure statistics).
+func (ix *BitmapIndex[V]) BinVector(b int) *Vector { return &ix.vecs[b] }

@@ -1,0 +1,201 @@
+package wah
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coltype"
+	"repro/internal/histogram"
+)
+
+func scanIDs[V coltype.Value](col []V, low, high V) []uint32 {
+	var ids []uint32
+	for i, v := range col {
+		if v >= low && v < high {
+			ids = append(ids, uint32(i))
+		}
+	}
+	return ids
+}
+
+func equalIDs(t *testing.T, got, want []uint32, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d ids, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id[%d] = %d, want %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitmapEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build([]int64{}, Options{})
+}
+
+func TestBitmapOneBitPerRow(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	col := make([]int64, 5000)
+	for i := range col {
+		col[i] = int64(rng.IntN(100000))
+	}
+	ix := Build(col, Options{Seed: 3})
+	var total uint64
+	for b := 0; b < ix.Bins(); b++ {
+		vec := ix.BinVector(b)
+		if err := vec.Validate(); err != nil {
+			t.Fatalf("bin %d: %v", b, err)
+		}
+		if vec.Len() != uint64(len(col)) {
+			t.Fatalf("bin %d padded to %d bits, want %d", b, vec.Len(), len(col))
+		}
+		total += vec.Count()
+	}
+	if total != uint64(len(col)) {
+		t.Errorf("bins hold %d set bits, want exactly %d (dense mapping)", total, len(col))
+	}
+}
+
+func TestBitmapRangeAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	cases := map[string][]int64{}
+	random := make([]int64, 6000)
+	sorted := make([]int64, 6000)
+	lowCard := make([]int64, 6000)
+	for i := range random {
+		random[i] = int64(rng.IntN(1 << 30))
+		sorted[i] = int64(i * 5)
+		lowCard[i] = int64(rng.IntN(6))
+	}
+	cases["random"] = random
+	cases["sorted"] = sorted
+	cases["lowCard"] = lowCard
+	cases["partial"] = random[:5987]
+	for name, col := range cases {
+		ix := Build(col, Options{Seed: 7})
+		for q := 0; q < 40; q++ {
+			low := int64(rng.IntN(1 << 30))
+			high := low + int64(rng.IntN(1<<28))
+			got, _ := ix.RangeIDs(low, high, nil)
+			equalIDs(t, got, scanIDs(col, low, high), name)
+		}
+		// Full and empty ranges.
+		got, _ := ix.RangeIDs(0, 1<<31, nil)
+		equalIDs(t, got, scanIDs(col, 0, 1<<31), name+"/full")
+		if got, _ := ix.RangeIDs(5, 5, nil); len(got) != 0 {
+			t.Errorf("%s: empty range returned ids", name)
+		}
+	}
+}
+
+func TestBitmapSharedHistogramMatchesImprintBinning(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	col := make([]float64, 4000)
+	for i := range col {
+		col[i] = rng.Float64() * 100
+	}
+	hist := histogram.Build(col, histogram.Options{Seed: 9})
+	ix := BuildWithHistogram(col, hist)
+	if ix.Histogram() != hist {
+		t.Error("histogram not shared")
+	}
+	got, _ := ix.RangeIDs(10, 20, nil)
+	equalIDs(t, got, scanIDs(col, 10, 20), "shared hist")
+}
+
+func TestBitmapFullyContainedBinsSkipChecks(t *testing.T) {
+	// A range spanning many interior bins: most results come from "sure"
+	// bins; comparisons should be far fewer than result size.
+	rng := rand.New(rand.NewPCG(4, 4))
+	col := make([]int64, 50000)
+	for i := range col {
+		col[i] = int64(rng.IntN(1 << 30))
+	}
+	ix := Build(col, Options{Seed: 5})
+	low, high := int64(1<<27), int64(1<<29)
+	ids, st := ix.RangeIDs(low, high, nil)
+	if len(ids) == 0 {
+		t.Fatal("no results")
+	}
+	if st.Comparisons >= uint64(len(ids)) {
+		t.Errorf("comparisons %d >= results %d; contained bins not exploited",
+			st.Comparisons, len(ids))
+	}
+	if st.BinsProbed == 0 || st.Probes == 0 {
+		t.Error("stats not recorded")
+	}
+}
+
+func TestBitmapSizeSortedVsRandom(t *testing.T) {
+	// Figures 5-7: WAH compresses sorted/clustered data well but blows up
+	// on high-entropy data (~1 word per value with 64 bins).
+	n := 100000
+	rng := rand.New(rand.NewPCG(5, 5))
+	sorted := make([]int64, n)
+	random := make([]int64, n)
+	for i := 0; i < n; i++ {
+		sorted[i] = int64(i)
+		random[i] = int64(rng.IntN(1 << 40))
+	}
+	szSorted := Build(sorted, Options{Seed: 1}).SizeBytes()
+	szRandom := Build(random, Options{Seed: 1}).SizeBytes()
+	if szSorted >= szRandom {
+		t.Errorf("sorted WAH %d >= random WAH %d", szSorted, szRandom)
+	}
+	// On random data, WAH approaches (or exceeds) ~1 literal word per
+	// value: must be larger than 2 bytes/value here.
+	if szRandom < int64(n)*2 {
+		t.Errorf("random WAH suspiciously small: %d bytes for %d values", szRandom, n)
+	}
+}
+
+func TestBitmapCountRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	col := make([]int32, 3000)
+	for i := range col {
+		col[i] = int32(rng.IntN(10000))
+	}
+	ix := Build(col, Options{Seed: 2})
+	cnt, _ := ix.CountRange(1000, 5000)
+	if cnt != uint64(len(scanIDs(col, 1000, 5000))) {
+		t.Errorf("CountRange = %d", cnt)
+	}
+}
+
+// Property: bitmap results equal the scan oracle on uint16 columns.
+func TestQuickBitmapEqualsScan(t *testing.T) {
+	f := func(seed uint64, a, b uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x9)) //nolint
+		n := 1 + rng.IntN(2500)
+		col := make([]uint16, n)
+		card := 1 + rng.IntN(2000)
+		for i := range col {
+			col[i] = uint16(rng.IntN(card))
+		}
+		ix := Build(col, Options{Seed: seed})
+		if a > b {
+			a, b = b, a
+		}
+		got, _ := ix.RangeIDs(a, b, nil)
+		want := scanIDs(col, a, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

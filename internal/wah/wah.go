@@ -1,0 +1,280 @@
+// Package wah implements the Word-Aligned Hybrid compressed bitmap of
+// Wu, Otoo & Shoshani (reference [23] of the column imprints paper) with
+// 32-bit words, plus the bit-binned bitmap index the paper benchmarks
+// against: one WAH-compressed bit vector per histogram bin, using the
+// exact same binning as the imprints index (Section 6: "the bins used
+// are identical to those used for the imprints index").
+package wah
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Word layout (32-bit WAH):
+//
+//	literal: MSB 0, 31 payload bits
+//	fill:    MSB 1, bit 30 = fill bit value, bits 0..29 = group count
+//	         (one group = 31 bits of the decoded bitmap)
+const (
+	literalBits = 31
+	fillFlag    = uint32(1) << 31
+	fillOne     = uint32(1) << 30
+	maxGroups   = fillOne - 1       // counter capacity of one fill word
+	literalAll  = uint32(1)<<31 - 1 // 31 ones
+)
+
+// Vector is an append-only WAH-compressed bit vector.
+type Vector struct {
+	words      []uint32
+	nbits      uint64 // bits represented so far (including pending)
+	active     uint32 // pending literal payload
+	activeBits int    // bits accumulated in active, in [0, 31)
+}
+
+// Len returns the number of bits represented.
+func (v *Vector) Len() uint64 { return v.nbits }
+
+// Words returns the number of encoded words, counting the pending
+// literal if non-empty. This is the unit of WAH "index probes".
+func (v *Vector) Words() int {
+	w := len(v.words)
+	if v.activeBits > 0 {
+		w++
+	}
+	return w
+}
+
+// SizeBytes returns the compressed payload size.
+func (v *Vector) SizeBytes() int64 { return int64(v.Words()) * 4 }
+
+// AppendBit appends a single bit.
+func (v *Vector) AppendBit(bit bool) {
+	if bit {
+		v.active |= 1 << uint(v.activeBits)
+	}
+	v.activeBits++
+	v.nbits++
+	if v.activeBits == literalBits {
+		v.flush()
+	}
+}
+
+// AppendRun appends count copies of bit. Long runs become fill words.
+func (v *Vector) AppendRun(count uint64, bit bool) {
+	if count == 0 {
+		return
+	}
+	v.nbits += count
+	// Top up the pending literal first.
+	for v.activeBits > 0 && count > 0 {
+		if bit {
+			v.active |= 1 << uint(v.activeBits)
+		}
+		v.activeBits++
+		count--
+		if v.activeBits == literalBits {
+			v.flush()
+		}
+	}
+	// Whole groups become fills.
+	if groups := count / literalBits; groups > 0 {
+		v.appendFill(groups, bit)
+		count -= groups * literalBits
+	}
+	// Remainder starts a fresh pending literal.
+	for i := uint64(0); i < count; i++ {
+		if bit {
+			v.active |= 1 << uint(v.activeBits)
+		}
+		v.activeBits++
+	}
+}
+
+// flush encodes the (full) pending literal, degrading it to a fill word
+// when it is all zeros or all ones.
+func (v *Vector) flush() {
+	switch v.active {
+	case 0:
+		v.appendFill(1, false)
+	case literalAll:
+		v.appendFill(1, true)
+	default:
+		v.words = append(v.words, v.active)
+	}
+	v.active = 0
+	v.activeBits = 0
+}
+
+// appendFill encodes `groups` groups of identical bits, merging with a
+// preceding fill of the same polarity.
+func (v *Vector) appendFill(groups uint64, bit bool) {
+	for groups > 0 {
+		g := groups
+		if n := len(v.words); n > 0 {
+			last := v.words[n-1]
+			if last&fillFlag != 0 && (last&fillOne != 0) == bit {
+				room := uint64(maxGroups - last&maxGroups)
+				if room > 0 {
+					add := g
+					if add > room {
+						add = room
+					}
+					v.words[n-1] = last + uint32(add)
+					g -= add
+					groups -= add
+					if g == 0 {
+						continue
+					}
+				}
+			}
+		}
+		chunk := g
+		if chunk > uint64(maxGroups) {
+			chunk = uint64(maxGroups)
+		}
+		w := fillFlag | uint32(chunk)
+		if bit {
+			w |= fillOne
+		}
+		v.words = append(v.words, w)
+		groups -= chunk
+	}
+}
+
+// ForEachSet calls f with every set bit position in ascending order and
+// returns the number of words examined (the probe count).
+func (v *Vector) ForEachSet(f func(pos uint64)) int {
+	probes := 0
+	var pos uint64
+	for _, w := range v.words {
+		probes++
+		if w&fillFlag == 0 {
+			payload := w
+			for payload != 0 {
+				tz := bits.TrailingZeros32(payload)
+				f(pos + uint64(tz))
+				payload &= payload - 1
+			}
+			pos += literalBits
+			continue
+		}
+		span := uint64(w&maxGroups) * literalBits
+		if w&fillOne != 0 {
+			for i := uint64(0); i < span; i++ {
+				f(pos + i)
+			}
+		}
+		pos += span
+	}
+	if v.activeBits > 0 {
+		probes++
+		payload := v.active
+		for payload != 0 {
+			tz := bits.TrailingZeros32(payload)
+			f(pos + uint64(tz))
+			payload &= payload - 1
+		}
+	}
+	return probes
+}
+
+// OrInto decodes the vector and ORs its bits into dst, a plain word
+// bitmap of at least Len() bits. It returns the number of WAH words
+// examined. This is the id-aligned result bitvector merge described in
+// Section 6.3 of the imprints paper.
+func (v *Vector) OrInto(dst []uint64) int {
+	probes := 0
+	var pos uint64
+	for _, w := range v.words {
+		probes++
+		if w&fillFlag == 0 {
+			orPayload(dst, pos, w)
+			pos += literalBits
+			continue
+		}
+		span := uint64(w&maxGroups) * literalBits
+		if w&fillOne != 0 {
+			setRun(dst, pos, span)
+		}
+		pos += span
+	}
+	if v.activeBits > 0 {
+		probes++
+		orPayload(dst, pos, v.active)
+	}
+	return probes
+}
+
+// orPayload ORs a 31-bit literal payload at bit offset pos into dst.
+func orPayload(dst []uint64, pos uint64, payload uint32) {
+	if payload == 0 {
+		return
+	}
+	w := pos >> 6
+	off := pos & 63
+	dst[w] |= uint64(payload) << off
+	if off > 33 && w+1 < uint64(len(dst)) {
+		// 64-off < 31: the payload straddles a word boundary. A pending
+		// (partial) literal near the end of the bitmap may nominally
+		// straddle past the last word, but its bits there are zero, so
+		// skipping the out-of-range word is sound.
+		dst[w+1] |= uint64(payload) >> (64 - off)
+	}
+}
+
+// setRun sets bits [pos, pos+span) in dst.
+func setRun(dst []uint64, pos, span uint64) {
+	if span == 0 {
+		return
+	}
+	end := pos + span // exclusive
+	fw, lw := pos>>6, (end-1)>>6
+	fo, lo := pos&63, (end-1)&63
+	if fw == lw {
+		dst[fw] |= (^uint64(0) << fo) & (^uint64(0) >> (63 - lo))
+		return
+	}
+	dst[fw] |= ^uint64(0) << fo
+	for i := fw + 1; i < lw; i++ {
+		dst[i] = ^uint64(0)
+	}
+	dst[lw] |= ^uint64(0) >> (63 - lo)
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() uint64 {
+	var c uint64
+	for _, w := range v.words {
+		if w&fillFlag == 0 {
+			c += uint64(bits.OnesCount32(w))
+			continue
+		}
+		if w&fillOne != 0 {
+			c += uint64(w&maxGroups) * literalBits
+		}
+	}
+	c += uint64(bits.OnesCount32(v.active))
+	return c
+}
+
+// Validate checks internal consistency (used by tests and after
+// deserialization in future formats).
+func (v *Vector) Validate() error {
+	var bits uint64
+	for _, w := range v.words {
+		if w&fillFlag == 0 {
+			bits += literalBits
+			continue
+		}
+		if w&maxGroups == 0 {
+			return fmt.Errorf("wah: zero-length fill word")
+		}
+		bits += uint64(w&maxGroups) * literalBits
+	}
+	bits += uint64(v.activeBits)
+	if bits != v.nbits {
+		return fmt.Errorf("wah: encoded %d bits, recorded %d", bits, v.nbits)
+	}
+	return nil
+}

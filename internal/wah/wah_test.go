@@ -1,0 +1,229 @@
+package wah
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// decodeAll returns the positions of all set bits.
+func decodeAll(v *Vector) []uint64 {
+	var out []uint64
+	v.ForEachSet(func(pos uint64) { out = append(out, pos) })
+	return out
+}
+
+func TestAppendBitRoundTrip(t *testing.T) {
+	var v Vector
+	want := []uint64{0, 5, 30, 31, 62, 93, 100}
+	next := uint64(0)
+	for _, p := range want {
+		for ; next < p; next++ {
+			v.AppendBit(false)
+		}
+		v.AppendBit(true)
+		next = p + 1
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := decodeAll(&v)
+	if len(got) != len(want) {
+		t.Fatalf("decoded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decoded %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLongZeroRunCompresses(t *testing.T) {
+	var v Vector
+	v.AppendRun(31*1000000, false)
+	v.AppendBit(true)
+	if v.Words() > 2 {
+		t.Errorf("31M zero run used %d words, want <= 2", v.Words())
+	}
+	got := decodeAll(&v)
+	if len(got) != 1 || got[0] != 31*1000000 {
+		t.Errorf("decoded %v", got)
+	}
+}
+
+func TestLongOneRunCompresses(t *testing.T) {
+	var v Vector
+	v.AppendRun(31*100000, true)
+	if v.Words() > 1 {
+		t.Errorf("one-fill used %d words", v.Words())
+	}
+	if v.Count() != 31*100000 {
+		t.Errorf("Count = %d", v.Count())
+	}
+}
+
+func TestAllOnesLiteralBecomesFill(t *testing.T) {
+	var v Vector
+	for i := 0; i < 62; i++ {
+		v.AppendBit(true)
+	}
+	if v.Words() != 1 {
+		t.Errorf("62 ones used %d words, want 1 merged fill", v.Words())
+	}
+}
+
+func TestFillCounterSaturation(t *testing.T) {
+	var v Vector
+	// More groups than one fill word can count.
+	groups := uint64(maxGroups) + 5
+	v.AppendRun(groups*31, false)
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Words() != 2 {
+		t.Errorf("oversized fill used %d words, want 2", v.Words())
+	}
+	if v.Len() != groups*31 {
+		t.Errorf("Len = %d", v.Len())
+	}
+}
+
+func TestPendingLiteralVisible(t *testing.T) {
+	var v Vector
+	v.AppendBit(true)
+	v.AppendBit(false)
+	v.AppendBit(true)
+	got := decodeAll(&v)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("decoded %v", got)
+	}
+	if v.Len() != 3 {
+		t.Errorf("Len = %d", v.Len())
+	}
+}
+
+func TestOrIntoMatchesForEachSet(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	var v Vector
+	n := uint64(5000)
+	for i := uint64(0); i < n; i++ {
+		v.AppendBit(rng.IntN(7) == 0)
+	}
+	dst := make([]uint64, (n+63)/64)
+	v.OrInto(dst)
+	want := decodeAll(&v)
+	var got []uint64
+	for wi, w := range dst {
+		for b := 0; b < 64; b++ {
+			if w&(1<<uint(b)) != 0 {
+				got = append(got, uint64(wi*64+b))
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("OrInto decoded %d bits, ForEachSet %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: encode/decode round-trips against a dense model under random
+// AppendBit/AppendRun sequences.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x3a))
+		var v Vector
+		var model []bool
+		for op := 0; op < 30; op++ {
+			bit := rng.IntN(2) == 1
+			if rng.IntN(2) == 0 {
+				v.AppendBit(bit)
+				model = append(model, bit)
+			} else {
+				n := rng.IntN(200)
+				v.AppendRun(uint64(n), bit)
+				for i := 0; i < n; i++ {
+					model = append(model, bit)
+				}
+			}
+		}
+		if v.Validate() != nil {
+			return false
+		}
+		if v.Len() != uint64(len(model)) {
+			return false
+		}
+		decoded := make([]bool, len(model))
+		v.ForEachSet(func(pos uint64) { decoded[pos] = true })
+		for i := range model {
+			if decoded[i] != model[i] {
+				return false
+			}
+		}
+		var wantCount uint64
+		for _, b := range model {
+			if b {
+				wantCount++
+			}
+		}
+		return v.Count() == wantCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OrInto over multiple vectors equals the union of their sets.
+func TestQuickOrIntoUnion(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x44))
+		n := uint64(1 + rng.IntN(3000))
+		vecs := make([]Vector, 3)
+		model := make([]bool, n)
+		for k := range vecs {
+			for i := uint64(0); i < n; i++ {
+				bit := rng.IntN(11) == 0
+				vecs[k].AppendBit(bit)
+				if bit {
+					model[i] = true
+				}
+			}
+		}
+		dst := make([]uint64, (n+63)/64)
+		for k := range vecs {
+			vecs[k].OrInto(dst)
+		}
+		for i := uint64(0); i < n; i++ {
+			got := dst[i>>6]&(1<<(i&63)) != 0
+			if got != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrPayloadStraddle(t *testing.T) {
+	// Force a literal payload to straddle a 64-bit word boundary: bits
+	// 31..61 land in word 0, the next literal 62..92 straddles into
+	// word 1.
+	var v Vector
+	v.AppendRun(62, false)
+	v.AppendBit(true) // bit 62
+	v.AppendRun(29, false)
+	v.AppendBit(true) // bit 92
+	dst := make([]uint64, 2)
+	v.OrInto(dst)
+	if dst[0]&(1<<62) == 0 {
+		t.Error("bit 62 missing")
+	}
+	if dst[1]&(1<<(92-64)) == 0 {
+		t.Error("bit 92 missing")
+	}
+}

@@ -1,0 +1,210 @@
+// Package zonemap implements the zonemap comparator of the paper
+// (Sections 2.1 and 6): per-zone minimum and maximum value arrays, with
+// zone size equal to the cacheline covered by one imprint vector so the
+// comparison between the two indexes is apples-to-apples.
+package zonemap
+
+import (
+	"repro/internal/coltype"
+)
+
+// Index is a zonemap over a column: two aligned arrays holding the min
+// and max of each zone.
+type Index[V coltype.Value] struct {
+	col  []V
+	mins []V
+	maxs []V
+	vpz  int // values per zone
+	n    int
+}
+
+// Options configures zonemap construction.
+type Options struct {
+	// ValuesPerZone overrides the zone size; 0 derives it from the
+	// 64-byte cacheline like imprints do.
+	ValuesPerZone int
+}
+
+// Build constructs a zonemap over col. It panics if col is empty.
+func Build[V coltype.Value](col []V, opts Options) *Index[V] {
+	if len(col) == 0 {
+		panic("zonemap: empty column")
+	}
+	vpz := opts.ValuesPerZone
+	if vpz <= 0 {
+		vpz = coltype.ValuesPerCacheline[V]()
+	}
+	nz := (len(col) + vpz - 1) / vpz
+	ix := &Index[V]{
+		col:  col,
+		mins: make([]V, 0, nz),
+		maxs: make([]V, 0, nz),
+		vpz:  vpz,
+		n:    len(col),
+	}
+	for z := 0; z < nz; z++ {
+		from := z * vpz
+		to := from + vpz
+		if to > len(col) {
+			to = len(col)
+		}
+		lo, hi := col[from], col[from]
+		for _, v := range col[from+1 : to] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		ix.mins = append(ix.mins, lo)
+		ix.maxs = append(ix.maxs, hi)
+	}
+	return ix
+}
+
+// Len returns the number of values covered.
+func (ix *Index[V]) Len() int { return ix.n }
+
+// Zones returns the number of zones.
+func (ix *Index[V]) Zones() int { return len(ix.mins) }
+
+// ValuesPerZone returns the zone size in values.
+func (ix *Index[V]) ValuesPerZone() int { return ix.vpz }
+
+// SizeBytes returns the footprint: two value arrays.
+func (ix *Index[V]) SizeBytes() int64 {
+	return int64(len(ix.mins)+len(ix.maxs)) * int64(coltype.Width[V]())
+}
+
+// QueryStats mirrors core.QueryStats for the comparator: Probes counts
+// zone min/max inspections, Comparisons counts per-value checks.
+type QueryStats struct {
+	Probes       uint64
+	Comparisons  uint64
+	ZonesScanned uint64
+	ZonesExact   uint64
+	ZonesSkipped uint64
+}
+
+// RangeIDs returns ascending ids of values in [low, high). A zone whose
+// [min, max] lies entirely inside the query range is emitted without
+// value checks (the same rigidity as the imprints innermask fast path).
+func (ix *Index[V]) RangeIDs(low, high V, res []uint32) ([]uint32, QueryStats) {
+	var st QueryStats
+	col := ix.col
+	for z := 0; z < len(ix.mins); z++ {
+		st.Probes++
+		zmin, zmax := ix.mins[z], ix.maxs[z]
+		// Overlap test: [zmin, zmax] vs [low, high).
+		if zmax < low || zmin >= high {
+			st.ZonesSkipped++
+			continue
+		}
+		from := z * ix.vpz
+		to := from + ix.vpz
+		if to > ix.n {
+			to = ix.n
+		}
+		if zmin >= low && zmax < high {
+			// Fully contained: all values qualify.
+			st.ZonesExact++
+			for id := from; id < to; id++ {
+				res = append(res, uint32(id))
+			}
+			continue
+		}
+		st.ZonesScanned++
+		for id := from; id < to; id++ {
+			st.Comparisons++
+			v := col[id]
+			if v >= low && v < high {
+				res = append(res, uint32(id))
+			}
+		}
+	}
+	return res, st
+}
+
+// CountRange returns the number of values in [low, high).
+func (ix *Index[V]) CountRange(low, high V) (uint64, QueryStats) {
+	var st QueryStats
+	col := ix.col
+	var count uint64
+	for z := 0; z < len(ix.mins); z++ {
+		st.Probes++
+		zmin, zmax := ix.mins[z], ix.maxs[z]
+		if zmax < low || zmin >= high {
+			st.ZonesSkipped++
+			continue
+		}
+		from := z * ix.vpz
+		to := from + ix.vpz
+		if to > ix.n {
+			to = ix.n
+		}
+		if zmin >= low && zmax < high {
+			st.ZonesExact++
+			count += uint64(to - from)
+			continue
+		}
+		st.ZonesScanned++
+		for id := from; id < to; id++ {
+			st.Comparisons++
+			v := col[id]
+			if v >= low && v < high {
+				count++
+			}
+		}
+	}
+	return count, st
+}
+
+// Widen grows the zone covering row id so that it also admits value v —
+// the zonemap analogue of the imprint's MarkUpdated (Section 4.2):
+// queries stay sound (no false negatives) at the cost of looser bounds.
+func (ix *Index[V]) Widen(id int, v V) {
+	if id < 0 || id >= ix.n {
+		panic("zonemap: Widen id out of range")
+	}
+	z := id / ix.vpz
+	if v < ix.mins[z] {
+		ix.mins[z] = v
+	}
+	if v > ix.maxs[z] {
+		ix.maxs[z] = v
+	}
+}
+
+// Append extends the zonemap over newly appended rows; col must be the
+// complete column including the indexed prefix.
+func (ix *Index[V]) Append(col []V) {
+	if len(col) < ix.n {
+		panic("zonemap: Append column shorter than the indexed prefix")
+	}
+	ix.col = col
+	// The last zone may have been partial: recompute it.
+	if ix.n%ix.vpz != 0 && len(ix.mins) > 0 {
+		ix.mins = ix.mins[:len(ix.mins)-1]
+		ix.maxs = ix.maxs[:len(ix.maxs)-1]
+	}
+	start := len(ix.mins) * ix.vpz
+	for from := start; from < len(col); from += ix.vpz {
+		to := from + ix.vpz
+		if to > len(col) {
+			to = len(col)
+		}
+		lo, hi := col[from], col[from]
+		for _, v := range col[from+1 : to] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		ix.mins = append(ix.mins, lo)
+		ix.maxs = append(ix.maxs, hi)
+	}
+	ix.n = len(col)
+}

@@ -1,0 +1,238 @@
+package zonemap
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coltype"
+)
+
+func scanIDs[V coltype.Value](col []V, low, high V) []uint32 {
+	var ids []uint32
+	for i, v := range col {
+		if v >= low && v < high {
+			ids = append(ids, uint32(i))
+		}
+	}
+	return ids
+}
+
+func equalIDs(t *testing.T, got, want []uint32, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d ids, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id[%d] = %d, want %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestBuildGeometry(t *testing.T) {
+	col := make([]int64, 1000)
+	ix := Build(col, Options{})
+	if ix.ValuesPerZone() != 8 {
+		t.Errorf("ValuesPerZone = %d", ix.ValuesPerZone())
+	}
+	if ix.Zones() != 125 {
+		t.Errorf("Zones = %d", ix.Zones())
+	}
+	if ix.SizeBytes() != 125*2*8 {
+		t.Errorf("SizeBytes = %d", ix.SizeBytes())
+	}
+}
+
+func TestBuildPartialZone(t *testing.T) {
+	col := make([]int64, 1003)
+	for i := range col {
+		col[i] = int64(i)
+	}
+	ix := Build(col, Options{})
+	if ix.Zones() != 126 {
+		t.Errorf("Zones = %d, want 126", ix.Zones())
+	}
+	got, _ := ix.RangeIDs(1000, 1003, nil)
+	equalIDs(t, got, []uint32{1000, 1001, 1002}, "partial tail")
+}
+
+func TestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build([]int64{}, Options{})
+}
+
+func TestRangeAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	cols := map[string][]int64{}
+	sorted := make([]int64, 5000)
+	random := make([]int64, 5000)
+	for i := range sorted {
+		sorted[i] = int64(i * 2)
+		random[i] = int64(rng.IntN(100000))
+	}
+	cols["sorted"] = sorted
+	cols["random"] = random
+	for name, col := range cols {
+		ix := Build(col, Options{})
+		for q := 0; q < 50; q++ {
+			low := int64(rng.IntN(100000))
+			high := low + int64(rng.IntN(20000))
+			got, _ := ix.RangeIDs(low, high, nil)
+			equalIDs(t, got, scanIDs(col, low, high), name)
+		}
+	}
+}
+
+func TestFullInclusionFastPath(t *testing.T) {
+	col := make([]int64, 8000)
+	for i := range col {
+		col[i] = int64(i)
+	}
+	ix := Build(col, Options{})
+	ids, st := ix.RangeIDs(0, 8000, nil)
+	if len(ids) != 8000 {
+		t.Fatalf("full range returned %d ids", len(ids))
+	}
+	if st.ZonesExact != uint64(ix.Zones()) {
+		t.Errorf("ZonesExact = %d, want %d", st.ZonesExact, ix.Zones())
+	}
+	if st.Comparisons != 0 {
+		t.Errorf("Comparisons = %d, want 0", st.Comparisons)
+	}
+}
+
+func TestZonemapUselessOnSkewedData(t *testing.T) {
+	// Section 2.2: min+max in every cacheline defeats zonemaps — no zone
+	// can ever be skipped for an interior range.
+	rng := rand.New(rand.NewPCG(2, 2))
+	col := make([]int64, 8000)
+	for i := range col {
+		switch i % 8 {
+		case 0:
+			col[i] = 0
+		case 1:
+			col[i] = 1 << 40
+		default:
+			col[i] = int64(rng.IntN(1 << 40))
+		}
+	}
+	ix := Build(col, Options{})
+	_, st := ix.RangeIDs(1<<39, 1<<39+1<<34, nil)
+	if st.ZonesSkipped != 0 {
+		t.Errorf("zonemap skipped %d zones on min/max-skewed data", st.ZonesSkipped)
+	}
+	if st.Comparisons != uint64(len(col)) {
+		t.Errorf("Comparisons = %d, want %d (full check)", st.Comparisons, len(col))
+	}
+}
+
+func TestCountRangeMatchesRangeIDs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	col := make([]float64, 6000)
+	for i := range col {
+		col[i] = rng.Float64() * 1000
+	}
+	ix := Build(col, Options{})
+	for q := 0; q < 30; q++ {
+		low := rng.Float64() * 900
+		high := low + rng.Float64()*100
+		ids, _ := ix.RangeIDs(low, high, nil)
+		cnt, _ := ix.CountRange(low, high)
+		if uint64(len(ids)) != cnt {
+			t.Fatalf("CountRange = %d, len(RangeIDs) = %d", cnt, len(ids))
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	col := make([]int32, 16000)
+	for i := range col {
+		col[i] = int32(rng.IntN(1 << 20))
+	}
+	ix := Build(col, Options{})
+	_, st := ix.RangeIDs(0, 1<<19, nil)
+	if st.Probes != uint64(ix.Zones()) {
+		t.Errorf("Probes = %d, want %d", st.Probes, ix.Zones())
+	}
+	if st.ZonesExact+st.ZonesScanned+st.ZonesSkipped != uint64(ix.Zones()) {
+		t.Error("zone accounting does not sum")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	full := make([]int64, 4003)
+	for i := range full {
+		full[i] = int64(rng.IntN(10000))
+	}
+	for _, cut := range []int{1, 7, 8, 100, 4000} {
+		ix := Build(full[:cut], Options{})
+		ix.Append(full)
+		bulk := Build(full, Options{})
+		if ix.Zones() != bulk.Zones() {
+			t.Fatalf("cut %d: zones %d vs %d", cut, ix.Zones(), bulk.Zones())
+		}
+		got, _ := ix.RangeIDs(2000, 7000, nil)
+		want, _ := bulk.RangeIDs(2000, 7000, nil)
+		equalIDs(t, got, want, "append")
+	}
+}
+
+func TestAppendShorterPanics(t *testing.T) {
+	ix := Build(make([]int64, 100), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ix.Append(make([]int64, 50))
+}
+
+func TestCustomZoneSize(t *testing.T) {
+	col := make([]int64, 1024)
+	for i := range col {
+		col[i] = int64(i)
+	}
+	ix := Build(col, Options{ValuesPerZone: 128})
+	if ix.Zones() != 8 {
+		t.Errorf("Zones = %d, want 8", ix.Zones())
+	}
+	got, _ := ix.RangeIDs(100, 200, nil)
+	equalIDs(t, got, scanIDs(col, 100, 200), "custom zone")
+}
+
+// Property: zonemap results equal the scan oracle.
+func TestQuickRangeEqualsScan(t *testing.T) {
+	f := func(seed uint64, a, b int32) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x2222))
+		n := 1 + rng.IntN(3000)
+		col := make([]int32, n)
+		for i := range col {
+			col[i] = int32(rng.IntN(10000) - 5000)
+		}
+		ix := Build(col, Options{})
+		if a > b {
+			a, b = b, a
+		}
+		got, _ := ix.RangeIDs(a, b, nil)
+		want := scanIDs(col, a, b)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

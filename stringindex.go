@@ -1,0 +1,103 @@
+package imprints
+
+// StringIndex is a column imprint over a dictionary-encoded string
+// attribute: the distinct strings are assigned lexicographically ordered
+// int32 codes (see EncodeStrings), the imprint covers the code column,
+// and string range predicates translate to code ranges. This is how the
+// paper's "char" and "str" columns (Airtraffic, Cnet, TPC-H) are
+// indexed.
+type StringIndex struct {
+	dict *StringDict
+	ix   *Index[int32]
+}
+
+// BuildStringIndex dictionary-encodes vals and builds an imprint over
+// the code column.
+func BuildStringIndex(name string, vals []string, opts Options) *StringIndex {
+	dict := EncodeStrings(name, vals)
+	return &StringIndex{
+		dict: dict,
+		ix:   Build(dict.Codes().Values(), opts),
+	}
+}
+
+// Dict exposes the string dictionary.
+func (s *StringIndex) Dict() *StringDict { return s.dict }
+
+// Index exposes the underlying code imprint.
+func (s *StringIndex) Index() *Index[int32] { return s.ix }
+
+// Len returns the number of rows covered.
+func (s *StringIndex) Len() int { return s.ix.Len() }
+
+// SizeBytes returns the footprint: code imprint plus dictionary.
+func (s *StringIndex) SizeBytes() int64 {
+	return s.ix.SizeBytes() + s.dict.SizeBytes() - s.dict.Codes().SizeBytes()
+}
+
+// RangeIDs returns ascending ids of rows whose string lies in the
+// closed range [lo, hi] (string ranges are naturally inclusive: the
+// dictionary maps them to a half-open code range).
+func (s *StringIndex) RangeIDs(lo, hi string, res []uint32) ([]uint32, QueryStats) {
+	loCode, hiCode, ok := s.dict.CodeRange(lo, hi)
+	if !ok {
+		return res, QueryStats{}
+	}
+	return s.ix.RangeIDs(loCode, hiCode, res)
+}
+
+// EqualIDs returns ascending ids of rows equal to v.
+func (s *StringIndex) EqualIDs(v string, res []uint32) ([]uint32, QueryStats) {
+	return s.RangeIDs(v, v, res)
+}
+
+// PrefixIDs returns ascending ids of rows whose string starts with
+// prefix. Matching strings form the half-open range [prefix, upper)
+// where upper is prefix with its last byte incremented (prefixes ending
+// in 0xFF bytes shorten first).
+func (s *StringIndex) PrefixIDs(prefix string, res []uint32) ([]uint32, QueryStats) {
+	if prefix == "" {
+		n := s.ix.Len()
+		for id := 0; id < n; id++ {
+			res = append(res, uint32(id))
+		}
+		return res, QueryStats{}
+	}
+	upper := []byte(prefix)
+	for len(upper) > 0 && upper[len(upper)-1] == 0xFF {
+		upper = upper[:len(upper)-1]
+	}
+	if len(upper) == 0 {
+		// prefix is all 0xFF bytes: every string >= prefix matches it.
+		loCode, _, ok := s.dict.CodeRange(prefix, prefix)
+		if !ok {
+			// No exact run; fall back to the at-least scan over codes.
+			return s.atLeastString(prefix, res)
+		}
+		return s.ix.AtLeast(loCode, res)
+	}
+	upper[len(upper)-1]++
+	loCode, hiCode, ok := s.dict.CodeRangeExclusive(prefix, string(upper))
+	if !ok {
+		return res, QueryStats{}
+	}
+	return s.ix.RangeIDs(loCode, hiCode, res)
+}
+
+// atLeastString returns ids of rows with string >= lo.
+func (s *StringIndex) atLeastString(lo string, res []uint32) ([]uint32, QueryStats) {
+	if s.dict.Cardinality() == 0 {
+		return res, QueryStats{}
+	}
+	last := s.dict.Symbol(int32(s.dict.Cardinality() - 1))
+	loCode, _, ok := s.dict.CodeRange(lo, last)
+	if !ok {
+		return res, QueryStats{}
+	}
+	return s.ix.AtLeast(loCode, res)
+}
+
+// Symbol decodes a row's string value.
+func (s *StringIndex) Symbol(id uint32) string {
+	return s.dict.Symbol(s.dict.Codes().Get(int(id)))
+}

@@ -1,0 +1,130 @@
+package imprints
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func mkStrings(n int, seed uint64) []string {
+	rng := rand.New(rand.NewPCG(seed, 3))
+	cities := []string{"amsterdam", "berlin", "boston", "chicago", "denver",
+		"frankfurt", "london", "madrid", "paris", "prague", "tokyo", "vienna"}
+	out := make([]string, n)
+	for i := range out {
+		c := cities[rng.IntN(len(cities))]
+		if rng.IntN(3) == 0 {
+			c = c + fmt.Sprintf("-%d", rng.IntN(20))
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func stringScan(vals []string, pred func(string) bool) []uint32 {
+	var ids []uint32
+	for i, v := range vals {
+		if pred(v) {
+			ids = append(ids, uint32(i))
+		}
+	}
+	return ids
+}
+
+func checkIDs(t *testing.T, got, want []uint32, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d ids, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id[%d] = %d, want %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestStringIndexRange(t *testing.T) {
+	vals := mkStrings(5000, 1)
+	si := BuildStringIndex("city", vals, Options{Seed: 1})
+	if si.Len() != len(vals) {
+		t.Fatalf("Len = %d", si.Len())
+	}
+	got, _ := si.RangeIDs("berlin", "denver", nil)
+	want := stringScan(vals, func(v string) bool { return v >= "berlin" && v <= "denver" })
+	checkIDs(t, got, want, "closed string range")
+	// Empty range between entries.
+	if got, _ := si.RangeIDs("aaa", "aab", nil); len(got) != 0 {
+		t.Errorf("empty range returned %d ids", len(got))
+	}
+}
+
+func TestStringIndexEqual(t *testing.T) {
+	vals := mkStrings(3000, 2)
+	si := BuildStringIndex("city", vals, Options{Seed: 2})
+	got, _ := si.EqualIDs("paris", nil)
+	want := stringScan(vals, func(v string) bool { return v == "paris" })
+	checkIDs(t, got, want, "string equality")
+	for _, id := range got[:min(5, len(got))] {
+		if si.Symbol(id) != "paris" {
+			t.Errorf("Symbol(%d) = %q", id, si.Symbol(id))
+		}
+	}
+}
+
+func TestStringIndexPrefix(t *testing.T) {
+	vals := mkStrings(4000, 3)
+	si := BuildStringIndex("city", vals, Options{Seed: 3})
+	for _, prefix := range []string{"b", "bo", "paris", "tokyo-1", "zzz"} {
+		got, _ := si.PrefixIDs(prefix, nil)
+		want := stringScan(vals, func(v string) bool { return strings.HasPrefix(v, prefix) })
+		checkIDs(t, got, want, "prefix "+prefix)
+	}
+	// Empty prefix matches everything.
+	got, _ := si.PrefixIDs("", nil)
+	if len(got) != len(vals) {
+		t.Errorf("empty prefix: %d of %d", len(got), len(vals))
+	}
+}
+
+func TestStringIndexPrefixHighBytes(t *testing.T) {
+	vals := []string{"\xff\xffa", "\xff\xff", "plain", "\xfe"}
+	si := BuildStringIndex("s", vals, Options{Seed: 4})
+	got, _ := si.PrefixIDs("\xff\xff", nil)
+	want := stringScan(vals, func(v string) bool { return strings.HasPrefix(v, "\xff\xff") })
+	checkIDs(t, got, want, "0xFF prefix")
+}
+
+func TestStringIndexSizeAccountsDictionary(t *testing.T) {
+	vals := mkStrings(2000, 5)
+	si := BuildStringIndex("city", vals, Options{Seed: 5})
+	if si.SizeBytes() <= 0 {
+		t.Error("SizeBytes not positive")
+	}
+	if si.Dict().Cardinality() <= 0 || si.Index() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+// The dictionary guarantees order-preserving codes; double-check so the
+// range translation stays valid.
+func TestStringDictOrderPreserved(t *testing.T) {
+	vals := mkStrings(1000, 6)
+	si := BuildStringIndex("city", vals, Options{Seed: 6})
+	d := si.Dict()
+	var symbols []string
+	for c := int32(0); c < int32(d.Cardinality()); c++ {
+		symbols = append(symbols, d.Symbol(c))
+	}
+	if !sort.StringsAreSorted(symbols) {
+		t.Error("dictionary symbols not sorted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

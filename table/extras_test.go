@@ -1,0 +1,254 @@
+package table
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestInPredicate(t *testing.T) {
+	tb, _, _, status := mkTable(t, 4000, 30)
+	got, _, err := tb.Select(In[uint8]("status", 1, 3), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i, v := range status {
+		if v == 1 || v == 3 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "IN on unindexed")
+
+	// IN over an indexed column.
+	qty, _ := Column[int64](tb, "qty")
+	members := []int64{qty[0], qty[100], qty[2000]}
+	got, _, err = tb.Select(In("qty", members...), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int64]bool{}
+	for _, m := range members {
+		in[m] = true
+	}
+	want = nil
+	for i, v := range qty {
+		if in[v] {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "IN on imprinted")
+
+	// Type mismatch is an error.
+	if _, _, err := tb.Select(In[int32]("qty", 5), SelectOptions{}); err == nil {
+		t.Error("IN with wrong element type accepted")
+	}
+}
+
+func TestZonemapMode(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 31))
+	n := 5000
+	// Near-sorted data: the zonemap's sweet spot.
+	ts := make([]int64, n)
+	v := int64(0)
+	for i := 0; i < n; i++ {
+		v += int64(rng.IntN(10))
+		ts[i] = v
+	}
+	other := make([]float64, n)
+	for i := range other {
+		other[i] = rng.Float64() * 100
+	}
+	tb := New("events")
+	if err := AddColumn(tb, "ts", ts, Zonemap, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddColumn(tb, "score", other, Imprints, core.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IndexBytes() <= 0 {
+		t.Error("zonemap mode reports no index bytes")
+	}
+
+	// Every leaf kind over the zonemap column.
+	lo, hi := ts[n/4], ts[n/2]
+	got, st, err := tb.Select(Range[int64]("ts", lo, hi), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i, x := range ts {
+		if x >= lo && x < hi {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "zonemap range")
+	if st.Probes == 0 {
+		t.Error("zonemap leaf did not probe")
+	}
+
+	got, _, err = tb.Select(AtLeast[int64]("ts", hi), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = nil
+	for i, x := range ts {
+		if x >= hi {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "zonemap at-least")
+
+	got, _, err = tb.Select(LessThan[int64]("ts", lo), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = nil
+	for i, x := range ts {
+		if x < lo {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "zonemap less-than")
+
+	got, _, err = tb.Select(Equals[int64]("ts", ts[777]), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = nil
+	for i, x := range ts {
+		if x == ts[777] {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "zonemap equals")
+
+	got, _, err = tb.Select(In("ts", ts[5], ts[n-5]), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[int64]bool{ts[5]: true, ts[n-5]: true}
+	want = nil
+	for i, x := range ts {
+		if in[x] {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "zonemap in")
+
+	// Mixed zonemap + imprints conjunction.
+	got, _, err = tb.Select(And(
+		Range[int64]("ts", lo, hi),
+		LessThan[float64]("score", 25.0),
+	), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = nil
+	for i := range ts {
+		if ts[i] >= lo && ts[i] < hi && other[i] < 25 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "mixed zonemap+imprints AND")
+}
+
+func TestZonemapModeUpdatesAndAppends(t *testing.T) {
+	rng := rand.New(rand.NewPCG(32, 32))
+	ts := make([]int64, 2000)
+	for i := range ts {
+		ts[i] = int64(i * 3)
+	}
+	tb := New("e")
+	if err := AddColumn(tb, "ts", ts, Zonemap, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// In-place updates widen zones; queries stay sound.
+	live, _ := Column[int64](tb, "ts")
+	for u := 0; u < 150; u++ {
+		id := rng.IntN(len(live))
+		nv := int64(rng.IntN(6000))
+		if err := Update(tb, "ts", id, nv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo, hi := int64(1000), int64(2000)
+	got, _, err := tb.Select(Range[int64]("ts", lo, hi), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i, x := range live {
+		if x >= lo && x < hi {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "zonemap after updates")
+
+	// Batch append extends the zonemap.
+	b := tb.NewBatch()
+	if err := Append(b, "ts", []int64{9000, 9001, 9002}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = tb.Select(AtLeast[int64]("ts", 9000), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("appended rows not found: %v", got)
+	}
+}
+
+func TestZonemapModePersistence(t *testing.T) {
+	ts := make([]int64, 1000)
+	for i := range ts {
+		ts[i] = int64(i)
+	}
+	tb := New("z")
+	if err := AddColumn(tb, "ts", ts, Zonemap, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, st, err := got.Select(Range[int64]("ts", 100, 200), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 100 {
+		t.Errorf("persisted zonemap query: %d ids", len(ids))
+	}
+	if st.Probes == 0 {
+		t.Error("rebuilt zonemap did not probe")
+	}
+}
+
+func TestReadRow(t *testing.T) {
+	tb, qty, price, status := mkTable(t, 100, 33)
+	row, err := tb.ReadRow(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row["qty"] != qty[42] || row["price"] != price[42] || row["status"] != status[42] {
+		t.Errorf("ReadRow(42) = %v", row)
+	}
+	if _, err := tb.ReadRow(100); err == nil {
+		t.Error("out-of-range row read accepted")
+	}
+	if err := tb.Delete(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.ReadRow(10); err == nil {
+		t.Error("deleted row read accepted")
+	}
+}

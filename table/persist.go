@@ -1,0 +1,231 @@
+package table
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+
+	"repro/internal/colfile"
+	"repro/internal/coltype"
+	"repro/internal/core"
+)
+
+// Persistence format (little endian):
+//
+//	magic "CTBL", version uint16
+//	nameLen uint16, name bytes
+//	rows uint64, ncols uint16
+//	per column:
+//	  nameLen uint16, name bytes
+//	  kind uint8 (reflect.Kind), mode uint8 (IndexMode)
+//	  column payload (colfile format, self-delimiting)
+//	  hasIndex uint8; if 1: index image (core serialization, self-delimiting)
+//
+// Deleted-row marks are not persisted: Compact before Write (Write
+// refuses otherwise, keeping load semantics unambiguous).
+
+const (
+	tableMagic   = "CTBL"
+	tableVersion = 1
+)
+
+// ErrCorrupt reports an invalid persisted table.
+var ErrCorrupt = errors.New("table: corrupt persisted table")
+
+// Write persists the table: column payloads plus index images.
+// Tables with pending deletes must be compacted first.
+func (t *Table) Write(w io.Writer) error {
+	if t.ndel > 0 {
+		return fmt.Errorf("table %s: compact before persisting (%d deleted rows pending)", t.name, t.ndel)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(tableMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(tableVersion)); err != nil {
+		return err
+	}
+	if err := writeString(bw, t.name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(t.rows)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(t.order))); err != nil {
+		return err
+	}
+	for _, name := range t.order {
+		if err := t.cols[name].persist(bw); err != nil {
+			return fmt.Errorf("table %s, column %s: %w", t.name, name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > 1<<16-1 {
+		return fmt.Errorf("name too long")
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// persist is part of anyColumn (implemented on colState).
+func (c *colState[V]) persist(w io.Writer) error {
+	if err := writeString(w, c.name); err != nil {
+		return err
+	}
+	var kind [2]byte
+	var zero V
+	kind[0] = uint8(reflect.TypeOf(zero).Kind())
+	kind[1] = uint8(c.mode)
+	if _, err := w.Write(kind[:]); err != nil {
+		return err
+	}
+	if err := colfile.Write(w, c.vals); err != nil {
+		return err
+	}
+	hasIx := byte(0)
+	if c.ix != nil {
+		hasIx = 1
+	}
+	if _, err := w.Write([]byte{hasIx}); err != nil {
+		return err
+	}
+	if c.ix != nil {
+		return c.ix.Write(w)
+	}
+	return nil
+}
+
+// Read loads a table persisted with Write.
+func Read(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(magic) != tableMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if version != tableVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var rows uint64
+	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var ncols uint16
+	if err := binary.Read(br, binary.LittleEndian, &ncols); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	t := New(name)
+	for i := 0; i < int(ncols); i++ {
+		if err := readColumn(t, br); err != nil {
+			return nil, err
+		}
+	}
+	if t.rows != int(rows) {
+		return nil, fmt.Errorf("%w: header says %d rows, columns carry %d", ErrCorrupt, rows, t.rows)
+	}
+	return t, nil
+}
+
+func readColumn(t *Table, r io.Reader) error {
+	name, err := readString(r)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var kindMode [2]byte
+	if _, err := io.ReadFull(r, kindMode[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	mode := IndexMode(kindMode[1])
+	if mode != Imprints && mode != NoIndex && mode != Zonemap {
+		return fmt.Errorf("%w: column %s has invalid index mode %d", ErrCorrupt, name, mode)
+	}
+	switch reflect.Kind(kindMode[0]) {
+	case reflect.Int8:
+		return loadColumn[int8](t, name, mode, r)
+	case reflect.Int16:
+		return loadColumn[int16](t, name, mode, r)
+	case reflect.Int32:
+		return loadColumn[int32](t, name, mode, r)
+	case reflect.Int64:
+		return loadColumn[int64](t, name, mode, r)
+	case reflect.Uint8:
+		return loadColumn[uint8](t, name, mode, r)
+	case reflect.Uint16:
+		return loadColumn[uint16](t, name, mode, r)
+	case reflect.Uint32:
+		return loadColumn[uint32](t, name, mode, r)
+	case reflect.Uint64:
+		return loadColumn[uint64](t, name, mode, r)
+	case reflect.Float32:
+		return loadColumn[float32](t, name, mode, r)
+	case reflect.Float64:
+		return loadColumn[float64](t, name, mode, r)
+	}
+	return fmt.Errorf("%w: column %s has unsupported kind %d", ErrCorrupt, name, kindMode[0])
+}
+
+func loadColumn[V coltype.Value](t *Table, name string, mode IndexMode, r io.Reader) error {
+	vals, err := colfile.Read[V](r)
+	if err != nil {
+		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+	}
+	var hasIx [1]byte
+	if _, err := io.ReadFull(r, hasIx[:]); err != nil {
+		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+	}
+	cs := &colState[V]{name: name, vals: vals, mode: mode}
+	if hasIx[0] == 1 {
+		ix, err := core.ReadIndex[V](r, vals)
+		if err != nil {
+			return fmt.Errorf("column %s: %w", name, err)
+		}
+		cs.ix = ix
+	} else {
+		// Persisted without an image (zonemap mode, or empty at save
+		// time): rebuild whatever index the mode calls for.
+		cs.rebuild()
+	}
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("%w: duplicate column %s", ErrCorrupt, name)
+	}
+	if len(t.order) > 0 && len(vals) != t.rows {
+		return fmt.Errorf("%w: column %s has %d rows, table has %d", ErrCorrupt, name, len(vals), t.rows)
+	}
+	t.cols[name] = cs
+	t.order = append(t.order, name)
+	if len(t.order) == 1 {
+		t.rows = len(vals)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package table
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestTablePersistRoundTrip(t *testing.T) {
+	tb, qty, price, status := mkTable(t, 3000, 21)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != tb.Name() || got.Rows() != tb.Rows() {
+		t.Fatalf("meta mismatch: %s/%d", got.Name(), got.Rows())
+	}
+	cols := got.Columns()
+	if len(cols) != 3 || cols[0] != "qty" || cols[1] != "price" || cols[2] != "status" {
+		t.Fatalf("columns = %v", cols)
+	}
+	// Values survive.
+	gq, err := Column[int64](got, "qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qty {
+		if gq[i] != qty[i] {
+			t.Fatalf("qty[%d] differs", i)
+		}
+	}
+	// Indexes survive and queries agree.
+	pred := And(
+		Range[int64]("qty", 950, 1100),
+		Range[float64]("price", 10.0, 60.0),
+		Equals[uint8]("status", 1),
+	)
+	a, _, err := tb.Select(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := got.Select(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalIDs(t, b, a, "persisted query")
+	_ = price
+	_ = status
+	// The unindexed column stayed unindexed.
+	if ix, _ := Index[uint8](got, "status"); ix != nil {
+		t.Error("NoIndex column gained an index through persistence")
+	}
+	// Loaded tables keep working: append a batch.
+	batch := got.NewBatch()
+	if err := Append(batch, "qty", []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(batch, "price", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(batch, "status", []uint8{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != tb.Rows()+2 {
+		t.Errorf("append after load: rows = %d", got.Rows())
+	}
+}
+
+func TestTablePersistRefusesPendingDeletes(t *testing.T) {
+	tb, _, _, _ := mkTable(t, 100, 22)
+	if err := tb.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err == nil {
+		t.Fatal("Write accepted pending deletes")
+	}
+	tb.Compact()
+	if err := tb.Write(&buf); err != nil {
+		t.Fatalf("Write after compact: %v", err)
+	}
+}
+
+func TestTablePersistCorruption(t *testing.T) {
+	tb, _, _, _ := mkTable(t, 500, 23)
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Garbage and truncations.
+	if _, err := Read(bytes.NewReader([]byte("not a table"))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage: %v", err)
+	}
+	for _, cut := range []int{0, 3, 10, len(raw) / 3, len(raw) - 1} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Random bit flips: must never load silently as valid with wrong
+	// content... at minimum the index CRCs and structural checks catch
+	// flips in their regions; header flips fail fast. We only require
+	// no panic and, when the flip hits an index image, an error.
+	rng := rand.New(rand.NewPCG(24, 24))
+	for trial := 0; trial < 30; trial++ {
+		corrupted := append([]byte(nil), raw...)
+		corrupted[rng.IntN(len(corrupted))] ^= 1 << uint(rng.IntN(8))
+		_, _ = Read(bytes.NewReader(corrupted)) // must not panic
+	}
+}
+
+func TestTablePersistEmptyTable(t *testing.T) {
+	tb := New("empty")
+	var buf bytes.Buffer
+	if err := tb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 0 || len(got.Columns()) != 0 {
+		t.Errorf("empty table loaded as %d rows %v", got.Rows(), got.Columns())
+	}
+}

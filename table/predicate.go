@@ -1,0 +1,547 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/coltype"
+	"repro/internal/core"
+	"repro/internal/zonemap"
+)
+
+// BlockRows is the row granularity at which table-level predicates are
+// composed. Columns of different value widths cover different numbers
+// of rows per imprint vector (8 for 8-byte values up to 64 for 1-byte
+// values); normalizing every column's candidate list to blocks of 64
+// rows makes run lists from mixed-width columns merge-joinable.
+const BlockRows = 64
+
+// Predicate is a node of a selection tree over one table.
+type Predicate interface{ isPred() }
+
+type leafKind int
+
+const (
+	kindRange leafKind = iota // low <= v < high
+	kindAtLeast
+	kindLessThan
+	kindEquals
+	kindIn // v in set (low holds the []V)
+)
+
+// leafPred holds type-erased bounds; the owning column re-types them.
+type leafPred struct {
+	col       string
+	kind      leafKind
+	low, high any
+}
+
+func (*leafPred) isPred() {}
+
+type andPred struct{ kids []Predicate }
+type orPred struct{ kids []Predicate }
+type andNotPred struct{ p, q Predicate }
+
+func (*andPred) isPred()    {}
+func (*orPred) isPred()     {}
+func (*andNotPred) isPred() {}
+
+// Range selects rows with low <= column < high.
+func Range[V coltype.Value](col string, low, high V) Predicate {
+	return &leafPred{col: col, kind: kindRange, low: low, high: high}
+}
+
+// AtLeast selects rows with column >= low.
+func AtLeast[V coltype.Value](col string, low V) Predicate {
+	return &leafPred{col: col, kind: kindAtLeast, low: low}
+}
+
+// LessThan selects rows with column < high.
+func LessThan[V coltype.Value](col string, high V) Predicate {
+	return &leafPred{col: col, kind: kindLessThan, high: high}
+}
+
+// Equals selects rows with column == v.
+func Equals[V coltype.Value](col string, v V) Predicate {
+	return &leafPred{col: col, kind: kindEquals, low: v}
+}
+
+// In selects rows whose column equals any of the given values (an
+// IN-list, answered in a single index pass).
+func In[V coltype.Value](col string, values ...V) Predicate {
+	return &leafPred{col: col, kind: kindIn, low: values}
+}
+
+// And selects rows satisfying every child predicate.
+func And(ps ...Predicate) Predicate { return &andPred{kids: ps} }
+
+// Or selects rows satisfying at least one child predicate.
+func Or(ps ...Predicate) Predicate { return &orPred{kids: ps} }
+
+// AndNot selects rows satisfying p but not q.
+func AndNot(p, q Predicate) Predicate { return &andNotPred{p: p, q: q} }
+
+// SelectOptions tunes evaluation.
+type SelectOptions struct {
+	// ScanThreshold disables index probing for a leaf whose estimated
+	// selectivity is above it (the paper's optimizer remark: prefer a
+	// scan for unselective predicates). 0 means the default of 0.95;
+	// set above 1 to always probe.
+	ScanThreshold float64
+}
+
+func (o SelectOptions) threshold() float64 {
+	if o.ScanThreshold == 0 {
+		return 0.95
+	}
+	return o.ScanThreshold
+}
+
+// evaluated is the composable form of a predicate subtree: candidate
+// row-block runs plus the exact residual row check.
+type evaluated struct {
+	runs  []core.CandidateRun // in BlockRows units
+	check core.CheckFunc
+}
+
+// Select evaluates a predicate tree with late materialization and
+// returns the ascending ids of qualifying, non-deleted rows.
+func (t *Table) Select(p Predicate, opts SelectOptions) ([]uint32, core.QueryStats, error) {
+	var st core.QueryStats
+	ev, err := t.eval(p, opts, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	var res []uint32
+	for _, r := range ev.runs {
+		from := int(r.Start) * BlockRows
+		to := (int(r.Start) + int(r.Count)) * BlockRows
+		if to > t.rows {
+			to = t.rows
+		}
+		for id := from; id < to; id++ {
+			if t.deleted != nil && t.deleted.Get(id) {
+				continue
+			}
+			if !r.Exact {
+				st.Comparisons++
+				if !ev.check(uint32(id)) {
+					continue
+				}
+			}
+			res = append(res, uint32(id))
+		}
+	}
+	return res, st, nil
+}
+
+// Count evaluates a predicate tree and returns the number of
+// qualifying rows without materializing ids.
+func (t *Table) Count(p Predicate, opts SelectOptions) (uint64, core.QueryStats, error) {
+	var st core.QueryStats
+	ev, err := t.eval(p, opts, &st)
+	if err != nil {
+		return 0, st, err
+	}
+	var n uint64
+	for _, r := range ev.runs {
+		from := int(r.Start) * BlockRows
+		to := (int(r.Start) + int(r.Count)) * BlockRows
+		if to > t.rows {
+			to = t.rows
+		}
+		if r.Exact && t.ndel == 0 {
+			n += uint64(to - from)
+			continue
+		}
+		for id := from; id < to; id++ {
+			if t.deleted != nil && t.deleted.Get(id) {
+				continue
+			}
+			if !r.Exact {
+				st.Comparisons++
+				if !ev.check(uint32(id)) {
+					continue
+				}
+			}
+			n++
+		}
+	}
+	return n, st, nil
+}
+
+// eval recursively evaluates a predicate subtree.
+func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
+	switch node := p.(type) {
+	case *leafPred:
+		return t.evalLeaf(node, opts, st)
+	case *andPred:
+		if len(node.kids) == 0 {
+			return evaluated{}, fmt.Errorf("table %s: empty AND", t.name)
+		}
+		acc, err := t.eval(node.kids[0], opts, st)
+		if err != nil {
+			return evaluated{}, err
+		}
+		checks := []core.CheckFunc{acc.check}
+		for _, kid := range node.kids[1:] {
+			ev, err := t.eval(kid, opts, st)
+			if err != nil {
+				return evaluated{}, err
+			}
+			acc.runs = core.IntersectRuns(acc.runs, ev.runs)
+			checks = append(checks, ev.check)
+		}
+		acc.check = allOf(checks)
+		return acc, nil
+	case *orPred:
+		if len(node.kids) == 0 {
+			return evaluated{}, fmt.Errorf("table %s: empty OR", t.name)
+		}
+		acc, err := t.eval(node.kids[0], opts, st)
+		if err != nil {
+			return evaluated{}, err
+		}
+		checks := []core.CheckFunc{acc.check}
+		for _, kid := range node.kids[1:] {
+			ev, err := t.eval(kid, opts, st)
+			if err != nil {
+				return evaluated{}, err
+			}
+			acc.runs = core.UnionRuns(acc.runs, ev.runs)
+			checks = append(checks, ev.check)
+		}
+		acc.check = anyOf(checks)
+		return acc, nil
+	case *andNotPred:
+		evP, err := t.eval(node.p, opts, st)
+		if err != nil {
+			return evaluated{}, err
+		}
+		evQ, err := t.eval(node.q, opts, st)
+		if err != nil {
+			return evaluated{}, err
+		}
+		pc, qc := evP.check, evQ.check
+		return evaluated{
+			runs:  core.DiffRuns(evP.runs, evQ.runs),
+			check: func(id uint32) bool { return pc(id) && !qc(id) },
+		}, nil
+	}
+	return evaluated{}, fmt.Errorf("table %s: unknown predicate %T", t.name, p)
+}
+
+func (t *Table) evalLeaf(p *leafPred, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
+	c, ok := t.cols[p.col]
+	if !ok {
+		return evaluated{}, fmt.Errorf("table %s: no column %q", t.name, p.col)
+	}
+	check, err := c.leafCheck(p)
+	if err != nil {
+		return evaluated{}, err
+	}
+	// Cost-based access path: skip index probing for unselective leaves.
+	if est, err := c.estimate(p); err == nil && est > opts.threshold() {
+		return evaluated{runs: t.fullSpan(), check: check}, nil
+	}
+	runs, s, err := c.leafRuns(p)
+	if err != nil {
+		return evaluated{}, err
+	}
+	st.Add(s)
+	return evaluated{runs: runs, check: check}, nil
+}
+
+// fullSpan covers every row block, inexactly.
+func (t *Table) fullSpan() []core.CandidateRun {
+	blocks := (t.rows + BlockRows - 1) / BlockRows
+	if blocks == 0 {
+		return nil
+	}
+	return []core.CandidateRun{{Start: 0, Count: uint32(blocks), Exact: false}}
+}
+
+func allOf(checks []core.CheckFunc) core.CheckFunc {
+	return func(id uint32) bool {
+		for _, c := range checks {
+			if !c(id) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func anyOf(checks []core.CheckFunc) core.CheckFunc {
+	return func(id uint32) bool {
+		for _, c := range checks {
+			if c(id) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ---- typed leaf evaluation on colState ----
+
+func leafBounds[V coltype.Value](c *colState[V], p *leafPred) (low, high V, err error) {
+	cast := func(x any) (V, error) {
+		if x == nil {
+			var zero V
+			return zero, nil
+		}
+		v, ok := x.(V)
+		if !ok {
+			return v, fmt.Errorf("column %q is %s but predicate bound is %T",
+				c.name, coltype.TypeName[V](), x)
+		}
+		return v, nil
+	}
+	if low, err = cast(p.low); err != nil {
+		return low, high, err
+	}
+	high, err = cast(p.high)
+	return low, high, err
+}
+
+func (c *colState[V]) inSet(p *leafPred) ([]V, error) {
+	set, ok := p.low.([]V)
+	if !ok {
+		return nil, fmt.Errorf("column %q is %s but IN-list holds %T",
+			c.name, coltype.TypeName[V](), p.low)
+	}
+	return set, nil
+}
+
+func (c *colState[V]) leafCheck(p *leafPred) (core.CheckFunc, error) {
+	vals := c.vals
+	if p.kind == kindIn {
+		set, err := c.inSet(p)
+		if err != nil {
+			return nil, err
+		}
+		member := make(map[V]struct{}, len(set))
+		for _, v := range set {
+			member[v] = struct{}{}
+		}
+		return func(id uint32) bool { _, ok := member[vals[id]]; return ok }, nil
+	}
+	low, high, err := leafBounds(c, p)
+	if err != nil {
+		return nil, err
+	}
+	switch p.kind {
+	case kindRange:
+		return func(id uint32) bool { v := vals[id]; return v >= low && v < high }, nil
+	case kindAtLeast:
+		return func(id uint32) bool { return vals[id] >= low }, nil
+	case kindLessThan:
+		return func(id uint32) bool { return vals[id] < high }, nil
+	case kindEquals:
+		return func(id uint32) bool { return vals[id] == low }, nil
+	}
+	return nil, fmt.Errorf("column %q: unknown leaf kind %d", c.name, p.kind)
+}
+
+func (c *colState[V]) leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStats, error) {
+	if c.ix == nil && c.zm == nil {
+		// Scan-only column: every block is a candidate, but the bounds
+		// (or IN-list) must still type-check.
+		if p.kind == kindIn {
+			if _, err := c.inSet(p); err != nil {
+				return nil, core.QueryStats{}, err
+			}
+		} else if _, _, err := leafBounds(c, p); err != nil {
+			return nil, core.QueryStats{}, err
+		}
+		totalCl := (len(c.vals) + BlockRows - 1) / BlockRows
+		if totalCl == 0 {
+			return nil, core.QueryStats{}, nil
+		}
+		return []core.CandidateRun{{Start: 0, Count: uint32(totalCl)}}, core.QueryStats{}, nil
+	}
+	var runs []core.CandidateRun
+	var st core.QueryStats
+	var vpc int
+	if c.ix != nil {
+		vpc = c.ix.ValuesPerCacheline()
+		if p.kind == kindIn {
+			set, err := c.inSet(p)
+			if err != nil {
+				return nil, st, err
+			}
+			runs, st = c.ix.InSetCachelines(set)
+		} else {
+			low, high, err := leafBounds(c, p)
+			if err != nil {
+				return nil, st, err
+			}
+			switch p.kind {
+			case kindRange:
+				runs, st = c.ix.RangeCachelines(low, high)
+			case kindAtLeast:
+				runs, st = c.ix.AtLeastCachelines(low)
+			case kindLessThan:
+				runs, st = c.ix.LessThanCachelines(high)
+			case kindEquals:
+				runs, st = c.ix.PointCachelines(low)
+			default:
+				return nil, st, fmt.Errorf("column %q: unknown leaf kind %d", c.name, p.kind)
+			}
+		}
+	} else {
+		vpc = c.zm.ValuesPerZone()
+		var zst zonemap.QueryStats
+		if p.kind == kindIn {
+			set, err := c.inSet(p)
+			if err != nil {
+				return nil, st, err
+			}
+			runs, zst = c.zm.InSetCachelines(set)
+		} else {
+			low, high, err := leafBounds(c, p)
+			if err != nil {
+				return nil, st, err
+			}
+			switch p.kind {
+			case kindRange:
+				runs, zst = c.zm.RangeCachelines(low, high)
+			case kindAtLeast:
+				runs, zst = c.zm.AtLeastCachelines(low)
+			case kindLessThan:
+				runs, zst = c.zm.LessThanCachelines(high)
+			case kindEquals:
+				runs, zst = c.zm.PointCachelines(low)
+			default:
+				return nil, st, fmt.Errorf("column %q: unknown leaf kind %d", c.name, p.kind)
+			}
+		}
+		st = core.QueryStats{
+			Probes:            zst.Probes,
+			Comparisons:       zst.Comparisons,
+			CachelinesScanned: zst.ZonesScanned,
+			CachelinesExact:   zst.ZonesExact,
+			CachelinesSkipped: zst.ZonesSkipped,
+		}
+	}
+	cls := (len(c.vals) + vpc - 1) / vpc
+	return blocksFromCachelines(runs, BlockRows/vpc, cls), st, nil
+}
+
+func (c *colState[V]) estimate(p *leafPred) (float64, error) {
+	if c.ix == nil {
+		return 0.5, nil
+	}
+	if p.kind == kindIn {
+		set, err := c.inSet(p)
+		if err != nil {
+			return 0, err
+		}
+		est := float64(len(set)) / float64(c.ix.Bins())
+		if est > 1 {
+			est = 1
+		}
+		return est, nil
+	}
+	low, high, err := leafBounds(c, p)
+	if err != nil {
+		return 0, err
+	}
+	switch p.kind {
+	case kindRange:
+		return c.ix.EstimateSelectivity(low, high), nil
+	case kindAtLeast:
+		return c.ix.EstimateSelectivity(low, coltype.MaxOf[V]()), nil
+	case kindLessThan:
+		return c.ix.EstimateSelectivity(coltype.MinOf[V](), high), nil
+	case kindEquals:
+		// Crude point estimate: one bin's share.
+		return 1 / float64(c.ix.Bins()), nil
+	}
+	return 0.5, nil
+}
+
+// blocksFromCachelines renormalizes a cacheline run list (vpc rows per
+// cacheline) into BlockRows blocks: f = cachelines per block. A block is
+// a candidate if any of its cachelines is, and exact only if every one
+// of its (existing) cachelines is covered exactly — exactness may only
+// shrink under coarsening, candidacy may only grow; both directions are
+// sound (false positives are re-checked, exact rows truly all qualify).
+//
+// Runs spanning many whole blocks are translated in O(1); only the
+// partial head/tail blocks of each run need accumulation.
+func blocksFromCachelines(runs []core.CandidateRun, f int, totalCl int) []core.CandidateRun {
+	if f == 1 || len(runs) == 0 {
+		return runs
+	}
+	var out []core.CandidateRun
+	push := func(start, count uint32, exact bool) {
+		if count == 0 {
+			return
+		}
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Exact == exact && last.Start+last.Count == start {
+				last.Count += count
+				return
+			}
+		}
+		out = append(out, core.CandidateRun{Start: start, Count: count, Exact: exact})
+	}
+
+	// Accumulator for the block currently being assembled from partial
+	// run pieces.
+	accBlock := -1
+	accCovered := 0
+	accExact := true
+	blockLen := func(b int) int {
+		l := totalCl - b*f
+		if l > f {
+			l = f
+		}
+		return l
+	}
+	flush := func() {
+		if accBlock < 0 {
+			return
+		}
+		push(uint32(accBlock), 1, accExact && accCovered == blockLen(accBlock))
+		accBlock = -1
+	}
+	addPiece := func(b, covered int, exact bool) {
+		if accBlock != b {
+			flush()
+			accBlock = b
+			accCovered = 0
+			accExact = true
+		}
+		accCovered += covered
+		accExact = accExact && exact
+	}
+
+	for _, r := range runs {
+		clStart := int(r.Start)
+		clEnd := clStart + int(r.Count)
+		b0 := clStart / f
+		b1 := (clEnd - 1) / f // last block touched
+		if b0 == b1 {
+			addPiece(b0, clEnd-clStart, r.Exact)
+			continue
+		}
+		// Head partial (or full) block.
+		headEnd := (b0 + 1) * f
+		addPiece(b0, headEnd-clStart, r.Exact)
+		flush()
+		// Middle whole blocks in one go.
+		mb1 := clEnd / f // first block NOT fully covered
+		if mb1 > b0+1 {
+			push(uint32(b0+1), uint32(mb1-(b0+1)), r.Exact)
+		}
+		// Tail partial block.
+		if tail := clEnd - mb1*f; tail > 0 {
+			addPiece(mb1, tail, r.Exact)
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,391 @@
+// Package table provides the columnar-relation substrate around the
+// imprints index: a Table is a set of equal-length typed columns with
+// per-column secondary indexes (imprints or zonemaps), batch appends
+// (Section 4.1), in-place updates with index widening, delete tracking,
+// rebuild policies (Section 4.2), tuple reconstruction (ReadRow), whole-
+// table persistence, and a composable predicate engine that evaluates
+// Range/AtLeast/LessThan/Equals/In leaves under AND/OR/AND-NOT trees
+// with late materialization (Section 3), choosing between index and
+// scan per leaf based on estimated selectivity.
+package table
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/coltype"
+	"repro/internal/core"
+	"repro/internal/zonemap"
+)
+
+// IndexMode selects the secondary index maintained for a column.
+type IndexMode int
+
+const (
+	// Imprints builds a column imprints index (the default).
+	Imprints IndexMode = iota
+	// NoIndex leaves the column scan-only.
+	NoIndex
+	// Zonemap maintains a per-cacheline min/max zonemap instead of an
+	// imprint (the paper's comparator, useful for near-sorted columns
+	// where its two values per zone beat the imprint's bit vector).
+	Zonemap
+)
+
+// anyColumn is the type-erased per-column state.
+type anyColumn interface {
+	colName() string
+	colRows() int
+	colType() string
+	sizeBytes() int64
+	indexBytes() int64
+	rebuild()           // rebuild the index from current values
+	needsRebuild() bool // saturation heuristic
+	compact(keep []int) // drop deleted rows (ids to keep, ascending)
+	valueAt(id int) any
+	persist(io.Writer) error
+	leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStats, error)
+	leafCheck(p *leafPred) (core.CheckFunc, error)
+	estimate(p *leafPred) (float64, error)
+}
+
+// colState is the concrete typed column state.
+type colState[V coltype.Value] struct {
+	name    string
+	vals    []V
+	ix      *core.Index[V]
+	zm      *zonemap.Index[V]
+	mode    IndexMode
+	vpcOpts core.Options
+}
+
+// Table is a named relation.
+type Table struct {
+	name    string
+	order   []string
+	cols    map[string]anyColumn
+	rows    int
+	deleted *bitvec.Vector // lazily sized; nil when nothing deleted
+	ndel    int
+}
+
+// New creates an empty table.
+func New(name string) *Table {
+	return &Table{name: name, cols: map[string]anyColumn{}}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Rows returns the number of rows, including deleted-but-not-compacted
+// ones.
+func (t *Table) Rows() int { return t.rows }
+
+// LiveRows returns the number of rows not marked deleted.
+func (t *Table) LiveRows() int { return t.rows - t.ndel }
+
+// Columns lists column names in definition order.
+func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
+
+// SizeBytes returns total column payload bytes.
+func (t *Table) SizeBytes() int64 {
+	var s int64
+	for _, c := range t.cols {
+		s += c.sizeBytes()
+	}
+	return s
+}
+
+// IndexBytes returns total secondary index bytes.
+func (t *Table) IndexBytes() int64 {
+	var s int64
+	for _, c := range t.cols {
+		s += c.indexBytes()
+	}
+	return s
+}
+
+// AddColumn defines a new column with initial values. All columns must
+// stay the same length: the first column fixes the row count and later
+// ones must match it.
+func AddColumn[V coltype.Value](t *Table, name string, vals []V, mode IndexMode, opts core.Options) error {
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("table %s: column %q already exists", t.name, name)
+	}
+	if len(t.order) > 0 && len(vals) != t.rows {
+		return fmt.Errorf("table %s: column %q has %d rows, table has %d",
+			t.name, name, len(vals), t.rows)
+	}
+	cs := &colState[V]{name: name, vals: vals, mode: mode, vpcOpts: opts}
+	cs.rebuild()
+	t.cols[name] = cs
+	t.order = append(t.order, name)
+	if len(t.order) == 1 {
+		t.rows = len(vals)
+	}
+	return nil
+}
+
+// Column returns the typed values of a column (read-only view).
+func Column[V coltype.Value](t *Table, name string) ([]V, error) {
+	cs, err := typedCol[V](t, name)
+	if err != nil {
+		return nil, err
+	}
+	return cs.vals, nil
+}
+
+// Index returns the imprints index of a column, or nil if unindexed.
+func Index[V coltype.Value](t *Table, name string) (*core.Index[V], error) {
+	cs, err := typedCol[V](t, name)
+	if err != nil {
+		return nil, err
+	}
+	return cs.ix, nil
+}
+
+func typedCol[V coltype.Value](t *Table, name string) (*colState[V], error) {
+	c, ok := t.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("table %s: no column %q", t.name, name)
+	}
+	cs, ok := c.(*colState[V])
+	if !ok {
+		return nil, fmt.Errorf("table %s: column %q holds %s, not %s",
+			t.name, name, c.colType(), coltype.TypeName[V]())
+	}
+	return cs, nil
+}
+
+// ---- Batch appends (Section 4.1) ----
+
+// Batch stages one append of N rows across all columns. Staged data
+// lives inside the batch, so abandoning one never affects the table or
+// other batches.
+type Batch struct {
+	t      *Table
+	rows   int               // -1 until first column staged
+	staged map[string]func() // commit actions, one per staged column
+}
+
+// NewBatch starts an append batch.
+func (t *Table) NewBatch() *Batch {
+	return &Batch{t: t, rows: -1, staged: map[string]func(){}}
+}
+
+// Append stages new values for one column of the batch.
+func Append[V coltype.Value](b *Batch, name string, vals []V) error {
+	cs, err := typedCol[V](b.t, name)
+	if err != nil {
+		return err
+	}
+	if _, dup := b.staged[name]; dup {
+		return fmt.Errorf("table %s: column %q already staged in this batch", b.t.name, name)
+	}
+	if b.rows == -1 {
+		b.rows = len(vals)
+	} else if len(vals) != b.rows {
+		return fmt.Errorf("table %s: batch stages %d rows but column %q got %d",
+			b.t.name, b.rows, name, len(vals))
+	}
+	vcopy := append([]V(nil), vals...)
+	b.staged[name] = func() { cs.absorb(vcopy) }
+	return nil
+}
+
+// Commit validates that every column received the same number of new
+// rows and extends columns and indexes. On error nothing is applied.
+func (b *Batch) Commit() error {
+	if b.rows <= 0 {
+		b.staged = map[string]func(){}
+		b.rows = -1
+		return nil
+	}
+	for _, name := range b.t.order {
+		if _, ok := b.staged[name]; !ok {
+			return fmt.Errorf("table %s: batch is missing column %q", b.t.name, name)
+		}
+	}
+	for _, name := range b.t.order {
+		b.staged[name]()
+	}
+	b.t.rows += b.rows
+	if b.t.deleted != nil {
+		grown := bitvec.New(b.t.rows)
+		copy(grown.Words(), b.t.deleted.Words())
+		b.t.deleted = grown
+	}
+	b.staged = map[string]func(){}
+	b.rows = -1
+	return nil
+}
+
+// ---- anyColumn implementation ----
+
+func (c *colState[V]) colName() string { return c.name }
+func (c *colState[V]) colRows() int    { return len(c.vals) }
+func (c *colState[V]) colType() string { return coltype.TypeName[V]() }
+func (c *colState[V]) sizeBytes() int64 {
+	return int64(len(c.vals)) * int64(coltype.Width[V]())
+}
+
+func (c *colState[V]) indexBytes() int64 {
+	switch {
+	case c.ix != nil:
+		return c.ix.SizeBytes()
+	case c.zm != nil:
+		return c.zm.SizeBytes()
+	}
+	return 0
+}
+
+// absorb extends the column (and its index) with committed batch rows.
+func (c *colState[V]) absorb(vals []V) {
+	c.vals = append(c.vals, vals...)
+	switch c.mode {
+	case Imprints:
+		if c.ix == nil {
+			c.ix = core.Build(c.vals, c.vpcOpts)
+		} else {
+			c.ix.Append(c.vals)
+		}
+	case Zonemap:
+		if c.zm == nil {
+			c.zm = zonemap.Build(c.vals, zonemap.Options{})
+		} else {
+			c.zm.Append(c.vals)
+		}
+	}
+}
+
+func (c *colState[V]) rebuild() {
+	if len(c.vals) == 0 {
+		return
+	}
+	switch c.mode {
+	case Imprints:
+		c.ix = core.Build(c.vals, c.vpcOpts)
+	case Zonemap:
+		c.zm = zonemap.Build(c.vals, zonemap.Options{})
+	}
+}
+
+func (c *colState[V]) valueAt(id int) any { return c.vals[id] }
+
+func (c *colState[V]) needsRebuild() bool {
+	return c.ix != nil && c.ix.NeedsRebuild(0.5, 0, 0)
+}
+
+func (c *colState[V]) compact(keep []int) {
+	out := make([]V, 0, len(keep))
+	for _, id := range keep {
+		out = append(out, c.vals[id])
+	}
+	c.vals = out
+	c.rebuild()
+}
+
+// ---- Updates and deletes (Section 4.2) ----
+
+// Update changes one value in place and widens the covering imprint so
+// queries stay sound (never a false negative). Repeated updates
+// saturate the index; Maintain rebuilds it when they do.
+func Update[V coltype.Value](t *Table, name string, id int, v V) error {
+	cs, err := typedCol[V](t, name)
+	if err != nil {
+		return err
+	}
+	if id < 0 || id >= len(cs.vals) {
+		return fmt.Errorf("table %s: row %d out of range", t.name, id)
+	}
+	cs.vals[id] = v
+	if cs.ix != nil {
+		cs.ix.MarkUpdated(id, v)
+	}
+	if cs.zm != nil {
+		cs.zm.Widen(id, v)
+	}
+	return nil
+}
+
+// Delete marks a row deleted; it stops appearing in query results.
+// Space is reclaimed by Compact.
+func (t *Table) Delete(id int) error {
+	if id < 0 || id >= t.rows {
+		return fmt.Errorf("table %s: row %d out of range", t.name, id)
+	}
+	if t.deleted == nil {
+		t.deleted = bitvec.New(t.rows)
+	}
+	if !t.deleted.Get(id) {
+		t.deleted.Set(id)
+		t.ndel++
+	}
+	return nil
+}
+
+// IsDeleted reports whether a row is deleted.
+func (t *Table) IsDeleted(id int) bool {
+	return t.deleted != nil && t.deleted.Get(id)
+}
+
+// Compact removes deleted rows, renumbering ids, and rebuilds all
+// indexes. It returns the number of rows removed.
+func (t *Table) Compact() int {
+	if t.ndel == 0 {
+		return 0
+	}
+	keep := make([]int, 0, t.rows-t.ndel)
+	for id := 0; id < t.rows; id++ {
+		if !t.deleted.Get(id) {
+			keep = append(keep, id)
+		}
+	}
+	for _, c := range t.cols {
+		c.compact(keep)
+	}
+	removed := t.ndel
+	t.rows = len(keep)
+	t.deleted = nil
+	t.ndel = 0
+	return removed
+}
+
+// Maintain applies the rebuild policy: any index saturated by updates
+// is rebuilt, and the table is compacted when more than delFrac of its
+// rows are deleted. It returns the names of rebuilt columns.
+func (t *Table) Maintain(delFrac float64) []string {
+	var rebuilt []string
+	for _, name := range t.order {
+		c := t.cols[name]
+		if c.needsRebuild() {
+			c.rebuild()
+			rebuilt = append(rebuilt, name)
+		}
+	}
+	if delFrac > 0 && t.rows > 0 && float64(t.ndel)/float64(t.rows) >= delFrac {
+		t.Compact()
+		rebuilt = append(rebuilt, "(compacted)")
+	}
+	sort.Strings(rebuilt)
+	return rebuilt
+}
+
+// ReadRow reconstructs one row as a name -> value map (the tuple
+// reconstruction of Section 2: values from different columns with the
+// same id belong to the same tuple).
+func (t *Table) ReadRow(id int) (map[string]any, error) {
+	if id < 0 || id >= t.rows {
+		return nil, fmt.Errorf("table %s: row %d out of range", t.name, id)
+	}
+	if t.IsDeleted(id) {
+		return nil, fmt.Errorf("table %s: row %d is deleted", t.name, id)
+	}
+	row := make(map[string]any, len(t.order))
+	for _, name := range t.order {
+		row[name] = t.cols[name].valueAt(id)
+	}
+	return row, nil
+}

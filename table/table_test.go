@@ -1,0 +1,489 @@
+package table
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// mkTable builds a three-column test relation: int64 walk, float64
+// uniform, uint8 categorical (mixed value widths on purpose: 8, 8, 64
+// rows per cacheline respectively).
+func mkTable(t *testing.T, n int, seed uint64) (*Table, []int64, []float64, []uint8) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0x7ab1e))
+	qty := make([]int64, n)
+	price := make([]float64, n)
+	status := make([]uint8, n)
+	v := int64(1000)
+	for i := 0; i < n; i++ {
+		v += int64(rng.IntN(21)) - 10
+		qty[i] = v
+		price[i] = rng.Float64() * 100
+		status[i] = uint8(rng.IntN(5))
+	}
+	tb := New("orders")
+	if err := AddColumn(tb, "qty", qty, Imprints, core.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddColumn(tb, "price", price, Imprints, core.Options{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddColumn(tb, "status", status, NoIndex, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return tb, qty, price, status
+}
+
+func equalIDs(t *testing.T, got, want []uint32, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d ids, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: id[%d] = %d, want %d", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tb, _, _, _ := mkTable(t, 1000, 1)
+	if tb.Name() != "orders" || tb.Rows() != 1000 || tb.LiveRows() != 1000 {
+		t.Errorf("table meta wrong: %s %d", tb.Name(), tb.Rows())
+	}
+	cols := tb.Columns()
+	if len(cols) != 3 || cols[0] != "qty" || cols[2] != "status" {
+		t.Errorf("Columns = %v", cols)
+	}
+	if tb.SizeBytes() != 1000*(8+8+1) {
+		t.Errorf("SizeBytes = %d", tb.SizeBytes())
+	}
+	if tb.IndexBytes() <= 0 {
+		t.Error("IndexBytes missing")
+	}
+	vals, err := Column[int64](tb, "qty")
+	if err != nil || len(vals) != 1000 {
+		t.Fatalf("Column: %v", err)
+	}
+	ix, err := Index[int64](tb, "qty")
+	if err != nil || ix == nil {
+		t.Fatalf("Index: %v", err)
+	}
+	if ix2, err := Index[uint8](tb, "status"); err != nil || ix2 != nil {
+		t.Errorf("unindexed column returned index (%v)", err)
+	}
+}
+
+func TestAddColumnErrors(t *testing.T) {
+	tb := New("t")
+	if err := AddColumn(tb, "a", []int64{1, 2, 3}, Imprints, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddColumn(tb, "a", []int64{1, 2, 3}, Imprints, core.Options{}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := AddColumn(tb, "b", []int64{1}, Imprints, core.Options{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Column[float64](tb, "a"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := Column[int64](tb, "zzz"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestSelectSingleLeaf(t *testing.T) {
+	tb, qty, _, _ := mkTable(t, 5000, 2)
+	got, st, err := tb.Select(Range[int64]("qty", 900, 1100), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i, v := range qty {
+		if v >= 900 && v < 1100 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "single leaf")
+	if st.Probes == 0 {
+		t.Error("no probes recorded despite index")
+	}
+}
+
+func TestSelectLeafKinds(t *testing.T) {
+	tb, qty, _, status := mkTable(t, 3000, 3)
+	got, _, err := tb.Select(AtLeast[int64]("qty", 1000), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i, v := range qty {
+		if v >= 1000 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "at-least")
+
+	got, _, err = tb.Select(LessThan[int64]("qty", 950), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = nil
+	for i, v := range qty {
+		if v < 950 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "less-than")
+
+	got, _, err = tb.Select(Equals[uint8]("status", 3), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = nil
+	for i, v := range status {
+		if v == 3 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "equals on unindexed")
+}
+
+func TestSelectMixedWidthConjunction(t *testing.T) {
+	// qty is int64 (8 rows/cacheline), status is uint8 (64 rows per
+	// cacheline, unindexed): the block normalization must line them up.
+	tb, qty, price, status := mkTable(t, 7003, 4)
+	pred := And(
+		Range[int64]("qty", 950, 1050),
+		Range[float64]("price", 20.0, 80.0),
+		Equals[uint8]("status", 1),
+	)
+	got, _, err := tb.Select(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i := range qty {
+		if qty[i] >= 950 && qty[i] < 1050 && price[i] >= 20 && price[i] < 80 && status[i] == 1 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "mixed-width AND")
+}
+
+func TestSelectOrAndNotTrees(t *testing.T) {
+	tb, qty, price, status := mkTable(t, 5000, 5)
+	pred := Or(
+		And(Range[int64]("qty", 900, 950), LessThan[float64]("price", 50.0)),
+		AndNot(Equals[uint8]("status", 2), Range[int64]("qty", 1000, 1100)),
+	)
+	got, _, err := tb.Select(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i := range qty {
+		a := qty[i] >= 900 && qty[i] < 950 && price[i] < 50
+		b := status[i] == 2 && !(qty[i] >= 1000 && qty[i] < 1100)
+		if a || b {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "OR/ANDNOT tree")
+}
+
+func TestSelectErrors(t *testing.T) {
+	tb, _, _, _ := mkTable(t, 100, 6)
+	if _, _, err := tb.Select(Range[int64]("nope", 0, 1), SelectOptions{}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, _, err := tb.Select(Range[int32]("qty", 0, 1), SelectOptions{}); err == nil {
+		t.Error("wrong bound type accepted")
+	}
+	if _, _, err := tb.Select(And(), SelectOptions{}); err == nil {
+		t.Error("empty AND accepted")
+	}
+	if _, _, err := tb.Select(Or(), SelectOptions{}); err == nil {
+		t.Error("empty OR accepted")
+	}
+}
+
+func TestCountMatchesSelect(t *testing.T) {
+	tb, _, _, _ := mkTable(t, 4000, 7)
+	pred := And(Range[int64]("qty", 950, 1100), Range[float64]("price", 10.0, 60.0))
+	ids, _, err := tb.Select(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := tb.Count(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(ids)) {
+		t.Errorf("Count = %d, Select = %d", n, len(ids))
+	}
+}
+
+func TestBatchAppend(t *testing.T) {
+	tb, qty, price, status := mkTable(t, 1000, 8)
+	rng := rand.New(rand.NewPCG(9, 9))
+	newQty := make([]int64, 500)
+	newPrice := make([]float64, 500)
+	newStatus := make([]uint8, 500)
+	for i := range newQty {
+		newQty[i] = int64(900 + rng.IntN(300))
+		newPrice[i] = rng.Float64() * 100
+		newStatus[i] = uint8(rng.IntN(5))
+	}
+	b := tb.NewBatch()
+	if err := Append(b, "qty", newQty); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(b, "price", newPrice); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(b, "status", newStatus); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 1500 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+	all := append(append([]int64(nil), qty...), newQty...)
+	allP := append(append([]float64(nil), price...), newPrice...)
+	allS := append(append([]uint8(nil), status...), newStatus...)
+	got, _, err := tb.Select(And(
+		Range[int64]("qty", 950, 1050),
+		LessThan[float64]("price", 50.0),
+		Equals[uint8]("status", 2),
+	), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i := range all {
+		if all[i] >= 950 && all[i] < 1050 && allP[i] < 50 && allS[i] == 2 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "after batch append")
+}
+
+func TestBatchValidation(t *testing.T) {
+	tb, _, _, _ := mkTable(t, 100, 10)
+	b := tb.NewBatch()
+	if err := Append(b, "qty", []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched count within the batch.
+	if err := Append(b, "price", []float64{1}); err == nil {
+		t.Error("mismatched batch column accepted")
+	}
+	// Missing column on commit.
+	b2 := tb.NewBatch()
+	if err := Append(b2, "qty", []int64{5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Commit(); err == nil {
+		t.Error("partial batch committed")
+	}
+	if tb.Rows() != 100 {
+		t.Errorf("failed commits changed row count: %d", tb.Rows())
+	}
+	// Empty batch commit is a no-op.
+	if err := tb.NewBatch().Commit(); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+func TestUpdateAndQuery(t *testing.T) {
+	tb, qty, _, _ := mkTable(t, 2000, 11)
+	rng := rand.New(rand.NewPCG(12, 12))
+	for u := 0; u < 200; u++ {
+		id := rng.IntN(len(qty))
+		nv := int64(800 + rng.IntN(500))
+		if err := Update(tb, "qty", id, nv); err != nil {
+			t.Fatal(err)
+		}
+		qty[id] = nv // Column() returns the live slice; mirror it
+	}
+	got, _, err := tb.Select(Range[int64]("qty", 900, 1000), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i, v := range qty {
+		if v >= 900 && v < 1000 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "after updates")
+	if err := Update(tb, "qty", 99999, int64(5)); err == nil {
+		t.Error("out-of-range update accepted")
+	}
+}
+
+func TestDeleteAndCompact(t *testing.T) {
+	tb, qty, _, _ := mkTable(t, 3000, 13)
+	rng := rand.New(rand.NewPCG(14, 14))
+	deleted := map[int]bool{}
+	for d := 0; d < 600; d++ {
+		id := rng.IntN(3000)
+		if err := tb.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		deleted[id] = true
+	}
+	if tb.LiveRows() != 3000-len(deleted) {
+		t.Fatalf("LiveRows = %d, want %d", tb.LiveRows(), 3000-len(deleted))
+	}
+	pred := Range[int64]("qty", 900, 1100)
+	got, _, err := tb.Select(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i, v := range qty {
+		if !deleted[i] && v >= 900 && v < 1100 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "after deletes")
+
+	// Compact renumbers ids.
+	removed := tb.Compact()
+	if removed != len(deleted) {
+		t.Fatalf("Compact removed %d, want %d", removed, len(deleted))
+	}
+	if tb.Rows() != 3000-removed || tb.LiveRows() != tb.Rows() {
+		t.Fatalf("rows after compact: %d", tb.Rows())
+	}
+	got, _, err = tb.Select(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []int64
+	for i, v := range qty {
+		if !deleted[i] {
+			live = append(live, v)
+		}
+	}
+	want = nil
+	for i, v := range live {
+		if v >= 900 && v < 1100 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, got, want, "after compact")
+}
+
+func TestMaintainRebuilds(t *testing.T) {
+	tb, qty, _, _ := mkTable(t, 2000, 15)
+	rng := rand.New(rand.NewPCG(16, 16))
+	// Saturate the qty imprint with scattered updates drawn from the
+	// column's own domain (out-of-domain values would all land in one
+	// overflow bin and barely saturate anything).
+	for u := 0; u < 20000; u++ {
+		id := rng.IntN(2000)
+		_ = Update(tb, "qty", id, qty[rng.IntN(len(qty))])
+	}
+	rebuilt := tb.Maintain(0.5)
+	found := false
+	for _, name := range rebuilt {
+		if name == "qty" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Maintain did not rebuild qty (rebuilt: %v)", rebuilt)
+	}
+	// Deletion-driven compaction.
+	for id := 0; id < 1200; id++ {
+		_ = tb.Delete(id)
+	}
+	rebuilt = tb.Maintain(0.5)
+	if tb.Rows() != 800 {
+		t.Errorf("Maintain did not compact: rows=%d (%v)", tb.Rows(), rebuilt)
+	}
+}
+
+func TestScanThresholdSkipsProbing(t *testing.T) {
+	tb, qty, _, _ := mkTable(t, 4000, 17)
+	lo, hi := int64(0), int64(1<<40) // ~everything
+	// Default threshold: full-range query should skip index probes.
+	_, st, err := tb.Select(Range[int64]("qty", lo, hi), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Probes != 0 {
+		t.Errorf("unselective leaf probed the index %d times", st.Probes)
+	}
+	// Forcing probing still yields correct results.
+	got, st2, err := tb.Select(Range[int64]("qty", lo, hi), SelectOptions{ScanThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Probes == 0 {
+		t.Error("forced probing did not probe")
+	}
+	if len(got) != len(qty) {
+		t.Errorf("full range returned %d of %d", len(got), len(qty))
+	}
+}
+
+// Property-style sweep: random predicate trees against a naive oracle.
+func TestRandomPredicateTrees(t *testing.T) {
+	tb, qty, price, status := mkTable(t, 3000, 18)
+	rng := rand.New(rand.NewPCG(19, 19))
+	leaf := func() (Predicate, func(i int) bool) {
+		switch rng.IntN(4) {
+		case 0:
+			lo := int64(850 + rng.IntN(300))
+			hi := lo + int64(rng.IntN(200))
+			return Range[int64]("qty", lo, hi), func(i int) bool { return qty[i] >= lo && qty[i] < hi }
+		case 1:
+			x := rng.Float64() * 100
+			return LessThan[float64]("price", x), func(i int) bool { return price[i] < x }
+		case 2:
+			x := rng.Float64() * 100
+			return AtLeast[float64]("price", x), func(i int) bool { return price[i] >= x }
+		default:
+			s := uint8(rng.IntN(5))
+			return Equals[uint8]("status", s), func(i int) bool { return status[i] == s }
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		p1, f1 := leaf()
+		p2, f2 := leaf()
+		p3, f3 := leaf()
+		var pred Predicate
+		var oracle func(i int) bool
+		switch rng.IntN(3) {
+		case 0:
+			pred = And(p1, Or(p2, p3))
+			oracle = func(i int) bool { return f1(i) && (f2(i) || f3(i)) }
+		case 1:
+			pred = Or(p1, AndNot(p2, p3))
+			oracle = func(i int) bool { return f1(i) || (f2(i) && !f3(i)) }
+		default:
+			pred = AndNot(And(p1, p2), p3)
+			oracle = func(i int) bool { return f1(i) && f2(i) && !f3(i) }
+		}
+		got, _, err := tb.Select(pred, SelectOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []uint32
+		for i := 0; i < 3000; i++ {
+			if oracle(i) {
+				want = append(want, uint32(i))
+			}
+		}
+		equalIDs(t, got, want, "random tree")
+	}
+}
