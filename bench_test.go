@@ -520,7 +520,7 @@ func BenchmarkTableSelect(b *testing.B) {
 	)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := tb.Select(pred, table.SelectOptions{}); err != nil {
+		if _, _, err := tb.Select().Where(pred).IDs(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,10 +1,13 @@
 // Command imprintbench regenerates the tables and figures of the column
-// imprints paper (SIGMOD 2013) over the synthetic dataset suite.
+// imprints paper (SIGMOD 2013) over the synthetic dataset suite, plus
+// the queryplan experiment, which drives the table package's lazy Query
+// API and reports the per-leaf EXPLAIN access paths (imprints probe vs
+// zonemap vs scan fallback) over a mixed numeric/string relation.
 //
 // Usage:
 //
-//	imprintbench [-exp all|table1|fig3|...|fig11[,...]] [-scale 1.0]
-//	             [-seed 42] [-queries 3] [-maxcols 0]
+//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan[,...]]
+//	             [-scale 1.0] [-seed 42] [-queries 3] [-maxcols 0]
 //	             [-format text|csv] [-outdir DIR]
 //
 // The default output is the text rendering of each experiment: the same

@@ -1,5 +1,7 @@
-// Quickstart: build a column imprints index over an integer column, run
-// a range query, and inspect what the index did.
+// Quickstart: put a column into a table, run a range query through the
+// lazy Query API, and inspect what the index did — the plan via
+// Explain, the work via QueryStats, and the underlying imprint
+// structure via the facade.
 package main
 
 import (
@@ -7,6 +9,7 @@ import (
 	"math/rand/v2"
 
 	imprints "repro"
+	"repro/table"
 )
 
 func main() {
@@ -20,10 +23,17 @@ func main() {
 		col[i] = v
 	}
 
-	// Build the index. Options{} follows the paper's defaults: 2048-value
-	// sample, up to 64 histogram bins, one imprint vector per 64-byte
-	// cacheline.
-	ix := imprints.Build(col, imprints.Options{})
+	// A one-column table. Options{} follows the paper's defaults:
+	// 2048-value sample, up to 64 histogram bins, one imprint vector
+	// per 64-byte cacheline.
+	tb := table.New("sensor")
+	if err := table.AddColumn(tb, "reading", col, table.Imprints, imprints.Options{}); err != nil {
+		panic(err)
+	}
+	ix, err := table.Index[int64](tb, "reading")
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("indexed %d values in %d cachelines\n", ix.Len(), ix.Cachelines())
 	fmt.Printf("stored vectors: %d (compression ratio %.4f)\n",
@@ -32,8 +42,19 @@ func main() {
 		ix.SizeBytes(), 100*float64(ix.SizeBytes())/float64(8*len(col)))
 	fmt.Printf("column entropy: %.3f\n\n", ix.Entropy())
 
-	// Range query: ids of all values in [19000, 19500).
-	ids, stats := ix.RangeIDs(19_000, 19_500, nil)
+	// A lazy query: ids of all values in [19000, 19500). Explain shows
+	// the plan before anything is materialized.
+	q := tb.Select().Where(table.Range[int64]("reading", 19_000, 19_500))
+	plan, err := q.Explain()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan)
+
+	ids, stats, err := q.IDs()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("query [19000,19500): %d matches\n", len(ids))
 	fmt.Printf("  cachelines skipped: %d, checked: %d, emitted wholesale: %d\n",
 		stats.CachelinesSkipped, stats.CachelinesScanned, stats.CachelinesExact)
@@ -43,6 +64,21 @@ func main() {
 	// Cross-check against the sequential scan baseline.
 	want, _ := imprints.ScanRange(col, 19_000, 19_500, nil)
 	fmt.Printf("  scan agrees: %v\n", equal(ids, want))
+
+	// Streaming access: the first few matches, no id slice in sight.
+	// Always check Err after ranging: plan errors (a typo'd column,
+	// say) yield no rows instead of panicking.
+	fmt.Println("\nfirst 3 matches (streamed):")
+	shown := 0
+	for id, row := range q.Rows() {
+		fmt.Printf("  row %d: %s\n", id, row)
+		if shown++; shown == 3 {
+			break
+		}
+	}
+	if err := q.Err(); err != nil {
+		panic(err)
+	}
 
 	// The first few lines of the imprint, Figure 3 style.
 	fmt.Printf("\nimprint fingerprint (first 8 cachelines):\n%s", ix.Fingerprint(8))

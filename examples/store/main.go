@@ -1,7 +1,9 @@
-// Store: the full columnar-relation substrate around imprints — a table
-// with mixed-width columns, per-column imprint indexes, batch appends,
-// predicate trees with late materialization, in-place updates, deletes
-// and the maintenance policy, in one lifecycle.
+// Store: the full columnar-relation substrate around imprints through
+// the lazy Query API — a table with mixed-width numeric columns and a
+// dictionary-encoded string column, per-column imprint indexes,
+// predicate trees with late materialization, EXPLAIN plans, streaming
+// row iteration, batch appends, in-place updates, deletes and the
+// maintenance policy, in one lifecycle.
 package main
 
 import (
@@ -13,60 +15,95 @@ import (
 	"repro/table"
 )
 
+var warehouses = []string{
+	"Amsterdam", "Antwerp", "Berlin", "Hamburg", "Lisbon",
+	"London", "Lyon", "Madrid", "Milan", "Paris", "Prague", "Rotterdam",
+}
+
 func main() {
 	rng := rand.New(rand.NewPCG(20, 26))
 
 	// An orders table: quantity (int64 walk), price (float64), status
-	// (uint8 categorical, deliberately left unindexed).
+	// (uint8 categorical, deliberately left unindexed), and warehouse
+	// city (string, dictionary-encoded with a code imprint).
 	const n = 500_000
 	qty := make([]int64, n)
 	price := make([]float64, n)
 	status := make([]uint8, n)
+	city := make([]string, n)
 	v := int64(5000)
 	for i := 0; i < n; i++ {
 		v += int64(rng.IntN(21)) - 10
 		qty[i] = v
 		price[i] = rng.Float64() * 1000
 		status[i] = uint8(rng.IntN(4))
+		// Orders arrive in warehouse bursts: locally clustered strings,
+		// the shape imprints exploit.
+		city[i] = warehouses[(i/512+rng.IntN(2))%len(warehouses)]
 	}
 
 	tb := table.New("orders")
 	must(table.AddColumn(tb, "qty", qty, table.Imprints, imprints.Options{Seed: 1}))
 	must(table.AddColumn(tb, "price", price, table.Imprints, imprints.Options{Seed: 2}))
 	must(table.AddColumn(tb, "status", status, table.NoIndex, imprints.Options{}))
+	must(tb.AddStringColumn("city", city, table.Imprints, imprints.Options{Seed: 3}))
 	fmt.Printf("table %s: %d rows, %.1f MB data, %.2f MB indexes (%.1f%%)\n",
 		tb.Name(), tb.Rows(),
 		float64(tb.SizeBytes())/(1<<20), float64(tb.IndexBytes())/(1<<20),
 		100*float64(tb.IndexBytes())/float64(tb.SizeBytes()))
 
-	// A predicate tree: (qty in [4900,5100) AND price < 250) OR
-	// (status == 3 AND NOT qty in [5000, 5050)).
+	// A predicate tree mixing numeric and string leaves:
+	// (qty in [4900,5100) AND price < 250 AND city in ["Lisbon","Milan"])
+	// OR (status == 3 AND NOT city prefix "A").
 	pred := table.Or(
 		table.And(
 			table.Range[int64]("qty", 4900, 5100),
 			table.LessThan[float64]("price", 250),
+			table.StrRange("city", "Lisbon", "Milan"),
 		),
 		table.AndNot(
 			table.Equals[uint8]("status", 3),
-			table.Range[int64]("qty", 5000, 5050),
+			table.StrPrefix("city", "A"),
 		),
 	)
-	t0 := time.Now()
-	ids, st, err := tb.Select(pred, table.SelectOptions{})
+
+	// EXPLAIN first: the per-leaf plan — imprints probe vs scan, the
+	// estimated selectivity behind each choice, candidate-run stats.
+	plan, err := tb.Select("qty", "price", "city").Where(pred).Explain()
 	must(err)
-	fmt.Printf("\npredicate tree: %d rows in %v (%d index probes, %d value checks)\n",
+	fmt.Printf("\n%s\n", plan)
+
+	t0 := time.Now()
+	ids, st, err := tb.Select().Where(pred).IDs()
+	must(err)
+	fmt.Printf("predicate tree: %d rows in %v (%d index probes, %d value checks)\n",
 		len(ids), time.Since(t0).Round(time.Microsecond), st.Probes, st.Comparisons)
 
 	// Verify against a hand-written scan.
 	count := 0
 	for i := 0; i < n; i++ {
-		a := qty[i] >= 4900 && qty[i] < 5100 && price[i] < 250
-		b := status[i] == 3 && !(qty[i] >= 5000 && qty[i] < 5050)
+		a := qty[i] >= 4900 && qty[i] < 5100 && price[i] < 250 &&
+			city[i] >= "Lisbon" && city[i] <= "Milan"
+		b := status[i] == 3 && city[i][0] != 'A'
 		if a || b {
 			count++
 		}
 	}
 	fmt.Printf("hand-written scan agrees: %v (%d rows)\n", count == len(ids), count)
+
+	// Streaming rows: late materialization end to end — only projected
+	// columns of qualifying rows are fetched, and breaking out early
+	// does no wasted work.
+	fmt.Println("\nfirst 3 matches (streamed):")
+	shown := 0
+	q := tb.Select("qty", "price", "city").Where(pred)
+	for id, row := range q.Rows() {
+		fmt.Printf("  row %6d: %s\n", id, row)
+		if shown++; shown == 3 {
+			break
+		}
+	}
+	must(q.Err())
 
 	// Daily load: batch append across all columns atomically.
 	batch := tb.NewBatch()
@@ -74,15 +111,18 @@ func main() {
 	nq := make([]int64, newN)
 	np := make([]float64, newN)
 	ns := make([]uint8, newN)
+	nc := make([]string, newN)
 	for i := 0; i < newN; i++ {
 		v += int64(rng.IntN(21)) - 10
 		nq[i] = v
 		np[i] = rng.Float64() * 1000
 		ns[i] = uint8(rng.IntN(4))
+		nc[i] = warehouses[rng.IntN(len(warehouses))]
 	}
 	must(table.Append(batch, "qty", nq))
 	must(table.Append(batch, "price", np))
 	must(table.Append(batch, "status", ns))
+	must(batch.AppendStrings("city", nc))
 	must(batch.Commit())
 	fmt.Printf("\nafter batch append: %d rows\n", tb.Rows())
 
@@ -91,31 +131,35 @@ func main() {
 		id := rng.IntN(tb.Rows())
 		must(table.Update(tb, "price", id, rng.Float64()*1000))
 	}
+	must(tb.UpdateString("city", 7, "Porto")) // novel string: re-encode
 	for d := 0; d < 30_000; d++ {
 		must(tb.Delete(rng.IntN(tb.Rows())))
 	}
 	fmt.Printf("after updates+deletes: %d live rows of %d\n", tb.LiveRows(), tb.Rows())
 
-	cnt, _, err := tb.Count(table.LessThan[float64]("price", 100), table.SelectOptions{})
+	cnt, _, err := tb.Select().Where(table.LessThan[float64]("price", 100)).Count()
 	must(err)
 	fmt.Printf("cheap orders (price < 100) among live rows: %d\n", cnt)
 
-	// IN-lists are answered in a single index pass.
-	inIDs, _, err := tb.Select(table.In[uint8]("status", 0, 3), table.SelectOptions{})
+	// IN-lists — numeric and string — are answered in one index pass.
+	inIDs, _, err := tb.Select().Where(table.And(
+		table.In[uint8]("status", 0, 3),
+		table.StrIn("city", "Paris", "London", "Porto"),
+	)).IDs()
 	must(err)
-	fmt.Printf("status IN (0,3): %d rows\n", len(inIDs))
+	fmt.Printf("status IN (0,3) AND city IN (Paris,London,Porto): %d rows\n", len(inIDs))
 
 	// Tuple reconstruction: ids back to rows.
 	if len(inIDs) > 0 {
 		row, err := tb.ReadRow(int(inIDs[0]))
 		must(err)
-		fmt.Printf("first match: qty=%v price=%.2f status=%v\n",
-			row["qty"], row["price"], row["status"])
+		fmt.Printf("first match: qty=%v price=%.2f status=%v city=%v\n",
+			row["qty"], row["price"], row["status"], row["city"])
 	}
 
 	// Maintenance: compaction kicks in past the deleted-fraction limit.
-	rebuilt := tb.Maintain(0.05)
-	fmt.Printf("maintenance: %v; now %d rows, all live\n", rebuilt, tb.Rows())
+	rep := tb.Maintain(table.MaintainOptions{DeletedFraction: 0.05})
+	fmt.Printf("maintenance: %s; now %d rows, all live\n", rep, tb.Rows())
 }
 
 func must(err error) {

@@ -1,8 +1,10 @@
 // Trips: the paper's Routing workload — GPS trip logs filtered by a
-// bounding box over (lat, lon). Demonstrates multi-attribute conjunction
-// with late materialization (Section 3): each column's imprint reduces
-// the query to candidate cachelines, the candidate lists are merge-joined,
-// and only surviving cachelines are fetched and checked.
+// bounding box over (lat, lon) — through the Query API. Each column's
+// imprint reduces the query to candidate blocks, the candidate lists
+// are merge-joined, and only surviving blocks are fetched and checked
+// (the late materialization of Section 3); Explain shows the plan. The
+// same box also runs against the raw-index facade and a scan to verify
+// all strategies agree.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	imprints "repro"
+	"repro/table"
 )
 
 func main() {
@@ -31,21 +34,34 @@ func main() {
 		lon[i] = lo
 	}
 
-	ixLat := imprints.Build(lat, imprints.Options{Seed: 1})
-	ixLon := imprints.Build(lon, imprints.Options{Seed: 2})
+	tb := table.New("trips")
+	must(table.AddColumn(tb, "lat", lat, table.Imprints, imprints.Options{Seed: 1}))
+	must(table.AddColumn(tb, "lon", lon, table.Imprints, imprints.Options{Seed: 2}))
+	ixLat, err := table.Index[float64](tb, "lat")
+	must(err)
+	ixLon, err := table.Index[float64](tb, "lon")
+	must(err)
 	fmt.Printf("indexed %d GPS points; lat entropy %.3f, lon entropy %.3f\n",
 		n, ixLat.Entropy(), ixLon.Entropy())
 
 	// Bounding box around Utrecht.
 	latLo, latHi := 52.05, 52.12
 	lonLo, lonHi := 5.08, 5.18
-
-	// Late materialization: merge-join candidate cachelines first.
-	t0 := time.Now()
-	ids, stats := imprints.EvaluateAnd(nil,
-		imprints.NewRangeConjunct(ixLat, latLo, latHi),
-		imprints.NewRangeConjunct(ixLon, lonLo, lonHi),
+	box := table.And(
+		table.Range[float64]("lat", latLo, latHi),
+		table.Range[float64]("lon", lonLo, lonHi),
 	)
+
+	// The plan: both leaves probe their imprint, the AND merge-joins
+	// the candidate lists before any value is touched.
+	plan, err := tb.Select().Where(box).Explain()
+	must(err)
+	fmt.Printf("\n%s\n", plan)
+
+	// Late materialization through the Query API.
+	t0 := time.Now()
+	ids, stats, err := tb.Select().Where(box).IDs()
+	must(err)
 	tLate := time.Since(t0)
 
 	// Naive alternative: materialize both id lists, intersect.
@@ -65,16 +81,22 @@ func main() {
 	}
 	tScan := time.Since(t0)
 
-	fmt.Printf("\nbounding box [%.2f,%.2f) x [%.2f,%.2f):\n", latLo, latHi, lonLo, lonHi)
-	fmt.Printf("  late materialization: %6d points in %8v (%d residual comparisons)\n",
+	fmt.Printf("bounding box [%.2f,%.2f) x [%.2f,%.2f):\n", latLo, latHi, lonLo, lonHi)
+	fmt.Printf("  query (late materialization): %6d points in %8v (%d residual comparisons)\n",
 		len(ids), tLate, stats.Comparisons)
-	fmt.Printf("  naive intersection:   %6d points in %8v\n", len(naive), tNaive)
-	fmt.Printf("  full scan:            %6d points in %8v\n", count, tScan)
+	fmt.Printf("  naive intersection:           %6d points in %8v\n", len(naive), tNaive)
+	fmt.Printf("  full scan:                    %6d points in %8v\n", count, tScan)
 
 	if len(ids) != len(naive) || len(ids) != count {
 		panic("result mismatch between evaluation strategies")
 	}
 	fmt.Println("\nall three strategies agree.")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 func intersect(a, b []uint32) []uint32 {

@@ -1,9 +1,11 @@
-// Warehouse: the paper's update story (Section 4) on an Airtraffic-style
-// workload — monthly batch appends extend the imprint without touching
-// existing vectors, point updates go through a delta structure merged at
-// query time, saturation marking eventually triggers a rebuild, and the
-// index round-trips through its binary serialization for reuse across
-// restarts.
+// Warehouse: the paper's update story (Section 4) on an Airtraffic-
+// style workload, driven through the Table/Query API — monthly batch
+// appends extend the imprint without touching existing vectors, carrier
+// codes live in a dictionary-encoded string column, point updates widen
+// the covering vectors until the saturation heuristic fires, Maintain
+// rebuilds, and the whole table round-trips through its binary
+// serialization for reuse across restarts. The query-time delta
+// structure of Section 4.2 remains available on the raw index facade.
 package main
 
 import (
@@ -12,70 +14,91 @@ import (
 	"math/rand/v2"
 
 	imprints "repro"
+	"repro/table"
 )
+
+var carriers = []string{"AA", "AF", "BA", "DL", "KL", "LH", "UA", "US", "WN"}
 
 func main() {
 	rng := rand.New(rand.NewPCG(11, 13))
 
-	// Month 0 load: delay minutes, skewed around small values.
-	col := genMonth(rng, nil, 200_000)
-	ix := imprints.Build(col, imprints.Options{Seed: 5})
-	fmt.Printf("initial load: %d rows, %d stored vectors\n", ix.Len(), ix.StoredVectors())
+	// Month 0 load: delay minutes (skewed around small values) plus the
+	// operating carrier.
+	delay := genMonth(rng, nil, 200_000)
+	carrier := genCarriers(rng, nil, 200_000)
+	tb := table.New("airtraffic")
+	must(table.AddColumn(tb, "delay", delay, table.Imprints, imprints.Options{Seed: 5}))
+	must(tb.AddStringColumn("carrier", carrier, table.Imprints, imprints.Options{Seed: 6}))
+	ix, err := table.Index[int16](tb, "delay")
+	must(err)
+	fmt.Printf("initial load: %d rows, %d stored vectors\n", tb.Rows(), ix.StoredVectors())
 
 	// Twelve monthly appends (Section 4.1): no existing vector changes.
 	for m := 1; m <= 12; m++ {
-		col = genMonth(rng, col, 200_000)
-		ix.Append(col)
+		b := tb.NewBatch()
+		must(table.Append(b, "delay", genMonth(rng, nil, 200_000)))
+		must(b.AppendStrings("carrier", genCarriers(rng, nil, 200_000)))
+		must(b.Commit())
 	}
+	ix, err = table.Index[int16](tb, "delay")
+	must(err)
 	fmt.Printf("after 12 appends: %d rows, %d stored vectors, saturation %.3f\n",
-		ix.Len(), ix.StoredVectors(), ix.Saturation())
+		tb.Rows(), ix.StoredVectors(), ix.Saturation())
 
-	// Query: heavily delayed flights (delay >= 180 minutes).
-	ids, st := ix.AtLeast(180, nil)
-	fmt.Printf("delay >= 180min: %d flights, %d cachelines skipped\n\n",
+	// Query: heavily delayed KLM flights. Explain shows both leaves
+	// probing their imprints (the string leaf through its code range).
+	pred := table.And(
+		table.AtLeast[int16]("delay", 180),
+		table.StrEquals("carrier", "KL"),
+	)
+	plan, err := tb.Select("delay", "carrier").Where(pred).Explain()
+	must(err)
+	fmt.Printf("\n%s\n", plan)
+	ids, st, err := tb.Select().Where(pred).IDs()
+	must(err)
+	fmt.Printf("delay >= 180min on KL: %d flights, %d cachelines skipped\n\n",
 		len(ids), st.CachelinesSkipped)
 
-	// Point updates via the delta (Section 4.2): corrections come in,
-	// queries merge them, and nothing is rewritten in place.
-	delta := imprints.NewDelta[int16]()
-	for u := 0; u < 5_000; u++ {
-		id := uint32(rng.IntN(len(col)))
-		delta.Update(id, int16(rng.IntN(600)-60))
-	}
-	ids2, _ := ix.RangeIDsDelta(180, 600, delta, nil)
-	fmt.Printf("after 5000 corrections (delta): %d flights in [180,600)\n", len(ids2))
-
-	// The imprint can also absorb updates in place by widening vectors —
-	// at the cost of saturation.
+	// In-place corrections (Section 4.2): the imprint absorbs updates by
+	// widening vectors — at the cost of saturation.
 	before := ix.Saturation()
-	for u := 0; u < 30_000; u++ {
-		id := rng.IntN(len(col))
-		v := int16(rng.IntN(600) - 60)
-		col[id] = v
-		ix.MarkUpdated(id, v)
+	for u := 0; u < 1_200_000; u++ {
+		id := rng.IntN(tb.Rows())
+		must(table.Update(tb, "delay", id, int16(rng.IntN(600)-60)))
 	}
 	fmt.Printf("saturation after in-place marking: %.3f -> %.3f (extra bits: %d)\n",
 		before, ix.Saturation(), ix.ExtraBits())
 
-	if ix.NeedsRebuild(0.25, delta.Len(), 0.01) {
-		fmt.Println("rebuild heuristic fired; rebuilding during next scan...")
-		ix = ix.Rebuild()
-		fmt.Printf("rebuilt: saturation back to %.3f\n", ix.Saturation())
-	}
+	// Maintain applies the rebuild heuristic per column; this workload
+	// rebuilds at a stricter saturation limit than the 0.5 default.
+	rep := tb.Maintain(table.MaintainOptions{SaturationLimit: 0.25})
+	fmt.Printf("maintenance: %s\n", rep)
+	ix, err = table.Index[int16](tb, "delay")
+	must(err)
+	fmt.Printf("saturation after rebuild: %.3f\n", ix.Saturation())
 
-	// Persist and reload (the index reattaches to the column).
+	// Alternatively, corrections can stay out of the index entirely via
+	// the query-time delta of Section 4.2 (raw facade).
+	col, err := table.Column[int16](tb, "delay")
+	must(err)
+	delta := imprints.NewDelta[int16]()
+	for u := 0; u < 5_000; u++ {
+		delta.Update(uint32(rng.IntN(len(col))), int16(rng.IntN(600)-60))
+	}
+	ids2, _ := ix.RangeIDsDelta(180, 600, delta, nil)
+	fmt.Printf("with a 5000-entry query-time delta: %d flights in [180,600)\n\n", len(ids2))
+
+	// Persist and reload the whole table (indexes travel along).
 	var buf bytes.Buffer
-	if err := ix.Write(&buf); err != nil {
-		panic(err)
-	}
+	must(tb.Write(&buf))
 	serialized := buf.Len()
-	loaded, err := imprints.ReadIndex[int16](&buf, col)
-	if err != nil {
-		panic(err)
-	}
-	a, _ := ix.RangeIDs(120, 240, nil)
-	b, _ := loaded.RangeIDs(120, 240, nil)
-	fmt.Printf("serialized %d bytes; reloaded index agrees on %d results: %v\n",
+	loaded, err := table.Read(&buf)
+	must(err)
+	a, _, err := tb.Select().Where(pred).IDs()
+	must(err)
+	b, _, err := loaded.Select().Where(pred).IDs()
+	must(err)
+	fmt.Printf("serialized %d bytes; reloaded table agrees on %d results: %v\n",
 		serialized, len(a), len(a) == len(b))
 }
 
@@ -92,4 +115,19 @@ func genMonth(rng *rand.Rand, col []int16, rows int) []int16 {
 		col = append(col, int16(d))
 	}
 	return col
+}
+
+// genCarriers appends one month of carrier codes, in bursts (flights
+// cluster by airline in the log, which the code imprint exploits).
+func genCarriers(rng *rand.Rand, col []string, rows int) []string {
+	for i := 0; i < rows; i++ {
+		col = append(col, carriers[(i/256+rng.IntN(2))%len(carriers)])
+	}
+	return col
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

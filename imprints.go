@@ -16,6 +16,21 @@
 //	ix := imprints.Build(col, imprints.Options{})
 //	ids, stats := ix.RangeIDs(100, 500, nil) // ids with 100 <= v < 500
 //
+// # The front door: repro/table
+//
+// This package is the low-level facade over a single raw index. For
+// anything relation-shaped, the front door is the repro/table package's
+// lazy Query API, which composes numeric and string predicates under
+// And/Or/AndNot trees, plans index-vs-scan per leaf, streams rows, and
+// is safe for concurrent readers against batch writers:
+//
+//	q := t.Select("price", "city").Where(pred).Limit(10)
+//	plan, _ := q.Explain() // the per-leaf access-path plan
+//	for id, row := range q.Rows() { ... }
+//
+// The free functions below remain stable thin wrappers over the
+// internal packages, so existing raw-index callers keep working.
+//
 // The package also exposes the paper's comparator structures — zonemaps
 // (BuildZonemap) and bit-binned WAH bitmaps (BuildWAH) — plus a
 // sequential scan (ScanRange), so applications can benchmark all four on

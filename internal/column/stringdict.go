@@ -1,6 +1,9 @@
 package column
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // StringDict dictionary-encodes a string attribute into an int32 code
 // column so that secondary indexes (which operate on fixed-width values)
@@ -36,8 +39,43 @@ func EncodeStrings(name string, vals []string) *StringDict {
 	return &StringDict{codes: New(name, codes), symbols: symbols}
 }
 
+// Reconstruct rebuilds a dictionary from persisted parts: the code
+// column and the sorted distinct symbols. It validates the invariants
+// EncodeStrings guarantees (symbols strictly ascending, codes in range).
+func Reconstruct(name string, codes []int32, symbols []string) (*StringDict, error) {
+	for i := 1; i < len(symbols); i++ {
+		if symbols[i-1] >= symbols[i] {
+			return nil, fmt.Errorf("column %s: symbols not strictly sorted at %d", name, i)
+		}
+	}
+	for i, c := range codes {
+		if c < 0 || int(c) >= len(symbols) {
+			return nil, fmt.Errorf("column %s: code %d at row %d out of range", name, c, i)
+		}
+	}
+	return &StringDict{codes: New(name, codes), symbols: symbols}, nil
+}
+
 // Codes returns the int32 code column; build indexes over this.
 func (d *StringDict) Codes() *Column[int32] { return d.codes }
+
+// Code returns the code of an exact symbol, or ok=false when the string
+// is not in the dictionary.
+func (d *StringDict) Code(s string) (int32, bool) {
+	i := sort.SearchStrings(d.symbols, s)
+	if i < len(d.symbols) && d.symbols[i] == s {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// SearchCode returns the code of the first symbol >= s; it equals
+// Cardinality when every symbol sorts before s. Because codes are
+// assigned in symbol order, [SearchCode(lo), SearchCode(hi)) is exactly
+// the code interval of the string range [lo, hi).
+func (d *StringDict) SearchCode(s string) int32 {
+	return int32(sort.SearchStrings(d.symbols, s))
+}
 
 // Symbol returns the string for a code.
 func (d *StringDict) Symbol(code int32) string { return d.symbols[code] }
@@ -66,6 +104,30 @@ func (d *StringDict) CodeRangeExclusive(lo, hi string) (loCode, hiCode int32, ok
 		return 0, 0, false
 	}
 	return int32(l), int32(h), true
+}
+
+// PrefixCodeRange translates a prefix match into the half-open code
+// interval [lo, hi) of symbols starting with prefix: matching strings
+// form the range [prefix, upper) where upper is prefix with its last
+// byte incremented (prefixes ending in 0xFF bytes shorten first; a
+// prefix of only 0xFF bytes matches every symbol >= itself). ok is
+// false when no symbol matches.
+func (d *StringDict) PrefixCodeRange(prefix string) (lo, hi int32, ok bool) {
+	card := int32(len(d.symbols))
+	if prefix == "" {
+		return 0, card, card > 0
+	}
+	lo = d.SearchCode(prefix)
+	upper := []byte(prefix)
+	for len(upper) > 0 && upper[len(upper)-1] == 0xFF {
+		upper = upper[:len(upper)-1]
+	}
+	if len(upper) == 0 {
+		return lo, card, lo < card
+	}
+	upper[len(upper)-1]++
+	hi = d.SearchCode(string(upper))
+	return lo, hi, lo < hi
 }
 
 // SizeBytes returns the payload size: codes plus dictionary strings.

@@ -6,6 +6,12 @@ package imprints
 // and string range predicates translate to code ranges. This is how the
 // paper's "char" and "str" columns (Airtraffic, Cnet, TPC-H) are
 // indexed.
+//
+// StringIndex wraps one standalone column. For string attributes inside
+// a relation, use the table package instead: Table.AddStringColumn puts
+// the same dictionary + code-imprint machinery behind the Query API,
+// where StrRange/StrEquals/StrPrefix leaves compose with numeric
+// predicates in one And/Or/AndNot tree.
 type StringIndex struct {
 	dict *StringDict
 	ix   *Index[int32]
@@ -52,49 +58,14 @@ func (s *StringIndex) EqualIDs(v string, res []uint32) ([]uint32, QueryStats) {
 }
 
 // PrefixIDs returns ascending ids of rows whose string starts with
-// prefix. Matching strings form the half-open range [prefix, upper)
-// where upper is prefix with its last byte incremented (prefixes ending
-// in 0xFF bytes shorten first).
+// prefix. Matching strings form a contiguous dictionary code range (see
+// StringDict.PrefixCodeRange), answered in a single index pass.
 func (s *StringIndex) PrefixIDs(prefix string, res []uint32) ([]uint32, QueryStats) {
-	if prefix == "" {
-		n := s.ix.Len()
-		for id := 0; id < n; id++ {
-			res = append(res, uint32(id))
-		}
-		return res, QueryStats{}
-	}
-	upper := []byte(prefix)
-	for len(upper) > 0 && upper[len(upper)-1] == 0xFF {
-		upper = upper[:len(upper)-1]
-	}
-	if len(upper) == 0 {
-		// prefix is all 0xFF bytes: every string >= prefix matches it.
-		loCode, _, ok := s.dict.CodeRange(prefix, prefix)
-		if !ok {
-			// No exact run; fall back to the at-least scan over codes.
-			return s.atLeastString(prefix, res)
-		}
-		return s.ix.AtLeast(loCode, res)
-	}
-	upper[len(upper)-1]++
-	loCode, hiCode, ok := s.dict.CodeRangeExclusive(prefix, string(upper))
+	loCode, hiCode, ok := s.dict.PrefixCodeRange(prefix)
 	if !ok {
 		return res, QueryStats{}
 	}
 	return s.ix.RangeIDs(loCode, hiCode, res)
-}
-
-// atLeastString returns ids of rows with string >= lo.
-func (s *StringIndex) atLeastString(lo string, res []uint32) ([]uint32, QueryStats) {
-	if s.dict.Cardinality() == 0 {
-		return res, QueryStats{}
-	}
-	last := s.dict.Symbol(int32(s.dict.Cardinality() - 1))
-	loCode, _, ok := s.dict.CodeRange(lo, last)
-	if !ok {
-		return res, QueryStats{}
-	}
-	return s.ix.AtLeast(loCode, res)
 }
 
 // Symbol decodes a row's string value.

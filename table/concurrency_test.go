@@ -1,0 +1,198 @@
+package table
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentReadersAndWriters exercises the north-star traffic
+// model under the race detector: query readers (IDs, Count, streaming
+// Rows with mid-stream breaks, ReadRow) run against batch-append,
+// update, delete and maintenance writers. Results cannot be compared to
+// a fixed oracle while writers run, so readers assert invariants: no
+// error, ascending ids, values consistent with the predicate.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	const n = 8192
+	rng := rand.New(rand.NewPCG(42, 43))
+	qty := make([]int64, n)
+	city := make([]string, n)
+	v := int64(1000)
+	for i := 0; i < n; i++ {
+		v += int64(rng.IntN(21)) - 10
+		qty[i] = v
+		city[i] = cities[rng.IntN(len(cities))]
+	}
+	tb := New("traffic")
+	if err := AddColumn(tb, "qty", qty, Imprints, core.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddStringColumn("city", city, Imprints, core.Options{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var readers, writers sync.WaitGroup
+
+	// Readers: hammer the query surface until the writers finish.
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed uint64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewPCG(seed, 99))
+			pred := And(AtLeast[int64]("qty", 900), StrPrefix("city", "P"))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch rng.IntN(4) {
+				case 0:
+					ids, _, err := tb.Select().Where(pred).IDs()
+					if err != nil {
+						t.Errorf("reader IDs: %v", err)
+						return
+					}
+					for i := 1; i < len(ids); i++ {
+						if ids[i-1] >= ids[i] {
+							t.Errorf("ids not ascending at %d", i)
+							return
+						}
+					}
+				case 1:
+					if _, _, err := tb.Select().Where(pred).Count(); err != nil {
+						t.Errorf("reader Count: %v", err)
+						return
+					}
+				case 2:
+					q := tb.Select("qty", "city").Where(pred).Limit(64)
+					seen := 0
+					for _, row := range q.Rows() {
+						if qv, ok := row.Get("qty").(int64); !ok || qv < 900 {
+							t.Errorf("row violates predicate: %v", row)
+							return
+						}
+						seen++
+						if seen == 16 {
+							break // mid-stream break must release the lock
+						}
+					}
+					if q.Err() != nil {
+						t.Errorf("reader Rows: %v", q.Err())
+						return
+					}
+				default:
+					rows := tb.Rows()
+					if rows == 0 {
+						continue
+					}
+					// Rows may be compacted or deleted between the
+					// bound read and the access; both errors are fine,
+					// data races are what the detector is here for.
+					_, _ = tb.ReadRow(rng.IntN(rows))
+				}
+			}
+		}(uint64(r))
+	}
+
+	// Writer: batch appends.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		rng := rand.New(rand.NewPCG(7, 7))
+		for round := 0; round < 30; round++ {
+			b := tb.NewBatch()
+			nq := make([]int64, 128)
+			nc := make([]string, 128)
+			for i := range nq {
+				nq[i] = int64(900 + rng.IntN(300))
+				nc[i] = cities[rng.IntN(len(cities))]
+			}
+			if err := Append(b, "qty", nq); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			if err := b.AppendStrings("city", nc); err != nil {
+				t.Errorf("append strings: %v", err)
+				return
+			}
+			if err := b.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Writer: point updates, numeric and string. A concurrent compact
+	// may shrink the table between the bound read and the call, so
+	// range errors are tolerated — the race detector is the assertion.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		rng := rand.New(rand.NewPCG(8, 8))
+		for u := 0; u < 3000; u++ {
+			rows := tb.Rows()
+			if rows == 0 {
+				continue
+			}
+			id := rng.IntN(rows)
+			if u%3 == 0 {
+				_ = tb.UpdateString("city", id, cities[rng.IntN(len(cities))])
+			} else {
+				_ = Update(tb, "qty", id, int64(900+rng.IntN(300)))
+			}
+		}
+	}()
+
+	// Writer: deletes plus maintenance that compacts and renumbers ids
+	// under the readers — the riskiest writer, so the test asserts the
+	// compaction really fired.
+	var compactions int
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		rng := rand.New(rand.NewPCG(9, 9))
+		for d := 0; d < 1500; d++ {
+			rows := tb.Rows()
+			if rows > 0 {
+				// The row may vanish in a concurrent compact; only data
+				// races matter here.
+				_ = tb.Delete(rng.IntN(rows))
+			}
+			if d%300 == 299 {
+				if rep := tb.Maintain(MaintainOptions{DeletedFraction: 0.05}); rep.Compacted {
+					compactions++
+				}
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(done)
+	readers.Wait()
+
+	if compactions == 0 {
+		t.Error("maintenance never compacted: reader-vs-compaction went unexercised")
+	}
+
+	// Final consistency: with writers quiesced, the query surface must
+	// agree with a fresh scan of the live data.
+	ids, _, err := tb.Select().Where(AtLeast[int64]("qty", 900)).IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveQty, err := Column[int64](tb, "qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []uint32
+	for i, q := range liveQty {
+		if !tb.IsDeleted(i) && q >= 900 {
+			want = append(want, uint32(i))
+		}
+	}
+	equalIDs(t, ids, want, "post-quiesce query")
+}

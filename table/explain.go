@@ -1,0 +1,147 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Plan is the rendered execution plan of a Query: what predicate.go's
+// evaluator decided per leaf (imprints probe vs zonemap vs scan, the
+// estimated selectivity behind that choice) and what each subtree's
+// candidate-run list looked like after composition. Explain executes
+// the index probes — the candidate-run statistics are real — but never
+// materializes a row.
+type Plan struct {
+	Table       string
+	Columns     []string // resolved projection
+	Limit       int      // row cap; negative when the query has no limit
+	TotalRows   int
+	TotalBlocks int // row blocks of BlockRows rows
+	Root        *PlanNode
+	Stats       core.QueryStats // aggregated index-probe stats
+}
+
+// PlanNode is one node of the plan tree, mirroring the predicate tree.
+type PlanNode struct {
+	Op     string // "and", "or", "andnot", "leaf", "all"
+	Pred   string // leaf predicate rendering, e.g. `city in ["A", "N"]`
+	Column string // leaf column name
+	Access string // leaf access path: "imprints", "zonemap", "scan"
+	Reason string // why a non-default path was chosen ("unselective")
+	// Selectivity is the leaf's estimated selectivity (fraction of rows
+	// expected to qualify) from the imprint histogram; negative when the
+	// leaf has no imprint to estimate from (scan-only, zonemap).
+	Selectivity float64
+	// Runs / CandidateBlocks / ExactBlocks summarize the candidate-run
+	// list this subtree produced: maximal runs, total candidate row
+	// blocks, and how many of those are exact (no residual check).
+	Runs            int
+	CandidateBlocks uint64
+	ExactBlocks     uint64
+	Stats           core.QueryStats // leaf probe stats
+	Children        []*PlanNode
+}
+
+// setRuns records a node's candidate-run summary.
+func (n *PlanNode) setRuns(runs []core.CandidateRun) {
+	n.Runs = len(runs)
+	for _, r := range runs {
+		n.CandidateBlocks += uint64(r.Count)
+		if r.Exact {
+			n.ExactBlocks += uint64(r.Count)
+		}
+	}
+}
+
+// opNode builds an inner plan node from its composed runs and children.
+func opNode(op string, runs []core.CandidateRun, kids []*PlanNode) *PlanNode {
+	n := &PlanNode{Op: op, Children: kids}
+	n.setRuns(runs)
+	return n
+}
+
+// Explain builds the query's execution plan without materializing rows.
+func (q *Query) Explain() (*Plan, error) {
+	q.t.mu.RLock()
+	defer q.t.mu.RUnlock()
+	names, _, err := q.projection()
+	if err != nil {
+		return nil, err
+	}
+	var st core.QueryStats
+	ev, err := q.plan(&st)
+	if err != nil {
+		return nil, err
+	}
+	lim := -1
+	if q.limited {
+		lim = q.limit
+	}
+	return &Plan{
+		Table:       q.t.name,
+		Columns:     append([]string(nil), names...),
+		Limit:       lim,
+		TotalRows:   q.t.rows,
+		TotalBlocks: (q.t.rows + BlockRows - 1) / BlockRows,
+		Root:        ev.plan,
+		Stats:       st,
+	}, nil
+}
+
+// String renders the plan as an indented tree, e.g.:
+//
+//	select qty, city from orders limit 10 (550000 rows, 8594 blocks of 64)
+//	└─ or: 312 candidate blocks in 14 runs (88 exact)
+//	   ├─ qty in [4900, 5100): imprints est=0.031 → 301 blocks in 12 runs (88 exact), 4211 probes
+//	   └─ city prefix "Ams": imprints est=0.120 → 95 blocks in 3 runs (0 exact), 4211 probes
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "select %s from %s", strings.Join(p.Columns, ", "), p.Table)
+	if p.Limit >= 0 {
+		fmt.Fprintf(&sb, " limit %d", p.Limit)
+	}
+	fmt.Fprintf(&sb, " (%d rows, %d blocks of %d)\n", p.TotalRows, p.TotalBlocks, BlockRows)
+	p.Root.render(&sb, "", "")
+	return sb.String()
+}
+
+func (n *PlanNode) render(sb *strings.Builder, branch, indent string) {
+	if branch == "" {
+		branch = "└─ "
+	}
+	sb.WriteString(indent + branch)
+	switch n.Op {
+	case "leaf":
+		fmt.Fprintf(sb, "%s: %s", n.Pred, n.Access)
+		if n.Reason != "" {
+			fmt.Fprintf(sb, " (%s)", n.Reason)
+		}
+		if n.Selectivity >= 0 {
+			fmt.Fprintf(sb, " est=%.3f", n.Selectivity)
+		}
+		fmt.Fprintf(sb, " → %d blocks in %d runs (%d exact)",
+			n.CandidateBlocks, n.Runs, n.ExactBlocks)
+		if n.Stats.Probes > 0 {
+			fmt.Fprintf(sb, ", %d probes", n.Stats.Probes)
+		}
+	case "all":
+		fmt.Fprintf(sb, "all rows → %d blocks in %d runs", n.CandidateBlocks, n.Runs)
+	default:
+		fmt.Fprintf(sb, "%s: %d candidate blocks in %d runs (%d exact)",
+			n.Op, n.CandidateBlocks, n.Runs, n.ExactBlocks)
+	}
+	sb.WriteByte('\n')
+	kidIndent := indent + "   "
+	if branch == "├─ " {
+		kidIndent = indent + "│  "
+	}
+	for i, kid := range n.Children {
+		b := "├─ "
+		if i == len(n.Children)-1 {
+			b = "└─ "
+		}
+		kid.render(sb, b, kidIndent)
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 func TestInPredicate(t *testing.T) {
 	tb, _, _, status := mkTable(t, 4000, 30)
-	got, _, err := tb.Select(In[uint8]("status", 1, 3), SelectOptions{})
+	got, _, err := tb.Select().Where(In[uint8]("status", 1, 3)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestInPredicate(t *testing.T) {
 	// IN over an indexed column.
 	qty, _ := Column[int64](tb, "qty")
 	members := []int64{qty[0], qty[100], qty[2000]}
-	got, _, err = tb.Select(In("qty", members...), SelectOptions{})
+	got, _, err = tb.Select().Where(In("qty", members...)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestInPredicate(t *testing.T) {
 	equalIDs(t, got, want, "IN on imprinted")
 
 	// Type mismatch is an error.
-	if _, _, err := tb.Select(In[int32]("qty", 5), SelectOptions{}); err == nil {
+	if _, _, err := tb.Select().Where(In[int32]("qty", 5)).IDs(); err == nil {
 		t.Error("IN with wrong element type accepted")
 	}
 }
@@ -74,7 +74,7 @@ func TestZonemapMode(t *testing.T) {
 
 	// Every leaf kind over the zonemap column.
 	lo, hi := ts[n/4], ts[n/2]
-	got, st, err := tb.Select(Range[int64]("ts", lo, hi), SelectOptions{})
+	got, st, err := tb.Select().Where(Range[int64]("ts", lo, hi)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestZonemapMode(t *testing.T) {
 		t.Error("zonemap leaf did not probe")
 	}
 
-	got, _, err = tb.Select(AtLeast[int64]("ts", hi), SelectOptions{})
+	got, _, err = tb.Select().Where(AtLeast[int64]("ts", hi)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestZonemapMode(t *testing.T) {
 	}
 	equalIDs(t, got, want, "zonemap at-least")
 
-	got, _, err = tb.Select(LessThan[int64]("ts", lo), SelectOptions{})
+	got, _, err = tb.Select().Where(LessThan[int64]("ts", lo)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestZonemapMode(t *testing.T) {
 	}
 	equalIDs(t, got, want, "zonemap less-than")
 
-	got, _, err = tb.Select(Equals[int64]("ts", ts[777]), SelectOptions{})
+	got, _, err = tb.Select().Where(Equals[int64]("ts", ts[777])).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestZonemapMode(t *testing.T) {
 	}
 	equalIDs(t, got, want, "zonemap equals")
 
-	got, _, err = tb.Select(In("ts", ts[5], ts[n-5]), SelectOptions{})
+	got, _, err = tb.Select().Where(In("ts", ts[5], ts[n-5])).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,10 +139,10 @@ func TestZonemapMode(t *testing.T) {
 	equalIDs(t, got, want, "zonemap in")
 
 	// Mixed zonemap + imprints conjunction.
-	got, _, err = tb.Select(And(
+	got, _, err = tb.Select().Where(And(
 		Range[int64]("ts", lo, hi),
 		LessThan[float64]("score", 25.0),
-	), SelectOptions{})
+	)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestZonemapModeUpdatesAndAppends(t *testing.T) {
 		}
 	}
 	lo, hi := int64(1000), int64(2000)
-	got, _, err := tb.Select(Range[int64]("ts", lo, hi), SelectOptions{})
+	got, _, err := tb.Select().Where(Range[int64]("ts", lo, hi)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestZonemapModeUpdatesAndAppends(t *testing.T) {
 	if err := b.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err = tb.Select(AtLeast[int64]("ts", 9000), SelectOptions{})
+	got, _, err = tb.Select().Where(AtLeast[int64]("ts", 9000)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +221,7 @@ func TestZonemapModePersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ids, st, err := got.Select(Range[int64]("ts", 100, 200), SelectOptions{})
+	ids, st, err := got.Select().Where(Range[int64]("ts", 100, 200)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}

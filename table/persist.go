@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/colfile"
 	"repro/internal/coltype"
+	"repro/internal/column"
 	"repro/internal/core"
 )
 
@@ -21,7 +22,13 @@ import (
 //	per column:
 //	  nameLen uint16, name bytes
 //	  kind uint8 (reflect.Kind), mode uint8 (IndexMode)
-//	  column payload (colfile format, self-delimiting)
+//	  build options: sampleSize uint32, seed uint64, countDup uint8,
+//	                 valuesPerCacheline uint32, maxBins uint32
+//	  numeric kinds:
+//	    column payload (colfile format, self-delimiting)
+//	  string kind (reflect.String):
+//	    nsymbols uint32, per symbol: len uint32 + bytes
+//	    code payload (colfile int32 format, self-delimiting)
 //	  hasIndex uint8; if 1: index image (core serialization, self-delimiting)
 //
 // Deleted-row marks are not persisted: Compact before Write (Write
@@ -29,7 +36,7 @@ import (
 
 const (
 	tableMagic   = "CTBL"
-	tableVersion = 1
+	tableVersion = 2
 )
 
 // ErrCorrupt reports an invalid persisted table.
@@ -38,6 +45,8 @@ var ErrCorrupt = errors.New("table: corrupt persisted table")
 // Write persists the table: column payloads plus index images.
 // Tables with pending deletes must be compacted first.
 func (t *Table) Write(w io.Writer) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.ndel > 0 {
 		return fmt.Errorf("table %s: compact before persisting (%d deleted rows pending)", t.name, t.ndel)
 	}
@@ -88,6 +97,59 @@ func readString(r io.Reader) (string, error) {
 	return string(b), nil
 }
 
+// writeOptions persists a column's build options so indexes rebuilt
+// after loading (re-encode, Maintain, compact) keep their configured
+// sampling and binning.
+func writeOptions(w io.Writer, o core.Options) error {
+	dup := uint8(0)
+	if o.CountDuplicates {
+		dup = 1
+	}
+	for _, v := range []any{
+		uint32(o.SampleSize), o.Seed, dup,
+		uint32(o.ValuesPerCacheline), uint32(o.MaxBins),
+	} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readOptions(r io.Reader) (core.Options, error) {
+	var sample, vpc, maxBins uint32
+	var seed uint64
+	var dup uint8
+	for _, v := range []any{&sample, &seed, &dup, &vpc, &maxBins} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return core.Options{}, err
+		}
+	}
+	return core.Options{
+		SampleSize:         int(sample),
+		Seed:               seed,
+		CountDuplicates:    dup == 1,
+		ValuesPerCacheline: int(vpc),
+		MaxBins:            int(maxBins),
+	}, nil
+}
+
+// writeIndexImage writes the hasIndex flag and, when present, the index
+// image itself.
+func writeIndexImage[V coltype.Value](w io.Writer, ix *core.Index[V]) error {
+	hasIx := byte(0)
+	if ix != nil {
+		hasIx = 1
+	}
+	if _, err := w.Write([]byte{hasIx}); err != nil {
+		return err
+	}
+	if ix != nil {
+		return ix.Write(w)
+	}
+	return nil
+}
+
 // persist is part of anyColumn (implemented on colState).
 func (c *colState[V]) persist(w io.Writer) error {
 	if err := writeString(w, c.name); err != nil {
@@ -100,20 +162,45 @@ func (c *colState[V]) persist(w io.Writer) error {
 	if _, err := w.Write(kind[:]); err != nil {
 		return err
 	}
+	if err := writeOptions(w, c.vpcOpts); err != nil {
+		return err
+	}
 	if err := colfile.Write(w, c.vals); err != nil {
 		return err
 	}
-	hasIx := byte(0)
-	if c.ix != nil {
-		hasIx = 1
-	}
-	if _, err := w.Write([]byte{hasIx}); err != nil {
+	return writeIndexImage(w, c.ix)
+}
+
+// persist for string columns: dictionary symbols, then the code column,
+// then the code imprint image.
+func (c *strColState) persist(w io.Writer) error {
+	if err := writeString(w, c.name); err != nil {
 		return err
 	}
-	if c.ix != nil {
-		return c.ix.Write(w)
+	kind := [2]byte{uint8(reflect.String), uint8(c.mode)}
+	if _, err := w.Write(kind[:]); err != nil {
+		return err
 	}
-	return nil
+	if err := writeOptions(w, c.vpcOpts); err != nil {
+		return err
+	}
+	card := c.dict.Cardinality()
+	if err := binary.Write(w, binary.LittleEndian, uint32(card)); err != nil {
+		return err
+	}
+	for code := 0; code < card; code++ {
+		sym := c.dict.Symbol(int32(code))
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(sym))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, sym); err != nil {
+			return err
+		}
+	}
+	if err := colfile.Write(w, c.codes()); err != nil {
+		return err
+	}
+	return writeIndexImage(w, c.ix)
 }
 
 // Read loads a table persisted with Write.
@@ -147,7 +234,7 @@ func Read(r io.Reader) (*Table, error) {
 	}
 	t := New(name)
 	for i := 0; i < int(ncols); i++ {
-		if err := readColumn(t, br); err != nil {
+		if err := readColumn(t, br, rows); err != nil {
 			return nil, err
 		}
 	}
@@ -157,7 +244,7 @@ func Read(r io.Reader) (*Table, error) {
 	return t, nil
 }
 
-func readColumn(t *Table, r io.Reader) error {
+func readColumn(t *Table, r io.Reader, rows uint64) error {
 	name, err := readString(r)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -170,62 +257,140 @@ func readColumn(t *Table, r io.Reader) error {
 	if mode != Imprints && mode != NoIndex && mode != Zonemap {
 		return fmt.Errorf("%w: column %s has invalid index mode %d", ErrCorrupt, name, mode)
 	}
+	opts, err := readOptions(r)
+	if err != nil {
+		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+	}
+	if err := validateOptions(opts); err != nil {
+		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+	}
 	switch reflect.Kind(kindMode[0]) {
 	case reflect.Int8:
-		return loadColumn[int8](t, name, mode, r)
+		return loadColumn[int8](t, name, mode, opts, r)
 	case reflect.Int16:
-		return loadColumn[int16](t, name, mode, r)
+		return loadColumn[int16](t, name, mode, opts, r)
 	case reflect.Int32:
-		return loadColumn[int32](t, name, mode, r)
+		return loadColumn[int32](t, name, mode, opts, r)
 	case reflect.Int64:
-		return loadColumn[int64](t, name, mode, r)
+		return loadColumn[int64](t, name, mode, opts, r)
 	case reflect.Uint8:
-		return loadColumn[uint8](t, name, mode, r)
+		return loadColumn[uint8](t, name, mode, opts, r)
 	case reflect.Uint16:
-		return loadColumn[uint16](t, name, mode, r)
+		return loadColumn[uint16](t, name, mode, opts, r)
 	case reflect.Uint32:
-		return loadColumn[uint32](t, name, mode, r)
+		return loadColumn[uint32](t, name, mode, opts, r)
 	case reflect.Uint64:
-		return loadColumn[uint64](t, name, mode, r)
+		return loadColumn[uint64](t, name, mode, opts, r)
 	case reflect.Float32:
-		return loadColumn[float32](t, name, mode, r)
+		return loadColumn[float32](t, name, mode, opts, r)
 	case reflect.Float64:
-		return loadColumn[float64](t, name, mode, r)
+		return loadColumn[float64](t, name, mode, opts, r)
+	case reflect.String:
+		return loadStringColumn(t, name, mode, opts, r, rows)
 	}
 	return fmt.Errorf("%w: column %s has unsupported kind %d", ErrCorrupt, name, kindMode[0])
 }
 
-func loadColumn[V coltype.Value](t *Table, name string, mode IndexMode, r io.Reader) error {
+// installLoadedColumn validates and registers a deserialized column.
+func installLoadedColumn(t *Table, name string, c anyColumn, nvals int) error {
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("%w: duplicate column %s", ErrCorrupt, name)
+	}
+	if len(t.order) > 0 && nvals != t.rows {
+		return fmt.Errorf("%w: column %s has %d rows, table has %d", ErrCorrupt, name, nvals, t.rows)
+	}
+	t.installColumn(name, c, nvals)
+	return nil
+}
+
+// readIndexImage reads the hasIndex flag and, when set, deserializes
+// the index image reattached to vals. Only Imprints columns ever
+// persist an image: Write emits none for NoIndex/Zonemap modes, and a
+// loaded one would go unmaintained by appends, so a flagged image on
+// any other mode is corruption.
+func readIndexImage[V coltype.Value](r io.Reader, name string, mode IndexMode, vals []V) (*core.Index[V], error) {
+	var hasIx [1]byte
+	if _, err := io.ReadFull(r, hasIx[:]); err != nil {
+		return nil, fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+	}
+	if hasIx[0] != 1 {
+		return nil, nil
+	}
+	if mode != Imprints {
+		return nil, fmt.Errorf("%w: column %s has an index image but mode %d", ErrCorrupt, name, mode)
+	}
+	ix, err := core.ReadIndex[V](r, vals)
+	if err != nil {
+		return nil, fmt.Errorf("column %s: %w", name, err)
+	}
+	return ix, nil
+}
+
+func loadColumn[V coltype.Value](t *Table, name string, mode IndexMode, opts core.Options, r io.Reader) error {
 	vals, err := colfile.Read[V](r)
 	if err != nil {
 		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
 	}
-	var hasIx [1]byte
-	if _, err := io.ReadFull(r, hasIx[:]); err != nil {
-		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+	cs := &colState[V]{name: name, vals: vals, mode: mode, vpcOpts: opts}
+	ix, err := readIndexImage(r, name, mode, vals)
+	if err != nil {
+		return err
 	}
-	cs := &colState[V]{name: name, vals: vals, mode: mode}
-	if hasIx[0] == 1 {
-		ix, err := core.ReadIndex[V](r, vals)
-		if err != nil {
-			return fmt.Errorf("column %s: %w", name, err)
-		}
+	if ix != nil {
 		cs.ix = ix
 	} else {
 		// Persisted without an image (zonemap mode, or empty at save
 		// time): rebuild whatever index the mode calls for.
 		cs.rebuild()
 	}
-	if _, dup := t.cols[name]; dup {
-		return fmt.Errorf("%w: duplicate column %s", ErrCorrupt, name)
+	return installLoadedColumn(t, name, cs, len(vals))
+}
+
+func loadStringColumn(t *Table, name string, mode IndexMode, opts core.Options, r io.Reader, rows uint64) error {
+	if mode == Zonemap {
+		return fmt.Errorf("%w: string column %s has zonemap mode", ErrCorrupt, name)
 	}
-	if len(t.order) > 0 && len(vals) != t.rows {
-		return fmt.Errorf("%w: column %s has %d rows, table has %d", ErrCorrupt, name, len(vals), t.rows)
+	var card uint32
+	if err := binary.Read(r, binary.LittleEndian, &card); err != nil {
+		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
 	}
-	t.cols[name] = cs
-	t.order = append(t.order, name)
-	if len(t.order) == 1 {
-		t.rows = len(vals)
+	// Every symbol appears in at least one row, so cardinality beyond
+	// the header row count is corruption — reject before looping.
+	if uint64(card) > rows {
+		return fmt.Errorf("%w: column %s has %d symbols but table has %d rows", ErrCorrupt, name, card, rows)
 	}
-	return nil
+	var symbols []string
+	for i := uint32(0); i < card; i++ {
+		var slen uint32
+		if err := binary.Read(r, binary.LittleEndian, &slen); err != nil {
+			return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+		}
+		if slen > 1<<30 {
+			return fmt.Errorf("%w: column %s: symbol of %d bytes", ErrCorrupt, name, slen)
+		}
+		b := make([]byte, slen)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+		}
+		symbols = append(symbols, string(b))
+	}
+	codes, err := colfile.Read[int32](r)
+	if err != nil {
+		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+	}
+	dict, err := column.Reconstruct(name, codes, symbols)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	cs := &strColState{name: name, dict: dict, mode: mode, vpcOpts: opts}
+	ix, err := readIndexImage(r, name, mode, codes)
+	if err != nil {
+		return err
+	}
+	if ix != nil {
+		cs.ix = ix
+	} else {
+		cs.rebuild()
+	}
+	return installLoadedColumn(t, name, cs, len(codes))
 }

@@ -40,11 +40,11 @@ func TestTablePersistRoundTrip(t *testing.T) {
 		Range[float64]("price", 10.0, 60.0),
 		Equals[uint8]("status", 1),
 	)
-	a, _, err := tb.Select(pred, SelectOptions{})
+	a, _, err := tb.Select().Where(pred).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := got.Select(pred, SelectOptions{})
+	b, _, err := got.Select().Where(pred).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}

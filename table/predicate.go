@@ -15,17 +15,21 @@ import (
 // rows makes run lists from mixed-width columns merge-joinable.
 const BlockRows = 64
 
-// Predicate is a node of a selection tree over one table.
+// Predicate is a node of a selection tree over one table. Build leaves
+// with Range/AtLeast/LessThan/Equals/In (numeric columns) and StrRange/
+// StrAtLeast/StrLessThan/StrEquals/StrIn/StrPrefix (string columns),
+// compose them with And/Or/AndNot, and execute through Table.Select.
 type Predicate interface{ isPred() }
 
 type leafKind int
 
 const (
-	kindRange leafKind = iota // low <= v < high
+	kindRange leafKind = iota // low <= v < high (strings: low <= v <= high)
 	kindAtLeast
 	kindLessThan
 	kindEquals
-	kindIn // v in set (low holds the []V)
+	kindIn     // v in set (low holds the []V or []string)
+	kindPrefix // string columns only: v starts with low
 )
 
 // leafPred holds type-erased bounds; the owning column re-types them.
@@ -36,6 +40,40 @@ type leafPred struct {
 }
 
 func (*leafPred) isPred() {}
+
+// describe renders the leaf for Explain plans.
+func (p *leafPred) describe() string {
+	switch p.kind {
+	case kindRange:
+		if _, isStr := p.low.(string); isStr {
+			return fmt.Sprintf("%s in [%s, %s]", p.col, bound(p.low), bound(p.high))
+		}
+		return fmt.Sprintf("%s in [%s, %s)", p.col, bound(p.low), bound(p.high))
+	case kindAtLeast:
+		return fmt.Sprintf("%s >= %s", p.col, bound(p.low))
+	case kindLessThan:
+		return fmt.Sprintf("%s < %s", p.col, bound(p.high))
+	case kindEquals:
+		return fmt.Sprintf("%s == %s", p.col, bound(p.low))
+	case kindIn:
+		return fmt.Sprintf("%s in %s", p.col, bound(p.low))
+	case kindPrefix:
+		return fmt.Sprintf("%s prefix %s", p.col, bound(p.low))
+	}
+	return fmt.Sprintf("%s ?", p.col)
+}
+
+// bound renders one predicate bound, quoting strings so empty or
+// space-bearing values stay visible in plans.
+func bound(x any) string {
+	switch v := x.(type) {
+	case string:
+		return fmt.Sprintf("%q", v)
+	case []string:
+		return fmt.Sprintf("%q", v)
+	}
+	return fmt.Sprintf("%v", x)
+}
 
 type andPred struct{ kids []Predicate }
 type orPred struct{ kids []Predicate }
@@ -66,9 +104,45 @@ func Equals[V coltype.Value](col string, v V) Predicate {
 }
 
 // In selects rows whose column equals any of the given values (an
-// IN-list, answered in a single index pass).
+// IN-list, answered in a single index pass). The values are copied, so
+// a caller-reused backing slice cannot change the predicate later.
 func In[V coltype.Value](col string, values ...V) Predicate {
-	return &leafPred{col: col, kind: kindIn, low: values}
+	return &leafPred{col: col, kind: kindIn, low: append([]V(nil), values...)}
+}
+
+// StrRange selects rows of a string column with low <= v <= high.
+// String ranges are inclusive on both ends (the dictionary maps them to
+// a half-open code range internally).
+func StrRange(col, low, high string) Predicate {
+	return &leafPred{col: col, kind: kindRange, low: low, high: high}
+}
+
+// StrAtLeast selects rows of a string column with v >= low.
+func StrAtLeast(col, low string) Predicate {
+	return &leafPred{col: col, kind: kindAtLeast, low: low}
+}
+
+// StrLessThan selects rows of a string column with v < high.
+func StrLessThan(col, high string) Predicate {
+	return &leafPred{col: col, kind: kindLessThan, high: high}
+}
+
+// StrEquals selects rows of a string column equal to v.
+func StrEquals(col, v string) Predicate {
+	return &leafPred{col: col, kind: kindEquals, low: v}
+}
+
+// StrIn selects rows of a string column equal to any of the given
+// values (strings absent from the column select nothing).
+func StrIn(col string, values ...string) Predicate {
+	return &leafPred{col: col, kind: kindIn, low: append([]string(nil), values...)}
+}
+
+// StrPrefix selects rows of a string column starting with prefix.
+// Matching strings form a contiguous dictionary range, so the leaf is
+// answered in a single index pass like any other range.
+func StrPrefix(col, prefix string) Predicate {
+	return &leafPred{col: col, kind: kindPrefix, low: prefix}
 }
 
 // And selects rows satisfying every child predicate.
@@ -97,79 +171,16 @@ func (o SelectOptions) threshold() float64 {
 }
 
 // evaluated is the composable form of a predicate subtree: candidate
-// row-block runs plus the exact residual row check.
+// row-block runs, the exact residual row check, and the plan node that
+// records how the subtree was evaluated (for Explain).
 type evaluated struct {
 	runs  []core.CandidateRun // in BlockRows units
 	check core.CheckFunc
+	plan  *PlanNode
 }
 
-// Select evaluates a predicate tree with late materialization and
-// returns the ascending ids of qualifying, non-deleted rows.
-func (t *Table) Select(p Predicate, opts SelectOptions) ([]uint32, core.QueryStats, error) {
-	var st core.QueryStats
-	ev, err := t.eval(p, opts, &st)
-	if err != nil {
-		return nil, st, err
-	}
-	var res []uint32
-	for _, r := range ev.runs {
-		from := int(r.Start) * BlockRows
-		to := (int(r.Start) + int(r.Count)) * BlockRows
-		if to > t.rows {
-			to = t.rows
-		}
-		for id := from; id < to; id++ {
-			if t.deleted != nil && t.deleted.Get(id) {
-				continue
-			}
-			if !r.Exact {
-				st.Comparisons++
-				if !ev.check(uint32(id)) {
-					continue
-				}
-			}
-			res = append(res, uint32(id))
-		}
-	}
-	return res, st, nil
-}
-
-// Count evaluates a predicate tree and returns the number of
-// qualifying rows without materializing ids.
-func (t *Table) Count(p Predicate, opts SelectOptions) (uint64, core.QueryStats, error) {
-	var st core.QueryStats
-	ev, err := t.eval(p, opts, &st)
-	if err != nil {
-		return 0, st, err
-	}
-	var n uint64
-	for _, r := range ev.runs {
-		from := int(r.Start) * BlockRows
-		to := (int(r.Start) + int(r.Count)) * BlockRows
-		if to > t.rows {
-			to = t.rows
-		}
-		if r.Exact && t.ndel == 0 {
-			n += uint64(to - from)
-			continue
-		}
-		for id := from; id < to; id++ {
-			if t.deleted != nil && t.deleted.Get(id) {
-				continue
-			}
-			if !r.Exact {
-				st.Comparisons++
-				if !ev.check(uint32(id)) {
-					continue
-				}
-			}
-			n++
-		}
-	}
-	return n, st, nil
-}
-
-// eval recursively evaluates a predicate subtree.
+// eval recursively evaluates a predicate subtree; callers hold the
+// table's read lock.
 func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
 	switch node := p.(type) {
 	case *leafPred:
@@ -183,6 +194,7 @@ func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (eval
 			return evaluated{}, err
 		}
 		checks := []core.CheckFunc{acc.check}
+		kids := []*PlanNode{acc.plan}
 		for _, kid := range node.kids[1:] {
 			ev, err := t.eval(kid, opts, st)
 			if err != nil {
@@ -190,8 +202,10 @@ func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (eval
 			}
 			acc.runs = core.IntersectRuns(acc.runs, ev.runs)
 			checks = append(checks, ev.check)
+			kids = append(kids, ev.plan)
 		}
 		acc.check = allOf(checks)
+		acc.plan = opNode("and", acc.runs, kids)
 		return acc, nil
 	case *orPred:
 		if len(node.kids) == 0 {
@@ -202,6 +216,7 @@ func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (eval
 			return evaluated{}, err
 		}
 		checks := []core.CheckFunc{acc.check}
+		kids := []*PlanNode{acc.plan}
 		for _, kid := range node.kids[1:] {
 			ev, err := t.eval(kid, opts, st)
 			if err != nil {
@@ -209,8 +224,10 @@ func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (eval
 			}
 			acc.runs = core.UnionRuns(acc.runs, ev.runs)
 			checks = append(checks, ev.check)
+			kids = append(kids, ev.plan)
 		}
 		acc.check = anyOf(checks)
+		acc.plan = opNode("or", acc.runs, kids)
 		return acc, nil
 	case *andNotPred:
 		evP, err := t.eval(node.p, opts, st)
@@ -222,9 +239,11 @@ func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (eval
 			return evaluated{}, err
 		}
 		pc, qc := evP.check, evQ.check
+		runs := core.DiffRuns(evP.runs, evQ.runs)
 		return evaluated{
-			runs:  core.DiffRuns(evP.runs, evQ.runs),
+			runs:  runs,
 			check: func(id uint32) bool { return pc(id) && !qc(id) },
+			plan:  opNode("andnot", runs, []*PlanNode{evP.plan, evQ.plan}),
 		}, nil
 	}
 	return evaluated{}, fmt.Errorf("table %s: unknown predicate %T", t.name, p)
@@ -239,26 +258,51 @@ func (t *Table) evalLeaf(p *leafPred, opts SelectOptions, st *core.QueryStats) (
 	if err != nil {
 		return evaluated{}, err
 	}
+	node := &PlanNode{Op: "leaf", Column: p.col, Pred: p.describe(), Access: c.indexKind(), Selectivity: -1}
 	// Cost-based access path: skip index probing for unselective leaves.
-	if est, err := c.estimate(p); err == nil && est > opts.threshold() {
-		return evaluated{runs: t.fullSpan(), check: check}, nil
+	// Only imprint-backed columns yield an estimate (negative means
+	// none); zonemap leaves are always probed — their per-zone cost is
+	// two comparisons, so a scan fallback buys nothing.
+	if est, err := c.estimate(p); err == nil && est >= 0 {
+		// est >= 0 implies an imprint-backed leaf, so Access here is
+		// always "imprints".
+		node.Selectivity = est
+		if est > opts.threshold() {
+			node.Access = "scan"
+			node.Reason = "unselective"
+			runs := t.fullSpan()
+			node.setRuns(runs)
+			return evaluated{runs: runs, check: check, plan: node}, nil
+		}
 	}
 	runs, s, err := c.leafRuns(p)
 	if err != nil {
 		return evaluated{}, err
 	}
 	st.Add(s)
-	return evaluated{runs: runs, check: check}, nil
+	node.Stats = s
+	node.setRuns(runs)
+	return evaluated{runs: runs, check: check, plan: node}, nil
 }
 
-// fullSpan covers every row block, inexactly.
-func (t *Table) fullSpan() []core.CandidateRun {
-	blocks := (t.rows + BlockRows - 1) / BlockRows
+// blockSpanRuns covers every block of an n-row column in one run:
+// inexact for scan fallbacks (rows must still pass the residual
+// check), exact for a query with no predicate at all.
+func blockSpanRuns(n int, exact bool) []core.CandidateRun {
+	blocks := (n + BlockRows - 1) / BlockRows
 	if blocks == 0 {
 		return nil
 	}
-	return []core.CandidateRun{{Start: 0, Count: uint32(blocks), Exact: false}}
+	return []core.CandidateRun{{Start: 0, Count: uint32(blocks), Exact: exact}}
 }
+
+func (t *Table) span(exact bool) []core.CandidateRun { return blockSpanRuns(t.rows, exact) }
+
+// fullSpan covers every row block, inexactly.
+func (t *Table) fullSpan() []core.CandidateRun { return t.span(false) }
+
+// matchAll covers every row block exactly (a query with no predicate).
+func (t *Table) matchAll() []core.CandidateRun { return t.span(true) }
 
 func allOf(checks []core.CheckFunc) core.CheckFunc {
 	return func(id uint32) bool {
@@ -315,6 +359,10 @@ func (c *colState[V]) inSet(p *leafPred) ([]V, error) {
 
 func (c *colState[V]) leafCheck(p *leafPred) (core.CheckFunc, error) {
 	vals := c.vals
+	if p.kind == kindPrefix {
+		return nil, fmt.Errorf("column %q is %s: prefix predicates need a string column",
+			c.name, coltype.TypeName[V]())
+	}
 	if p.kind == kindIn {
 		set, err := c.inSet(p)
 		if err != nil {
@@ -346,19 +394,20 @@ func (c *colState[V]) leafCheck(p *leafPred) (core.CheckFunc, error) {
 func (c *colState[V]) leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStats, error) {
 	if c.ix == nil && c.zm == nil {
 		// Scan-only column: every block is a candidate, but the bounds
-		// (or IN-list) must still type-check.
+		// (or IN-list) must still type-check — and an empty IN-list
+		// provably selects nothing.
 		if p.kind == kindIn {
-			if _, err := c.inSet(p); err != nil {
+			set, err := c.inSet(p)
+			if err != nil {
 				return nil, core.QueryStats{}, err
+			}
+			if len(set) == 0 {
+				return nil, core.QueryStats{}, nil
 			}
 		} else if _, _, err := leafBounds(c, p); err != nil {
 			return nil, core.QueryStats{}, err
 		}
-		totalCl := (len(c.vals) + BlockRows - 1) / BlockRows
-		if totalCl == 0 {
-			return nil, core.QueryStats{}, nil
-		}
-		return []core.CandidateRun{{Start: 0, Count: uint32(totalCl)}}, core.QueryStats{}, nil
+		return blockSpanRuns(len(c.vals), false), core.QueryStats{}, nil
 	}
 	var runs []core.CandidateRun
 	var st core.QueryStats
@@ -428,9 +477,16 @@ func (c *colState[V]) leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStat
 	return blocksFromCachelines(runs, BlockRows/vpc, cls), st, nil
 }
 
+// estimate returns the imprint-histogram selectivity estimate of a
+// leaf, or a negative value when the column has no imprint to estimate
+// from (scan-only and zonemap columns).
 func (c *colState[V]) estimate(p *leafPred) (float64, error) {
 	if c.ix == nil {
-		return 0.5, nil
+		return -1, nil
+	}
+	if p.kind == kindPrefix {
+		return 0, fmt.Errorf("column %q is %s: prefix predicates need a string column",
+			c.name, coltype.TypeName[V]())
 	}
 	if p.kind == kindIn {
 		set, err := c.inSet(p)
@@ -458,7 +514,7 @@ func (c *colState[V]) estimate(p *leafPred) (float64, error) {
 		// Crude point estimate: one bin's share.
 		return 1 / float64(c.ix.Bins()), nil
 	}
-	return 0.5, nil
+	return -1, nil
 }
 
 // blocksFromCachelines renormalizes a cacheline run list (vpc rows per

@@ -1,0 +1,262 @@
+package table
+
+import (
+	"fmt"
+	"iter"
+
+	"repro/internal/core"
+)
+
+// Query is a lazy selection over one table, built by Table.Select. It
+// records a projection, a predicate tree, and a row limit; nothing runs
+// until one of the executors — Rows, IDs, Count, Explain — is called,
+// and each execution sees a consistent snapshot of the table (readers
+// share the table lock, writers exclude them).
+//
+// A Query value is reusable (each executor re-runs the plan) but not
+// safe for concurrent use; build one per goroutine.
+type Query struct {
+	t       *Table
+	cols    []string
+	pred    Predicate
+	limit   int
+	limited bool // Limit was called; limit 0 then means "no rows"
+	opts    SelectOptions
+	err     error // sticky error from the last Rows iteration
+}
+
+// Select starts a lazy query projecting the named columns; no columns
+// means every column, in definition order. Column names are validated
+// at execution time.
+func (t *Table) Select(cols ...string) *Query {
+	return &Query{t: t, cols: cols}
+}
+
+// Where filters the query by a predicate tree. Multiple Where calls
+// AND their predicates together.
+func (q *Query) Where(p Predicate) *Query {
+	switch {
+	case p == nil:
+	case q.pred == nil:
+		q.pred = p
+	default:
+		q.pred = And(q.pred, p)
+	}
+	return q
+}
+
+// Limit caps the number of result rows. Limit(0) — or a negative n,
+// as computed pagination remainders can produce — selects no rows and
+// short-circuits execution before the predicate is evaluated (only the
+// projection is still validated); a query that never calls Limit is
+// unbounded. Count is capped too, so "exists" probes can use Limit(1).
+func (q *Query) Limit(n int) *Query {
+	if n < 0 {
+		n = 0
+	}
+	q.limit = n
+	q.limited = true
+	return q
+}
+
+// Options tunes evaluation (e.g. the scan-vs-probe threshold).
+func (q *Query) Options(o SelectOptions) *Query {
+	q.opts = o
+	return q
+}
+
+// plan evaluates the predicate tree to candidate runs; callers hold the
+// table's read lock. A nil predicate matches every row exactly.
+func (q *Query) plan(st *core.QueryStats) (evaluated, error) {
+	if q.pred == nil {
+		runs := q.t.matchAll()
+		node := &PlanNode{Op: "all", Pred: "true"}
+		node.setRuns(runs)
+		return evaluated{runs: runs, plan: node}, nil
+	}
+	return q.t.eval(q.pred, q.opts, st)
+}
+
+// projection resolves the projected column names; callers hold the read
+// lock. An empty projection selects every column in definition order.
+func (q *Query) projection() ([]string, []anyColumn, error) {
+	// Copy in both branches: names escapes into Row values, and
+	// aliasing t.order (or the reusable query's own cols) would let
+	// callers mutate query or table state through Row.Columns.
+	names := append([]string(nil), q.cols...)
+	if len(names) == 0 {
+		names = append(names, q.t.order...)
+	}
+	cols := make([]anyColumn, len(names))
+	for i, name := range names {
+		c, ok := q.t.cols[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("table %s: no column %q", q.t.name, name)
+		}
+		cols[i] = c
+	}
+	return names, cols, nil
+}
+
+// checkProjection validates the projected names without materializing
+// the projection (IDs and Count never fetch values); callers hold the
+// read lock.
+func (q *Query) checkProjection() error {
+	for _, name := range q.cols {
+		if _, ok := q.t.cols[name]; !ok {
+			return fmt.Errorf("table %s: no column %q", q.t.name, name)
+		}
+	}
+	return nil
+}
+
+// IDs executes the query and returns the ascending ids of qualifying,
+// non-deleted rows, with the evaluation stats.
+func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
+	q.t.mu.RLock()
+	defer q.t.mu.RUnlock()
+	var st core.QueryStats
+	if err := q.checkProjection(); err != nil {
+		return nil, st, err
+	}
+	if q.limited && q.limit == 0 {
+		return nil, st, nil
+	}
+	ev, err := q.plan(&st)
+	if err != nil {
+		return nil, st, err
+	}
+	var res []uint32
+	q.t.scanRuns(ev, &st, nil, func(id int) bool {
+		res = append(res, uint32(id))
+		return !q.limited || len(res) < q.limit
+	})
+	return res, st, nil
+}
+
+// Count executes the query and returns the number of qualifying rows
+// (capped by Limit) without materializing ids. Exact candidate runs are
+// counted wholesale when no deletes are pending.
+func (q *Query) Count() (uint64, core.QueryStats, error) {
+	q.t.mu.RLock()
+	defer q.t.mu.RUnlock()
+	var st core.QueryStats
+	if err := q.checkProjection(); err != nil {
+		return 0, st, err
+	}
+	if q.limited && q.limit == 0 {
+		return 0, st, nil
+	}
+	ev, err := q.plan(&st)
+	if err != nil {
+		return 0, st, err
+	}
+	limit := uint64(q.limit)
+	var n uint64
+	q.t.scanRuns(ev, &st, func(from, to int) bool {
+		n += uint64(to - from)
+		return !q.limited || n < limit
+	}, func(id int) bool {
+		n++
+		return !q.limited || n < limit
+	})
+	if q.limited && n > limit {
+		n = limit
+	}
+	return n, st, nil
+}
+
+// Rows executes the query as a streaming iterator over (id, Row) pairs:
+// qualifying rows are materialized one at a time — only the projected
+// columns of rows that survive the candidate-run check are ever fetched
+// (late materialization end to end), so breaking out early does no
+// wasted work and large results never build an id slice.
+//
+// The table's read lock is held for the duration of the iteration, and
+// sync.RWMutex is not reentrant: calling any write method (Update,
+// Delete, Batch.Commit, Compact, Maintain, AddColumn, ...) from inside
+// the loop body deadlocks, and nested reads can too once a writer is
+// queued. To mutate matching rows, materialize the ids first (IDs) and
+// write after the loop. Plan errors (unknown column, type-mismatched
+// bound) yield no rows and are reported by Err.
+func (q *Query) Rows() iter.Seq2[int, Row] {
+	return func(yield func(int, Row) bool) {
+		q.t.mu.RLock()
+		defer q.t.mu.RUnlock()
+		q.err = nil
+		var st core.QueryStats
+		names, cols, err := q.projection()
+		if err != nil {
+			q.err = err
+			return
+		}
+		if q.limited && q.limit == 0 {
+			return
+		}
+		ev, err := q.plan(&st)
+		if err != nil {
+			q.err = err
+			return
+		}
+		emitted := 0
+		q.t.scanRuns(ev, &st, nil, func(id int) bool {
+			vals := make([]any, len(cols))
+			for i, c := range cols {
+				vals[i] = c.valueAt(id)
+			}
+			if !yield(id, Row{id: id, names: names, vals: vals}) {
+				return false
+			}
+			emitted++
+			return !q.limited || emitted < q.limit
+		})
+	}
+}
+
+// Err reports the plan error of the last Rows iteration, if any. IDs,
+// Count and Explain return their errors directly.
+func (q *Query) Err() error { return q.err }
+
+// scanRuns is the single traversal shared by IDs, Count and Rows: it
+// walks the candidate runs, skips deleted rows, applies the residual
+// check of non-exact runs (counting comparisons into st), and hands
+// each qualifying row to visit. Exact runs with no deletes pending are
+// offered wholesale to visitRun when it is non-nil (Count's fast
+// path); rows of such runs are otherwise visited individually. Either
+// callback returns false to stop. Callers hold the read lock.
+func (t *Table) scanRuns(ev evaluated, st *core.QueryStats, visitRun func(from, to int) bool, visit func(id int) bool) {
+	for _, r := range ev.runs {
+		from, to := t.blockSpan(r)
+		if visitRun != nil && r.Exact && t.ndel == 0 {
+			if !visitRun(from, to) {
+				return
+			}
+			continue
+		}
+		for id := from; id < to; id++ {
+			if t.deleted != nil && t.deleted.Get(id) {
+				continue
+			}
+			if !r.Exact && ev.check != nil {
+				st.Comparisons++
+				if !ev.check(uint32(id)) {
+					continue
+				}
+			}
+			if !visit(id) {
+				return
+			}
+		}
+	}
+}
+
+// blockSpan converts a candidate run to its [from, to) row interval;
+// callers hold the read lock.
+func (t *Table) blockSpan(r core.CandidateRun) (from, to int) {
+	from = int(r.Start) * BlockRows
+	to = (int(r.Start) + int(r.Count)) * BlockRows
+	if to > t.rows {
+		to = t.rows
+	}
+	return from, to
+}

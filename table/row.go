@@ -1,0 +1,60 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one materialized result row of a Query: the projected column
+// values, fetched only after the row survived the candidate-run check
+// (late materialization). Values are accessed by column name or
+// projection position.
+type Row struct {
+	id    int
+	names []string // shared with the query; do not mutate
+	vals  []any
+}
+
+// ID returns the row id the values were fetched from.
+func (r Row) ID() int { return r.id }
+
+// Columns lists the projected column names in projection order. The
+// slice is shared by every Row of one iteration — treat it as
+// read-only (mutating it would desync names from values on subsequent
+// rows).
+func (r Row) Columns() []string { return r.names }
+
+// Get returns the value of a projected column, or nil when the column
+// is not part of the projection.
+func (r Row) Get(name string) any {
+	for i, n := range r.names {
+		if n == name {
+			return r.vals[i]
+		}
+	}
+	return nil
+}
+
+// Value returns the value at projection position i.
+func (r Row) Value(i int) any { return r.vals[i] }
+
+// Map copies the row into a name -> value map (ReadRow-shaped).
+func (r Row) Map() map[string]any {
+	m := make(map[string]any, len(r.names))
+	for i, n := range r.names {
+		m[n] = r.vals[i]
+	}
+	return m
+}
+
+// String renders the row as "col=val col=val ..." for logs.
+func (r Row) String() string {
+	var sb strings.Builder
+	for i, n := range r.names {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%v", n, r.vals[i])
+	}
+	return sb.String()
+}

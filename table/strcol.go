@@ -1,0 +1,339 @@
+package table
+
+import (
+	"fmt"
+
+	"repro/internal/column"
+	"repro/internal/core"
+)
+
+// strColState is the per-column state of a string attribute: the values
+// live dictionary-encoded (lexicographically ordered int32 codes, see
+// column.StringDict), and the secondary index is a column imprint over
+// the code column — exactly how the paper's "char"/"str" columns
+// (Airtraffic, Cnet, TPC-H) are indexed. String predicates translate to
+// code intervals, so StrRange and friends compose in the same And/Or/
+// AndNot trees as numeric leaves.
+type strColState struct {
+	name    string
+	dict    *column.StringDict
+	ix      *core.Index[int32]
+	mode    IndexMode // Imprints or NoIndex
+	vpcOpts core.Options
+}
+
+// AddStringColumn defines a new string column, dictionary-encoding vals
+// and (unless mode is NoIndex) building a code imprint. Like AddColumn,
+// the values are copied on ingest. Zonemap mode is not supported for
+// strings: dictionary codes are dense, which makes the imprint strictly
+// better.
+func (t *Table) AddStringColumn(name string, vals []string, mode IndexMode, opts core.Options) error {
+	if mode == Zonemap {
+		return fmt.Errorf("table %s: column %q: zonemap mode is not supported for string columns", t.name, name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkNewColumn(name, len(vals), opts); err != nil {
+		return err
+	}
+	cs := &strColState{name: name, dict: column.EncodeStrings(name, vals), mode: mode, vpcOpts: opts}
+	cs.rebuild()
+	t.installColumn(name, cs, len(vals))
+	return nil
+}
+
+// StringColumn materializes the decoded values of a string column. The
+// returned slice is freshly allocated and safe to keep.
+func (t *Table) StringColumn(name string) ([]string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cs, err := strCol(t, name)
+	if err != nil {
+		return nil, err
+	}
+	return cs.decodeAll(), nil
+}
+
+// UpdateString changes one string value in place. When the new value is
+// already in the dictionary the covering imprint is widened (Section
+// 4.2); a novel string forces a re-encode and index rebuild, since code
+// order must stay aligned with string order.
+func (t *Table) UpdateString(name string, id int, v string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cs, err := strCol(t, name)
+	if err != nil {
+		return err
+	}
+	if id < 0 || id >= cs.colRows() {
+		return fmt.Errorf("table %s: row %d out of range", t.name, id)
+	}
+	if code, ok := cs.dict.Code(v); ok {
+		cs.codes()[id] = code
+		if cs.ix != nil {
+			cs.ix.MarkUpdated(id, code)
+		}
+		return nil
+	}
+	all := cs.decodeAll()
+	all[id] = v
+	cs.reencode(all)
+	return nil
+}
+
+func strCol(t *Table, name string) (*strColState, error) {
+	c, ok := t.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("table %s: no column %q", t.name, name)
+	}
+	cs, ok := c.(*strColState)
+	if !ok {
+		return nil, fmt.Errorf("table %s: column %q holds %s, not string",
+			t.name, name, c.colType())
+	}
+	return cs, nil
+}
+
+// ---- anyColumn implementation ----
+
+func (c *strColState) codes() []int32 { return c.dict.Codes().Values() }
+
+func (c *strColState) colName() string  { return c.name }
+func (c *strColState) colRows() int     { return c.dict.Codes().Len() }
+func (c *strColState) colType() string  { return "string" }
+func (c *strColState) sizeBytes() int64 { return c.dict.SizeBytes() }
+
+func (c *strColState) indexBytes() int64 {
+	if c.ix == nil {
+		return 0
+	}
+	return c.ix.SizeBytes()
+}
+
+func (c *strColState) indexKind() string {
+	if c.ix != nil {
+		return "imprints"
+	}
+	return "scan"
+}
+
+func (c *strColState) rebuild() {
+	c.ix = nil // as in colState.rebuild: never keep a stale index
+	if c.mode != Imprints || c.colRows() == 0 {
+		return
+	}
+	c.ix = core.Build(c.codes(), c.vpcOpts)
+}
+
+func (c *strColState) needsRebuild(satLimit float64) bool {
+	return c.ix != nil && c.ix.NeedsRebuild(satLimit, 0, 0)
+}
+
+func (c *strColState) valueAt(id int) any { return c.dict.Symbol(c.codes()[id]) }
+
+func (c *strColState) decodeAll() []string {
+	codes := c.codes()
+	out := make([]string, len(codes))
+	for i, code := range codes {
+		out[i] = c.dict.Symbol(code)
+	}
+	return out
+}
+
+// reencode replaces the dictionary with a fresh encoding of vals and
+// rebuilds the index (codes must stay ordered like the strings).
+func (c *strColState) reencode(vals []string) {
+	c.dict = column.EncodeStrings(c.name, vals)
+	c.ix = nil
+	c.rebuild()
+}
+
+func (c *strColState) compact(keep []int) {
+	codes := c.codes()
+	kept := make([]string, 0, len(keep))
+	for _, id := range keep {
+		kept = append(kept, c.dict.Symbol(codes[id]))
+	}
+	c.reencode(kept)
+}
+
+// absorbStrings extends the column with committed batch rows. When every
+// new value is already in the dictionary, the codes and the imprint are
+// extended in place (Section 4.1's cheap append); novel strings force a
+// re-encode.
+func (c *strColState) absorbStrings(vals []string) {
+	newCodes := make([]int32, len(vals))
+	for i, s := range vals {
+		code, ok := c.dict.Code(s)
+		if !ok {
+			all := append(c.decodeAll(), vals...)
+			c.reencode(all)
+			return
+		}
+		newCodes[i] = code
+	}
+	c.dict.Codes().Append(newCodes...)
+	if c.mode != Imprints {
+		return
+	}
+	if c.ix == nil {
+		c.rebuild()
+	} else {
+		c.ix.Append(c.codes())
+	}
+}
+
+// ---- leaf evaluation ----
+
+// codeInterval translates a string leaf into the half-open code interval
+// [lo, hi) it selects. ok=false means the leaf provably selects nothing.
+func (c *strColState) codeInterval(p *leafPred) (lo, hi int32, ok bool, err error) {
+	s := func(x any) (string, error) {
+		if x == nil {
+			return "", nil
+		}
+		v, isStr := x.(string)
+		if !isStr {
+			return "", fmt.Errorf("column %q is string but predicate bound is %T", c.name, x)
+		}
+		return v, nil
+	}
+	loS, err := s(p.low)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	hiS, err := s(p.high)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	card := int32(c.dict.Cardinality())
+	switch p.kind {
+	case kindRange: // inclusive [loS, hiS] per string-predicate convention
+		l, h, in := c.dict.CodeRange(loS, hiS)
+		return l, h, in, nil
+	case kindAtLeast:
+		l := c.dict.SearchCode(loS)
+		return l, card, l < card, nil
+	case kindLessThan:
+		h := c.dict.SearchCode(hiS)
+		return 0, h, h > 0, nil
+	case kindEquals:
+		code, in := c.dict.Code(loS)
+		return code, code + 1, in, nil
+	case kindPrefix:
+		l, h, in := c.dict.PrefixCodeRange(loS)
+		return l, h, in, nil
+	}
+	return 0, 0, false, fmt.Errorf("column %q: unsupported string leaf kind %d", c.name, p.kind)
+}
+
+// inCodes translates a StrIn list into the set of dictionary codes it
+// hits (absent strings drop out).
+func (c *strColState) inCodes(p *leafPred) ([]int32, error) {
+	set, ok := p.low.([]string)
+	if !ok {
+		return nil, fmt.Errorf("column %q is string but IN-list holds %T", c.name, p.low)
+	}
+	codes := make([]int32, 0, len(set))
+	for _, s := range set {
+		if code, in := c.dict.Code(s); in {
+			codes = append(codes, code)
+		}
+	}
+	return codes, nil
+}
+
+func (c *strColState) leafCheck(p *leafPred) (core.CheckFunc, error) {
+	codes := c.codes()
+	if p.kind == kindIn {
+		set, err := c.inCodes(p)
+		if err != nil {
+			return nil, err
+		}
+		member := make(map[int32]struct{}, len(set))
+		for _, v := range set {
+			member[v] = struct{}{}
+		}
+		return func(id uint32) bool { _, ok := member[codes[id]]; return ok }, nil
+	}
+	lo, hi, ok, err := c.codeInterval(p)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return func(uint32) bool { return false }, nil
+	}
+	return func(id uint32) bool { v := codes[id]; return v >= lo && v < hi }, nil
+}
+
+func (c *strColState) leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStats, error) {
+	if c.ix == nil {
+		// Scan-only: every block is a candidate — unless the dictionary
+		// already proves the leaf selects nothing.
+		if p.kind == kindIn {
+			set, err := c.inCodes(p)
+			if err != nil {
+				return nil, core.QueryStats{}, err
+			}
+			if len(set) == 0 {
+				return nil, core.QueryStats{}, nil
+			}
+		} else if _, _, ok, err := c.codeInterval(p); err != nil {
+			return nil, core.QueryStats{}, err
+		} else if !ok {
+			return nil, core.QueryStats{}, nil
+		}
+		return blockSpanRuns(c.colRows(), false), core.QueryStats{}, nil
+	}
+	var runs []core.CandidateRun
+	var st core.QueryStats
+	if p.kind == kindIn {
+		set, err := c.inCodes(p)
+		if err != nil {
+			return nil, st, err
+		}
+		if len(set) == 0 {
+			return nil, core.QueryStats{}, nil
+		}
+		runs, st = c.ix.InSetCachelines(set)
+	} else {
+		lo, hi, ok, err := c.codeInterval(p)
+		if err != nil {
+			return nil, st, err
+		}
+		if !ok {
+			return nil, core.QueryStats{}, nil
+		}
+		runs, st = c.ix.RangeCachelines(lo, hi)
+	}
+	vpc := c.ix.ValuesPerCacheline()
+	cls := (c.colRows() + vpc - 1) / vpc
+	return blocksFromCachelines(runs, BlockRows/vpc, cls), st, nil
+}
+
+// estimate mirrors colState.estimate: negative means no imprint-backed
+// estimate is available.
+func (c *strColState) estimate(p *leafPred) (float64, error) {
+	if c.ix == nil {
+		return -1, nil
+	}
+	if p.kind == kindIn {
+		set, err := c.inCodes(p)
+		if err != nil {
+			return 0, err
+		}
+		est := float64(len(set)) / float64(c.ix.Bins())
+		if est > 1 {
+			est = 1
+		}
+		return est, nil
+	}
+	lo, hi, ok, err := c.codeInterval(p)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	return c.ix.EstimateSelectivity(lo, hi), nil
+}

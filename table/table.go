@@ -4,15 +4,28 @@
 // (Section 4.1), in-place updates with index widening, delete tracking,
 // rebuild policies (Section 4.2), tuple reconstruction (ReadRow), whole-
 // table persistence, and a composable predicate engine that evaluates
-// Range/AtLeast/LessThan/Equals/In leaves under AND/OR/AND-NOT trees
-// with late materialization (Section 3), choosing between index and
-// scan per leaf based on estimated selectivity.
+// Range/AtLeast/LessThan/Equals/In leaves (plus StrRange and friends on
+// dictionary-encoded string columns) under AND/OR/AND-NOT trees with
+// late materialization (Section 3), choosing between index and scan per
+// leaf based on estimated selectivity.
+//
+// The front door is the lazy Query builder:
+//
+//	q := t.Select("price", "city").Where(pred).Limit(10)
+//	for id, row := range q.Rows() { ... }
+//
+// Queries execute via Rows (a streaming iterator), IDs, Count, and
+// Explain, which renders the per-leaf access-path plan. A Table is safe
+// for concurrent use: queries and point reads take a shared lock, while
+// batch commits, updates, deletes and maintenance take it exclusively.
 package table
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/coltype"
@@ -41,9 +54,10 @@ type anyColumn interface {
 	colType() string
 	sizeBytes() int64
 	indexBytes() int64
-	rebuild()           // rebuild the index from current values
-	needsRebuild() bool // saturation heuristic
-	compact(keep []int) // drop deleted rows (ids to keep, ascending)
+	indexKind() string                  // access path name: "imprints", "zonemap", "scan"
+	rebuild()                           // rebuild the index from current values
+	needsRebuild(satLimit float64) bool // saturation heuristic
+	compact(keep []int)                 // drop deleted rows (ids to keep, ascending)
 	valueAt(id int) any
 	persist(io.Writer) error
 	leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStats, error)
@@ -61,8 +75,11 @@ type colState[V coltype.Value] struct {
 	vpcOpts core.Options
 }
 
-// Table is a named relation.
+// Table is a named relation. All exported methods (and the generic free
+// functions operating on a Table) are safe for concurrent use: readers
+// share the table, writers exclude everything else.
 type Table struct {
+	mu      sync.RWMutex
 	name    string
 	order   []string
 	cols    map[string]anyColumn
@@ -81,16 +98,30 @@ func (t *Table) Name() string { return t.name }
 
 // Rows returns the number of rows, including deleted-but-not-compacted
 // ones.
-func (t *Table) Rows() int { return t.rows }
+func (t *Table) Rows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
 
 // LiveRows returns the number of rows not marked deleted.
-func (t *Table) LiveRows() int { return t.rows - t.ndel }
+func (t *Table) LiveRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows - t.ndel
+}
 
 // Columns lists column names in definition order.
-func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
+func (t *Table) Columns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]string(nil), t.order...)
+}
 
 // SizeBytes returns total column payload bytes.
 func (t *Table) SizeBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var s int64
 	for _, c := range t.cols {
 		s += c.sizeBytes()
@@ -100,6 +131,8 @@ func (t *Table) SizeBytes() int64 {
 
 // IndexBytes returns total secondary index bytes.
 func (t *Table) IndexBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var s int64
 	for _, c := range t.cols {
 		s += c.indexBytes()
@@ -109,27 +142,69 @@ func (t *Table) IndexBytes() int64 {
 
 // AddColumn defines a new column with initial values. All columns must
 // stay the same length: the first column fixes the row count and later
-// ones must match it.
+// ones must match it. The values are copied on ingest, so the caller's
+// slice stays independent of the table (mutating it cannot desync the
+// column from its already-built index).
 func AddColumn[V coltype.Value](t *Table, name string, vals []V, mode IndexMode, opts core.Options) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.checkNewColumn(name, len(vals), opts); err != nil {
+		return err
+	}
+	cs := &colState[V]{name: name, vals: append([]V(nil), vals...), mode: mode, vpcOpts: opts}
+	cs.rebuild()
+	t.installColumn(name, cs, len(vals))
+	return nil
+}
+
+// checkNewColumn validates a column definition; callers hold mu.
+func (t *Table) checkNewColumn(name string, nvals int, opts core.Options) error {
 	if _, dup := t.cols[name]; dup {
 		return fmt.Errorf("table %s: column %q already exists", t.name, name)
 	}
-	if len(t.order) > 0 && len(vals) != t.rows {
+	if len(t.order) > 0 && nvals != t.rows {
 		return fmt.Errorf("table %s: column %q has %d rows, table has %d",
-			t.name, name, len(vals), t.rows)
+			t.name, name, nvals, t.rows)
 	}
-	cs := &colState[V]{name: name, vals: vals, mode: mode, vpcOpts: opts}
-	cs.rebuild()
-	t.cols[name] = cs
-	t.order = append(t.order, name)
-	if len(t.order) == 1 {
-		t.rows = len(vals)
+	if err := validateOptions(opts); err != nil {
+		return fmt.Errorf("table %s: column %q: %w", t.name, name, err)
 	}
 	return nil
 }
 
-// Column returns the typed values of a column (read-only view).
+// validateOptions rejects build options the table cannot evaluate: the
+// ValuesPerCacheline override must divide BlockRows (predicate
+// composition renormalizes every column's cacheline runs to 64-row
+// blocks, which requires a whole number of cachelines per block), and
+// MaxBins is restricted to the values core.Build accepts — erroring
+// here instead of panicking inside a later rebuild.
+func validateOptions(o core.Options) error {
+	if vpc := o.ValuesPerCacheline; vpc != 0 && (vpc < 0 || BlockRows%vpc != 0) {
+		return fmt.Errorf("ValuesPerCacheline %d must divide %d", vpc, BlockRows)
+	}
+	switch o.MaxBins {
+	case 0, 8, 16, 32, 64:
+		return nil
+	}
+	return fmt.Errorf("MaxBins %d must be 0, 8, 16, 32 or 64", o.MaxBins)
+}
+
+// installColumn registers a validated column; callers hold mu.
+func (t *Table) installColumn(name string, c anyColumn, nvals int) {
+	t.cols[name] = c
+	t.order = append(t.order, name)
+	if len(t.order) == 1 {
+		t.rows = nvals
+	}
+}
+
+// Column returns the typed values of a column. The slice is a read-only
+// view into the table's storage: callers must not mutate it, and a
+// concurrent writer may be extending or rewriting the column — use
+// queries or ReadRow when writers may be active.
 func Column[V coltype.Value](t *Table, name string) ([]V, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	cs, err := typedCol[V](t, name)
 	if err != nil {
 		return nil, err
@@ -138,7 +213,13 @@ func Column[V coltype.Value](t *Table, name string) ([]V, error) {
 }
 
 // Index returns the imprints index of a column, or nil if unindexed.
+// The returned index is the table's live one, outside the table lock:
+// probing it while writers (Update, Batch.Commit, Maintain) are active
+// races, and maintenance may replace it entirely — use queries when
+// writers may be running, and re-fetch after maintenance.
 func Index[V coltype.Value](t *Table, name string) (*core.Index[V], error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	cs, err := typedCol[V](t, name)
 	if err != nil {
 		return nil, err
@@ -163,7 +244,8 @@ func typedCol[V coltype.Value](t *Table, name string) (*colState[V], error) {
 
 // Batch stages one append of N rows across all columns. Staged data
 // lives inside the batch, so abandoning one never affects the table or
-// other batches.
+// other batches. A Batch itself is not safe for concurrent use; Commit
+// applies it atomically under the table's write lock.
 type Batch struct {
 	t      *Table
 	rows   int               // -1 until first column staged
@@ -175,23 +257,50 @@ func (t *Table) NewBatch() *Batch {
 	return &Batch{t: t, rows: -1, staged: map[string]func(){}}
 }
 
-// Append stages new values for one column of the batch.
+// Append stages new values for one column of the batch. The values are
+// copied, so the caller's slice may be reused afterwards.
 func Append[V coltype.Value](b *Batch, name string, vals []V) error {
+	b.t.mu.RLock()
 	cs, err := typedCol[V](b.t, name)
+	b.t.mu.RUnlock()
 	if err != nil {
 		return err
 	}
+	if err := b.stage(name, len(vals)); err != nil {
+		return err
+	}
+	vcopy := append([]V(nil), vals...)
+	b.staged[name] = func() { cs.absorb(vcopy) }
+	return nil
+}
+
+// AppendStrings stages new values for one string column of the batch.
+func (b *Batch) AppendStrings(name string, vals []string) error {
+	b.t.mu.RLock()
+	cs, err := strCol(b.t, name)
+	b.t.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if err := b.stage(name, len(vals)); err != nil {
+		return err
+	}
+	vcopy := append([]string(nil), vals...)
+	b.staged[name] = func() { cs.absorbStrings(vcopy) }
+	return nil
+}
+
+// stage validates one column's staging against the batch row count.
+func (b *Batch) stage(name string, nvals int) error {
 	if _, dup := b.staged[name]; dup {
 		return fmt.Errorf("table %s: column %q already staged in this batch", b.t.name, name)
 	}
 	if b.rows == -1 {
-		b.rows = len(vals)
-	} else if len(vals) != b.rows {
+		b.rows = nvals
+	} else if nvals != b.rows {
 		return fmt.Errorf("table %s: batch stages %d rows but column %q got %d",
-			b.t.name, b.rows, name, len(vals))
+			b.t.name, b.rows, name, nvals)
 	}
-	vcopy := append([]V(nil), vals...)
-	b.staged[name] = func() { cs.absorb(vcopy) }
 	return nil
 }
 
@@ -203,6 +312,8 @@ func (b *Batch) Commit() error {
 		b.rows = -1
 		return nil
 	}
+	b.t.mu.Lock()
+	defer b.t.mu.Unlock()
 	for _, name := range b.t.order {
 		if _, ok := b.staged[name]; !ok {
 			return fmt.Errorf("table %s: batch is missing column %q", b.t.name, name)
@@ -241,6 +352,16 @@ func (c *colState[V]) indexBytes() int64 {
 	return 0
 }
 
+func (c *colState[V]) indexKind() string {
+	switch {
+	case c.ix != nil:
+		return "imprints"
+	case c.zm != nil:
+		return "zonemap"
+	}
+	return "scan"
+}
+
 // absorb extends the column (and its index) with committed batch rows.
 func (c *colState[V]) absorb(vals []V) {
 	c.vals = append(c.vals, vals...)
@@ -261,6 +382,10 @@ func (c *colState[V]) absorb(vals []V) {
 }
 
 func (c *colState[V]) rebuild() {
+	// Drop any previous index first: a compact down to zero rows must
+	// not leave a stale index referencing the old values (the next
+	// absorb would panic appending to it).
+	c.ix, c.zm = nil, nil
 	if len(c.vals) == 0 {
 		return
 	}
@@ -274,8 +399,8 @@ func (c *colState[V]) rebuild() {
 
 func (c *colState[V]) valueAt(id int) any { return c.vals[id] }
 
-func (c *colState[V]) needsRebuild() bool {
-	return c.ix != nil && c.ix.NeedsRebuild(0.5, 0, 0)
+func (c *colState[V]) needsRebuild(satLimit float64) bool {
+	return c.ix != nil && c.ix.NeedsRebuild(satLimit, 0, 0)
 }
 
 func (c *colState[V]) compact(keep []int) {
@@ -293,6 +418,8 @@ func (c *colState[V]) compact(keep []int) {
 // queries stay sound (never a false negative). Repeated updates
 // saturate the index; Maintain rebuilds it when they do.
 func Update[V coltype.Value](t *Table, name string, id int, v V) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	cs, err := typedCol[V](t, name)
 	if err != nil {
 		return err
@@ -313,6 +440,8 @@ func Update[V coltype.Value](t *Table, name string, id int, v V) error {
 // Delete marks a row deleted; it stops appearing in query results.
 // Space is reclaimed by Compact.
 func (t *Table) Delete(id int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if id < 0 || id >= t.rows {
 		return fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
@@ -328,12 +457,20 @@ func (t *Table) Delete(id int) error {
 
 // IsDeleted reports whether a row is deleted.
 func (t *Table) IsDeleted(id int) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.deleted != nil && t.deleted.Get(id)
 }
 
 // Compact removes deleted rows, renumbering ids, and rebuilds all
 // indexes. It returns the number of rows removed.
 func (t *Table) Compact() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.compactLocked()
+}
+
+func (t *Table) compactLocked() int {
 	if t.ndel == 0 {
 		return 0
 	}
@@ -353,34 +490,86 @@ func (t *Table) Compact() int {
 	return removed
 }
 
+// MaintenanceReport describes what one Maintain pass did.
+type MaintenanceReport struct {
+	// Rebuilt lists the columns whose saturated index was rebuilt,
+	// sorted by name.
+	Rebuilt []string
+	// Compacted reports whether the deleted-row fraction crossed the
+	// threshold and the table was compacted (ids renumbered).
+	Compacted bool
+	// RowsRemoved is the number of rows reclaimed by that compaction.
+	RowsRemoved int
+}
+
+// String renders the report for logs.
+func (r MaintenanceReport) String() string {
+	var parts []string
+	if len(r.Rebuilt) > 0 {
+		parts = append(parts, fmt.Sprintf("rebuilt %v", r.Rebuilt))
+	}
+	if r.Compacted {
+		parts = append(parts, fmt.Sprintf("compacted (-%d rows)", r.RowsRemoved))
+	}
+	if len(parts) == 0 {
+		return "nothing to do"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// MaintainOptions tunes the Maintain policy. The zero value applies
+// the defaults: rebuild at 50% index saturation, never compact.
+type MaintainOptions struct {
+	// SaturationLimit is the update-saturation fraction past which a
+	// column's index is rebuilt (Section 4.2's heuristic). 0 means the
+	// default of 0.5; set above 1 to never rebuild.
+	SaturationLimit float64
+	// DeletedFraction is the deleted-row fraction past which the table
+	// is compacted (ids renumbered). 0 means never compact.
+	DeletedFraction float64
+}
+
 // Maintain applies the rebuild policy: any index saturated by updates
-// is rebuilt, and the table is compacted when more than delFrac of its
-// rows are deleted. It returns the names of rebuilt columns.
-func (t *Table) Maintain(delFrac float64) []string {
-	var rebuilt []string
+// is rebuilt, and the table is compacted when the deleted-row fraction
+// crosses opts.DeletedFraction.
+func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	satLimit := opts.SaturationLimit
+	if satLimit == 0 {
+		satLimit = 0.5
+	}
+	delFrac := opts.DeletedFraction
+	compacting := delFrac > 0 && t.rows > 0 && float64(t.ndel)/float64(t.rows) >= delFrac
+	var rep MaintenanceReport
 	for _, name := range t.order {
 		c := t.cols[name]
-		if c.needsRebuild() {
-			c.rebuild()
-			rebuilt = append(rebuilt, name)
+		if c.needsRebuild(satLimit) {
+			// Compaction rebuilds every index anyway; don't build twice.
+			if !compacting {
+				c.rebuild()
+			}
+			rep.Rebuilt = append(rep.Rebuilt, name)
 		}
 	}
-	if delFrac > 0 && t.rows > 0 && float64(t.ndel)/float64(t.rows) >= delFrac {
-		t.Compact()
-		rebuilt = append(rebuilt, "(compacted)")
+	sort.Strings(rep.Rebuilt)
+	if compacting {
+		rep.RowsRemoved = t.compactLocked()
+		rep.Compacted = true
 	}
-	sort.Strings(rebuilt)
-	return rebuilt
+	return rep
 }
 
 // ReadRow reconstructs one row as a name -> value map (the tuple
 // reconstruction of Section 2: values from different columns with the
 // same id belong to the same tuple).
 func (t *Table) ReadRow(id int) (map[string]any, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if id < 0 || id >= t.rows {
 		return nil, fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
-	if t.IsDeleted(id) {
+	if t.deleted != nil && t.deleted.Get(id) {
 		return nil, fmt.Errorf("table %s: row %d is deleted", t.name, id)
 	}
 	row := make(map[string]any, len(t.order))

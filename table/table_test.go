@@ -97,7 +97,7 @@ func TestAddColumnErrors(t *testing.T) {
 
 func TestSelectSingleLeaf(t *testing.T) {
 	tb, qty, _, _ := mkTable(t, 5000, 2)
-	got, st, err := tb.Select(Range[int64]("qty", 900, 1100), SelectOptions{})
+	got, st, err := tb.Select().Where(Range[int64]("qty", 900, 1100)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestSelectSingleLeaf(t *testing.T) {
 
 func TestSelectLeafKinds(t *testing.T) {
 	tb, qty, _, status := mkTable(t, 3000, 3)
-	got, _, err := tb.Select(AtLeast[int64]("qty", 1000), SelectOptions{})
+	got, _, err := tb.Select().Where(AtLeast[int64]("qty", 1000)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestSelectLeafKinds(t *testing.T) {
 	}
 	equalIDs(t, got, want, "at-least")
 
-	got, _, err = tb.Select(LessThan[int64]("qty", 950), SelectOptions{})
+	got, _, err = tb.Select().Where(LessThan[int64]("qty", 950)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestSelectLeafKinds(t *testing.T) {
 	}
 	equalIDs(t, got, want, "less-than")
 
-	got, _, err = tb.Select(Equals[uint8]("status", 3), SelectOptions{})
+	got, _, err = tb.Select().Where(Equals[uint8]("status", 3)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestSelectMixedWidthConjunction(t *testing.T) {
 		Range[float64]("price", 20.0, 80.0),
 		Equals[uint8]("status", 1),
 	)
-	got, _, err := tb.Select(pred, SelectOptions{})
+	got, _, err := tb.Select().Where(pred).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestSelectOrAndNotTrees(t *testing.T) {
 		And(Range[int64]("qty", 900, 950), LessThan[float64]("price", 50.0)),
 		AndNot(Equals[uint8]("status", 2), Range[int64]("qty", 1000, 1100)),
 	)
-	got, _, err := tb.Select(pred, SelectOptions{})
+	got, _, err := tb.Select().Where(pred).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,16 +197,16 @@ func TestSelectOrAndNotTrees(t *testing.T) {
 
 func TestSelectErrors(t *testing.T) {
 	tb, _, _, _ := mkTable(t, 100, 6)
-	if _, _, err := tb.Select(Range[int64]("nope", 0, 1), SelectOptions{}); err == nil {
+	if _, _, err := tb.Select().Where(Range[int64]("nope", 0, 1)).IDs(); err == nil {
 		t.Error("unknown column accepted")
 	}
-	if _, _, err := tb.Select(Range[int32]("qty", 0, 1), SelectOptions{}); err == nil {
+	if _, _, err := tb.Select().Where(Range[int32]("qty", 0, 1)).IDs(); err == nil {
 		t.Error("wrong bound type accepted")
 	}
-	if _, _, err := tb.Select(And(), SelectOptions{}); err == nil {
+	if _, _, err := tb.Select().Where(And()).IDs(); err == nil {
 		t.Error("empty AND accepted")
 	}
-	if _, _, err := tb.Select(Or(), SelectOptions{}); err == nil {
+	if _, _, err := tb.Select().Where(Or()).IDs(); err == nil {
 		t.Error("empty OR accepted")
 	}
 }
@@ -214,11 +214,11 @@ func TestSelectErrors(t *testing.T) {
 func TestCountMatchesSelect(t *testing.T) {
 	tb, _, _, _ := mkTable(t, 4000, 7)
 	pred := And(Range[int64]("qty", 950, 1100), Range[float64]("price", 10.0, 60.0))
-	ids, _, err := tb.Select(pred, SelectOptions{})
+	ids, _, err := tb.Select().Where(pred).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, _, err := tb.Count(pred, SelectOptions{})
+	n, _, err := tb.Select().Where(pred).Count()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,11 +257,11 @@ func TestBatchAppend(t *testing.T) {
 	all := append(append([]int64(nil), qty...), newQty...)
 	allP := append(append([]float64(nil), price...), newPrice...)
 	allS := append(append([]uint8(nil), status...), newStatus...)
-	got, _, err := tb.Select(And(
+	got, _, err := tb.Select().Where(And(
 		Range[int64]("qty", 950, 1050),
 		LessThan[float64]("price", 50.0),
 		Equals[uint8]("status", 2),
-	), SelectOptions{})
+	)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestUpdateAndQuery(t *testing.T) {
 		}
 		qty[id] = nv // Column() returns the live slice; mirror it
 	}
-	got, _, err := tb.Select(Range[int64]("qty", 900, 1000), SelectOptions{})
+	got, _, err := tb.Select().Where(Range[int64]("qty", 900, 1000)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +343,7 @@ func TestDeleteAndCompact(t *testing.T) {
 		t.Fatalf("LiveRows = %d, want %d", tb.LiveRows(), 3000-len(deleted))
 	}
 	pred := Range[int64]("qty", 900, 1100)
-	got, _, err := tb.Select(pred, SelectOptions{})
+	got, _, err := tb.Select().Where(pred).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +363,7 @@ func TestDeleteAndCompact(t *testing.T) {
 	if tb.Rows() != 3000-removed || tb.LiveRows() != tb.Rows() {
 		t.Fatalf("rows after compact: %d", tb.Rows())
 	}
-	got, _, err = tb.Select(pred, SelectOptions{})
+	got, _, err = tb.Select().Where(pred).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,23 +392,29 @@ func TestMaintainRebuilds(t *testing.T) {
 		id := rng.IntN(2000)
 		_ = Update(tb, "qty", id, qty[rng.IntN(len(qty))])
 	}
-	rebuilt := tb.Maintain(0.5)
+	rep := tb.Maintain(MaintainOptions{DeletedFraction: 0.5})
 	found := false
-	for _, name := range rebuilt {
+	for _, name := range rep.Rebuilt {
 		if name == "qty" {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("Maintain did not rebuild qty (rebuilt: %v)", rebuilt)
+		t.Errorf("Maintain did not rebuild qty (rebuilt: %v)", rep.Rebuilt)
+	}
+	if rep.Compacted || rep.RowsRemoved != 0 {
+		t.Errorf("Maintain reported a compaction that did not happen: %+v", rep)
 	}
 	// Deletion-driven compaction.
 	for id := 0; id < 1200; id++ {
 		_ = tb.Delete(id)
 	}
-	rebuilt = tb.Maintain(0.5)
+	rep = tb.Maintain(MaintainOptions{DeletedFraction: 0.5})
 	if tb.Rows() != 800 {
-		t.Errorf("Maintain did not compact: rows=%d (%v)", tb.Rows(), rebuilt)
+		t.Errorf("Maintain did not compact: rows=%d (%v)", tb.Rows(), rep)
+	}
+	if !rep.Compacted || rep.RowsRemoved != 1200 {
+		t.Errorf("Maintain report wrong: %+v", rep)
 	}
 }
 
@@ -416,7 +422,7 @@ func TestScanThresholdSkipsProbing(t *testing.T) {
 	tb, qty, _, _ := mkTable(t, 4000, 17)
 	lo, hi := int64(0), int64(1<<40) // ~everything
 	// Default threshold: full-range query should skip index probes.
-	_, st, err := tb.Select(Range[int64]("qty", lo, hi), SelectOptions{})
+	_, st, err := tb.Select().Where(Range[int64]("qty", lo, hi)).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +430,7 @@ func TestScanThresholdSkipsProbing(t *testing.T) {
 		t.Errorf("unselective leaf probed the index %d times", st.Probes)
 	}
 	// Forcing probing still yields correct results.
-	got, st2, err := tb.Select(Range[int64]("qty", lo, hi), SelectOptions{ScanThreshold: 2})
+	got, st2, err := tb.Select().Where(Range[int64]("qty", lo, hi)).Options(SelectOptions{ScanThreshold: 2}).IDs()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,7 +480,7 @@ func TestRandomPredicateTrees(t *testing.T) {
 			pred = AndNot(And(p1, p2), p3)
 			oracle = func(i int) bool { return f1(i) && f2(i) && !f3(i) }
 		}
-		got, _, err := tb.Select(pred, SelectOptions{})
+		got, _, err := tb.Select().Where(pred).IDs()
 		if err != nil {
 			t.Fatal(err)
 		}
