@@ -1,12 +1,14 @@
 // Command imprintbench regenerates the tables and figures of the column
 // imprints paper (SIGMOD 2013) over the synthetic dataset suite, plus
-// the queryplan experiment, which drives the table package's lazy Query
-// API and reports the per-leaf EXPLAIN access paths (imprints probe vs
-// zonemap vs scan fallback) over a mixed numeric/string relation.
+// two table-layer experiments: queryplan drives the lazy Query API and
+// reports the per-leaf EXPLAIN access paths (imprints probe vs zonemap
+// vs scan fallback) over a mixed numeric/string relation, and prepared
+// measures the amortized prepare-once/execute-N serving loop of
+// Table.Prepare against ad-hoc plan-per-query execution.
 //
 // Usage:
 //
-//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan[,...]]
+//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared[,...]]
 //	             [-scale 1.0] [-seed 42] [-queries 3] [-maxcols 0]
 //	             [-format text|csv] [-outdir DIR]
 //

@@ -160,6 +160,35 @@ func main() {
 	// Maintenance: compaction kicks in past the deleted-fraction limit.
 	rep := tb.Maintain(table.MaintainOptions{DeletedFraction: 0.05})
 	fmt.Printf("maintenance: %s; now %d rows, all live\n", rep, tb.Rows())
+
+	// Prepared serving loop: compile the request shape once — columns
+	// validated, static leaves translated up front — then bind the
+	// per-request parameters and execute. The statement is safe for
+	// concurrent executions, and if the table changes shape under it
+	// (another batch append, a compaction) the next execution detects
+	// the new table generation and recompiles transparently.
+	prepared, err := tb.Prepare(table.And(
+		table.RangeP("qty", table.Param[int64]("lo"), table.Param[int64]("hi")),
+		table.EqualsP("city", table.StrParam("city")),
+		table.LessThan[float64]("price", 800), // static: translated once
+	), table.SelectOptions{})
+	must(err)
+	fmt.Println("\nprepared serving loop (qty in [$lo,$hi) AND city == $city AND price < 800):")
+	t0 = time.Now()
+	served := 0
+	for req := 0; req < 1000; req++ {
+		lo := v - 400 + int64(req)
+		cnt, _, err := prepared.Bind("lo", lo).Bind("hi", lo+150).
+			Bind("city", warehouses[req%len(warehouses)]).Count()
+		must(err)
+		served += int(cnt)
+	}
+	fmt.Printf("  1000 executions, %d rows matched, %v total\n",
+		served, time.Since(t0).Round(time.Microsecond))
+	bplan, err := prepared.Bind("lo", v-400).Bind("hi", v-250).
+		Bind("city", "Paris").Explain()
+	must(err)
+	fmt.Printf("  bound-parameter plan:\n%s\n", bplan)
 }
 
 func must(err error) {

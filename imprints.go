@@ -28,6 +28,14 @@
 //	plan, _ := q.Explain() // the per-leaf access-path plan
 //	for id, row := range q.Rows() { ... }
 //
+// Serving loops that re-run one predicate shape per request should
+// compile it once with table.Prepare: leaves are translated a single
+// time, named placeholders (table.Param / table.StrParam) are bound per
+// execution, and executions are safe to run concurrently:
+//
+//	p, _ := t.Prepare(pred, table.SelectOptions{})
+//	ids, _, _ := p.Bind("lo", int64(40)).Bind("hi", int64(90)).IDs()
+//
 // The free functions below remain stable thin wrappers over the
 // internal packages, so existing raw-index callers keep working.
 //

@@ -65,6 +65,29 @@ func (v *Vector) Count() int {
 	return c
 }
 
+// CountRange returns the number of set bits in [from, to), one masked
+// popcount per word — no per-bit probing. An empty or inverted range
+// counts zero.
+func (v *Vector) CountRange(from, to int) int {
+	if from < 0 || to > v.n {
+		panic(fmt.Sprintf("bitvec: CountRange [%d, %d) out of range 0..%d", from, to, v.n))
+	}
+	if from >= to {
+		return 0
+	}
+	fw, lw := from>>6, (to-1)>>6
+	loMask := ^uint64(0) << (uint(from) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(to-1) & 63))
+	if fw == lw {
+		return bits.OnesCount64(v.words[fw] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(v.words[fw] & loMask)
+	for i := fw + 1; i < lw; i++ {
+		c += bits.OnesCount64(v.words[i])
+	}
+	return c + bits.OnesCount64(v.words[lw]&hiMask)
+}
+
 // Or sets v = v | o. Both vectors must have the same length.
 func (v *Vector) Or(o *Vector) {
 	v.checkLen(o)

@@ -278,3 +278,59 @@ func TestQuickForEachMatchesCount(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: CountRange matches a per-bit count over every random
+// subrange, including word-boundary-straddling and empty ones.
+func TestQuickCountRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + rng.IntN(400)
+		v := New(n)
+		for i := 0; i < n/2; i++ {
+			v.Set(rng.IntN(n))
+		}
+		for trial := 0; trial < 20; trial++ {
+			from := rng.IntN(n + 1)
+			to := rng.IntN(n + 1)
+			want := 0
+			for i := from; i < to; i++ {
+				if v.Get(i) {
+					want++
+				}
+			}
+			if v.CountRange(from, to) != want {
+				return false
+			}
+		}
+		return v.CountRange(0, n) == v.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountRangeBounds(t *testing.T) {
+	v := New(130)
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	if got := v.CountRange(0, 130); got != 3 {
+		t.Errorf("full CountRange = %d, want 3", got)
+	}
+	if got := v.CountRange(64, 65); got != 1 {
+		t.Errorf("CountRange(64,65) = %d, want 1", got)
+	}
+	if got := v.CountRange(65, 129); got != 0 {
+		t.Errorf("CountRange(65,129) = %d, want 0", got)
+	}
+	for _, r := range [][2]int{{-1, 10}, {0, 131}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CountRange(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			v.CountRange(r[0], r[1])
+		}()
+	}
+}

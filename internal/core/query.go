@@ -13,6 +13,10 @@ type QueryStats struct {
 	CachelinesScanned uint64 // cachelines whose values were examined
 	CachelinesExact   uint64 // cachelines emitted wholesale via innermask
 	CachelinesSkipped uint64 // cachelines pruned by the imprint
+	// FastCountedRows counts rows a Count execution tallied wholesale
+	// from exact candidate runs (span minus a deleted-bitmap popcount)
+	// instead of visiting them one by one.
+	FastCountedRows uint64
 }
 
 // Add accumulates o into s.
@@ -22,6 +26,7 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.CachelinesScanned += o.CachelinesScanned
 	s.CachelinesExact += o.CachelinesExact
 	s.CachelinesSkipped += o.CachelinesSkipped
+	s.FastCountedRows += o.FastCountedRows
 }
 
 // pred is a range predicate with optional unbounded and inclusive ends.

@@ -24,7 +24,7 @@ type Experiment struct {
 
 // IDs lists all experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan"}
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared"}
 }
 
 // Run executes one experiment by id.
@@ -52,6 +52,8 @@ func Run(id string, cfg Config) (*Experiment, error) {
 		return Fig11(MeasureAll(cfg, true)), nil
 	case "queryplan":
 		return QueryPlan(cfg), nil
+	case "prepared":
+		return PreparedExp(cfg), nil
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (want one of %s)", id, strings.Join(IDs(), ", "))
 }
@@ -73,6 +75,7 @@ func RunAll(cfg Config) []*Experiment {
 		Fig10(queryRuns),
 		Fig11(queryRuns),
 		QueryPlan(cfg),
+		PreparedExp(cfg),
 	}
 }
 

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/core"
+	tbl "repro/table"
+)
+
+// PreparedExp measures what the compile-once Prepare API amortizes in a
+// serving loop: the same parameterized predicate executed N times with
+// fresh bindings, once through ad-hoc planning (the predicate tree is
+// rebuilt and every leaf re-translated per request) and once through a
+// prepared statement (leaves translated at Prepare; only placeholder
+// leaves re-translate per execution). Reported per predicate shape:
+// total and per-execution time for both paths and the speedup factor.
+func PreparedExp(cfg Config) *Experiment {
+	n := int(200_000 * cfg.Scale)
+	if n < 4096 {
+		n = 4096
+	}
+	execs := 2000
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x98e4))
+	qty := make([]int64, n)
+	price := make([]float64, n)
+	city := make([]string, n)
+	vocab := []string{
+		"amsterdam", "antwerp", "athens", "berlin", "bern", "lisbon",
+		"london", "lyon", "madrid", "milan", "paris", "porto", "prague",
+	}
+	v := int64(10_000)
+	for i := 0; i < n; i++ {
+		v += int64(rng.IntN(21)) - 10
+		qty[i] = v
+		price[i] = rng.Float64() * 1000
+		city[i] = vocab[(i/199+rng.IntN(2))%len(vocab)]
+	}
+	t := tbl.New("orders")
+	must(tbl.AddColumn(t, "qty", qty, tbl.Imprints, core.Options{Seed: cfg.Seed}))
+	must(tbl.AddColumn(t, "price", price, tbl.Imprints, core.Options{Seed: cfg.Seed + 1}))
+	must(t.AddStringColumn("city", city, tbl.Imprints, core.Options{Seed: cfg.Seed + 2}))
+
+	shapes := []struct {
+		name  string
+		par   tbl.Predicate
+		adhoc func(i int) tbl.Predicate
+		binds func(q *tbl.Query, i int) *tbl.Query
+	}{
+		{
+			name: "qty band",
+			par:  tbl.RangeP("qty", tbl.Param[int64]("lo"), tbl.Param[int64]("hi")),
+			adhoc: func(i int) tbl.Predicate {
+				lo := v - 500 + int64(i%1000)
+				return tbl.Range[int64]("qty", lo, lo+100)
+			},
+			binds: func(q *tbl.Query, i int) *tbl.Query {
+				lo := v - 500 + int64(i%1000)
+				return q.Bind("lo", lo).Bind("hi", lo+100)
+			},
+		},
+		{
+			name: "band and city",
+			par: tbl.And(
+				tbl.RangeP("qty", tbl.Param[int64]("lo"), tbl.Param[int64]("hi")),
+				tbl.EqualsP("city", tbl.StrParam("city")),
+				tbl.LessThan[float64]("price", 800), // static leaf: compiled once
+			),
+			adhoc: func(i int) tbl.Predicate {
+				lo := v - 500 + int64(i%1000)
+				return tbl.And(
+					tbl.Range[int64]("qty", lo, lo+200),
+					tbl.StrEquals("city", vocab[i%len(vocab)]),
+					tbl.LessThan[float64]("price", 800),
+				)
+			},
+			binds: func(q *tbl.Query, i int) *tbl.Query {
+				lo := v - 500 + int64(i%1000)
+				return q.Bind("lo", lo).Bind("hi", lo+200).Bind("city", vocab[i%len(vocab)])
+			},
+		},
+	}
+
+	// A serving shape with a heavy fixed IN-list: ad-hoc planning
+	// re-types the 512 values and rebuilds the membership map on every
+	// request, while Prepare translates the static leaf once and only
+	// the two band placeholders per execution.
+	inList := make([]int64, 512)
+	for i := range inList {
+		inList[i] = v - 256 + int64(i)
+	}
+	shapes = append(shapes, struct {
+		name  string
+		par   tbl.Predicate
+		adhoc func(i int) tbl.Predicate
+		binds func(q *tbl.Query, i int) *tbl.Query
+	}{
+		name: "wide IN and band",
+		par: tbl.And(
+			tbl.In("qty", inList...),
+			tbl.RangeP("price", tbl.Param[float64]("lo"), tbl.Param[float64]("hi")),
+		),
+		adhoc: func(i int) tbl.Predicate {
+			lo := float64(i % 900)
+			return tbl.And(
+				tbl.In("qty", inList...),
+				tbl.Range[float64]("price", lo, lo+100),
+			)
+		},
+		binds: func(q *tbl.Query, i int) *tbl.Query {
+			lo := float64(i % 900)
+			return q.Bind("lo", lo).Bind("hi", lo+100)
+		},
+	})
+
+	header := []string{"predicate", "execs", "adhoc total", "prepared total",
+		"adhoc µs/exec", "prepared µs/exec", "speedup"}
+	var rows [][]string
+	for _, s := range shapes {
+		start := time.Now()
+		var nAdhoc uint64
+		for i := 0; i < execs; i++ {
+			c, _, err := t.Select().Where(s.adhoc(i)).Count()
+			must(err)
+			nAdhoc += c
+		}
+		adhoc := time.Since(start)
+
+		p, err := t.Prepare(s.par, tbl.SelectOptions{})
+		must(err)
+		start = time.Now()
+		var nPrep uint64
+		for i := 0; i < execs; i++ {
+			c, _, err := s.binds(p.Exec(), i).Count()
+			must(err)
+			nPrep += c
+		}
+		prep := time.Since(start)
+		if nAdhoc != nPrep {
+			panic(fmt.Sprintf("prepared experiment: adhoc counted %d rows, prepared %d", nAdhoc, nPrep))
+		}
+
+		rows = append(rows, []string{
+			s.name, d(execs),
+			adhoc.Round(time.Millisecond).String(), prep.Round(time.Millisecond).String(),
+			f1(float64(adhoc.Microseconds()) / float64(execs)),
+			f1(float64(prep.Microseconds()) / float64(execs)),
+			f2(float64(adhoc.Nanoseconds()) / float64(prep.Nanoseconds())),
+		})
+	}
+	return tabular("prepared", "Prepared statements: amortized prepare-once/execute-N vs plan-per-query", header, rows)
+}

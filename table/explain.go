@@ -21,6 +21,10 @@ type Plan struct {
 	TotalBlocks int // row blocks of BlockRows rows
 	Root        *PlanNode
 	Stats       core.QueryStats // aggregated index-probe stats
+	// FastCountRows is the number of live rows Count would tally
+	// wholesale from the root's exact candidate runs (span minus a
+	// deleted-bitmap popcount) — the count fast path's coverage.
+	FastCountRows uint64
 }
 
 // PlanNode is one node of the plan tree, mirroring the predicate tree.
@@ -80,13 +84,14 @@ func (q *Query) Explain() (*Plan, error) {
 		lim = q.limit
 	}
 	return &Plan{
-		Table:       q.t.name,
-		Columns:     append([]string(nil), names...),
-		Limit:       lim,
-		TotalRows:   q.t.rows,
-		TotalBlocks: (q.t.rows + BlockRows - 1) / BlockRows,
-		Root:        ev.plan,
-		Stats:       st,
+		Table:         q.t.name,
+		Columns:       append([]string(nil), names...),
+		Limit:         lim,
+		TotalRows:     q.t.rows,
+		TotalBlocks:   (q.t.rows + BlockRows - 1) / BlockRows,
+		Root:          ev.plan,
+		Stats:         st,
+		FastCountRows: q.t.fastCountRows(ev.runs),
 	}, nil
 }
 
@@ -102,7 +107,11 @@ func (p *Plan) String() string {
 	if p.Limit >= 0 {
 		fmt.Fprintf(&sb, " limit %d", p.Limit)
 	}
-	fmt.Fprintf(&sb, " (%d rows, %d blocks of %d)\n", p.TotalRows, p.TotalBlocks, BlockRows)
+	fmt.Fprintf(&sb, " (%d rows, %d blocks of %d", p.TotalRows, p.TotalBlocks, BlockRows)
+	if p.FastCountRows > 0 {
+		fmt.Fprintf(&sb, ", count fast path: %d rows", p.FastCountRows)
+	}
+	sb.WriteString(")\n")
 	p.Root.render(&sb, "", "")
 	return sb.String()
 }

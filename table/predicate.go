@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/coltype"
 	"repro/internal/core"
@@ -17,8 +18,10 @@ const BlockRows = 64
 
 // Predicate is a node of a selection tree over one table. Build leaves
 // with Range/AtLeast/LessThan/Equals/In (numeric columns) and StrRange/
-// StrAtLeast/StrLessThan/StrEquals/StrIn/StrPrefix (string columns),
-// compose them with And/Or/AndNot, and execute through Table.Select.
+// StrAtLeast/StrLessThan/StrEquals/StrIn/StrPrefix (string columns) —
+// or their parameterized P-suffixed variants taking Bound placeholders —
+// compose them with And/Or/AndNot, and execute through Table.Select or
+// compile once with Table.Prepare.
 type Predicate interface{ isPred() }
 
 type leafKind int
@@ -32,7 +35,9 @@ const (
 	kindPrefix // string columns only: v starts with low
 )
 
-// leafPred holds type-erased bounds; the owning column re-types them.
+// leafPred holds type-erased bounds; the owning column types them once,
+// in compileLeaf. A bound is either a plain value ([]V / []string for
+// kindIn) or a Bound placeholder resolved before compilation.
 type leafPred struct {
 	col       string
 	kind      leafKind
@@ -41,31 +46,52 @@ type leafPred struct {
 
 func (*leafPred) isPred() {}
 
-// describe renders the leaf for Explain plans.
-func (p *leafPred) describe() string {
+// describe renders the leaf for Explain plans. binds, when non-nil,
+// annotates parameter placeholders with their bound values.
+func (p *leafPred) describe(binds map[string]any) string {
 	switch p.kind {
 	case kindRange:
-		if _, isStr := p.low.(string); isStr {
-			return fmt.Sprintf("%s in [%s, %s]", p.col, bound(p.low), bound(p.high))
+		if isStringBound(p.low) {
+			return fmt.Sprintf("%s in [%s, %s]", p.col, bound(p.low, binds), bound(p.high, binds))
 		}
-		return fmt.Sprintf("%s in [%s, %s)", p.col, bound(p.low), bound(p.high))
+		return fmt.Sprintf("%s in [%s, %s)", p.col, bound(p.low, binds), bound(p.high, binds))
 	case kindAtLeast:
-		return fmt.Sprintf("%s >= %s", p.col, bound(p.low))
+		return fmt.Sprintf("%s >= %s", p.col, bound(p.low, binds))
 	case kindLessThan:
-		return fmt.Sprintf("%s < %s", p.col, bound(p.high))
+		return fmt.Sprintf("%s < %s", p.col, bound(p.high, binds))
 	case kindEquals:
-		return fmt.Sprintf("%s == %s", p.col, bound(p.low))
+		return fmt.Sprintf("%s == %s", p.col, bound(p.low, binds))
 	case kindIn:
-		return fmt.Sprintf("%s in %s", p.col, bound(p.low))
+		return fmt.Sprintf("%s in %s", p.col, bound(p.low, binds))
 	case kindPrefix:
-		return fmt.Sprintf("%s prefix %s", p.col, bound(p.low))
+		return fmt.Sprintf("%s prefix %s", p.col, bound(p.low, binds))
 	}
 	return fmt.Sprintf("%s ?", p.col)
 }
 
+// isStringBound reports whether a leaf bound holds (or declares) a
+// string, which flips range rendering to the inclusive convention.
+func isStringBound(x any) bool {
+	if b, ok := x.(Bound); ok {
+		return b.typ == "string"
+	}
+	_, ok := x.(string)
+	return ok
+}
+
 // bound renders one predicate bound, quoting strings so empty or
-// space-bearing values stay visible in plans.
-func bound(x any) string {
+// space-bearing values stay visible in plans. Placeholders render as
+// $name, or $name=value once bound.
+func bound(x any, binds map[string]any) string {
+	if b, ok := x.(Bound); ok {
+		if b.name == "" {
+			return bound(b.lit, nil)
+		}
+		if v, bnd := binds[b.name]; bnd {
+			return fmt.Sprintf("$%s=%s", b.name, bound(v, nil))
+		}
+		return "$" + b.name
+	}
 	switch v := x.(type) {
 	case string:
 		return fmt.Sprintf("%q", v)
@@ -154,6 +180,176 @@ func Or(ps ...Predicate) Predicate { return &orPred{kids: ps} }
 // AndNot selects rows satisfying p but not q.
 func AndNot(p, q Predicate) Predicate { return &andNotPred{p: p, q: q} }
 
+// ---- parameterized bounds ----
+
+// Bound is one side of a predicate leaf built with the P-suffixed
+// constructors (RangeP, EqualsP, ...): either a literal wrapped by
+// Val/StrVal, or a named placeholder created by Param/StrParam whose
+// value is supplied per execution via Prepared.Bind. The zero Bound is
+// invalid and rejected at compile time.
+type Bound struct {
+	name     string // placeholder name; "" for literals
+	lit      any    // literal value when name == ""
+	typ      string // declared value type ("int64", "string", ...)
+	isParam  bool
+	scalarOK func(any) bool // reports whether x is one declared value
+	listOK   func(any) bool // reports whether x is a slice of them (IN)
+}
+
+// Param returns a named placeholder for a numeric bound of type V. The
+// placeholder's type is checked against the column at Prepare time and
+// against the supplied value at Bind time.
+func Param[V coltype.Value](name string) Bound {
+	return Bound{
+		name:     name,
+		typ:      coltype.TypeName[V](),
+		isParam:  true,
+		scalarOK: func(x any) bool { _, ok := x.(V); return ok },
+		listOK:   func(x any) bool { _, ok := x.([]V); return ok },
+	}
+}
+
+// StrParam returns a named placeholder for a string bound. In an InP
+// leaf it binds to a []string.
+func StrParam(name string) Bound {
+	return Bound{
+		name:     name,
+		typ:      "string",
+		isParam:  true,
+		scalarOK: func(x any) bool { _, ok := x.(string); return ok },
+		listOK:   func(x any) bool { _, ok := x.([]string); return ok },
+	}
+}
+
+// Val wraps a numeric literal as a Bound, for mixing fixed and
+// parameterized bounds in one P-suffixed leaf.
+func Val[V coltype.Value](v V) Bound {
+	return Bound{lit: v, typ: coltype.TypeName[V]()}
+}
+
+// StrVal wraps a string literal as a Bound.
+func StrVal(s string) Bound {
+	return Bound{lit: s, typ: "string"}
+}
+
+// RangeP selects rows with low <= column < high (numeric) or
+// low <= column <= high (string), with either bound a literal (Val,
+// StrVal) or a placeholder (Param, StrParam).
+func RangeP(col string, low, high Bound) Predicate {
+	return &leafPred{col: col, kind: kindRange, low: low, high: high}
+}
+
+// AtLeastP selects rows with column >= low.
+func AtLeastP(col string, low Bound) Predicate {
+	return &leafPred{col: col, kind: kindAtLeast, low: low}
+}
+
+// LessThanP selects rows with column < high.
+func LessThanP(col string, high Bound) Predicate {
+	return &leafPred{col: col, kind: kindLessThan, high: high}
+}
+
+// EqualsP selects rows with column == v.
+func EqualsP(col string, v Bound) Predicate {
+	return &leafPred{col: col, kind: kindEquals, low: v}
+}
+
+// InP selects rows whose column equals any value of an IN-list bound at
+// execution time: the placeholder binds to a []V (Param) or []string
+// (StrParam). The bound must be a placeholder — literal IN-lists are
+// expressed with In/StrIn.
+func InP(col string, set Bound) Predicate {
+	return &leafPred{col: col, kind: kindIn, low: set}
+}
+
+// PrefixP selects rows of a string column starting with a prefix bound
+// at execution time.
+func PrefixP(col string, prefix Bound) Predicate {
+	return &leafPred{col: col, kind: kindPrefix, low: prefix}
+}
+
+// resolveBound substitutes a literal or bound parameter value for a
+// Bound placeholder; non-Bound values pass through.
+func resolveBound(col string, x any, binds map[string]any) (any, bool, error) {
+	b, ok := x.(Bound)
+	if !ok {
+		return x, false, nil
+	}
+	if b.name == "" {
+		return b.lit, true, nil
+	}
+	v, bnd := binds[b.name]
+	if !bnd {
+		return nil, false, fmt.Errorf("column %q: parameter $%s is not bound (prepare the query and Bind it)", col, b.name)
+	}
+	return v, true, nil
+}
+
+// resolveLeaf substitutes every Bound of a leaf, returning a leaf whose
+// bounds are plain values ready for compileLeaf. Placeholder-free
+// leaves resolve to themselves.
+func resolveLeaf(p *leafPred, binds map[string]any) (*leafPred, error) {
+	lo, ch1, err := resolveBound(p.col, p.low, binds)
+	if err != nil {
+		return nil, err
+	}
+	hi, ch2, err := resolveBound(p.col, p.high, binds)
+	if err != nil {
+		return nil, err
+	}
+	if !ch1 && !ch2 {
+		return p, nil
+	}
+	r := *p
+	r.low, r.high = lo, hi
+	return &r, nil
+}
+
+// leafHasParams reports whether a leaf carries named placeholders.
+func leafHasParams(p *leafPred) bool {
+	return boundParamName(p.low) != "" || boundParamName(p.high) != ""
+}
+
+func boundParamName(x any) string {
+	if b, ok := x.(Bound); ok {
+		return b.name
+	}
+	return ""
+}
+
+// checkLeafBounds validates a leaf's shape against its column — the
+// declared Bound types and the string-only kinds — so Prepare rejects
+// mismatches before any value is bound. The InP rule — the IN-list
+// must be a placeholder — lives here too.
+func checkLeafBounds(p *leafPred, c anyColumn) error {
+	if p.kind == kindPrefix && c.colType() != "string" {
+		return fmt.Errorf("column %q is %s: prefix predicates need a string column", p.col, c.colType())
+	}
+	for _, x := range []any{p.low, p.high} {
+		b, ok := x.(Bound)
+		if !ok {
+			continue
+		}
+		if b.isParam && b.name == "" {
+			return fmt.Errorf("column %q: parameter with empty name", p.col)
+		}
+		if !b.isParam && b.typ == "" {
+			return fmt.Errorf("column %q: invalid zero Bound (use Val/StrVal/Param/StrParam)", p.col)
+		}
+		if b.typ != "" && b.typ != c.colType() {
+			what := "bound"
+			if b.name != "" {
+				what = "parameter $" + b.name
+			}
+			return fmt.Errorf("column %q is %s but %s is %s", p.col, c.colType(), what, b.typ)
+		}
+		if p.kind == kindIn && !b.isParam {
+			return fmt.Errorf("column %q: InP needs a Param/StrParam IN-list (use In/StrIn for literals)", p.col)
+		}
+	}
+	return nil
+}
+
 // SelectOptions tunes evaluation.
 type SelectOptions struct {
 	// ScanThreshold disables index probing for a leaf whose estimated
@@ -170,6 +366,101 @@ func (o SelectOptions) threshold() float64 {
 	return o.ScanThreshold
 }
 
+// ---- compiled predicate trees ----
+
+// leafPlan is one predicate leaf translated against its column exactly
+// once: the typed bounds, dictionary code interval or IN-set behind
+// runs, check and estimate all come from that single translation. (The
+// previous design's leafCheck/leafRuns/estimate triple re-derived the
+// translation three times per execution; compileLeaf is now the only
+// entry point.)
+type leafPlan interface {
+	// estimate is the imprint-histogram selectivity estimate of the
+	// leaf; negative when the column has no imprint to estimate from
+	// (scan-only and zonemap columns).
+	estimate() float64
+	// runs probes the index down to candidate runs in BlockRows units.
+	runs() ([]core.CandidateRun, core.QueryStats)
+	// check is the exact per-row residual test.
+	check() core.CheckFunc
+	// access names the leaf's access path ("imprints", "zonemap",
+	// "scan").
+	access() string
+}
+
+// compileLeafCalls counts leaf translations, so tests can assert that
+// each leaf is translated exactly once per compile (and that prepared
+// executions of static leaves translate zero times).
+var compileLeafCalls atomic.Uint64
+
+// compiledNode is the executable form of a predicate subtree: every
+// leaf is bound to its column, and leaves without placeholders carry
+// their one-time translation. A compiled tree is immutable and safe for
+// concurrent executions; it stays valid until the table's storage
+// changes shape (tracked by Table.gen, see Prepared).
+type compiledNode struct {
+	op   string // "leaf", "and", "or", "andnot"
+	leaf *leafPred
+	col  anyColumn
+	plan leafPlan // non-nil when the leaf has no placeholders
+	kids []*compiledNode
+}
+
+// compile validates a predicate tree against the table and translates
+// every placeholder-free leaf exactly once. Callers hold the table's
+// read lock.
+func (t *Table) compile(p Predicate) (*compiledNode, error) {
+	switch node := p.(type) {
+	case *leafPred:
+		c, ok := t.cols[node.col]
+		if !ok {
+			return nil, fmt.Errorf("table %s: no column %q", t.name, node.col)
+		}
+		if err := checkLeafBounds(node, c); err != nil {
+			return nil, fmt.Errorf("table %s: %w", t.name, err)
+		}
+		cn := &compiledNode{op: "leaf", leaf: node, col: c}
+		if !leafHasParams(node) {
+			resolved, err := resolveLeaf(node, nil)
+			if err != nil {
+				return nil, err
+			}
+			compileLeafCalls.Add(1)
+			plan, err := c.compileLeaf(resolved)
+			if err != nil {
+				return nil, err
+			}
+			cn.plan = plan
+		}
+		return cn, nil
+	case *andPred:
+		if len(node.kids) == 0 {
+			return nil, fmt.Errorf("table %s: empty AND", t.name)
+		}
+		return t.compileKids("and", node.kids)
+	case *orPred:
+		if len(node.kids) == 0 {
+			return nil, fmt.Errorf("table %s: empty OR", t.name)
+		}
+		return t.compileKids("or", node.kids)
+	case *andNotPred:
+		return t.compileKids("andnot", []Predicate{node.p, node.q})
+	}
+	return nil, fmt.Errorf("table %s: unknown predicate %T", t.name, p)
+}
+
+func (t *Table) compileKids(op string, preds []Predicate) (*compiledNode, error) {
+	cn := &compiledNode{op: op, kids: make([]*compiledNode, len(preds))}
+	for i, kid := range preds {
+		k, err := t.compile(kid)
+		if err != nil {
+			return nil, err
+		}
+		cn.kids[i] = k
+	}
+	return cn, nil
+}
+
 // evaluated is the composable form of a predicate subtree: candidate
 // row-block runs, the exact residual row check, and the plan node that
 // records how the subtree was evaluated (for Explain).
@@ -179,24 +470,22 @@ type evaluated struct {
 	plan  *PlanNode
 }
 
-// eval recursively evaluates a predicate subtree; callers hold the
-// table's read lock.
-func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
-	switch node := p.(type) {
-	case *leafPred:
-		return t.evalLeaf(node, opts, st)
-	case *andPred:
-		if len(node.kids) == 0 {
-			return evaluated{}, fmt.Errorf("table %s: empty AND", t.name)
-		}
-		acc, err := t.eval(node.kids[0], opts, st)
+// execute evaluates a compiled subtree with the given parameter
+// bindings: the single evaluator behind both ad-hoc queries and
+// prepared statements. Callers hold the table's read lock.
+func (t *Table) execute(cn *compiledNode, binds map[string]any, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
+	switch cn.op {
+	case "leaf":
+		return t.executeLeaf(cn, binds, opts, st)
+	case "and":
+		acc, err := t.execute(cn.kids[0], binds, opts, st)
 		if err != nil {
 			return evaluated{}, err
 		}
 		checks := []core.CheckFunc{acc.check}
 		kids := []*PlanNode{acc.plan}
-		for _, kid := range node.kids[1:] {
-			ev, err := t.eval(kid, opts, st)
+		for _, kid := range cn.kids[1:] {
+			ev, err := t.execute(kid, binds, opts, st)
 			if err != nil {
 				return evaluated{}, err
 			}
@@ -207,18 +496,15 @@ func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (eval
 		acc.check = allOf(checks)
 		acc.plan = opNode("and", acc.runs, kids)
 		return acc, nil
-	case *orPred:
-		if len(node.kids) == 0 {
-			return evaluated{}, fmt.Errorf("table %s: empty OR", t.name)
-		}
-		acc, err := t.eval(node.kids[0], opts, st)
+	case "or":
+		acc, err := t.execute(cn.kids[0], binds, opts, st)
 		if err != nil {
 			return evaluated{}, err
 		}
 		checks := []core.CheckFunc{acc.check}
 		kids := []*PlanNode{acc.plan}
-		for _, kid := range node.kids[1:] {
-			ev, err := t.eval(kid, opts, st)
+		for _, kid := range cn.kids[1:] {
+			ev, err := t.execute(kid, binds, opts, st)
 			if err != nil {
 				return evaluated{}, err
 			}
@@ -229,12 +515,12 @@ func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (eval
 		acc.check = anyOf(checks)
 		acc.plan = opNode("or", acc.runs, kids)
 		return acc, nil
-	case *andNotPred:
-		evP, err := t.eval(node.p, opts, st)
+	case "andnot":
+		evP, err := t.execute(cn.kids[0], binds, opts, st)
 		if err != nil {
 			return evaluated{}, err
 		}
-		evQ, err := t.eval(node.q, opts, st)
+		evQ, err := t.execute(cn.kids[1], binds, opts, st)
 		if err != nil {
 			return evaluated{}, err
 		}
@@ -246,24 +532,32 @@ func (t *Table) eval(p Predicate, opts SelectOptions, st *core.QueryStats) (eval
 			plan:  opNode("andnot", runs, []*PlanNode{evP.plan, evQ.plan}),
 		}, nil
 	}
-	return evaluated{}, fmt.Errorf("table %s: unknown predicate %T", t.name, p)
+	return evaluated{}, fmt.Errorf("table %s: unknown compiled op %q", t.name, cn.op)
 }
 
-func (t *Table) evalLeaf(p *leafPred, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
-	c, ok := t.cols[p.col]
-	if !ok {
-		return evaluated{}, fmt.Errorf("table %s: no column %q", t.name, p.col)
+// executeLeaf runs one leaf: static leaves reuse their prepared
+// translation, parameterized leaves are translated once from the bound
+// values. The data-dependent access-path choice — probe the index or
+// fall back to a scan when the estimated selectivity crosses the
+// threshold — is re-resolved on every execution.
+func (t *Table) executeLeaf(cn *compiledNode, binds map[string]any, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
+	plan := cn.plan
+	if plan == nil {
+		resolved, err := resolveLeaf(cn.leaf, binds)
+		if err != nil {
+			return evaluated{}, fmt.Errorf("table %s: %w", t.name, err)
+		}
+		compileLeafCalls.Add(1)
+		if plan, err = cn.col.compileLeaf(resolved); err != nil {
+			return evaluated{}, err
+		}
 	}
-	check, err := c.leafCheck(p)
-	if err != nil {
-		return evaluated{}, err
-	}
-	node := &PlanNode{Op: "leaf", Column: p.col, Pred: p.describe(), Access: c.indexKind(), Selectivity: -1}
+	node := &PlanNode{Op: "leaf", Column: cn.leaf.col, Pred: cn.leaf.describe(binds), Access: plan.access(), Selectivity: -1}
 	// Cost-based access path: skip index probing for unselective leaves.
 	// Only imprint-backed columns yield an estimate (negative means
 	// none); zonemap leaves are always probed — their per-zone cost is
 	// two comparisons, so a scan fallback buys nothing.
-	if est, err := c.estimate(p); err == nil && est >= 0 {
+	if est := plan.estimate(); est >= 0 {
 		// est >= 0 implies an imprint-backed leaf, so Access here is
 		// always "imprints".
 		node.Selectivity = est
@@ -272,17 +566,14 @@ func (t *Table) evalLeaf(p *leafPred, opts SelectOptions, st *core.QueryStats) (
 			node.Reason = "unselective"
 			runs := t.fullSpan()
 			node.setRuns(runs)
-			return evaluated{runs: runs, check: check, plan: node}, nil
+			return evaluated{runs: runs, check: plan.check(), plan: node}, nil
 		}
 	}
-	runs, s, err := c.leafRuns(p)
-	if err != nil {
-		return evaluated{}, err
-	}
+	runs, s := plan.runs()
 	st.Add(s)
 	node.Stats = s
 	node.setRuns(runs)
-	return evaluated{runs: runs, check: check, plan: node}, nil
+	return evaluated{runs: runs, check: plan.check(), plan: node}, nil
 }
 
 // blockSpanRuns covers every block of an n-row column in one run:
@@ -326,7 +617,7 @@ func anyOf(checks []core.CheckFunc) core.CheckFunc {
 	}
 }
 
-// ---- typed leaf evaluation on colState ----
+// ---- typed leaf compilation on colState ----
 
 func leafBounds[V coltype.Value](c *colState[V], p *leafPred) (low, high V, err error) {
 	cast := func(x any) (V, error) {
@@ -357,113 +648,112 @@ func (c *colState[V]) inSet(p *leafPred) ([]V, error) {
 	return set, nil
 }
 
-func (c *colState[V]) leafCheck(p *leafPred) (core.CheckFunc, error) {
-	vals := c.vals
-	if p.kind == kindPrefix {
+// numLeafPlan is the compiled form of a numeric leaf: bounds typed
+// once, IN-set materialized once (slice for index probes, map for the
+// residual check), and the column values captured at compile time. The
+// index pointers are read through the column state at probe time, so an
+// in-place widen or rebuild is picked up without recompiling; shape
+// changes (append, compact) bump the table generation and force one.
+type numLeafPlan[V coltype.Value] struct {
+	c         *colState[V]
+	kind      leafKind
+	low, high V
+	set       []V            // kindIn
+	member    map[V]struct{} // kindIn
+	vals      []V
+}
+
+func (c *colState[V]) compileLeaf(p *leafPred) (leafPlan, error) {
+	pl := &numLeafPlan[V]{c: c, kind: p.kind, vals: c.vals}
+	switch p.kind {
+	case kindPrefix:
 		return nil, fmt.Errorf("column %q is %s: prefix predicates need a string column",
 			c.name, coltype.TypeName[V]())
-	}
-	if p.kind == kindIn {
+	case kindIn:
 		set, err := c.inSet(p)
 		if err != nil {
 			return nil, err
 		}
-		member := make(map[V]struct{}, len(set))
+		pl.set = set
+		pl.member = make(map[V]struct{}, len(set))
 		for _, v := range set {
-			member[v] = struct{}{}
+			pl.member[v] = struct{}{}
 		}
-		return func(id uint32) bool { _, ok := member[vals[id]]; return ok }, nil
-	}
-	low, high, err := leafBounds(c, p)
-	if err != nil {
-		return nil, err
-	}
-	switch p.kind {
-	case kindRange:
-		return func(id uint32) bool { v := vals[id]; return v >= low && v < high }, nil
-	case kindAtLeast:
-		return func(id uint32) bool { return vals[id] >= low }, nil
-	case kindLessThan:
-		return func(id uint32) bool { return vals[id] < high }, nil
-	case kindEquals:
-		return func(id uint32) bool { return vals[id] == low }, nil
+		return pl, nil
+	case kindRange, kindAtLeast, kindLessThan, kindEquals:
+		var err error
+		if pl.low, pl.high, err = leafBounds(c, p); err != nil {
+			return nil, err
+		}
+		return pl, nil
 	}
 	return nil, fmt.Errorf("column %q: unknown leaf kind %d", c.name, p.kind)
 }
 
-func (c *colState[V]) leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStats, error) {
+func (pl *numLeafPlan[V]) access() string { return pl.c.indexKind() }
+
+func (pl *numLeafPlan[V]) check() core.CheckFunc {
+	vals := pl.vals
+	switch pl.kind {
+	case kindIn:
+		member := pl.member
+		return func(id uint32) bool { _, ok := member[vals[id]]; return ok }
+	case kindRange:
+		low, high := pl.low, pl.high
+		return func(id uint32) bool { v := vals[id]; return v >= low && v < high }
+	case kindAtLeast:
+		low := pl.low
+		return func(id uint32) bool { return vals[id] >= low }
+	case kindLessThan:
+		high := pl.high
+		return func(id uint32) bool { return vals[id] < high }
+	default: // kindEquals; compileLeaf rejected every other kind
+		low := pl.low
+		return func(id uint32) bool { return vals[id] == low }
+	}
+}
+
+func (pl *numLeafPlan[V]) runs() ([]core.CandidateRun, core.QueryStats) {
+	c := pl.c
 	if c.ix == nil && c.zm == nil {
-		// Scan-only column: every block is a candidate, but the bounds
-		// (or IN-list) must still type-check — and an empty IN-list
-		// provably selects nothing.
-		if p.kind == kindIn {
-			set, err := c.inSet(p)
-			if err != nil {
-				return nil, core.QueryStats{}, err
-			}
-			if len(set) == 0 {
-				return nil, core.QueryStats{}, nil
-			}
-		} else if _, _, err := leafBounds(c, p); err != nil {
-			return nil, core.QueryStats{}, err
+		// Scan-only column: every block is a candidate — but an empty
+		// IN-list provably selects nothing.
+		if pl.kind == kindIn && len(pl.set) == 0 {
+			return nil, core.QueryStats{}
 		}
-		return blockSpanRuns(len(c.vals), false), core.QueryStats{}, nil
+		return blockSpanRuns(len(pl.vals), false), core.QueryStats{}
 	}
 	var runs []core.CandidateRun
 	var st core.QueryStats
 	var vpc int
 	if c.ix != nil {
 		vpc = c.ix.ValuesPerCacheline()
-		if p.kind == kindIn {
-			set, err := c.inSet(p)
-			if err != nil {
-				return nil, st, err
-			}
-			runs, st = c.ix.InSetCachelines(set)
-		} else {
-			low, high, err := leafBounds(c, p)
-			if err != nil {
-				return nil, st, err
-			}
-			switch p.kind {
-			case kindRange:
-				runs, st = c.ix.RangeCachelines(low, high)
-			case kindAtLeast:
-				runs, st = c.ix.AtLeastCachelines(low)
-			case kindLessThan:
-				runs, st = c.ix.LessThanCachelines(high)
-			case kindEquals:
-				runs, st = c.ix.PointCachelines(low)
-			default:
-				return nil, st, fmt.Errorf("column %q: unknown leaf kind %d", c.name, p.kind)
-			}
+		switch pl.kind {
+		case kindIn:
+			runs, st = c.ix.InSetCachelines(pl.set)
+		case kindRange:
+			runs, st = c.ix.RangeCachelines(pl.low, pl.high)
+		case kindAtLeast:
+			runs, st = c.ix.AtLeastCachelines(pl.low)
+		case kindLessThan:
+			runs, st = c.ix.LessThanCachelines(pl.high)
+		case kindEquals:
+			runs, st = c.ix.PointCachelines(pl.low)
 		}
 	} else {
 		vpc = c.zm.ValuesPerZone()
 		var zst zonemap.QueryStats
-		if p.kind == kindIn {
-			set, err := c.inSet(p)
-			if err != nil {
-				return nil, st, err
-			}
-			runs, zst = c.zm.InSetCachelines(set)
-		} else {
-			low, high, err := leafBounds(c, p)
-			if err != nil {
-				return nil, st, err
-			}
-			switch p.kind {
-			case kindRange:
-				runs, zst = c.zm.RangeCachelines(low, high)
-			case kindAtLeast:
-				runs, zst = c.zm.AtLeastCachelines(low)
-			case kindLessThan:
-				runs, zst = c.zm.LessThanCachelines(high)
-			case kindEquals:
-				runs, zst = c.zm.PointCachelines(low)
-			default:
-				return nil, st, fmt.Errorf("column %q: unknown leaf kind %d", c.name, p.kind)
-			}
+		switch pl.kind {
+		case kindIn:
+			runs, zst = c.zm.InSetCachelines(pl.set)
+		case kindRange:
+			runs, zst = c.zm.RangeCachelines(pl.low, pl.high)
+		case kindAtLeast:
+			runs, zst = c.zm.AtLeastCachelines(pl.low)
+		case kindLessThan:
+			runs, zst = c.zm.LessThanCachelines(pl.high)
+		case kindEquals:
+			runs, zst = c.zm.PointCachelines(pl.low)
 		}
 		st = core.QueryStats{
 			Probes:            zst.Probes,
@@ -473,48 +763,36 @@ func (c *colState[V]) leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStat
 			CachelinesSkipped: zst.ZonesSkipped,
 		}
 	}
-	cls := (len(c.vals) + vpc - 1) / vpc
-	return blocksFromCachelines(runs, BlockRows/vpc, cls), st, nil
+	cls := (len(pl.vals) + vpc - 1) / vpc
+	return blocksFromCachelines(runs, BlockRows/vpc, cls), st
 }
 
-// estimate returns the imprint-histogram selectivity estimate of a
+// estimate returns the imprint-histogram selectivity estimate of the
 // leaf, or a negative value when the column has no imprint to estimate
 // from (scan-only and zonemap columns).
-func (c *colState[V]) estimate(p *leafPred) (float64, error) {
+func (pl *numLeafPlan[V]) estimate() float64 {
+	c := pl.c
 	if c.ix == nil {
-		return -1, nil
+		return -1
 	}
-	if p.kind == kindPrefix {
-		return 0, fmt.Errorf("column %q is %s: prefix predicates need a string column",
-			c.name, coltype.TypeName[V]())
-	}
-	if p.kind == kindIn {
-		set, err := c.inSet(p)
-		if err != nil {
-			return 0, err
-		}
-		est := float64(len(set)) / float64(c.ix.Bins())
+	switch pl.kind {
+	case kindIn:
+		est := float64(len(pl.set)) / float64(c.ix.Bins())
 		if est > 1 {
 			est = 1
 		}
-		return est, nil
-	}
-	low, high, err := leafBounds(c, p)
-	if err != nil {
-		return 0, err
-	}
-	switch p.kind {
+		return est
 	case kindRange:
-		return c.ix.EstimateSelectivity(low, high), nil
+		return c.ix.EstimateSelectivity(pl.low, pl.high)
 	case kindAtLeast:
-		return c.ix.EstimateSelectivity(low, coltype.MaxOf[V]()), nil
+		return c.ix.EstimateSelectivity(pl.low, coltype.MaxOf[V]())
 	case kindLessThan:
-		return c.ix.EstimateSelectivity(coltype.MinOf[V](), high), nil
+		return c.ix.EstimateSelectivity(coltype.MinOf[V](), pl.high)
 	case kindEquals:
 		// Crude point estimate: one bin's share.
-		return 1 / float64(c.ix.Bins()), nil
+		return 1 / float64(c.ix.Bins())
 	}
-	return -1, nil
+	return -1
 }
 
 // blocksFromCachelines renormalizes a cacheline run list (vpc rows per

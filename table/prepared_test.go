@@ -1,0 +1,497 @@
+package table
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// preparedTestPred is the canonical parameterized tree used across the
+// tests: a numeric range with one literal and one placeholder bound,
+// conjoined with a string equality placeholder.
+func preparedTestPred() Predicate {
+	return And(
+		RangeP("qty", Param[int64]("lo"), Param[int64]("hi")),
+		EqualsP("city", StrParam("city")),
+	)
+}
+
+func TestPreparedMatchesAdhoc(t *testing.T) {
+	tb, qty, _, city, _ := mkMixedTable(t, 3000, 11)
+	_ = qty
+	p, err := tb.Prepare(preparedTestPred(), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{city[0], city[len(city)/2], "nosuchcity"} {
+		for _, span := range [][2]int64{{900, 1100}, {1010, 1015}, {0, 5000}} {
+			got, _, err := p.Bind("lo", span[0]).Bind("hi", span[1]).Bind("city", c).IDs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := tb.Select().Where(And(
+				Range[int64]("qty", span[0], span[1]),
+				StrEquals("city", c),
+			)).IDs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			equalIDs(t, got, want, "prepared vs adhoc")
+		}
+	}
+}
+
+func TestPreparedValidation(t *testing.T) {
+	tb, _, _, _, _ := mkMixedTable(t, 500, 3)
+
+	// Unknown column.
+	if _, err := tb.Prepare(AtLeastP("nope", Param[int64]("x")), (SelectOptions{})); err == nil {
+		t.Error("unknown column accepted at Prepare")
+	}
+	// Declared parameter type vs column type, caught before any Bind.
+	if _, err := tb.Prepare(AtLeastP("qty", Param[int32]("x")), SelectOptions{}); err == nil {
+		t.Error("int32 parameter on int64 column accepted")
+	}
+	if _, err := tb.Prepare(EqualsP("qty", StrParam("x")), SelectOptions{}); err == nil {
+		t.Error("string parameter on numeric column accepted")
+	}
+	// Same name with conflicting types.
+	if _, err := tb.Prepare(And(
+		AtLeastP("qty", Param[int64]("x")),
+		EqualsP("city", StrParam("x")),
+	), SelectOptions{}); err == nil {
+		t.Error("conflicting parameter types accepted")
+	}
+	// Literal Val bounds type-check at Prepare too.
+	if _, err := tb.Prepare(AtLeastP("qty", Val(int32(5))), SelectOptions{}); err == nil {
+		t.Error("int32 literal bound on int64 column accepted")
+	}
+	// InP wants a placeholder, not a literal.
+	if _, err := tb.Prepare(InP("qty", Val(int64(5))), SelectOptions{}); err == nil {
+		t.Error("literal InP bound accepted")
+	}
+	// A parameterized prefix leaf on a numeric column fails at Prepare,
+	// not at first execution — even when the placeholder's declared
+	// type matches the column, so only the kind is wrong.
+	if _, err := tb.Prepare(PrefixP("qty", Param[int64]("p")), SelectOptions{}); err == nil {
+		t.Error("parameterized prefix on numeric column accepted at Prepare")
+	}
+	// Zero Bound and empty parameter name.
+	if _, err := tb.Prepare(AtLeastP("qty", Bound{}), SelectOptions{}); err == nil {
+		t.Error("zero Bound accepted")
+	}
+	if _, err := tb.Prepare(AtLeastP("qty", Param[int64]("")), SelectOptions{}); err == nil {
+		t.Error("empty parameter name accepted")
+	}
+
+	p, err := tb.Prepare(preparedTestPred(), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Params(); len(got) != 3 || got[0] != "city" || got[1] != "hi" || got[2] != "lo" {
+		t.Errorf("Params() = %v", got)
+	}
+	// Unknown name, wrong value type, unbound execution.
+	if _, _, err := p.Bind("nope", int64(1)).IDs(); err == nil || !strings.Contains(err.Error(), "$nope") {
+		t.Errorf("unknown parameter bind: %v", err)
+	}
+	if _, _, err := p.Bind("lo", int32(1)).IDs(); err == nil || !strings.Contains(err.Error(), "int64") {
+		t.Errorf("wrong bind type: %v", err)
+	}
+	if _, _, err := p.Bind("lo", int64(1)).Bind("hi", int64(2)).IDs(); err == nil || !strings.Contains(err.Error(), "$city") {
+		t.Errorf("unbound parameter: %v", err)
+	}
+	// Where on a prepared execution is rejected.
+	if _, _, err := p.Bind("lo", int64(1)).Where(AtLeast[int64]("qty", 0)).IDs(); err == nil {
+		t.Error("Where on prepared execution accepted")
+	}
+	// Bind on an unprepared query is rejected.
+	if _, _, err := tb.Select().Bind("lo", int64(1)).IDs(); err == nil {
+		t.Error("Bind on unprepared query accepted")
+	}
+}
+
+func TestPreparedInP(t *testing.T) {
+	tb, _, _, city, tag := mkMixedTable(t, 2000, 9)
+	p, err := tb.Prepare(And(
+		InP("city", StrParam("cities")),
+		InP("qty", Param[int64]("qtys")),
+	), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tag
+	cities := []string{city[10], city[500]}
+	qtys := []int64{990, 1000, 1010, 1020}
+	got, _, err := p.Bind("cities", cities).Bind("qtys", qtys).IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := tb.Select().Where(And(
+		StrIn("city", cities...),
+		In("qty", qtys...),
+	)).IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalIDs(t, got, want, "prepared IN")
+
+	// Rebinding an empty list selects nothing.
+	n, _, err := p.Bind("cities", []string{}).Bind("qtys", qtys).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("empty IN-list counted %d rows", n)
+	}
+}
+
+// TestPreparedTranslationCounts pins the compile-once contract: static
+// leaves are translated at Prepare and never again; parameterized
+// leaves exactly once per execution; a storage shape change recompiles
+// the statics once.
+func TestPreparedTranslationCounts(t *testing.T) {
+	tb, _, _, city, _ := mkMixedTable(t, 1500, 21)
+	pred := And(
+		RangeP("qty", Param[int64]("lo"), Param[int64]("hi")), // 1 param leaf
+		StrEquals("city", city[0]),                            // static leaf
+		LessThan[float64]("price", 90),                        // static leaf
+	)
+
+	base := compileLeafCalls.Load()
+	p, err := tb.Prepare(pred, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := compileLeafCalls.Load() - base; got != 2 {
+		t.Errorf("Prepare translated %d leaves, want 2 (the static ones)", got)
+	}
+
+	base = compileLeafCalls.Load()
+	if _, _, err := p.Bind("lo", int64(900)).Bind("hi", int64(1100)).IDs(); err != nil {
+		t.Fatal(err)
+	}
+	if got := compileLeafCalls.Load() - base; got != 1 {
+		t.Errorf("execution translated %d leaves, want 1 (the parameterized one)", got)
+	}
+
+	// Rebinding re-translates only the parameterized leaf again.
+	base = compileLeafCalls.Load()
+	if _, _, err := p.Bind("lo", int64(0)).Bind("hi", int64(5000)).Count(); err != nil {
+		t.Fatal(err)
+	}
+	if got := compileLeafCalls.Load() - base; got != 1 {
+		t.Errorf("re-bound execution translated %d leaves, want 1", got)
+	}
+
+	// A batch append changes storage shape: the next execution
+	// recompiles the two static leaves once, plus its own param leaf.
+	b := tb.NewBatch()
+	if err := Append(b, "qty", []int64{1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(b, "price", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendStrings("city", []string{city[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendStrings("tag", []string{"new"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	base = compileLeafCalls.Load()
+	if _, _, err := p.Bind("lo", int64(900)).Bind("hi", int64(1100)).IDs(); err != nil {
+		t.Fatal(err)
+	}
+	if got := compileLeafCalls.Load() - base; got != 3 {
+		t.Errorf("post-append execution translated %d leaves, want 3 (2 static + 1 param)", got)
+	}
+	// ... and the recompiled tree is cached again.
+	base = compileLeafCalls.Load()
+	if _, _, err := p.Bind("lo", int64(900)).Bind("hi", int64(1100)).IDs(); err != nil {
+		t.Fatal(err)
+	}
+	if got := compileLeafCalls.Load() - base; got != 1 {
+		t.Errorf("steady-state execution translated %d leaves, want 1", got)
+	}
+}
+
+// TestAdhocTranslationCount pins the satellite refactor on the ad-hoc
+// path too: one execution translates each leaf exactly once (the old
+// leafCheck/estimate/leafRuns triple translated each leaf three times).
+func TestAdhocTranslationCount(t *testing.T) {
+	tb, _, _, _, _ := mkMixedTable(t, 1000, 5)
+	pred := And(
+		Range[int64]("qty", 900, 1100),
+		LessThan[float64]("price", 50),
+		StrPrefix("city", "a"),
+	)
+	base := compileLeafCalls.Load()
+	if _, _, err := tb.Select().Where(pred).IDs(); err != nil {
+		t.Fatal(err)
+	}
+	if got := compileLeafCalls.Load() - base; got != 3 {
+		t.Errorf("ad-hoc execution translated %d leaves, want 3 (once each)", got)
+	}
+}
+
+func TestPreparedExplain(t *testing.T) {
+	tb, _, _, city, _ := mkMixedTable(t, 2000, 13)
+	p, err := tb.Prepare(preparedTestPred(), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Bind("lo", int64(950)).Bind("hi", int64(1050)).Bind("city", city[0]).Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := plan.String()
+	for _, want := range []string{"$lo=950", "$hi=1050", `$city="` + city[0] + `"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("bound-parameter plan missing %q:\n%s", want, text)
+		}
+	}
+	// Unbound Explain reports the missing parameters rather than a plan.
+	if _, err := p.Exec().Explain(); err == nil {
+		t.Error("Explain with unbound parameters succeeded")
+	}
+}
+
+func TestPreparedSelectAndLimit(t *testing.T) {
+	tb, _, _, city, _ := mkMixedTable(t, 1200, 17)
+	p, err := tb.Prepare(EqualsP("city", StrParam("c")), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Select("qty", "city")
+	var rows int
+	for _, row := range p.Bind("c", city[0]).Limit(3).Rows() {
+		if got := row.Columns(); len(got) != 2 || got[0] != "qty" || got[1] != "city" {
+			t.Errorf("projection = %v", got)
+		}
+		rows++
+	}
+	if rows != 3 {
+		t.Errorf("limited prepared execution yielded %d rows, want 3", rows)
+	}
+}
+
+func TestPreparedNilPredicate(t *testing.T) {
+	tb, _, _, _ := mkTable(t, 300, 2)
+	p, err := tb.Prepare(nil, SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := p.Exec().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Errorf("nil-predicate prepared count = %d, want 300", n)
+	}
+}
+
+// TestPreparedConcurrentExecutions races many executions (with distinct
+// bindings) against batch appends, exercising the generation-recompile
+// path under -race.
+func TestPreparedConcurrentExecutions(t *testing.T) {
+	tb, _, _, city, _ := mkMixedTable(t, 2000, 23)
+	p, err := tb.Prepare(preparedTestPred(), SelectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				lo := int64(900 + g*10 + i)
+				ids, _, err := p.Bind("lo", lo).Bind("hi", lo+100).Bind("city", city[g*7]).IDs()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = ids
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			b := tb.NewBatch()
+			if err := Append(b, "qty", []int64{1000}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := Append(b, "price", []float64{5}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.AppendStrings("city", []string{city[0]}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.AppendStrings("tag", []string{"new"}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestCountFastPathWithDeletes pins the wholesale-count satellite: an
+// exact-run count stays correct while deletes are pending, takes the
+// popcount shortcut, and surfaces it in both QueryStats and Explain.
+func TestCountFastPathWithDeletes(t *testing.T) {
+	tb, qty, _, _ := mkTable(t, 4000, 31)
+	lo, hi := qty[0]-100000, qty[0]+100000 // everything: exact span runs
+	q := func() *Query {
+		return tb.Select().Where(Range[int64]("qty", lo, hi)).
+			Options(SelectOptions{ScanThreshold: 2}) // always probe
+	}
+	n0, st0, err := q().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n0 != 4000 {
+		t.Fatalf("pre-delete count = %d, want 4000", n0)
+	}
+	if st0.FastCountedRows == 0 {
+		t.Error("no rows counted via the fast path on an exact span")
+	}
+	for _, id := range []int{0, 1, 63, 64, 100, 3999} {
+		if err := tb.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n1, st1, err := q().Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 4000-6 {
+		t.Errorf("post-delete count = %d, want %d", n1, 4000-6)
+	}
+	// Most blocks are exact (a few straddle histogram-bin borders and
+	// stay inexact); the wholesale tally must cover them while staying
+	// dead-on about the deleted bits inside.
+	if st1.FastCountedRows == 0 || st1.FastCountedRows > n1 {
+		t.Errorf("FastCountedRows = %d, want in (0, %d]", st1.FastCountedRows, n1)
+	}
+	if st1.FastCountedRows < n1/2 {
+		t.Errorf("FastCountedRows = %d covers under half of %d rows", st1.FastCountedRows, n1)
+	}
+	// Cross-check against the per-row path.
+	ids, _, err := q().IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(ids)) != n1 {
+		t.Errorf("Count = %d but IDs = %d", n1, len(ids))
+	}
+	// Explain previews exactly the coverage Count then takes.
+	plan, err := q().Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FastCountRows != st1.FastCountedRows {
+		t.Errorf("Plan.FastCountRows = %d, Count took %d", plan.FastCountRows, st1.FastCountedRows)
+	}
+	if !strings.Contains(plan.String(), "count fast path") {
+		t.Errorf("plan text missing count fast path:\n%s", plan)
+	}
+}
+
+// TestLeafErrorsSurface pins the bugfix satellite: a type-mismatched
+// leaf surfaces exactly one error from its single translation instead
+// of being silently masked into a probe.
+func TestLeafErrorsSurface(t *testing.T) {
+	tb, _, _, _ := mkTable(t, 200, 4)
+	for _, tc := range []struct {
+		name string
+		pred Predicate
+	}{
+		{"wrong range type", Range[int32]("qty", 0, 1)},
+		{"wrong in-list type", In[int32]("qty", 1, 2)},
+		{"prefix on numeric", StrPrefix("qty", "a")},
+		{"string equals on numeric", StrEquals("qty", "a")},
+	} {
+		if _, _, err := tb.Select().Where(tc.pred).IDs(); err == nil {
+			t.Errorf("%s: error not surfaced", tc.name)
+		}
+		if _, _, err := tb.Select().Where(tc.pred).Count(); err == nil {
+			t.Errorf("%s: Count error not surfaced", tc.name)
+		}
+		if _, err := tb.Select().Where(tc.pred).Explain(); err == nil {
+			t.Errorf("%s: Explain error not surfaced", tc.name)
+		}
+	}
+}
+
+func BenchmarkAdhocCount(b *testing.B) {
+	tb := benchTable(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(900 + i%100)
+		pred := And(
+			Range[int64]("qty", lo, lo+120),
+			StrEquals("city", cities[i%len(cities)]),
+		)
+		if _, _, err := tb.Select().Where(pred).Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreparedCount(b *testing.B) {
+	tb := benchTable(b)
+	p, err := tb.Prepare(preparedTestPred(), SelectOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(900 + i%100)
+		if _, _, err := p.Bind("lo", lo).Bind("hi", lo+120).
+			Bind("city", cities[i%len(cities)]).Count(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTable(b *testing.B) *Table {
+	b.Helper()
+	n := 100_000
+	qty := make([]int64, n)
+	price := make([]float64, n)
+	city := make([]string, n)
+	v := int64(1000)
+	for i := 0; i < n; i++ {
+		v += int64(i%21) - 10
+		qty[i] = v
+		price[i] = float64(i%1000) / 10
+		city[i] = cities[(i/97)%len(cities)]
+	}
+	tb := New("bench")
+	if err := AddColumn(tb, "qty", qty, Imprints, core.Options{Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	if err := AddColumn(tb, "price", price, Imprints, core.Options{Seed: 2}); err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.AddStringColumn("city", city, Imprints, core.Options{Seed: 3}); err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}

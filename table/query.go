@@ -14,11 +14,16 @@ import (
 // share the table lock, writers exclude them).
 //
 // A Query value is reusable (each executor re-runs the plan) but not
-// safe for concurrent use; build one per goroutine.
+// safe for concurrent use; build one per goroutine. Queries spawned
+// from a prepared statement (Prepared.Exec / Prepared.Bind) execute its
+// compiled plan instead of re-planning the predicate tree.
 type Query struct {
 	t       *Table
 	cols    []string
 	pred    Predicate
+	prep    *Prepared      // non-nil for executions of a prepared statement
+	binds   map[string]any // parameter bindings for prep
+	bindErr error          // sticky builder error (bad Bind, Where on prepared)
 	limit   int
 	limited bool // Limit was called; limit 0 then means "no rows"
 	opts    SelectOptions
@@ -33,15 +38,44 @@ func (t *Table) Select(cols ...string) *Query {
 }
 
 // Where filters the query by a predicate tree. Multiple Where calls
-// AND their predicates together.
+// AND their predicates together. Executions of a prepared statement
+// carry a fixed, pre-compiled predicate; Where on one is an error.
 func (q *Query) Where(p Predicate) *Query {
 	switch {
+	case q.prep != nil:
+		if p != nil && q.bindErr == nil {
+			q.bindErr = fmt.Errorf("table %s: cannot add predicates to a prepared execution", q.t.name)
+		}
 	case p == nil:
 	case q.pred == nil:
 		q.pred = p
 	default:
 		q.pred = And(q.pred, p)
 	}
+	return q
+}
+
+// Bind supplies the value of one named parameter of a prepared
+// execution (see Table.Prepare). The value's dynamic type must match
+// the placeholder's declared type — []V / []string for InP
+// placeholders. Binding errors are sticky and reported by the executor.
+func (q *Query) Bind(name string, v any) *Query {
+	if q.prep == nil {
+		if q.bindErr == nil {
+			q.bindErr = fmt.Errorf("table %s: Bind(%q) on an unprepared query (use Table.Prepare)", q.t.name, name)
+		}
+		return q
+	}
+	if err := q.prep.checkBind(name, v); err != nil {
+		if q.bindErr == nil {
+			q.bindErr = err
+		}
+		return q
+	}
+	if q.binds == nil {
+		q.binds = make(map[string]any, len(q.prep.params))
+	}
+	q.binds[name] = v
 	return q
 }
 
@@ -65,16 +99,28 @@ func (q *Query) Options(o SelectOptions) *Query {
 	return q
 }
 
-// plan evaluates the predicate tree to candidate runs; callers hold the
-// table's read lock. A nil predicate matches every row exactly.
+// plan evaluates the query down to candidate runs; callers hold the
+// table's read lock. Ad-hoc queries compile their predicate tree and
+// execute it immediately; prepared executions reuse the statement's
+// cached compilation. A nil predicate matches every row exactly.
 func (q *Query) plan(st *core.QueryStats) (evaluated, error) {
+	if q.bindErr != nil {
+		return evaluated{}, q.bindErr
+	}
+	if q.prep != nil {
+		return q.prep.executeLocked(q.binds, q.opts, st)
+	}
 	if q.pred == nil {
 		runs := q.t.matchAll()
 		node := &PlanNode{Op: "all", Pred: "true"}
 		node.setRuns(runs)
 		return evaluated{runs: runs, plan: node}, nil
 	}
-	return q.t.eval(q.pred, q.opts, st)
+	cn, err := q.t.compile(q.pred)
+	if err != nil {
+		return evaluated{}, err
+	}
+	return q.t.execute(cn, nil, q.opts, st)
 }
 
 // projection resolves the projected column names; callers hold the read
@@ -136,7 +182,10 @@ func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
 
 // Count executes the query and returns the number of qualifying rows
 // (capped by Limit) without materializing ids. Exact candidate runs are
-// counted wholesale when no deletes are pending.
+// counted wholesale — a popcount over the deleted bitmap replaces the
+// per-row walk even while deletes are pending — with the shortcut's row
+// tally reported in QueryStats.FastCountedRows (and previewed by
+// Plan.FastCountRows).
 func (q *Query) Count() (uint64, core.QueryStats, error) {
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
@@ -153,8 +202,8 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 	}
 	limit := uint64(q.limit)
 	var n uint64
-	q.t.scanRuns(ev, &st, func(from, to int) bool {
-		n += uint64(to - from)
+	q.t.scanRuns(ev, &st, func(live int) bool {
+		n += uint64(live)
 		return !q.limited || n < limit
 	}, func(id int) bool {
 		n++
@@ -220,15 +269,18 @@ func (q *Query) Err() error { return q.err }
 // scanRuns is the single traversal shared by IDs, Count and Rows: it
 // walks the candidate runs, skips deleted rows, applies the residual
 // check of non-exact runs (counting comparisons into st), and hands
-// each qualifying row to visit. Exact runs with no deletes pending are
-// offered wholesale to visitRun when it is non-nil (Count's fast
-// path); rows of such runs are otherwise visited individually. Either
+// each qualifying row to visit. Exact runs are offered wholesale to
+// visitRun when it is non-nil (Count's fast path) as their live row
+// count — the span minus a popcount over the deleted bitmap, no per-row
+// work; rows of such runs are otherwise visited individually. Either
 // callback returns false to stop. Callers hold the read lock.
-func (t *Table) scanRuns(ev evaluated, st *core.QueryStats, visitRun func(from, to int) bool, visit func(id int) bool) {
+func (t *Table) scanRuns(ev evaluated, st *core.QueryStats, visitRun func(live int) bool, visit func(id int) bool) {
 	for _, r := range ev.runs {
 		from, to := t.blockSpan(r)
-		if visitRun != nil && r.Exact && t.ndel == 0 {
-			if !visitRun(from, to) {
+		if visitRun != nil && r.Exact {
+			live := t.liveRows(from, to)
+			st.FastCountedRows += uint64(live)
+			if !visitRun(live) {
 				return
 			}
 			continue
@@ -248,6 +300,36 @@ func (t *Table) scanRuns(ev evaluated, st *core.QueryStats, visitRun func(from, 
 			}
 		}
 	}
+}
+
+// deletedInSpan popcounts the deleted bitmap over [from, to); callers
+// hold the read lock.
+func (t *Table) deletedInSpan(from, to int) int {
+	if t.deleted == nil || t.ndel == 0 {
+		return 0
+	}
+	return t.deleted.CountRange(from, to)
+}
+
+// liveRows is the single definition of the Count fast path's wholesale
+// tally for one row span: the span minus a popcount over the deleted
+// bitmap, no per-row work. scanRuns applies it to exact runs and
+// Explain previews it (fastCountRows); callers hold the read lock.
+func (t *Table) liveRows(from, to int) int {
+	return to - from - t.deletedInSpan(from, to)
+}
+
+// fastCountRows previews the Count fast path's coverage across a run
+// list: the live rows of its exact runs. Callers hold the read lock.
+func (t *Table) fastCountRows(runs []core.CandidateRun) uint64 {
+	var n uint64
+	for _, r := range runs {
+		if r.Exact {
+			from, to := t.blockSpan(r)
+			n += uint64(t.liveRows(from, to))
+		}
+	}
+	return n
 }
 
 // blockSpan converts a candidate run to its [from, to) row interval;

@@ -78,6 +78,7 @@ func (t *Table) UpdateString(name string, id int, v string) error {
 	all := cs.decodeAll()
 	all[id] = v
 	cs.reencode(all)
+	t.gen++ // the dictionary changed shape; compiled plans must re-translate
 	return nil
 }
 
@@ -183,7 +184,7 @@ func (c *strColState) absorbStrings(vals []string) {
 	}
 }
 
-// ---- leaf evaluation ----
+// ---- leaf compilation ----
 
 // codeInterval translates a string leaf into the half-open code interval
 // [lo, hi) it selects. ok=false means the leaf provably selects nothing.
@@ -243,97 +244,99 @@ func (c *strColState) inCodes(p *leafPred) ([]int32, error) {
 	return codes, nil
 }
 
-func (c *strColState) leafCheck(p *leafPred) (core.CheckFunc, error) {
-	codes := c.codes()
+// strLeafPlan is the compiled form of a string leaf: the predicate is
+// translated through the dictionary exactly once into a code interval
+// or code set, and the code column is captured at compile time. `none`
+// records that the dictionary already proves the leaf selects nothing.
+// The imprint pointer is read through the column state at probe time;
+// dictionary re-encodes bump the table generation and force a
+// recompile.
+type strLeafPlan struct {
+	c      *strColState
+	kind   leafKind
+	codes  []int32
+	lo, hi int32 // half-open code interval (non-IN kinds)
+	none   bool
+	set    []int32            // kindIn
+	member map[int32]struct{} // kindIn
+}
+
+func (c *strColState) compileLeaf(p *leafPred) (leafPlan, error) {
+	pl := &strLeafPlan{c: c, kind: p.kind, codes: c.codes()}
 	if p.kind == kindIn {
 		set, err := c.inCodes(p)
 		if err != nil {
 			return nil, err
 		}
-		member := make(map[int32]struct{}, len(set))
+		pl.set = set
+		pl.none = len(set) == 0
+		pl.member = make(map[int32]struct{}, len(set))
 		for _, v := range set {
-			member[v] = struct{}{}
+			pl.member[v] = struct{}{}
 		}
-		return func(id uint32) bool { _, ok := member[codes[id]]; return ok }, nil
+		return pl, nil
 	}
 	lo, hi, ok, err := c.codeInterval(p)
 	if err != nil {
 		return nil, err
 	}
-	if !ok {
-		return func(uint32) bool { return false }, nil
-	}
-	return func(id uint32) bool { v := codes[id]; return v >= lo && v < hi }, nil
+	pl.lo, pl.hi, pl.none = lo, hi, !ok
+	return pl, nil
 }
 
-func (c *strColState) leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStats, error) {
+func (pl *strLeafPlan) access() string { return pl.c.indexKind() }
+
+func (pl *strLeafPlan) check() core.CheckFunc {
+	if pl.none {
+		return func(uint32) bool { return false }
+	}
+	codes := pl.codes
+	if pl.kind == kindIn {
+		member := pl.member
+		return func(id uint32) bool { _, ok := member[codes[id]]; return ok }
+	}
+	lo, hi := pl.lo, pl.hi
+	return func(id uint32) bool { v := codes[id]; return v >= lo && v < hi }
+}
+
+func (pl *strLeafPlan) runs() ([]core.CandidateRun, core.QueryStats) {
+	if pl.none {
+		// The dictionary proves the leaf selects nothing.
+		return nil, core.QueryStats{}
+	}
+	c := pl.c
 	if c.ix == nil {
-		// Scan-only: every block is a candidate — unless the dictionary
-		// already proves the leaf selects nothing.
-		if p.kind == kindIn {
-			set, err := c.inCodes(p)
-			if err != nil {
-				return nil, core.QueryStats{}, err
-			}
-			if len(set) == 0 {
-				return nil, core.QueryStats{}, nil
-			}
-		} else if _, _, ok, err := c.codeInterval(p); err != nil {
-			return nil, core.QueryStats{}, err
-		} else if !ok {
-			return nil, core.QueryStats{}, nil
-		}
-		return blockSpanRuns(c.colRows(), false), core.QueryStats{}, nil
+		// Scan-only: every block is a candidate.
+		return blockSpanRuns(len(pl.codes), false), core.QueryStats{}
 	}
 	var runs []core.CandidateRun
 	var st core.QueryStats
-	if p.kind == kindIn {
-		set, err := c.inCodes(p)
-		if err != nil {
-			return nil, st, err
-		}
-		if len(set) == 0 {
-			return nil, core.QueryStats{}, nil
-		}
-		runs, st = c.ix.InSetCachelines(set)
+	if pl.kind == kindIn {
+		runs, st = c.ix.InSetCachelines(pl.set)
 	} else {
-		lo, hi, ok, err := c.codeInterval(p)
-		if err != nil {
-			return nil, st, err
-		}
-		if !ok {
-			return nil, core.QueryStats{}, nil
-		}
-		runs, st = c.ix.RangeCachelines(lo, hi)
+		runs, st = c.ix.RangeCachelines(pl.lo, pl.hi)
 	}
 	vpc := c.ix.ValuesPerCacheline()
-	cls := (c.colRows() + vpc - 1) / vpc
-	return blocksFromCachelines(runs, BlockRows/vpc, cls), st, nil
+	cls := (len(pl.codes) + vpc - 1) / vpc
+	return blocksFromCachelines(runs, BlockRows/vpc, cls), st
 }
 
-// estimate mirrors colState.estimate: negative means no imprint-backed
-// estimate is available.
-func (c *strColState) estimate(p *leafPred) (float64, error) {
+// estimate mirrors numLeafPlan.estimate: negative means no imprint-
+// backed estimate is available.
+func (pl *strLeafPlan) estimate() float64 {
+	c := pl.c
 	if c.ix == nil {
-		return -1, nil
+		return -1
 	}
-	if p.kind == kindIn {
-		set, err := c.inCodes(p)
-		if err != nil {
-			return 0, err
-		}
-		est := float64(len(set)) / float64(c.ix.Bins())
+	if pl.none {
+		return 0
+	}
+	if pl.kind == kindIn {
+		est := float64(len(pl.set)) / float64(c.ix.Bins())
 		if est > 1 {
 			est = 1
 		}
-		return est, nil
+		return est
 	}
-	lo, hi, ok, err := c.codeInterval(p)
-	if err != nil {
-		return 0, err
-	}
-	if !ok {
-		return 0, nil
-	}
-	return c.ix.EstimateSelectivity(lo, hi), nil
+	return c.ix.EstimateSelectivity(pl.lo, pl.hi)
 }

@@ -15,9 +15,25 @@
 //	for id, row := range q.Rows() { ... }
 //
 // Queries execute via Rows (a streaming iterator), IDs, Count, and
-// Explain, which renders the per-leaf access-path plan. A Table is safe
-// for concurrent use: queries and point reads take a shared lock, while
-// batch commits, updates, deletes and maintenance take it exclusively.
+// Explain, which renders the per-leaf access-path plan.
+//
+// For serving workloads that run the same predicate shape on every
+// request, Table.Prepare compiles the tree once into a Prepared
+// statement: columns and types are validated up front, every
+// placeholder-free leaf is translated exactly once, and named
+// placeholders (Param, StrParam, used through the P-suffixed leaf
+// constructors) are bound per execution:
+//
+//	p, _ := t.Prepare(table.RangeP("price",
+//	    table.Param[float64]("lo"), table.Param[float64]("hi")), table.SelectOptions{})
+//	ids, _, _ := p.Bind("lo", 10.0).Bind("hi", 20.0).IDs()
+//
+// Ad-hoc queries route through the same compiled representation, so
+// there is exactly one evaluator. A Table is safe for concurrent use:
+// queries and point reads take a shared lock, while batch commits,
+// updates, deletes and maintenance take it exclusively; prepared
+// statements are safe for concurrent executions and recompile
+// transparently when the storage shape changes under them.
 package table
 
 import (
@@ -60,9 +76,11 @@ type anyColumn interface {
 	compact(keep []int)                 // drop deleted rows (ids to keep, ascending)
 	valueAt(id int) any
 	persist(io.Writer) error
-	leafRuns(p *leafPred) ([]core.CandidateRun, core.QueryStats, error)
-	leafCheck(p *leafPred) (core.CheckFunc, error)
-	estimate(p *leafPred) (float64, error)
+	// compileLeaf translates one predicate leaf against this column
+	// exactly once: typed bounds, code intervals and IN-sets are derived
+	// here and nowhere else; probes, residual checks and selectivity
+	// estimates all run off the returned plan.
+	compileLeaf(p *leafPred) (leafPlan, error)
 }
 
 // colState is the concrete typed column state.
@@ -86,6 +104,13 @@ type Table struct {
 	rows    int
 	deleted *bitvec.Vector // lazily sized; nil when nothing deleted
 	ndel    int
+	// gen counts storage shape changes (new columns, batch commits,
+	// compactions, dictionary re-encodes). Compiled predicate plans
+	// capture value slices, so a Prepared statement recompiles when the
+	// generation it was compiled at no longer matches. In-place updates
+	// and deletes don't bump it: they mutate values under the existing
+	// slices and are observed live.
+	gen uint64
 }
 
 // New creates an empty table.
@@ -196,6 +221,7 @@ func (t *Table) installColumn(name string, c anyColumn, nvals int) {
 	if len(t.order) == 1 {
 		t.rows = nvals
 	}
+	t.gen++
 }
 
 // Column returns the typed values of a column. The slice is a read-only
@@ -323,6 +349,7 @@ func (b *Batch) Commit() error {
 		b.staged[name]()
 	}
 	b.t.rows += b.rows
+	b.t.gen++
 	if b.t.deleted != nil {
 		grown := bitvec.New(b.t.rows)
 		copy(grown.Words(), b.t.deleted.Words())
@@ -487,6 +514,7 @@ func (t *Table) compactLocked() int {
 	t.rows = len(keep)
 	t.deleted = nil
 	t.ndel = 0
+	t.gen++
 	return removed
 }
 
