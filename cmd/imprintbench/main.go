@@ -1,26 +1,31 @@
 // Command imprintbench regenerates the tables and figures of the column
 // imprints paper (SIGMOD 2013) over the synthetic dataset suite, plus
-// two table-layer experiments: queryplan drives the lazy Query API and
-// reports the per-leaf EXPLAIN access paths (imprints probe vs zonemap
-// vs scan fallback) over a mixed numeric/string relation, and prepared
-// measures the amortized prepare-once/execute-N serving loop of
-// Table.Prepare against ad-hoc plan-per-query execution.
+// three table-layer experiments: queryplan drives the lazy Query API
+// and reports the per-leaf EXPLAIN access paths (imprints probe vs
+// zonemap vs scan fallback) over a mixed numeric/string relation,
+// prepared measures the amortized prepare-once/execute-N serving loop
+// of Table.Prepare against ad-hoc plan-per-query execution, and
+// segments measures segmented storage — parallel segment fan-out at
+// several SelectOptions.Parallelism levels and min/max summary pruning.
 //
 // Usage:
 //
-//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared[,...]]
+//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared|segments[,...]]
 //	             [-scale 1.0] [-seed 42] [-queries 3] [-maxcols 0]
-//	             [-format text|csv] [-outdir DIR]
+//	             [-format text|csv] [-json] [-outdir DIR]
 //
 // The default output is the text rendering of each experiment: the same
 // rows and series the paper reports, regenerated at the configured
 // scale. -format csv emits machine-readable rows instead (to stdout, or
-// one file per experiment under -outdir). EXPERIMENTS.md records a
-// reference run against the paper's findings.
+// one file per experiment under -outdir), and -json emits one JSON
+// document covering every experiment run — id, title, header, rows and
+// elapsed milliseconds — for bench-trajectory tooling. EXPERIMENTS.md
+// records a reference run against the paper's findings.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +45,7 @@ func main() {
 		queries = flag.Int("queries", 3, "queries per selectivity step per column")
 		maxcols = flag.Int("maxcols", 0, "max columns per dataset in query experiments (0 = all)")
 		format  = flag.String("format", "text", "output format: text or csv")
+		asJSON  = flag.Bool("json", false, "emit one JSON document with every experiment's results (overrides -format)")
 		outdir  = flag.String("outdir", "", "with -format csv: write one CSV file per experiment here")
 	)
 	flag.Parse()
@@ -59,6 +65,7 @@ func main() {
 	if *exps != "all" {
 		ids = strings.Split(*exps, ",")
 	}
+	var jsonOut []jsonExperiment
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -68,16 +75,42 @@ func main() {
 			os.Exit(2)
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
-		switch *format {
-		case "text":
+		switch {
+		case *asJSON:
+			jsonOut = append(jsonOut, jsonExperiment{
+				ID:        exp.ID,
+				Title:     exp.Title,
+				Header:    exp.Header,
+				Rows:      exp.Rows,
+				ElapsedMS: elapsed.Milliseconds(),
+			})
+		case *format == "text":
 			fmt.Printf("=== %s (%v)\n%s\n", exp.Title, elapsed, exp.Text)
-		case "csv":
+		case *format == "csv":
 			if err := emitCSV(exp, *outdir); err != nil {
 				fmt.Fprintln(os.Stderr, "imprintbench:", err)
 				os.Exit(1)
 			}
 		}
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "imprintbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonExperiment is the machine-readable form one -json run emits per
+// experiment.
+type jsonExperiment struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	ElapsedMS int64      `json:"elapsed_ms"`
 }
 
 // emitCSV writes an experiment's structured rows as CSV: to a per-

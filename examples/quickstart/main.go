@@ -30,11 +30,16 @@ func main() {
 	if err := table.AddColumn(tb, "reading", col, table.Imprints, imprints.Options{}); err != nil {
 		panic(err)
 	}
-	ix, err := table.Index[int64](tb, "reading")
+	ixStats, err := tb.IndexStats("reading")
 	if err != nil {
 		panic(err)
 	}
+	fmt.Printf("table: %d rows in %d segments of %d (stored vectors across segments: %d)\n",
+		tb.Rows(), ixStats.Segments, tb.SegmentRows(), ixStats.StoredVectors)
 
+	// The raw imprint structure, via the facade (one index over the
+	// whole column; the table maintains one like it per segment).
+	ix := imprints.Build(col, imprints.Options{})
 	fmt.Printf("indexed %d values in %d cachelines\n", ix.Len(), ix.Cachelines())
 	fmt.Printf("stored vectors: %d (compression ratio %.4f)\n",
 		ix.StoredVectors(), ix.CompressionRatio())

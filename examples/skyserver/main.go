@@ -31,10 +31,9 @@ func main() {
 	if err := table.AddColumn(tb, "profMean", col, table.Imprints, imprints.Options{Seed: 1}); err != nil {
 		panic(err)
 	}
-	ix, err := table.Index[float64](tb, "profMean")
-	if err != nil {
-		panic(err)
-	}
+	// Raw whole-column imprint for the comparators (the table keeps one
+	// per segment; WAH shares the raw index's binning).
+	ix := imprints.Build(col, imprints.Options{Seed: 1})
 	zm := imprints.BuildZonemap(col)
 	wb := imprints.BuildWAHShared(col, ix) // same binning as the imprint
 

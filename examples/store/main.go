@@ -164,9 +164,10 @@ func main() {
 	// Prepared serving loop: compile the request shape once — columns
 	// validated, static leaves translated up front — then bind the
 	// per-request parameters and execute. The statement is safe for
-	// concurrent executions, and if the table changes shape under it
-	// (another batch append, a compaction) the next execution detects
-	// the new table generation and recompiles transparently.
+	// concurrent executions, and it never recompiles: plans resolve the
+	// table's segments live, so batch appends and compactions under it
+	// are picked up on the next execution (string translations are
+	// cached per segment and refresh only when that segment re-encodes).
 	prepared, err := tb.Prepare(table.And(
 		table.RangeP("qty", table.Param[int64]("lo"), table.Param[int64]("hi")),
 		table.EqualsP("city", table.StrParam("city")),

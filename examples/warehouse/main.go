@@ -29,21 +29,24 @@ func main() {
 	tb := table.New("airtraffic")
 	must(table.AddColumn(tb, "delay", delay, table.Imprints, imprints.Options{Seed: 5}))
 	must(tb.AddStringColumn("carrier", carrier, table.Imprints, imprints.Options{Seed: 6}))
-	ix, err := table.Index[int16](tb, "delay")
+	stats, err := tb.IndexStats("delay")
 	must(err)
-	fmt.Printf("initial load: %d rows, %d stored vectors\n", tb.Rows(), ix.StoredVectors())
+	fmt.Printf("initial load: %d rows in %d segments, %d stored vectors\n",
+		tb.Rows(), stats.Segments, stats.StoredVectors)
 
-	// Twelve monthly appends (Section 4.1): no existing vector changes.
+	// Twelve monthly appends (Section 4.1): rows land in the active
+	// tail segment, sealing it and opening fresh ones as it fills — no
+	// sealed segment's vectors ever change.
 	for m := 1; m <= 12; m++ {
 		b := tb.NewBatch()
 		must(table.Append(b, "delay", genMonth(rng, nil, 200_000)))
 		must(b.AppendStrings("carrier", genCarriers(rng, nil, 200_000)))
 		must(b.Commit())
 	}
-	ix, err = table.Index[int16](tb, "delay")
+	stats, err = tb.IndexStats("delay")
 	must(err)
-	fmt.Printf("after 12 appends: %d rows, %d stored vectors, saturation %.3f\n",
-		tb.Rows(), ix.StoredVectors(), ix.Saturation())
+	fmt.Printf("after 12 appends: %d rows in %d segments, %d stored vectors, mean saturation %.3f\n",
+		tb.Rows(), stats.Segments, stats.StoredVectors, stats.Saturation)
 
 	// Query: heavily delayed KLM flights. Explain shows both leaves
 	// probing their imprints (the string leaf through its code range).
@@ -59,28 +62,32 @@ func main() {
 	fmt.Printf("delay >= 180min on KL: %d flights, %d cachelines skipped\n\n",
 		len(ids), st.CachelinesSkipped)
 
-	// In-place corrections (Section 4.2): the imprint absorbs updates by
-	// widening vectors — at the cost of saturation.
-	before := ix.Saturation()
+	// In-place corrections (Section 4.2): each covering segment imprint
+	// absorbs updates by widening vectors — at the cost of saturation.
+	before := stats.Saturation
 	for u := 0; u < 1_200_000; u++ {
 		id := rng.IntN(tb.Rows())
 		must(table.Update(tb, "delay", id, int16(rng.IntN(600)-60)))
 	}
-	fmt.Printf("saturation after in-place marking: %.3f -> %.3f (extra bits: %d)\n",
-		before, ix.Saturation(), ix.ExtraBits())
+	stats, err = tb.IndexStats("delay")
+	must(err)
+	fmt.Printf("mean saturation after in-place marking: %.3f -> %.3f\n",
+		before, stats.Saturation)
 
-	// Maintain applies the rebuild heuristic per column; this workload
-	// rebuilds at a stricter saturation limit than the 0.5 default.
+	// Maintain applies the rebuild heuristic segment by segment; this
+	// workload rebuilds at a stricter saturation limit than the 0.5
+	// default, and only the saturated segments are rebuilt.
 	rep := tb.Maintain(table.MaintainOptions{SaturationLimit: 0.25})
 	fmt.Printf("maintenance: %s\n", rep)
-	ix, err = table.Index[int16](tb, "delay")
+	stats, err = tb.IndexStats("delay")
 	must(err)
-	fmt.Printf("saturation after rebuild: %.3f\n", ix.Saturation())
+	fmt.Printf("mean saturation after rebuild: %.3f\n", stats.Saturation)
 
 	// Alternatively, corrections can stay out of the index entirely via
-	// the query-time delta of Section 4.2 (raw facade).
+	// the query-time delta of Section 4.2 (raw facade, whole column).
 	col, err := table.Column[int16](tb, "delay")
 	must(err)
+	ix := imprints.Build(col, imprints.Options{Seed: 5})
 	delta := imprints.NewDelta[int16]()
 	for u := 0; u < 5_000; u++ {
 		delta.Update(uint32(rng.IntN(len(col))), int16(rng.IntN(600)-60))

@@ -129,8 +129,8 @@ func IntersectRuns(a, b []CandidateRun) []CandidateRun {
 		ra, rb := a[i], b[j]
 		aEnd := ra.Start + ra.Count
 		bEnd := rb.Start + rb.Count
-		lo := max32(ra.Start, rb.Start)
-		hi := min32(aEnd, bEnd)
+		lo := max(ra.Start, rb.Start)
+		hi := min(aEnd, bEnd)
 		if lo < hi {
 			push(lo, hi-lo, ra.Exact && rb.Exact)
 		}
@@ -142,20 +142,6 @@ func IntersectRuns(a, b []CandidateRun) []CandidateRun {
 		}
 	}
 	return out
-}
-
-func max32(a, b uint32) uint32 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min32(a, b uint32) uint32 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // TotalCachelines sums the cachelines covered by a run list.

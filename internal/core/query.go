@@ -17,6 +17,10 @@ type QueryStats struct {
 	// from exact candidate runs (span minus a deleted-bitmap popcount)
 	// instead of visiting them one by one.
 	FastCountedRows uint64
+	// ScratchReused counts pooled candidate-id scratch buffers the
+	// evaluator reused (capacity recycled from an earlier query) instead
+	// of growing a fresh one.
+	ScratchReused uint64
 }
 
 // Add accumulates o into s.
@@ -27,6 +31,7 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.CachelinesExact += o.CachelinesExact
 	s.CachelinesSkipped += o.CachelinesSkipped
 	s.FastCountedRows += o.FastCountedRows
+	s.ScratchReused += o.ScratchReused
 }
 
 // pred is a range predicate with optional unbounded and inclusive ends.

@@ -67,8 +67,8 @@ func UnionRuns(a, b []CandidateRun) []CandidateRun {
 			}
 			// Overlapping. Emit the disjoint prefix, then the shared
 			// piece with OR-ed exactness.
-			lo := min32(ra.Start, rb.Start)
-			hi := max32(ra.Start, rb.Start)
+			lo := min(ra.Start, rb.Start)
+			hi := max(ra.Start, rb.Start)
 			if lo < hi {
 				if ra.Start < rb.Start {
 					push(lo, hi-lo, ra.Exact)
@@ -76,7 +76,7 @@ func UnionRuns(a, b []CandidateRun) []CandidateRun {
 					push(lo, hi-lo, rb.Exact)
 				}
 			}
-			sharedEnd := min32(aEnd, bEnd)
+			sharedEnd := min(aEnd, bEnd)
 			push(hi, sharedEnd-hi, ra.Exact || rb.Exact)
 			cur = sharedEnd
 			if aEnd == sharedEnd {
@@ -143,7 +143,7 @@ func DiffRuns(a, b []CandidateRun) []CandidateRun {
 				push(cur, rb.Start-cur, ra.Exact)
 				cur = rb.Start
 			}
-			ovEnd := min32(end, rb.Start+rb.Count)
+			ovEnd := min(end, rb.Start+rb.Count)
 			if !rb.Exact {
 				// Some rows of these cachelines may survive NOT Q.
 				push(cur, ovEnd-cur, false)

@@ -210,10 +210,3 @@ func TestDatasetString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

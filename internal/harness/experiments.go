@@ -24,7 +24,7 @@ type Experiment struct {
 
 // IDs lists all experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared"}
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments"}
 }
 
 // Run executes one experiment by id.
@@ -54,6 +54,8 @@ func Run(id string, cfg Config) (*Experiment, error) {
 		return QueryPlan(cfg), nil
 	case "prepared":
 		return PreparedExp(cfg), nil
+	case "segments":
+		return SegmentsExp(cfg), nil
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (want one of %s)", id, strings.Join(IDs(), ", "))
 }
@@ -76,6 +78,7 @@ func RunAll(cfg Config) []*Experiment {
 		Fig11(queryRuns),
 		QueryPlan(cfg),
 		PreparedExp(cfg),
+		SegmentsExp(cfg),
 	}
 }
 

@@ -121,10 +121,3 @@ func TestStringDictOrderPreserved(t *testing.T) {
 		t.Error("dictionary symbols not sorted")
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

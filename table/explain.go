@@ -7,45 +7,78 @@ import (
 	"repro/internal/core"
 )
 
-// Plan is the rendered execution plan of a Query: what predicate.go's
-// evaluator decided per leaf (imprints probe vs zonemap vs scan, the
-// estimated selectivity behind that choice) and what each subtree's
-// candidate-run list looked like after composition. Explain executes
-// the index probes — the candidate-run statistics are real — but never
-// materializes a row.
+// Plan is the rendered execution plan of a Query: what the evaluator
+// decided per leaf and per segment (pruned vs imprints probe vs zonemap
+// vs scan fallback, the estimated selectivity behind that choice) and
+// what each subtree's candidate-run list looked like after composition.
+// Explain executes the index probes against every segment — the
+// candidate-run statistics are real — but never materializes a row.
 type Plan struct {
 	Table       string
 	Columns     []string // resolved projection
 	Limit       int      // row cap; negative when the query has no limit
 	TotalRows   int
 	TotalBlocks int // row blocks of BlockRows rows
-	Root        *PlanNode
-	Stats       core.QueryStats // aggregated index-probe stats
+	// SegmentRows / Segments describe the storage segmentation the plan
+	// ran over; Parallelism is the worker count execution would use.
+	SegmentRows int
+	Segments    int
+	Parallelism int
+	// SegmentsPruned counts the segments that contributed no candidate
+	// blocks at the root — fully skipped by summary/dictionary pruning
+	// or probed down to nothing.
+	SegmentsPruned int
+	Root           *PlanNode
+	Stats          core.QueryStats // aggregated index-probe stats
 	// FastCountRows is the number of live rows Count would tally
-	// wholesale from the root's exact candidate runs (span minus a
-	// deleted-bitmap popcount) — the count fast path's coverage.
+	// wholesale from the exact candidate runs (span minus a deleted-
+	// bitmap popcount) — the count fast path's coverage.
 	FastCountRows uint64
 }
 
 // PlanNode is one node of the plan tree, mirroring the predicate tree.
+// Leaf statistics are aggregated across segments; SegmentDetails holds
+// the per-segment breakdown when the table has more than one segment.
 type PlanNode struct {
 	Op     string // "and", "or", "andnot", "leaf", "all"
 	Pred   string // leaf predicate rendering, e.g. `city in ["A", "N"]`
 	Column string // leaf column name
-	Access string // leaf access path: "imprints", "zonemap", "scan"
-	Reason string // why a non-default path was chosen ("unselective")
+	// Access is the leaf access path: "imprints", "zonemap", "scan" —
+	// or "pruned" when every segment was pruned, and "mixed" when
+	// segments resolved differently (see SegmentDetails).
+	Access string
+	Reason string // why a non-default path was chosen ("unselective", "summary excludes")
 	// Selectivity is the leaf's estimated selectivity (fraction of rows
-	// expected to qualify) from the imprint histogram; negative when the
-	// leaf has no imprint to estimate from (scan-only, zonemap).
+	// expected to qualify, row-weighted across probed segments) from the
+	// imprint histograms; negative when no segment has an imprint to
+	// estimate from (scan-only, zonemap).
 	Selectivity float64
 	// Runs / CandidateBlocks / ExactBlocks summarize the candidate-run
-	// list this subtree produced: maximal runs, total candidate row
-	// blocks, and how many of those are exact (no residual check).
+	// lists this subtree produced across segments: maximal runs, total
+	// candidate row blocks, and how many of those are exact (no residual
+	// check).
 	Runs            int
 	CandidateBlocks uint64
 	ExactBlocks     uint64
 	Stats           core.QueryStats // leaf probe stats
-	Children        []*PlanNode
+	// SegmentDetails breaks a leaf down per segment (multi-segment
+	// tables only): the access path each segment resolved to, including
+	// "pruned" for segments skipped without probing.
+	SegmentDetails []SegmentPlan
+	Children       []*PlanNode
+}
+
+// SegmentPlan is one segment's slice of a leaf's plan.
+type SegmentPlan struct {
+	Segment         int
+	Rows            int
+	Access          string // "pruned", "imprints", "zonemap", "scan"
+	Reason          string
+	Selectivity     float64 // negative when the segment has no imprint
+	Runs            int
+	CandidateBlocks uint64
+	ExactBlocks     uint64
+	Stats           core.QueryStats
 }
 
 // setRuns records a node's candidate-run summary.
@@ -66,7 +99,10 @@ func opNode(op string, runs []core.CandidateRun, kids []*PlanNode) *PlanNode {
 	return n
 }
 
-// Explain builds the query's execution plan without materializing rows.
+// Explain builds the query's execution plan without materializing rows:
+// every segment is evaluated (in parallel, like a real execution) and
+// the per-segment plans are merged into one tree with per-leaf segment
+// breakdowns.
 func (q *Query) Explain() (*Plan, error) {
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
@@ -74,32 +110,142 @@ func (q *Query) Explain() (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	var st core.QueryStats
-	ev, err := q.plan(&st)
+	en, err := q.bind()
 	if err != nil {
 		return nil, err
 	}
+	var st core.QueryStats
+	nsegs := q.t.segCount()
+	par := resolveParallelism(q.opts, nsegs)
+	segPlans := make([]*PlanNode, nsegs)
+	var fast uint64
+	pruned := 0
+	q.t.forEachSegment(nsegs, par,
+		func(s int) segOut {
+			var o segOut
+			ev := q.t.evalSegment(en, s, q.opts, &o.st, true)
+			o.plan = ev.plan
+			o.fast = q.t.fastCountSegment(s, ev.runs)
+			return o
+		},
+		func(s int, o segOut) bool {
+			st.Add(o.st)
+			segPlans[s] = o.plan
+			fast += o.fast
+			if o.plan.CandidateBlocks == 0 {
+				pruned++
+			}
+			return true
+		})
 	lim := -1
 	if q.limited {
 		lim = q.limit
 	}
+	root := q.t.aggregatePlans(segPlans)
 	return &Plan{
-		Table:         q.t.name,
-		Columns:       append([]string(nil), names...),
-		Limit:         lim,
-		TotalRows:     q.t.rows,
-		TotalBlocks:   (q.t.rows + BlockRows - 1) / BlockRows,
-		Root:          ev.plan,
-		Stats:         st,
-		FastCountRows: q.t.fastCountRows(ev.runs),
+		Table:          q.t.name,
+		Columns:        append([]string(nil), names...),
+		Limit:          lim,
+		TotalRows:      q.t.rows,
+		TotalBlocks:    (q.t.rows + BlockRows - 1) / BlockRows,
+		SegmentRows:    q.t.segRows,
+		Segments:       nsegs,
+		Parallelism:    par,
+		SegmentsPruned: pruned,
+		Root:           root,
+		Stats:          st,
+		FastCountRows:  fast,
 	}, nil
+}
+
+// aggregatePlans merges the per-segment plan trees (identical shape —
+// one per segment of the same execution tree) into a single tree:
+// statistics are summed, and leaves additionally keep the per-segment
+// breakdown when there is more than one segment. Callers hold the read
+// lock.
+func (t *Table) aggregatePlans(plans []*PlanNode) *PlanNode {
+	if len(plans) == 0 {
+		// Empty table: a bare node standing for the whole (empty) scan.
+		return &PlanNode{Op: "all", Pred: "true"}
+	}
+	if len(plans) == 1 {
+		return plans[0]
+	}
+	first := plans[0]
+	agg := &PlanNode{Op: first.Op, Pred: first.Pred, Column: first.Column, Selectivity: -1}
+	// Sum the run summaries and stats.
+	for _, p := range plans {
+		agg.Runs += p.Runs
+		agg.CandidateBlocks += p.CandidateBlocks
+		agg.ExactBlocks += p.ExactBlocks
+		agg.Stats.Add(p.Stats)
+	}
+	if first.Op == "leaf" {
+		t.aggregateLeaf(agg, plans)
+	}
+	for k := range first.Children {
+		kids := make([]*PlanNode, len(plans))
+		for s, p := range plans {
+			kids[s] = p.Children[k]
+		}
+		agg.Children = append(agg.Children, t.aggregatePlans(kids))
+	}
+	return agg
+}
+
+// aggregateLeaf fills a merged leaf node: the per-segment breakdown,
+// the dominant access path and the row-weighted selectivity estimate.
+func (t *Table) aggregateLeaf(agg *PlanNode, plans []*PlanNode) {
+	access := ""
+	uniform, allPruned := true, true
+	var estRows, estSum float64
+	for s, p := range plans {
+		rows := t.segLen(s)
+		agg.SegmentDetails = append(agg.SegmentDetails, SegmentPlan{
+			Segment:         s,
+			Rows:            rows,
+			Access:          p.Access,
+			Reason:          p.Reason,
+			Selectivity:     p.Selectivity,
+			Runs:            p.Runs,
+			CandidateBlocks: p.CandidateBlocks,
+			ExactBlocks:     p.ExactBlocks,
+			Stats:           p.Stats,
+		})
+		if p.Access != "pruned" {
+			allPruned = false
+			if access == "" {
+				access = p.Access
+				agg.Reason = p.Reason
+			} else if access != p.Access {
+				uniform = false
+			}
+			if p.Selectivity >= 0 {
+				estSum += p.Selectivity * float64(rows)
+				estRows += float64(rows)
+			}
+		}
+	}
+	switch {
+	case allPruned:
+		agg.Access, agg.Reason = "pruned", "summary excludes"
+	case uniform:
+		agg.Access = access
+	default:
+		agg.Access, agg.Reason = "mixed", ""
+	}
+	if estRows > 0 {
+		agg.Selectivity = estSum / estRows
+	}
 }
 
 // String renders the plan as an indented tree, e.g.:
 //
-//	select qty, city from orders limit 10 (550000 rows, 8594 blocks of 64)
+//	select qty, city from orders limit 10 (550000 rows, 8594 blocks of 64, 9 segments of 65536, parallelism 4)
 //	└─ or: 312 candidate blocks in 14 runs (88 exact)
 //	   ├─ qty in [4900, 5100): imprints est=0.031 → 301 blocks in 12 runs (88 exact), 4211 probes
+//	   │    · seg 0 (65536 rows): pruned (summary excludes)
+//	   │    · seg 1 (65536 rows): imprints est=0.210 → 301 blocks in 12 runs (88 exact), 4211 probes
 //	   └─ city prefix "Ams": imprints est=0.120 → 95 blocks in 3 runs (0 exact), 4211 probes
 func (p *Plan) String() string {
 	var sb strings.Builder
@@ -108,6 +254,12 @@ func (p *Plan) String() string {
 		fmt.Fprintf(&sb, " limit %d", p.Limit)
 	}
 	fmt.Fprintf(&sb, " (%d rows, %d blocks of %d", p.TotalRows, p.TotalBlocks, BlockRows)
+	if p.Segments > 1 {
+		fmt.Fprintf(&sb, ", %d segments of %d, parallelism %d", p.Segments, p.SegmentRows, p.Parallelism)
+		if p.SegmentsPruned > 0 {
+			fmt.Fprintf(&sb, ", %d pruned", p.SegmentsPruned)
+		}
+	}
 	if p.FastCountRows > 0 {
 		fmt.Fprintf(&sb, ", count fast path: %d rows", p.FastCountRows)
 	}
@@ -145,6 +297,24 @@ func (n *PlanNode) render(sb *strings.Builder, branch, indent string) {
 	kidIndent := indent + "   "
 	if branch == "├─ " {
 		kidIndent = indent + "│  "
+	}
+	for _, sp := range n.SegmentDetails {
+		sb.WriteString(kidIndent + "  · ")
+		fmt.Fprintf(sb, "seg %d (%d rows): %s", sp.Segment, sp.Rows, sp.Access)
+		if sp.Reason != "" {
+			fmt.Fprintf(sb, " (%s)", sp.Reason)
+		}
+		if sp.Access != "pruned" {
+			if sp.Selectivity >= 0 {
+				fmt.Fprintf(sb, " est=%.3f", sp.Selectivity)
+			}
+			fmt.Fprintf(sb, " → %d blocks in %d runs (%d exact)",
+				sp.CandidateBlocks, sp.Runs, sp.ExactBlocks)
+			if sp.Stats.Probes > 0 {
+				fmt.Fprintf(sb, ", %d probes", sp.Stats.Probes)
+			}
+		}
+		sb.WriteByte('\n')
 	}
 	for i, kid := range n.Children {
 		b := "├─ "

@@ -166,14 +166,15 @@ func TestZonemapModeUpdatesAndAppends(t *testing.T) {
 		t.Fatal(err)
 	}
 	// In-place updates widen zones; queries stay sound.
-	live, _ := Column[int64](tb, "ts")
 	for u := 0; u < 150; u++ {
-		id := rng.IntN(len(live))
+		id := rng.IntN(len(ts))
 		nv := int64(rng.IntN(6000))
 		if err := Update(tb, "ts", id, nv); err != nil {
 			t.Fatal(err)
 		}
 	}
+	// Column materializes a snapshot; re-fetch after the updates.
+	live, _ := Column[int64](tb, "ts")
 	lo, hi := int64(1000), int64(2000)
 	got, _, err := tb.Select().Where(Range[int64]("ts", lo, hi)).IDs()
 	if err != nil {

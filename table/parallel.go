@@ -1,0 +1,199 @@
+package table
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// resolveParallelism turns SelectOptions.Parallelism into the worker
+// count for nsegs segments: 0 means GOMAXPROCS, and there is never a
+// point in more workers than segments.
+func resolveParallelism(opts SelectOptions, nsegs int) int {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	return max(1, min(par, nsegs))
+}
+
+// segOut is what one segment worker hands back to the merging consumer.
+type segOut struct {
+	st    core.QueryStats
+	ids   *[]uint32 // materialized global ids (IDs/Rows); pooled, consumer returns it
+	count uint64    // qualifying rows (Count)
+	fast  uint64    // live rows of exact root runs (Explain's count fast path)
+	plan  *PlanNode
+}
+
+// forEachSegment evaluates segments 0..nsegs-1 with work, fanning them
+// across par workers, and feeds the results to consume in ascending
+// segment order (so query results are deterministic regardless of
+// parallelism). consume returning false cancels the segments no worker
+// has started yet — the early-exit behind Limit — while in-flight
+// segments drain before the call returns (workers touch table state
+// that is only guarded while the caller holds the read lock).
+//
+// With one worker (or one segment) everything runs inline on the
+// calling goroutine, with a plain early break.
+func (t *Table) forEachSegment(nsegs, par int, work func(s int) segOut, consume func(s int, o segOut) bool) {
+	if nsegs == 0 {
+		return
+	}
+	if par <= 1 || nsegs == 1 {
+		for s := 0; s < nsegs; s++ {
+			if !consume(s, work(s)) {
+				return
+			}
+		}
+		return
+	}
+
+	outs := make([]segOut, nsegs)
+	done := make([]chan struct{}, nsegs)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= nsegs {
+					return
+				}
+				if !stop.Load() {
+					outs[s] = work(s)
+				}
+				close(done[s])
+			}
+		}()
+	}
+	// Deferred so a panic in consume (e.g. a Rows() yield panicking)
+	// still stops and drains the workers before the caller's unwind
+	// releases the table read lock — otherwise in-flight workers would
+	// race whatever writer runs next. Completed-but-unconsumed segments
+	// also get their pooled id buffers recycled here.
+	consumed := 0
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+		for s := consumed; s < nsegs; s++ {
+			putIDScratch(outs[s].ids)
+		}
+	}()
+	for s := 0; s < nsegs; s++ {
+		<-done[s]
+		consumed = s + 1
+		if !consume(s, outs[s]) {
+			return
+		}
+	}
+}
+
+// idScratchPool recycles the per-segment candidate-id buffers the
+// evaluator materializes into, so steady-state queries stop growing a
+// fresh []uint32 per segment per query. Buffers are returned by the
+// merging consumer once their ids are copied out (or yielded).
+var idScratchPool = sync.Pool{New: func() any { return new([]uint32) }}
+
+// getIDScratch fetches a pooled id buffer, reporting whether it brought
+// usable capacity from a previous query (surfaced as
+// QueryStats.ScratchReused). The same *[]uint32 must be handed back to
+// putIDScratch so Get and Put exchange one pointer, never re-boxing.
+func getIDScratch() (*[]uint32, bool) {
+	buf := idScratchPool.Get().(*[]uint32)
+	*buf = (*buf)[:0]
+	return buf, cap(*buf) > 0
+}
+
+func putIDScratch(buf *[]uint32) {
+	if buf != nil {
+		idScratchPool.Put(buf)
+	}
+}
+
+// scanSegment walks one segment's candidate runs: it skips deleted
+// rows, applies the residual check of non-exact runs (counting
+// comparisons into st), and hands each qualifying row — as a global row
+// id — to visit. Exact runs are offered wholesale to visitRun when it
+// is non-nil (Count's fast path) as their live row count: the span
+// minus a popcount over the deleted bitmap, no per-row work. Either
+// callback returns false to stop. Callers hold the read lock.
+func (t *Table) scanSegment(s int, ev evaluated, st *core.QueryStats, visitRun func(live int) bool, visit func(id int) bool) {
+	base := s * t.segRows
+	end := base + t.segLen(s)
+	for _, r := range ev.runs {
+		from := base + int(r.Start)*BlockRows
+		to := base + (int(r.Start)+int(r.Count))*BlockRows
+		if to > end {
+			to = end
+		}
+		if visitRun != nil && r.Exact {
+			live := t.liveRows(from, to)
+			st.FastCountedRows += uint64(live)
+			if !visitRun(live) {
+				return
+			}
+			continue
+		}
+		for id := from; id < to; id++ {
+			if t.deleted != nil && t.deleted.Get(id) {
+				continue
+			}
+			if !r.Exact && ev.check != nil {
+				st.Comparisons++
+				if !ev.check(uint32(id - base)) {
+					continue
+				}
+			}
+			if !visit(id) {
+				return
+			}
+		}
+	}
+}
+
+// deletedInSpan popcounts the deleted bitmap over [from, to); callers
+// hold the read lock.
+func (t *Table) deletedInSpan(from, to int) int {
+	if t.deleted == nil || t.ndel == 0 {
+		return 0
+	}
+	return t.deleted.CountRange(from, to)
+}
+
+// liveRows is the single definition of the Count fast path's wholesale
+// tally for one row span: the span minus a popcount over the deleted
+// bitmap, no per-row work. scanSegment applies it to exact runs and
+// Explain previews it (fastCountRows); callers hold the read lock.
+func (t *Table) liveRows(from, to int) int {
+	return to - from - t.deletedInSpan(from, to)
+}
+
+// fastCountSegment previews the Count fast path's coverage across one
+// segment's run list: the live rows of its exact runs. Callers hold the
+// read lock.
+func (t *Table) fastCountSegment(s int, runs []core.CandidateRun) uint64 {
+	base := s * t.segRows
+	end := base + t.segLen(s)
+	var n uint64
+	for _, r := range runs {
+		if !r.Exact {
+			continue
+		}
+		from := base + int(r.Start)*BlockRows
+		to := base + (int(r.Start)+int(r.Count))*BlockRows
+		if to > end {
+			to = end
+		}
+		n += uint64(t.liveRows(from, to))
+	}
+	return n
+}

@@ -16,34 +16,42 @@ import (
 
 // Persistence format (little endian):
 //
-//	magic "CTBL", version uint16
+//	magic "CTBL", version uint16 (3)
 //	nameLen uint16, name bytes
-//	rows uint64, ncols uint16
+//	rows uint64, segmentRows uint32, ncols uint16
 //	per column:
 //	  nameLen uint16, name bytes
 //	  kind uint8 (reflect.Kind), mode uint8 (IndexMode)
 //	  build options: sampleSize uint32, seed uint64, countDup uint8,
 //	                 valuesPerCacheline uint32, maxBins uint32
-//	  numeric kinds:
-//	    column payload (colfile format, self-delimiting)
-//	  string kind (reflect.String):
-//	    nsymbols uint32, per symbol: len uint32 + bytes
-//	    code payload (colfile int32 format, self-delimiting)
-//	  hasIndex uint8; if 1: index image (core serialization, self-delimiting)
+//	  nsegs uint32
+//	  per segment:
+//	    numeric kinds:
+//	      segment payload (colfile format, self-delimiting)
+//	    string kind (reflect.String):
+//	      nsymbols uint32, per symbol: len uint32 + bytes
+//	      code payload (colfile int32 format, self-delimiting)
+//	    hasIndex uint8; if 1: index image (core serialization, self-delimiting)
+//
+// Version 2 files — one monolithic payload and one index image per
+// column — are still loaded: the values are read whole, re-chunked into
+// segments of the loading table's default segment size, and the
+// per-segment indexes rebuilt (the monolithic image no longer matches
+// any storage unit, so it is read and discarded).
 //
 // Deleted-row marks are not persisted: Compact before Write (Write
 // refuses otherwise, keeping load semantics unambiguous).
 
 const (
 	tableMagic   = "CTBL"
-	tableVersion = 2
+	tableVersion = 3
 )
 
 // ErrCorrupt reports an invalid persisted table.
 var ErrCorrupt = errors.New("table: corrupt persisted table")
 
-// Write persists the table: column payloads plus index images.
-// Tables with pending deletes must be compacted first.
+// Write persists the table: per-segment column payloads plus index
+// images. Tables with pending deletes must be compacted first.
 func (t *Table) Write(w io.Writer) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -61,6 +69,9 @@ func (t *Table) Write(w io.Writer) error {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint64(t.rows)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(t.segRows)); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint16(len(t.order))); err != nil {
@@ -150,60 +161,72 @@ func writeIndexImage[V coltype.Value](w io.Writer, ix *core.Index[V]) error {
 	return nil
 }
 
+// persistHeader writes the shared column preamble: name, kind, mode,
+// options, segment count.
+func persistHeader(w io.Writer, name string, kind reflect.Kind, mode IndexMode, opts core.Options, nsegs int) error {
+	if err := writeString(w, name); err != nil {
+		return err
+	}
+	kb := [2]byte{uint8(kind), uint8(mode)}
+	if _, err := w.Write(kb[:]); err != nil {
+		return err
+	}
+	if err := writeOptions(w, opts); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, uint32(nsegs))
+}
+
 // persist is part of anyColumn (implemented on colState).
 func (c *colState[V]) persist(w io.Writer) error {
-	if err := writeString(w, c.name); err != nil {
-		return err
-	}
-	var kind [2]byte
 	var zero V
-	kind[0] = uint8(reflect.TypeOf(zero).Kind())
-	kind[1] = uint8(c.mode)
-	if _, err := w.Write(kind[:]); err != nil {
+	if err := persistHeader(w, c.name, reflect.TypeOf(zero).Kind(), c.mode, c.vpcOpts, len(c.segs)); err != nil {
 		return err
 	}
-	if err := writeOptions(w, c.vpcOpts); err != nil {
-		return err
+	for _, s := range c.segs {
+		if err := colfile.Write(w, s.vals); err != nil {
+			return err
+		}
+		if err := writeIndexImage(w, s.ix); err != nil {
+			return err
+		}
 	}
-	if err := colfile.Write(w, c.vals); err != nil {
-		return err
-	}
-	return writeIndexImage(w, c.ix)
+	return nil
 }
 
-// persist for string columns: dictionary symbols, then the code column,
-// then the code imprint image.
+// persist for string columns: per segment, the dictionary symbols, the
+// code column, and the code imprint image.
 func (c *strColState) persist(w io.Writer) error {
-	if err := writeString(w, c.name); err != nil {
+	if err := persistHeader(w, c.name, reflect.String, c.mode, c.vpcOpts, len(c.segs)); err != nil {
 		return err
 	}
-	kind := [2]byte{uint8(reflect.String), uint8(c.mode)}
-	if _, err := w.Write(kind[:]); err != nil {
-		return err
-	}
-	if err := writeOptions(w, c.vpcOpts); err != nil {
-		return err
-	}
-	card := c.dict.Cardinality()
-	if err := binary.Write(w, binary.LittleEndian, uint32(card)); err != nil {
-		return err
-	}
-	for code := 0; code < card; code++ {
-		sym := c.dict.Symbol(int32(code))
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(sym))); err != nil {
+	for _, s := range c.segs {
+		card := s.dict.Cardinality()
+		if err := binary.Write(w, binary.LittleEndian, uint32(card)); err != nil {
 			return err
 		}
-		if _, err := io.WriteString(w, sym); err != nil {
+		for code := 0; code < card; code++ {
+			sym := s.dict.Symbol(int32(code))
+			if err := binary.Write(w, binary.LittleEndian, uint32(len(sym))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, sym); err != nil {
+				return err
+			}
+		}
+		if err := colfile.Write(w, s.codes()); err != nil {
+			return err
+		}
+		if err := writeIndexImage(w, s.ix); err != nil {
 			return err
 		}
 	}
-	if err := colfile.Write(w, c.codes()); err != nil {
-		return err
-	}
-	return writeIndexImage(w, c.ix)
+	return nil
 }
 
-// Read loads a table persisted with Write.
+// Read loads a table persisted with Write: the current per-segment
+// format (version 3) or the legacy monolithic format (version 2, one
+// payload and index per column — re-chunked into segments on load).
 func Read(r io.Reader) (*Table, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -217,7 +240,7 @@ func Read(r io.Reader) (*Table, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if version != tableVersion {
+	if version != 2 && version != tableVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
 	}
 	name, err := readString(br)
@@ -228,13 +251,21 @@ func Read(r io.Reader) (*Table, error) {
 	if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
+	segRows := 0 // v2 carries none; NewWithOptions applies the default
+	if version >= 3 {
+		var sr uint32
+		if err := binary.Read(br, binary.LittleEndian, &sr); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		segRows = int(sr)
+	}
 	var ncols uint16
 	if err := binary.Read(br, binary.LittleEndian, &ncols); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	t := New(name)
+	t := NewWithOptions(name, TableOptions{SegmentRows: segRows})
 	for i := 0; i < int(ncols); i++ {
-		if err := readColumn(t, br, rows); err != nil {
+		if err := readColumn(t, br, rows, int(version)); err != nil {
 			return nil, err
 		}
 	}
@@ -244,7 +275,7 @@ func Read(r io.Reader) (*Table, error) {
 	return t, nil
 }
 
-func readColumn(t *Table, r io.Reader, rows uint64) error {
+func readColumn(t *Table, r io.Reader, rows uint64, version int) error {
 	name, err := readString(r)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -264,29 +295,42 @@ func readColumn(t *Table, r io.Reader, rows uint64) error {
 	if err := validateOptions(opts); err != nil {
 		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
 	}
+	nsegs := 1
+	if version >= 3 {
+		var ns uint32
+		if err := binary.Read(r, binary.LittleEndian, &ns); err != nil {
+			return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+		}
+		// Segment counts beyond what the header row count can fill are
+		// corruption — reject before looping.
+		if maxSegs := (rows + uint64(t.segRows) - 1) / uint64(t.segRows); uint64(ns) > maxSegs {
+			return fmt.Errorf("%w: column %s has %d segments but table fits %d", ErrCorrupt, name, ns, maxSegs)
+		}
+		nsegs = int(ns)
+	}
 	switch reflect.Kind(kindMode[0]) {
 	case reflect.Int8:
-		return loadColumn[int8](t, name, mode, opts, r)
+		return loadColumn[int8](t, name, mode, opts, r, nsegs, version)
 	case reflect.Int16:
-		return loadColumn[int16](t, name, mode, opts, r)
+		return loadColumn[int16](t, name, mode, opts, r, nsegs, version)
 	case reflect.Int32:
-		return loadColumn[int32](t, name, mode, opts, r)
+		return loadColumn[int32](t, name, mode, opts, r, nsegs, version)
 	case reflect.Int64:
-		return loadColumn[int64](t, name, mode, opts, r)
+		return loadColumn[int64](t, name, mode, opts, r, nsegs, version)
 	case reflect.Uint8:
-		return loadColumn[uint8](t, name, mode, opts, r)
+		return loadColumn[uint8](t, name, mode, opts, r, nsegs, version)
 	case reflect.Uint16:
-		return loadColumn[uint16](t, name, mode, opts, r)
+		return loadColumn[uint16](t, name, mode, opts, r, nsegs, version)
 	case reflect.Uint32:
-		return loadColumn[uint32](t, name, mode, opts, r)
+		return loadColumn[uint32](t, name, mode, opts, r, nsegs, version)
 	case reflect.Uint64:
-		return loadColumn[uint64](t, name, mode, opts, r)
+		return loadColumn[uint64](t, name, mode, opts, r, nsegs, version)
 	case reflect.Float32:
-		return loadColumn[float32](t, name, mode, opts, r)
+		return loadColumn[float32](t, name, mode, opts, r, nsegs, version)
 	case reflect.Float64:
-		return loadColumn[float64](t, name, mode, opts, r)
+		return loadColumn[float64](t, name, mode, opts, r, nsegs, version)
 	case reflect.String:
-		return loadStringColumn(t, name, mode, opts, r, rows)
+		return loadStringColumn(t, name, mode, opts, r, rows, nsegs, version)
 	}
 	return fmt.Errorf("%w: column %s has unsupported kind %d", ErrCorrupt, name, kindMode[0])
 }
@@ -326,71 +370,158 @@ func readIndexImage[V coltype.Value](r io.Reader, name string, mode IndexMode, v
 	return ix, nil
 }
 
-func loadColumn[V coltype.Value](t *Table, name string, mode IndexMode, opts core.Options, r io.Reader) error {
+// loadNumSegment reads one numeric segment: payload plus index image.
+// The returned segment has its summary computed but its index only when
+// an image was present — the caller rebuilds otherwise.
+func loadNumSegment[V coltype.Value](t *Table, name string, mode IndexMode, r io.Reader) (*segment[V], error) {
 	vals, err := colfile.Read[V](r)
 	if err != nil {
-		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+		return nil, fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
 	}
-	cs := &colState[V]{name: name, vals: vals, mode: mode, vpcOpts: opts}
 	ix, err := readIndexImage(r, name, mode, vals)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if ix != nil {
-		cs.ix = ix
-	} else {
-		// Persisted without an image (zonemap mode, or empty at save
-		// time): rebuild whatever index the mode calls for.
-		cs.rebuild()
-	}
-	return installLoadedColumn(t, name, cs, len(vals))
+	s := &segment[V]{vals: vals, ix: ix}
+	s.min, s.max, _ = summarize(vals)
+	return s, nil
 }
 
-func loadStringColumn(t *Table, name string, mode IndexMode, opts core.Options, r io.Reader, rows uint64) error {
-	if mode == Zonemap {
-		return fmt.Errorf("%w: string column %s has zonemap mode", ErrCorrupt, name)
+func loadColumn[V coltype.Value](t *Table, name string, mode IndexMode, opts core.Options, r io.Reader, nsegs, version int) error {
+	cs := &colState[V]{name: name, mode: mode, vpcOpts: opts, segRows: t.segRows}
+	if version == 2 {
+		// Legacy monolithic layout: whole payload, then one index image
+		// (discarded — it covers the un-chunked column). Re-chunk into
+		// segments, rebuilding per-segment indexes.
+		vals, err := colfile.Read[V](r)
+		if err != nil {
+			return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+		}
+		if _, err := readIndexImage(r, name, mode, vals); err != nil {
+			return err
+		}
+		cs.absorb(vals)
+		return installLoadedColumn(t, name, cs, len(vals))
 	}
+	n := 0
+	for i := 0; i < nsegs; i++ {
+		s, err := loadNumSegment[V](t, name, mode, r)
+		if err != nil {
+			return err
+		}
+		if err := checkSegmentFill(t, name, i, nsegs, len(s.vals)); err != nil {
+			return err
+		}
+		if s.ix == nil {
+			// Persisted without an image (zonemap/scan mode, or empty at
+			// save time): rebuild whatever index the mode calls for.
+			s.rebuild(mode, opts)
+		}
+		cs.segs = append(cs.segs, s)
+		n += len(s.vals)
+	}
+	return installLoadedColumn(t, name, cs, n)
+}
+
+// checkSegmentFill enforces the storage invariant id mapping relies on:
+// every segment but the last holds exactly segRows rows, and the tail
+// is non-empty. A file violating it would load fine but panic on the
+// first point read — reject it as corrupt instead.
+func checkSegmentFill(t *Table, name string, i, nsegs, rows int) error {
+	if rows > t.segRows {
+		return fmt.Errorf("%w: column %s: segment %d has %d rows, exceeds segment size %d",
+			ErrCorrupt, name, i, rows, t.segRows)
+	}
+	if i < nsegs-1 && rows != t.segRows {
+		return fmt.Errorf("%w: column %s: sealed segment %d has %d rows, want %d",
+			ErrCorrupt, name, i, rows, t.segRows)
+	}
+	if i == nsegs-1 && rows == 0 {
+		return fmt.Errorf("%w: column %s: empty tail segment", ErrCorrupt, name)
+	}
+	return nil
+}
+
+// readDict reads one persisted dictionary: symbol table plus codes.
+func readDict(r io.Reader, name string, maxRows uint64) (*column.StringDict, error) {
 	var card uint32
 	if err := binary.Read(r, binary.LittleEndian, &card); err != nil {
-		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+		return nil, fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
 	}
 	// Every symbol appears in at least one row, so cardinality beyond
-	// the header row count is corruption — reject before looping.
-	if uint64(card) > rows {
-		return fmt.Errorf("%w: column %s has %d symbols but table has %d rows", ErrCorrupt, name, card, rows)
+	// the covered row count is corruption — reject before looping.
+	if uint64(card) > maxRows {
+		return nil, fmt.Errorf("%w: column %s has %d symbols but at most %d rows", ErrCorrupt, name, card, maxRows)
 	}
 	var symbols []string
 	for i := uint32(0); i < card; i++ {
 		var slen uint32
 		if err := binary.Read(r, binary.LittleEndian, &slen); err != nil {
-			return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+			return nil, fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
 		}
 		if slen > 1<<30 {
-			return fmt.Errorf("%w: column %s: symbol of %d bytes", ErrCorrupt, name, slen)
+			return nil, fmt.Errorf("%w: column %s: symbol of %d bytes", ErrCorrupt, name, slen)
 		}
 		b := make([]byte, slen)
 		if _, err := io.ReadFull(r, b); err != nil {
-			return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+			return nil, fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
 		}
 		symbols = append(symbols, string(b))
 	}
 	codes, err := colfile.Read[int32](r)
 	if err != nil {
-		return fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
+		return nil, fmt.Errorf("%w: column %s: %v", ErrCorrupt, name, err)
 	}
 	dict, err := column.Reconstruct(name, codes, symbols)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	cs := &strColState{name: name, dict: dict, mode: mode, vpcOpts: opts}
-	ix, err := readIndexImage(r, name, mode, codes)
-	if err != nil {
-		return err
+	return dict, nil
+}
+
+func loadStringColumn(t *Table, name string, mode IndexMode, opts core.Options, r io.Reader, rows uint64, nsegs, version int) error {
+	if mode == Zonemap {
+		return fmt.Errorf("%w: string column %s has zonemap mode", ErrCorrupt, name)
 	}
-	if ix != nil {
-		cs.ix = ix
-	} else {
-		cs.rebuild()
+	cs := &strColState{name: name, mode: mode, vpcOpts: opts, segRows: t.segRows}
+	if version == 2 {
+		// Legacy monolithic layout: one dictionary over the whole
+		// column, then one code imprint image (discarded). Decode and
+		// re-chunk into per-segment dictionaries.
+		dict, err := readDict(r, name, rows)
+		if err != nil {
+			return err
+		}
+		if _, err := readIndexImage(r, name, mode, dict.Codes().Values()); err != nil {
+			return err
+		}
+		codes := dict.Codes().Values()
+		vals := make([]string, len(codes))
+		for i, code := range codes {
+			vals[i] = dict.Symbol(code)
+		}
+		cs.absorbStrings(vals)
+		return installLoadedColumn(t, name, cs, len(vals))
 	}
-	return installLoadedColumn(t, name, cs, len(codes))
+	n := 0
+	for i := 0; i < nsegs; i++ {
+		dict, err := readDict(r, name, min(rows, uint64(t.segRows)))
+		if err != nil {
+			return err
+		}
+		if err := checkSegmentFill(t, name, i, nsegs, dict.Codes().Len()); err != nil {
+			return err
+		}
+		ix, err := readIndexImage(r, name, mode, dict.Codes().Values())
+		if err != nil {
+			return err
+		}
+		s := &strSegment{dict: dict, ix: ix, gen: cs.nextGen()}
+		if ix == nil {
+			cs.rebuildSegmentIndex(s)
+		}
+		cs.segs = append(cs.segs, s)
+		n += s.rows()
+	}
+	return installLoadedColumn(t, name, cs, n)
 }

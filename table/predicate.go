@@ -352,11 +352,17 @@ func checkLeafBounds(p *leafPred, c anyColumn) error {
 
 // SelectOptions tunes evaluation.
 type SelectOptions struct {
-	// ScanThreshold disables index probing for a leaf whose estimated
-	// selectivity is above it (the paper's optimizer remark: prefer a
-	// scan for unselective predicates). 0 means the default of 0.95;
-	// set above 1 to always probe.
+	// ScanThreshold disables index probing for a segment of a leaf whose
+	// estimated selectivity is above it (the paper's optimizer remark:
+	// prefer a scan for unselective predicates; resolved per segment
+	// from that segment's imprint histogram). 0 means the default of
+	// 0.95; set above 1 to always probe.
 	ScanThreshold float64
+	// Parallelism bounds the worker pool that fans segments out during
+	// query execution. 0 means GOMAXPROCS; 1 forces serial execution.
+	// Results are merged in segment order either way, so parallelism
+	// never changes what a query returns.
+	Parallelism int
 }
 
 func (o SelectOptions) threshold() float64 {
@@ -369,22 +375,28 @@ func (o SelectOptions) threshold() float64 {
 // ---- compiled predicate trees ----
 
 // leafPlan is one predicate leaf translated against its column exactly
-// once: the typed bounds, dictionary code interval or IN-set behind
-// runs, check and estimate all come from that single translation. (The
-// previous design's leafCheck/leafRuns/estimate triple re-derived the
-// translation three times per execution; compileLeaf is now the only
-// entry point.)
+// once: typed bounds and IN-sets come from that single translation.
+// Execution is per segment — the plan resolves the column's segments
+// live, so a plan stays valid across appends, updates and compactions
+// (string dictionary translations are cached per segment, keyed by the
+// segment's generation).
 type leafPlan interface {
-	// estimate is the imprint-histogram selectivity estimate of the
-	// leaf; negative when the column has no imprint to estimate from
-	// (scan-only and zonemap columns).
-	estimate() float64
-	// runs probes the index down to candidate runs in BlockRows units.
-	runs() ([]core.CandidateRun, core.QueryStats)
-	// check is the exact per-row residual test.
-	check() core.CheckFunc
-	// access names the leaf's access path ("imprints", "zonemap",
-	// "scan").
+	// segEstimate is the selectivity estimate within segment s; negative
+	// when that segment has no imprint.
+	segEstimate(s int) float64
+	// prune reports that segment s provably contains no qualifying row
+	// (min/max summary or dictionary excludes the predicate), so the
+	// segment can be skipped without probing.
+	prune(s int) bool
+	// segRuns probes segment s's index down to candidate runs in
+	// BlockRows units, local to the segment.
+	segRuns(s int) ([]core.CandidateRun, core.QueryStats)
+	// segCheck is the exact residual test for rows of segment s,
+	// addressed by segment-local id.
+	segCheck(s int) core.CheckFunc
+	// access names the column's index kind ("imprints", "zonemap",
+	// "scan"); per-segment deviations (pruned, scan fallback) are
+	// decided during evaluation.
 	access() string
 }
 
@@ -393,11 +405,11 @@ type leafPlan interface {
 // executions of static leaves translate zero times).
 var compileLeafCalls atomic.Uint64
 
-// compiledNode is the executable form of a predicate subtree: every
-// leaf is bound to its column, and leaves without placeholders carry
-// their one-time translation. A compiled tree is immutable and safe for
-// concurrent executions; it stays valid until the table's storage
-// changes shape (tracked by Table.gen, see Prepared).
+// compiledNode is the compiled form of a predicate subtree: every leaf
+// is bound to its column, and leaves without placeholders carry their
+// one-time translation. A compiled tree is immutable and safe for
+// concurrent executions; it stays valid for the lifetime of the table
+// because plans resolve segment state live at execution time.
 type compiledNode struct {
 	op   string // "leaf", "and", "or", "andnot"
 	leaf *leafPred
@@ -461,122 +473,179 @@ func (t *Table) compileKids(op string, preds []Predicate) (*compiledNode, error)
 	return cn, nil
 }
 
-// evaluated is the composable form of a predicate subtree: candidate
-// row-block runs, the exact residual row check, and the plan node that
-// records how the subtree was evaluated (for Explain).
+// execNode is one execution of a compiled subtree: parameters are
+// resolved and every leaf carries a ready leafPlan (static leaves reuse
+// the compile-time translation, parameterized ones are translated once
+// per execution from the bound values). An execNode is immutable during
+// the execution, so segment workers share it freely.
+type execNode struct {
+	op    string
+	leaf  *leafPred
+	plan  leafPlan
+	binds map[string]any // for Explain's bound-parameter rendering
+	kids  []*execNode
+}
+
+// bindTree resolves one execution's parameters against a compiled tree.
+// Callers hold the table's read lock.
+func (t *Table) bindTree(cn *compiledNode, binds map[string]any) (*execNode, error) {
+	en := &execNode{op: cn.op, leaf: cn.leaf, plan: cn.plan, binds: binds}
+	if cn.op == "leaf" && en.plan == nil {
+		resolved, err := resolveLeaf(cn.leaf, binds)
+		if err != nil {
+			return nil, fmt.Errorf("table %s: %w", t.name, err)
+		}
+		compileLeafCalls.Add(1)
+		if en.plan, err = cn.col.compileLeaf(resolved); err != nil {
+			return nil, err
+		}
+	}
+	for _, kid := range cn.kids {
+		k, err := t.bindTree(kid, binds)
+		if err != nil {
+			return nil, err
+		}
+		en.kids = append(en.kids, k)
+	}
+	return en, nil
+}
+
+// evaluated is the composable per-segment form of a predicate subtree:
+// candidate row-block runs local to the segment, the exact residual
+// check addressed by segment-local id, and (when plan recording is on)
+// the plan node describing how the subtree was evaluated there.
 type evaluated struct {
-	runs  []core.CandidateRun // in BlockRows units
+	runs  []core.CandidateRun // in BlockRows units, segment-local
 	check core.CheckFunc
 	plan  *PlanNode
 }
 
-// execute evaluates a compiled subtree with the given parameter
-// bindings: the single evaluator behind both ad-hoc queries and
-// prepared statements. Callers hold the table's read lock.
-func (t *Table) execute(cn *compiledNode, binds map[string]any, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
-	switch cn.op {
-	case "leaf":
-		return t.executeLeaf(cn, binds, opts, st)
-	case "and":
-		acc, err := t.execute(cn.kids[0], binds, opts, st)
-		if err != nil {
-			return evaluated{}, err
+// evalSegment evaluates one execution tree against segment s: the
+// single evaluator behind both ad-hoc queries and prepared statements,
+// run by each segment worker. A nil tree matches every row of the
+// segment exactly. Callers hold the table's read lock.
+func (t *Table) evalSegment(en *execNode, s int, opts SelectOptions, st *core.QueryStats, record bool) evaluated {
+	if en == nil {
+		runs := blockSpanRuns(t.segLen(s), true)
+		var node *PlanNode
+		if record {
+			node = &PlanNode{Op: "all", Pred: "true"}
+			node.setRuns(runs)
 		}
+		return evaluated{runs: runs, plan: node}
+	}
+	switch en.op {
+	case "leaf":
+		return t.evalSegmentLeaf(en, s, opts, st, record)
+	case "and":
+		acc := t.evalSegment(en.kids[0], s, opts, st, record)
 		checks := []core.CheckFunc{acc.check}
-		kids := []*PlanNode{acc.plan}
-		for _, kid := range cn.kids[1:] {
-			ev, err := t.execute(kid, binds, opts, st)
-			if err != nil {
-				return evaluated{}, err
-			}
+		var kids []*PlanNode
+		if record {
+			kids = []*PlanNode{acc.plan}
+		}
+		for _, kid := range en.kids[1:] {
+			ev := t.evalSegment(kid, s, opts, st, record)
 			acc.runs = core.IntersectRuns(acc.runs, ev.runs)
 			checks = append(checks, ev.check)
-			kids = append(kids, ev.plan)
+			if record {
+				kids = append(kids, ev.plan)
+			}
 		}
 		acc.check = allOf(checks)
-		acc.plan = opNode("and", acc.runs, kids)
-		return acc, nil
-	case "or":
-		acc, err := t.execute(cn.kids[0], binds, opts, st)
-		if err != nil {
-			return evaluated{}, err
+		if record {
+			acc.plan = opNode("and", acc.runs, kids)
 		}
+		return acc
+	case "or":
+		acc := t.evalSegment(en.kids[0], s, opts, st, record)
 		checks := []core.CheckFunc{acc.check}
-		kids := []*PlanNode{acc.plan}
-		for _, kid := range cn.kids[1:] {
-			ev, err := t.execute(kid, binds, opts, st)
-			if err != nil {
-				return evaluated{}, err
-			}
+		var kids []*PlanNode
+		if record {
+			kids = []*PlanNode{acc.plan}
+		}
+		for _, kid := range en.kids[1:] {
+			ev := t.evalSegment(kid, s, opts, st, record)
 			acc.runs = core.UnionRuns(acc.runs, ev.runs)
 			checks = append(checks, ev.check)
-			kids = append(kids, ev.plan)
+			if record {
+				kids = append(kids, ev.plan)
+			}
 		}
 		acc.check = anyOf(checks)
-		acc.plan = opNode("or", acc.runs, kids)
-		return acc, nil
+		if record {
+			acc.plan = opNode("or", acc.runs, kids)
+		}
+		return acc
 	case "andnot":
-		evP, err := t.execute(cn.kids[0], binds, opts, st)
-		if err != nil {
-			return evaluated{}, err
-		}
-		evQ, err := t.execute(cn.kids[1], binds, opts, st)
-		if err != nil {
-			return evaluated{}, err
-		}
+		evP := t.evalSegment(en.kids[0], s, opts, st, record)
+		evQ := t.evalSegment(en.kids[1], s, opts, st, record)
 		pc, qc := evP.check, evQ.check
-		runs := core.DiffRuns(evP.runs, evQ.runs)
-		return evaluated{
-			runs:  runs,
+		out := evaluated{
+			runs:  core.DiffRuns(evP.runs, evQ.runs),
 			check: func(id uint32) bool { return pc(id) && !qc(id) },
-			plan:  opNode("andnot", runs, []*PlanNode{evP.plan, evQ.plan}),
-		}, nil
+		}
+		if record {
+			out.plan = opNode("andnot", out.runs, []*PlanNode{evP.plan, evQ.plan})
+		}
+		return out
 	}
-	return evaluated{}, fmt.Errorf("table %s: unknown compiled op %q", t.name, cn.op)
+	panic("table: unknown execution op " + en.op)
 }
 
-// executeLeaf runs one leaf: static leaves reuse their prepared
-// translation, parameterized leaves are translated once from the bound
-// values. The data-dependent access-path choice — probe the index or
-// fall back to a scan when the estimated selectivity crosses the
-// threshold — is re-resolved on every execution.
-func (t *Table) executeLeaf(cn *compiledNode, binds map[string]any, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
-	plan := cn.plan
-	if plan == nil {
-		resolved, err := resolveLeaf(cn.leaf, binds)
-		if err != nil {
-			return evaluated{}, fmt.Errorf("table %s: %w", t.name, err)
-		}
-		compileLeafCalls.Add(1)
-		if plan, err = cn.col.compileLeaf(resolved); err != nil {
-			return evaluated{}, err
-		}
+// neverMatch is the residual check of a pruned leaf: no row of the
+// segment satisfies it (needed under OR, where sibling runs may still
+// cover the segment's rows).
+func neverMatch(uint32) bool { return false }
+
+// evalSegmentLeaf runs one leaf against one segment. Pruning comes
+// first — a segment whose summary (or dictionary) provably excludes the
+// predicate is skipped without probing. The data-dependent access-path
+// choice — probe the index or fall back to a scan when the segment's
+// estimated selectivity crosses the threshold — is resolved per segment
+// on every execution.
+func (t *Table) evalSegmentLeaf(en *execNode, s int, opts SelectOptions, st *core.QueryStats, record bool) evaluated {
+	plan := en.plan
+	var node *PlanNode
+	if record {
+		node = &PlanNode{Op: "leaf", Column: en.leaf.col, Pred: en.leaf.describe(en.binds),
+			Access: plan.access(), Selectivity: -1}
 	}
-	node := &PlanNode{Op: "leaf", Column: cn.leaf.col, Pred: cn.leaf.describe(binds), Access: plan.access(), Selectivity: -1}
-	// Cost-based access path: skip index probing for unselective leaves.
-	// Only imprint-backed columns yield an estimate (negative means
-	// none); zonemap leaves are always probed — their per-zone cost is
-	// two comparisons, so a scan fallback buys nothing.
-	if est := plan.estimate(); est >= 0 {
-		// est >= 0 implies an imprint-backed leaf, so Access here is
-		// always "imprints".
-		node.Selectivity = est
+	if plan.prune(s) {
+		if record {
+			node.Access = "pruned"
+			node.Reason = "summary excludes"
+		}
+		return evaluated{check: neverMatch, plan: node}
+	}
+	// Cost-based access path: skip index probing for segments where the
+	// leaf is unselective. Only imprint-backed segments yield an
+	// estimate (negative means none); zonemap leaves are always probed —
+	// their per-zone cost is two comparisons, so a scan buys nothing.
+	if est := plan.segEstimate(s); est >= 0 {
+		if record {
+			node.Selectivity = est
+		}
 		if est > opts.threshold() {
-			node.Access = "scan"
-			node.Reason = "unselective"
-			runs := t.fullSpan()
-			node.setRuns(runs)
-			return evaluated{runs: runs, check: plan.check(), plan: node}, nil
+			runs := blockSpanRuns(t.segLen(s), false)
+			if record {
+				node.Access = "scan"
+				node.Reason = "unselective"
+				node.setRuns(runs)
+			}
+			return evaluated{runs: runs, check: plan.segCheck(s), plan: node}
 		}
 	}
-	runs, s := plan.runs()
-	st.Add(s)
-	node.Stats = s
-	node.setRuns(runs)
-	return evaluated{runs: runs, check: plan.check(), plan: node}, nil
+	runs, s1 := plan.segRuns(s)
+	st.Add(s1)
+	if record {
+		node.Stats = s1
+		node.setRuns(runs)
+	}
+	return evaluated{runs: runs, check: plan.segCheck(s), plan: node}
 }
 
-// blockSpanRuns covers every block of an n-row column in one run:
+// blockSpanRuns covers every block of an n-row segment in one run:
 // inexact for scan fallbacks (rows must still pass the residual
 // check), exact for a query with no predicate at all.
 func blockSpanRuns(n int, exact bool) []core.CandidateRun {
@@ -586,14 +655,6 @@ func blockSpanRuns(n int, exact bool) []core.CandidateRun {
 	}
 	return []core.CandidateRun{{Start: 0, Count: uint32(blocks), Exact: exact}}
 }
-
-func (t *Table) span(exact bool) []core.CandidateRun { return blockSpanRuns(t.rows, exact) }
-
-// fullSpan covers every row block, inexactly.
-func (t *Table) fullSpan() []core.CandidateRun { return t.span(false) }
-
-// matchAll covers every row block exactly (a query with no predicate).
-func (t *Table) matchAll() []core.CandidateRun { return t.span(true) }
 
 func allOf(checks []core.CheckFunc) core.CheckFunc {
 	return func(id uint32) bool {
@@ -650,21 +711,20 @@ func (c *colState[V]) inSet(p *leafPred) ([]V, error) {
 
 // numLeafPlan is the compiled form of a numeric leaf: bounds typed
 // once, IN-set materialized once (slice for index probes, map for the
-// residual check), and the column values captured at compile time. The
-// index pointers are read through the column state at probe time, so an
-// in-place widen or rebuild is picked up without recompiling; shape
-// changes (append, compact) bump the table generation and force one.
+// residual check, [setLo, setHi] for segment pruning). Segments are
+// resolved through the column state at execution time, so the plan
+// stays valid across appends, updates, rebuilds and compactions.
 type numLeafPlan[V coltype.Value] struct {
-	c         *colState[V]
-	kind      leafKind
-	low, high V
-	set       []V            // kindIn
-	member    map[V]struct{} // kindIn
-	vals      []V
+	c            *colState[V]
+	kind         leafKind
+	low, high    V
+	set          []V            // kindIn
+	member       map[V]struct{} // kindIn
+	setLo, setHi V              // kindIn summary bounds (meaningless when empty)
 }
 
 func (c *colState[V]) compileLeaf(p *leafPred) (leafPlan, error) {
-	pl := &numLeafPlan[V]{c: c, kind: p.kind, vals: c.vals}
+	pl := &numLeafPlan[V]{c: c, kind: p.kind}
 	switch p.kind {
 	case kindPrefix:
 		return nil, fmt.Errorf("column %q is %s: prefix predicates need a string column",
@@ -676,8 +736,13 @@ func (c *colState[V]) compileLeaf(p *leafPred) (leafPlan, error) {
 		}
 		pl.set = set
 		pl.member = make(map[V]struct{}, len(set))
-		for _, v := range set {
+		for i, v := range set {
 			pl.member[v] = struct{}{}
+			if i == 0 {
+				pl.setLo, pl.setHi = v, v
+				continue
+			}
+			pl.setLo, pl.setHi = min(pl.setLo, v), max(pl.setHi, v)
 		}
 		return pl, nil
 	case kindRange, kindAtLeast, kindLessThan, kindEquals:
@@ -692,8 +757,31 @@ func (c *colState[V]) compileLeaf(p *leafPred) (leafPlan, error) {
 
 func (pl *numLeafPlan[V]) access() string { return pl.c.indexKind() }
 
-func (pl *numLeafPlan[V]) check() core.CheckFunc {
-	vals := pl.vals
+// prune applies the segment's [min, max] summary: true when no value of
+// the segment can satisfy the leaf. Sound under updates (widen grows
+// the summary) and deletes (summary only over-covers).
+func (pl *numLeafPlan[V]) prune(s int) bool {
+	seg := pl.c.segs[s]
+	if len(seg.vals) == 0 {
+		return true
+	}
+	switch pl.kind {
+	case kindRange:
+		return seg.max < pl.low || seg.min >= pl.high
+	case kindAtLeast:
+		return seg.max < pl.low
+	case kindLessThan:
+		return seg.min >= pl.high
+	case kindEquals:
+		return pl.low < seg.min || pl.low > seg.max
+	case kindIn:
+		return len(pl.set) == 0 || pl.setHi < seg.min || pl.setLo > seg.max
+	}
+	return false
+}
+
+func (pl *numLeafPlan[V]) segCheck(s int) core.CheckFunc {
+	vals := pl.c.segs[s].vals
 	switch pl.kind {
 	case kindIn:
 		member := pl.member
@@ -713,47 +801,43 @@ func (pl *numLeafPlan[V]) check() core.CheckFunc {
 	}
 }
 
-func (pl *numLeafPlan[V]) runs() ([]core.CandidateRun, core.QueryStats) {
-	c := pl.c
-	if c.ix == nil && c.zm == nil {
-		// Scan-only column: every block is a candidate — but an empty
-		// IN-list provably selects nothing.
-		if pl.kind == kindIn && len(pl.set) == 0 {
-			return nil, core.QueryStats{}
-		}
-		return blockSpanRuns(len(pl.vals), false), core.QueryStats{}
+func (pl *numLeafPlan[V]) segRuns(s int) ([]core.CandidateRun, core.QueryStats) {
+	seg := pl.c.segs[s]
+	if seg.ix == nil && seg.zm == nil {
+		// Scan-only segment: every block is a candidate.
+		return blockSpanRuns(len(seg.vals), false), core.QueryStats{}
 	}
 	var runs []core.CandidateRun
 	var st core.QueryStats
 	var vpc int
-	if c.ix != nil {
-		vpc = c.ix.ValuesPerCacheline()
+	if seg.ix != nil {
+		vpc = seg.ix.ValuesPerCacheline()
 		switch pl.kind {
 		case kindIn:
-			runs, st = c.ix.InSetCachelines(pl.set)
+			runs, st = seg.ix.InSetCachelines(pl.set)
 		case kindRange:
-			runs, st = c.ix.RangeCachelines(pl.low, pl.high)
+			runs, st = seg.ix.RangeCachelines(pl.low, pl.high)
 		case kindAtLeast:
-			runs, st = c.ix.AtLeastCachelines(pl.low)
+			runs, st = seg.ix.AtLeastCachelines(pl.low)
 		case kindLessThan:
-			runs, st = c.ix.LessThanCachelines(pl.high)
+			runs, st = seg.ix.LessThanCachelines(pl.high)
 		case kindEquals:
-			runs, st = c.ix.PointCachelines(pl.low)
+			runs, st = seg.ix.PointCachelines(pl.low)
 		}
 	} else {
-		vpc = c.zm.ValuesPerZone()
+		vpc = seg.zm.ValuesPerZone()
 		var zst zonemap.QueryStats
 		switch pl.kind {
 		case kindIn:
-			runs, zst = c.zm.InSetCachelines(pl.set)
+			runs, zst = seg.zm.InSetCachelines(pl.set)
 		case kindRange:
-			runs, zst = c.zm.RangeCachelines(pl.low, pl.high)
+			runs, zst = seg.zm.RangeCachelines(pl.low, pl.high)
 		case kindAtLeast:
-			runs, zst = c.zm.AtLeastCachelines(pl.low)
+			runs, zst = seg.zm.AtLeastCachelines(pl.low)
 		case kindLessThan:
-			runs, zst = c.zm.LessThanCachelines(pl.high)
+			runs, zst = seg.zm.LessThanCachelines(pl.high)
 		case kindEquals:
-			runs, zst = c.zm.PointCachelines(pl.low)
+			runs, zst = seg.zm.PointCachelines(pl.low)
 		}
 		st = core.QueryStats{
 			Probes:            zst.Probes,
@@ -763,34 +847,30 @@ func (pl *numLeafPlan[V]) runs() ([]core.CandidateRun, core.QueryStats) {
 			CachelinesSkipped: zst.ZonesSkipped,
 		}
 	}
-	cls := (len(pl.vals) + vpc - 1) / vpc
+	cls := (len(seg.vals) + vpc - 1) / vpc
 	return blocksFromCachelines(runs, BlockRows/vpc, cls), st
 }
 
-// estimate returns the imprint-histogram selectivity estimate of the
-// leaf, or a negative value when the column has no imprint to estimate
-// from (scan-only and zonemap columns).
-func (pl *numLeafPlan[V]) estimate() float64 {
-	c := pl.c
-	if c.ix == nil {
+// segEstimate returns the leaf's selectivity estimate within segment s
+// from that segment's imprint histogram, or a negative value when the
+// segment has no imprint to estimate from.
+func (pl *numLeafPlan[V]) segEstimate(s int) float64 {
+	ix := pl.c.segs[s].ix
+	if ix == nil {
 		return -1
 	}
 	switch pl.kind {
 	case kindIn:
-		est := float64(len(pl.set)) / float64(c.ix.Bins())
-		if est > 1 {
-			est = 1
-		}
-		return est
+		return min(float64(len(pl.set))/float64(ix.Bins()), 1)
 	case kindRange:
-		return c.ix.EstimateSelectivity(pl.low, pl.high)
+		return ix.EstimateSelectivity(pl.low, pl.high)
 	case kindAtLeast:
-		return c.ix.EstimateSelectivity(pl.low, coltype.MaxOf[V]())
+		return ix.EstimateSelectivity(pl.low, coltype.MaxOf[V]())
 	case kindLessThan:
-		return c.ix.EstimateSelectivity(coltype.MinOf[V](), pl.high)
+		return ix.EstimateSelectivity(coltype.MinOf[V](), pl.high)
 	case kindEquals:
 		// Crude point estimate: one bin's share.
-		return 1 / float64(c.ix.Bins())
+		return 1 / float64(ix.Bins())
 	}
 	return -1
 }

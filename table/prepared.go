@@ -4,26 +4,27 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
-
-	"repro/internal/core"
 )
 
 // Prepared is a compile-once predicate plan over one table: Prepare
 // validates every leaf's column and type up front and translates each
 // placeholder-free leaf exactly once; executions then skip straight to
-// index probing. Placeholder leaves (Param/StrParam bounds) are
-// translated once per execution from the values supplied with Bind.
+// per-segment evaluation. Placeholder leaves (Param/StrParam bounds)
+// are translated once per execution from the values supplied with Bind.
 //
 // A Prepared statement is safe for concurrent executions: each Bind or
 // Exec call starts an independent *Query carrying its own bindings, and
-// the shared compiled tree is immutable. Only the data-dependent parts
-// are re-resolved per execution — the index-vs-scan choice (estimated
-// selectivity against SelectOptions.ScanThreshold) is recomputed every
-// time, and when the table's storage has changed shape since
-// compilation (batch append, compaction, a string dictionary
-// re-encode), the statement transparently recompiles against the new
-// generation, so plans stay correct across writes.
+// the shared compiled tree is immutable. Storage-shape tracking is
+// segment-granular: compiled plans resolve the column's segments live
+// at execution time, and string-dictionary translations are cached per
+// segment keyed by that segment's generation — so batch appends (which
+// only extend the active tail or open new segments), segment-local
+// index rebuilds and even whole-table compactions never require
+// recompiling the statement, and sealed segments keep their cached
+// translations across executions. Only the data-dependent access-path
+// choice — per-segment estimated selectivity against
+// SelectOptions.ScanThreshold, and segment pruning — is re-resolved
+// every time.
 //
 // The serving loop looks like:
 //
@@ -36,15 +37,11 @@ import (
 //	ids, _, err := p.Bind("lo", int64(40)).Bind("hi", int64(90)).
 //	    Bind("city", "Berlin").IDs()
 type Prepared struct {
-	t      *Table
-	pred   Predicate
-	opts   SelectOptions
-	cols   []string
-	params map[string]*paramInfo
-
-	mu       sync.Mutex // guards compiled+gen (the recompile-on-write path)
-	compiled *compiledNode
-	gen      uint64
+	t        *Table
+	opts     SelectOptions
+	cols     []string
+	params   map[string]*paramInfo
+	compiled *compiledNode // nil for a match-everything statement
 }
 
 // paramInfo records how one named placeholder is used across the tree,
@@ -70,7 +67,7 @@ func (pi *paramInfo) want() string {
 func (t *Table) Prepare(pred Predicate, opts SelectOptions) (*Prepared, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	p := &Prepared{t: t, pred: pred, opts: opts, gen: t.gen}
+	p := &Prepared{t: t, opts: opts}
 	if pred != nil {
 		params, err := collectParams(pred)
 		if err != nil {
@@ -146,41 +143,17 @@ func (p *Prepared) checkBinds(binds map[string]any) error {
 	return fmt.Errorf("table %s: unbound parameters: %s", p.t.name, strings.Join(missing, ", "))
 }
 
-// executeLocked runs one execution of the prepared plan; the caller
-// holds the table's read lock (all executions enter through Query's
-// executors).
-func (p *Prepared) executeLocked(binds map[string]any, opts SelectOptions, st *core.QueryStats) (evaluated, error) {
+// bindLocked resolves one execution of the prepared plan down to an
+// execution tree (nil for match-everything); the caller holds the
+// table's read lock (all executions enter through Query's executors).
+func (p *Prepared) bindLocked(binds map[string]any) (*execNode, error) {
 	if err := p.checkBinds(binds); err != nil {
-		return evaluated{}, err
+		return nil, err
 	}
-	if p.pred == nil {
-		runs := p.t.matchAll()
-		node := &PlanNode{Op: "all", Pred: "true"}
-		node.setRuns(runs)
-		return evaluated{runs: runs, plan: node}, nil
+	if p.compiled == nil {
+		return nil, nil
 	}
-	cn, err := p.compiledFor(p.t.gen)
-	if err != nil {
-		return evaluated{}, err
-	}
-	return p.t.execute(cn, binds, opts, st)
-}
-
-// compiledFor returns the compiled tree for the given table generation,
-// recompiling once when storage changed shape since the last
-// compilation. Concurrent executions race to recompile; the mutex
-// serializes them and later ones reuse the fresh tree.
-func (p *Prepared) compiledFor(gen uint64) (*compiledNode, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.gen != gen || p.compiled == nil {
-		cn, err := p.t.compile(p.pred)
-		if err != nil {
-			return nil, err
-		}
-		p.compiled, p.gen = cn, gen
-	}
-	return p.compiled, nil
+	return p.t.bindTree(p.compiled, binds)
 }
 
 // collectParams walks a predicate tree and gathers its placeholders,

@@ -13,6 +13,14 @@ import (
 // and each execution sees a consistent snapshot of the table (readers
 // share the table lock, writers exclude them).
 //
+// Execution is segment-parallel: the compiled predicate is evaluated
+// against every storage segment independently — segments whose summary
+// provably excludes the predicate are pruned without probing — across a
+// worker pool bounded by SelectOptions.Parallelism, and the per-segment
+// results are merged in segment order, so ids come back ascending and
+// identical at every parallelism level. Limit cancels segments no
+// worker has started yet.
+//
 // A Query value is reusable (each executor re-runs the plan) but not
 // safe for concurrent use; build one per goroutine. Queries spawned
 // from a prepared statement (Prepared.Exec / Prepared.Bind) execute its
@@ -93,34 +101,33 @@ func (q *Query) Limit(n int) *Query {
 	return q
 }
 
-// Options tunes evaluation (e.g. the scan-vs-probe threshold).
+// Options tunes evaluation (e.g. the scan-vs-probe threshold and the
+// segment parallelism).
 func (q *Query) Options(o SelectOptions) *Query {
 	q.opts = o
 	return q
 }
 
-// plan evaluates the query down to candidate runs; callers hold the
-// table's read lock. Ad-hoc queries compile their predicate tree and
-// execute it immediately; prepared executions reuse the statement's
-// cached compilation. A nil predicate matches every row exactly.
-func (q *Query) plan(st *core.QueryStats) (evaluated, error) {
+// bind resolves this execution down to an execution tree ready for
+// per-segment evaluation; callers hold the table's read lock. Ad-hoc
+// queries compile their predicate tree now; prepared executions reuse
+// the statement's cached compilation and translate only parameterized
+// leaves. A nil tree (en == nil with nil error) matches every row.
+func (q *Query) bind() (*execNode, error) {
 	if q.bindErr != nil {
-		return evaluated{}, q.bindErr
+		return nil, q.bindErr
 	}
 	if q.prep != nil {
-		return q.prep.executeLocked(q.binds, q.opts, st)
+		return q.prep.bindLocked(q.binds)
 	}
 	if q.pred == nil {
-		runs := q.t.matchAll()
-		node := &PlanNode{Op: "all", Pred: "true"}
-		node.setRuns(runs)
-		return evaluated{runs: runs, plan: node}, nil
+		return nil, nil
 	}
 	cn, err := q.t.compile(q.pred)
 	if err != nil {
-		return evaluated{}, err
+		return nil, err
 	}
-	return q.t.execute(cn, nil, q.opts, st)
+	return q.t.bindTree(cn, nil)
 }
 
 // projection resolves the projected column names; callers hold the read
@@ -156,6 +163,27 @@ func (q *Query) checkProjection() error {
 	return nil
 }
 
+// collectIDs is the segment worker behind IDs and Rows: evaluate the
+// tree against one segment and materialize its qualifying global ids
+// into a pooled scratch buffer (at most limit of them — no later
+// segment can need more).
+func (q *Query) collectIDs(en *execNode, s int) segOut {
+	var o segOut
+	ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
+	buf, reused := getIDScratch()
+	if reused {
+		o.st.ScratchReused++
+	}
+	ids := *buf
+	q.t.scanSegment(s, ev, &o.st, nil, func(id int) bool {
+		ids = append(ids, uint32(id))
+		return !q.limited || len(ids) < q.limit
+	})
+	*buf = ids
+	o.ids = buf
+	return o
+}
+
 // IDs executes the query and returns the ascending ids of qualifying,
 // non-deleted rows, with the evaluation stats.
 func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
@@ -168,15 +196,25 @@ func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
 	if q.limited && q.limit == 0 {
 		return nil, st, nil
 	}
-	ev, err := q.plan(&st)
+	en, err := q.bind()
 	if err != nil {
 		return nil, st, err
 	}
+	nsegs := q.t.segCount()
 	var res []uint32
-	q.t.scanRuns(ev, &st, nil, func(id int) bool {
-		res = append(res, uint32(id))
-		return !q.limited || len(res) < q.limit
-	})
+	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+		func(s int) segOut { return q.collectIDs(en, s) },
+		func(s int, o segOut) bool {
+			st.Add(o.st)
+			ids := *o.ids
+			take := len(ids)
+			if q.limited && q.limit-len(res) < take {
+				take = q.limit - len(res)
+			}
+			res = append(res, ids[:take]...)
+			putIDScratch(o.ids)
+			return !q.limited || len(res) < q.limit
+		})
 	return res, st, nil
 }
 
@@ -185,7 +223,8 @@ func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
 // counted wholesale — a popcount over the deleted bitmap replaces the
 // per-row walk even while deletes are pending — with the shortcut's row
 // tally reported in QueryStats.FastCountedRows (and previewed by
-// Plan.FastCountRows).
+// Plan.FastCountRows). Segments are counted in parallel and the tallies
+// summed in segment order.
 func (q *Query) Count() (uint64, core.QueryStats, error) {
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
@@ -196,19 +235,31 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 	if q.limited && q.limit == 0 {
 		return 0, st, nil
 	}
-	ev, err := q.plan(&st)
+	en, err := q.bind()
 	if err != nil {
 		return 0, st, err
 	}
 	limit := uint64(q.limit)
+	nsegs := q.t.segCount()
 	var n uint64
-	q.t.scanRuns(ev, &st, func(live int) bool {
-		n += uint64(live)
-		return !q.limited || n < limit
-	}, func(id int) bool {
-		n++
-		return !q.limited || n < limit
-	})
+	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+		func(s int) segOut {
+			var o segOut
+			ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
+			q.t.scanSegment(s, ev, &o.st, func(live int) bool {
+				o.count += uint64(live)
+				return !q.limited || o.count < limit
+			}, func(id int) bool {
+				o.count++
+				return !q.limited || o.count < limit
+			})
+			return o
+		},
+		func(s int, o segOut) bool {
+			st.Add(o.st)
+			n += o.count
+			return !q.limited || n < limit
+		})
 	if q.limited && n > limit {
 		n = limit
 	}
@@ -216,10 +267,11 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 }
 
 // Rows executes the query as a streaming iterator over (id, Row) pairs:
-// qualifying rows are materialized one at a time — only the projected
-// columns of rows that survive the candidate-run check are ever fetched
-// (late materialization end to end), so breaking out early does no
-// wasted work and large results never build an id slice.
+// segment workers narrow each segment down to its qualifying ids, and
+// the consumer materializes rows one at a time in segment order — only
+// the projected columns of rows that survived the candidate-run check
+// are ever fetched (late materialization), so breaking out early
+// cancels segments not yet started.
 //
 // The table's read lock is held for the duration of the iteration, and
 // sync.RWMutex is not reentrant: calling any write method (Update,
@@ -233,7 +285,6 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 		q.t.mu.RLock()
 		defer q.t.mu.RUnlock()
 		q.err = nil
-		var st core.QueryStats
 		names, cols, err := q.projection()
 		if err != nil {
 			q.err = err
@@ -242,103 +293,35 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 		if q.limited && q.limit == 0 {
 			return
 		}
-		ev, err := q.plan(&st)
+		en, err := q.bind()
 		if err != nil {
 			q.err = err
 			return
 		}
 		emitted := 0
-		q.t.scanRuns(ev, &st, nil, func(id int) bool {
-			vals := make([]any, len(cols))
-			for i, c := range cols {
-				vals[i] = c.valueAt(id)
-			}
-			if !yield(id, Row{id: id, names: names, vals: vals}) {
-				return false
-			}
-			emitted++
-			return !q.limited || emitted < q.limit
-		})
+		nsegs := q.t.segCount()
+		q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+			func(s int) segOut { return q.collectIDs(en, s) },
+			func(s int, o segOut) bool {
+				defer putIDScratch(o.ids)
+				for _, id := range *o.ids {
+					vals := make([]any, len(cols))
+					for i, c := range cols {
+						vals[i] = c.valueAt(int(id))
+					}
+					if !yield(int(id), Row{id: int(id), names: names, vals: vals}) {
+						return false
+					}
+					emitted++
+					if q.limited && emitted >= q.limit {
+						return false
+					}
+				}
+				return true
+			})
 	}
 }
 
 // Err reports the plan error of the last Rows iteration, if any. IDs,
 // Count and Explain return their errors directly.
 func (q *Query) Err() error { return q.err }
-
-// scanRuns is the single traversal shared by IDs, Count and Rows: it
-// walks the candidate runs, skips deleted rows, applies the residual
-// check of non-exact runs (counting comparisons into st), and hands
-// each qualifying row to visit. Exact runs are offered wholesale to
-// visitRun when it is non-nil (Count's fast path) as their live row
-// count — the span minus a popcount over the deleted bitmap, no per-row
-// work; rows of such runs are otherwise visited individually. Either
-// callback returns false to stop. Callers hold the read lock.
-func (t *Table) scanRuns(ev evaluated, st *core.QueryStats, visitRun func(live int) bool, visit func(id int) bool) {
-	for _, r := range ev.runs {
-		from, to := t.blockSpan(r)
-		if visitRun != nil && r.Exact {
-			live := t.liveRows(from, to)
-			st.FastCountedRows += uint64(live)
-			if !visitRun(live) {
-				return
-			}
-			continue
-		}
-		for id := from; id < to; id++ {
-			if t.deleted != nil && t.deleted.Get(id) {
-				continue
-			}
-			if !r.Exact && ev.check != nil {
-				st.Comparisons++
-				if !ev.check(uint32(id)) {
-					continue
-				}
-			}
-			if !visit(id) {
-				return
-			}
-		}
-	}
-}
-
-// deletedInSpan popcounts the deleted bitmap over [from, to); callers
-// hold the read lock.
-func (t *Table) deletedInSpan(from, to int) int {
-	if t.deleted == nil || t.ndel == 0 {
-		return 0
-	}
-	return t.deleted.CountRange(from, to)
-}
-
-// liveRows is the single definition of the Count fast path's wholesale
-// tally for one row span: the span minus a popcount over the deleted
-// bitmap, no per-row work. scanRuns applies it to exact runs and
-// Explain previews it (fastCountRows); callers hold the read lock.
-func (t *Table) liveRows(from, to int) int {
-	return to - from - t.deletedInSpan(from, to)
-}
-
-// fastCountRows previews the Count fast path's coverage across a run
-// list: the live rows of its exact runs. Callers hold the read lock.
-func (t *Table) fastCountRows(runs []core.CandidateRun) uint64 {
-	var n uint64
-	for _, r := range runs {
-		if r.Exact {
-			from, to := t.blockSpan(r)
-			n += uint64(t.liveRows(from, to))
-		}
-	}
-	return n
-}
-
-// blockSpan converts a candidate run to its [from, to) row interval;
-// callers hold the read lock.
-func (t *Table) blockSpan(r core.CandidateRun) (from, to int) {
-	from = int(r.Start) * BlockRows
-	to = (int(r.Start) + int(r.Count)) * BlockRows
-	if to > t.rows {
-		to = t.rows
-	}
-	return from, to
-}

@@ -2,31 +2,59 @@ package table
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/column"
 	"repro/internal/core"
 )
 
-// strColState is the per-column state of a string attribute: the values
-// live dictionary-encoded (lexicographically ordered int32 codes, see
-// column.StringDict), and the secondary index is a column imprint over
-// the code column — exactly how the paper's "char"/"str" columns
-// (Airtraffic, Cnet, TPC-H) are indexed. String predicates translate to
-// code intervals, so StrRange and friends compose in the same And/Or/
-// AndNot trees as numeric leaves.
+// strSegment is one horizontal slice of a string column: its own
+// dictionary (lexicographically ordered int32 codes over just this
+// segment's values, see column.StringDict) and a column imprint over
+// the code slab. Per-segment dictionaries are what keep string columns
+// bounded under growth: a novel string in a batch append or update
+// re-encodes one segment, never the whole column.
+//
+// gen is the segment's generation, unique within the column and bumped
+// whenever the dictionary changes shape (re-encode on novel strings,
+// compact). Compiled string leaves cache their dictionary translation
+// per segment keyed by gen, so appending rows — which only ever opens
+// new segments or extends the tail in place — never invalidates a
+// cached translation over a sealed segment.
+type strSegment struct {
+	dict *column.StringDict
+	ix   *core.Index[int32]
+	gen  uint64
+}
+
+func (s *strSegment) codes() []int32 { return s.dict.Codes().Values() }
+func (s *strSegment) rows() int      { return s.dict.Codes().Len() }
+
+// strColState is the per-column state of a string attribute, segmented
+// like colState. String predicates translate to per-segment code
+// intervals, so StrRange and friends compose in the same And/Or/AndNot
+// trees as numeric leaves.
 type strColState struct {
 	name    string
-	dict    *column.StringDict
-	ix      *core.Index[int32]
+	segs    []*strSegment
 	mode    IndexMode // Imprints or NoIndex
 	vpcOpts core.Options
+	segRows int
+	genSeq  uint64 // generation source; each (re-)encode gets a fresh value
+}
+
+// nextGen returns a column-unique generation for a fresh or re-encoded
+// segment dictionary; callers hold the table's write lock.
+func (c *strColState) nextGen() uint64 {
+	c.genSeq++
+	return c.genSeq
 }
 
 // AddStringColumn defines a new string column, dictionary-encoding vals
-// and (unless mode is NoIndex) building a code imprint. Like AddColumn,
-// the values are copied on ingest. Zonemap mode is not supported for
-// strings: dictionary codes are dense, which makes the imprint strictly
-// better.
+// segment by segment and (unless mode is NoIndex) building a code
+// imprint per segment. Like AddColumn, the values are copied on ingest.
+// Zonemap mode is not supported for strings: dictionary codes are
+// dense, which makes the imprint strictly better.
 func (t *Table) AddStringColumn(name string, vals []string, mode IndexMode, opts core.Options) error {
 	if mode == Zonemap {
 		return fmt.Errorf("table %s: column %q: zonemap mode is not supported for string columns", t.name, name)
@@ -36,8 +64,8 @@ func (t *Table) AddStringColumn(name string, vals []string, mode IndexMode, opts
 	if err := t.checkNewColumn(name, len(vals), opts); err != nil {
 		return err
 	}
-	cs := &strColState{name: name, dict: column.EncodeStrings(name, vals), mode: mode, vpcOpts: opts}
-	cs.rebuild()
+	cs := &strColState{name: name, mode: mode, vpcOpts: opts, segRows: t.segRows}
+	cs.absorbStrings(vals)
 	t.installColumn(name, cs, len(vals))
 	return nil
 }
@@ -55,9 +83,10 @@ func (t *Table) StringColumn(name string) ([]string, error) {
 }
 
 // UpdateString changes one string value in place. When the new value is
-// already in the dictionary the covering imprint is widened (Section
-// 4.2); a novel string forces a re-encode and index rebuild, since code
-// order must stay aligned with string order.
+// already in the segment's dictionary the covering imprint is widened
+// (Section 4.2); a novel string re-encodes that one segment — code
+// order must stay aligned with string order — leaving every other
+// segment (and plans compiled over them) untouched.
 func (t *Table) UpdateString(name string, id int, v string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -68,17 +97,17 @@ func (t *Table) UpdateString(name string, id int, v string) error {
 	if id < 0 || id >= cs.colRows() {
 		return fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
-	if code, ok := cs.dict.Code(v); ok {
-		cs.codes()[id] = code
-		if cs.ix != nil {
-			cs.ix.MarkUpdated(id, code)
+	seg, local := cs.segs[id/cs.segRows], id%cs.segRows
+	if code, ok := seg.dict.Code(v); ok {
+		seg.codes()[local] = code
+		if seg.ix != nil {
+			seg.ix.MarkUpdated(local, code)
 		}
 		return nil
 	}
-	all := cs.decodeAll()
-	all[id] = v
-	cs.reencode(all)
-	t.gen++ // the dictionary changed shape; compiled plans must re-translate
+	all := cs.decodeSegment(seg)
+	all[local] = v
+	cs.reencodeSegment(seg, all)
 	return nil
 }
 
@@ -97,246 +126,361 @@ func strCol(t *Table, name string) (*strColState, error) {
 
 // ---- anyColumn implementation ----
 
-func (c *strColState) codes() []int32 { return c.dict.Codes().Values() }
+func (c *strColState) colName() string { return c.name }
+func (c *strColState) colType() string { return "string" }
+func (c *strColState) segments() int   { return len(c.segs) }
 
-func (c *strColState) colName() string  { return c.name }
-func (c *strColState) colRows() int     { return c.dict.Codes().Len() }
-func (c *strColState) colType() string  { return "string" }
-func (c *strColState) sizeBytes() int64 { return c.dict.SizeBytes() }
-
-func (c *strColState) indexBytes() int64 {
-	if c.ix == nil {
+func (c *strColState) colRows() int {
+	if len(c.segs) == 0 {
 		return 0
 	}
-	return c.ix.SizeBytes()
+	return (len(c.segs)-1)*c.segRows + c.segs[len(c.segs)-1].rows()
+}
+
+func (c *strColState) sizeBytes() int64 {
+	var n int64
+	for _, s := range c.segs {
+		n += s.dict.SizeBytes()
+	}
+	return n
+}
+
+func (c *strColState) indexBytes() int64 {
+	var n int64
+	for _, s := range c.segs {
+		if s.ix != nil {
+			n += s.ix.SizeBytes()
+		}
+	}
+	return n
 }
 
 func (c *strColState) indexKind() string {
-	if c.ix != nil {
+	if c.mode == Imprints {
 		return "imprints"
 	}
 	return "scan"
 }
 
-func (c *strColState) rebuild() {
-	c.ix = nil // as in colState.rebuild: never keep a stale index
-	if c.mode != Imprints || c.colRows() == 0 {
+func (c *strColState) indexStats() ColumnIndexStats {
+	st := ColumnIndexStats{Segments: len(c.segs)}
+	var sat float64
+	for _, s := range c.segs {
+		if s.ix == nil {
+			continue
+		}
+		st.IndexedSegments++
+		st.StoredVectors += s.ix.StoredVectors()
+		st.DictEntries += s.ix.DictEntries()
+		st.SizeBytes += s.ix.SizeBytes()
+		sat += s.ix.Saturation()
+	}
+	if st.IndexedSegments > 0 {
+		st.Saturation = sat / float64(st.IndexedSegments)
+	}
+	return st
+}
+
+func (c *strColState) maintain(satLimit float64, rebuild bool) int {
+	n := 0
+	for _, s := range c.segs {
+		if s.ix != nil && s.ix.NeedsRebuild(satLimit, 0, 0) {
+			n++
+			if rebuild {
+				c.rebuildSegmentIndex(s)
+			}
+		}
+	}
+	return n
+}
+
+// rebuildSegmentIndex rebuilds one segment's code imprint in place (the
+// dictionary is unchanged, so cached plan translations stay valid).
+func (c *strColState) rebuildSegmentIndex(s *strSegment) {
+	s.ix = nil
+	if c.mode != Imprints || s.rows() == 0 {
 		return
 	}
-	c.ix = core.Build(c.codes(), c.vpcOpts)
+	s.ix = core.Build(s.codes(), c.vpcOpts)
 }
 
-func (c *strColState) needsRebuild(satLimit float64) bool {
-	return c.ix != nil && c.ix.NeedsRebuild(satLimit, 0, 0)
+func (c *strColState) valueAt(id int) any {
+	seg := c.segs[id/c.segRows]
+	return seg.dict.Symbol(seg.codes()[id%c.segRows])
 }
 
-func (c *strColState) valueAt(id int) any { return c.dict.Symbol(c.codes()[id]) }
-
-func (c *strColState) decodeAll() []string {
-	codes := c.codes()
+func (c *strColState) decodeSegment(s *strSegment) []string {
+	codes := s.codes()
 	out := make([]string, len(codes))
 	for i, code := range codes {
-		out[i] = c.dict.Symbol(code)
+		out[i] = s.dict.Symbol(code)
 	}
 	return out
 }
 
-// reencode replaces the dictionary with a fresh encoding of vals and
-// rebuilds the index (codes must stay ordered like the strings).
-func (c *strColState) reencode(vals []string) {
-	c.dict = column.EncodeStrings(c.name, vals)
-	c.ix = nil
-	c.rebuild()
+func (c *strColState) decodeAll() []string {
+	out := make([]string, 0, c.colRows())
+	for _, s := range c.segs {
+		out = append(out, c.decodeSegment(s)...)
+	}
+	return out
+}
+
+// newSegment encodes vals into a fresh segment with its own dictionary
+// and generation.
+func (c *strColState) newSegment(vals []string) *strSegment {
+	s := &strSegment{dict: column.EncodeStrings(c.name, vals), gen: c.nextGen()}
+	c.rebuildSegmentIndex(s)
+	return s
+}
+
+// reencodeSegment replaces one segment's dictionary with a fresh
+// encoding of vals and rebuilds its index, bumping the segment
+// generation so cached translations over it are dropped.
+func (c *strColState) reencodeSegment(s *strSegment, vals []string) {
+	s.dict = column.EncodeStrings(c.name, vals)
+	s.gen = c.nextGen()
+	c.rebuildSegmentIndex(s)
 }
 
 func (c *strColState) compact(keep []int) {
-	codes := c.codes()
 	kept := make([]string, 0, len(keep))
 	for _, id := range keep {
-		kept = append(kept, c.dict.Symbol(codes[id]))
+		seg := c.segs[id/c.segRows]
+		kept = append(kept, seg.dict.Symbol(seg.codes()[id%c.segRows]))
 	}
-	c.reencode(kept)
+	c.segs = nil
+	c.absorbStrings(kept)
 }
 
-// absorbStrings extends the column with committed batch rows. When every
-// new value is already in the dictionary, the codes and the imprint are
-// extended in place (Section 4.1's cheap append); novel strings force a
-// re-encode.
+// absorbStrings extends the column with new rows, filling the active
+// tail segment and opening fresh segments as it fills. When every value
+// appended to the tail is already in its dictionary, the codes and the
+// imprint extend in place (Section 4.1's cheap append); a novel string
+// re-encodes the tail segment only — sealed segments never change.
 func (c *strColState) absorbStrings(vals []string) {
-	newCodes := make([]int32, len(vals))
-	for i, s := range vals {
-		code, ok := c.dict.Code(s)
+	for len(vals) > 0 {
+		if len(c.segs) == 0 || c.segs[len(c.segs)-1].rows() == c.segRows {
+			c.segs = append(c.segs, c.newSegment(nil))
+		}
+		tail := c.segs[len(c.segs)-1]
+		room := c.segRows - tail.rows()
+		if room > len(vals) {
+			room = len(vals)
+		}
+		c.extendTail(tail, vals[:room])
+		vals = vals[room:]
+	}
+}
+
+// extendTail appends chunk to the tail segment, re-encoding it only
+// when a value is missing from its dictionary.
+func (c *strColState) extendTail(s *strSegment, chunk []string) {
+	newCodes := make([]int32, len(chunk))
+	for i, v := range chunk {
+		code, ok := s.dict.Code(v)
 		if !ok {
-			all := append(c.decodeAll(), vals...)
-			c.reencode(all)
+			all := append(c.decodeSegment(s), chunk...)
+			c.reencodeSegment(s, all)
 			return
 		}
 		newCodes[i] = code
 	}
-	c.dict.Codes().Append(newCodes...)
+	s.dict.Codes().Append(newCodes...)
 	if c.mode != Imprints {
 		return
 	}
-	if c.ix == nil {
-		c.rebuild()
+	if s.ix == nil {
+		c.rebuildSegmentIndex(s)
 	} else {
-		c.ix.Append(c.codes())
+		s.ix.Append(s.codes())
 	}
 }
 
 // ---- leaf compilation ----
 
-// codeInterval translates a string leaf into the half-open code interval
-// [lo, hi) it selects. ok=false means the leaf provably selects nothing.
-func (c *strColState) codeInterval(p *leafPred) (lo, hi int32, ok bool, err error) {
-	s := func(x any) (string, error) {
+// strSegTrans is one segment's dictionary translation of a string
+// leaf: the half-open code interval or code set the predicate selects
+// there. Valid while gen matches the segment's generation — sealed
+// segments never change generation on appends, so cached translations
+// survive across executions of a prepared statement.
+type strSegTrans struct {
+	gen    uint64
+	lo, hi int32 // half-open code interval (non-IN kinds)
+	none   bool  // the dictionary proves the leaf selects nothing here
+	set    []int32
+	member map[int32]struct{}
+}
+
+// strLeafPlan is the compiled form of a string leaf: the bounds are
+// typed once at compile time, and the per-segment dictionary
+// translation is derived lazily and cached keyed by segment
+// generation. The cache makes prepared executions segment-incremental:
+// appending rows re-translates at most the active tail segment.
+type strLeafPlan struct {
+	c         *strColState
+	kind      leafKind
+	low, high string
+	inSet     []string // kindIn
+
+	mu    sync.Mutex
+	cache []*strSegTrans // indexed by segment
+}
+
+func (c *strColState) compileLeaf(p *leafPred) (leafPlan, error) {
+	pl := &strLeafPlan{c: c, kind: p.kind}
+	str := func(x any) (string, error) {
 		if x == nil {
 			return "", nil
 		}
-		v, isStr := x.(string)
-		if !isStr {
+		v, ok := x.(string)
+		if !ok {
 			return "", fmt.Errorf("column %q is string but predicate bound is %T", c.name, x)
 		}
 		return v, nil
 	}
-	loS, err := s(p.low)
-	if err != nil {
-		return 0, 0, false, err
-	}
-	hiS, err := s(p.high)
-	if err != nil {
-		return 0, 0, false, err
-	}
-	card := int32(c.dict.Cardinality())
 	switch p.kind {
-	case kindRange: // inclusive [loS, hiS] per string-predicate convention
-		l, h, in := c.dict.CodeRange(loS, hiS)
-		return l, h, in, nil
-	case kindAtLeast:
-		l := c.dict.SearchCode(loS)
-		return l, card, l < card, nil
-	case kindLessThan:
-		h := c.dict.SearchCode(hiS)
-		return 0, h, h > 0, nil
-	case kindEquals:
-		code, in := c.dict.Code(loS)
-		return code, code + 1, in, nil
-	case kindPrefix:
-		l, h, in := c.dict.PrefixCodeRange(loS)
-		return l, h, in, nil
-	}
-	return 0, 0, false, fmt.Errorf("column %q: unsupported string leaf kind %d", c.name, p.kind)
-}
-
-// inCodes translates a StrIn list into the set of dictionary codes it
-// hits (absent strings drop out).
-func (c *strColState) inCodes(p *leafPred) ([]int32, error) {
-	set, ok := p.low.([]string)
-	if !ok {
-		return nil, fmt.Errorf("column %q is string but IN-list holds %T", c.name, p.low)
-	}
-	codes := make([]int32, 0, len(set))
-	for _, s := range set {
-		if code, in := c.dict.Code(s); in {
-			codes = append(codes, code)
+	case kindIn:
+		set, ok := p.low.([]string)
+		if !ok {
+			return nil, fmt.Errorf("column %q is string but IN-list holds %T", c.name, p.low)
 		}
-	}
-	return codes, nil
-}
-
-// strLeafPlan is the compiled form of a string leaf: the predicate is
-// translated through the dictionary exactly once into a code interval
-// or code set, and the code column is captured at compile time. `none`
-// records that the dictionary already proves the leaf selects nothing.
-// The imprint pointer is read through the column state at probe time;
-// dictionary re-encodes bump the table generation and force a
-// recompile.
-type strLeafPlan struct {
-	c      *strColState
-	kind   leafKind
-	codes  []int32
-	lo, hi int32 // half-open code interval (non-IN kinds)
-	none   bool
-	set    []int32            // kindIn
-	member map[int32]struct{} // kindIn
-}
-
-func (c *strColState) compileLeaf(p *leafPred) (leafPlan, error) {
-	pl := &strLeafPlan{c: c, kind: p.kind, codes: c.codes()}
-	if p.kind == kindIn {
-		set, err := c.inCodes(p)
-		if err != nil {
+		pl.inSet = set
+		return pl, nil
+	case kindRange, kindAtLeast, kindLessThan, kindEquals, kindPrefix:
+		var err error
+		if pl.low, err = str(p.low); err != nil {
 			return nil, err
 		}
-		pl.set = set
-		pl.none = len(set) == 0
-		pl.member = make(map[int32]struct{}, len(set))
-		for _, v := range set {
-			pl.member[v] = struct{}{}
+		if pl.high, err = str(p.high); err != nil {
+			return nil, err
 		}
 		return pl, nil
 	}
-	lo, hi, ok, err := c.codeInterval(p)
-	if err != nil {
-		return nil, err
+	return nil, fmt.Errorf("column %q: unknown leaf kind %d", c.name, p.kind)
+}
+
+// trans returns segment s's cached dictionary translation, deriving it
+// when missing or stale (the segment re-encoded since).
+func (pl *strLeafPlan) trans(s int) *strSegTrans {
+	seg := pl.c.segs[s]
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	for len(pl.cache) <= s {
+		pl.cache = append(pl.cache, nil)
 	}
-	pl.lo, pl.hi, pl.none = lo, hi, !ok
-	return pl, nil
+	if e := pl.cache[s]; e != nil && e.gen == seg.gen {
+		return e
+	}
+	e := pl.translate(seg)
+	pl.cache[s] = e
+	return e
+}
+
+// translate derives the leaf's code interval or code set through one
+// segment's dictionary.
+func (pl *strLeafPlan) translate(seg *strSegment) *strSegTrans {
+	e := &strSegTrans{gen: seg.gen}
+	dict := seg.dict
+	if pl.kind == kindIn {
+		for _, v := range pl.inSet {
+			if code, in := dict.Code(v); in {
+				e.set = append(e.set, code)
+			}
+		}
+		e.none = len(e.set) == 0
+		e.member = make(map[int32]struct{}, len(e.set))
+		for _, code := range e.set {
+			e.member[code] = struct{}{}
+		}
+		return e
+	}
+	card := int32(dict.Cardinality())
+	var ok bool
+	switch pl.kind {
+	case kindRange: // inclusive [low, high] per string-predicate convention
+		e.lo, e.hi, ok = dict.CodeRange(pl.low, pl.high)
+	case kindAtLeast:
+		e.lo = dict.SearchCode(pl.low)
+		e.hi, ok = card, e.lo < card
+	case kindLessThan:
+		e.hi = dict.SearchCode(pl.high)
+		ok = e.hi > 0
+	case kindEquals:
+		var code int32
+		code, ok = dict.Code(pl.low)
+		e.lo, e.hi = code, code+1
+	case kindPrefix:
+		e.lo, e.hi, ok = dict.PrefixCodeRange(pl.low)
+	}
+	e.none = !ok
+	return e
 }
 
 func (pl *strLeafPlan) access() string { return pl.c.indexKind() }
 
-func (pl *strLeafPlan) check() core.CheckFunc {
-	if pl.none {
-		return func(uint32) bool { return false }
+// prune is exact for string leaves: the segment's own dictionary
+// proves whether any of its values can satisfy the predicate.
+func (pl *strLeafPlan) prune(s int) bool {
+	if pl.c.segs[s].rows() == 0 {
+		return true
 	}
-	codes := pl.codes
+	return pl.trans(s).none
+}
+
+func (pl *strLeafPlan) segCheck(s int) core.CheckFunc {
+	e := pl.trans(s)
+	if e.none {
+		return neverMatch
+	}
+	codes := pl.c.segs[s].codes()
 	if pl.kind == kindIn {
-		member := pl.member
+		member := e.member
 		return func(id uint32) bool { _, ok := member[codes[id]]; return ok }
 	}
-	lo, hi := pl.lo, pl.hi
+	lo, hi := e.lo, e.hi
 	return func(id uint32) bool { v := codes[id]; return v >= lo && v < hi }
 }
 
-func (pl *strLeafPlan) runs() ([]core.CandidateRun, core.QueryStats) {
-	if pl.none {
-		// The dictionary proves the leaf selects nothing.
+func (pl *strLeafPlan) segRuns(s int) ([]core.CandidateRun, core.QueryStats) {
+	e := pl.trans(s)
+	if e.none {
 		return nil, core.QueryStats{}
 	}
-	c := pl.c
-	if c.ix == nil {
-		// Scan-only: every block is a candidate.
-		return blockSpanRuns(len(pl.codes), false), core.QueryStats{}
+	seg := pl.c.segs[s]
+	if seg.ix == nil {
+		// Scan-only segment: every block is a candidate.
+		return blockSpanRuns(seg.rows(), false), core.QueryStats{}
 	}
 	var runs []core.CandidateRun
 	var st core.QueryStats
 	if pl.kind == kindIn {
-		runs, st = c.ix.InSetCachelines(pl.set)
+		runs, st = seg.ix.InSetCachelines(e.set)
 	} else {
-		runs, st = c.ix.RangeCachelines(pl.lo, pl.hi)
+		runs, st = seg.ix.RangeCachelines(e.lo, e.hi)
 	}
-	vpc := c.ix.ValuesPerCacheline()
-	cls := (len(pl.codes) + vpc - 1) / vpc
+	vpc := seg.ix.ValuesPerCacheline()
+	cls := (seg.rows() + vpc - 1) / vpc
 	return blocksFromCachelines(runs, BlockRows/vpc, cls), st
 }
 
-// estimate mirrors numLeafPlan.estimate: negative means no imprint-
-// backed estimate is available.
-func (pl *strLeafPlan) estimate() float64 {
-	c := pl.c
-	if c.ix == nil {
+// segEstimate mirrors numLeafPlan.segEstimate: negative means segment s
+// has no imprint-backed estimate.
+func (pl *strLeafPlan) segEstimate(s int) float64 {
+	seg := pl.c.segs[s]
+	if seg.ix == nil {
 		return -1
 	}
-	if pl.none {
+	e := pl.trans(s)
+	if e.none {
 		return 0
 	}
 	if pl.kind == kindIn {
-		est := float64(len(pl.set)) / float64(c.ix.Bins())
+		est := float64(len(e.set)) / float64(seg.ix.Bins())
 		if est > 1 {
 			est = 1
 		}
 		return est
 	}
-	return c.ix.EstimateSelectivity(pl.lo, pl.hi)
+	return seg.ix.EstimateSelectivity(e.lo, e.hi)
 }

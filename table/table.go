@@ -9,13 +9,24 @@
 // late materialization (Section 3), choosing between index and scan per
 // leaf based on estimated selectivity.
 //
+// Storage is horizontally segmented: every column is split into
+// fixed-size segments (TableOptions.SegmentRows rows, 64K by default),
+// each owning its value slab and its own secondary index plus a
+// min/max summary. Appends land in the active tail segment only, index
+// saturation rebuilds are segment-local, and queries evaluate segments
+// independently — pruning segments whose summary provably excludes the
+// predicate and fanning the rest out across a bounded worker pool
+// (SelectOptions.Parallelism), merging in segment order so results are
+// deterministic.
+//
 // The front door is the lazy Query builder:
 //
 //	q := t.Select("price", "city").Where(pred).Limit(10)
 //	for id, row := range q.Rows() { ... }
 //
 // Queries execute via Rows (a streaming iterator), IDs, Count, and
-// Explain, which renders the per-leaf access-path plan.
+// Explain, which renders the per-leaf access-path plan including the
+// per-segment decisions (pruned / imprints / zonemap / scan).
 //
 // For serving workloads that run the same predicate shape on every
 // request, Table.Prepare compiles the tree once into a Prepared
@@ -32,8 +43,11 @@
 // there is exactly one evaluator. A Table is safe for concurrent use:
 // queries and point reads take a shared lock, while batch commits,
 // updates, deletes and maintenance take it exclusively; prepared
-// statements are safe for concurrent executions and recompile
-// transparently when the storage shape changes under them.
+// statements are safe for concurrent executions, and because plans
+// resolve segments live at execution time — string translations are
+// cached per segment and invalidated by that segment's generation
+// alone — appending rows never invalidates a plan over already sealed
+// segments.
 package table
 
 import (
@@ -46,7 +60,6 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/coltype"
 	"repro/internal/core"
-	"repro/internal/zonemap"
 )
 
 // IndexMode selects the secondary index maintained for a column.
@@ -63,6 +76,15 @@ const (
 	Zonemap
 )
 
+// TableOptions configures table-wide storage policy.
+type TableOptions struct {
+	// SegmentRows is the number of rows per storage segment. 0 means
+	// DefaultSegmentRows (64K); other values are rounded up to the next
+	// multiple of BlockRows so candidate-run composition always works on
+	// whole blocks.
+	SegmentRows int
+}
+
 // anyColumn is the type-erased per-column state.
 type anyColumn interface {
 	colName() string
@@ -70,27 +92,32 @@ type anyColumn interface {
 	colType() string
 	sizeBytes() int64
 	indexBytes() int64
-	indexKind() string                  // access path name: "imprints", "zonemap", "scan"
-	rebuild()                           // rebuild the index from current values
-	needsRebuild(satLimit float64) bool // saturation heuristic
-	compact(keep []int)                 // drop deleted rows (ids to keep, ascending)
+	indexKind() string // access path name: "imprints", "zonemap", "scan"
+	segments() int
+	// maintain counts the segments whose index is saturated past
+	// satLimit and, when rebuild is set, rebuilds exactly those.
+	maintain(satLimit float64, rebuild bool) int
+	compact(keep []int) // drop deleted rows (ids to keep, ascending)
 	valueAt(id int) any
 	persist(io.Writer) error
+	indexStats() ColumnIndexStats
 	// compileLeaf translates one predicate leaf against this column
-	// exactly once: typed bounds, code intervals and IN-sets are derived
-	// here and nowhere else; probes, residual checks and selectivity
-	// estimates all run off the returned plan.
+	// exactly once: typed bounds and IN-sets are derived here and
+	// nowhere else. The returned plan resolves segments live at
+	// execution time (probes, pruning, residual checks and selectivity
+	// estimates are all per segment).
 	compileLeaf(p *leafPred) (leafPlan, error)
 }
 
-// colState is the concrete typed column state.
+// colState is the concrete typed column state: an ordered list of
+// fixed-size segments. All segments but the last hold exactly segRows
+// values; the last (the active tail) absorbs appends until full.
 type colState[V coltype.Value] struct {
 	name    string
-	vals    []V
-	ix      *core.Index[V]
-	zm      *zonemap.Index[V]
+	segs    []*segment[V]
 	mode    IndexMode
 	vpcOpts core.Options
+	segRows int
 }
 
 // Table is a named relation. All exported methods (and the generic free
@@ -102,20 +129,29 @@ type Table struct {
 	order   []string
 	cols    map[string]anyColumn
 	rows    int
+	segRows int
 	deleted *bitvec.Vector // lazily sized; nil when nothing deleted
 	ndel    int
-	// gen counts storage shape changes (new columns, batch commits,
-	// compactions, dictionary re-encodes). Compiled predicate plans
-	// capture value slices, so a Prepared statement recompiles when the
-	// generation it was compiled at no longer matches. In-place updates
-	// and deletes don't bump it: they mutate values under the existing
-	// slices and are observed live.
-	gen uint64
 }
 
-// New creates an empty table.
-func New(name string) *Table {
-	return &Table{name: name, cols: map[string]anyColumn{}}
+// New creates an empty table with default options.
+func New(name string) *Table { return NewWithOptions(name, TableOptions{}) }
+
+// NewWithOptions creates an empty table with the given storage policy.
+func NewWithOptions(name string, opts TableOptions) *Table {
+	return &Table{name: name, cols: map[string]anyColumn{}, segRows: normalizeSegmentRows(opts.SegmentRows)}
+}
+
+// normalizeSegmentRows applies the default and rounds up to a whole
+// number of BlockRows blocks.
+func normalizeSegmentRows(n int) int {
+	if n <= 0 {
+		return DefaultSegmentRows
+	}
+	if rem := n % BlockRows; rem != 0 {
+		n += BlockRows - rem
+	}
+	return n
 }
 
 // Name returns the table name.
@@ -134,6 +170,31 @@ func (t *Table) LiveRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.rows - t.ndel
+}
+
+// SegmentRows returns the rows-per-segment storage granularity.
+func (t *Table) SegmentRows() int { return t.segRows }
+
+// Segments returns the current number of storage segments.
+func (t *Table) Segments() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.segCount()
+}
+
+// segCount returns the segment count for the current row count; callers
+// hold a lock.
+func (t *Table) segCount() int {
+	return (t.rows + t.segRows - 1) / t.segRows
+}
+
+// segLen returns the number of rows in segment s; callers hold a lock.
+func (t *Table) segLen(s int) int {
+	n := t.rows - s*t.segRows
+	if n > t.segRows {
+		n = t.segRows
+	}
+	return n
 }
 
 // Columns lists column names in definition order.
@@ -165,19 +226,41 @@ func (t *Table) IndexBytes() int64 {
 	return s
 }
 
+// ColumnIndexStats aggregates one column's secondary-index state across
+// its segments.
+type ColumnIndexStats struct {
+	Segments        int     // storage segments of the column
+	IndexedSegments int     // segments carrying an index
+	StoredVectors   int     // imprint vectors stored across segments
+	DictEntries     int     // cacheline-dictionary entries across segments
+	SizeBytes       int64   // total index footprint
+	Saturation      float64 // mean imprint saturation over indexed segments
+}
+
+// IndexStats reports the aggregated index state of one column.
+func (t *Table) IndexStats(name string) (ColumnIndexStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.cols[name]
+	if !ok {
+		return ColumnIndexStats{}, fmt.Errorf("table %s: no column %q", t.name, name)
+	}
+	return c.indexStats(), nil
+}
+
 // AddColumn defines a new column with initial values. All columns must
 // stay the same length: the first column fixes the row count and later
-// ones must match it. The values are copied on ingest, so the caller's
-// slice stays independent of the table (mutating it cannot desync the
-// column from its already-built index).
+// ones must match it. The values are copied on ingest — chunked into
+// segments of the table's SegmentRows — so the caller's slice stays
+// independent of the table.
 func AddColumn[V coltype.Value](t *Table, name string, vals []V, mode IndexMode, opts core.Options) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if err := t.checkNewColumn(name, len(vals), opts); err != nil {
 		return err
 	}
-	cs := &colState[V]{name: name, vals: append([]V(nil), vals...), mode: mode, vpcOpts: opts}
-	cs.rebuild()
+	cs := &colState[V]{name: name, mode: mode, vpcOpts: opts, segRows: t.segRows}
+	cs.absorb(vals)
 	t.installColumn(name, cs, len(vals))
 	return nil
 }
@@ -221,13 +304,12 @@ func (t *Table) installColumn(name string, c anyColumn, nvals int) {
 	if len(t.order) == 1 {
 		t.rows = nvals
 	}
-	t.gen++
 }
 
-// Column returns the typed values of a column. The slice is a read-only
-// view into the table's storage: callers must not mutate it, and a
-// concurrent writer may be extending or rewriting the column — use
-// queries or ReadRow when writers may be active.
+// Column materializes the typed values of a column into a freshly
+// allocated slice (segments are concatenated), safe to keep. It
+// reflects the table at call time; later updates are not visible
+// through it.
 func Column[V coltype.Value](t *Table, name string) ([]V, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -235,14 +317,18 @@ func Column[V coltype.Value](t *Table, name string) ([]V, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cs.vals, nil
+	out := make([]V, 0, cs.colRows())
+	for _, s := range cs.segs {
+		out = append(out, s.vals...)
+	}
+	return out, nil
 }
 
-// Index returns the imprints index of a column, or nil if unindexed.
-// The returned index is the table's live one, outside the table lock:
-// probing it while writers (Update, Batch.Commit, Maintain) are active
-// races, and maintenance may replace it entirely — use queries when
-// writers may be running, and re-fetch after maintenance.
+// Index returns the imprints index of a single-segment column, or nil
+// if unindexed. Multi-segment columns have one index per segment — use
+// SegmentIndex (or IndexStats for aggregates). The returned index is
+// the table's live one, outside the table lock: probing it while
+// writers are active races — use queries when writers may be running.
 func Index[V coltype.Value](t *Table, name string) (*core.Index[V], error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -250,7 +336,30 @@ func Index[V coltype.Value](t *Table, name string) (*core.Index[V], error) {
 	if err != nil {
 		return nil, err
 	}
-	return cs.ix, nil
+	switch len(cs.segs) {
+	case 0:
+		return nil, nil
+	case 1:
+		return cs.segs[0].ix, nil
+	}
+	return nil, fmt.Errorf("table %s: column %q has %d segments (use SegmentIndex or IndexStats)",
+		t.name, name, len(cs.segs))
+}
+
+// SegmentIndex returns the imprints index of one segment of a column,
+// or nil when that segment is unindexed.
+func SegmentIndex[V coltype.Value](t *Table, name string, seg int) (*core.Index[V], error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cs, err := typedCol[V](t, name)
+	if err != nil {
+		return nil, err
+	}
+	if seg < 0 || seg >= len(cs.segs) {
+		return nil, fmt.Errorf("table %s: column %q has no segment %d (of %d)",
+			t.name, name, seg, len(cs.segs))
+	}
+	return cs.segs[seg].ix, nil
 }
 
 func typedCol[V coltype.Value](t *Table, name string) (*colState[V], error) {
@@ -331,7 +440,10 @@ func (b *Batch) stage(name string, nvals int) error {
 }
 
 // Commit validates that every column received the same number of new
-// rows and extends columns and indexes. On error nothing is applied.
+// rows and extends columns and indexes. New rows flow into each
+// column's active tail segment (sealing it and opening fresh segments
+// as they fill); already sealed segments — and any compiled plans over
+// them — are untouched. On error nothing is applied.
 func (b *Batch) Commit() error {
 	if b.rows <= 0 {
 		b.staged = map[string]func(){}
@@ -349,7 +461,6 @@ func (b *Batch) Commit() error {
 		b.staged[name]()
 	}
 	b.t.rows += b.rows
-	b.t.gen++
 	if b.t.deleted != nil {
 		grown := bitvec.New(b.t.rows)
 		copy(grown.Words(), b.t.deleted.Words())
@@ -363,87 +474,111 @@ func (b *Batch) Commit() error {
 // ---- anyColumn implementation ----
 
 func (c *colState[V]) colName() string { return c.name }
-func (c *colState[V]) colRows() int    { return len(c.vals) }
 func (c *colState[V]) colType() string { return coltype.TypeName[V]() }
+func (c *colState[V]) segments() int   { return len(c.segs) }
+
+func (c *colState[V]) colRows() int {
+	if len(c.segs) == 0 {
+		return 0
+	}
+	return (len(c.segs)-1)*c.segRows + len(c.segs[len(c.segs)-1].vals)
+}
+
 func (c *colState[V]) sizeBytes() int64 {
-	return int64(len(c.vals)) * int64(coltype.Width[V]())
+	return int64(c.colRows()) * int64(coltype.Width[V]())
 }
 
 func (c *colState[V]) indexBytes() int64 {
-	switch {
-	case c.ix != nil:
-		return c.ix.SizeBytes()
-	case c.zm != nil:
-		return c.zm.SizeBytes()
+	var n int64
+	for _, s := range c.segs {
+		n += s.indexBytes()
 	}
-	return 0
+	return n
 }
 
 func (c *colState[V]) indexKind() string {
-	switch {
-	case c.ix != nil:
+	switch c.mode {
+	case Imprints:
 		return "imprints"
-	case c.zm != nil:
+	case Zonemap:
 		return "zonemap"
 	}
 	return "scan"
 }
 
-// absorb extends the column (and its index) with committed batch rows.
+func (c *colState[V]) indexStats() ColumnIndexStats {
+	st := ColumnIndexStats{Segments: len(c.segs)}
+	var sat float64
+	for _, s := range c.segs {
+		st.SizeBytes += s.indexBytes()
+		if s.ix != nil {
+			st.IndexedSegments++
+			st.StoredVectors += s.ix.StoredVectors()
+			st.DictEntries += s.ix.DictEntries()
+			sat += s.ix.Saturation()
+		} else if s.zm != nil {
+			st.IndexedSegments++
+		}
+	}
+	if st.IndexedSegments > 0 {
+		st.Saturation = sat / float64(st.IndexedSegments)
+	}
+	return st
+}
+
+// absorb extends the column with new rows, filling the active tail
+// segment and opening fresh segments as it fills. Only the tail's
+// index is ever touched.
 func (c *colState[V]) absorb(vals []V) {
-	c.vals = append(c.vals, vals...)
-	switch c.mode {
-	case Imprints:
-		if c.ix == nil {
-			c.ix = core.Build(c.vals, c.vpcOpts)
-		} else {
-			c.ix.Append(c.vals)
+	for len(vals) > 0 {
+		if len(c.segs) == 0 || len(c.segs[len(c.segs)-1].vals) == c.segRows {
+			c.segs = append(c.segs, &segment[V]{})
 		}
-	case Zonemap:
-		if c.zm == nil {
-			c.zm = zonemap.Build(c.vals, zonemap.Options{})
-		} else {
-			c.zm.Append(c.vals)
+		tail := c.segs[len(c.segs)-1]
+		room := c.segRows - len(tail.vals)
+		if room > len(vals) {
+			room = len(vals)
 		}
+		tail.extend(vals[:room], c.mode, c.vpcOpts)
+		vals = vals[room:]
 	}
 }
 
-func (c *colState[V]) rebuild() {
-	// Drop any previous index first: a compact down to zero rows must
-	// not leave a stale index referencing the old values (the next
-	// absorb would panic appending to it).
-	c.ix, c.zm = nil, nil
-	if len(c.vals) == 0 {
-		return
-	}
-	switch c.mode {
-	case Imprints:
-		c.ix = core.Build(c.vals, c.vpcOpts)
-	case Zonemap:
-		c.zm = zonemap.Build(c.vals, zonemap.Options{})
-	}
+func (c *colState[V]) valueAt(id int) any {
+	return c.segs[id/c.segRows].vals[id%c.segRows]
 }
 
-func (c *colState[V]) valueAt(id int) any { return c.vals[id] }
-
-func (c *colState[V]) needsRebuild(satLimit float64) bool {
-	return c.ix != nil && c.ix.NeedsRebuild(satLimit, 0, 0)
+// maintain applies the Section 4.2 saturation heuristic segment by
+// segment: only segments whose own imprint is saturated are rebuilt,
+// leaving the rest untouched.
+func (c *colState[V]) maintain(satLimit float64, rebuild bool) int {
+	n := 0
+	for _, s := range c.segs {
+		if s.ix != nil && s.ix.NeedsRebuild(satLimit, 0, 0) {
+			n++
+			if rebuild {
+				s.rebuild(c.mode, c.vpcOpts)
+			}
+		}
+	}
+	return n
 }
 
 func (c *colState[V]) compact(keep []int) {
 	out := make([]V, 0, len(keep))
 	for _, id := range keep {
-		out = append(out, c.vals[id])
+		out = append(out, c.segs[id/c.segRows].vals[id%c.segRows])
 	}
-	c.vals = out
-	c.rebuild()
+	c.segs = nil
+	c.absorb(out)
 }
 
 // ---- Updates and deletes (Section 4.2) ----
 
-// Update changes one value in place and widens the covering imprint so
-// queries stay sound (never a false negative). Repeated updates
-// saturate the index; Maintain rebuilds it when they do.
+// Update changes one value in place and widens the covering segment's
+// imprint and summary so queries stay sound (never a false negative).
+// Repeated updates saturate that segment's index; Maintain rebuilds it
+// — and only it — when they do.
 func Update[V coltype.Value](t *Table, name string, id int, v V) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -451,16 +586,12 @@ func Update[V coltype.Value](t *Table, name string, id int, v V) error {
 	if err != nil {
 		return err
 	}
-	if id < 0 || id >= len(cs.vals) {
+	if id < 0 || id >= cs.colRows() {
 		return fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
-	cs.vals[id] = v
-	if cs.ix != nil {
-		cs.ix.MarkUpdated(id, v)
-	}
-	if cs.zm != nil {
-		cs.zm.Widen(id, v)
-	}
+	seg, local := cs.segs[id/cs.segRows], id%cs.segRows
+	seg.vals[local] = v
+	seg.widen(local, v)
 	return nil
 }
 
@@ -490,7 +621,8 @@ func (t *Table) IsDeleted(id int) bool {
 }
 
 // Compact removes deleted rows, renumbering ids, and rebuilds all
-// indexes. It returns the number of rows removed.
+// segments (surviving rows are re-chunked, so all but the last segment
+// are full again). It returns the number of rows removed.
 func (t *Table) Compact() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -514,15 +646,18 @@ func (t *Table) compactLocked() int {
 	t.rows = len(keep)
 	t.deleted = nil
 	t.ndel = 0
-	t.gen++
 	return removed
 }
 
 // MaintenanceReport describes what one Maintain pass did.
 type MaintenanceReport struct {
-	// Rebuilt lists the columns whose saturated index was rebuilt,
-	// sorted by name.
+	// Rebuilt lists the columns with at least one saturated segment
+	// index rebuilt, sorted by name.
 	Rebuilt []string
+	// SegmentsRebuilt counts the segment indexes rebuilt across those
+	// columns (rebuilds are segment-local; unsaturated segments keep
+	// their index untouched).
+	SegmentsRebuilt int
 	// Compacted reports whether the deleted-row fraction crossed the
 	// threshold and the table was compacted (ids renumbered).
 	Compacted bool
@@ -534,7 +669,7 @@ type MaintenanceReport struct {
 func (r MaintenanceReport) String() string {
 	var parts []string
 	if len(r.Rebuilt) > 0 {
-		parts = append(parts, fmt.Sprintf("rebuilt %v", r.Rebuilt))
+		parts = append(parts, fmt.Sprintf("rebuilt %d segment(s) of %v", r.SegmentsRebuilt, r.Rebuilt))
 	}
 	if r.Compacted {
 		parts = append(parts, fmt.Sprintf("compacted (-%d rows)", r.RowsRemoved))
@@ -549,7 +684,7 @@ func (r MaintenanceReport) String() string {
 // the defaults: rebuild at 50% index saturation, never compact.
 type MaintainOptions struct {
 	// SaturationLimit is the update-saturation fraction past which a
-	// column's index is rebuilt (Section 4.2's heuristic). 0 means the
+	// segment's index is rebuilt (Section 4.2's heuristic). 0 means the
 	// default of 0.5; set above 1 to never rebuild.
 	SaturationLimit float64
 	// DeletedFraction is the deleted-row fraction past which the table
@@ -557,8 +692,9 @@ type MaintainOptions struct {
 	DeletedFraction float64
 }
 
-// Maintain applies the rebuild policy: any index saturated by updates
-// is rebuilt, and the table is compacted when the deleted-row fraction
+// Maintain applies the rebuild policy: any segment index saturated by
+// updates is rebuilt (segment-locally — the rest of the column is left
+// alone), and the table is compacted when the deleted-row fraction
 // crosses opts.DeletedFraction.
 func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
 	t.mu.Lock()
@@ -571,13 +707,10 @@ func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
 	compacting := delFrac > 0 && t.rows > 0 && float64(t.ndel)/float64(t.rows) >= delFrac
 	var rep MaintenanceReport
 	for _, name := range t.order {
-		c := t.cols[name]
-		if c.needsRebuild(satLimit) {
-			// Compaction rebuilds every index anyway; don't build twice.
-			if !compacting {
-				c.rebuild()
-			}
+		// Compaction rebuilds every segment anyway; don't build twice.
+		if n := t.cols[name].maintain(satLimit, !compacting); n > 0 {
 			rep.Rebuilt = append(rep.Rebuilt, name)
+			rep.SegmentsRebuilt += n
 		}
 	}
 	sort.Strings(rep.Rebuilt)
