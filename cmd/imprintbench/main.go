@@ -1,16 +1,19 @@
 // Command imprintbench regenerates the tables and figures of the column
 // imprints paper (SIGMOD 2013) over the synthetic dataset suite, plus
-// three table-layer experiments: queryplan drives the lazy Query API
+// four table-layer experiments: queryplan drives the lazy Query API
 // and reports the per-leaf EXPLAIN access paths (imprints probe vs
 // zonemap vs scan fallback) over a mixed numeric/string relation,
 // prepared measures the amortized prepare-once/execute-N serving loop
-// of Table.Prepare against ad-hoc plan-per-query execution, and
-// segments measures segmented storage — parallel segment fan-out at
-// several SelectOptions.Parallelism levels and min/max summary pruning.
+// of Table.Prepare against ad-hoc plan-per-query execution, segments
+// measures segmented storage — parallel segment fan-out at several
+// SelectOptions.Parallelism levels and min/max summary pruning — and
+// aggregate measures the segment-parallel aggregation pipeline: the
+// pushdown hit-rates of the summary-answered / run-wholesale / scanned
+// tiers plus grouped and top-k execution across a parallelism sweep.
 //
 // Usage:
 //
-//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared|segments[,...]]
+//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared|segments|aggregate[,...]]
 //	             [-scale 1.0] [-seed 42] [-queries 3] [-maxcols 0]
 //	             [-format text|csv] [-json] [-outdir DIR]
 //

@@ -91,6 +91,26 @@ func main() {
 		panic("result mismatch between evaluation strategies")
 	}
 	fmt.Println("\nall three strategies agree.")
+
+	// Box statistics in one segment-parallel pass — the aggregates fold
+	// inside the segment workers, replacing the hand-rolled loops the
+	// example used to need (count(*) and the lat extremes come without
+	// materializing a single id).
+	agg, _, err := tb.Select().Where(box).Aggregate(
+		table.CountAll(),
+		table.Min("lat"), table.Max("lat"),
+		table.Avg("lon"))
+	must(err)
+	fmt.Printf("\nbox stats: %s\n", agg)
+
+	// Top-k: the five northernmost points in the box via per-segment
+	// bounded heaps, streamed in rank order.
+	fmt.Printf("northernmost points:")
+	for id, row := range tb.Select("lat", "lon").Where(box).
+		OrderBy(table.Desc("lat")).Limit(5).Rows() {
+		fmt.Printf(" #%d(%.4f,%.4f)", id, row.Get("lat"), row.Get("lon"))
+	}
+	fmt.Println()
 }
 
 func must(err error) {

@@ -57,10 +57,35 @@ func main() {
 	plan, err := tb.Select("delay", "carrier").Where(pred).Explain()
 	must(err)
 	fmt.Printf("\n%s\n", plan)
-	ids, st, err := tb.Select().Where(pred).IDs()
+
+	// The aggregates run inside the segment workers: count, worst and
+	// mean delay in one pass, no ids materialized.
+	agg, st, err := tb.Select().Where(pred).Aggregate(
+		table.CountAll(), table.Max("delay"), table.Avg("delay"))
 	must(err)
-	fmt.Printf("delay >= 180min on KL: %d flights, %d cachelines skipped\n\n",
-		len(ids), st.CachelinesSkipped)
+	fmt.Printf("delay >= 180min on KL: %d flights, worst %dmin, mean %.0fmin (%d cachelines skipped)\n",
+		agg.Int(0), agg.Int(1), agg.Float(2), st.CachelinesSkipped)
+
+	// Grouped: the same heavy-delay band broken down per carrier, keyed
+	// on the dictionary-encoded string column (per-segment codes are
+	// remapped to carrier names at merge).
+	grp, _, err := tb.Select().Where(table.AtLeast[int16]("delay", 180)).
+		GroupBy("carrier").Aggregate(table.CountAll(), table.Avg("delay"))
+	must(err)
+	fmt.Printf("heavy delays per carrier:")
+	for _, g := range grp.Groups {
+		fmt.Printf(" %s=%d(%.0fmin)", g.Key, g.Rows, g.Aggs[1].Float)
+	}
+	fmt.Println()
+
+	// Top-k: the three worst delays overall, via per-segment bounded
+	// heaps — no full sort, no full materialization.
+	fmt.Printf("worst delays:")
+	for id, row := range tb.Select("delay", "carrier").OrderBy(table.Desc("delay")).Limit(3).Rows() {
+		fmt.Printf(" #%d %vmin on %v", id, row.Get("delay"), row.Get("carrier"))
+	}
+	fmt.Println()
+	fmt.Println()
 
 	// In-place corrections (Section 4.2): each covering segment imprint
 	// absorbs updates by widening vectors — at the cost of saturation.

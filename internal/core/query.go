@@ -21,6 +21,16 @@ type QueryStats struct {
 	// evaluator reused (capacity recycled from an earlier query) instead
 	// of growing a fresh one.
 	ScratchReused uint64
+	// SummaryAggRows counts per-aggregate row contributions answered
+	// straight from a segment summary or the deleted-bitmap popcount —
+	// the value slab was never touched. Counted once per (aggregate,
+	// row), so three summary-answered aggregates over a 100-row segment
+	// add 300.
+	SummaryAggRows uint64
+	// WholesaleAggRows counts per-aggregate row contributions folded
+	// wholesale out of exact candidate runs: a tight loop over the value
+	// slab with no residual predicate check and no deleted-bitmap test.
+	WholesaleAggRows uint64
 }
 
 // Add accumulates o into s.
@@ -32,6 +42,8 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.CachelinesSkipped += o.CachelinesSkipped
 	s.FastCountedRows += o.FastCountedRows
 	s.ScratchReused += o.ScratchReused
+	s.SummaryAggRows += o.SummaryAggRows
+	s.WholesaleAggRows += o.WholesaleAggRows
 }
 
 // pred is a range predicate with optional unbounded and inclusive ends.

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/core"
+	tbl "repro/table"
+)
+
+// AggregateExp measures the segment-parallel aggregation pipeline: the
+// same multi-segment table as the segments experiment, aggregated at
+// increasing SelectOptions.Parallelism, with the pushdown hit-rates of
+// each tier reported per workload:
+//
+//   - "agg all rows": no predicate — Min/Max/count(*) answer straight
+//     from segment summaries (summary%), Sum folds exact runs
+//     wholesale (wholesale%); nothing is scanned.
+//   - "agg price band": an unclustered ~25%-selective range — inexact
+//     candidate runs force the row-by-row scan tier.
+//   - "agg qty band (pruned)": a narrow band over a clustered walk —
+//     per-segment summaries prune most segments before any probe.
+//   - "group city" / "topk price": grouped aggregation over the
+//     dictionary-encoded city column and a bounded top-k by price.
+//
+// summary%/wholesale%/scanned% are fractions of per-aggregate row
+// contributions (QueryStats.SummaryAggRows and friends) over rows ×
+// aggregates. Results are identical across parallelism levels by
+// construction; the harness asserts it.
+func AggregateExp(cfg Config) *Experiment {
+	n := int(600_000 * cfg.Scale)
+	if n < 200_000 {
+		n = 200_000
+	}
+	execs := 30
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xa66))
+	qty := make([]int64, n)
+	price := make([]float64, n)
+	city := make([]string, n)
+	cities := []string{"Amsterdam", "Berlin", "Cairo", "Delft", "Essen", "Faro", "Ghent", "Haarlem"}
+	v := int64(100_000)
+	for i := 0; i < n; i++ {
+		v += int64(rng.IntN(21)) - 10
+		qty[i] = v
+		price[i] = rng.Float64() * 1000
+		city[i] = cities[(i/512+rng.IntN(2))%len(cities)]
+	}
+	t := tbl.New("aggorders")
+	must(tbl.AddColumn(t, "qty", qty, tbl.Imprints, core.Options{Seed: cfg.Seed}))
+	must(tbl.AddColumn(t, "price", price, tbl.Imprints, core.Options{Seed: cfg.Seed + 1}))
+	must(t.AddStringColumn("city", city, tbl.Imprints, core.Options{Seed: cfg.Seed + 2}))
+
+	specs := []tbl.AggSpec{tbl.Sum("price"), tbl.Min("qty"), tbl.Max("qty"), tbl.CountAll()}
+	type workload struct {
+		name string
+		pred tbl.Predicate
+		kind string // "agg", "group", "topk"
+	}
+	workloads := []workload{
+		{"agg all rows", nil, "agg"},
+		{"agg price band", tbl.Range[float64]("price", 250, 500), "agg"},
+		{"agg qty band (pruned)", tbl.Range[int64]("qty", v-400, v-100), "agg"},
+		{"group city", nil, "group"},
+		{"topk price k=10", tbl.Range[float64]("price", 250, 500), "topk"},
+	}
+
+	header := []string{"workload", "segments", "parallelism", "execs",
+		"total", "ms/exec", "speedup", "rows", "summary%", "wholesale%", "scanned%"}
+	var rows [][]string
+	for _, w := range workloads {
+		var base time.Duration
+		for _, par := range []int{1, 2, 4, 8} {
+			opts := tbl.SelectOptions{Parallelism: par}
+			var matched uint64
+			var st core.QueryStats
+			start := time.Now()
+			for e := 0; e < execs; e++ {
+				q := t.Select().Where(w.pred).Options(opts)
+				switch w.kind {
+				case "agg":
+					res, s, err := q.Aggregate(specs...)
+					must(err)
+					matched, st = res.Rows, s
+				case "group":
+					res, s, err := q.GroupBy("city").Aggregate(specs...)
+					must(err)
+					matched, st = uint64(len(res.Groups)), s
+				case "topk":
+					ids, s, err := q.OrderBy(tbl.Desc("price")).Limit(10).IDs()
+					must(err)
+					matched, st = uint64(len(ids)), s
+				}
+			}
+			elapsed := time.Since(start)
+			if par == 1 {
+				base = elapsed
+			}
+			// Tier fractions over the per-aggregate contributions of the
+			// qualifying rows (segments pruned outright contribute
+			// nothing to any tier).
+			sumPct, wholePct, scanPct := 0.0, 0.0, 0.0
+			if w.kind == "agg" && matched > 0 {
+				denom := float64(matched * uint64(len(specs)))
+				sumPct = 100 * float64(st.SummaryAggRows) / denom
+				wholePct = 100 * float64(st.WholesaleAggRows) / denom
+				scanPct = 100 - sumPct - wholePct
+			}
+			rows = append(rows, []string{
+				w.name,
+				d(t.Segments()), d(par), d(execs),
+				elapsed.Round(time.Millisecond).String(),
+				f2(float64(elapsed.Microseconds()) / float64(execs) / 1000),
+				f2(float64(base.Nanoseconds()) / float64(elapsed.Nanoseconds())),
+				d(int(matched)),
+				f1(sumPct),
+				f1(wholePct),
+				f1(scanPct),
+			})
+		}
+		assertAggDeterminism(t, w.pred, w.kind, specs)
+	}
+	return tabular("aggregate",
+		"Segment-parallel aggregation: pushdown tiers and parallelism sweep",
+		header, rows)
+}
+
+// assertAggDeterminism cross-checks that parallelism 1 and 8 produce
+// identical results for one workload.
+func assertAggDeterminism(t *tbl.Table, pred tbl.Predicate, kind string, specs []tbl.AggSpec) {
+	o1 := tbl.SelectOptions{Parallelism: 1}
+	o8 := tbl.SelectOptions{Parallelism: 8}
+	switch kind {
+	case "agg":
+		a, _, err := t.Select().Where(pred).Options(o1).Aggregate(specs...)
+		must(err)
+		b, _, err := t.Select().Where(pred).Options(o8).Aggregate(specs...)
+		must(err)
+		if a.String() != b.String() {
+			panic(fmt.Sprintf("aggregate experiment: parallelism changed aggregates (%s vs %s)", a, b))
+		}
+	case "group":
+		a, _, err := t.Select().Where(pred).Options(o1).GroupBy("city").Aggregate(specs...)
+		must(err)
+		b, _, err := t.Select().Where(pred).Options(o8).GroupBy("city").Aggregate(specs...)
+		must(err)
+		if fmt.Sprint(a.Groups) != fmt.Sprint(b.Groups) {
+			panic("aggregate experiment: parallelism changed groups")
+		}
+	case "topk":
+		a, _, err := t.Select().Where(pred).Options(o1).OrderBy(tbl.Desc("price")).Limit(10).IDs()
+		must(err)
+		b, _, err := t.Select().Where(pred).Options(o8).OrderBy(tbl.Desc("price")).Limit(10).IDs()
+		must(err)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			panic("aggregate experiment: parallelism changed top-k")
+		}
+	}
+}

@@ -24,7 +24,7 @@ type Experiment struct {
 
 // IDs lists all experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments"}
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate"}
 }
 
 // Run executes one experiment by id.
@@ -56,6 +56,8 @@ func Run(id string, cfg Config) (*Experiment, error) {
 		return PreparedExp(cfg), nil
 	case "segments":
 		return SegmentsExp(cfg), nil
+	case "aggregate":
+		return AggregateExp(cfg), nil
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (want one of %s)", id, strings.Join(IDs(), ", "))
 }
@@ -79,6 +81,7 @@ func RunAll(cfg Config) []*Experiment {
 		QueryPlan(cfg),
 		PreparedExp(cfg),
 		SegmentsExp(cfg),
+		AggregateExp(cfg),
 	}
 }
 

@@ -1,0 +1,749 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coltype"
+	"repro/internal/core"
+)
+
+// Aggregation executes inside the same per-segment workers as every
+// other query: each segment folds its qualifying rows into one partial
+// accumulator per aggregate, and the consumer merges the partials in
+// segment order, so results are byte-identical at every parallelism
+// level (float sums included — the merge order never changes).
+//
+// Per segment, each aggregate is answered at the cheapest tier the
+// evaluation allows:
+//
+//   - summary-answered: a segment whose candidate runs are all exact
+//     and cover every row, with no pending deletes, answers Min/Max
+//     straight from its min/max summary (unless in-place updates have
+//     widened it) and CountAll from the row count — the value slab is
+//     never touched. Reported in QueryStats.SummaryAggRows.
+//   - run-wholesale: exact, delete-free candidate runs fold their value
+//     span in one tight loop with no residual predicate check.
+//     Reported in QueryStats.WholesaleAggRows.
+//   - scanned: everything else walks row by row, applying the deleted
+//     bitmap and the residual check like any other executor.
+
+// aggOp is one aggregate operator.
+type aggOp int
+
+const (
+	aggSum aggOp = iota
+	aggMin
+	aggMax
+	aggAvg
+	aggCount
+)
+
+func (op aggOp) String() string {
+	switch op {
+	case aggSum:
+		return "sum"
+	case aggMin:
+		return "min"
+	case aggMax:
+		return "max"
+	case aggAvg:
+		return "avg"
+	case aggCount:
+		return "count"
+	}
+	return "?"
+}
+
+// AggSpec names one aggregate of a Query.Aggregate (or GroupBy)
+// execution, built with Sum, Min, Max, Avg and CountAll.
+type AggSpec struct {
+	op  aggOp
+	col string
+}
+
+// Sum totals a numeric column over the qualifying rows. Integer
+// columns accumulate exactly in int64 (uint64 values beyond 2^63 wrap);
+// float columns accumulate in float64.
+func Sum(col string) AggSpec { return AggSpec{op: aggSum, col: col} }
+
+// Min returns the smallest qualifying value of a numeric or string
+// column.
+func Min(col string) AggSpec { return AggSpec{op: aggMin, col: col} }
+
+// Max returns the largest qualifying value of a numeric or string
+// column.
+func Max(col string) AggSpec { return AggSpec{op: aggMax, col: col} }
+
+// Avg returns the mean of a numeric column over the qualifying rows,
+// as a float64.
+func Avg(col string) AggSpec { return AggSpec{op: aggAvg, col: col} }
+
+// CountAll counts the qualifying rows.
+func CountAll() AggSpec { return AggSpec{op: aggCount} }
+
+// String renders the spec, e.g. "sum(price)" or "count(*)".
+func (a AggSpec) String() string {
+	if a.op == aggCount {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.op, a.col)
+}
+
+// AggValue is one aggregate's typed result.
+type AggValue struct {
+	// Op is the operator name: "sum", "min", "max", "avg", "count".
+	Op string
+	// Column is the aggregated column; empty for count(*).
+	Column string
+	// Valid reports whether the value is defined: false when no row
+	// qualified (min/max/avg are undefined over zero rows, and sum
+	// follows the same convention; count is always valid).
+	Valid bool
+	// Float carries every numeric result as float64 (for integer
+	// sums/minima/maxima it is the float64 conversion of Int).
+	Float float64
+	// Int carries the exact integer result when IsInt: integer-column
+	// sum/min/max and count. uint64 values beyond 2^63 wrap.
+	Int   int64
+	IsInt bool
+	// Str carries min/max over a string column when IsStr.
+	Str   string
+	IsStr bool
+}
+
+// String renders the value for logs, e.g. "sum(qty)=180".
+func (v AggValue) String() string {
+	name := v.Op + "(*)"
+	if v.Column != "" {
+		name = fmt.Sprintf("%s(%s)", v.Op, v.Column)
+	}
+	switch {
+	case !v.Valid:
+		return name + "=∅"
+	case v.IsStr:
+		return fmt.Sprintf("%s=%q", name, v.Str)
+	case v.IsInt:
+		return fmt.Sprintf("%s=%d", name, v.Int)
+	}
+	return fmt.Sprintf("%s=%v", name, v.Float)
+}
+
+// AggResult is the result set of one Query.Aggregate execution: one
+// AggValue per requested spec, in request order.
+type AggResult struct {
+	// Rows is the number of qualifying rows the aggregates cover.
+	Rows uint64
+	vals []AggValue
+}
+
+// Len returns the number of aggregates.
+func (r *AggResult) Len() int { return len(r.vals) }
+
+// At returns the i-th aggregate's value, in request order.
+func (r *AggResult) At(i int) AggValue { return r.vals[i] }
+
+// Values returns all aggregate values in request order (a copy, safe to
+// keep).
+func (r *AggResult) Values() []AggValue { return append([]AggValue(nil), r.vals...) }
+
+// Float returns the i-th aggregate as float64 (0 when invalid).
+func (r *AggResult) Float(i int) float64 { return r.vals[i].Float }
+
+// Int returns the i-th aggregate as int64 (0 when invalid or not
+// integer-typed).
+func (r *AggResult) Int(i int) int64 { return r.vals[i].Int }
+
+// String renders every aggregate for logs.
+func (r *AggResult) String() string {
+	parts := make([]string, len(r.vals))
+	for i, v := range r.vals {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// ---- partial accumulators ----
+
+// partKind tags the value representation an aggPartial carries.
+type partKind uint8
+
+const (
+	partNone partKind = iota // no value (zero rows, or count-only)
+	partInt
+	partFloat
+	partStr
+)
+
+// aggPartial is one aggregate's partial result over one segment,
+// merged commutatively by the consumer in segment order.
+type aggPartial struct {
+	rows uint64
+	kind partKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// mergeInto folds partial b into a under op. Only the value merge is
+// op-dependent; rows always add.
+func (a *aggPartial) mergeInto(op aggOp, b aggPartial) {
+	a.rows += b.rows
+	if b.kind == partNone {
+		return
+	}
+	if a.kind == partNone {
+		a.kind, a.i, a.f, a.s = b.kind, b.i, b.f, b.s
+		return
+	}
+	switch op {
+	case aggSum, aggAvg:
+		a.i += b.i
+		a.f += b.f
+	case aggMin:
+		switch a.kind {
+		case partInt:
+			a.i = min(a.i, b.i)
+		case partFloat:
+			a.f = min(a.f, b.f)
+		case partStr:
+			a.s = min(a.s, b.s)
+		}
+	case aggMax:
+		switch a.kind {
+		case partInt:
+			a.i = max(a.i, b.i)
+		case partFloat:
+			a.f = max(a.f, b.f)
+		case partStr:
+			a.s = max(a.s, b.s)
+		}
+	}
+}
+
+// value renders a merged partial as the spec's final AggValue.
+func (p aggPartial) value(spec AggSpec) AggValue {
+	v := AggValue{Op: spec.op.String(), Column: spec.col}
+	if spec.op == aggCount {
+		v.Valid, v.IsInt = true, true
+		v.Int = int64(p.rows)
+		v.Float = float64(p.rows)
+		return v
+	}
+	if p.rows == 0 {
+		return v
+	}
+	v.Valid = true
+	if spec.op == aggAvg {
+		sum := p.f
+		if p.kind == partInt {
+			sum = float64(p.i)
+		}
+		v.Float = sum / float64(p.rows)
+		return v
+	}
+	switch p.kind {
+	case partInt:
+		v.IsInt = true
+		v.Int = p.i
+		v.Float = float64(p.i)
+	case partFloat:
+		v.Float = p.f
+	case partStr:
+		v.IsStr = true
+		v.Str = p.s
+	}
+	return v
+}
+
+// segAgg folds the qualifying rows of one segment into a partial: rows
+// one at a time (addRow) or whole live spans of exact candidate runs
+// (addSpan). Implementations are typed per column; one segAgg serves
+// one (aggregate, segment) pair of one execution.
+type segAgg interface {
+	addRow(local uint32)
+	addSpan(from, to int) // segment-local, every row live and qualifying
+	partial() aggPartial
+}
+
+// ---- numeric columns ----
+
+// isIntType reports whether V is an integer type (float columns
+// accumulate in float64 instead).
+func isIntType[V coltype.Value]() bool {
+	var zero V
+	switch any(zero).(type) {
+	case float32, float64:
+		return false
+	}
+	return true
+}
+
+func (c *colState[V]) aggCheck(op aggOp) error { return nil }
+
+// aggSummary answers op over all live rows of segment s purely from the
+// segment summary. Only Min/Max are summary-answerable, and only while
+// the summary is exact (no in-place update widened it). The caller
+// guarantees full coverage and a delete-free segment, and fills in the
+// row count.
+func (c *colState[V]) aggSummary(op aggOp, s int) (aggPartial, bool) {
+	seg := c.segs[s]
+	if seg.sumWide || len(seg.vals) == 0 {
+		return aggPartial{}, false
+	}
+	var v V
+	switch op {
+	case aggMin:
+		v = seg.min
+	case aggMax:
+		v = seg.max
+	default:
+		return aggPartial{}, false
+	}
+	if isIntType[V]() {
+		return aggPartial{kind: partInt, i: int64(v), f: float64(v)}, true
+	}
+	return aggPartial{kind: partFloat, f: float64(v)}, true
+}
+
+func (c *colState[V]) aggAcc(op aggOp, s int) segAgg {
+	return &numSegAgg[V]{op: op, vals: c.segs[s].vals, isInt: isIntType[V]()}
+}
+
+// numSegAgg is the typed per-segment accumulator of a numeric column.
+type numSegAgg[V coltype.Value] struct {
+	op    aggOp
+	vals  []V
+	isInt bool
+	rows  uint64
+	any   bool
+	m     V // min/max accumulator
+	isum  int64
+	fsum  float64
+}
+
+func (a *numSegAgg[V]) addRow(local uint32) {
+	v := a.vals[local]
+	switch a.op {
+	case aggSum, aggAvg:
+		if a.isInt {
+			a.isum += int64(v)
+		} else {
+			a.fsum += float64(v)
+		}
+	case aggMin:
+		if !a.any || v < a.m {
+			a.m = v
+		}
+	case aggMax:
+		if !a.any || v > a.m {
+			a.m = v
+		}
+	}
+	a.any = true
+	a.rows++
+}
+
+func (a *numSegAgg[V]) addSpan(from, to int) {
+	vals := a.vals[from:to]
+	if len(vals) == 0 {
+		return
+	}
+	switch a.op {
+	case aggSum, aggAvg:
+		if a.isInt {
+			var s int64
+			for _, v := range vals {
+				s += int64(v)
+			}
+			a.isum += s
+		} else {
+			var s float64
+			for _, v := range vals {
+				s += float64(v)
+			}
+			a.fsum += s
+		}
+	case aggMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		if !a.any || m < a.m {
+			a.m = m
+		}
+	case aggMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		if !a.any || m > a.m {
+			a.m = m
+		}
+	}
+	a.any = true
+	a.rows += uint64(len(vals))
+}
+
+func (a *numSegAgg[V]) partial() aggPartial {
+	p := aggPartial{rows: a.rows}
+	if a.rows == 0 {
+		return p
+	}
+	switch a.op {
+	case aggSum, aggAvg:
+		if a.isInt {
+			p.kind, p.i, p.f = partInt, a.isum, float64(a.isum)
+		} else {
+			p.kind, p.f = partFloat, a.fsum
+		}
+	case aggMin, aggMax:
+		if a.isInt {
+			p.kind, p.i, p.f = partInt, int64(a.m), float64(a.m)
+		} else {
+			p.kind, p.f = partFloat, float64(a.m)
+		}
+	}
+	return p
+}
+
+// ---- string columns ----
+
+func (c *strColState) aggCheck(op aggOp) error {
+	if op == aggSum || op == aggAvg {
+		return fmt.Errorf("column %q is string: %s needs a numeric column", c.name, op)
+	}
+	return nil
+}
+
+// aggSummary: a string segment's dictionary can hold symbols no live
+// row carries anymore (updates reuse codes, deletes keep theirs), so
+// min/max always fold over the code slab — never summary-answered.
+func (c *strColState) aggSummary(op aggOp, s int) (aggPartial, bool) {
+	return aggPartial{}, false
+}
+
+func (c *strColState) aggAcc(op aggOp, s int) segAgg {
+	seg := c.segs[s]
+	return &strSegAgg{op: op, seg: seg, codes: seg.codes()}
+}
+
+// strSegAgg folds min/max over a string segment's codes (code order is
+// string order within a segment) and decodes the winner once.
+type strSegAgg struct {
+	op    aggOp
+	seg   *strSegment
+	codes []int32
+	rows  uint64
+	any   bool
+	m     int32
+}
+
+func (a *strSegAgg) addRow(local uint32) {
+	c := a.codes[local]
+	if !a.any || (a.op == aggMin && c < a.m) || (a.op == aggMax && c > a.m) {
+		a.m = c
+	}
+	a.any = true
+	a.rows++
+}
+
+func (a *strSegAgg) addSpan(from, to int) {
+	codes := a.codes[from:to]
+	if len(codes) == 0 {
+		return
+	}
+	m := codes[0]
+	if a.op == aggMin {
+		for _, c := range codes[1:] {
+			if c < m {
+				m = c
+			}
+		}
+		if !a.any || m < a.m {
+			a.m = m
+		}
+	} else {
+		for _, c := range codes[1:] {
+			if c > m {
+				m = c
+			}
+		}
+		if !a.any || m > a.m {
+			a.m = m
+		}
+	}
+	a.any = true
+	a.rows += uint64(len(codes))
+}
+
+func (a *strSegAgg) partial() aggPartial {
+	p := aggPartial{rows: a.rows}
+	if a.rows == 0 {
+		return p
+	}
+	p.kind, p.s = partStr, a.seg.dict.Symbol(a.m)
+	return p
+}
+
+// ---- execution ----
+
+// aggBind is one resolved spec: its column (nil for count(*)).
+type aggBind struct {
+	spec AggSpec
+	col  anyColumn
+}
+
+// resolveAggs validates the requested specs against the table; callers
+// hold the read lock.
+func (t *Table) resolveAggs(specs []AggSpec) ([]aggBind, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("table %s: Aggregate needs at least one aggregate (Sum, Min, Max, Avg, CountAll)", t.name)
+	}
+	binds := make([]aggBind, len(specs))
+	for i, spec := range specs {
+		binds[i] = aggBind{spec: spec}
+		if spec.op == aggCount {
+			if spec.col != "" {
+				return nil, fmt.Errorf("table %s: count(*) takes no column", t.name)
+			}
+			continue
+		}
+		c, ok := t.cols[spec.col]
+		if !ok {
+			return nil, fmt.Errorf("table %s: no column %q", t.name, spec.col)
+		}
+		if err := c.aggCheck(spec.op); err != nil {
+			return nil, fmt.Errorf("table %s: %w", t.name, err)
+		}
+		binds[i].col = c
+	}
+	return binds, nil
+}
+
+// runCoverage summarizes one segment's composed run list: whether the
+// runs cover every block of the segment and whether all of them are
+// exact (runs are disjoint and ascending by construction).
+func runCoverage(runs []core.CandidateRun, blocks int) (full, allExact bool) {
+	covered := 0
+	allExact = true
+	for _, r := range runs {
+		covered += int(r.Count)
+		if !r.Exact {
+			allExact = false
+		}
+	}
+	return covered == blocks, allExact
+}
+
+// aggSummaryEligible reports whether segment s can be aggregated
+// without visiting rows one by one: every candidate run exact and
+// covering the whole segment, with no pending deletes. Callers hold
+// the read lock.
+func (t *Table) aggSummaryEligible(s int, runs []core.CandidateRun) bool {
+	n := t.segLen(s)
+	full, allExact := runCoverage(runs, (n+BlockRows-1)/BlockRows)
+	return full && allExact && t.deletedInSpan(s*t.segRows, s*t.segRows+n) == 0
+}
+
+// aggWalk drives one segment's qualifying rows through an aggregate
+// fold: exact, delete-free runs are offered wholesale to visitSpan
+// (segment-local bounds, every row live and qualifying); all other rows
+// go one at a time to visit, after the deleted bitmap and the residual
+// check. Callers hold the read lock.
+func (t *Table) aggWalk(s int, ev evaluated, st *core.QueryStats, visitSpan func(from, to int), visit func(local uint32)) {
+	base := s * t.segRows
+	t.walkRuns(s, ev, st,
+		func(from, to int, exact bool) spanAction {
+			if exact && visitSpan != nil && t.deletedInSpan(from, to) == 0 {
+				visitSpan(from-base, to-base)
+				return spanDone
+			}
+			return spanPerRow
+		},
+		func(id int) bool {
+			visit(uint32(id - base))
+			return true
+		})
+}
+
+// aggSegment is the per-segment aggregate worker: evaluate the
+// predicate, then fold each aggregate at the cheapest tier (summary /
+// wholesale / scanned) the coverage allows.
+func (q *Query) aggSegment(en *execNode, s int, binds []aggBind) segOut {
+	var o segOut
+	t := q.t
+	ev := t.evalSegment(en, s, q.opts, &o.st, false)
+	o.aggs = make([]aggPartial, len(binds))
+	n := t.segLen(s)
+	if t.aggSummaryEligible(s, ev.runs) {
+		o.count = uint64(n)
+		for i, b := range binds {
+			if b.col == nil { // count(*): the row count, no slab touched
+				o.aggs[i] = aggPartial{rows: uint64(n)}
+				o.st.SummaryAggRows += uint64(n)
+				continue
+			}
+			if p, ok := b.col.aggSummary(b.spec.op, s); ok {
+				p.rows = uint64(n)
+				o.aggs[i] = p
+				o.st.SummaryAggRows += uint64(n)
+				continue
+			}
+			acc := b.col.aggAcc(b.spec.op, s)
+			acc.addSpan(0, n)
+			o.aggs[i] = acc.partial()
+			o.st.WholesaleAggRows += uint64(n)
+		}
+		return o
+	}
+	accs := make([]segAgg, len(binds))
+	for i, b := range binds {
+		if b.col != nil {
+			accs[i] = b.col.aggAcc(b.spec.op, s)
+		}
+	}
+	t.aggWalk(s, ev, &o.st,
+		func(from, to int) {
+			span := uint64(to - from)
+			o.count += span
+			for _, acc := range accs {
+				if acc == nil {
+					// count(*) tallies the span wholesale, values untouched.
+					o.st.SummaryAggRows += span
+					continue
+				}
+				acc.addSpan(from, to)
+				o.st.WholesaleAggRows += span
+			}
+		},
+		func(local uint32) {
+			o.count++
+			for _, acc := range accs {
+				if acc != nil {
+					acc.addRow(local)
+				}
+			}
+		})
+	for i, acc := range accs {
+		if acc != nil {
+			o.aggs[i] = acc.partial()
+		} else {
+			o.aggs[i] = aggPartial{rows: o.count}
+		}
+	}
+	return o
+}
+
+// Aggregate executes the query as a set of aggregates over the
+// qualifying rows, computed inside the per-segment workers and merged
+// in segment order — results are identical at every parallelism level.
+// Fully-selected segments push down: Min/Max answer from the segment
+// min/max summary and count(*) from the row count without touching the
+// value slab (QueryStats.SummaryAggRows), and exact candidate runs
+// fold their spans wholesale with no residual check
+// (QueryStats.WholesaleAggRows). Works on ad-hoc queries and prepared
+// executions alike (bind parameters first).
+//
+// A query with Limit aggregates only the first Limit qualifying rows
+// in ascending id order; that path folds row by row (no pushdown).
+// OrderBy does not apply to aggregates and is rejected.
+func (q *Query) Aggregate(specs ...AggSpec) (*AggResult, core.QueryStats, error) {
+	q.t.mu.RLock()
+	defer q.t.mu.RUnlock()
+	var st core.QueryStats
+	if q.order != nil {
+		return nil, st, fmt.Errorf("table %s: OrderBy does not apply to Aggregate (aggregates are order-independent)", q.t.name)
+	}
+	binds, err := q.t.resolveAggs(specs)
+	if err != nil {
+		return nil, st, err
+	}
+	if err := q.checkProjection(); err != nil {
+		return nil, st, err
+	}
+	res := &AggResult{vals: make([]AggValue, len(binds))}
+	merged := make([]aggPartial, len(binds))
+	finish := func() *AggResult {
+		for i, b := range binds {
+			res.vals[i] = merged[i].value(b.spec)
+		}
+		return res
+	}
+	if q.limited && q.limit == 0 {
+		return finish(), st, nil
+	}
+	en, err := q.bind()
+	if err != nil {
+		return nil, st, err
+	}
+	if q.limited {
+		return q.limitedAggregate(en, binds, merged, finish, &st)
+	}
+	nsegs := q.t.segCount()
+	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+		func(s int) segOut { return q.aggSegment(en, s, binds) },
+		func(s int, o segOut) bool {
+			st.Add(o.st)
+			res.Rows += o.count
+			for i := range merged {
+				merged[i].mergeInto(binds[i].spec.op, o.aggs[i])
+			}
+			return true
+		})
+	return finish(), st, nil
+}
+
+// limitedAggregate folds the first q.limit qualifying rows in id
+// order: segment workers materialize capped id lists (the IDs
+// machinery) and the consumer folds them row by row, so the cap is
+// applied deterministically across segments.
+func (q *Query) limitedAggregate(en *execNode, binds []aggBind, merged []aggPartial, finish func() *AggResult, st *core.QueryStats) (*AggResult, core.QueryStats, error) {
+	taken := 0
+	var rows uint64
+	nsegs := q.t.segCount()
+	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+		func(s int) segOut { return q.collectIDs(en, s) },
+		func(s int, o segOut) bool {
+			st.Add(o.st)
+			ids := *o.ids
+			defer putIDScratch(o.ids)
+			take := len(ids)
+			if q.limit-taken < take {
+				take = q.limit - taken
+			}
+			if take > 0 {
+				base := s * q.t.segRows
+				accs := make([]segAgg, len(binds))
+				for i, b := range binds {
+					if b.col != nil {
+						accs[i] = b.col.aggAcc(b.spec.op, s)
+					}
+				}
+				for _, id := range ids[:take] {
+					for _, acc := range accs {
+						if acc != nil {
+							acc.addRow(id - uint32(base))
+						}
+					}
+				}
+				for i, acc := range accs {
+					if acc != nil {
+						merged[i].mergeInto(binds[i].spec.op, acc.partial())
+					} else {
+						merged[i].mergeInto(binds[i].spec.op, aggPartial{rows: uint64(take)})
+					}
+				}
+				taken += take
+				rows += uint64(take)
+			}
+			return taken < q.limit
+		})
+	res := finish()
+	res.Rows = rows
+	return res, *st, nil
+}

@@ -34,6 +34,32 @@ type Plan struct {
 	// wholesale from the exact candidate runs (span minus a deleted-
 	// bitmap popcount) — the count fast path's coverage.
 	FastCountRows uint64
+	// OrderBy names the ordering an OrderBy query would apply (e.g.
+	// "price desc"); empty without one.
+	OrderBy string
+	// Aggregates lists the aggregate specs an ExplainAggregate
+	// described (e.g. "sum(price)"); empty for plain Explain.
+	Aggregates []string
+	// AggSegments is the per-segment aggregate pushdown breakdown of an
+	// ExplainAggregate: which tier each segment's aggregates resolve to.
+	AggSegments []AggSegmentPlan
+}
+
+// AggSegmentPlan is one segment's aggregate pushdown decision.
+type AggSegmentPlan struct {
+	Segment int
+	Rows    int // rows of the segment
+	// Tier is the segment's worst row source: "summary" (every
+	// aggregate answered from summaries / the row count — value slabs
+	// never touched), "wholesale" (exact runs folded span-wise, no
+	// residual checks), "scanned" (row-by-row residual evaluation), or
+	// "pruned" (no candidate rows).
+	Tier string
+	// SummaryRows / WholesaleRows / ScannedRows count per-aggregate row
+	// contributions by tier (as QueryStats.SummaryAggRows and friends).
+	SummaryRows   uint64
+	WholesaleRows uint64
+	ScannedRows   uint64
 }
 
 // PlanNode is one node of the plan tree, mirroring the predicate tree.
@@ -106,6 +132,32 @@ func opNode(op string, runs []core.CandidateRun, kids []*PlanNode) *PlanNode {
 func (q *Query) Explain() (*Plan, error) {
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
+	return q.explainLocked(nil)
+}
+
+// ExplainAggregate builds the plan of an Aggregate execution of the
+// query: the predicate plan of Explain plus the per-segment aggregate
+// pushdown decisions — which segments answer purely from summaries,
+// which fold exact runs wholesale, and which fall back to a row-by-row
+// scan (see AggSegmentPlan). Like Explain, no value is aggregated.
+// Queries ExplainAggregate cannot describe faithfully are rejected
+// like Aggregate rejects them (OrderBy); a Limit-ed aggregation folds
+// its first rows one by one through the id path, so its plan carries
+// the limit but no pushdown tier lines.
+func (q *Query) ExplainAggregate(specs ...AggSpec) (*Plan, error) {
+	q.t.mu.RLock()
+	defer q.t.mu.RUnlock()
+	if q.order != nil {
+		return nil, fmt.Errorf("table %s: OrderBy does not apply to Aggregate (aggregates are order-independent)", q.t.name)
+	}
+	binds, err := q.t.resolveAggs(specs)
+	if err != nil {
+		return nil, err
+	}
+	return q.explainLocked(binds)
+}
+
+func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 	names, _, err := q.projection()
 	if err != nil {
 		return nil, err
@@ -118,6 +170,7 @@ func (q *Query) Explain() (*Plan, error) {
 	nsegs := q.t.segCount()
 	par := resolveParallelism(q.opts, nsegs)
 	segPlans := make([]*PlanNode, nsegs)
+	aggSegs := make([]AggSegmentPlan, nsegs)
 	var fast uint64
 	pruned := 0
 	q.t.forEachSegment(nsegs, par,
@@ -126,6 +179,9 @@ func (q *Query) Explain() (*Plan, error) {
 			ev := q.t.evalSegment(en, s, q.opts, &o.st, true)
 			o.plan = ev.plan
 			o.fast = q.t.fastCountSegment(s, ev.runs)
+			if binds != nil && !q.limited {
+				aggSegs[s] = q.t.aggSegmentPlan(s, ev, binds)
+			}
 			return o
 		},
 		func(s int, o segOut) bool {
@@ -142,7 +198,7 @@ func (q *Query) Explain() (*Plan, error) {
 		lim = q.limit
 	}
 	root := q.t.aggregatePlans(segPlans)
-	return &Plan{
+	p := &Plan{
 		Table:          q.t.name,
 		Columns:        append([]string(nil), names...),
 		Limit:          lim,
@@ -155,7 +211,76 @@ func (q *Query) Explain() (*Plan, error) {
 		Root:           root,
 		Stats:          st,
 		FastCountRows:  fast,
-	}, nil
+	}
+	if q.order != nil {
+		p.OrderBy = q.order.String()
+	}
+	if binds != nil {
+		for _, b := range binds {
+			p.Aggregates = append(p.Aggregates, b.spec.String())
+		}
+		// A Limit-ed aggregation folds row by row through the id path;
+		// no pushdown tiers apply, so none are advertised.
+		if !q.limited {
+			p.AggSegments = aggSegs
+		}
+	}
+	return p, nil
+}
+
+// aggSegmentPlan classifies one segment's aggregate pushdown from its
+// composed run list, mirroring the unlimited executor's tier decisions
+// without folding any value. ScannedRows counts the live candidate
+// rows the scan tier would visit row by row (qualifying or not — the
+// residual checks have not run). Callers hold the read lock.
+func (t *Table) aggSegmentPlan(s int, ev evaluated, binds []aggBind) AggSegmentPlan {
+	n := t.segLen(s)
+	ap := AggSegmentPlan{Segment: s, Rows: n}
+	nspecs := uint64(len(binds))
+	if t.aggSummaryEligible(s, ev.runs) {
+		for _, b := range binds {
+			if b.col == nil {
+				ap.SummaryRows += uint64(n)
+				continue
+			}
+			if _, ok := b.col.aggSummary(b.spec.op, s); ok {
+				ap.SummaryRows += uint64(n)
+			} else {
+				ap.WholesaleRows += uint64(n)
+			}
+		}
+	} else {
+		// Classify run by run; every run is handled at span granularity
+		// (spanDone), so the per-row path never executes.
+		var scratch core.QueryStats
+		t.walkRuns(s, ev, &scratch,
+			func(from, to int, exact bool) spanAction {
+				if exact && t.deletedInSpan(from, to) == 0 {
+					span := uint64(to - from)
+					for _, b := range binds {
+						if b.col == nil {
+							ap.SummaryRows += span
+						} else {
+							ap.WholesaleRows += span
+						}
+					}
+				} else {
+					ap.ScannedRows += uint64(t.liveRows(from, to)) * nspecs
+				}
+				return spanDone
+			}, nil)
+	}
+	switch {
+	case ap.ScannedRows > 0:
+		ap.Tier = "scanned"
+	case ap.WholesaleRows > 0:
+		ap.Tier = "wholesale"
+	case ap.SummaryRows > 0:
+		ap.Tier = "summary"
+	default:
+		ap.Tier = "pruned"
+	}
+	return ap
 }
 
 // aggregatePlans merges the per-segment plan trees (identical shape —
@@ -249,7 +374,14 @@ func (t *Table) aggregateLeaf(agg *PlanNode, plans []*PlanNode) {
 //	   └─ city prefix "Ams": imprints est=0.120 → 95 blocks in 3 runs (0 exact), 4211 probes
 func (p *Plan) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "select %s from %s", strings.Join(p.Columns, ", "), p.Table)
+	if len(p.Aggregates) > 0 {
+		fmt.Fprintf(&sb, "select %s from %s", strings.Join(p.Aggregates, ", "), p.Table)
+	} else {
+		fmt.Fprintf(&sb, "select %s from %s", strings.Join(p.Columns, ", "), p.Table)
+	}
+	if p.OrderBy != "" {
+		fmt.Fprintf(&sb, " order by %s", p.OrderBy)
+	}
 	if p.Limit >= 0 {
 		fmt.Fprintf(&sb, " limit %d", p.Limit)
 	}
@@ -265,7 +397,38 @@ func (p *Plan) String() string {
 	}
 	sb.WriteString(")\n")
 	p.Root.render(&sb, "", "")
+	if len(p.AggSegments) > 0 {
+		sb.WriteString("aggregate pushdown:\n")
+		for _, ap := range p.AggSegments {
+			fmt.Fprintf(&sb, "  · seg %d (%d rows): %s", ap.Segment, ap.Rows, renderTier(ap.Tier))
+			var parts []string
+			if ap.SummaryRows > 0 {
+				parts = append(parts, fmt.Sprintf("%d agg-rows from summaries", ap.SummaryRows))
+			}
+			if ap.WholesaleRows > 0 {
+				parts = append(parts, fmt.Sprintf("%d agg-rows wholesale", ap.WholesaleRows))
+			}
+			if ap.ScannedRows > 0 {
+				parts = append(parts, fmt.Sprintf("%d agg-rows scanned", ap.ScannedRows))
+			}
+			if len(parts) > 0 {
+				fmt.Fprintf(&sb, " (%s)", strings.Join(parts, ", "))
+			}
+			sb.WriteByte('\n')
+		}
+	}
 	return sb.String()
+}
+
+// renderTier names a pushdown tier in plan text.
+func renderTier(tier string) string {
+	switch tier {
+	case "summary":
+		return "summary-answered"
+	case "wholesale":
+		return "run-wholesale"
+	}
+	return tier
 }
 
 func (n *PlanNode) render(sb *strings.Builder, branch, indent string) {

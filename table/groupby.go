@@ -1,0 +1,276 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coltype"
+	"repro/internal/core"
+)
+
+// GroupBy partitions the qualifying rows by a low-cardinality key
+// column — integer or dictionary-encoded string — and aggregates each
+// group. Per-segment workers group by a cheap local key (the raw
+// integer, or the segment dictionary's int32 code for strings), and
+// each segment's groups are remapped to the global key space (the
+// decoded symbol) when its partials are emitted, so per-segment
+// dictionaries never leak into results. The consumer merges group
+// partials in segment order and sorts groups by key, so grouped
+// results are identical at every parallelism level.
+
+// GroupedQuery is a Query with a grouping key attached; Aggregate
+// executes it.
+type GroupedQuery struct {
+	q   *Query
+	key string
+}
+
+// GroupBy attaches a grouping key column to the query. The key must be
+// an integer or string column (float keys are rejected — bucket them
+// into an integer column instead).
+func (q *Query) GroupBy(col string) *GroupedQuery {
+	return &GroupedQuery{q: q, key: col}
+}
+
+// Group is one key's aggregate results.
+type Group struct {
+	// Key is the group key: int64 for integer key columns, string for
+	// string key columns.
+	Key any
+	// Rows is the number of qualifying rows in the group.
+	Rows uint64
+	// Aggs holds one value per requested spec, in request order.
+	Aggs []AggValue
+}
+
+// GroupedResult is the result of one GroupBy.Aggregate execution,
+// sorted ascending by key.
+type GroupedResult struct {
+	// Key is the grouping column name.
+	Key string
+	// Groups lists every non-empty group, ascending by key.
+	Groups []Group
+}
+
+// Find returns the group with the given key (int64 or string,
+// matching the key column type).
+func (r *GroupedResult) Find(key any) (Group, bool) {
+	for _, g := range r.Groups {
+		if g.Key == key {
+			return g, true
+		}
+	}
+	return Group{}, false
+}
+
+// groupKey is a group's identity in the global key space.
+type groupKey struct {
+	i     int64
+	s     string
+	isStr bool
+}
+
+func (k groupKey) value() any {
+	if k.isStr {
+		return k.s
+	}
+	return k.i
+}
+
+// less orders groups for the deterministic final sort.
+func (k groupKey) less(o groupKey) bool {
+	if k.isStr {
+		return k.s < o.s
+	}
+	return k.i < o.i
+}
+
+// segGrouper extracts group keys for one segment: a cheap local int64
+// key per row, finalized to the global key space per group.
+type segGrouper interface {
+	keyAt(local uint32) int64
+	finalize(localKey int64) groupKey
+}
+
+// groupOut is one group's partial results from one segment, already in
+// the global key space.
+type groupOut struct {
+	key   groupKey
+	rows  uint64
+	parts []aggPartial
+}
+
+// ---- keyers ----
+
+func (c *colState[V]) groupCheck() error {
+	if !isIntType[V]() {
+		return fmt.Errorf("column %q is %s: GroupBy keys must be integer or string columns",
+			c.name, coltype.TypeName[V]())
+	}
+	return nil
+}
+
+func (c *colState[V]) grouper(s int) segGrouper { return numGrouper[V]{vals: c.segs[s].vals} }
+
+type numGrouper[V coltype.Value] struct{ vals []V }
+
+func (g numGrouper[V]) keyAt(local uint32) int64  { return int64(g.vals[local]) }
+func (g numGrouper[V]) finalize(k int64) groupKey { return groupKey{i: k} }
+
+func (c *strColState) groupCheck() error { return nil }
+
+func (c *strColState) grouper(s int) segGrouper {
+	seg := c.segs[s]
+	return strGrouper{seg: seg, codes: seg.codes()}
+}
+
+// strGrouper groups by segment-local dictionary code — one int64
+// compare per row — and decodes each group's code to its symbol once,
+// remapping the segment's private code space to the global key space.
+type strGrouper struct {
+	seg   *strSegment
+	codes []int32
+}
+
+func (g strGrouper) keyAt(local uint32) int64 { return int64(g.codes[local]) }
+func (g strGrouper) finalize(k int64) groupKey {
+	return groupKey{s: g.seg.dict.Symbol(int32(k)), isStr: true}
+}
+
+// ---- execution ----
+
+// groupSegment is the per-segment grouping worker: every qualifying
+// row reads its key and folds into that group's accumulators. Keys
+// vary row to row, so grouped aggregation always visits rows (no
+// summary or wholesale pushdown); exact runs still skip the residual
+// check.
+func (g *GroupedQuery) groupSegment(en *execNode, s int, binds []aggBind, keyCol anyColumn) segOut {
+	var o segOut
+	q := g.q
+	t := q.t
+	ev := t.evalSegment(en, s, q.opts, &o.st, false)
+	grouper := keyCol.grouper(s)
+	type groupAcc struct {
+		rows uint64
+		accs []segAgg
+	}
+	groups := map[int64]*groupAcc{}
+	fold := func(local uint32) {
+		k := grouper.keyAt(local)
+		ga := groups[k]
+		if ga == nil {
+			ga = &groupAcc{accs: make([]segAgg, len(binds))}
+			for i, b := range binds {
+				if b.col != nil {
+					ga.accs[i] = b.col.aggAcc(b.spec.op, s)
+				}
+			}
+			groups[k] = ga
+		}
+		ga.rows++
+		o.count++
+		for _, acc := range ga.accs {
+			if acc != nil {
+				acc.addRow(local)
+			}
+		}
+	}
+	t.aggWalk(s, ev, &o.st,
+		func(from, to int) {
+			for local := from; local < to; local++ {
+				fold(uint32(local))
+			}
+		},
+		fold)
+	o.groups = make([]groupOut, 0, len(groups))
+	for k, ga := range groups {
+		out := groupOut{key: grouper.finalize(k), rows: ga.rows, parts: make([]aggPartial, len(binds))}
+		for i, acc := range ga.accs {
+			if acc != nil {
+				out.parts[i] = acc.partial()
+			} else {
+				out.parts[i] = aggPartial{rows: ga.rows}
+			}
+		}
+		o.groups = append(o.groups, out)
+	}
+	return o
+}
+
+// Aggregate executes the grouped aggregation: per-segment partial
+// groups merged in segment order (each group's partials merge
+// commutatively, so results are identical at every parallelism level),
+// then sorted ascending by key. Limit does not apply to grouped
+// aggregation (except Limit(0), which returns no groups).
+func (g *GroupedQuery) Aggregate(specs ...AggSpec) (*GroupedResult, core.QueryStats, error) {
+	q := g.q
+	q.t.mu.RLock()
+	defer q.t.mu.RUnlock()
+	var st core.QueryStats
+	if q.order != nil {
+		return nil, st, fmt.Errorf("table %s: OrderBy does not apply to GroupBy aggregation", q.t.name)
+	}
+	if q.limited && q.limit > 0 {
+		return nil, st, fmt.Errorf("table %s: Limit does not apply to GroupBy aggregation (drop the limit or use Limit(0))", q.t.name)
+	}
+	binds, err := q.t.resolveAggs(specs)
+	if err != nil {
+		return nil, st, err
+	}
+	if err := q.checkProjection(); err != nil {
+		return nil, st, err
+	}
+	keyCol, ok := q.t.cols[g.key]
+	if !ok {
+		return nil, st, fmt.Errorf("table %s: no column %q", q.t.name, g.key)
+	}
+	if err := keyCol.groupCheck(); err != nil {
+		return nil, st, fmt.Errorf("table %s: %w", q.t.name, err)
+	}
+	res := &GroupedResult{Key: g.key}
+	if q.limited && q.limit == 0 {
+		return res, st, nil
+	}
+	en, err := q.bind()
+	if err != nil {
+		return nil, st, err
+	}
+	type mergedGroup struct {
+		rows  uint64
+		parts []aggPartial
+	}
+	merged := map[groupKey]*mergedGroup{}
+	nsegs := q.t.segCount()
+	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+		func(s int) segOut { return g.groupSegment(en, s, binds, keyCol) },
+		func(s int, o segOut) bool {
+			st.Add(o.st)
+			for _, gr := range o.groups {
+				mg := merged[gr.key]
+				if mg == nil {
+					mg = &mergedGroup{parts: make([]aggPartial, len(binds))}
+					merged[gr.key] = mg
+				}
+				mg.rows += gr.rows
+				for i := range binds {
+					mg.parts[i].mergeInto(binds[i].spec.op, gr.parts[i])
+				}
+			}
+			return true
+		})
+	keys := make([]groupKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	res.Groups = make([]Group, len(keys))
+	for gi, k := range keys {
+		mg := merged[k]
+		grp := Group{Key: k.value(), Rows: mg.rows, Aggs: make([]AggValue, len(binds))}
+		for i, b := range binds {
+			grp.Aggs[i] = mg.parts[i].value(b.spec)
+		}
+		res.Groups[gi] = grp
+	}
+	return res, st, nil
+}

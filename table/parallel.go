@@ -21,11 +21,14 @@ func resolveParallelism(opts SelectOptions, nsegs int) int {
 
 // segOut is what one segment worker hands back to the merging consumer.
 type segOut struct {
-	st    core.QueryStats
-	ids   *[]uint32 // materialized global ids (IDs/Rows); pooled, consumer returns it
-	count uint64    // qualifying rows (Count)
-	fast  uint64    // live rows of exact root runs (Explain's count fast path)
-	plan  *PlanNode
+	st     core.QueryStats
+	ids    *[]uint32 // materialized global ids (IDs/Rows); pooled, consumer returns it
+	count  uint64    // qualifying rows (Count, Aggregate)
+	fast   uint64    // live rows of exact root runs (Explain's count fast path)
+	plan   *PlanNode
+	aggs   []aggPartial // per-spec partials (Aggregate)
+	groups []groupOut   // per-group partials (GroupBy)
+	ord    orderPartial // bounded-heap partial (OrderBy)
 }
 
 // forEachSegment evaluates segments 0..nsegs-1 with work, fanning them
@@ -119,14 +122,24 @@ func putIDScratch(buf *[]uint32) {
 	}
 }
 
-// scanSegment walks one segment's candidate runs: it skips deleted
-// rows, applies the residual check of non-exact runs (counting
-// comparisons into st), and hands each qualifying row — as a global row
-// id — to visit. Exact runs are offered wholesale to visitRun when it
-// is non-nil (Count's fast path) as their live row count: the span
-// minus a popcount over the deleted bitmap, no per-row work. Either
-// callback returns false to stop. Callers hold the read lock.
-func (t *Table) scanSegment(s int, ev evaluated, st *core.QueryStats, visitRun func(live int) bool, visit func(id int) bool) {
+// spanAction tells walkRuns how to continue after a run was offered
+// wholesale.
+type spanAction int
+
+const (
+	spanPerRow spanAction = iota // walk the run's rows one by one
+	spanDone                     // the run was fully handled wholesale
+	spanStop                     // stop the walk
+)
+
+// walkRuns is the single definition of the candidate-run walk every
+// executor shares: each run is first offered wholesale to span (global
+// [from, to) bounds clamped to the segment, plus its exactness); a
+// spanPerRow reply walks the run's rows one by one — skipping deleted
+// rows and applying the residual check of inexact runs (counting
+// comparisons into st) — through visit, which returns false to stop.
+// Callers hold the read lock.
+func (t *Table) walkRuns(s int, ev evaluated, st *core.QueryStats, span func(from, to int, exact bool) spanAction, visit func(id int) bool) {
 	base := s * t.segRows
 	end := base + t.segLen(s)
 	for _, r := range ev.runs {
@@ -135,13 +148,13 @@ func (t *Table) scanSegment(s int, ev evaluated, st *core.QueryStats, visitRun f
 		if to > end {
 			to = end
 		}
-		if visitRun != nil && r.Exact {
-			live := t.liveRows(from, to)
-			st.FastCountedRows += uint64(live)
-			if !visitRun(live) {
+		if span != nil {
+			switch span(from, to, r.Exact) {
+			case spanDone:
+				continue
+			case spanStop:
 				return
 			}
-			continue
 		}
 		for id := from; id < to; id++ {
 			if t.deleted != nil && t.deleted.Get(id) {
@@ -158,6 +171,30 @@ func (t *Table) scanSegment(s int, ev evaluated, st *core.QueryStats, visitRun f
 			}
 		}
 	}
+}
+
+// scanSegment walks one segment's candidate runs, handing each
+// qualifying row — as a global row id — to visit. Exact runs are
+// offered wholesale to visitRun when it is non-nil (Count's fast path)
+// as their live row count: the span minus a popcount over the deleted
+// bitmap, no per-row work. Either callback returns false to stop.
+// Callers hold the read lock.
+func (t *Table) scanSegment(s int, ev evaluated, st *core.QueryStats, visitRun func(live int) bool, visit func(id int) bool) {
+	var span func(from, to int, exact bool) spanAction
+	if visitRun != nil {
+		span = func(from, to int, exact bool) spanAction {
+			if !exact {
+				return spanPerRow
+			}
+			live := t.liveRows(from, to)
+			st.FastCountedRows += uint64(live)
+			if !visitRun(live) {
+				return spanStop
+			}
+			return spanDone
+		}
+	}
+	t.walkRuns(s, ev, st, span, visit)
 }
 
 // deletedInSpan popcounts the deleted bitmap over [from, to); callers

@@ -36,6 +36,10 @@ import (
 //	...
 //	ids, _, err := p.Bind("lo", int64(40)).Bind("hi", int64(90)).
 //	    Bind("city", "Berlin").IDs()
+//
+// Executions are full Queries, so the aggregation pipeline composes
+// with prepared statements too: bind the parameters, then finish with
+// Aggregate, GroupBy(...).Aggregate, or OrderBy(...).Limit(k).
 type Prepared struct {
 	t        *Table
 	opts     SelectOptions

@@ -33,7 +33,8 @@ type Query struct {
 	binds   map[string]any // parameter bindings for prep
 	bindErr error          // sticky builder error (bad Bind, Where on prepared)
 	limit   int
-	limited bool // Limit was called; limit 0 then means "no rows"
+	limited bool       // Limit was called; limit 0 then means "no rows"
+	order   *OrderSpec // OrderBy ordering; nil means ascending id order
 	opts    SelectOptions
 	err     error // sticky error from the last Rows iteration
 }
@@ -184,14 +185,20 @@ func (q *Query) collectIDs(en *execNode, s int) segOut {
 	return o
 }
 
-// IDs executes the query and returns the ascending ids of qualifying,
-// non-deleted rows, with the evaluation stats.
+// IDs executes the query and returns the ids of qualifying,
+// non-deleted rows, with the evaluation stats. Without OrderBy the ids
+// come back ascending; with OrderBy they come back in rank order (the
+// ordering column's value in the requested direction, ties by
+// ascending id), capped by Limit — the top-k.
 func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
 	var st core.QueryStats
 	if err := q.checkProjection(); err != nil {
 		return nil, st, err
+	}
+	if q.order != nil {
+		return q.orderedIDsLocked()
 	}
 	if q.limited && q.limit == 0 {
 		return nil, st, nil
@@ -271,7 +278,11 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 // the consumer materializes rows one at a time in segment order — only
 // the projected columns of rows that survived the candidate-run check
 // are ever fetched (late materialization), so breaking out early
-// cancels segments not yet started.
+// cancels segments not yet started. With OrderBy the qualifying ids
+// are ranked first (per-segment bounded heaps when Limit caps the
+// query) and rows stream in rank order instead of id order. With
+// SelectOptions.ReuseRows every yielded Row shares one value buffer —
+// see the option's contract.
 //
 // The table's read lock is held for the duration of the iteration, and
 // sync.RWMutex is not reentrant: calling any write method (Update,
@@ -293,6 +304,33 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 		if q.limited && q.limit == 0 {
 			return
 		}
+		var reused []any
+		if q.opts.ReuseRows {
+			reused = make([]any, len(cols))
+		}
+		materialize := func(id uint32) Row {
+			vals := reused
+			if vals == nil {
+				vals = make([]any, len(cols))
+			}
+			for i, c := range cols {
+				vals[i] = c.valueAt(int(id))
+			}
+			return Row{id: int(id), names: names, vals: vals}
+		}
+		if q.order != nil {
+			ids, _, err := q.orderedIDsLocked()
+			if err != nil {
+				q.err = err
+				return
+			}
+			for _, id := range ids {
+				if !yield(int(id), materialize(id)) {
+					return
+				}
+			}
+			return
+		}
 		en, err := q.bind()
 		if err != nil {
 			q.err = err
@@ -305,11 +343,7 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 			func(s int, o segOut) bool {
 				defer putIDScratch(o.ids)
 				for _, id := range *o.ids {
-					vals := make([]any, len(cols))
-					for i, c := range cols {
-						vals[i] = c.valueAt(int(id))
-					}
-					if !yield(int(id), Row{id: int(id), names: names, vals: vals}) {
+					if !yield(int(id), materialize(id)) {
 						return false
 					}
 					emitted++

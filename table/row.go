@@ -25,14 +25,25 @@ func (r Row) ID() int { return r.id }
 func (r Row) Columns() []string { return r.names }
 
 // Get returns the value of a projected column, or nil when the column
-// is not part of the projection.
+// is not part of the projection. Note that Get cannot distinguish the
+// two cases — a projected column whose value is nil and a column that
+// was never projected both return nil; use Lookup when the difference
+// matters.
 func (r Row) Get(name string) any {
+	v, _ := r.Lookup(name)
+	return v
+}
+
+// Lookup returns the value of a projected column and whether the
+// column is part of the projection, distinguishing "not projected"
+// (nil, false) from a genuinely nil projected value (nil, true).
+func (r Row) Lookup(name string) (any, bool) {
 	for i, n := range r.names {
 		if n == name {
-			return r.vals[i]
+			return r.vals[i], true
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // Value returns the value at projection position i.

@@ -28,6 +28,12 @@ type segment[V coltype.Value] struct {
 	// which is sound for pruning — a pruned segment provably holds no
 	// qualifying value.
 	min, max V
+	// sumWide marks the summary as possibly over-covering: an in-place
+	// update widened it without knowing whether the replaced value was
+	// the extremum. A wide summary still prunes soundly, but it can no
+	// longer answer Min/Max aggregates; rebuild recomputes it exactly
+	// and clears the mark.
+	sumWide bool
 }
 
 // summarize computes the [min, max] of vals; ok is false when vals is
@@ -90,6 +96,7 @@ func (s *segment[V]) widen(local int, v V) {
 	if v > s.max {
 		s.max = v
 	}
+	s.sumWide = true
 	if s.ix != nil {
 		s.ix.MarkUpdated(local, v)
 	}
@@ -103,6 +110,7 @@ func (s *segment[V]) widen(local int, v V) {
 // updates).
 func (s *segment[V]) rebuild(mode IndexMode, opts core.Options) {
 	s.ix, s.zm = nil, nil
+	s.sumWide = false
 	if len(s.vals) == 0 {
 		return
 	}

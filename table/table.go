@@ -28,6 +28,18 @@
 // Explain, which renders the per-leaf access-path plan including the
 // per-segment decisions (pruned / imprints / zonemap / scan).
 //
+// Results compose into a segment-parallel aggregation pipeline:
+// Aggregate folds typed aggregates inside the segment workers
+// (fully-selected, delete-free segments answer Min/Max from their
+// summaries and count(*) from the row count without touching values —
+// see ExplainAggregate and QueryStats.SummaryAggRows), GroupBy
+// partitions by integer or dictionary-encoded string keys, and
+// OrderBy + Limit runs a bounded top-k over per-segment heaps:
+//
+//	res, _, _ := t.Select().Where(pred).Aggregate(table.Sum("qty"), table.CountAll())
+//	grp, _, _ := t.Select().Where(pred).GroupBy("city").Aggregate(table.Avg("price"))
+//	top, _, _ := t.Select().Where(pred).OrderBy(table.Desc("price")).Limit(10).IDs()
+//
 // For serving workloads that run the same predicate shape on every
 // request, Table.Prepare compiles the tree once into a Prepared
 // statement: columns and types are validated up front, every
@@ -107,6 +119,28 @@ type anyColumn interface {
 	// execution time (probes, pruning, residual checks and selectivity
 	// estimates are all per segment).
 	compileLeaf(p *leafPred) (leafPlan, error)
+	// aggCheck validates an aggregate operator against the column type
+	// (strings reject sum/avg).
+	aggCheck(op aggOp) error
+	// aggSummary answers op over every live row of segment s purely
+	// from the segment summary (value slab untouched); ok is false
+	// when the summary cannot answer exactly. The caller guarantees
+	// full coverage and a delete-free segment and fills in rows.
+	aggSummary(op aggOp, s int) (aggPartial, bool)
+	// aggAcc returns a typed fold accumulator for op over segment s.
+	aggAcc(op aggOp, s int) segAgg
+	// groupCheck validates the column as a GroupBy key (integer and
+	// string columns only).
+	groupCheck() error
+	// grouper returns segment s's group-key extractor: a cheap int64
+	// key per row (dictionary code for strings), finalized to the
+	// global key space when the segment's groups are emitted.
+	grouper(s int) segGrouper
+	// topkAcc returns a bounded top-k collector over segment s
+	// (unbounded when k <= 0); topkMerge ranks the per-segment
+	// partials globally and returns the ordered row ids.
+	topkAcc(s int, desc bool, k int) segTopK
+	topkMerge(parts []orderPartial, desc bool, k int) []uint32
 }
 
 // colState is the concrete typed column state: an ordered list of

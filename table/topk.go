@@ -1,0 +1,295 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/coltype"
+	"repro/internal/core"
+)
+
+// OrderBy + Limit executes as a top-k: every segment worker keeps a
+// bounded heap of its k best rows (comparing typed values — dictionary
+// codes for strings, decoded only when the heap is emitted), and the
+// consumer merges the per-segment partials in segment order, ranking
+// them globally with ties broken by ascending row id. Without Limit the
+// per-segment collectors are unbounded and the merge is a full sort.
+// Either way the result is identical at every parallelism level.
+
+// OrderSpec is one ordering of query results, built with Asc or Desc.
+type OrderSpec struct {
+	col  string
+	desc bool
+}
+
+// Asc orders results ascending by a numeric or string column (ties by
+// ascending row id).
+func Asc(col string) OrderSpec { return OrderSpec{col: col} }
+
+// Desc orders results descending by a numeric or string column (ties
+// by ascending row id).
+func Desc(col string) OrderSpec { return OrderSpec{col: col, desc: true} }
+
+// String renders the spec for plans, e.g. "price desc".
+func (o OrderSpec) String() string {
+	if o.desc {
+		return o.col + " desc"
+	}
+	return o.col + " asc"
+}
+
+// OrderBy orders the rows Rows and IDs return by a column instead of
+// by ascending id; combined with Limit(k) it executes as a bounded
+// top-k per segment. The ordering column does not have to be
+// projected. Count ignores the order; Aggregate and GroupBy reject it.
+// Float NaN values rank after every real value in either direction.
+func (q *Query) OrderBy(o OrderSpec) *Query {
+	q.order = &o
+	return q
+}
+
+// segTopK collects one segment's candidate rows for an ordered
+// execution: a bounded heap when k > 0, everything otherwise.
+type segTopK interface {
+	push(local, id uint32)
+	partial() orderPartial
+}
+
+// orderPartial is one segment's opaque typed partial (entries of the
+// column's value type), merged by the owning column's topkMerge.
+type orderPartial any
+
+// topEntry pairs a sortable value with its global row id.
+type topEntry[V coltype.Value] struct {
+	v  V
+	id uint32
+}
+
+// rankBefore reports whether a ranks strictly before b in the result
+// order: by value in the requested direction, ties by ascending id —
+// a total order, so ranking is deterministic. Float NaNs (the only
+// values unequal to themselves) rank after every real value in either
+// direction, keeping the order total where raw < and > would make
+// every comparison false.
+func rankBefore[V coltype.Value](a, b topEntry[V], desc bool) bool {
+	aNaN, bNaN := a.v != a.v, b.v != b.v
+	if aNaN || bNaN {
+		if aNaN != bNaN {
+			return bNaN
+		}
+		return a.id < b.id
+	}
+	if a.v != b.v {
+		if desc {
+			return a.v > b.v
+		}
+		return a.v < b.v
+	}
+	return a.id < b.id
+}
+
+// boundedHeap keeps the k best entries seen, worst at the root so the
+// next candidate is compared against it in O(1). k <= 0 keeps
+// everything.
+type boundedHeap[V coltype.Value] struct {
+	desc bool
+	k    int
+	h    []topEntry[V]
+}
+
+// worseAt reports whether entry i ranks after entry j (heap order:
+// the root is the worst kept entry).
+func (b *boundedHeap[V]) worseAt(i, j int) bool {
+	return rankBefore(b.h[j], b.h[i], b.desc)
+}
+
+func (b *boundedHeap[V]) push(e topEntry[V]) {
+	if b.k <= 0 {
+		b.h = append(b.h, e)
+		return
+	}
+	if len(b.h) < b.k {
+		b.h = append(b.h, e)
+		// Sift up.
+		for i := len(b.h) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !b.worseAt(i, parent) {
+				break
+			}
+			b.h[i], b.h[parent] = b.h[parent], b.h[i]
+			i = parent
+		}
+		return
+	}
+	if !rankBefore(e, b.h[0], b.desc) {
+		return // not better than the worst kept
+	}
+	b.h[0] = e
+	// Sift down.
+	for i := 0; ; {
+		worst := i
+		if l := 2*i + 1; l < len(b.h) && b.worseAt(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(b.h) && b.worseAt(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			break
+		}
+		b.h[i], b.h[worst] = b.h[worst], b.h[i]
+		i = worst
+	}
+}
+
+// mergeEntries ranks entries from every segment partial globally and
+// returns the ids of the best k (all of them when k <= 0).
+func mergeEntries[V coltype.Value](parts []orderPartial, desc bool, k int) []uint32 {
+	var all []topEntry[V]
+	for _, p := range parts {
+		if p != nil {
+			all = append(all, p.([]topEntry[V])...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return rankBefore(all[i], all[j], desc) })
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	ids := make([]uint32, len(all))
+	for i, e := range all {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// ---- numeric columns ----
+
+func (c *colState[V]) topkAcc(s int, desc bool, k int) segTopK {
+	return &numTopK[V]{vals: c.segs[s].vals, heap: boundedHeap[V]{desc: desc, k: k}}
+}
+
+type numTopK[V coltype.Value] struct {
+	vals []V
+	heap boundedHeap[V]
+}
+
+func (t *numTopK[V]) push(local, id uint32) {
+	t.heap.push(topEntry[V]{v: t.vals[local], id: id})
+}
+
+func (t *numTopK[V]) partial() orderPartial { return t.heap.h }
+
+func (c *colState[V]) topkMerge(parts []orderPartial, desc bool, k int) []uint32 {
+	return mergeEntries[V](parts, desc, k)
+}
+
+// ---- string columns ----
+
+// strTopK heaps segment-local dictionary codes (code order is string
+// order within a segment) and decodes only the surviving entries.
+type strTopK struct {
+	seg  *strSegment
+	heap boundedHeap[int32]
+}
+
+func (c *strColState) topkAcc(s int, desc bool, k int) segTopK {
+	seg := c.segs[s]
+	return &strTopK{seg: seg, heap: boundedHeap[int32]{desc: desc, k: k}}
+}
+
+func (t *strTopK) push(local, id uint32) {
+	t.heap.push(topEntry[int32]{v: t.seg.codes()[local], id: id})
+}
+
+// strOrdEntry is a decoded string entry; partials decode before the
+// cross-segment merge because codes from different dictionaries are
+// not comparable.
+type strOrdEntry struct {
+	v  string
+	id uint32
+}
+
+func (t *strTopK) partial() orderPartial {
+	out := make([]strOrdEntry, len(t.heap.h))
+	for i, e := range t.heap.h {
+		out[i] = strOrdEntry{v: t.seg.dict.Symbol(e.v), id: e.id}
+	}
+	return out
+}
+
+func (c *strColState) topkMerge(parts []orderPartial, desc bool, k int) []uint32 {
+	var all []strOrdEntry
+	for _, p := range parts {
+		if p != nil {
+			all = append(all, p.([]strOrdEntry)...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.v != b.v {
+			if desc {
+				return a.v > b.v
+			}
+			return a.v < b.v
+		}
+		return a.id < b.id
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	ids := make([]uint32, len(all))
+	for i, e := range all {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// ---- execution ----
+
+// orderedIDsLocked executes an OrderBy query down to the ranked row
+// ids; the caller holds the table's read lock. Every segment must
+// report (a pruned one cheaply), so there is no early cancel; the
+// bounded heaps keep per-segment work at O(rows · log k).
+func (q *Query) orderedIDsLocked() ([]uint32, core.QueryStats, error) {
+	var st core.QueryStats
+	col, ok := q.t.cols[q.order.col]
+	if !ok {
+		return nil, st, fmt.Errorf("table %s: no column %q", q.t.name, q.order.col)
+	}
+	if q.limited && q.limit == 0 {
+		return nil, st, nil
+	}
+	en, err := q.bind()
+	if err != nil {
+		return nil, st, err
+	}
+	k := 0
+	if q.limited {
+		k = q.limit
+	}
+	desc := q.order.desc
+	nsegs := q.t.segCount()
+	parts := make([]orderPartial, nsegs)
+	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+		func(s int) segOut {
+			var o segOut
+			ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
+			acc := col.topkAcc(s, desc, k)
+			base := uint32(s * q.t.segRows)
+			q.t.aggWalk(s, ev, &o.st,
+				func(from, to int) {
+					for local := from; local < to; local++ {
+						acc.push(uint32(local), base+uint32(local))
+					}
+				},
+				func(local uint32) { acc.push(local, base+local) })
+			o.ord = acc.partial()
+			return o
+		},
+		func(s int, o segOut) bool {
+			st.Add(o.st)
+			parts[s] = o.ord
+			return true
+		})
+	return col.topkMerge(parts, desc, k), st, nil
+}
