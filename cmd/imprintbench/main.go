@@ -1,19 +1,22 @@
 // Command imprintbench regenerates the tables and figures of the column
 // imprints paper (SIGMOD 2013) over the synthetic dataset suite, plus
-// four table-layer experiments: queryplan drives the lazy Query API
+// five table-layer experiments: queryplan drives the lazy Query API
 // and reports the per-leaf EXPLAIN access paths (imprints probe vs
 // zonemap vs scan fallback) over a mixed numeric/string relation,
 // prepared measures the amortized prepare-once/execute-N serving loop
 // of Table.Prepare against ad-hoc plan-per-query execution, segments
 // measures segmented storage — parallel segment fan-out at several
-// SelectOptions.Parallelism levels and min/max summary pruning — and
+// SelectOptions.Parallelism levels and min/max summary pruning —
 // aggregate measures the segment-parallel aggregation pipeline: the
 // pushdown hit-rates of the summary-answered / run-wholesale / scanned
-// tiers plus grouped and top-k execution across a parallelism sweep.
+// tiers plus grouped and top-k execution across a parallelism sweep —
+// and vectorized sweeps the block-at-a-time selection-mask kernels
+// against the scalar residual path across selectivities (0.1%–50%) and
+// parallelism 1/2/8, including an exact-run-dominated control workload.
 //
 // Usage:
 //
-//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared|segments|aggregate[,...]]
+//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared|segments|aggregate|vectorized[,...]]
 //	             [-scale 1.0] [-seed 42] [-queries 3] [-maxcols 0]
 //	             [-format text|csv] [-json] [-outdir DIR]
 //

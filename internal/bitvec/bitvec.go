@@ -49,6 +49,32 @@ func (v *Vector) Get(i int) bool {
 	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
+// Word returns the i-th backing word: bits [64i, 64i+64) of the vector,
+// least-significant bit first. For the last word of a vector whose
+// length is not a multiple of 64, bits past Len are zero (Set refuses
+// them). Word is the word-granular counterpart of Get for callers that
+// consume 64 aligned bits per load; LiveMask64 builds the inverted,
+// length-clamped variant the vectorized executor folds into selection
+// masks.
+func (v *Vector) Word(i int) uint64 { return v.words[i] }
+
+// LiveMask64 returns the live-lane mask of the n-row block starting at
+// the 64-aligned bit position from: bit i of the result is set iff bit
+// from+i of the vector is CLEAR (a live, not-deleted row), for
+// 0 <= i < n; bits at and above n are zero. n must be in [1, 64] and
+// from+n must not exceed Len — the ragged tail block of a vector simply
+// passes its shorter n. One load, one AND-NOT: this is how the deleted
+// bitmap folds into a 64-row selection mask.
+func (v *Vector) LiveMask64(from, n int) uint64 {
+	if from&63 != 0 {
+		panic(fmt.Sprintf("bitvec: LiveMask64 start %d is not 64-aligned", from))
+	}
+	if n <= 0 || n > 64 || from+n > v.n {
+		panic(fmt.Sprintf("bitvec: LiveMask64 [%d, %d+%d) out of range 0..%d", from, from, n, v.n))
+	}
+	return (^uint64(0) >> (64 - uint(n))) &^ v.Word(from>>6)
+}
+
 // Reset unsets every bit, keeping the allocation.
 func (v *Vector) Reset() {
 	for i := range v.words {

@@ -334,3 +334,73 @@ func TestCountRangeBounds(t *testing.T) {
 		}()
 	}
 }
+
+func TestWord(t *testing.T) {
+	v := New(130)
+	v.Set(0)
+	v.Set(63)
+	v.Set(64)
+	v.Set(129)
+	if got := v.Word(0); got != 1|1<<63 {
+		t.Errorf("Word(0) = %#x, want %#x", got, uint64(1|1<<63))
+	}
+	if got := v.Word(1); got != 1 {
+		t.Errorf("Word(1) = %#x, want 1", got)
+	}
+	// Ragged tail word: only bit 129-128=1 set, high bits zero.
+	if got := v.Word(2); got != 2 {
+		t.Errorf("Word(2) = %#x, want 2", got)
+	}
+}
+
+func TestLiveMask64(t *testing.T) {
+	v := New(150)
+	v.Set(3)
+	v.Set(64)
+	v.Set(149)
+	// Full block, one deleted lane.
+	if got, want := v.LiveMask64(0, 64), ^uint64(0)&^(1<<3); got != want {
+		t.Errorf("LiveMask64(0,64) = %#x, want %#x", got, want)
+	}
+	// Full block with its first lane deleted.
+	if got, want := v.LiveMask64(64, 64), ^uint64(0)&^uint64(1); got != want {
+		t.Errorf("LiveMask64(64,64) = %#x, want %#x", got, want)
+	}
+	// Ragged tail block: 150-128 = 22 lanes, lane 21 deleted.
+	if got, want := v.LiveMask64(128, 22), (uint64(1)<<22-1)&^(1<<21); got != want {
+		t.Errorf("LiveMask64(128,22) = %#x, want %#x", got, want)
+	}
+	// Short n inside a full word still masks lanes >= n.
+	if got, want := v.LiveMask64(0, 4), uint64(0b0111); got != want {
+		t.Errorf("LiveMask64(0,4) = %#x, want %#x", got, want)
+	}
+	for _, bad := range [][2]int{{1, 64}, {0, 0}, {0, 65}, {128, 23}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LiveMask64(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			v.LiveMask64(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestLiveMask64AgainstGet(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	n := 777
+	v := New(n)
+	for i := 0; i < n/3; i++ {
+		v.Set(rng.IntN(n))
+	}
+	for from := 0; from < n; from += 64 {
+		lanes := min(64, n-from)
+		m := v.LiveMask64(from, lanes)
+		for i := 0; i < 64; i++ {
+			want := i < lanes && !v.Get(from+i)
+			if got := m&(1<<uint(i)) != 0; got != want {
+				t.Fatalf("LiveMask64(%d,%d) lane %d = %v, want %v", from, lanes, i, got, want)
+			}
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/coltype"
+import (
+	"math/bits"
+
+	"repro/internal/coltype"
+)
 
 // CandidateRun is a maximal run of consecutive cachelines that may
 // contain qualifying values. Exact runs are cachelines whose every value
@@ -18,32 +22,53 @@ type CandidateRun struct {
 // RangeCachelines evaluates [low, high) down to a candidate cacheline
 // list without materializing ids.
 func (ix *Index[V]) RangeCachelines(low, high V) ([]CandidateRun, QueryStats) {
+	return ix.RangeCachelinesInto(nil, low, high)
+}
+
+// RangeCachelinesInto is RangeCachelines appending into dst (pass a
+// recycled buffer truncated to length 0 to avoid the allocation).
+func (ix *Index[V]) RangeCachelinesInto(dst []CandidateRun, low, high V) ([]CandidateRun, QueryStats) {
 	p := pred[V]{low: low, high: high, lowIncl: true}
-	return ix.cachelinesPred(&p)
+	return ix.cachelinesPred(&p, dst)
 }
 
 // AtLeastCachelines evaluates v >= low down to candidate cachelines.
 func (ix *Index[V]) AtLeastCachelines(low V) ([]CandidateRun, QueryStats) {
+	return ix.AtLeastCachelinesInto(nil, low)
+}
+
+// AtLeastCachelinesInto is AtLeastCachelines appending into dst.
+func (ix *Index[V]) AtLeastCachelinesInto(dst []CandidateRun, low V) ([]CandidateRun, QueryStats) {
 	p := pred[V]{low: low, lowIncl: true, highUnb: true}
-	return ix.cachelinesPred(&p)
+	return ix.cachelinesPred(&p, dst)
 }
 
 // LessThanCachelines evaluates v < high down to candidate cachelines.
 func (ix *Index[V]) LessThanCachelines(high V) ([]CandidateRun, QueryStats) {
+	return ix.LessThanCachelinesInto(nil, high)
+}
+
+// LessThanCachelinesInto is LessThanCachelines appending into dst.
+func (ix *Index[V]) LessThanCachelinesInto(dst []CandidateRun, high V) ([]CandidateRun, QueryStats) {
 	p := pred[V]{high: high, lowUnb: true}
-	return ix.cachelinesPred(&p)
+	return ix.cachelinesPred(&p, dst)
 }
 
 // PointCachelines evaluates v == x down to candidate cachelines.
 func (ix *Index[V]) PointCachelines(x V) ([]CandidateRun, QueryStats) {
-	p := pred[V]{low: x, high: x, lowIncl: true, highIncl: true}
-	return ix.cachelinesPred(&p)
+	return ix.PointCachelinesInto(nil, x)
 }
 
-func (ix *Index[V]) cachelinesPred(p *pred[V]) ([]CandidateRun, QueryStats) {
+// PointCachelinesInto is PointCachelines appending into dst.
+func (ix *Index[V]) PointCachelinesInto(dst []CandidateRun, x V) ([]CandidateRun, QueryStats) {
+	p := pred[V]{low: x, high: x, lowIncl: true, highIncl: true}
+	return ix.cachelinesPred(&p, dst)
+}
+
+func (ix *Index[V]) cachelinesPred(p *pred[V], dst []CandidateRun) ([]CandidateRun, QueryStats) {
 	var st QueryStats
 	mask, inner := ix.masks(p)
-	var runs []CandidateRun
+	runs := dst
 
 	push := func(cl, cnt int, exact bool) {
 		if n := len(runs); n > 0 {
@@ -113,7 +138,13 @@ func (ix *Index[V]) cachelinesPred(p *pred[V]) ([]CandidateRun, QueryStats) {
 // is exact on both sides; otherwise values must be re-checked during
 // materialization.
 func IntersectRuns(a, b []CandidateRun) []CandidateRun {
-	var out []CandidateRun
+	return IntersectRunsInto(nil, a, b)
+}
+
+// IntersectRunsInto is IntersectRuns appending into dst, which must not
+// alias a or b.
+func IntersectRunsInto(dst, a, b []CandidateRun) []CandidateRun {
+	out := dst
 	push := func(start, count uint32, exact bool) {
 		if n := len(out); n > 0 {
 			last := &out[n-1]
@@ -168,12 +199,31 @@ func (ix *Index[V]) RangeCheck(low, high V) CheckFunc {
 	}
 }
 
+// AppendMaskIDs appends base+i, in ascending order, for every set bit i
+// of a 64-row selection mask. It is the one expansion step from
+// selection masks back to row ids, shared by the vectorized table
+// executors and MaterializeRuns.
+func AppendMaskIDs(dst []uint32, base uint32, mask uint64) []uint32 {
+	for mask != 0 {
+		dst = append(dst, base+uint32(bits.TrailingZeros64(mask)))
+		mask &= mask - 1
+	}
+	return dst
+}
+
 // MaterializeRuns converts a candidate run list into ascending ids,
 // applying every check to rows of non-exact runs (exact runs are emitted
 // wholesale). vpc is the values-per-cacheline of the indexes that
 // produced the runs (they must agree), and n bounds ids of the trailing
 // partial cacheline. comparisons reports how many residual predicate
 // evaluations were spent.
+//
+// Evaluation is block-at-a-time, mirroring the table layer's vectorized
+// walk: each run is consumed in chunks of up to 64 rows folded into a
+// selection mask — exact chunks fill the mask wholesale, checked chunks
+// set one bit per surviving row (checks still short-circuit per row, so
+// the comparison count is unchanged) — and the mask expands to ids
+// through AppendMaskIDs.
 func MaterializeRuns(runs []CandidateRun, vpc, n int, res []uint32, checks ...CheckFunc) (ids []uint32, comparisons uint64) {
 	for _, r := range runs {
 		from := int(r.Start) * vpc
@@ -181,24 +231,30 @@ func MaterializeRuns(runs []CandidateRun, vpc, n int, res []uint32, checks ...Ch
 		if to > n {
 			to = n
 		}
-		if r.Exact {
-			for id := from; id < to; id++ {
-				res = append(res, uint32(id))
+		for b := from; b < to; b += 64 {
+			be := b + 64
+			if be > to {
+				be = to
 			}
-			continue
-		}
-		for id := from; id < to; id++ {
-			ok := true
-			for _, c := range checks {
-				comparisons++
-				if !c(uint32(id)) {
-					ok = false
-					break
+			var m uint64
+			if r.Exact {
+				m = ^uint64(0) >> (64 - uint(be-b))
+			} else {
+				for id := b; id < be; id++ {
+					ok := true
+					for _, c := range checks {
+						comparisons++
+						if !c(uint32(id)) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						m |= 1 << uint(id-b)
+					}
 				}
 			}
-			if ok {
-				res = append(res, uint32(id))
-			}
+			res = AppendMaskIDs(res, uint32(b), m)
 		}
 	}
 	return res, comparisons

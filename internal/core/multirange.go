@@ -161,8 +161,13 @@ func (ix *Index[V]) InSetIDs(set []V, res []uint32) ([]uint32, QueryStats) {
 // InSetCachelines reduces an IN-list to candidate cachelines for late
 // materialization.
 func (ix *Index[V]) InSetCachelines(set []V) ([]CandidateRun, QueryStats) {
+	return ix.InSetCachelinesInto(nil, set)
+}
+
+// InSetCachelinesInto is InSetCachelines appending into dst.
+func (ix *Index[V]) InSetCachelinesInto(dst []CandidateRun, set []V) ([]CandidateRun, QueryStats) {
 	var st QueryStats
-	var runs []CandidateRun
+	runs := dst
 	if len(set) == 0 {
 		return runs, st
 	}

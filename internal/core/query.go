@@ -31,6 +31,13 @@ type QueryStats struct {
 	// wholesale out of exact candidate runs: a tight loop over the value
 	// slab with no residual predicate check and no deleted-bitmap test.
 	WholesaleAggRows uint64
+	// BlocksVectorized counts 64-row blocks whose residual predicate was
+	// evaluated through a block-at-a-time selection-mask kernel (the
+	// vectorized executor) instead of row-at-a-time check closures.
+	// Comparisons keeps its Figure-11 meaning either way: one comparison
+	// per evaluated live lane, counted via popcount of the block's live
+	// mask.
+	BlocksVectorized uint64
 }
 
 // Add accumulates o into s.
@@ -44,6 +51,7 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.ScratchReused += o.ScratchReused
 	s.SummaryAggRows += o.SummaryAggRows
 	s.WholesaleAggRows += o.WholesaleAggRows
+	s.BlocksVectorized += o.BlocksVectorized
 }
 
 // pred is a range predicate with optional unbounded and inclusive ends.

@@ -12,7 +12,13 @@ package core
 // on at least one side (every value qualifies for that disjunct, hence
 // for the disjunction).
 func UnionRuns(a, b []CandidateRun) []CandidateRun {
-	var out []CandidateRun
+	return UnionRunsInto(nil, a, b)
+}
+
+// UnionRunsInto is UnionRuns appending into dst, which must not alias a
+// or b.
+func UnionRunsInto(dst, a, b []CandidateRun) []CandidateRun {
+	out := dst
 	push := func(start, count uint32, exact bool) {
 		if count == 0 {
 			return
@@ -110,7 +116,13 @@ func clip(r CandidateRun, cur uint32) CandidateRun {
 //     match Q, so values must be re-checked) UNLESS b is exact there —
 //     every row matches Q — in which case the cacheline is dropped.
 func DiffRuns(a, b []CandidateRun) []CandidateRun {
-	var out []CandidateRun
+	return DiffRunsInto(nil, a, b)
+}
+
+// DiffRunsInto is DiffRuns appending into dst, which must not alias a
+// or b.
+func DiffRunsInto(dst, a, b []CandidateRun) []CandidateRun {
+	out := dst
 	push := func(start, count uint32, exact bool) {
 		if count == 0 {
 			return

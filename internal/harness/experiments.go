@@ -24,7 +24,7 @@ type Experiment struct {
 
 // IDs lists all experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate"}
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate", "vectorized"}
 }
 
 // Run executes one experiment by id.
@@ -58,6 +58,8 @@ func Run(id string, cfg Config) (*Experiment, error) {
 		return SegmentsExp(cfg), nil
 	case "aggregate":
 		return AggregateExp(cfg), nil
+	case "vectorized":
+		return VectorizedExp(cfg), nil
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (want one of %s)", id, strings.Join(IDs(), ", "))
 }
@@ -82,6 +84,7 @@ func RunAll(cfg Config) []*Experiment {
 		PreparedExp(cfg),
 		SegmentsExp(cfg),
 		AggregateExp(cfg),
+		VectorizedExp(cfg),
 	}
 }
 

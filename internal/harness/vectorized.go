@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/core"
+	tbl "repro/table"
+)
+
+// VectorizedExp measures the block-at-a-time selection-mask executor
+// against its scalar (row-at-a-time closure) baseline, the workload of
+// the vectorization acceptance criterion:
+//
+//   - uniform random data (inexact-run heavy: almost every candidate
+//     block needs residual evaluation, the worst case the kernels are
+//     built for), swept across selectivities from 0.1% to 50% and
+//     parallelism 1/2/8, for both IDs and Count;
+//   - a clustered near-sorted workload whose candidate runs are mostly
+//     exact (the count fast path), pinning that vectorization does not
+//     regress exact-run-dominated executions.
+//
+// Reported per (workload, selectivity, op, parallelism): scalar and
+// kernel ms/exec, the kernel speedup, matched rows, and the kernel
+// blocks the vectorized run evaluated (QueryStats.BlocksVectorized).
+// The harness asserts scalar and vectorized ids are identical before
+// timing anything.
+func VectorizedExp(cfg Config) *Experiment {
+	n := int(600_000 * cfg.Scale)
+	if n < 200_000 {
+		n = 200_000
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5ec))
+	uniform := make([]int64, n)
+	for i := range uniform {
+		uniform[i] = rng.Int64N(1_000_000)
+	}
+	clustered := make([]int64, n)
+	v := int64(0)
+	for i := range clustered {
+		v += int64(rng.IntN(5))
+		clustered[i] = v
+	}
+	t := tbl.New("vectorized")
+	must(tbl.AddColumn(t, "u", uniform, tbl.Imprints, core.Options{Seed: cfg.Seed}))
+	must(tbl.AddColumn(t, "c", clustered, tbl.Imprints, core.Options{Seed: cfg.Seed + 1}))
+
+	type workload struct {
+		name string
+		sel  string
+		pred tbl.Predicate
+	}
+	var workloads []workload
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5} {
+		width := int64(1_000_000 * sel)
+		lo := (1_000_000 - width) / 2
+		workloads = append(workloads, workload{
+			name: "uniform",
+			sel:  fmt.Sprintf("%g%%", sel*100),
+			pred: tbl.Range[int64]("u", lo, lo+width),
+		})
+	}
+	// Exact-run-dominated: a contiguous ~25% slice of the clustered walk.
+	workloads = append(workloads, workload{
+		name: "clustered(exact)",
+		sel:  "25%",
+		pred: tbl.Range[int64]("c", v/2, v/2+v/4),
+	})
+
+	const execs = 12
+	header := []string{"workload", "sel", "op", "parallelism",
+		"scalar ms/exec", "kernel ms/exec", "speedup", "rows", "kernel blocks"}
+	var rows [][]string
+	for _, w := range workloads {
+		// Correctness cross-check before timing: scalar ≡ kernel ids.
+		a, _, err := t.Select().Where(w.pred).Options(tbl.SelectOptions{Parallelism: 1, Scalar: true}).IDs()
+		must(err)
+		b, stv, err := t.Select().Where(w.pred).Options(tbl.SelectOptions{Parallelism: 1}).IDs()
+		must(err)
+		if len(a) != len(b) {
+			panic(fmt.Sprintf("vectorized experiment: scalar %d ids, kernel %d ids", len(a), len(b)))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				panic("vectorized experiment: scalar and kernel ids diverge")
+			}
+		}
+		for _, op := range []string{"ids", "count"} {
+			for _, par := range []int{1, 2, 8} {
+				var elapsed [2]time.Duration
+				var matched uint64
+				for mode, scalar := range []bool{true, false} {
+					opts := tbl.SelectOptions{Parallelism: par, Scalar: scalar}
+					q := t.Select().Where(w.pred).Options(opts)
+					// One untimed exec warms scratch pools, kernel caches
+					// and the CPU caches, so sub-millisecond workloads are
+					// not dominated by first-touch effects.
+					if _, _, err := q.Count(); err != nil {
+						panic(err)
+					}
+					start := time.Now()
+					for e := 0; e < execs; e++ {
+						if op == "ids" {
+							ids, _, err := q.IDs()
+							must(err)
+							matched = uint64(len(ids))
+						} else {
+							c, _, err := q.Count()
+							must(err)
+							matched = c
+						}
+					}
+					elapsed[mode] = time.Since(start)
+				}
+				scalarMS := float64(elapsed[0].Microseconds()) / float64(execs) / 1000
+				kernelMS := float64(elapsed[1].Microseconds()) / float64(execs) / 1000
+				rows = append(rows, []string{
+					w.name, w.sel, op, d(par),
+					f2(scalarMS), f2(kernelMS),
+					f2(float64(elapsed[0].Nanoseconds()) / float64(elapsed[1].Nanoseconds())),
+					d(int(matched)), d(int(stv.BlocksVectorized)),
+				})
+			}
+		}
+	}
+	return tabular("vectorized",
+		"Vectorized execution: selection-mask kernels vs scalar residual checks",
+		header, rows)
+}

@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/coltype"
@@ -257,12 +258,15 @@ func (p aggPartial) value(spec AggSpec) AggValue {
 }
 
 // segAgg folds the qualifying rows of one segment into a partial: rows
-// one at a time (addRow) or whole live spans of exact candidate runs
-// (addSpan). Implementations are typed per column; one segAgg serves
-// one (aggregate, segment) pair of one execution.
+// one at a time (addRow), a 64-row selection mask at a time (addMask —
+// how the vectorized walk hands over surviving rows), or whole live
+// spans of exact candidate runs (addSpan). Implementations are typed
+// per column; one segAgg serves one (aggregate, segment) pair of one
+// execution.
 type segAgg interface {
 	addRow(local uint32)
-	addSpan(from, to int) // segment-local, every row live and qualifying
+	addMask(base int, mask uint64) // segment-local block base, surviving lanes
+	addSpan(from, to int)          // segment-local, every row live and qualifying
 	partial() aggPartial
 }
 
@@ -342,6 +346,17 @@ func (a *numSegAgg[V]) addRow(local uint32) {
 	}
 	a.any = true
 	a.rows++
+}
+
+// addMask folds the surviving lanes of one block, trailing-zero
+// iteration inside the monomorphized accumulator so the interface cost
+// is per block, not per row.
+func (a *numSegAgg[V]) addMask(base int, mask uint64) {
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		a.addRow(uint32(base + i))
+	}
 }
 
 func (a *numSegAgg[V]) addSpan(from, to int) {
@@ -452,6 +467,14 @@ func (a *strSegAgg) addRow(local uint32) {
 	a.rows++
 }
 
+func (a *strSegAgg) addMask(base int, mask uint64) {
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		a.addRow(uint32(base + i))
+	}
+}
+
 func (a *strSegAgg) addSpan(from, to int) {
 	codes := a.codes[from:to]
 	if len(codes) == 0 {
@@ -552,21 +575,22 @@ func (t *Table) aggSummaryEligible(s int, runs []core.CandidateRun) bool {
 
 // aggWalk drives one segment's qualifying rows through an aggregate
 // fold: exact, delete-free runs are offered wholesale to visitSpan
-// (segment-local bounds, every row live and qualifying); all other rows
-// go one at a time to visit, after the deleted bitmap and the residual
-// check. Callers hold the read lock.
-func (t *Table) aggWalk(s int, ev evaluated, st *core.QueryStats, visitSpan func(from, to int), visit func(local uint32)) {
+// (segment-local bounds, every row live and qualifying); every other
+// block arrives at visitMask as its segment-local base row plus the
+// surviving-lane selection mask (deleted folded, residual evaluated).
+// Callers hold the read lock.
+func (t *Table) aggWalk(s int, ev evaluated, st *core.QueryStats, visitSpan func(from, to int), visitMask func(base int, mask uint64)) {
 	base := s * t.segRows
-	t.walkRuns(s, ev, st,
+	t.walkBlocks(s, ev, st,
 		func(from, to int, exact bool) spanAction {
 			if exact && visitSpan != nil && t.deletedInSpan(from, to) == 0 {
 				visitSpan(from-base, to-base)
 				return spanDone
 			}
-			return spanPerRow
+			return spanPerBlock
 		},
-		func(id int) bool {
-			visit(uint32(id - base))
+		func(b int, mask uint64) bool {
+			visitMask(b-base, mask)
 			return true
 		})
 }
@@ -599,6 +623,7 @@ func (q *Query) aggSegment(en *execNode, s int, binds []aggBind) segOut {
 			o.aggs[i] = acc.partial()
 			o.st.WholesaleAggRows += uint64(n)
 		}
+		releaseEval(&ev)
 		return o
 	}
 	accs := make([]segAgg, len(binds))
@@ -621,11 +646,11 @@ func (q *Query) aggSegment(en *execNode, s int, binds []aggBind) segOut {
 				o.st.WholesaleAggRows += span
 			}
 		},
-		func(local uint32) {
-			o.count++
+		func(base int, mask uint64) {
+			o.count += uint64(bits.OnesCount64(mask))
 			for _, acc := range accs {
 				if acc != nil {
-					acc.addRow(local)
+					acc.addMask(base, mask)
 				}
 			}
 		})
@@ -636,6 +661,7 @@ func (q *Query) aggSegment(en *execNode, s int, binds []aggBind) segOut {
 			o.aggs[i] = aggPartial{rows: o.count}
 		}
 	}
+	releaseEval(&ev)
 	return o
 }
 

@@ -201,6 +201,34 @@ func checkAggOracle(t *testing.T, tb *Table, stage string, pred Predicate, match
 		if fmt.Sprint(ids) != fmt.Sprint(want.minIDsByAAsc) {
 			t.Fatalf("%s: full order by a asc diverged", tag)
 		}
+
+		// The scalar residual path must reproduce the vectorized
+		// aggregation byte for byte: same partials, same merge order,
+		// hence bit-identical floats too.
+		sopts := opts
+		sopts.Scalar = true
+		sres, _, err := tb.Select().Where(pred).Options(sopts).
+			Aggregate(CountAll(), Sum("a"), Min("a"), Max("a"), Sum("f"), Avg("f"), Min("s"), Max("s"))
+		if err != nil {
+			t.Fatalf("%s: scalar aggregate: %v", tag, err)
+		}
+		if fmt.Sprint(sres.Values()) != fmt.Sprint(res.Values()) || sres.Rows != res.Rows {
+			t.Fatalf("%s: scalar aggregation diverged\nscalar     %v\nvectorized %v", tag, sres, res)
+		}
+		sids, _, err := tb.Select().Where(pred).Options(sopts).OrderBy(Asc("a")).IDs()
+		if err != nil {
+			t.Fatalf("%s: scalar order: %v", tag, err)
+		}
+		if fmt.Sprint(sids) != fmt.Sprint(ids) {
+			t.Fatalf("%s: scalar ordered ids diverged", tag)
+		}
+		sg, _, err := tb.Select().Where(pred).Options(sopts).GroupBy("s").Aggregate(CountAll(), Sum("a"))
+		if err != nil {
+			t.Fatalf("%s: scalar groupby: %v", tag, err)
+		}
+		if fmt.Sprint(sg.Groups) != fmt.Sprint(g.Groups) {
+			t.Fatalf("%s: scalar grouping diverged", tag)
+		}
 	}
 }
 

@@ -34,6 +34,13 @@ type Plan struct {
 	// wholesale from the exact candidate runs (span minus a deleted-
 	// bitmap popcount) — the count fast path's coverage.
 	FastCountRows uint64
+	// BlocksVectorized previews the vectorized residual tier: the 64-row
+	// blocks of inexact candidate runs a full execution would evaluate
+	// through selection-mask kernels. An unlimited execution reports the
+	// same number in QueryStats.BlocksVectorized; one that stops early
+	// (Limit) reports fewer. Zero when SelectOptions.Scalar forces the
+	// row-at-a-time path.
+	BlocksVectorized uint64
 	// OrderBy names the ordering an OrderBy query would apply (e.g.
 	// "price desc"); empty without one.
 	OrderBy string
@@ -171,7 +178,7 @@ func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 	par := resolveParallelism(q.opts, nsegs)
 	segPlans := make([]*PlanNode, nsegs)
 	aggSegs := make([]AggSegmentPlan, nsegs)
-	var fast uint64
+	var fast, vect uint64
 	pruned := 0
 	q.t.forEachSegment(nsegs, par,
 		func(s int) segOut {
@@ -179,15 +186,20 @@ func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 			ev := q.t.evalSegment(en, s, q.opts, &o.st, true)
 			o.plan = ev.plan
 			o.fast = q.t.fastCountSegment(s, ev.runs)
+			if !q.opts.Scalar {
+				o.vect = q.t.vectorizedBlocksSegment(s, ev.runs)
+			}
 			if binds != nil && !q.limited {
 				aggSegs[s] = q.t.aggSegmentPlan(s, ev, binds)
 			}
+			releaseEval(&ev)
 			return o
 		},
 		func(s int, o segOut) bool {
 			st.Add(o.st)
 			segPlans[s] = o.plan
 			fast += o.fast
+			vect += o.vect
 			if o.plan.CandidateBlocks == 0 {
 				pruned++
 			}
@@ -199,18 +211,19 @@ func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 	}
 	root := q.t.aggregatePlans(segPlans)
 	p := &Plan{
-		Table:          q.t.name,
-		Columns:        append([]string(nil), names...),
-		Limit:          lim,
-		TotalRows:      q.t.rows,
-		TotalBlocks:    (q.t.rows + BlockRows - 1) / BlockRows,
-		SegmentRows:    q.t.segRows,
-		Segments:       nsegs,
-		Parallelism:    par,
-		SegmentsPruned: pruned,
-		Root:           root,
-		Stats:          st,
-		FastCountRows:  fast,
+		Table:            q.t.name,
+		Columns:          append([]string(nil), names...),
+		Limit:            lim,
+		TotalRows:        q.t.rows,
+		TotalBlocks:      (q.t.rows + BlockRows - 1) / BlockRows,
+		SegmentRows:      q.t.segRows,
+		Segments:         nsegs,
+		Parallelism:      par,
+		SegmentsPruned:   pruned,
+		Root:             root,
+		Stats:            st,
+		FastCountRows:    fast,
+		BlocksVectorized: vect,
 	}
 	if q.order != nil {
 		p.OrderBy = q.order.String()
@@ -251,9 +264,9 @@ func (t *Table) aggSegmentPlan(s int, ev evaluated, binds []aggBind) AggSegmentP
 		}
 	} else {
 		// Classify run by run; every run is handled at span granularity
-		// (spanDone), so the per-row path never executes.
+		// (spanDone), so the block path never executes.
 		var scratch core.QueryStats
-		t.walkRuns(s, ev, &scratch,
+		t.walkBlocks(s, ev, &scratch,
 			func(from, to int, exact bool) spanAction {
 				if exact && t.deletedInSpan(from, to) == 0 {
 					span := uint64(to - from)
@@ -394,6 +407,9 @@ func (p *Plan) String() string {
 	}
 	if p.FastCountRows > 0 {
 		fmt.Fprintf(&sb, ", count fast path: %d rows", p.FastCountRows)
+	}
+	if p.BlocksVectorized > 0 {
+		fmt.Fprintf(&sb, ", vectorized: %d blocks", p.BlocksVectorized)
 	}
 	sb.WriteString(")\n")
 	p.Root.render(&sb, "", "")

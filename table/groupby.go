@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/coltype"
@@ -181,7 +182,14 @@ func (g *GroupedQuery) groupSegment(en *execNode, s int, binds []aggBind, keyCol
 				fold(uint32(local))
 			}
 		},
-		fold)
+		func(base int, mask uint64) {
+			for mask != 0 {
+				i := bits.TrailingZeros64(mask)
+				mask &= mask - 1
+				fold(uint32(base + i))
+			}
+		})
+	releaseEval(&ev)
 	o.groups = make([]groupOut, 0, len(groups))
 	for k, ga := range groups {
 		out := groupOut{key: grouper.finalize(k), rows: ga.rows, parts: make([]aggPartial, len(binds))}

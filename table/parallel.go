@@ -1,6 +1,7 @@
 package table
 
 import (
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ type segOut struct {
 	ids    *[]uint32 // materialized global ids (IDs/Rows); pooled, consumer returns it
 	count  uint64    // qualifying rows (Count, Aggregate)
 	fast   uint64    // live rows of exact root runs (Explain's count fast path)
+	vect   uint64    // blocks of inexact root runs (Explain's vectorized preview)
 	plan   *PlanNode
 	aggs   []aggPartial // per-spec partials (Aggregate)
 	groups []groupOut   // per-group partials (GroupBy)
@@ -122,24 +124,68 @@ func putIDScratch(buf *[]uint32) {
 	}
 }
 
-// spanAction tells walkRuns how to continue after a run was offered
+// runScratchPool recycles candidate-run buffers: the per-segment run
+// lists index probes produce and predicate composition merges into.
+// Together with the pooled id buffers and the per-segment kernel caches
+// it makes a steady-state vectorized Count/IDs execution allocation-
+// free (pinned by TestVectorizedAllocs).
+var runScratchPool = sync.Pool{New: func() any { return new([]core.CandidateRun) }}
+
+func getRunScratch() *[]core.CandidateRun {
+	buf := runScratchPool.Get().(*[]core.CandidateRun)
+	*buf = (*buf)[:0]
+	return buf
+}
+
+func putRunScratch(buf *[]core.CandidateRun) {
+	if buf != nil {
+		runScratchPool.Put(buf)
+	}
+}
+
+// spanAction tells walkBlocks how to continue after a run was offered
 // wholesale.
 type spanAction int
 
 const (
-	spanPerRow spanAction = iota // walk the run's rows one by one
-	spanDone                     // the run was fully handled wholesale
-	spanStop                     // stop the walk
+	spanPerBlock spanAction = iota // walk the run block by block
+	spanDone                       // the run was fully handled wholesale
+	spanStop                       // stop the walk
 )
 
-// walkRuns is the single definition of the candidate-run walk every
-// executor shares: each run is first offered wholesale to span (global
-// [from, to) bounds clamped to the segment, plus its exactness); a
-// spanPerRow reply walks the run's rows one by one — skipping deleted
-// rows and applying the residual check of inexact runs (counting
-// comparisons into st) — through visit, which returns false to stop.
+// blockOnes returns the all-lanes-set mask of an n-row block, n in
+// [1, BlockRows].
+func blockOnes(n int) uint64 { return ^uint64(0) >> (64 - uint(n)) }
+
+// liveMask64 returns the live-lane mask of the n-row block starting at
+// global row b (64-aligned): bit i set iff row b+i is not deleted,
+// lanes >= n zero. One word load folds 64 rows of delete state.
 // Callers hold the read lock.
-func (t *Table) walkRuns(s int, ev evaluated, st *core.QueryStats, span func(from, to int, exact bool) spanAction, visit func(id int) bool) {
+func (t *Table) liveMask64(b, n int) uint64 {
+	if t.deleted == nil || t.ndel == 0 {
+		return blockOnes(n)
+	}
+	return t.deleted.LiveMask64(b, n)
+}
+
+// walkBlocks is the single definition of the candidate-run walk every
+// executor shares. Each run is first offered wholesale to span (global
+// [from, to) bounds clamped to the segment, plus its exactness); a
+// spanPerBlock reply walks the run BlockRows rows at a time, handing
+// block (the consumer) the block's global base row and its 64-lane
+// selection mask: deleted lanes are cleared with one word-AND against
+// the deleted bitmap, and inexact runs additionally evaluate the
+// residual predicate over the block — through the evaluation's
+// selection-mask kernel (one branch-light pass over the value slab,
+// counted in st.BlocksVectorized) or, when SelectOptions.Scalar forced
+// the row-at-a-time path, through the composed check closure per live
+// lane. Comparisons counts one comparison per evaluated live lane
+// either way (the popcount of the live mask), preserving its Figure-11
+// meaning. block returning false stops the walk. Runs start on block
+// boundaries and segments hold whole blocks, so every mask is 64-row
+// aligned; only a segment's ragged tail yields a shorter block.
+// Callers hold the read lock.
+func (t *Table) walkBlocks(s int, ev evaluated, st *core.QueryStats, span func(from, to int, exact bool) spanAction, block func(base int, mask uint64) bool) {
 	base := s * t.segRows
 	end := base + t.segLen(s)
 	for _, r := range ev.runs {
@@ -156,45 +202,39 @@ func (t *Table) walkRuns(s int, ev evaluated, st *core.QueryStats, span func(fro
 				return
 			}
 		}
-		for id := from; id < to; id++ {
-			if t.deleted != nil && t.deleted.Get(id) {
-				continue
+		if block == nil {
+			continue
+		}
+		residual := !r.Exact && (ev.kern != nil || ev.check != nil)
+		for b := from; b < to; b += BlockRows {
+			n := BlockRows
+			if b+n > to {
+				n = to - b
 			}
-			if !r.Exact && ev.check != nil {
-				st.Comparisons++
-				if !ev.check(uint32(id - base)) {
-					continue
+			m := t.liveMask64(b, n)
+			if residual {
+				st.Comparisons += uint64(bits.OnesCount64(m))
+				if ev.kern != nil {
+					st.BlocksVectorized++
+					m &= ev.kern(b-base, b-base+n)
+				} else {
+					live := m
+					m = 0
+					lb := uint32(b - base)
+					for live != 0 {
+						i := bits.TrailingZeros64(live)
+						live &= live - 1
+						if ev.check(lb + uint32(i)) {
+							m |= 1 << uint(i)
+						}
+					}
 				}
 			}
-			if !visit(id) {
+			if m != 0 && !block(b, m) {
 				return
 			}
 		}
 	}
-}
-
-// scanSegment walks one segment's candidate runs, handing each
-// qualifying row — as a global row id — to visit. Exact runs are
-// offered wholesale to visitRun when it is non-nil (Count's fast path)
-// as their live row count: the span minus a popcount over the deleted
-// bitmap, no per-row work. Either callback returns false to stop.
-// Callers hold the read lock.
-func (t *Table) scanSegment(s int, ev evaluated, st *core.QueryStats, visitRun func(live int) bool, visit func(id int) bool) {
-	var span func(from, to int, exact bool) spanAction
-	if visitRun != nil {
-		span = func(from, to int, exact bool) spanAction {
-			if !exact {
-				return spanPerRow
-			}
-			live := t.liveRows(from, to)
-			st.FastCountedRows += uint64(live)
-			if !visitRun(live) {
-				return spanStop
-			}
-			return spanDone
-		}
-	}
-	t.walkRuns(s, ev, st, span, visit)
 }
 
 // deletedInSpan popcounts the deleted bitmap over [from, to); callers
@@ -208,8 +248,8 @@ func (t *Table) deletedInSpan(from, to int) int {
 
 // liveRows is the single definition of the Count fast path's wholesale
 // tally for one row span: the span minus a popcount over the deleted
-// bitmap, no per-row work. scanSegment applies it to exact runs and
-// Explain previews it (fastCountRows); callers hold the read lock.
+// bitmap, no per-row work. Count applies it to exact runs and Explain
+// previews it (fastCountRows); callers hold the read lock.
 func (t *Table) liveRows(from, to int) int {
 	return to - from - t.deletedInSpan(from, to)
 }
@@ -231,6 +271,27 @@ func (t *Table) fastCountSegment(s int, runs []core.CandidateRun) uint64 {
 			to = end
 		}
 		n += uint64(t.liveRows(from, to))
+	}
+	return n
+}
+
+// vectorizedBlocksSegment previews the vectorized residual tier across
+// one segment's run list: the 64-row blocks of its inexact runs, which
+// an execution would evaluate through selection-mask kernels (and count
+// in QueryStats.BlocksVectorized). Callers hold the read lock.
+func (t *Table) vectorizedBlocksSegment(s int, runs []core.CandidateRun) uint64 {
+	end := t.segLen(s)
+	var n uint64
+	for _, r := range runs {
+		if r.Exact {
+			continue
+		}
+		from := int(r.Start) * BlockRows
+		to := from + int(r.Count)*BlockRows
+		if to > end {
+			to = end
+		}
+		n += uint64((to - from + BlockRows - 1) / BlockRows)
 	}
 	return n
 }

@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/coltype"
@@ -369,6 +370,14 @@ type SelectOptions struct {
 	// from Row.Value/Get/Lookup) past the yield: the next row overwrites
 	// the shared buffer.
 	ReuseRows bool
+	// Scalar forces row-at-a-time residual evaluation through composed
+	// check closures instead of the default block-at-a-time selection-
+	// mask kernels (64 rows folded into a bitmask per dynamic call, with
+	// And/Or/AndNot combined word-wise). Results and statistics are
+	// identical either way — QueryStats.BlocksVectorized stays zero under
+	// Scalar; the option exists for benchmarking the vectorized executor
+	// against its scalar baseline and for oracle cross-checks.
+	Scalar bool
 }
 
 func (o SelectOptions) threshold() float64 {
@@ -379,6 +388,22 @@ func (o SelectOptions) threshold() float64 {
 }
 
 // ---- compiled predicate trees ----
+
+// blockKernel is the vectorized residual evaluator of one predicate
+// subtree over one segment: it evaluates rows [from, to) of the
+// segment's value slab — segment-local ids, to-from <= BlockRows — into
+// a selection bitmask whose bit i is set iff row from+i satisfies the
+// predicate (bits at and above to-from are zero). The mask travels by
+// value, keeping every block evaluation on the stack. Leaf kernels are
+// monomorphized comparison loops over the slab; And/Or/AndNot combine
+// child masks word-wise, so a whole tree costs one dynamic call per
+// 64-row block instead of one (or one per leaf) per row.
+type blockKernel func(from, to int) uint64
+
+// zeroMask is the kernel of a subtree that matches nothing in the
+// segment (a pruned leaf under OR). A package-level func converts to a
+// blockKernel without allocating.
+func zeroMask(from, to int) uint64 { return 0 }
 
 // leafPlan is one predicate leaf translated against its column exactly
 // once: typed bounds and IN-sets come from that single translation.
@@ -395,15 +420,201 @@ type leafPlan interface {
 	// segment can be skipped without probing.
 	prune(s int) bool
 	// segRuns probes segment s's index down to candidate runs in
-	// BlockRows units, local to the segment.
-	segRuns(s int) ([]core.CandidateRun, core.QueryStats)
+	// BlockRows units, local to the segment, appended into dst (pass a
+	// pooled buffer truncated to length 0 to keep probing alloc-free).
+	segRuns(s int, dst []core.CandidateRun) ([]core.CandidateRun, core.QueryStats)
 	// segCheck is the exact residual test for rows of segment s,
-	// addressed by segment-local id.
+	// addressed by segment-local id (the scalar path).
 	segCheck(s int) core.CheckFunc
+	// segKernel is the vectorized residual evaluator for segment s.
+	// Kernels are cached per segment (re-derived when the segment's
+	// value slab or dictionary generation changes), so steady-state
+	// executions fetch a closure instead of building one.
+	segKernel(s int) blockKernel
 	// access names the column's index kind ("imprints", "zonemap",
 	// "scan"); per-segment deviations (pruned, scan fallback) are
 	// decided during evaluation.
 	access() string
+}
+
+// ---- monomorphized leaf kernels ----
+
+// Each kernel folds up to 64 rows of a typed value slab into a
+// selection mask with a branch-light loop: the per-lane bit is computed
+// with a conditional assignment (compiled to a flag-set, not a branch)
+// and OR-ed into the accumulator, so selectivity does not stall the
+// branch predictor the way per-row check closures do.
+
+// intRangeKernel answers low <= v < high over an integer slab with one
+// unsigned wrap-around compare per lane: for integer values,
+// low <= v && v < high  ⟺  uint64(v-low) < uint64(high-low) (arithmetic
+// mod 2^64, valid for every signed and unsigned width once widened to
+// 64 bits), which compiles to a single flag-set instead of two
+// mispredicting branches. Callers guarantee an integer V; an empty
+// range short-circuits to zeroMask.
+func intRangeKernel[V coltype.Value](vals []V, low, high V) blockKernel {
+	if high <= low {
+		return zeroMask
+	}
+	lo64 := int64(low)
+	span := uint64(int64(high) - lo64)
+	return func(from, to int) uint64 {
+		var acc uint64
+		blk := vals[from:to]
+		for i := range blk {
+			bit := uint64(0)
+			if uint64(int64(blk[i])-lo64) < span {
+				bit = 1
+			}
+			acc |= bit << uint(i)
+		}
+		return acc
+	}
+}
+
+// rangeKernel answers low <= v < high for value types where the
+// wrap-around trick does not apply (floats; NaN fails both compares,
+// matching the scalar check).
+func rangeKernel[V coltype.Value](vals []V, low, high V) blockKernel {
+	return func(from, to int) uint64 {
+		var acc uint64
+		blk := vals[from:to]
+		for i := range blk {
+			ge, lt := uint64(0), uint64(0)
+			if blk[i] >= low {
+				ge = 1
+			}
+			if blk[i] < high {
+				lt = 1
+			}
+			acc |= (ge & lt) << uint(i)
+		}
+		return acc
+	}
+}
+
+func atLeastKernel[V coltype.Value](vals []V, low V) blockKernel {
+	return func(from, to int) uint64 {
+		var acc uint64
+		blk := vals[from:to]
+		for i := range blk {
+			bit := uint64(0)
+			if blk[i] >= low {
+				bit = 1
+			}
+			acc |= bit << uint(i)
+		}
+		return acc
+	}
+}
+
+func lessThanKernel[V coltype.Value](vals []V, high V) blockKernel {
+	return func(from, to int) uint64 {
+		var acc uint64
+		blk := vals[from:to]
+		for i := range blk {
+			bit := uint64(0)
+			if blk[i] < high {
+				bit = 1
+			}
+			acc |= bit << uint(i)
+		}
+		return acc
+	}
+}
+
+func equalsKernel[V coltype.Value](vals []V, v V) blockKernel {
+	return func(from, to int) uint64 {
+		var acc uint64
+		blk := vals[from:to]
+		for i := range blk {
+			bit := uint64(0)
+			if blk[i] == v {
+				bit = 1
+			}
+			acc |= bit << uint(i)
+		}
+		return acc
+	}
+}
+
+// inKernel tests set membership per lane. Small IN-lists compare
+// against the sorted unique values directly (a handful of flag-sets per
+// lane beats a map probe); larger ones fall back to the member map the
+// scalar check uses.
+func inKernel[V coltype.Value](vals []V, set []V, member map[V]struct{}) blockKernel {
+	if len(set) <= 4 {
+		small := append([]V(nil), set...)
+		return func(from, to int) uint64 {
+			var acc uint64
+			blk := vals[from:to]
+			for i := range blk {
+				bit := uint64(0)
+				for _, s := range small {
+					if blk[i] == s {
+						bit = 1
+					}
+				}
+				acc |= bit << uint(i)
+			}
+			return acc
+		}
+	}
+	return func(from, to int) uint64 {
+		var acc uint64
+		blk := vals[from:to]
+		for i := range blk {
+			if _, ok := member[blk[i]]; ok {
+				acc |= 1 << uint(i)
+			}
+		}
+		return acc
+	}
+}
+
+// ---- word-wise mask composition ----
+
+// andKernels combines child masks with word-AND, short-circuiting the
+// remaining children once the accumulator is empty (the block analogue
+// of allOf's per-row short-circuit).
+func andKernels(ks []blockKernel) blockKernel {
+	return func(from, to int) uint64 {
+		acc := ks[0](from, to)
+		for _, k := range ks[1:] {
+			if acc == 0 {
+				return 0
+			}
+			acc &= k(from, to)
+		}
+		return acc
+	}
+}
+
+// orKernels combines child masks with word-OR, short-circuiting once
+// every lane of the block is set.
+func orKernels(ks []blockKernel) blockKernel {
+	return func(from, to int) uint64 {
+		full := blockOnes(to - from)
+		acc := ks[0](from, to)
+		for _, k := range ks[1:] {
+			if acc == full {
+				return acc
+			}
+			acc |= k(from, to)
+		}
+		return acc
+	}
+}
+
+// andNotKernel computes p &^ q, skipping q when no p lane survives.
+func andNotKernel(p, q blockKernel) blockKernel {
+	return func(from, to int) uint64 {
+		acc := p(from, to)
+		if acc == 0 {
+			return 0
+		}
+		return acc &^ q(from, to)
+	}
 }
 
 // compileLeafCalls counts leaf translations, so tests can assert that
@@ -517,68 +728,101 @@ func (t *Table) bindTree(cn *compiledNode, binds map[string]any) (*execNode, err
 }
 
 // evaluated is the composable per-segment form of a predicate subtree:
-// candidate row-block runs local to the segment, the exact residual
-// check addressed by segment-local id, and (when plan recording is on)
-// the plan node describing how the subtree was evaluated there.
+// candidate row-block runs local to the segment, the residual evaluator
+// for rows of inexact runs — a selection-mask kernel (the vectorized
+// default) or a check closure addressed by segment-local id (under
+// SelectOptions.Scalar) — and (when plan recording is on) the plan node
+// describing how the subtree was evaluated there.
 type evaluated struct {
 	runs  []core.CandidateRun // in BlockRows units, segment-local
-	check core.CheckFunc
+	kern  blockKernel         // vectorized residual (nil under Scalar or match-all)
+	check core.CheckFunc      // scalar residual (nil when kern is set or match-all)
 	plan  *PlanNode
+	owner *[]core.CandidateRun // pooled backing of runs; released by releaseEval
+}
+
+// releaseEval returns an evaluation's pooled run buffer to the scratch
+// pool. Executors call it once the runs have been fully consumed; the
+// evaluation must not be walked afterwards.
+func releaseEval(ev *evaluated) {
+	putRunScratch(ev.owner)
+	ev.owner, ev.runs = nil, nil
+}
+
+// mergeRuns composes two child run lists with merge into a fresh pooled
+// buffer and releases both children's buffers.
+func mergeRuns(a, b *evaluated, merge func(dst, x, y []core.CandidateRun) []core.CandidateRun) ([]core.CandidateRun, *[]core.CandidateRun) {
+	buf := getRunScratch()
+	*buf = merge((*buf)[:0], a.runs, b.runs)
+	releaseEval(a)
+	releaseEval(b)
+	return *buf, buf
 }
 
 // evalSegment evaluates one execution tree against segment s: the
 // single evaluator behind both ad-hoc queries and prepared statements,
 // run by each segment worker. A nil tree matches every row of the
-// segment exactly. Callers hold the table's read lock.
+// segment exactly. The returned evaluation's run list lives in a pooled
+// buffer — the executor must releaseEval it after the walk. Callers
+// hold the table's read lock.
 func (t *Table) evalSegment(en *execNode, s int, opts SelectOptions, st *core.QueryStats, record bool) evaluated {
 	if en == nil {
-		runs := blockSpanRuns(t.segLen(s), true)
+		buf := getRunScratch()
+		*buf = blockSpanRunsInto((*buf)[:0], t.segLen(s), true)
 		var node *PlanNode
 		if record {
 			node = &PlanNode{Op: "all", Pred: "true"}
-			node.setRuns(runs)
+			node.setRuns(*buf)
 		}
-		return evaluated{runs: runs, plan: node}
+		return evaluated{runs: *buf, plan: node, owner: buf}
 	}
 	switch en.op {
 	case "leaf":
 		return t.evalSegmentLeaf(en, s, opts, st, record)
 	case "and":
 		acc := t.evalSegment(en.kids[0], s, opts, st, record)
-		checks := []core.CheckFunc{acc.check}
+		kerns, checks := residuals(acc, opts, nil, nil)
 		var kids []*PlanNode
 		if record {
 			kids = []*PlanNode{acc.plan}
 		}
 		for _, kid := range en.kids[1:] {
 			ev := t.evalSegment(kid, s, opts, st, record)
-			acc.runs = core.IntersectRuns(acc.runs, ev.runs)
-			checks = append(checks, ev.check)
+			kerns, checks = residuals(ev, opts, kerns, checks)
+			acc.runs, acc.owner = mergeRuns(&acc, &ev, core.IntersectRunsInto)
 			if record {
 				kids = append(kids, ev.plan)
 			}
 		}
-		acc.check = allOf(checks)
+		if opts.Scalar {
+			acc.check = allOf(checks)
+		} else {
+			acc.kern = andKernels(kerns)
+		}
 		if record {
 			acc.plan = opNode("and", acc.runs, kids)
 		}
 		return acc
 	case "or":
 		acc := t.evalSegment(en.kids[0], s, opts, st, record)
-		checks := []core.CheckFunc{acc.check}
+		kerns, checks := residuals(acc, opts, nil, nil)
 		var kids []*PlanNode
 		if record {
 			kids = []*PlanNode{acc.plan}
 		}
 		for _, kid := range en.kids[1:] {
 			ev := t.evalSegment(kid, s, opts, st, record)
-			acc.runs = core.UnionRuns(acc.runs, ev.runs)
-			checks = append(checks, ev.check)
+			kerns, checks = residuals(ev, opts, kerns, checks)
+			acc.runs, acc.owner = mergeRuns(&acc, &ev, core.UnionRunsInto)
 			if record {
 				kids = append(kids, ev.plan)
 			}
 		}
-		acc.check = anyOf(checks)
+		if opts.Scalar {
+			acc.check = anyOf(checks)
+		} else {
+			acc.kern = orKernels(kerns)
+		}
 		if record {
 			acc.plan = opNode("or", acc.runs, kids)
 		}
@@ -586,17 +830,33 @@ func (t *Table) evalSegment(en *execNode, s int, opts SelectOptions, st *core.Qu
 	case "andnot":
 		evP := t.evalSegment(en.kids[0], s, opts, st, record)
 		evQ := t.evalSegment(en.kids[1], s, opts, st, record)
-		pc, qc := evP.check, evQ.check
-		out := evaluated{
-			runs:  core.DiffRuns(evP.runs, evQ.runs),
-			check: func(id uint32) bool { return pc(id) && !qc(id) },
+		out := evaluated{}
+		if opts.Scalar {
+			pc, qc := evP.check, evQ.check
+			out.check = func(id uint32) bool { return pc(id) && !qc(id) }
+		} else {
+			out.kern = andNotKernel(evP.kern, evQ.kern)
 		}
+		var plans []*PlanNode
 		if record {
-			out.plan = opNode("andnot", out.runs, []*PlanNode{evP.plan, evQ.plan})
+			plans = []*PlanNode{evP.plan, evQ.plan}
+		}
+		out.runs, out.owner = mergeRuns(&evP, &evQ, core.DiffRunsInto)
+		if record {
+			out.plan = opNode("andnot", out.runs, plans)
 		}
 		return out
 	}
 	panic("table: unknown execution op " + en.op)
+}
+
+// residuals collects one child evaluation's residual evaluator into the
+// mode-matching list (kernels when vectorizing, checks under Scalar).
+func residuals(ev evaluated, opts SelectOptions, kerns []blockKernel, checks []core.CheckFunc) ([]blockKernel, []core.CheckFunc) {
+	if opts.Scalar {
+		return kerns, append(checks, ev.check)
+	}
+	return append(kerns, ev.kern), checks
 }
 
 // neverMatch is the residual check of a pruned leaf: no row of the
@@ -622,7 +882,21 @@ func (t *Table) evalSegmentLeaf(en *execNode, s int, opts SelectOptions, st *cor
 			node.Access = "pruned"
 			node.Reason = "summary excludes"
 		}
-		return evaluated{check: neverMatch, plan: node}
+		if opts.Scalar {
+			return evaluated{check: neverMatch, plan: node}
+		}
+		return evaluated{kern: zeroMask, plan: node}
+	}
+	// residual attaches the leaf's residual evaluator in the mode the
+	// options selected: the cached per-segment selection-mask kernel, or
+	// the check closure under Scalar.
+	residual := func(ev evaluated) evaluated {
+		if opts.Scalar {
+			ev.check = plan.segCheck(s)
+		} else {
+			ev.kern = plan.segKernel(s)
+		}
+		return ev
 	}
 	// Cost-based access path: skip index probing for segments where the
 	// leaf is unselective. Only imprint-backed segments yield an
@@ -633,33 +907,36 @@ func (t *Table) evalSegmentLeaf(en *execNode, s int, opts SelectOptions, st *cor
 			node.Selectivity = est
 		}
 		if est > opts.threshold() {
-			runs := blockSpanRuns(t.segLen(s), false)
+			buf := getRunScratch()
+			*buf = blockSpanRunsInto((*buf)[:0], t.segLen(s), false)
 			if record {
 				node.Access = "scan"
 				node.Reason = "unselective"
-				node.setRuns(runs)
+				node.setRuns(*buf)
 			}
-			return evaluated{runs: runs, check: plan.segCheck(s), plan: node}
+			return residual(evaluated{runs: *buf, plan: node, owner: buf})
 		}
 	}
-	runs, s1 := plan.segRuns(s)
+	buf := getRunScratch()
+	runs, s1 := plan.segRuns(s, (*buf)[:0])
+	*buf = runs
 	st.Add(s1)
 	if record {
 		node.Stats = s1
 		node.setRuns(runs)
 	}
-	return evaluated{runs: runs, check: plan.segCheck(s), plan: node}
+	return residual(evaluated{runs: runs, plan: node, owner: buf})
 }
 
-// blockSpanRuns covers every block of an n-row segment in one run:
-// inexact for scan fallbacks (rows must still pass the residual
-// check), exact for a query with no predicate at all.
-func blockSpanRuns(n int, exact bool) []core.CandidateRun {
+// blockSpanRunsInto appends one run covering every block of an n-row
+// segment to dst: inexact for scan fallbacks (rows must still pass the
+// residual evaluator), exact for a query with no predicate at all.
+func blockSpanRunsInto(dst []core.CandidateRun, n int, exact bool) []core.CandidateRun {
 	blocks := (n + BlockRows - 1) / BlockRows
 	if blocks == 0 {
-		return nil
+		return dst
 	}
-	return []core.CandidateRun{{Start: 0, Count: uint32(blocks), Exact: exact}}
+	return append(dst, core.CandidateRun{Start: 0, Count: uint32(blocks), Exact: exact})
 }
 
 func allOf(checks []core.CheckFunc) core.CheckFunc {
@@ -727,6 +1004,22 @@ type numLeafPlan[V coltype.Value] struct {
 	set          []V            // kindIn
 	member       map[V]struct{} // kindIn
 	setLo, setHi V              // kindIn summary bounds (meaningless when empty)
+
+	// Per-segment selection-mask kernels, cached so steady-state
+	// executions reuse one closure per segment instead of building one
+	// per execution. An entry is valid while it reads the segment's
+	// current value slab (same backing array, same length): in-place
+	// updates keep it, appends and rebuilds that move or grow the slab
+	// re-derive it.
+	mu    sync.Mutex
+	kerns []numKernEntry[V]
+}
+
+// numKernEntry is one cached kernel with the slab identity it reads.
+type numKernEntry[V coltype.Value] struct {
+	vals *V // first element of the slab the kernel captured
+	n    int
+	k    blockKernel
 }
 
 func (c *colState[V]) compileLeaf(p *leafPred) (leafPlan, error) {
@@ -807,43 +1100,47 @@ func (pl *numLeafPlan[V]) segCheck(s int) core.CheckFunc {
 	}
 }
 
-func (pl *numLeafPlan[V]) segRuns(s int) ([]core.CandidateRun, core.QueryStats) {
+func (pl *numLeafPlan[V]) segRuns(s int, dst []core.CandidateRun) ([]core.CandidateRun, core.QueryStats) {
 	seg := pl.c.segs[s]
 	if seg.ix == nil && seg.zm == nil {
 		// Scan-only segment: every block is a candidate.
-		return blockSpanRuns(len(seg.vals), false), core.QueryStats{}
+		return blockSpanRunsInto(dst, len(seg.vals), false), core.QueryStats{}
 	}
 	var runs []core.CandidateRun
 	var st core.QueryStats
 	var vpc int
+	// Cacheline-granular probe output lands in a pooled temp and is
+	// renormalized to BlockRows blocks appended into dst.
+	tmp := getRunScratch()
+	cl := (*tmp)[:0]
 	if seg.ix != nil {
 		vpc = seg.ix.ValuesPerCacheline()
 		switch pl.kind {
 		case kindIn:
-			runs, st = seg.ix.InSetCachelines(pl.set)
+			cl, st = seg.ix.InSetCachelinesInto(cl, pl.set)
 		case kindRange:
-			runs, st = seg.ix.RangeCachelines(pl.low, pl.high)
+			cl, st = seg.ix.RangeCachelinesInto(cl, pl.low, pl.high)
 		case kindAtLeast:
-			runs, st = seg.ix.AtLeastCachelines(pl.low)
+			cl, st = seg.ix.AtLeastCachelinesInto(cl, pl.low)
 		case kindLessThan:
-			runs, st = seg.ix.LessThanCachelines(pl.high)
+			cl, st = seg.ix.LessThanCachelinesInto(cl, pl.high)
 		case kindEquals:
-			runs, st = seg.ix.PointCachelines(pl.low)
+			cl, st = seg.ix.PointCachelinesInto(cl, pl.low)
 		}
 	} else {
 		vpc = seg.zm.ValuesPerZone()
 		var zst zonemap.QueryStats
 		switch pl.kind {
 		case kindIn:
-			runs, zst = seg.zm.InSetCachelines(pl.set)
+			cl, zst = seg.zm.InSetCachelines(pl.set)
 		case kindRange:
-			runs, zst = seg.zm.RangeCachelines(pl.low, pl.high)
+			cl, zst = seg.zm.RangeCachelines(pl.low, pl.high)
 		case kindAtLeast:
-			runs, zst = seg.zm.AtLeastCachelines(pl.low)
+			cl, zst = seg.zm.AtLeastCachelines(pl.low)
 		case kindLessThan:
-			runs, zst = seg.zm.LessThanCachelines(pl.high)
+			cl, zst = seg.zm.LessThanCachelines(pl.high)
 		case kindEquals:
-			runs, zst = seg.zm.PointCachelines(pl.low)
+			cl, zst = seg.zm.PointCachelines(pl.low)
 		}
 		st = core.QueryStats{
 			Probes:            zst.Probes,
@@ -854,7 +1151,47 @@ func (pl *numLeafPlan[V]) segRuns(s int) ([]core.CandidateRun, core.QueryStats) 
 		}
 	}
 	cls := (len(seg.vals) + vpc - 1) / vpc
-	return blocksFromCachelines(runs, BlockRows/vpc, cls), st
+	runs = blocksFromCachelinesInto(dst, cl, BlockRows/vpc, cls)
+	*tmp = cl[:0]
+	putRunScratch(tmp)
+	return runs, st
+}
+
+// segKernel returns the leaf's cached selection-mask kernel for segment
+// s, deriving a fresh monomorphized one when the segment's slab changed
+// since it was cached.
+func (pl *numLeafPlan[V]) segKernel(s int) blockKernel {
+	vals := pl.c.segs[s].vals
+	if len(vals) == 0 {
+		return zeroMask
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	for len(pl.kerns) <= s {
+		pl.kerns = append(pl.kerns, numKernEntry[V]{})
+	}
+	e := &pl.kerns[s]
+	if e.k != nil && e.vals == &vals[0] && e.n == len(vals) {
+		return e.k
+	}
+	e.vals, e.n = &vals[0], len(vals)
+	switch pl.kind {
+	case kindIn:
+		e.k = inKernel(vals, pl.set, pl.member)
+	case kindRange:
+		if isIntType[V]() {
+			e.k = intRangeKernel(vals, pl.low, pl.high)
+		} else {
+			e.k = rangeKernel(vals, pl.low, pl.high)
+		}
+	case kindAtLeast:
+		e.k = atLeastKernel(vals, pl.low)
+	case kindLessThan:
+		e.k = lessThanKernel(vals, pl.high)
+	default: // kindEquals; compileLeaf rejected every other kind
+		e.k = equalsKernel(vals, pl.low)
+	}
+	return e.k
 }
 
 // segEstimate returns the leaf's selectivity estimate within segment s
@@ -894,7 +1231,17 @@ func blocksFromCachelines(runs []core.CandidateRun, f int, totalCl int) []core.C
 	if f == 1 || len(runs) == 0 {
 		return runs
 	}
-	var out []core.CandidateRun
+	return blocksFromCachelinesInto(nil, runs, f, totalCl)
+}
+
+// blocksFromCachelinesInto is blocksFromCachelines appending into dst
+// (which must not alias runs); an f of 1 copies, so the caller may
+// recycle runs' buffer either way.
+func blocksFromCachelinesInto(dst, runs []core.CandidateRun, f int, totalCl int) []core.CandidateRun {
+	if f == 1 || len(runs) == 0 {
+		return append(dst, runs...)
+	}
+	out := dst
 	push := func(start, count uint32, exact bool) {
 		if count == 0 {
 			return

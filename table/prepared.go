@@ -46,6 +46,11 @@ type Prepared struct {
 	cols     []string
 	params   map[string]*paramInfo
 	compiled *compiledNode // nil for a match-everything statement
+	// static is the execution tree of a placeholder-free statement,
+	// bound once at Prepare time and shared by every execution (it is
+	// immutable — plans resolve segment state live), so steady-state
+	// executions skip the per-execution tree build entirely.
+	static *execNode
 }
 
 // paramInfo records how one named placeholder is used across the tree,
@@ -83,6 +88,11 @@ func (t *Table) Prepare(pred Predicate, opts SelectOptions) (*Prepared, error) {
 			return nil, err
 		}
 		p.compiled = cn
+		if len(p.params) == 0 {
+			if p.static, err = t.bindTree(cn, nil); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return p, nil
 }
@@ -153,6 +163,9 @@ func (p *Prepared) checkBinds(binds map[string]any) error {
 func (p *Prepared) bindLocked(binds map[string]any) (*execNode, error) {
 	if err := p.checkBinds(binds); err != nil {
 		return nil, err
+	}
+	if p.static != nil {
+		return p.static, nil
 	}
 	if p.compiled == nil {
 		return nil, nil

@@ -540,7 +540,7 @@ func TestPreparedRandomizedOracle(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s: prepared: %v", ctx, err)
 					}
-					gotAdhoc, _, err := tb.Select().Where(node.lit[b]).Options(opts).IDs()
+					gotAdhoc, stVec, err := tb.Select().Where(node.lit[b]).Options(opts).IDs()
 					if err != nil {
 						t.Fatalf("%s: adhoc: %v", ctx, err)
 					}
@@ -555,6 +555,30 @@ func TestPreparedRandomizedOracle(t *testing.T) {
 					}
 					equalIDs(t, gotPrep, want, ctx+": prepared vs naive")
 					equalIDs(t, gotAdhoc, want, ctx+": adhoc vs naive")
+
+					// Scalar ≡ vectorized at several parallelism levels:
+					// identical ids at each, and — since both walks count
+					// one comparison per evaluated live lane — identical
+					// statistics up to the kernel block counter (scratch
+					// reuse depends on pool warmth, not the plan).
+					for _, par := range []int{1, 2, 8} {
+						so := opts
+						so.Scalar = true
+						so.Parallelism = par
+						gotScalar, stSca, err := tb.Select().Where(node.lit[b]).Options(so).IDs()
+						if err != nil {
+							t.Fatalf("%s: scalar par=%d: %v", ctx, par, err)
+						}
+						equalIDs(t, gotScalar, want, fmt.Sprintf("%s: scalar par=%d vs naive", ctx, par))
+						if stSca.BlocksVectorized != 0 {
+							t.Errorf("%s: scalar par=%d run vectorized %d blocks", ctx, par, stSca.BlocksVectorized)
+						}
+						a, c := stVec, stSca
+						a.BlocksVectorized, a.ScratchReused, c.ScratchReused = 0, 0, 0
+						if a != c {
+							t.Errorf("%s: scalar par=%d vs vectorized stats diverge\nvec %+v\nsca %+v", ctx, par, stVec, stSca)
+						}
+					}
 
 					// Count agrees with the id list (exercising the
 					// exact-run popcount shortcut under deletes).

@@ -3,6 +3,7 @@ package table
 import (
 	"fmt"
 	"iter"
+	"math/bits"
 
 	"repro/internal/core"
 )
@@ -166,8 +167,9 @@ func (q *Query) checkProjection() error {
 
 // collectIDs is the segment worker behind IDs and Rows: evaluate the
 // tree against one segment and materialize its qualifying global ids
-// into a pooled scratch buffer (at most limit of them — no later
-// segment can need more).
+// into a pooled scratch buffer. Each surviving block's selection mask
+// expands to ids by trailing-zero iteration; the buffer may run at most
+// one block past the limit (the merging consumer truncates).
 func (q *Query) collectIDs(en *execNode, s int) segOut {
 	var o segOut
 	ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
@@ -176,10 +178,11 @@ func (q *Query) collectIDs(en *execNode, s int) segOut {
 		o.st.ScratchReused++
 	}
 	ids := *buf
-	q.t.scanSegment(s, ev, &o.st, nil, func(id int) bool {
-		ids = append(ids, uint32(id))
+	q.t.walkBlocks(s, ev, &o.st, nil, func(base int, mask uint64) bool {
+		ids = core.AppendMaskIDs(ids, uint32(base), mask)
 		return !q.limited || len(ids) < q.limit
 	})
+	releaseEval(&ev)
 	*buf = ids
 	o.ids = buf
 	return o
@@ -208,6 +211,47 @@ func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
 		return nil, st, err
 	}
 	nsegs := q.t.segCount()
+	if resolveParallelism(q.opts, nsegs) == 1 {
+		return q.idsSerial(en, nsegs)
+	}
+	return q.idsParallel(en, nsegs)
+}
+
+// idsSerial is the one-worker IDs loop: every segment's masks expand
+// into one shared pooled buffer on the calling goroutine, and the only
+// allocation left in steady state is the returned slice itself (the
+// vectorized zero-alloc pin relies on this path).
+func (q *Query) idsSerial(en *execNode, nsegs int) ([]uint32, core.QueryStats, error) {
+	var st core.QueryStats
+	buf, reused := getIDScratch()
+	if reused {
+		st.ScratchReused++
+	}
+	ids := *buf
+	for s := 0; s < nsegs; s++ {
+		ev := q.t.evalSegment(en, s, q.opts, &st, false)
+		q.t.walkBlocks(s, ev, &st, nil, func(base int, mask uint64) bool {
+			ids = core.AppendMaskIDs(ids, uint32(base), mask)
+			return !q.limited || len(ids) < q.limit
+		})
+		releaseEval(&ev)
+		if q.limited && len(ids) >= q.limit {
+			break
+		}
+	}
+	if q.limited && len(ids) > q.limit {
+		ids = ids[:q.limit]
+	}
+	res := append([]uint32(nil), ids...)
+	*buf = ids
+	putIDScratch(buf)
+	return res, st, nil
+}
+
+// idsParallel fans the segments across the worker pool and concatenates
+// the per-segment id lists in segment order.
+func (q *Query) idsParallel(en *execNode, nsegs int) ([]uint32, core.QueryStats, error) {
+	var st core.QueryStats
 	var res []uint32
 	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
 		func(s int) segOut { return q.collectIDs(en, s) },
@@ -225,13 +269,43 @@ func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
 	return res, st, nil
 }
 
+// countSegment tallies one segment: exact candidate runs wholesale via
+// the deleted-bitmap popcount (the count fast path), inexact runs one
+// popcount per surviving block mask.
+func (q *Query) countSegment(en *execNode, s int) segOut {
+	var o segOut
+	ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
+	limit := uint64(q.limit)
+	q.t.walkBlocks(s, ev, &o.st,
+		func(from, to int, exact bool) spanAction {
+			if !exact {
+				return spanPerBlock
+			}
+			live := q.t.liveRows(from, to)
+			o.st.FastCountedRows += uint64(live)
+			o.count += uint64(live)
+			if q.limited && o.count >= limit {
+				return spanStop
+			}
+			return spanDone
+		},
+		func(base int, mask uint64) bool {
+			o.count += uint64(bits.OnesCount64(mask))
+			return !q.limited || o.count < limit
+		})
+	releaseEval(&ev)
+	return o
+}
+
 // Count executes the query and returns the number of qualifying rows
 // (capped by Limit) without materializing ids. Exact candidate runs are
 // counted wholesale — a popcount over the deleted bitmap replaces the
-// per-row walk even while deletes are pending — with the shortcut's row
+// block walk even while deletes are pending — with the shortcut's row
 // tally reported in QueryStats.FastCountedRows (and previewed by
-// Plan.FastCountRows). Segments are counted in parallel and the tallies
-// summed in segment order.
+// Plan.FastCountRows); surviving blocks of inexact runs cost one
+// selection-mask kernel call and one popcount each. Segments are
+// counted in parallel and the tallies summed in segment order; with one
+// worker the whole execution is allocation-free in steady state.
 func (q *Query) Count() (uint64, core.QueryStats, error) {
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
@@ -248,20 +322,31 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 	}
 	limit := uint64(q.limit)
 	nsegs := q.t.segCount()
+	if resolveParallelism(q.opts, nsegs) == 1 {
+		var n uint64
+		for s := 0; s < nsegs; s++ {
+			o := q.countSegment(en, s)
+			st.Add(o.st)
+			n += o.count
+			if q.limited && n >= limit {
+				break
+			}
+		}
+		if q.limited && n > limit {
+			n = limit
+		}
+		return n, st, nil
+	}
+	return q.countParallel(en, nsegs, limit)
+}
+
+// countParallel fans the segments across the worker pool, summing the
+// tallies in segment order.
+func (q *Query) countParallel(en *execNode, nsegs int, limit uint64) (uint64, core.QueryStats, error) {
+	var st core.QueryStats
 	var n uint64
 	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
-		func(s int) segOut {
-			var o segOut
-			ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
-			q.t.scanSegment(s, ev, &o.st, func(live int) bool {
-				o.count += uint64(live)
-				return !q.limited || o.count < limit
-			}, func(id int) bool {
-				o.count++
-				return !q.limited || o.count < limit
-			})
-			return o
-		},
+		func(s int) segOut { return q.countSegment(en, s) },
 		func(s int, o segOut) bool {
 			st.Add(o.st)
 			n += o.count

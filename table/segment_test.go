@@ -134,7 +134,7 @@ func TestSegmentedOracle(t *testing.T) {
 			pred, oracle := m.randomPred(rng)
 			want := m.oracleIDs(oracle)
 
-			serial, _, err := tb.Select().Where(pred).Options(SelectOptions{Parallelism: 1}).IDs()
+			serial, stVec, err := tb.Select().Where(pred).Options(SelectOptions{Parallelism: 1}).IDs()
 			if err != nil {
 				t.Fatalf("%s serial: %v", phase, err)
 			}
@@ -144,6 +144,28 @@ func TestSegmentedOracle(t *testing.T) {
 			}
 			equalIDs(t, serial, want, phase+" serial vs oracle")
 			equalIDs(t, par, want, phase+" parallel vs oracle")
+
+			// The scalar residual path must match the vectorized default
+			// bit for bit — ids and every statistic except the kernel
+			// block counter (and pool-dependent scratch reuse).
+			for _, spar := range []int{1, 4} {
+				scalar, stSca, err := tb.Select().Where(pred).
+					Options(SelectOptions{Parallelism: spar, Scalar: true}).IDs()
+				if err != nil {
+					t.Fatalf("%s scalar: %v", phase, err)
+				}
+				equalIDs(t, scalar, want, fmt.Sprintf("%s scalar par=%d vs oracle", phase, spar))
+				if spar == 1 {
+					if stSca.BlocksVectorized != 0 {
+						t.Fatalf("%s: scalar run vectorized %d blocks", phase, stSca.BlocksVectorized)
+					}
+					a, b := stVec, stSca
+					a.BlocksVectorized, a.ScratchReused, b.ScratchReused = 0, 0, 0
+					if a != b {
+						t.Fatalf("%s: scalar vs vectorized stats diverge\nvec %+v\nsca %+v", phase, stVec, stSca)
+					}
+				}
+			}
 
 			p, err := tb.Prepare(pred, SelectOptions{Parallelism: 3})
 			if err != nil {

@@ -325,6 +325,18 @@ type strLeafPlan struct {
 
 	mu    sync.Mutex
 	cache []*strSegTrans // indexed by segment
+	kerns []strKernEntry // cached per-segment selection-mask kernels
+}
+
+// strKernEntry is one cached code-slab kernel with the identity it was
+// derived for: the dictionary generation (the translation it bakes in)
+// and the code slab it reads (tail appends grow the slab without a
+// generation bump, so the slab header is checked too).
+type strKernEntry struct {
+	gen   uint64
+	codes *int32
+	n     int
+	k     blockKernel
 }
 
 func (c *strColState) compileLeaf(p *leafPred) (leafPlan, error) {
@@ -442,26 +454,58 @@ func (pl *strLeafPlan) segCheck(s int) core.CheckFunc {
 	return func(id uint32) bool { v := codes[id]; return v >= lo && v < hi }
 }
 
-func (pl *strLeafPlan) segRuns(s int) ([]core.CandidateRun, core.QueryStats) {
+func (pl *strLeafPlan) segRuns(s int, dst []core.CandidateRun) ([]core.CandidateRun, core.QueryStats) {
 	e := pl.trans(s)
 	if e.none {
-		return nil, core.QueryStats{}
+		return dst, core.QueryStats{}
 	}
 	seg := pl.c.segs[s]
 	if seg.ix == nil {
 		// Scan-only segment: every block is a candidate.
-		return blockSpanRuns(seg.rows(), false), core.QueryStats{}
+		return blockSpanRunsInto(dst, seg.rows(), false), core.QueryStats{}
 	}
-	var runs []core.CandidateRun
 	var st core.QueryStats
+	tmp := getRunScratch()
+	cl := (*tmp)[:0]
 	if pl.kind == kindIn {
-		runs, st = seg.ix.InSetCachelines(e.set)
+		cl, st = seg.ix.InSetCachelinesInto(cl, e.set)
 	} else {
-		runs, st = seg.ix.RangeCachelines(e.lo, e.hi)
+		cl, st = seg.ix.RangeCachelinesInto(cl, e.lo, e.hi)
 	}
 	vpc := seg.ix.ValuesPerCacheline()
 	cls := (seg.rows() + vpc - 1) / vpc
-	return blocksFromCachelines(runs, BlockRows/vpc, cls), st
+	runs := blocksFromCachelinesInto(dst, cl, BlockRows/vpc, cls)
+	*tmp = cl[:0]
+	putRunScratch(tmp)
+	return runs, st
+}
+
+// segKernel returns the leaf's cached selection-mask kernel over
+// segment s's code slab, re-deriving it when the segment re-encoded
+// (generation bump) or its slab moved or grew (tail append).
+func (pl *strLeafPlan) segKernel(s int) blockKernel {
+	e := pl.trans(s)
+	seg := pl.c.segs[s]
+	codes := seg.codes()
+	if e.none || len(codes) == 0 {
+		return zeroMask
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	for len(pl.kerns) <= s {
+		pl.kerns = append(pl.kerns, strKernEntry{})
+	}
+	k := &pl.kerns[s]
+	if k.k != nil && k.gen == seg.gen && k.codes == &codes[0] && k.n == len(codes) {
+		return k.k
+	}
+	k.gen, k.codes, k.n = seg.gen, &codes[0], len(codes)
+	if pl.kind == kindIn {
+		k.k = inKernel(codes, e.set, e.member)
+	} else {
+		k.k = intRangeKernel(codes, e.lo, e.hi)
+	}
+	return k.k
 }
 
 // segEstimate mirrors numLeafPlan.segEstimate: negative means segment s

@@ -28,6 +28,17 @@
 // Explain, which renders the per-leaf access-path plan including the
 // per-segment decisions (pruned / imprints / zonemap / scan).
 //
+// Execution inside each segment is vectorized: candidate runs are
+// walked 64 rows (one machine word) at a time, each predicate leaf
+// evaluates a block of its value slab into a selection bitmask with a
+// monomorphized branch-light kernel, And/Or/AndNot combine masks
+// word-wise, and the deleted bitmap folds in with one word-AND per
+// block — so the residual check behind the imprints' cacheline pruning
+// costs one dynamic call per leaf per 64 rows, not per row.
+// QueryStats.BlocksVectorized (and the Explain preview) make the tier
+// observable; SelectOptions.Scalar forces the row-at-a-time baseline,
+// which returns byte-identical results and statistics.
+//
 // Results compose into a segment-parallel aggregation pipeline:
 // Aggregate folds typed aggregates inside the segment workers
 // (fully-selected, delete-free segments answer Min/Max from their

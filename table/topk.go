@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/coltype"
@@ -282,7 +283,15 @@ func (q *Query) orderedIDsLocked() ([]uint32, core.QueryStats, error) {
 						acc.push(uint32(local), base+uint32(local))
 					}
 				},
-				func(local uint32) { acc.push(local, base+local) })
+				func(bb int, mask uint64) {
+					for mask != 0 {
+						i := bits.TrailingZeros64(mask)
+						mask &= mask - 1
+						local := uint32(bb + i)
+						acc.push(local, base+local)
+					}
+				})
+			releaseEval(&ev)
 			o.ord = acc.partial()
 			return o
 		},
