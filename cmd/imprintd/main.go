@@ -1,0 +1,151 @@
+// Command imprintd serves SQL queries over JSON/HTTP against one
+// imprint-indexed table. It fronts the table layer with a bounded
+// worker pool (admission control: overflow answers 429), an LRU of
+// prepared statements keyed by normalized query text, and per-query
+// deadlines propagated into the segment fan-out so canceled queries
+// stop scanning between segments.
+//
+// Usage:
+//
+//	imprintd [-addr :8080] [-load table.ctbl | -sample 100000]
+//	         [-seed 42] [-segment-rows 0]
+//	         [-workers 0] [-queue 0] [-cache 128]
+//	         [-default-timeout 0] [-parallelism 1]
+//
+// Exactly one of -load (a table file written by Table.Write) or
+// -sample (a synthetic "orders" table with that many rows) selects the
+// served relation; -sample is the default.
+//
+// Endpoints:
+//
+//	POST /query    {"query": "select ...", "params": {...}, "timeout_ms": 0}
+//	GET  /explain  ?q=select ...&params={...}
+//	GET  /stats    serving counters and latency histograms
+//	GET  /healthz  liveness plus table identity
+//
+// SIGINT/SIGTERM drains in-flight requests, then logs the serving
+// summary (queries served, rejections, cancellations, cache counters).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/table"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		load        = flag.String("load", "", "serve a table file written by Table.Write")
+		sample      = flag.Int("sample", 100000, "rows in the synthetic sample table (ignored with -load)")
+		seed        = flag.Int64("seed", 42, "sample table generation seed")
+		segRows     = flag.Int("segment-rows", 0, "sample table segment size (0 = default)")
+		workers     = flag.Int("workers", 0, "concurrent query executions (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "admission queue depth (0 = 2x workers)")
+		cacheSize   = flag.Int("cache", 128, "prepared-statement LRU capacity (negative disables)")
+		defTimeout  = flag.Duration("default-timeout", 0, "default per-query deadline (0 = none)")
+		parallelism = flag.Int("parallelism", 1, "per-query segment fan-out (0 = one worker per core)")
+	)
+	flag.Parse()
+
+	tbl, err := loadTable(*load, *sample, *seed, *segRows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imprintd:", err)
+		os.Exit(1)
+	}
+	log.Printf("serving table %q: %d rows, %d segments", tbl.Name(), tbl.Rows(), tbl.Segments())
+
+	srv, err := server.New(server.Config{
+		Table:          tbl,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *defTimeout,
+		Parallelism:    *parallelism,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imprintd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "imprintd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, let in-flight requests finish, then stop
+	// the worker pool and report the serving totals.
+	log.Printf("shutdown signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	srv.LogStats()
+}
+
+// loadTable reads a persisted table or synthesizes the sample "orders"
+// relation (qty int64, price float64, pri uint8, city string).
+func loadTable(path string, rows int, seed int64, segRows int) (*table.Table, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return table.Read(f)
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("need -load or a positive -sample row count")
+	}
+	cities := []string{"Amsterdam", "Athens", "Berlin", "Bern", "Lisbon", "Madrid", "Oslo", "Paris", "Prague", "Rome"}
+	rng := rand.New(rand.NewSource(seed))
+	qty := make([]int64, rows)
+	price := make([]float64, rows)
+	pri := make([]uint8, rows)
+	city := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		qty[i] = int64(rng.Intn(1000))
+		price[i] = float64(rng.Intn(10000)) / 100
+		pri[i] = uint8(rng.Intn(5))
+		city[i] = cities[rng.Intn(len(cities))]
+	}
+	tbl := table.NewWithOptions("orders", table.TableOptions{SegmentRows: segRows})
+	if err := table.AddColumn(tbl, "qty", qty, table.Imprints, core.Options{}); err != nil {
+		return nil, err
+	}
+	if err := table.AddColumn(tbl, "price", price, table.Imprints, core.Options{}); err != nil {
+		return nil, err
+	}
+	if err := table.AddColumn(tbl, "pri", pri, table.Imprints, core.Options{}); err != nil {
+		return nil, err
+	}
+	if err := tbl.AddStringColumn("city", city, table.Imprints, core.Options{}); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}

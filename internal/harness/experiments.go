@@ -24,7 +24,7 @@ type Experiment struct {
 
 // IDs lists all experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate", "vectorized"}
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate", "vectorized", "serve"}
 }
 
 // Run executes one experiment by id.
@@ -60,6 +60,8 @@ func Run(id string, cfg Config) (*Experiment, error) {
 		return AggregateExp(cfg), nil
 	case "vectorized":
 		return VectorizedExp(cfg), nil
+	case "serve":
+		return ServeExp(cfg), nil
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (want one of %s)", id, strings.Join(IDs(), ", "))
 }
@@ -85,6 +87,7 @@ func RunAll(cfg Config) []*Experiment {
 		SegmentsExp(cfg),
 		AggregateExp(cfg),
 		VectorizedExp(cfg),
+		ServeExp(cfg),
 	}
 }
 

@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	tbl "repro/table"
+)
+
+// ServeExp load-tests the imprintd serving stack end to end: SQL text
+// through the lexer/parser/planner, the normalized-text statement LRU,
+// the bounded worker pool, and the table layer's segment fan-out —
+// all over real HTTP. A fixed mix of parameterized statements is
+// driven at 1, 8 and 64 concurrent clients against a small worker pool
+// (4 executing, 8 queued), reporting per-level p50/p99 latency,
+// throughput, the statement-cache hit rate, and how many requests
+// admission control turned away with 429. Whether rejections occur
+// depends on how much offered concurrency the host lets through at
+// once (the deterministic admission-control behavior is pinned by the
+// server package's tests); the rejected column reports what happened.
+func ServeExp(cfg Config) *Experiment {
+	n := int(100_000 * cfg.Scale)
+	if n < 8192 {
+		n = 8192
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x5e47))
+	cities := []string{
+		"amsterdam", "antwerp", "athens", "berlin", "bern", "lisbon",
+		"london", "lyon", "madrid", "milan", "paris", "porto", "prague",
+	}
+	qty := make([]int64, n)
+	price := make([]float64, n)
+	city := make([]string, n)
+	for i := 0; i < n; i++ {
+		qty[i] = int64(rng.IntN(100_000))
+		price[i] = rng.Float64() * 1000
+		city[i] = cities[rng.IntN(len(cities))]
+	}
+	t := tbl.NewWithOptions("orders", tbl.TableOptions{SegmentRows: 16384})
+	must(tbl.AddColumn(t, "qty", qty, tbl.Imprints, core.Options{Seed: cfg.Seed}))
+	must(tbl.AddColumn(t, "price", price, tbl.Imprints, core.Options{Seed: cfg.Seed + 1}))
+	must(t.AddStringColumn("city", city, tbl.Imprints, core.Options{Seed: cfg.Seed + 2}))
+
+	srv, err := server.New(server.Config{
+		Table:       t,
+		Workers:     4,
+		QueueDepth:  8,
+		CacheSize:   64,
+		Parallelism: 1,
+	})
+	must(err)
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// The serving mix: every statement is parameterized so repeat
+	// requests re-bind against the cached compilation rather than
+	// re-compiling; each statement sends exactly the parameters it
+	// declares (extra bindings are an error by design). One statement
+	// is spelled two ways to exercise normalization folding both onto
+	// one cache entry.
+	statements := []servedStatement{
+		{"select count(*) from orders where qty >= $lo and qty < $hi", bandParams},
+		{"SELECT COUNT(*) FROM orders WHERE qty >= $lo AND qty < $hi", bandParams},
+		{"select sum(qty), count(*) from orders where city = $c", cityParams},
+		{"select qty, price from orders where qty >= $lo and qty < $hi order by qty desc limit 10", bandParams},
+		{"select city, count(*) from orders where qty < $hi group by city", hiParams},
+	}
+
+	requests := 600
+	header := []string{"clients", "requests", "ok", "rejected", "p50 (us)", "p99 (us)", "qps", "cache hit rate"}
+	var rows [][]string
+	for _, clients := range []int{1, 8, 64} {
+		before := srv.Stats()
+		lat, okN, rejected := drive(ts.URL, statements, clients, requests, cfg.Seed)
+		after := srv.Stats()
+		hits := after.Cache.Hits - before.Cache.Hits
+		misses := after.Cache.Misses - before.Cache.Misses
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		var elapsed time.Duration
+		for _, d := range lat {
+			elapsed += d
+		}
+		qps := 0.0
+		if elapsed > 0 {
+			// Aggregate client-side request time divided by concurrency
+			// approximates wall time under a closed loadgen loop.
+			qps = float64(okN) / (elapsed.Seconds() / float64(clients))
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(clients),
+			fmt.Sprint(requests),
+			fmt.Sprint(okN),
+			fmt.Sprint(rejected),
+			fmt.Sprint(percentile(lat, 0.50).Microseconds()),
+			fmt.Sprint(percentile(lat, 0.99).Microseconds()),
+			fmt.Sprintf("%.0f", qps),
+			fmt.Sprintf("%.1f%%", 100*hitRate),
+		})
+	}
+	return tabular("serve", "imprintd serving: latency, admission control and statement cache under concurrent SQL clients", header, rows)
+}
+
+// servedStatement pairs SQL text with a binder producing exactly the
+// parameters the statement declares.
+type servedStatement struct {
+	sql    string
+	params func(rng *rand.Rand) map[string]any
+}
+
+func bandParams(rng *rand.Rand) map[string]any {
+	lo := int64(rng.IntN(90_000))
+	return map[string]any{"lo": lo, "hi": lo + 5_000}
+}
+
+func hiParams(rng *rand.Rand) map[string]any {
+	return map[string]any{"hi": int64(10_000 + rng.IntN(80_000))}
+}
+
+func cityParams(rng *rand.Rand) map[string]any {
+	return map[string]any{"c": []string{"berlin", "lisbon", "paris"}[rng.IntN(3)]}
+}
+
+// drive runs a closed-loop load generation pass: `clients` goroutines
+// splitting `total` requests, each POSTing one statement from the mix
+// with fresh parameter bindings. Returns per-request latencies for
+// 200s, the 200 count, and the 429 count.
+func drive(baseURL string, statements []servedStatement, clients, total int, seed uint64) ([]time.Duration, int, int) {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	type result struct {
+		lat      []time.Duration
+		ok       int
+		rejected int
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		share := total / clients
+		if c < total%clients {
+			share++
+		}
+		wg.Add(1)
+		go func(c, share int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, uint64(c)))
+			res := &results[c]
+			for i := 0; i < share; i++ {
+				stmt := statements[rng.IntN(len(statements))]
+				body, _ := json.Marshal(map[string]any{
+					"query":  stmt.sql,
+					"params": stmt.params(rng),
+				})
+				start := time.Now()
+				resp, err := client.Post(baseURL+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue
+				}
+				d := time.Since(start)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					res.lat = append(res.lat, d)
+					res.ok++
+				case http.StatusTooManyRequests:
+					res.rejected++
+				}
+			}
+		}(c, share)
+	}
+	wg.Wait()
+	var lat []time.Duration
+	ok, rejected := 0, 0
+	for i := range results {
+		lat = append(lat, results[i].lat...)
+		ok += results[i].ok
+		rejected += results[i].rejected
+	}
+	return lat, ok, rejected
+}
+
+// percentile returns the p-quantile of the latency sample.
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

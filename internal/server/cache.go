@@ -1,0 +1,94 @@
+// Package server is imprintd's HTTP front-end: it parses SQL with
+// internal/sql, caches compiled statements in an LRU keyed by
+// normalized query text, runs executions on a bounded worker pool with
+// a bounded admission queue (overflow is rejected up front with 429),
+// and propagates per-query deadlines into the table layer's segment
+// fan-out so canceled queries stop scanning between segments.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/sql"
+)
+
+// stmtCache is a concurrency-safe LRU of compiled statements keyed by
+// normalized query text. Hits refresh recency; inserting beyond the
+// capacity evicts the least recently used entry. A capacity of zero
+// disables caching (every query re-compiles).
+type stmtCache struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // front = most recently used; values are *cacheEntry
+	byKey     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	st  *sql.Statement
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	return &stmtCache{cap: capacity, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the cached statement for a normalized query, refreshing
+// its recency.
+func (c *stmtCache) get(key string) (*sql.Statement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).st, true
+}
+
+// put inserts a freshly compiled statement, evicting the least
+// recently used entry when full. Re-inserting an existing key (two
+// concurrent misses) refreshes the entry instead of growing the cache.
+func (c *stmtCache) put(key string, st *sql.Statement) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).st = st
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, st: st})
+}
+
+// keys lists cached queries from most to least recently used (tests
+// pin eviction order with this).
+func (c *stmtCache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
+// counters snapshots the hit/miss/eviction counters and current size.
+func (c *stmtCache) counters() (hits, misses, evictions uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len(), c.cap
+}

@@ -1,0 +1,148 @@
+package sql
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/table"
+)
+
+// Result is one statement execution's result set in a uniform shape:
+// column headers plus value rows. Plain selects stream qualifying rows,
+// aggregates produce one row, grouped aggregates one row per group (in
+// ascending key order, deterministic at every parallelism level).
+type Result struct {
+	Table    string   `json:"table"`
+	Columns  []string `json:"columns"`
+	Rows     [][]any  `json:"rows"`
+	RowCount int      `json:"row_count"`
+	// Stats reports the index-work counters for aggregate and grouped
+	// executions; row-streaming executions omit it (the iterator path
+	// does not surface per-query stats).
+	Stats *core.QueryStats `json:"stats,omitempty"`
+}
+
+// Exec runs one execution of the statement: binds are raw placeholder
+// values (native Go values or decoded JSON — json.Number for numbers),
+// converted to the exact types the prepared plan requires; opts carries
+// the per-execution context and parallelism.
+func (s *Statement) Exec(binds map[string]any, opts table.SelectOptions) (*Result, error) {
+	q, err := s.start(binds, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Table: s.tbl.Name(), Columns: s.cols, Rows: [][]any{}}
+	switch s.kind {
+	case kindAgg:
+		if s.limit >= 0 {
+			q.Limit(s.limit)
+		}
+		ar, st, err := q.Aggregate(s.aggs...)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]any, len(s.ast.Proj))
+		for i, p := range s.ast.Proj {
+			row[i] = aggJSON(ar.At(p.Index))
+		}
+		res.Rows = append(res.Rows, row)
+		res.Stats = &st
+	case kindGroup:
+		gr, st, err := q.GroupBy(s.group).Aggregate(s.aggs...)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range gr.Groups {
+			row := make([]any, len(s.ast.Proj))
+			for i, p := range s.ast.Proj {
+				if p.IsAgg {
+					row[i] = aggJSON(g.Aggs[p.Index])
+				} else {
+					row[i] = g.Key
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		res.Stats = &st
+	default: // kindRows
+		if s.order != nil {
+			q.OrderBy(*s.order)
+		}
+		if s.limit >= 0 {
+			q.Limit(s.limit)
+		}
+		for _, r := range q.Rows() {
+			row := make([]any, len(s.cols))
+			for i := range s.cols {
+				row[i] = r.Value(i)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		if err := q.Err(); err != nil {
+			return nil, err
+		}
+	}
+	res.RowCount = len(res.Rows)
+	return res, nil
+}
+
+// Explain returns the native query plan for one execution of the
+// statement (aggregate shapes explain their aggregation pushdown; the
+// grouped shape explains the same scan without the per-key fold).
+func (s *Statement) Explain(binds map[string]any, opts table.SelectOptions) (*table.Plan, error) {
+	q, err := s.start(binds, opts)
+	if err != nil {
+		return nil, err
+	}
+	switch s.kind {
+	case kindAgg, kindGroup:
+		return q.ExplainAggregate(s.aggs...)
+	default:
+		if s.order != nil {
+			q.OrderBy(*s.order)
+		}
+		if s.limit >= 0 {
+			q.Limit(s.limit)
+		}
+		return q.Explain()
+	}
+}
+
+// start begins one execution: converts and binds placeholder values
+// and applies the per-execution options.
+func (s *Statement) start(binds map[string]any, opts table.SelectOptions) (*table.Query, error) {
+	for name := range binds {
+		if _, ok := s.params[name]; !ok {
+			return nil, fmt.Errorf("sql: unknown parameter $%s", name)
+		}
+	}
+	q := s.prep.Exec().Options(opts)
+	for name, pc := range s.params {
+		raw, ok := binds[name]
+		if !ok {
+			return nil, fmt.Errorf("sql: unbound parameter $%s (wants %s)", name, pc.want())
+		}
+		v, err := pc.conv(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sql: parameter $%s: %w", name, err)
+		}
+		q = q.Bind(name, v)
+	}
+	return q, nil
+}
+
+// aggJSON flattens one typed aggregate value for a JSON row: exact
+// int64 for integer results, float64 otherwise, string for string
+// min/max, nil when undefined (no qualifying rows).
+func aggJSON(v table.AggValue) any {
+	switch {
+	case !v.Valid:
+		return nil
+	case v.IsInt:
+		return v.Int
+	case v.IsStr:
+		return v.Str
+	default:
+		return v.Float
+	}
+}

@@ -1,0 +1,63 @@
+package sql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives arbitrary input through the lexer and parser: they
+// must never panic, and every rejection must be a positioned
+// *ParseError anchored inside (or one past) the input. Accepted inputs
+// must re-parse after normalization — Normalize is meaning-preserving.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"select * from orders",
+		"SELECT qty, price FROM orders WHERE qty >= 10 AND city = 'Oslo'",
+		"select count(*), sum(qty), avg(price) from orders where pri in (1, 2, 3)",
+		"select city, count(*) from orders where qty < 500 group by city",
+		"select qty from orders where not (qty < 5 or qty >= 100) order by qty desc limit 10",
+		"select * from orders where city like 'Ber%' and price <= 99.5",
+		"select * from orders where qty = $lo and city in $cities",
+		"select * from orders where qty != -3 or price > 1e2",
+		"select * from orders where city = 'O''Hare'",
+		"select",
+		"select * from orders where",
+		"select * from orders where qty = 'unterminated",
+		"select min(*) from orders",
+		"select * from orders where qty ~ 5",
+		"limit select from where $ ''",
+		"select * from orders where qty = 99999999999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q): non-ParseError %v", src, err)
+			}
+			if pe.Pos < 1 || pe.Pos > len(src)+1 {
+				t.Fatalf("Parse(%q): position %d outside input (len %d)", src, pe.Pos, len(src))
+			}
+			if !strings.Contains(err.Error(), "position") {
+				t.Fatalf("Parse(%q): error %q does not name a position", src, err)
+			}
+			return
+		}
+		if st == nil {
+			t.Fatalf("Parse(%q): nil statement without error", src)
+		}
+		// Normalization of an accepted statement must itself parse.
+		norm := Normalize(src)
+		if _, err := Parse(norm); err != nil {
+			t.Fatalf("Parse(%q) ok but normalized %q fails: %v", src, norm, err)
+		}
+		// And normalization must be idempotent (a stable cache key).
+		if again := Normalize(norm); again != norm {
+			t.Fatalf("Normalize not idempotent: %q -> %q -> %q", src, norm, again)
+		}
+	})
+}

@@ -1,0 +1,335 @@
+// Package sql is the network front-end's query language: a hand-written
+// lexer and recursive-descent parser for a small SQL subset, and a
+// planner that compiles the parsed statement onto the table package's
+// native Query/Prepared/Aggregate/GroupBy/OrderBy API. The subset is
+//
+//	SELECT * | col[, col...] | agg[, agg...]
+//	FROM table
+//	[WHERE <predicate>]              -- AND / OR / NOT, comparisons,
+//	                                 -- IN (...), IN $name, LIKE 'pfx%'
+//	[GROUP BY col]
+//	[ORDER BY col [ASC|DESC]]
+//	[LIMIT n]
+//
+// with $name placeholders in comparison and IN positions, so one parsed
+// statement prepares once and serves many executions with different
+// bindings. Every error carries the 1-based byte position of the
+// offending token in the query text.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError is a syntax or planning error anchored to a position in
+// the query text (1-based byte offset of the offending token).
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: position %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) *ParseError {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokKind enumerates lexical token classes. Keywords are not a lexical
+// class: the parser matches identifiers case-insensitively against the
+// keyword set, so column names that collide with keywords still lex.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt    // integer literal (decimal)
+	tokFloat  // literal with '.' or exponent
+	tokString // '...' with '' escaping, text holds the decoded value
+	tokParam  // $name, text holds the name without '$'
+	tokOp     // = != <> < <= > >=
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokInt, tokFloat:
+		return "number"
+	case tokString:
+		return "string"
+	case tokParam:
+		return "placeholder"
+	case tokOp:
+		return "operator"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokStar:
+		return "'*'"
+	}
+	return "token"
+}
+
+// token is one lexical token with its 1-based byte position.
+type token struct {
+	kind tokKind
+	text string // decoded payload: name, digits, operator, string value
+	pos  int
+}
+
+// lex tokenizes src in one pass. It never panics: malformed input
+// returns a positioned error.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	emit := func(k tokKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos + 1})
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == ',':
+			emit(tokComma, ",", i)
+			i++
+		case c == '*':
+			emit(tokStar, "*", i)
+			i++
+		case c == '=':
+			emit(tokOp, "=", i)
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tokOp, "!=", i)
+				i += 2
+			} else {
+				return nil, errAt(i+1, "unexpected %q (did you mean \"!=\"?)", "!")
+			}
+		case c == '<':
+			switch {
+			case i+1 < n && src[i+1] == '=':
+				emit(tokOp, "<=", i)
+				i += 2
+			case i+1 < n && src[i+1] == '>':
+				emit(tokOp, "!=", i)
+				i += 2
+			default:
+				emit(tokOp, "<", i)
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				emit(tokOp, ">=", i)
+				i += 2
+			} else {
+				emit(tokOp, ">", i)
+				i++
+			}
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // '' escapes a quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errAt(start+1, "unterminated string literal")
+			}
+			emit(tokString, sb.String(), start)
+		case c == '$':
+			start := i
+			i++
+			j := i
+			for j < n && isIdentByte(src[j], j > i) {
+				j++
+			}
+			if j == i {
+				return nil, errAt(start+1, "placeholder needs a name after '$'")
+			}
+			emit(tokParam, src[i:j], start)
+			i = j
+		case c >= '0' && c <= '9' || c == '.':
+			start := i
+			kind := tokInt
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			if i < n && src[i] == '.' {
+				kind = tokFloat
+				i++
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				kind = tokFloat
+				i++
+				if i < n && (src[i] == '+' || src[i] == '-') {
+					i++
+				}
+				d := i
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+				if i == d {
+					return nil, errAt(start+1, "malformed number %q", src[start:i])
+				}
+			}
+			text := src[start:i]
+			if text == "." {
+				return nil, errAt(start+1, "unexpected '.'")
+			}
+			if i < n && isIdentByte(src[i], true) {
+				return nil, errAt(start+1, "malformed number %q", src[start:i+1])
+			}
+			emit(kind, text, start)
+		case isIdentByte(c, false):
+			start := i
+			for i < n && isIdentByte(src[i], true) {
+				i++
+			}
+			emit(tokIdent, src[start:i], start)
+		case c == '-':
+			// Negative literals lex as one number so operand parsing
+			// stays single-token; '-' elsewhere is rejected there.
+			start := i
+			i++
+			if i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				j := i
+				for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' ||
+					src[j] == 'e' || src[j] == 'E' ||
+					(j > i && (src[j] == '+' || src[j] == '-') && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+					j++
+				}
+				sub, err := lex(src[i:j])
+				if err != nil || len(sub) != 2 || (sub[0].kind != tokInt && sub[0].kind != tokFloat) {
+					return nil, errAt(start+1, "malformed number %q", src[start:j])
+				}
+				emit(sub[0].kind, "-"+sub[0].text, start)
+				i = j
+			} else {
+				return nil, errAt(start+1, "unexpected %q", "-")
+			}
+		default:
+			return nil, errAt(i+1, "unexpected %q", string(src[i]))
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n + 1})
+	return toks, nil
+}
+
+func isIdentByte(c byte, rest bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return rest
+	}
+	return false
+}
+
+// keywords the normalizer renders uppercase. Matching is always
+// case-insensitive; the set exists only for canonical rendering.
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "in": true, "like": true, "group": true, "by": true,
+	"order": true, "asc": true, "desc": true, "limit": true,
+	"count": true, "sum": true, "min": true, "max": true, "avg": true,
+}
+
+// Normalize renders the query in canonical form — keywords uppercased,
+// single spaces, strings requoted — so textually different spellings of
+// the same statement share one prepared-statement cache entry. Invalid
+// input comes back unchanged (the parser will report the real error).
+func Normalize(src string) string {
+	toks, err := lex(src)
+	if err != nil {
+		return src
+	}
+	var sb strings.Builder
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 && needSpace(toks[i-1], t) {
+			sb.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokString:
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			sb.WriteByte('\'')
+		case tokParam:
+			sb.WriteByte('$')
+			sb.WriteString(t.text)
+		case tokIdent:
+			lower := strings.ToLower(t.text)
+			switch {
+			case aggFns[lower] && toks[i+1].kind == tokLParen:
+				// Aggregate functions render lowercase, matching the
+				// result column headers ("count(*)", "sum(qty)").
+				sb.WriteString(lower)
+			case keywords[lower]:
+				sb.WriteString(strings.ToUpper(t.text))
+			default:
+				sb.WriteString(t.text)
+			}
+		default:
+			sb.WriteString(t.text)
+		}
+	}
+	return sb.String()
+}
+
+// needSpace reports whether the canonical rendering separates two
+// adjacent tokens: everywhere except after '(' and before ')', ',' or
+// '(' following a function-style identifier — close enough to idiomatic
+// SQL while staying deterministic.
+func needSpace(prev, cur token) bool {
+	switch cur.kind {
+	case tokComma, tokRParen:
+		return false
+	case tokLParen:
+		// count(*): no space between an aggregate keyword and '('.
+		return !(prev.kind == tokIdent && aggFns[strings.ToLower(prev.text)])
+	}
+	switch prev.kind {
+	case tokLParen:
+		return false
+	}
+	return true
+}
+
+var aggFns = map[string]bool{"count": true, "sum": true, "min": true, "max": true, "avg": true}

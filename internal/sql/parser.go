@@ -1,0 +1,527 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ---- AST ----
+
+// SelectStmt is one parsed SELECT statement, before planning.
+type SelectStmt struct {
+	Star     bool       // SELECT *
+	Cols     []ProjCol  // plain projected columns, in order
+	Aggs     []AggExpr  // aggregate projections, in order
+	Proj     []ProjItem // full projection in source order (col or agg index)
+	Table    string
+	TablePos int
+	Where    Expr   // nil when absent
+	Group    string // GROUP BY column, "" when absent
+	GroupPos int
+	Order    *OrderExpr
+	Limit    int // -1 when absent
+	LimitPos int
+}
+
+// ProjCol is a plain column in the projection.
+type ProjCol struct {
+	Name string
+	Pos  int
+}
+
+// AggExpr is one aggregate projection: count(*) or fn(col).
+type AggExpr struct {
+	Fn   string // "count", "sum", "min", "max", "avg"
+	Col  string // "" for count(*)
+	Star bool
+	Pos  int
+}
+
+// ProjItem points at either a plain column or an aggregate, preserving
+// the source order of a mixed projection (GROUP BY key + aggregates).
+type ProjItem struct {
+	IsAgg bool
+	Index int // into Cols or Aggs
+}
+
+// OrderExpr is the ORDER BY clause.
+type OrderExpr struct {
+	Col  string
+	Desc bool
+	Pos  int
+}
+
+// Expr is a WHERE expression node.
+type Expr interface{ pos() int }
+
+// BoolExpr is an AND/OR over two or more children.
+type BoolExpr struct {
+	Op   string // "and" | "or"
+	Kids []Expr
+	Pos  int
+}
+
+// NotExpr negates a child expression.
+type NotExpr struct {
+	Kid Expr
+	Pos int
+}
+
+// CmpExpr compares a column with a literal or placeholder:
+// col = | != | < | <= | > | >= operand.
+type CmpExpr struct {
+	Col    string
+	Op     string
+	Val    Operand
+	Pos    int
+	ColPos int
+}
+
+// InExpr is col IN (literals...) or col IN $name; Neg records NOT IN
+// (rejected at plan time with the position).
+type InExpr struct {
+	Col    string
+	Vals   []Operand // literal list form
+	Param  string    // placeholder form ("" when literal)
+	Neg    bool
+	Pos    int
+	ColPos int
+}
+
+// LikeExpr is col LIKE 'pattern' (literal patterns only); the planner
+// accepts only prefix patterns ending in a single '%'.
+type LikeExpr struct {
+	Col     string
+	Pattern string
+	Neg     bool
+	Pos     int
+	ColPos  int
+}
+
+func (e *BoolExpr) pos() int { return e.Pos }
+func (e *NotExpr) pos() int  { return e.Pos }
+func (e *CmpExpr) pos() int  { return e.Pos }
+func (e *InExpr) pos() int   { return e.Pos }
+func (e *LikeExpr) pos() int { return e.Pos }
+
+// opKind enumerates operand flavors.
+type opKind int
+
+const (
+	opInt opKind = iota
+	opFloat
+	opString
+	opParam
+)
+
+// Operand is a literal or placeholder on the right side of a
+// comparison or inside an IN list.
+type Operand struct {
+	Kind opKind
+	Int  int64
+	Flt  float64
+	Str  string // string literal value, or placeholder name
+	Pos  int
+}
+
+// ---- parser ----
+
+// Parse lexes and parses one SELECT statement. Errors are *ParseError
+// values carrying the 1-based byte position of the offending token.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, errAt(t.pos, "unexpected %s after end of statement", describe(t))
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// keyword reports whether t is the given keyword (case-insensitive).
+func isKw(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKw(kw string) (token, error) {
+	t := p.peek()
+	if !isKw(t, kw) {
+		return t, errAt(t.pos, "expected %s, found %s", strings.ToUpper(kw), describe(t))
+	}
+	return p.next(), nil
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if isKw(p.peek(), kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != k {
+		return t, errAt(t.pos, "expected %s, found %s", k, describe(t))
+	}
+	return p.next(), nil
+}
+
+// columnIdent consumes a non-keyword identifier. Keywords are reserved
+// in every identifier position so that Normalize's keyword casing can
+// never change a valid statement's meaning.
+func (p *parser) columnIdent(what string) (token, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return t, errAt(t.pos, "expected %s, found %s", what, describe(t))
+	}
+	if keywords[strings.ToLower(t.text)] {
+		return t, errAt(t.pos, "expected %s, found keyword %q", what, t.text)
+	}
+	return t, nil
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return `"` + t.text + `"`
+	case tokString:
+		return "string literal"
+	case tokParam:
+		return "$" + t.text
+	default:
+		return `"` + t.text + `"`
+	}
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if _, err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	st := &SelectStmt{Limit: -1}
+	if err := p.projection(st); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	tbl, err := p.columnIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	st.Table = tbl.text
+	st.TablePos = tbl.pos
+	if p.acceptKw("where") {
+		st.Where, err = p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if isKw(p.peek(), "group") {
+		g := p.next()
+		if _, err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.columnIdent("GROUP BY column")
+		if err != nil {
+			return nil, err
+		}
+		st.Group = col.text
+		st.GroupPos = g.pos
+	}
+	if isKw(p.peek(), "order") {
+		o := p.next()
+		if _, err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		col, err := p.columnIdent("ORDER BY column")
+		if err != nil {
+			return nil, err
+		}
+		ord := &OrderExpr{Col: col.text, Pos: o.pos}
+		if p.acceptKw("desc") {
+			ord.Desc = true
+		} else {
+			p.acceptKw("asc")
+		}
+		st.Order = ord
+	}
+	if isKw(p.peek(), "limit") {
+		l := p.next()
+		n, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		v, perr := strconv.ParseInt(n.text, 10, 64)
+		if perr != nil || v < 0 {
+			return nil, errAt(n.pos, "LIMIT wants a non-negative integer, found %q", n.text)
+		}
+		st.Limit = int(v)
+		st.LimitPos = l.pos
+	}
+	return st, nil
+}
+
+// projection parses '*' or a comma list of columns and aggregates.
+func (p *parser) projection(st *SelectStmt) error {
+	if p.peek().kind == tokStar {
+		p.next()
+		st.Star = true
+		return nil
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return errAt(t.pos, "expected column or aggregate, found %s", describe(t))
+		}
+		fn := strings.ToLower(t.text)
+		if aggFns[fn] && p.toks[p.i+1].kind == tokLParen {
+			p.next() // fn
+			p.next() // (
+			agg := AggExpr{Fn: fn, Pos: t.pos}
+			arg := p.peek()
+			switch {
+			case arg.kind == tokStar:
+				p.next()
+				agg.Star = true
+				if fn != "count" {
+					return errAt(arg.pos, "%s(*) is not supported; %s wants a column", fn, fn)
+				}
+			case arg.kind == tokIdent:
+				if keywords[strings.ToLower(arg.text)] {
+					return errAt(arg.pos, "expected column, found keyword %q", arg.text)
+				}
+				p.next()
+				agg.Col = arg.text
+				if fn == "count" {
+					return errAt(arg.pos, "count wants '*' (there are no NULLs to skip)")
+				}
+			default:
+				return errAt(arg.pos, "expected column or '*', found %s", describe(arg))
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return err
+			}
+			st.Proj = append(st.Proj, ProjItem{IsAgg: true, Index: len(st.Aggs)})
+			st.Aggs = append(st.Aggs, agg)
+		} else {
+			if keywords[fn] {
+				return errAt(t.pos, "expected column or aggregate, found keyword %q", t.text)
+			}
+			p.next()
+			st.Proj = append(st.Proj, ProjItem{Index: len(st.Cols)})
+			st.Cols = append(st.Cols, ProjCol{Name: t.text, Pos: t.pos})
+		}
+		if p.peek().kind != tokComma {
+			return nil
+		}
+		p.next()
+	}
+}
+
+// orExpr := andExpr (OR andExpr)*
+func (p *parser) orExpr() (Expr, error) {
+	kid, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Expr{kid}
+	pos := kid.pos()
+	for isKw(p.peek(), "or") {
+		p.next()
+		k, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &BoolExpr{Op: "or", Kids: kids, Pos: pos}, nil
+}
+
+// andExpr := unaryExpr (AND unaryExpr)*
+func (p *parser) andExpr() (Expr, error) {
+	kid, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	kids := []Expr{kid}
+	pos := kid.pos()
+	for isKw(p.peek(), "and") {
+		p.next()
+		k, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &BoolExpr{Op: "and", Kids: kids, Pos: pos}, nil
+}
+
+// unaryExpr := NOT unaryExpr | '(' orExpr ')' | comparison
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.peek()
+	if isKw(t, "not") {
+		p.next()
+		kid, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Kid: kid, Pos: t.pos}, nil
+	}
+	if t.kind == tokLParen {
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.comparison()
+}
+
+// comparison := ident op operand
+//
+//	| ident [NOT] IN '(' operand (',' operand)* ')'
+//	| ident [NOT] IN $name
+//	| ident [NOT] LIKE string
+func (p *parser) comparison() (Expr, error) {
+	col, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, errAt(err.(*ParseError).Pos, "expected a condition (column comparison), found %s", describe(p.peek()))
+	}
+	if keywords[strings.ToLower(col.text)] {
+		return nil, errAt(col.pos, "expected a condition (column comparison), found keyword %q", col.text)
+	}
+	t := p.peek()
+	neg := false
+	negPos := 0
+	if isKw(t, "not") {
+		negPos = p.next().pos
+		neg = true
+		t = p.peek()
+		if !isKw(t, "in") && !isKw(t, "like") {
+			return nil, errAt(t.pos, "expected IN or LIKE after NOT, found %s", describe(t))
+		}
+	}
+	switch {
+	case isKw(t, "in"):
+		in := p.next()
+		pos := in.pos
+		if neg {
+			pos = negPos
+		}
+		e := &InExpr{Col: col.text, Neg: neg, Pos: pos, ColPos: col.pos}
+		if p.peek().kind == tokParam {
+			e.Param = p.next().text
+			return e, nil
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		for {
+			o, err := p.operand()
+			if err != nil {
+				return nil, err
+			}
+			e.Vals = append(e.Vals, o)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case isKw(t, "like"):
+		like := p.next()
+		pos := like.pos
+		if neg {
+			pos = negPos
+		}
+		pat := p.peek()
+		if pat.kind != tokString {
+			return nil, errAt(pat.pos, "LIKE wants a string literal pattern, found %s", describe(pat))
+		}
+		p.next()
+		return &LikeExpr{Col: col.text, Pattern: pat.text, Neg: neg, Pos: pos, ColPos: col.pos}, nil
+	case t.kind == tokOp:
+		op := p.next()
+		o, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return &CmpExpr{Col: col.text, Op: op.text, Val: o, Pos: op.pos, ColPos: col.pos}, nil
+	default:
+		return nil, errAt(t.pos, "expected a comparison operator, IN or LIKE, found %s", describe(t))
+	}
+}
+
+// operand := number | string | $name
+func (p *parser) operand() (Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			// Out of int64 range: fall back to the float reading so the
+			// planner reports a typed error against the column.
+			f, ferr := strconv.ParseFloat(t.text, 64)
+			if ferr != nil {
+				return Operand{}, errAt(t.pos, "malformed number %q", t.text)
+			}
+			p.next()
+			return Operand{Kind: opFloat, Flt: f, Pos: t.pos}, nil
+		}
+		p.next()
+		return Operand{Kind: opInt, Int: v, Pos: t.pos}, nil
+	case tokFloat:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Operand{}, errAt(t.pos, "malformed number %q", t.text)
+		}
+		p.next()
+		return Operand{Kind: opFloat, Flt: f, Pos: t.pos}, nil
+	case tokString:
+		p.next()
+		return Operand{Kind: opString, Str: t.text, Pos: t.pos}, nil
+	case tokParam:
+		p.next()
+		return Operand{Kind: opParam, Str: t.text, Pos: t.pos}, nil
+	default:
+		return Operand{}, errAt(t.pos, "expected a literal or $placeholder, found %s", describe(t))
+	}
+}

@@ -711,7 +711,7 @@ func (q *Query) Aggregate(specs ...AggSpec) (*AggResult, core.QueryStats, error)
 		return q.limitedAggregate(en, binds, merged, finish, &st)
 	}
 	nsegs := q.t.segCount()
-	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+	if err := q.t.forEachSegment(q.opts.Ctx, nsegs, resolveParallelism(q.opts, nsegs),
 		func(s int) segOut { return q.aggSegment(en, s, binds) },
 		func(s int, o segOut) bool {
 			st.Add(o.st)
@@ -720,7 +720,9 @@ func (q *Query) Aggregate(specs ...AggSpec) (*AggResult, core.QueryStats, error)
 				merged[i].mergeInto(binds[i].spec.op, o.aggs[i])
 			}
 			return true
-		})
+		}); err != nil {
+		return nil, st, q.t.abortErr(err)
+	}
 	return finish(), st, nil
 }
 
@@ -732,7 +734,7 @@ func (q *Query) limitedAggregate(en *execNode, binds []aggBind, merged []aggPart
 	taken := 0
 	var rows uint64
 	nsegs := q.t.segCount()
-	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+	err := q.t.forEachSegment(q.opts.Ctx, nsegs, resolveParallelism(q.opts, nsegs),
 		func(s int) segOut { return q.collectIDs(en, s) },
 		func(s int, o segOut) bool {
 			st.Add(o.st)
@@ -769,6 +771,9 @@ func (q *Query) limitedAggregate(en *execNode, binds []aggBind, merged []aggPart
 			}
 			return taken < q.limit
 		})
+	if err != nil {
+		return nil, *st, q.t.abortErr(err)
+	}
 	res := finish()
 	res.Rows = rows
 	return res, *st, nil

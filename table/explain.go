@@ -180,7 +180,7 @@ func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 	aggSegs := make([]AggSegmentPlan, nsegs)
 	var fast, vect uint64
 	pruned := 0
-	q.t.forEachSegment(nsegs, par,
+	ferr := q.t.forEachSegment(q.opts.Ctx, nsegs, par,
 		func(s int) segOut {
 			var o segOut
 			ev := q.t.evalSegment(en, s, q.opts, &o.st, true)
@@ -205,6 +205,9 @@ func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 			}
 			return true
 		})
+	if ferr != nil {
+		return nil, q.t.abortErr(ferr)
+	}
 	lim := -1
 	if q.limited {
 		lim = q.limit

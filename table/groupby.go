@@ -249,7 +249,7 @@ func (g *GroupedQuery) Aggregate(specs ...AggSpec) (*GroupedResult, core.QuerySt
 	}
 	merged := map[groupKey]*mergedGroup{}
 	nsegs := q.t.segCount()
-	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+	if err := q.t.forEachSegment(q.opts.Ctx, nsegs, resolveParallelism(q.opts, nsegs),
 		func(s int) segOut { return g.groupSegment(en, s, binds, keyCol) },
 		func(s int, o segOut) bool {
 			st.Add(o.st)
@@ -265,7 +265,9 @@ func (g *GroupedQuery) Aggregate(specs ...AggSpec) (*GroupedResult, core.QuerySt
 				}
 			}
 			return true
-		})
+		}); err != nil {
+		return nil, st, q.t.abortErr(err)
+	}
 	keys := make([]groupKey, 0, len(merged))
 	for k := range merged {
 		keys = append(keys, k)

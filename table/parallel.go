@@ -1,6 +1,8 @@
 package table
 
 import (
+	"context"
+	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -8,6 +10,22 @@ import (
 
 	"repro/internal/core"
 )
+
+// ctxErr reports a context's cancellation state, tolerating the nil
+// context of an unbounded execution.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// abortErr wraps a cancellation so executors report which table's query
+// was cut short while errors.Is still matches context.Canceled /
+// context.DeadlineExceeded.
+func (t *Table) abortErr(err error) error {
+	return fmt.Errorf("table %s: query canceled: %w", t.name, err)
+}
 
 // resolveParallelism turns SelectOptions.Parallelism into the worker
 // count for nsegs segments: 0 means GOMAXPROCS, and there is never a
@@ -41,19 +59,30 @@ type segOut struct {
 // segments drain before the call returns (workers touch table state
 // that is only guarded while the caller holds the read lock).
 //
+// ctx (nil for unbounded executions) cancels the fan-out between
+// segments: serial executions check it before each segment, parallel
+// workers before claiming the next one, and the merging consumer before
+// each merge — a canceled query returns the context's error promptly
+// without evaluating segments no worker has started, discarding any
+// partial results. The error comes back unwrapped; executors wrap it
+// with abortErr.
+//
 // With one worker (or one segment) everything runs inline on the
 // calling goroutine, with a plain early break.
-func (t *Table) forEachSegment(nsegs, par int, work func(s int) segOut, consume func(s int, o segOut) bool) {
+func (t *Table) forEachSegment(ctx context.Context, nsegs, par int, work func(s int) segOut, consume func(s int, o segOut) bool) error {
 	if nsegs == 0 {
-		return
+		return nil
 	}
 	if par <= 1 || nsegs == 1 {
 		for s := 0; s < nsegs; s++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			if !consume(s, work(s)) {
-				return
+				return nil
 			}
 		}
-		return
+		return nil
 	}
 
 	outs := make([]segOut, nsegs)
@@ -73,7 +102,7 @@ func (t *Table) forEachSegment(nsegs, par int, work func(s int) segOut, consume 
 				if s >= nsegs {
 					return
 				}
-				if !stop.Load() {
+				if !stop.Load() && ctxErr(ctx) == nil {
 					outs[s] = work(s)
 				}
 				close(done[s])
@@ -95,11 +124,17 @@ func (t *Table) forEachSegment(nsegs, par int, work func(s int) segOut, consume 
 	}()
 	for s := 0; s < nsegs; s++ {
 		<-done[s]
+		// Checked before taking ownership of outs[s], so the deferred
+		// cleanup recycles the pooled buffers of every unconsumed segment.
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		consumed = s + 1
 		if !consume(s, outs[s]) {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // idScratchPool recycles the per-segment candidate-id buffers the

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -353,6 +354,16 @@ func checkLeafBounds(p *leafPred, c anyColumn) error {
 
 // SelectOptions tunes evaluation.
 type SelectOptions struct {
+	// Ctx cancels the execution: the segment fan-out checks it between
+	// segments (serial executions between iterations, parallel workers
+	// before claiming the next segment), so a canceled or deadline-expired
+	// query returns promptly without evaluating segments no worker has
+	// started — in-flight segments drain first, their partial results are
+	// discarded, and the executor reports the context's error (wrapped, so
+	// errors.Is(err, context.Canceled / context.DeadlineExceeded) works).
+	// A query whose deadline already expired does no per-segment work at
+	// all. nil means no cancellation.
+	Ctx context.Context
 	// ScanThreshold disables index probing for a segment of a leaf whose
 	// estimated selectivity is above it (the paper's optimizer remark:
 	// prefer a scan for unselective predicates; resolved per segment

@@ -229,6 +229,11 @@ func (q *Query) idsSerial(en *execNode, nsegs int) ([]uint32, core.QueryStats, e
 	}
 	ids := *buf
 	for s := 0; s < nsegs; s++ {
+		if err := ctxErr(q.opts.Ctx); err != nil {
+			*buf = ids
+			putIDScratch(buf)
+			return nil, st, q.t.abortErr(err)
+		}
 		ev := q.t.evalSegment(en, s, q.opts, &st, false)
 		q.t.walkBlocks(s, ev, &st, nil, func(base int, mask uint64) bool {
 			ids = core.AppendMaskIDs(ids, uint32(base), mask)
@@ -253,7 +258,7 @@ func (q *Query) idsSerial(en *execNode, nsegs int) ([]uint32, core.QueryStats, e
 func (q *Query) idsParallel(en *execNode, nsegs int) ([]uint32, core.QueryStats, error) {
 	var st core.QueryStats
 	var res []uint32
-	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+	err := q.t.forEachSegment(q.opts.Ctx, nsegs, resolveParallelism(q.opts, nsegs),
 		func(s int) segOut { return q.collectIDs(en, s) },
 		func(s int, o segOut) bool {
 			st.Add(o.st)
@@ -266,6 +271,9 @@ func (q *Query) idsParallel(en *execNode, nsegs int) ([]uint32, core.QueryStats,
 			putIDScratch(o.ids)
 			return !q.limited || len(res) < q.limit
 		})
+	if err != nil {
+		return nil, st, q.t.abortErr(err)
+	}
 	return res, st, nil
 }
 
@@ -325,6 +333,9 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 	if resolveParallelism(q.opts, nsegs) == 1 {
 		var n uint64
 		for s := 0; s < nsegs; s++ {
+			if err := ctxErr(q.opts.Ctx); err != nil {
+				return 0, st, q.t.abortErr(err)
+			}
 			o := q.countSegment(en, s)
 			st.Add(o.st)
 			n += o.count
@@ -345,13 +356,16 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 func (q *Query) countParallel(en *execNode, nsegs int, limit uint64) (uint64, core.QueryStats, error) {
 	var st core.QueryStats
 	var n uint64
-	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+	err := q.t.forEachSegment(q.opts.Ctx, nsegs, resolveParallelism(q.opts, nsegs),
 		func(s int) segOut { return q.countSegment(en, s) },
 		func(s int, o segOut) bool {
 			st.Add(o.st)
 			n += o.count
 			return !q.limited || n < limit
 		})
+	if err != nil {
+		return 0, st, q.t.abortErr(err)
+	}
 	if q.limited && n > limit {
 		n = limit
 	}
@@ -423,7 +437,7 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 		}
 		emitted := 0
 		nsegs := q.t.segCount()
-		q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+		if err := q.t.forEachSegment(q.opts.Ctx, nsegs, resolveParallelism(q.opts, nsegs),
 			func(s int) segOut { return q.collectIDs(en, s) },
 			func(s int, o segOut) bool {
 				defer putIDScratch(o.ids)
@@ -437,7 +451,9 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 					}
 				}
 				return true
-			})
+			}); err != nil {
+			q.err = q.t.abortErr(err)
+		}
 	}
 }
 

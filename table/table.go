@@ -249,6 +249,19 @@ func (t *Table) Columns() []string {
 	return append([]string(nil), t.order...)
 }
 
+// ColumnType returns a column's value type name ("int64", "float64",
+// "string", ...), so external planners (e.g. the SQL front-end) can
+// choose typed literals without reflection over row values.
+func (t *Table) ColumnType(name string) (string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c, ok := t.cols[name]
+	if !ok {
+		return "", fmt.Errorf("table %s: no column %q", t.name, name)
+	}
+	return c.colType(), nil
+}
+
 // SizeBytes returns total column payload bytes.
 func (t *Table) SizeBytes() int64 {
 	t.mu.RLock()

@@ -271,7 +271,7 @@ func (q *Query) orderedIDsLocked() ([]uint32, core.QueryStats, error) {
 	desc := q.order.desc
 	nsegs := q.t.segCount()
 	parts := make([]orderPartial, nsegs)
-	q.t.forEachSegment(nsegs, resolveParallelism(q.opts, nsegs),
+	err = q.t.forEachSegment(q.opts.Ctx, nsegs, resolveParallelism(q.opts, nsegs),
 		func(s int) segOut {
 			var o segOut
 			ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
@@ -300,5 +300,8 @@ func (q *Query) orderedIDsLocked() ([]uint32, core.QueryStats, error) {
 			parts[s] = o.ord
 			return true
 		})
+	if err != nil {
+		return nil, st, q.t.abortErr(err)
+	}
 	return col.topkMerge(parts, desc, k), st, nil
 }
