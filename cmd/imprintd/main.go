@@ -57,6 +57,7 @@ func main() {
 		cacheSize   = flag.Int("cache", 128, "prepared-statement LRU capacity (negative disables)")
 		defTimeout  = flag.Duration("default-timeout", 0, "default per-query deadline (0 = none)")
 		parallelism = flag.Int("parallelism", 1, "per-query segment fan-out (0 = one worker per core)")
+		ingest      = flag.Bool("ingest", false, "enable LSM-style delta ingest (background sealing) on the served table")
 	)
 	flag.Parse()
 
@@ -64,6 +65,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imprintd:", err)
 		os.Exit(1)
+	}
+	if *ingest {
+		if err := tbl.EnableDeltaIngest(table.IngestOptions{AutoSeal: true}); err != nil {
+			fmt.Fprintln(os.Stderr, "imprintd:", err)
+			os.Exit(1)
+		}
+		defer tbl.Close()
+		log.Printf("delta ingest enabled (background sealing)")
 	}
 	log.Printf("serving table %q: %d rows, %d segments", tbl.Name(), tbl.Rows(), tbl.Segments())
 

@@ -38,6 +38,10 @@ type QueryStats struct {
 	// per evaluated live lane, counted via popcount of the block's live
 	// mask.
 	BlocksVectorized uint64
+	// DeltaRowsScanned counts live in-memory delta rows the execution
+	// evaluated exactly (row-at-a-time, no index) to union the unsealed
+	// write buffer with the sealed-segment results.
+	DeltaRowsScanned uint64
 }
 
 // Add accumulates o into s.
@@ -52,6 +56,7 @@ func (s *QueryStats) Add(o QueryStats) {
 	s.SummaryAggRows += o.SummaryAggRows
 	s.WholesaleAggRows += o.WholesaleAggRows
 	s.BlocksVectorized += o.BlocksVectorized
+	s.DeltaRowsScanned += o.DeltaRowsScanned
 }
 
 // pred is a range predicate with optional unbounded and inclusive ends.

@@ -1,0 +1,182 @@
+// Package delta implements the in-memory write buffer of the table
+// layer's LSM-style ingest path: an append-only, row-major, unindexed
+// store that absorbs batches without touching the columnar segments.
+// Rows live here until a sealer cuts full segment-sized chunks off the
+// front (building their indexes off the write path) or a flush folds
+// the remainder into the columnar tail.
+//
+// The store carries its own lock so appends never contend with the
+// owning table's reader/writer lock — that separation is what lets
+// streaming writers run while readers hold the table lock for whole
+// query executions. The locking contract is split between the two
+// locks:
+//
+//   - Append, Set, Truncate, SetBase and CopyPrefix serialize on the
+//     store mutex alone.
+//   - View returns the live rows slice without copying; the caller
+//     must hold the owning table's lock (shared is enough) so that Set
+//     and Truncate — which run under the table's exclusive lock — are
+//     excluded for the lifetime of the view. Concurrent Appends are
+//     safe against a view: they only write beyond the viewed prefix.
+//   - Inner row slices are immutable once appended; Set replaces the
+//     whole row (copy-on-write), so a background sealer may read rows
+//     obtained from CopyPrefix without any lock.
+//
+// The generation counter makes optimistic off-lock builds safe: Set,
+// Truncate and SetBase bump it, and an installer re-checks
+// (base, gen) under the table's exclusive lock before committing a
+// chunk built from a CopyPrefix snapshot — a stale build is discarded,
+// never installed.
+package delta
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is one table's in-memory delta: rows appended since the last
+// seal or flush, in arrival order. Row i holds the values of global
+// row base+i, one value per column in layout order.
+type Store struct {
+	mu   sync.RWMutex
+	cols []string
+	rows [][]any
+	base int
+	gen  uint64
+}
+
+// NewStore creates an empty store whose first row will be global row
+// base, with the given column layout.
+func NewStore(base int, cols []string) *Store {
+	return &Store{base: base, cols: append([]string(nil), cols...)}
+}
+
+// Append adds rows to the store. Every row must carry exactly one
+// value per layout column; the outer and inner slices are retained, so
+// callers must not reuse them.
+func (s *Store) Append(rows [][]any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range rows {
+		if len(r) != len(s.cols) {
+			return fmt.Errorf("delta: row has %d values, layout has %d columns", len(r), len(s.cols))
+		}
+	}
+	s.rows = append(s.rows, rows...)
+	return nil
+}
+
+// Len returns the number of buffered rows.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// Base returns the global row id of the first buffered row.
+func (s *Store) Base() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base
+}
+
+// Cols returns the column layout (shared; callers must not mutate).
+func (s *Store) Cols() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cols
+}
+
+// SetCols replaces the column layout. The store must be empty (layout
+// changes flush first); callers hold the owning table's exclusive lock.
+func (s *Store) SetCols(cols []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.rows) != 0 {
+		panic("delta: layout change on a non-empty store")
+	}
+	s.cols = append([]string(nil), cols...)
+	s.gen++
+}
+
+// ColIndex returns the layout position of a column, or -1.
+func (s *Store) ColIndex(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, c := range s.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// View returns the buffered rows without copying. The returned slice
+// header is stable — concurrent Appends only ever write beyond its
+// length — but element replacement (Set) and Truncate run under the
+// owning table's exclusive lock, so callers must hold that table's
+// lock (shared suffices) for as long as they read through the view.
+func (s *Store) View() (base int, rows [][]any) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base, s.rows
+}
+
+// CopyPrefix copies the outer slice headers of up to n buffered rows,
+// with the store identity (base, gen) the copy was taken at. The inner
+// rows are immutable, so the copy is safe to read without any lock;
+// installers must re-check Matches(base, gen) under the owning table's
+// exclusive lock before committing work derived from it.
+func (s *Store) CopyPrefix(n int) (base int, rows [][]any, gen uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n > len(s.rows) {
+		n = len(s.rows)
+	}
+	return s.base, append([][]any(nil), s.rows[:n]...), s.gen
+}
+
+// Matches reports whether the store still has the given identity —
+// no Set, Truncate or SetBase happened since it was captured — and at
+// least the captured prefix is still buffered.
+func (s *Store) Matches(base int, gen uint64, n int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base == base && s.gen == gen && n <= len(s.rows)
+}
+
+// Set replaces one value of one buffered row, copy-on-write: the row
+// slice is replaced wholesale so concurrent readers of the old row see
+// a consistent tuple. Callers hold the owning table's exclusive lock.
+func (s *Store) Set(i, col int, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row := append([]any(nil), s.rows[i]...)
+	row[col] = v
+	s.rows[i] = row
+	s.gen++
+}
+
+// Truncate drops the first n buffered rows (they were sealed or
+// flushed into columnar storage) and advances base past them. Callers
+// hold the owning table's exclusive lock.
+func (s *Store) Truncate(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows = s.rows[n:]
+	s.base += n
+	s.gen++
+}
+
+// SetBase re-anchors an empty store at a new global row id (the owning
+// table compacted or renumbered). Callers hold the table's exclusive
+// lock.
+func (s *Store) SetBase(base int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.rows) != 0 {
+		panic("delta: re-anchor of a non-empty store")
+	}
+	s.base = base
+	s.gen++
+}

@@ -1,0 +1,97 @@
+package delta
+
+import "testing"
+
+func row(vs ...any) []any { return vs }
+
+func TestStoreAppendAndViews(t *testing.T) {
+	s := NewStore(100, []string{"a", "b"})
+	if s.Len() != 0 || s.Base() != 100 {
+		t.Fatalf("fresh store: len=%d base=%d", s.Len(), s.Base())
+	}
+	if err := s.Append([][]any{row(int64(1))}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := s.Append([][]any{row(int64(1), "x"), row(int64(2), "y")}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.ColIndex("b") != 1 || s.ColIndex("nope") != -1 {
+		t.Fatal("ColIndex wrong")
+	}
+	base, rows := s.View()
+	if base != 100 || len(rows) != 2 || rows[1][1] != "y" {
+		t.Fatalf("View = %d %v", base, rows)
+	}
+}
+
+// The generation contract is what makes optimistic off-lock seal builds
+// safe: appends must NOT invalidate a captured prefix (they only extend
+// it), while Set, Truncate, SetBase and SetCols must.
+func TestStoreGenerationContract(t *testing.T) {
+	s := NewStore(0, []string{"a"})
+	if err := s.Append([][]any{row(int64(1)), row(int64(2)), row(int64(3))}); err != nil {
+		t.Fatal(err)
+	}
+	base, rows, gen := s.CopyPrefix(2)
+	if base != 0 || len(rows) != 2 {
+		t.Fatalf("CopyPrefix = %d %v", base, rows)
+	}
+	if !s.Matches(base, gen, 2) {
+		t.Fatal("fresh prefix does not match")
+	}
+	if err := s.Append([][]any{row(int64(4))}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Matches(base, gen, 2) {
+		t.Fatal("append invalidated the prefix")
+	}
+	s.Set(2, 0, int64(99))
+	if s.Matches(base, gen, 2) {
+		t.Fatal("Set did not invalidate the prefix")
+	}
+	// Set is copy-on-write: the captured inner rows are untouched.
+	if rows[1][0] != int64(2) {
+		t.Fatalf("captured row mutated: %v", rows[1])
+	}
+
+	_, _, gen = s.CopyPrefix(4)
+	s.Truncate(2)
+	if s.Matches(2, gen, 1) {
+		t.Fatal("Truncate did not bump the generation")
+	}
+	if s.Base() != 2 || s.Len() != 2 {
+		t.Fatalf("after Truncate: base=%d len=%d", s.Base(), s.Len())
+	}
+	if _, rows := s.View(); rows[1][0] != int64(4) {
+		t.Fatalf("surviving rows wrong: %v", rows)
+	}
+}
+
+func TestStoreRelayout(t *testing.T) {
+	s := NewStore(0, []string{"a"})
+	if err := s.Append([][]any{row(int64(1))}); err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(){
+		"SetCols": func() { s.SetCols([]string{"a", "b"}) },
+		"SetBase": func() { s.SetBase(7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on a non-empty store did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	s.Truncate(1)
+	s.SetCols([]string{"a", "b"})
+	s.SetBase(7)
+	if got := s.Cols(); len(got) != 2 || s.Base() != 7 {
+		t.Fatalf("relayout: cols=%v base=%d", got, s.Base())
+	}
+}

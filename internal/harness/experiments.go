@@ -24,7 +24,7 @@ type Experiment struct {
 
 // IDs lists all experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate", "vectorized", "serve"}
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate", "vectorized", "serve", "ingest"}
 }
 
 // Run executes one experiment by id.
@@ -62,6 +62,8 @@ func Run(id string, cfg Config) (*Experiment, error) {
 		return VectorizedExp(cfg), nil
 	case "serve":
 		return ServeExp(cfg), nil
+	case "ingest":
+		return IngestExp(cfg), nil
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (want one of %s)", id, strings.Join(IDs(), ", "))
 }
@@ -88,6 +90,7 @@ func RunAll(cfg Config) []*Experiment {
 		AggregateExp(cfg),
 		VectorizedExp(cfg),
 		ServeExp(cfg),
+		IngestExp(cfg),
 	}
 }
 

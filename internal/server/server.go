@@ -122,8 +122,13 @@ func (s *Server) Close() {
 	})
 }
 
-// Stats snapshots the serving counters (also served at GET /stats).
-func (s *Server) Stats() ServerStats { return s.counters.snapshot(s.cache) }
+// Stats snapshots the serving counters plus the table's ingest health
+// (also served at GET /stats).
+func (s *Server) Stats() ServerStats {
+	st := s.counters.snapshot(s.cache)
+	st.Ingest = s.tbl.IngestStats()
+	return st
+}
 
 // LogStats writes a one-line serving summary through Config.Logf; the
 // imprintd shutdown path calls it after draining.

@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/table"
 )
 
 // latency histogram bucket upper bounds; the last bucket is unbounded.
@@ -50,13 +52,15 @@ type CacheStats struct {
 }
 
 // ServerStats is the GET /stats snapshot: cumulative counters since
-// the server started.
+// the server started, plus the served table's ingest health (delta
+// rows buffered, seal and merge progress) when delta ingest is on.
 type ServerStats struct {
 	Served       uint64                   `json:"queries_served"`
 	Errors       uint64                   `json:"query_errors"`
 	Rejected     uint64                   `json:"rejected"`
 	Canceled     uint64                   `json:"canceled"`
 	Cache        CacheStats               `json:"statement_cache"`
+	Ingest       table.IngestStats        `json:"ingest"`
 	BucketLabels []string                 `json:"latency_bucket_labels"`
 	Endpoints    map[string]EndpointStats `json:"endpoints"`
 }

@@ -326,8 +326,12 @@ type numSegAgg[V coltype.Value] struct {
 	fsum  float64
 }
 
-func (a *numSegAgg[V]) addRow(local uint32) {
-	v := a.vals[local]
+func (a *numSegAgg[V]) addRow(local uint32) { a.addVal(a.vals[local]) }
+
+// addVal folds one unboxed value — shared by the slab path (addRow)
+// and the delta-scan adapter (numDeltaAgg), so both accumulate
+// identically.
+func (a *numSegAgg[V]) addVal(v V) {
 	switch a.op {
 	case aggSum, aggAvg:
 		if a.isInt {
@@ -665,6 +669,46 @@ func (q *Query) aggSegment(en *execNode, s int, binds []aggBind) segOut {
 	return o
 }
 
+// deltaAggFold folds the qualifying buffered delta rows into merged
+// (capped so already + folded never exceeds Limit on limited queries)
+// and returns the number of rows folded. Delta ids all follow sealed
+// ids, so folding after the segment merge preserves the deterministic
+// merge order. Callers hold the read lock.
+func (q *Query) deltaAggFold(en *execNode, binds []aggBind, merged []aggPartial, already uint64, st *core.QueryStats) uint64 {
+	view := q.t.deltaViewLocked()
+	if view == nil {
+		return 0
+	}
+	match := view.matcher(en)
+	accs := make([]deltaAgg, len(binds))
+	cis := make([]int, len(binds))
+	for i, b := range binds {
+		if b.col != nil {
+			accs[i] = b.col.deltaAgg(b.spec.op)
+			cis[i] = view.colIdx(b.spec.col)
+		}
+	}
+	var rows uint64
+	limit := uint64(q.limit)
+	view.scan(match, st, func(_ int, row []any) bool {
+		for i, acc := range accs {
+			if acc != nil {
+				acc.add(row[cis[i]])
+			}
+		}
+		rows++
+		return !q.limited || already+rows < limit
+	})
+	for i := range merged {
+		if accs[i] != nil {
+			merged[i].mergeInto(binds[i].spec.op, accs[i].partial())
+		} else {
+			merged[i].mergeInto(binds[i].spec.op, aggPartial{rows: rows})
+		}
+	}
+	return rows
+}
+
 // Aggregate executes the query as a set of aggregates over the
 // qualifying rows, computed inside the per-segment workers and merged
 // in segment order — results are identical at every parallelism level.
@@ -723,6 +767,7 @@ func (q *Query) Aggregate(specs ...AggSpec) (*AggResult, core.QueryStats, error)
 		}); err != nil {
 		return nil, st, q.t.abortErr(err)
 	}
+	res.Rows += q.deltaAggFold(en, binds, merged, res.Rows, &st)
 	return finish(), st, nil
 }
 
@@ -773,6 +818,11 @@ func (q *Query) limitedAggregate(en *execNode, binds []aggBind, merged []aggPart
 		})
 	if err != nil {
 		return nil, *st, q.t.abortErr(err)
+	}
+	if taken < q.limit {
+		n := q.deltaAggFold(en, binds, merged, uint64(taken), st)
+		rows += n
+		taken += int(n)
 	}
 	res := finish()
 	res.Rows = rows

@@ -1,0 +1,454 @@
+package table
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/coltype"
+	"repro/internal/delta"
+)
+
+// LSM-style ingest (delta.go, seal.go, snapshot.go): with delta ingest
+// enabled, batch commits append row-major tuples to an in-memory delta
+// store (internal/delta) instead of the columnar tail, updates and
+// deletes of buffered rows never touch sealed segments, and a
+// background sealer cuts the delta into immutable full segments —
+// building their imprints, zonemaps, summaries and dictionaries off
+// the query path — installing them atomically under the table lock.
+// Readers union the sealed segments (the unchanged vectorized block
+// walk) with an exact scan of the delta watermark they captured, so
+// streaming writers never block readers and readers never see a
+// half-applied batch. A merge-compactor rewrites segments whose
+// summary was widened by updates or whose index saturated, restoring
+// exact summaries (and aggregate pushdown) off the write path.
+
+// IngestOptions configures EnableDeltaIngest.
+type IngestOptions struct {
+	// AutoSeal starts a background sealer goroutine that cuts full
+	// segments off the delta after commits and runs the
+	// merge-compactor. Without it, sealing is driven manually through
+	// SealDelta / FlushDelta (or implicitly by Save, AddColumn,
+	// Compact).
+	AutoSeal bool
+	// MaxSealSegments bounds how many full segments one seal pass
+	// builds off-lock before installing (memory bound). 0 means 4.
+	MaxSealSegments int
+	// MergeSaturation is the index-saturation fraction past which the
+	// merge-compactor rewrites a sealed segment. 0 means 0.5; set
+	// above 1 to only rewrite widened summaries.
+	MergeSaturation float64
+	// CompactFraction is the deleted-row fraction past which the
+	// background worker folds the delete bitmap with a full Compact
+	// (ids renumber). 0 means never.
+	CompactFraction float64
+}
+
+// deltaState is the per-table ingest state: the row-major store plus
+// the sealer bookkeeping and counters.
+type deltaState struct {
+	store *delta.Store
+
+	// sealMu serializes seal passes (background and manual); it is
+	// never held while waiting on table commits, and t.mu write
+	// sections never acquire it, so lock order is always sealMu then
+	// t.mu.
+	sealMu      sync.Mutex
+	autoSeal    bool
+	maxSealSegs int
+	mergeSat    float64
+	compactFrac float64
+
+	kick     chan struct{}
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	seals       atomic.Uint64
+	sealedSegs  atomic.Uint64
+	sealedRows  atomic.Uint64
+	sealRetries atomic.Uint64
+	flushes     atomic.Uint64
+	flushedRows atomic.Uint64
+	merges      atomic.Uint64
+	compactions atomic.Uint64
+}
+
+// kickSeal wakes the background sealer without blocking the committer.
+func (d *deltaState) kickSeal() {
+	if !d.autoSeal {
+		return
+	}
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+// EnableDeltaIngest switches the table to the LSM-style write path:
+// subsequent batch commits buffer rows in an in-memory delta store
+// (visible to every query through an exact scan unioned with the
+// sealed segments) until they are sealed into full immutable segments
+// — by the background worker when opts.AutoSeal is set, or by
+// SealDelta / FlushDelta / Save otherwise. Enabling is one-way for the
+// table's lifetime; Close stops the background worker.
+func (t *Table) EnableDeltaIngest(opts IngestOptions) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.delta != nil {
+		return fmt.Errorf("table %s: delta ingest already enabled", t.name)
+	}
+	maxSegs := opts.MaxSealSegments
+	if maxSegs <= 0 {
+		maxSegs = 4
+	}
+	sat := opts.MergeSaturation
+	if sat == 0 {
+		sat = 0.5
+	}
+	d := &deltaState{
+		store:       delta.NewStore(t.rows, t.order),
+		autoSeal:    opts.AutoSeal,
+		maxSealSegs: maxSegs,
+		mergeSat:    sat,
+		compactFrac: opts.CompactFraction,
+		kick:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	t.delta = d
+	if d.autoSeal {
+		go t.sealLoop(d)
+	} else {
+		close(d.done)
+	}
+	return nil
+}
+
+// Close stops the background sealer, waiting for an in-flight pass to
+// finish. Buffered delta rows stay queryable; flush them explicitly
+// (FlushDelta or Save) if they must reach columnar storage. Close is
+// idempotent and a no-op without delta ingest.
+func (t *Table) Close() error {
+	d := t.deltaPtr()
+	if d == nil {
+		return nil
+	}
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.done
+	return nil
+}
+
+// deltaPtr reads the ingest state under the read lock (it is assigned
+// once, under the write lock).
+func (t *Table) deltaPtr() *deltaState {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.delta
+}
+
+// totalRowsLocked returns sealed plus buffered rows (including
+// deleted-but-not-compacted ones); callers hold a lock.
+func (t *Table) totalRowsLocked() int {
+	if t.delta == nil {
+		return t.rows
+	}
+	return t.rows + t.delta.store.Len()
+}
+
+// DeltaRows returns the number of rows currently buffered in the
+// delta store (0 without delta ingest).
+func (t *Table) DeltaRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.delta == nil {
+		return 0
+	}
+	return t.delta.store.Len()
+}
+
+// deletedAt is the length-guarded deleted-bitmap probe: delta rows may
+// sit beyond the bitmap's tail when no delete grew it that far.
+// Callers hold a lock.
+func (t *Table) deletedAt(id int) bool {
+	return t.deleted != nil && id < t.deleted.Len() && t.deleted.Get(id)
+}
+
+// growDeletedTo widens a non-nil deleted bitmap to cover n rows,
+// preserving set bits; callers hold the write lock. The invariant it
+// maintains: whenever the bitmap exists it covers at least every
+// sealed row, so the block walk's LiveMask64 never runs off its end.
+func (t *Table) growDeletedTo(n int) {
+	if t.deleted == nil || t.deleted.Len() >= n {
+		return
+	}
+	grown := bitvec.New(n)
+	copy(grown.Words(), t.deleted.Words())
+	t.deleted = grown
+}
+
+// ---- commit / update / flush ----
+
+// commitDeltaLocked applies a staged batch to the delta store; callers
+// hold at least the read lock (appends contend only on the store's own
+// mutex, so streaming writers never block readers).
+func (b *Batch) commitDeltaLocked(d *deltaState) error {
+	t := b.t
+	for _, name := range t.order {
+		if _, ok := b.staged[name]; !ok {
+			return fmt.Errorf("table %s: batch is missing column %q", t.name, name)
+		}
+	}
+	rows := make([][]any, b.rows)
+	for r := range rows {
+		row := make([]any, len(t.order))
+		for ci, name := range t.order {
+			row[ci] = b.staged[name].value(r)
+		}
+		rows[r] = row
+	}
+	if err := d.store.Append(rows); err != nil {
+		return err
+	}
+	b.staged = map[string]stagedCol{}
+	b.rows = -1
+	return nil
+}
+
+// deltaSetLocked updates one value of a buffered row copy-on-write;
+// callers hold the write lock and have range-checked id against the
+// buffered window.
+func (t *Table) deltaSetLocked(name string, id int, v any) error {
+	d := t.delta
+	ci := d.store.ColIndex(name)
+	if ci < 0 {
+		return fmt.Errorf("table %s: column %q missing from delta layout", t.name, name)
+	}
+	d.store.Set(id-d.store.Base(), ci, v)
+	return nil
+}
+
+// flushDeltaLocked folds the first n buffered rows into the columnar
+// tail (indexes extend under the lock — the synchronous path used by
+// Save, AddColumn, Compact and tail alignment); callers hold the write
+// lock.
+func (t *Table) flushDeltaLocked(n int) {
+	d := t.delta
+	_, rows := d.store.View()
+	rows = rows[:n]
+	for ci, name := range t.order {
+		t.cols[name].absorbAny(rows, ci)
+	}
+	t.rows += n
+	t.growDeletedTo(t.rows)
+	d.store.Truncate(n)
+	d.flushes.Add(1)
+	d.flushedRows.Add(uint64(n))
+}
+
+// flushAllLocked drains the whole delta into columnar storage; callers
+// hold the write lock. Returns the rows flushed.
+func (t *Table) flushAllLocked() int {
+	d := t.delta
+	if d == nil {
+		return 0
+	}
+	n := d.store.Len()
+	if n > 0 {
+		t.flushDeltaLocked(n)
+	}
+	return n
+}
+
+// FlushDelta drains the delta store completely: full chunks seal into
+// immutable segments with their indexes built off-lock, and the
+// remainder folds into the columnar tail. Returns the rows moved.
+func (t *Table) FlushDelta() int {
+	d := t.deltaPtr()
+	if d == nil {
+		return 0
+	}
+	moved := t.sealFullChunks(d)
+	t.mu.Lock()
+	moved += t.flushAllLocked()
+	t.mu.Unlock()
+	return moved
+}
+
+// SealDelta seals every full segment-sized chunk currently buffered
+// (indexes built outside the table lock, installed atomically),
+// leaving a partial remainder buffered. Returns the rows sealed.
+func (t *Table) SealDelta() int {
+	d := t.deltaPtr()
+	if d == nil {
+		return 0
+	}
+	return t.sealFullChunks(d)
+}
+
+// ---- observability ----
+
+// IngestStats reports the health of the LSM-style write path.
+type IngestStats struct {
+	// Enabled reports whether EnableDeltaIngest was called.
+	Enabled bool `json:"enabled"`
+	// DeltaRows is the number of rows currently buffered in the
+	// in-memory delta store (scanned exactly by every query).
+	DeltaRows int `json:"delta_rows"`
+	// Seals counts completed seal installs; SealedSegments and
+	// SealedRows the segments and rows they moved into columnar
+	// storage.
+	Seals          uint64 `json:"seals"`
+	SealedSegments uint64 `json:"sealed_segments"`
+	SealedRows     uint64 `json:"sealed_rows"`
+	// SealRetries counts off-lock segment builds discarded because the
+	// delta mutated (update, flush) before install.
+	SealRetries uint64 `json:"seal_retries"`
+	// Flushes counts synchronous folds into the columnar tail (Save,
+	// AddColumn, Compact, FlushDelta remainder, tail alignment);
+	// FlushedRows the rows they moved.
+	Flushes     uint64 `json:"flushes"`
+	FlushedRows uint64 `json:"flushed_rows"`
+	// Merges counts sealed segments the merge-compactor rewrote
+	// (widened summaries restored exact, saturated indexes rebuilt);
+	// MergeBacklog the segments currently still awaiting a rewrite.
+	Merges       uint64 `json:"merges"`
+	MergeBacklog int    `json:"merge_backlog"`
+	// Compactions counts delete-folding compactions the background
+	// worker triggered (CompactFraction crossed).
+	Compactions uint64 `json:"compactions"`
+}
+
+// IngestStats reports delta/seal/merge health; zero with Enabled false
+// when delta ingest is off.
+func (t *Table) IngestStats() IngestStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	d := t.delta
+	if d == nil {
+		return IngestStats{}
+	}
+	return IngestStats{
+		Enabled:        true,
+		DeltaRows:      d.store.Len(),
+		Seals:          d.seals.Load(),
+		SealedSegments: d.sealedSegs.Load(),
+		SealedRows:     d.sealedRows.Load(),
+		SealRetries:    d.sealRetries.Load(),
+		Flushes:        d.flushes.Load(),
+		FlushedRows:    d.flushedRows.Load(),
+		Merges:         d.merges.Load(),
+		MergeBacklog:   t.mergeBacklogLocked(d.mergeSat),
+		Compactions:    d.compactions.Load(),
+	}
+}
+
+// mergeBacklogLocked counts sealed segments awaiting a merge rewrite;
+// callers hold a lock.
+func (t *Table) mergeBacklogLocked(satLimit float64) int {
+	n := 0
+	for _, name := range t.order {
+		n += t.cols[name].mergeBacklog(satLimit)
+	}
+	return n
+}
+
+// ---- per-column delta adapters ----
+
+// deltaAgg folds boxed delta-row values into the same aggPartial
+// domain the segment accumulators produce, so one merge serves both.
+type deltaAgg interface {
+	add(v any)
+	partial() aggPartial
+}
+
+func (c *colState[V]) absorbAny(rows [][]any, ci int) {
+	vals := make([]V, len(rows))
+	for r, row := range rows {
+		vals[r] = row[ci].(V)
+	}
+	c.absorb(vals)
+}
+
+func (c *strColState) absorbAny(rows [][]any, ci int) {
+	vals := make([]string, len(rows))
+	for r, row := range rows {
+		vals[r] = row[ci].(string)
+	}
+	c.absorbStrings(vals)
+}
+
+func (c *colState[V]) deltaAgg(op aggOp) deltaAgg {
+	return &numDeltaAgg[V]{numSegAgg[V]{op: op, isInt: isIntType[V]()}}
+}
+
+// numDeltaAgg reuses the typed segment accumulator's fold over unboxed
+// values.
+type numDeltaAgg[V coltype.Value] struct {
+	numSegAgg[V]
+}
+
+func (a *numDeltaAgg[V]) add(v any) { a.addVal(v.(V)) }
+
+func (c *strColState) deltaAgg(op aggOp) deltaAgg { return &strDeltaAgg{op: op} }
+
+// strDeltaAgg folds min/max over raw strings (delta rows carry
+// symbols, not per-segment codes).
+type strDeltaAgg struct {
+	op   aggOp
+	rows uint64
+	any  bool
+	m    string
+}
+
+func (a *strDeltaAgg) add(v any) {
+	s := v.(string)
+	if !a.any || (a.op == aggMin && s < a.m) || (a.op == aggMax && s > a.m) {
+		a.m = s
+	}
+	a.any = true
+	a.rows++
+}
+
+func (a *strDeltaAgg) partial() aggPartial {
+	p := aggPartial{rows: a.rows}
+	if a.rows == 0 {
+		return p
+	}
+	p.kind, p.s = partStr, a.m
+	return p
+}
+
+func (c *colState[V]) deltaGroupKey(v any) groupKey {
+	return groupKey{i: int64(v.(V))}
+}
+
+func (c *strColState) deltaGroupKey(v any) groupKey {
+	return groupKey{s: v.(string), isStr: true}
+}
+
+// deltaOrd builds one order partial from the qualifying delta rows'
+// boxed values and global ids, mergeable by the column's topkMerge
+// alongside the per-segment partials.
+func (c *colState[V]) deltaOrd(vals []any, ids []uint32) orderPartial {
+	if len(vals) == 0 {
+		return nil
+	}
+	entries := make([]topEntry[V], len(vals))
+	for i, v := range vals {
+		entries[i] = topEntry[V]{v: v.(V), id: ids[i]}
+	}
+	return entries
+}
+
+func (c *strColState) deltaOrd(vals []any, ids []uint32) orderPartial {
+	if len(vals) == 0 {
+		return nil
+	}
+	entries := make([]strOrdEntry, len(vals))
+	for i, v := range vals {
+		entries[i] = strOrdEntry{v: v.(string), id: ids[i]}
+	}
+	return entries
+}

@@ -17,8 +17,12 @@ type Plan struct {
 	Table       string
 	Columns     []string // resolved projection
 	Limit       int      // row cap; negative when the query has no limit
-	TotalRows   int
-	TotalBlocks int // row blocks of BlockRows rows
+	TotalRows   int      // sealed plus buffered delta rows
+	TotalBlocks int      // row blocks of BlockRows rows (sealed storage)
+	// DeltaRows is the number of buffered delta rows the execution would
+	// scan exactly alongside the sealed segments; zero without delta
+	// ingest.
+	DeltaRows int
 	// SegmentRows / Segments describe the storage segmentation the plan
 	// ran over; Parallelism is the worker count execution would use.
 	SegmentRows int
@@ -212,13 +216,21 @@ func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 	if q.limited {
 		lim = q.limit
 	}
+	deltaRows := 0
+	if view := q.t.deltaViewLocked(); view != nil {
+		// Evaluate the delta filter exactly (like an execution would) so
+		// the plan's stats carry the delta-scan cost.
+		deltaRows = len(view.rows)
+		view.scan(view.matcher(en), &st, func(int, []any) bool { return true })
+	}
 	root := q.t.aggregatePlans(segPlans)
 	p := &Plan{
 		Table:            q.t.name,
 		Columns:          append([]string(nil), names...),
 		Limit:            lim,
-		TotalRows:        q.t.rows,
+		TotalRows:        q.t.rows + deltaRows,
 		TotalBlocks:      (q.t.rows + BlockRows - 1) / BlockRows,
+		DeltaRows:        deltaRows,
 		SegmentRows:      q.t.segRows,
 		Segments:         nsegs,
 		Parallelism:      par,
@@ -407,6 +419,9 @@ func (p *Plan) String() string {
 		if p.SegmentsPruned > 0 {
 			fmt.Fprintf(&sb, ", %d pruned", p.SegmentsPruned)
 		}
+	}
+	if p.DeltaRows > 0 {
+		fmt.Fprintf(&sb, ", delta: %d rows", p.DeltaRows)
 	}
 	if p.FastCountRows > 0 {
 		fmt.Fprintf(&sb, ", count fast path: %d rows", p.FastCountRows)

@@ -268,6 +268,59 @@ func (g *GroupedQuery) Aggregate(specs ...AggSpec) (*GroupedResult, core.QuerySt
 		}); err != nil {
 		return nil, st, q.t.abortErr(err)
 	}
+	// Buffered delta rows fold after the segment merge: per-group delta
+	// accumulators produce one partial per group, merged exactly once,
+	// so results stay deterministic at every parallelism level.
+	if view := q.t.deltaViewLocked(); view != nil {
+		match := view.matcher(en)
+		kci := view.colIdx(g.key)
+		cis := make([]int, len(binds))
+		for i, b := range binds {
+			if b.col != nil {
+				cis[i] = view.colIdx(b.spec.col)
+			}
+		}
+		type deltaGroup struct {
+			rows uint64
+			accs []deltaAgg
+		}
+		dgroups := map[groupKey]*deltaGroup{}
+		view.scan(match, &st, func(_ int, row []any) bool {
+			k := keyCol.deltaGroupKey(row[kci])
+			dg := dgroups[k]
+			if dg == nil {
+				dg = &deltaGroup{accs: make([]deltaAgg, len(binds))}
+				for i, b := range binds {
+					if b.col != nil {
+						dg.accs[i] = b.col.deltaAgg(b.spec.op)
+					}
+				}
+				dgroups[k] = dg
+			}
+			dg.rows++
+			for i, acc := range dg.accs {
+				if acc != nil {
+					acc.add(row[cis[i]])
+				}
+			}
+			return true
+		})
+		for k, dg := range dgroups {
+			mg := merged[k]
+			if mg == nil {
+				mg = &mergedGroup{parts: make([]aggPartial, len(binds))}
+				merged[k] = mg
+			}
+			mg.rows += dg.rows
+			for i := range binds {
+				if dg.accs[i] != nil {
+					mg.parts[i].mergeInto(binds[i].spec.op, dg.accs[i].partial())
+				} else {
+					mg.parts[i].mergeInto(binds[i].spec.op, aggPartial{rows: dg.rows})
+				}
+			}
+		}
+	}
 	keys := make([]groupKey, 0, len(merged))
 	for k := range merged {
 		keys = append(keys, k)

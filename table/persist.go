@@ -51,10 +51,24 @@ const (
 var ErrCorrupt = errors.New("table: corrupt persisted table")
 
 // Write persists the table: per-segment column payloads plus index
-// images. Tables with pending deletes must be compacted first.
+// images. Tables with pending deletes must be compacted first. With
+// delta ingest enabled, buffered delta rows are folded into columnar
+// storage first (under the exclusive lock, so no committed row races
+// past the image) — the persisted format stays pure v3 with no delta
+// section.
 func (t *Table) Write(w io.Writer) error {
+	if t.deltaPtr() != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.flushAllLocked()
+		return t.writeLocked(w)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	return t.writeLocked(w)
+}
+
+func (t *Table) writeLocked(w io.Writer) error {
 	if t.ndel > 0 {
 		return fmt.Errorf("table %s: compact before persisting (%d deleted rows pending)", t.name, t.ndel)
 	}

@@ -446,6 +446,11 @@ type leafPlan interface {
 	// "scan"); per-segment deviations (pruned, scan fallback) are
 	// decided during evaluation.
 	access() string
+	// rowCheck is the exact value-level test of the leaf over boxed row
+	// values — the delta-scan path, where rows have no segment, no
+	// value slab and no dictionary. Semantics match segCheck (strings:
+	// the raw-string form of the dictionary translation).
+	rowCheck() func(v any) bool
 }
 
 // ---- monomorphized leaf kernels ----
@@ -1108,6 +1113,26 @@ func (pl *numLeafPlan[V]) segCheck(s int) core.CheckFunc {
 	default: // kindEquals; compileLeaf rejected every other kind
 		low := pl.low
 		return func(id uint32) bool { return vals[id] == low }
+	}
+}
+
+func (pl *numLeafPlan[V]) rowCheck() func(v any) bool {
+	switch pl.kind {
+	case kindIn:
+		member := pl.member
+		return func(v any) bool { _, ok := member[v.(V)]; return ok }
+	case kindRange:
+		low, high := pl.low, pl.high
+		return func(v any) bool { x := v.(V); return x >= low && x < high }
+	case kindAtLeast:
+		low := pl.low
+		return func(v any) bool { return v.(V) >= low }
+	case kindLessThan:
+		high := pl.high
+		return func(v any) bool { return v.(V) < high }
+	default: // kindEquals; compileLeaf rejected every other kind
+		low := pl.low
+		return func(v any) bool { return v.(V) == low }
 	}
 }
 

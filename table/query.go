@@ -165,6 +165,40 @@ func (q *Query) checkProjection() error {
 	return nil
 }
 
+// deltaIDs appends the qualifying buffered delta rows' ids to res
+// (capped by Limit), evaluating the execution tree exactly over each
+// live row. Delta ids are all larger than sealed ids, so appending
+// after the segment merge keeps ids ascending. Callers hold the read
+// lock.
+func (q *Query) deltaIDs(en *execNode, res []uint32, st *core.QueryStats) []uint32 {
+	view := q.t.deltaViewLocked()
+	if view == nil {
+		return res
+	}
+	match := view.matcher(en)
+	view.scan(match, st, func(id int, _ []any) bool {
+		res = append(res, uint32(id))
+		return !q.limited || len(res) < q.limit
+	})
+	return res
+}
+
+// deltaCount adds the buffered delta rows' qualifying count to n
+// (capped by Limit); callers hold the read lock.
+func (q *Query) deltaCount(en *execNode, n uint64, st *core.QueryStats) uint64 {
+	view := q.t.deltaViewLocked()
+	if view == nil {
+		return n
+	}
+	match := view.matcher(en)
+	limit := uint64(q.limit)
+	view.scan(match, st, func(int, []any) bool {
+		n++
+		return !q.limited || n < limit
+	})
+	return n
+}
+
 // collectIDs is the segment worker behind IDs and Rows: evaluate the
 // tree against one segment and materialize its qualifying global ids
 // into a pooled scratch buffer. Each surviving block's selection mask
@@ -250,6 +284,9 @@ func (q *Query) idsSerial(en *execNode, nsegs int) ([]uint32, core.QueryStats, e
 	res := append([]uint32(nil), ids...)
 	*buf = ids
 	putIDScratch(buf)
+	if !q.limited || len(res) < q.limit {
+		res = q.deltaIDs(en, res, &st)
+	}
 	return res, st, nil
 }
 
@@ -273,6 +310,9 @@ func (q *Query) idsParallel(en *execNode, nsegs int) ([]uint32, core.QueryStats,
 		})
 	if err != nil {
 		return nil, st, q.t.abortErr(err)
+	}
+	if !q.limited || len(res) < q.limit {
+		res = q.deltaIDs(en, res, &st)
 	}
 	return res, st, nil
 }
@@ -343,6 +383,9 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 				break
 			}
 		}
+		if !q.limited || n < limit {
+			n = q.deltaCount(en, n, &st)
+		}
 		if q.limited && n > limit {
 			n = limit
 		}
@@ -365,6 +408,9 @@ func (q *Query) countParallel(en *execNode, nsegs int, limit uint64) (uint64, co
 		})
 	if err != nil {
 		return 0, st, q.t.abortErr(err)
+	}
+	if !q.limited || n < limit {
+		n = q.deltaCount(en, n, &st)
 	}
 	if q.limited && n > limit {
 		n = limit
@@ -407,13 +453,31 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 		if q.opts.ReuseRows {
 			reused = make([]any, len(cols))
 		}
+		// The delta watermark captured here serves both materialization
+		// (ids at or past its base live in the buffer, not in segments)
+		// and the trailing exact scan of the unordered path.
+		view := q.t.deltaViewLocked()
+		var dproj []int
+		if view != nil {
+			dproj = make([]int, len(names))
+			for i, name := range names {
+				dproj[i] = view.colIdx(name)
+			}
+		}
 		materialize := func(id uint32) Row {
 			vals := reused
 			if vals == nil {
 				vals = make([]any, len(cols))
 			}
-			for i, c := range cols {
-				vals[i] = c.valueAt(int(id))
+			if view != nil && int(id) >= view.base {
+				drow := view.rows[int(id)-view.base]
+				for i, pi := range dproj {
+					vals[i] = drow[pi]
+				}
+			} else {
+				for i, c := range cols {
+					vals[i] = c.valueAt(int(id))
+				}
 			}
 			return Row{id: int(id), names: names, vals: vals}
 		}
@@ -436,6 +500,7 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 			return
 		}
 		emitted := 0
+		stopped := false
 		nsegs := q.t.segCount()
 		if err := q.t.forEachSegment(q.opts.Ctx, nsegs, resolveParallelism(q.opts, nsegs),
 			func(s int) segOut { return q.collectIDs(en, s) },
@@ -443,17 +508,32 @@ func (q *Query) Rows() iter.Seq2[int, Row] {
 				defer putIDScratch(o.ids)
 				for _, id := range *o.ids {
 					if !yield(int(id), materialize(id)) {
+						stopped = true
 						return false
 					}
 					emitted++
 					if q.limited && emitted >= q.limit {
+						stopped = true
 						return false
 					}
 				}
 				return true
 			}); err != nil {
 			q.err = q.t.abortErr(err)
+			return
 		}
+		if stopped || view == nil {
+			return
+		}
+		match := view.matcher(en)
+		var dst core.QueryStats
+		view.scan(match, &dst, func(id int, _ []any) bool {
+			if !yield(id, materialize(uint32(id))) {
+				return false
+			}
+			emitted++
+			return !q.limited || emitted < q.limit
+		})
 	}
 }
 

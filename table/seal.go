@@ -1,0 +1,276 @@
+package table
+
+import (
+	"runtime"
+
+	"repro/internal/column"
+	"repro/internal/core"
+	"repro/internal/zonemap"
+)
+
+// Background sealing (the LSM-style write path's second stage): full
+// segment-sized chunks are cut off the delta store's front, their value
+// slabs, summaries, dictionaries and indexes built OUTSIDE the table
+// lock from an immutable prefix snapshot, and the finished segments
+// installed atomically under the write lock — readers only ever see
+// either the rows in the delta or the same rows in sealed segments,
+// never both and never neither. Installation is optimistic: the store's
+// (base, generation) identity is re-checked under the lock, and a build
+// raced by an update or flush is discarded (IngestStats.SealRetries),
+// never installed.
+
+// sealLoop is the background worker started by EnableDeltaIngest with
+// AutoSeal: it wakes on commit kicks, seals full chunks, runs one
+// merge-compactor pass, and folds deletes with a full compaction when
+// the deleted fraction crosses the configured threshold.
+func (t *Table) sealLoop(d *deltaState) {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.kick:
+		}
+		t.sealFullChunks(d)
+		t.mergePass(d)
+		t.maybeAutoCompact(d)
+	}
+}
+
+// sealFullChunks seals every full segment-sized chunk currently
+// buffered and returns the rows moved. Repeated install conflicts
+// (concurrent updates keep bumping the store generation) degrade to
+// folding full chunks under the lock so the pass always terminates.
+func (t *Table) sealFullChunks(d *deltaState) int {
+	d.sealMu.Lock()
+	defer d.sealMu.Unlock()
+	sealed, conflicts := 0, 0
+	for {
+		n, retry := t.sealChunk(d)
+		sealed += n
+		if retry {
+			d.sealRetries.Add(1)
+			if conflicts++; conflicts >= 4 {
+				t.mu.Lock()
+				if full := (t.delta.store.Len() / t.segRows) * t.segRows; full > 0 {
+					t.flushDeltaLocked(full)
+					sealed += full
+				}
+				t.mu.Unlock()
+				conflicts = 0
+			}
+			continue
+		}
+		if n == 0 {
+			return sealed
+		}
+	}
+}
+
+// sealChunk builds and installs up to maxSealSegs full segments from
+// the delta's front. It returns the rows installed and whether the
+// caller should retry because a concurrent mutation invalidated the
+// off-lock build.
+func (t *Table) sealChunk(d *deltaState) (int, bool) {
+	// Fewer buffered rows than a segment cannot yield a seal even after
+	// topping the tail up — skip without touching the table lock, so
+	// per-commit kicks stay free of exclusive acquisitions.
+	if d.store.Len() < t.segRows {
+		return 0, false
+	}
+	// Whole segments only install on a full columnar tail; top a
+	// partial tail (left by an earlier flush) up from the delta first.
+	t.mu.Lock()
+	if rem := t.rows % t.segRows; rem != 0 {
+		fill := t.segRows - rem
+		if n := d.store.Len(); n < fill {
+			fill = n
+		}
+		if fill > 0 {
+			t.flushDeltaLocked(fill)
+		}
+	}
+	order := append([]string(nil), t.order...)
+	cols := make([]anyColumn, len(order))
+	for ci, name := range order {
+		cols[ci] = t.cols[name]
+	}
+	t.mu.Unlock()
+
+	base, rows, gen := d.store.CopyPrefix(d.maxSealSegs * t.segRows)
+	nsegs := len(rows) / t.segRows
+	if nsegs == 0 {
+		return 0, false
+	}
+	n := nsegs * t.segRows
+	rows = rows[:n]
+
+	// Build off the lock: the prefix snapshot's inner rows are
+	// immutable, so summaries, dictionaries and imprints can be
+	// computed while readers and writers proceed. Yield between
+	// segment builds so reader goroutines interleave promptly even at
+	// small GOMAXPROCS.
+	built := make([][]any, len(cols))
+	for ci, col := range cols {
+		segsBuilt := make([]any, nsegs)
+		for k := 0; k < nsegs; k++ {
+			segsBuilt[k] = col.buildSealed(rows[k*t.segRows:(k+1)*t.segRows], ci)
+			runtime.Gosched()
+		}
+		built[ci] = segsBuilt
+	}
+
+	// Install atomically iff nothing invalidated the snapshot: same
+	// store identity (no update/flush/layout change) and the prefix is
+	// still buffered. base == t.rows is implied by an unchanged
+	// generation; asserted cheaply all the same.
+	t.mu.Lock()
+	ok := d.store.Matches(base, gen, n) && base == t.rows
+	if ok {
+		for ci, col := range cols {
+			for _, seg := range built[ci] {
+				col.installSealed(seg)
+			}
+		}
+		t.rows += n
+		t.growDeletedTo(t.rows)
+		d.store.Truncate(n)
+		d.seals.Add(1)
+		d.sealedSegs.Add(uint64(nsegs))
+		d.sealedRows.Add(uint64(n))
+	}
+	t.mu.Unlock()
+	if !ok {
+		return 0, true
+	}
+	return n, false
+}
+
+// mergePass is the merge-compactor: it rewrites sealed segments whose
+// summary was widened by updates or whose index saturated, restoring
+// exact summaries (and with them aggregate pushdown and tight pruning)
+// one segment per lock acquisition so readers interleave.
+func (t *Table) mergePass(d *deltaState) {
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		t.mu.Lock()
+		merged := false
+		for _, name := range t.order {
+			if t.cols[name].mergeOne(d.mergeSat) {
+				merged = true
+				d.merges.Add(1)
+				break
+			}
+		}
+		t.mu.Unlock()
+		if !merged {
+			return
+		}
+	}
+}
+
+// maybeAutoCompact folds the delete bitmap with a full compaction when
+// the deleted fraction crosses the configured threshold.
+func (t *Table) maybeAutoCompact(d *deltaState) {
+	if d.compactFrac <= 0 {
+		return
+	}
+	t.mu.RLock()
+	total := t.totalRowsLocked()
+	trigger := total > 0 && float64(t.ndel)/float64(total) >= d.compactFrac
+	t.mu.RUnlock()
+	if trigger && t.Compact() > 0 {
+		d.compactions.Add(1)
+	}
+}
+
+// ---- per-column seal/merge hooks ----
+
+func (c *colState[V]) buildSealed(rows [][]any, ci int) any {
+	vals := make([]V, len(rows))
+	for r, row := range rows {
+		vals[r] = row[ci].(V)
+	}
+	s := &segment[V]{vals: vals}
+	s.min, s.max, _ = summarize(vals)
+	switch c.mode {
+	case Imprints:
+		s.ix = core.Build(vals, c.vpcOpts)
+	case Zonemap:
+		s.zm = zonemap.Build(vals, zonemap.Options{})
+	}
+	return s
+}
+
+func (c *colState[V]) installSealed(built any) {
+	c.segs = append(c.segs, built.(*segment[V]))
+}
+
+func (c *colState[V]) mergeBacklog(satLimit float64) int {
+	n := 0
+	for _, s := range c.segs {
+		if c.needsMerge(s, satLimit) {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *colState[V]) mergeOne(satLimit float64) bool {
+	for _, s := range c.segs {
+		if c.needsMerge(s, satLimit) {
+			s.rebuild(c.mode, c.vpcOpts)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *colState[V]) needsMerge(s *segment[V], satLimit float64) bool {
+	return s.sumWide || (s.ix != nil && s.ix.NeedsRebuild(satLimit, 0, 0))
+}
+
+func (c *strColState) buildSealed(rows [][]any, ci int) any {
+	vals := make([]string, len(rows))
+	for r, row := range rows {
+		vals[r] = row[ci].(string)
+	}
+	// The generation is assigned at install time (it needs the write
+	// lock); plans cannot have cached a translation for an uninstalled
+	// segment anyway.
+	s := &strSegment{dict: column.EncodeStrings(c.name, vals)}
+	if c.mode == Imprints {
+		s.ix = core.Build(s.codes(), c.vpcOpts)
+	}
+	return s
+}
+
+func (c *strColState) installSealed(built any) {
+	s := built.(*strSegment)
+	s.gen = c.nextGen()
+	c.segs = append(c.segs, s)
+}
+
+func (c *strColState) mergeBacklog(satLimit float64) int {
+	n := 0
+	for _, s := range c.segs {
+		if s.ix != nil && s.ix.NeedsRebuild(satLimit, 0, 0) {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *strColState) mergeOne(satLimit float64) bool {
+	for _, s := range c.segs {
+		if s.ix != nil && s.ix.NeedsRebuild(satLimit, 0, 0) {
+			c.rebuildSegmentIndex(s)
+			return true
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/column"
@@ -61,6 +62,9 @@ func (t *Table) AddStringColumn(name string, vals []string, mode IndexMode, opts
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Layout changes flush first: the delta's row shape must match
+	// t.order, and the new column's values must cover buffered rows too.
+	t.flushAllLocked()
 	if err := t.checkNewColumn(name, len(vals), opts); err != nil {
 		return err
 	}
@@ -79,7 +83,15 @@ func (t *Table) StringColumn(name string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cs.decodeAll(), nil
+	out := cs.decodeAll()
+	if view := t.deltaViewLocked(); view != nil {
+		if ci := view.colIdx(name); ci >= 0 {
+			for _, row := range view.rows {
+				out = append(out, row[ci].(string))
+			}
+		}
+	}
+	return out, nil
 }
 
 // UpdateString changes one string value in place. When the new value is
@@ -94,8 +106,13 @@ func (t *Table) UpdateString(name string, id int, v string) error {
 	if err != nil {
 		return err
 	}
-	if id < 0 || id >= cs.colRows() {
+	if id < 0 || id >= t.totalRowsLocked() {
 		return fmt.Errorf("table %s: row %d out of range", t.name, id)
+	}
+	if id >= cs.colRows() {
+		// Still buffered: replace the delta row copy-on-write; no
+		// re-encode, no imprint widening.
+		return t.deltaSetLocked(name, id, v)
 	}
 	seg, local := cs.segs[id/cs.segRows], id%cs.segRows
 	if code, ok := seg.dict.Code(v); ok {
@@ -452,6 +469,35 @@ func (pl *strLeafPlan) segCheck(s int) core.CheckFunc {
 	}
 	lo, hi := e.lo, e.hi
 	return func(id uint32) bool { v := codes[id]; return v >= lo && v < hi }
+}
+
+// rowCheck tests boxed delta-row strings directly — the raw-string
+// form of the per-segment dictionary translation: Range is inclusive
+// on both ends, Equals is exact, Prefix is a literal prefix test.
+func (pl *strLeafPlan) rowCheck() func(v any) bool {
+	switch pl.kind {
+	case kindIn:
+		member := make(map[string]struct{}, len(pl.inSet))
+		for _, s := range pl.inSet {
+			member[s] = struct{}{}
+		}
+		return func(v any) bool { _, ok := member[v.(string)]; return ok }
+	case kindRange:
+		low, high := pl.low, pl.high
+		return func(v any) bool { s := v.(string); return s >= low && s <= high }
+	case kindAtLeast:
+		low := pl.low
+		return func(v any) bool { return v.(string) >= low }
+	case kindLessThan:
+		high := pl.high
+		return func(v any) bool { return v.(string) < high }
+	case kindPrefix:
+		pre := pl.low
+		return func(v any) bool { return strings.HasPrefix(v.(string), pre) }
+	default: // kindEquals; compileLeaf rejected every other kind
+		low := pl.low
+		return func(v any) bool { return v.(string) == low }
+	}
 }
 
 func (pl *strLeafPlan) segRuns(s int, dst []core.CandidateRun) ([]core.CandidateRun, core.QueryStats) {

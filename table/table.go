@@ -152,6 +152,28 @@ type anyColumn interface {
 	// partials globally and returns the ordered row ids.
 	topkAcc(s int, desc bool, k int) segTopK
 	topkMerge(parts []orderPartial, desc bool, k int) []uint32
+
+	// ---- LSM-ingest hooks (delta.go, seal.go) ----
+	// absorbAny extends the column tail with its values out of row-major
+	// delta rows (position ci of each row); callers hold the write lock.
+	absorbAny(rows [][]any, ci int)
+	// buildSealed builds one full sealed segment (value slab, exact
+	// summary, index/dictionary) from exactly segRows delta rows — run
+	// outside any lock; installSealed appends the built segments under
+	// the write lock.
+	buildSealed(rows [][]any, ci int) any
+	installSealed(built any)
+	// mergeBacklog counts sealed segments whose summary was widened by
+	// updates or whose index saturated past satLimit; mergeOne rewrites
+	// the first such segment (exact summary, fresh index) under the
+	// write lock and reports whether it found one.
+	mergeBacklog(satLimit float64) int
+	mergeOne(satLimit float64) bool
+	// deltaAgg, deltaGroupKey and deltaOrd fold boxed delta-row values
+	// into the same partial domains the segment executors merge.
+	deltaAgg(op aggOp) deltaAgg
+	deltaGroupKey(v any) groupKey
+	deltaOrd(vals []any, ids []uint32) orderPartial
 }
 
 // colState is the concrete typed column state: an ordered list of
@@ -173,10 +195,11 @@ type Table struct {
 	name    string
 	order   []string
 	cols    map[string]anyColumn
-	rows    int
+	rows    int // sealed (columnar) rows; totalRowsLocked adds the delta
 	segRows int
 	deleted *bitvec.Vector // lazily sized; nil when nothing deleted
 	ndel    int
+	delta   *deltaState // LSM-style ingest state; nil until enabled
 }
 
 // New creates an empty table with default options.
@@ -203,18 +226,18 @@ func normalizeSegmentRows(n int) int {
 func (t *Table) Name() string { return t.name }
 
 // Rows returns the number of rows, including deleted-but-not-compacted
-// ones.
+// ones and rows still buffered in the delta store.
 func (t *Table) Rows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows
+	return t.totalRowsLocked()
 }
 
 // LiveRows returns the number of rows not marked deleted.
 func (t *Table) LiveRows() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows - t.ndel
+	return t.totalRowsLocked() - t.ndel
 }
 
 // SegmentRows returns the rows-per-segment storage granularity.
@@ -314,6 +337,9 @@ func (t *Table) IndexStats(name string) (ColumnIndexStats, error) {
 func AddColumn[V coltype.Value](t *Table, name string, vals []V, mode IndexMode, opts core.Options) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Layout changes flush first: the delta's row shape must match
+	// t.order, and the new column's values must cover buffered rows too.
+	t.flushAllLocked()
 	if err := t.checkNewColumn(name, len(vals), opts); err != nil {
 		return err
 	}
@@ -362,6 +388,12 @@ func (t *Table) installColumn(name string, c anyColumn, nvals int) {
 	if len(t.order) == 1 {
 		t.rows = nvals
 	}
+	if t.delta != nil {
+		// The store was drained before the layout change; re-anchor it
+		// on the new layout and row count.
+		t.delta.store.SetCols(t.order)
+		t.delta.store.SetBase(t.rows)
+	}
 }
 
 // Column materializes the typed values of a column into a freshly
@@ -378,6 +410,13 @@ func Column[V coltype.Value](t *Table, name string) ([]V, error) {
 	out := make([]V, 0, cs.colRows())
 	for _, s := range cs.segs {
 		out = append(out, s.vals...)
+	}
+	if view := t.deltaViewLocked(); view != nil {
+		if ci := view.colIdx(name); ci >= 0 {
+			for _, row := range view.rows {
+				out = append(out, row[ci].(V))
+			}
+		}
 	}
 	return out, nil
 }
@@ -441,13 +480,21 @@ func typedCol[V coltype.Value](t *Table, name string) (*colState[V], error) {
 // applies it atomically under the table's write lock.
 type Batch struct {
 	t      *Table
-	rows   int               // -1 until first column staged
-	staged map[string]func() // commit actions, one per staged column
+	rows   int                  // -1 until first column staged
+	staged map[string]stagedCol // staged data, one entry per column
+}
+
+// stagedCol is one column's staged batch data: the columnar commit
+// action plus a boxed row accessor so delta-ingest commits can pivot
+// the staging into row-major tuples.
+type stagedCol struct {
+	apply func()          // absorb into the columnar tail (write lock held)
+	value func(i int) any // i-th staged value, boxed
 }
 
 // NewBatch starts an append batch.
 func (t *Table) NewBatch() *Batch {
-	return &Batch{t: t, rows: -1, staged: map[string]func(){}}
+	return &Batch{t: t, rows: -1, staged: map[string]stagedCol{}}
 }
 
 // Append stages new values for one column of the batch. The values are
@@ -463,7 +510,10 @@ func Append[V coltype.Value](b *Batch, name string, vals []V) error {
 		return err
 	}
 	vcopy := append([]V(nil), vals...)
-	b.staged[name] = func() { cs.absorb(vcopy) }
+	b.staged[name] = stagedCol{
+		apply: func() { cs.absorb(vcopy) },
+		value: func(i int) any { return vcopy[i] },
+	}
 	return nil
 }
 
@@ -479,7 +529,10 @@ func (b *Batch) AppendStrings(name string, vals []string) error {
 		return err
 	}
 	vcopy := append([]string(nil), vals...)
-	b.staged[name] = func() { cs.absorbStrings(vcopy) }
+	b.staged[name] = stagedCol{
+		apply: func() { cs.absorbStrings(vcopy) },
+		value: func(i int) any { return vcopy[i] },
+	}
 	return nil
 }
 
@@ -498,33 +551,56 @@ func (b *Batch) stage(name string, nvals int) error {
 }
 
 // Commit validates that every column received the same number of new
-// rows and extends columns and indexes. New rows flow into each
+// rows and applies the batch atomically. With delta ingest enabled the
+// rows buffer in the in-memory delta store under the shared lock only
+// (writers never block readers; the sealer moves them to columnar
+// segments off the query path). Otherwise new rows flow into each
 // column's active tail segment (sealing it and opening fresh segments
 // as they fill); already sealed segments — and any compiled plans over
 // them — are untouched. On error nothing is applied.
 func (b *Batch) Commit() error {
 	if b.rows <= 0 {
-		b.staged = map[string]func(){}
+		b.staged = map[string]stagedCol{}
 		b.rows = -1
 		return nil
 	}
+	b.t.mu.RLock()
+	if d := b.t.delta; d != nil {
+		err := b.commitDeltaLocked(d)
+		b.t.mu.RUnlock()
+		if err == nil {
+			d.kickSeal()
+		}
+		return err
+	}
+	b.t.mu.RUnlock()
 	b.t.mu.Lock()
 	defer b.t.mu.Unlock()
+	if d := b.t.delta; d != nil {
+		// Delta ingest was enabled between the two lock acquisitions;
+		// the exclusive lock satisfies commitDeltaLocked's contract too.
+		err := b.commitDeltaLocked(d)
+		if err == nil {
+			d.kickSeal()
+		}
+		return err
+	}
 	for _, name := range b.t.order {
 		if _, ok := b.staged[name]; !ok {
 			return fmt.Errorf("table %s: batch is missing column %q", b.t.name, name)
 		}
 	}
 	for _, name := range b.t.order {
-		b.staged[name]()
+		b.staged[name].apply()
 	}
 	b.t.rows += b.rows
-	if b.t.deleted != nil {
-		grown := bitvec.New(b.t.rows)
-		copy(grown.Words(), b.t.deleted.Words())
-		b.t.deleted = grown
+	t := b.t
+	if t.deleted != nil {
+		grown := bitvec.New(t.rows)
+		copy(grown.Words(), t.deleted.Words())
+		t.deleted = grown
 	}
-	b.staged = map[string]func(){}
+	b.staged = map[string]stagedCol{}
 	b.rows = -1
 	return nil
 }
@@ -644,8 +720,13 @@ func Update[V coltype.Value](t *Table, name string, id int, v V) error {
 	if err != nil {
 		return err
 	}
-	if id < 0 || id >= cs.colRows() {
+	if id < 0 || id >= t.totalRowsLocked() {
 		return fmt.Errorf("table %s: row %d out of range", t.name, id)
+	}
+	if id >= cs.colRows() {
+		// Still buffered: replace the delta row copy-on-write; no
+		// segment summary widens, no index saturates.
+		return t.deltaSetLocked(name, id, v)
 	}
 	seg, local := cs.segs[id/cs.segRows], id%cs.segRows
 	seg.vals[local] = v
@@ -658,11 +739,14 @@ func Update[V coltype.Value](t *Table, name string, id int, v V) error {
 func (t *Table) Delete(id int) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if id < 0 || id >= t.rows {
+	total := t.totalRowsLocked()
+	if id < 0 || id >= total {
 		return fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
 	if t.deleted == nil {
-		t.deleted = bitvec.New(t.rows)
+		t.deleted = bitvec.New(total)
+	} else if id >= t.deleted.Len() {
+		t.growDeletedTo(total)
 	}
 	if !t.deleted.Get(id) {
 		t.deleted.Set(id)
@@ -675,7 +759,7 @@ func (t *Table) Delete(id int) error {
 func (t *Table) IsDeleted(id int) bool {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.deleted != nil && t.deleted.Get(id)
+	return t.deletedAt(id)
 }
 
 // Compact removes deleted rows, renumbering ids, and rebuilds all
@@ -688,6 +772,9 @@ func (t *Table) Compact() int {
 }
 
 func (t *Table) compactLocked() int {
+	// Fold buffered rows first so the keep-list covers them and ids
+	// renumber consistently across sealed and delta rows.
+	t.flushAllLocked()
 	if t.ndel == 0 {
 		return 0
 	}
@@ -704,6 +791,9 @@ func (t *Table) compactLocked() int {
 	t.rows = len(keep)
 	t.deleted = nil
 	t.ndel = 0
+	if t.delta != nil {
+		t.delta.store.SetBase(t.rows)
+	}
 	return removed
 }
 
@@ -721,6 +811,12 @@ type MaintenanceReport struct {
 	Compacted bool
 	// RowsRemoved is the number of rows reclaimed by that compaction.
 	RowsRemoved int
+	// DeltaRows is the number of rows still buffered in the in-memory
+	// delta store after the pass (0 without delta ingest).
+	DeltaRows int
+	// MergeBacklog counts sealed segments still awaiting a merge
+	// rewrite (widened summary or saturated index) after the pass.
+	MergeBacklog int
 }
 
 // String renders the report for logs.
@@ -731,6 +827,12 @@ func (r MaintenanceReport) String() string {
 	}
 	if r.Compacted {
 		parts = append(parts, fmt.Sprintf("compacted (-%d rows)", r.RowsRemoved))
+	}
+	if r.DeltaRows > 0 {
+		parts = append(parts, fmt.Sprintf("%d delta row(s) buffered", r.DeltaRows))
+	}
+	if r.MergeBacklog > 0 {
+		parts = append(parts, fmt.Sprintf("%d segment(s) awaiting merge", r.MergeBacklog))
 	}
 	if len(parts) == 0 {
 		return "nothing to do"
@@ -762,7 +864,8 @@ func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
 		satLimit = 0.5
 	}
 	delFrac := opts.DeletedFraction
-	compacting := delFrac > 0 && t.rows > 0 && float64(t.ndel)/float64(t.rows) >= delFrac
+	total := t.totalRowsLocked()
+	compacting := delFrac > 0 && total > 0 && float64(t.ndel)/float64(total) >= delFrac
 	var rep MaintenanceReport
 	for _, name := range t.order {
 		// Compaction rebuilds every segment anyway; don't build twice.
@@ -776,6 +879,11 @@ func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
 		rep.RowsRemoved = t.compactLocked()
 		rep.Compacted = true
 	}
+	if t.delta != nil {
+		rep.DeltaRows = t.delta.store.Len()
+		rep.MergeBacklog = t.mergeBacklogLocked(t.delta.mergeSat)
+		t.delta.kickSeal()
+	}
 	return rep
 }
 
@@ -785,13 +893,21 @@ func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
 func (t *Table) ReadRow(id int) (map[string]any, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if id < 0 || id >= t.rows {
+	if id < 0 || id >= t.totalRowsLocked() {
 		return nil, fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
-	if t.deleted != nil && t.deleted.Get(id) {
+	if t.deletedAt(id) {
 		return nil, fmt.Errorf("table %s: row %d is deleted", t.name, id)
 	}
 	row := make(map[string]any, len(t.order))
+	if id >= t.rows {
+		base, drows := t.delta.store.View()
+		drow := drows[id-base]
+		for ci, name := range t.order {
+			row[name] = drow[ci]
+		}
+		return row, nil
+	}
 	for _, name := range t.order {
 		row[name] = t.cols[name].valueAt(id)
 	}

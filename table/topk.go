@@ -303,5 +303,22 @@ func (q *Query) orderedIDsLocked() ([]uint32, core.QueryStats, error) {
 	if err != nil {
 		return nil, st, q.t.abortErr(err)
 	}
+	// Buffered delta rows contribute one extra partial: their ordering
+	// values are collected exactly (boxed, unsorted) and ranked by the
+	// same typed merge as the per-segment heaps.
+	if view := q.t.deltaViewLocked(); view != nil {
+		oci := view.colIdx(q.order.col)
+		match := view.matcher(en)
+		var vals []any
+		var ids []uint32
+		view.scan(match, &st, func(id int, row []any) bool {
+			vals = append(vals, row[oci])
+			ids = append(ids, uint32(id))
+			return true
+		})
+		if p := col.deltaOrd(vals, ids); p != nil {
+			parts = append(parts, p)
+		}
+	}
 	return col.topkMerge(parts, desc, k), st, nil
 }
