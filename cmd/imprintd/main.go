@@ -8,9 +8,10 @@
 // Usage:
 //
 //	imprintd [-addr :8080] [-load table.ctbl | -sample 100000]
-//	         [-seed 42] [-segment-rows 0]
+//	         [-seed 42] [-segment-rows 0] [-shards 1]
 //	         [-workers 0] [-queue 0] [-cache 128]
 //	         [-default-timeout 0] [-parallelism 1]
+//	         [-ingest] [-max-shard-backlog 0]
 //
 // Exactly one of -load (a table file written by Table.Write) or
 // -sample (a synthetic "orders" table with that many rows) selects the
@@ -58,10 +59,12 @@ func main() {
 		defTimeout  = flag.Duration("default-timeout", 0, "default per-query deadline (0 = none)")
 		parallelism = flag.Int("parallelism", 1, "per-query segment fan-out (0 = one worker per core)")
 		ingest      = flag.Bool("ingest", false, "enable LSM-style delta ingest (background sealing) on the served table")
+		shards      = flag.Int("shards", 1, "sample table shard count (per-shard locks and ingest; ignored with -load)")
+		maxBacklog  = flag.Int("max-shard-backlog", 0, "shed queries with 429 while the hottest shard buffers more than this many delta rows (0 = never)")
 	)
 	flag.Parse()
 
-	tbl, err := loadTable(*load, *sample, *seed, *segRows)
+	tbl, err := loadTable(*load, *sample, *seed, *segRows, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imprintd:", err)
 		os.Exit(1)
@@ -77,13 +80,14 @@ func main() {
 	log.Printf("serving table %q: %d rows, %d segments", tbl.Name(), tbl.Rows(), tbl.Segments())
 
 	srv, err := server.New(server.Config{
-		Table:          tbl,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *defTimeout,
-		Parallelism:    *parallelism,
-		Logf:           log.Printf,
+		Table:           tbl,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		DefaultTimeout:  *defTimeout,
+		Parallelism:     *parallelism,
+		MaxShardBacklog: *maxBacklog,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "imprintd:", err)
@@ -117,9 +121,10 @@ func main() {
 	srv.LogStats()
 }
 
-// loadTable reads a persisted table or synthesizes the sample "orders"
-// relation (qty int64, price float64, pri uint8, city string).
-func loadTable(path string, rows int, seed int64, segRows int) (*table.Table, error) {
+// loadTable reads a persisted table (its shard layout comes from the
+// file) or synthesizes the sample "orders" relation (qty int64, price
+// float64, pri uint8, city string), sharded when -shards > 1.
+func loadTable(path string, rows int, seed int64, segRows, shards int) (*table.Table, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -143,7 +148,7 @@ func loadTable(path string, rows int, seed int64, segRows int) (*table.Table, er
 		pri[i] = uint8(rng.Intn(5))
 		city[i] = cities[rng.Intn(len(cities))]
 	}
-	tbl := table.NewWithOptions("orders", table.TableOptions{SegmentRows: segRows})
+	tbl := table.NewWithOptions("orders", table.TableOptions{SegmentRows: segRows, Shards: shards})
 	if err := table.AddColumn(tbl, "qty", qty, table.Imprints, core.Options{}); err != nil {
 		return nil, err
 	}

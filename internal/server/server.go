@@ -31,6 +31,11 @@ type Config struct {
 	// DefaultTimeout caps every query execution that does not set its
 	// own timeout_ms. 0 means no default deadline.
 	DefaultTimeout time.Duration
+	// MaxShardBacklog sheds queries with 429 while the hottest shard's
+	// buffered delta backlog exceeds this many rows — sealing has
+	// fallen behind, and piling reads onto the deepest delta store
+	// only slows the catch-up. 0 disables backlog shedding.
+	MaxShardBacklog int
 	// Parallelism is the per-query segment fan-out passed to the table
 	// layer. 0 lets the table pick (one worker per core); a serving
 	// deployment typically wants 1 so concurrency comes from the
@@ -204,6 +209,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.counters.errors.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
 		return
+	}
+	if limit := s.cfg.MaxShardBacklog; limit > 0 {
+		if depth := s.tbl.IngestStats().MaxShardDeltaRows(); depth > limit {
+			s.counters.rejected.Add(1)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("ingest backlog: hottest shard buffers %d delta rows (limit %d)", depth, limit))
+			return
+		}
 	}
 	st, cached, err := s.statement(req.Query)
 	if err != nil {

@@ -417,3 +417,58 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Errorf("shutdown stats log %v", logged)
 	}
 }
+
+// TestShardBacklogShedding pins the sharded admission-control path: a
+// query arriving while the hottest shard's delta backlog exceeds
+// Config.MaxShardBacklog is shed with 429, and serving resumes once
+// sealing drains the backlog below the limit.
+func TestShardBacklogShedding(t *testing.T) {
+	tb := table.NewWithOptions("orders", table.TableOptions{SegmentRows: 256, Shards: 4})
+	if err := table.AddColumn(tb, "qty", []int64{}, table.Imprints, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EnableDeltaIngest(table.IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	s, ts := newTestServer(t, Config{Table: tb, Workers: 1, Parallelism: 1, MaxShardBacklog: 100})
+
+	// One serial batch per segment: the first lands whole on one shard,
+	// pushing that shard's backlog past the limit.
+	b := tb.NewBatch()
+	if err := table.Append(b, "qty", make([]int64, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.IngestStats().MaxShardDeltaRows(); got != 256 {
+		t.Fatalf("setup: hottest shard buffers %d rows", got)
+	}
+
+	status, fields := postQuery(t, ts, QueryRequest{Query: "select count(*) from orders"})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%v)", status, fields)
+	}
+	if !strings.Contains(rawString(t, fields["error"]), "ingest backlog") {
+		t.Errorf("error body %s", fields["error"])
+	}
+	if got := s.Stats().Rejected; got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	// /stats reports the per-shard depths that triggered the shed.
+	st := s.Stats()
+	if len(st.Ingest.ShardDeltaRows) != 4 || st.Ingest.MaxShardDeltaRows() != 256 {
+		t.Errorf("ingest stats %+v", st.Ingest)
+	}
+
+	// Sealing drains every shard; the same query is served again.
+	tb.SealDelta()
+	if got := tb.IngestStats().MaxShardDeltaRows(); got != 0 {
+		t.Fatalf("seal left %d buffered rows", got)
+	}
+	status, fields = postQuery(t, ts, QueryRequest{Query: "select count(*) from orders"})
+	if status != http.StatusOK {
+		t.Fatalf("post-seal status %d (%v)", status, fields)
+	}
+}

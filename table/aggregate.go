@@ -669,13 +669,13 @@ func (q *Query) aggSegment(en *execNode, s int, binds []aggBind) segOut {
 	return o
 }
 
-// deltaAggFold folds the qualifying buffered delta rows into merged
-// (capped so already + folded never exceeds Limit on limited queries)
-// and returns the number of rows folded. Delta ids all follow sealed
-// ids, so folding after the segment merge preserves the deterministic
-// merge order. Callers hold the read lock.
-func (q *Query) deltaAggFold(en *execNode, binds []aggBind, merged []aggPartial, already uint64, st *core.QueryStats) uint64 {
-	view := q.t.deltaViewLocked()
+// deltaAggFold folds the qualifying buffered delta rows of one
+// captured view into merged (capped so already + folded never exceeds
+// Limit on limited queries) and returns the number of rows folded.
+// Delta ids all follow their table's sealed ids, so folding after the
+// segment merge preserves the deterministic merge order. Callers hold
+// the read lock the view was captured under.
+func (q *Query) deltaAggFold(view *deltaView, en *execNode, binds []aggBind, merged []aggPartial, already uint64, st *core.QueryStats) uint64 {
 	if view == nil {
 		return 0
 	}
@@ -723,6 +723,9 @@ func (q *Query) deltaAggFold(en *execNode, binds []aggBind, merged []aggPartial,
 // in ascending id order; that path folds row by row (no pushdown).
 // OrderBy does not apply to aggregates and is rejected.
 func (q *Query) Aggregate(specs ...AggSpec) (*AggResult, core.QueryStats, error) {
+	if q.t.shard != nil {
+		return q.shardAggregate(specs)
+	}
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
 	var st core.QueryStats
@@ -767,7 +770,7 @@ func (q *Query) Aggregate(specs ...AggSpec) (*AggResult, core.QueryStats, error)
 		}); err != nil {
 		return nil, st, q.t.abortErr(err)
 	}
-	res.Rows += q.deltaAggFold(en, binds, merged, res.Rows, &st)
+	res.Rows += q.deltaAggFold(q.t.deltaViewLocked(), en, binds, merged, res.Rows, &st)
 	return finish(), st, nil
 }
 
@@ -820,7 +823,7 @@ func (q *Query) limitedAggregate(en *execNode, binds []aggBind, merged []aggPart
 		return nil, *st, q.t.abortErr(err)
 	}
 	if taken < q.limit {
-		n := q.deltaAggFold(en, binds, merged, uint64(taken), st)
+		n := q.deltaAggFold(q.t.deltaViewLocked(), en, binds, merged, uint64(taken), st)
 		rows += n
 		taken += int(n)
 	}

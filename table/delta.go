@@ -94,6 +94,9 @@ func (d *deltaState) kickSeal() {
 // SealDelta / FlushDelta / Save otherwise. Enabling is one-way for the
 // table's lifetime; Close stops the background worker.
 func (t *Table) EnableDeltaIngest(opts IngestOptions) error {
+	if t.shard != nil {
+		return t.shardEnableDeltaIngest(opts)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.delta != nil {
@@ -131,6 +134,12 @@ func (t *Table) EnableDeltaIngest(opts IngestOptions) error {
 // (FlushDelta or Save) if they must reach columnar storage. Close is
 // idempotent and a no-op without delta ingest.
 func (t *Table) Close() error {
+	if t.shard != nil {
+		for _, kid := range t.shard.kids {
+			kid.Close()
+		}
+		return nil
+	}
 	d := t.deltaPtr()
 	if d == nil {
 		return nil
@@ -160,6 +169,13 @@ func (t *Table) totalRowsLocked() int {
 // DeltaRows returns the number of rows currently buffered in the
 // delta store (0 without delta ingest).
 func (t *Table) DeltaRows() int {
+	if t.shard != nil {
+		n := 0
+		for _, kid := range t.shard.kids {
+			n += kid.DeltaRows()
+		}
+		return n
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.delta == nil {
@@ -265,6 +281,13 @@ func (t *Table) flushAllLocked() int {
 // immutable segments with their indexes built off-lock, and the
 // remainder folds into the columnar tail. Returns the rows moved.
 func (t *Table) FlushDelta() int {
+	if t.shard != nil {
+		n := 0
+		for _, kid := range t.shard.kids {
+			n += kid.FlushDelta()
+		}
+		return n
+	}
 	d := t.deltaPtr()
 	if d == nil {
 		return 0
@@ -280,6 +303,13 @@ func (t *Table) FlushDelta() int {
 // (indexes built outside the table lock, installed atomically),
 // leaving a partial remainder buffered. Returns the rows sealed.
 func (t *Table) SealDelta() int {
+	if t.shard != nil {
+		n := 0
+		for _, kid := range t.shard.kids {
+			n += kid.SealDelta()
+		}
+		return n
+	}
 	d := t.deltaPtr()
 	if d == nil {
 		return 0
@@ -318,11 +348,30 @@ type IngestStats struct {
 	// Compactions counts delete-folding compactions the background
 	// worker triggered (CompactFraction crossed).
 	Compactions uint64 `json:"compactions"`
+	// ShardDeltaRows breaks DeltaRows down per shard (one entry per
+	// shard, in shard order; a single entry for unsharded tables).
+	// Admission control uses the hottest entry as its backpressure
+	// signal — one overwhelmed shard sheds load even when the table-wide
+	// total looks healthy.
+	ShardDeltaRows []int `json:"shard_delta_rows,omitempty"`
+}
+
+// MaxShardDeltaRows returns the deepest per-shard delta backlog (the
+// hottest shard), 0 when ingest is off.
+func (s IngestStats) MaxShardDeltaRows() int {
+	m := 0
+	for _, n := range s.ShardDeltaRows {
+		m = max(m, n)
+	}
+	return m
 }
 
 // IngestStats reports delta/seal/merge health; zero with Enabled false
 // when delta ingest is off.
 func (t *Table) IngestStats() IngestStats {
+	if t.shard != nil {
+		return t.shardIngestStats()
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	d := t.delta
@@ -341,6 +390,7 @@ func (t *Table) IngestStats() IngestStats {
 		Merges:         d.merges.Load(),
 		MergeBacklog:   t.mergeBacklogLocked(d.mergeSat),
 		Compactions:    d.compactions.Load(),
+		ShardDeltaRows: []int{d.store.Len()},
 	}
 }
 

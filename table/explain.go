@@ -141,6 +141,9 @@ func opNode(op string, runs []core.CandidateRun, kids []*PlanNode) *PlanNode {
 // the per-segment plans are merged into one tree with per-leaf segment
 // breakdowns.
 func (q *Query) Explain() (*Plan, error) {
+	if q.t.shard != nil {
+		return q.shardExplain(nil, false)
+	}
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
 	return q.explainLocked(nil)
@@ -156,6 +159,9 @@ func (q *Query) Explain() (*Plan, error) {
 // its first rows one by one through the id path, so its plan carries
 // the limit but no pushdown tier lines.
 func (q *Query) ExplainAggregate(specs ...AggSpec) (*Plan, error) {
+	if q.t.shard != nil {
+		return q.shardExplain(specs, true)
+	}
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
 	if q.order != nil {
@@ -223,7 +229,11 @@ func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 		deltaRows = len(view.rows)
 		view.scan(view.matcher(en), &st, func(int, []any) bool { return true })
 	}
-	root := q.t.aggregatePlans(segPlans)
+	infos := make([]planSegInfo, nsegs)
+	for s := range infos {
+		infos[s] = planSegInfo{seg: s, rows: q.t.segLen(s)}
+	}
+	root := aggregatePlans(segPlans, infos)
 	p := &Plan{
 		Table:            q.t.name,
 		Columns:          append([]string(nil), names...),
@@ -311,12 +321,20 @@ func (t *Table) aggSegmentPlan(s int, ev evaluated, binds []aggBind) AggSegmentP
 	return ap
 }
 
+// planSegInfo labels one per-segment plan for the merge: the segment
+// number the breakdown reports (a global segment for sharded tables)
+// and its row count.
+type planSegInfo struct {
+	seg  int
+	rows int
+}
+
 // aggregatePlans merges the per-segment plan trees (identical shape —
 // one per segment of the same execution tree) into a single tree:
 // statistics are summed, and leaves additionally keep the per-segment
-// breakdown when there is more than one segment. Callers hold the read
-// lock.
-func (t *Table) aggregatePlans(plans []*PlanNode) *PlanNode {
+// breakdown when there is more than one segment. infos labels plans
+// one-to-one.
+func aggregatePlans(plans []*PlanNode, infos []planSegInfo) *PlanNode {
 	if len(plans) == 0 {
 		// Empty table: a bare node standing for the whole (empty) scan.
 		return &PlanNode{Op: "all", Pred: "true"}
@@ -334,28 +352,28 @@ func (t *Table) aggregatePlans(plans []*PlanNode) *PlanNode {
 		agg.Stats.Add(p.Stats)
 	}
 	if first.Op == "leaf" {
-		t.aggregateLeaf(agg, plans)
+		aggregateLeaf(agg, plans, infos)
 	}
 	for k := range first.Children {
 		kids := make([]*PlanNode, len(plans))
 		for s, p := range plans {
 			kids[s] = p.Children[k]
 		}
-		agg.Children = append(agg.Children, t.aggregatePlans(kids))
+		agg.Children = append(agg.Children, aggregatePlans(kids, infos))
 	}
 	return agg
 }
 
 // aggregateLeaf fills a merged leaf node: the per-segment breakdown,
 // the dominant access path and the row-weighted selectivity estimate.
-func (t *Table) aggregateLeaf(agg *PlanNode, plans []*PlanNode) {
+func aggregateLeaf(agg *PlanNode, plans []*PlanNode, infos []planSegInfo) {
 	access := ""
 	uniform, allPruned := true, true
 	var estRows, estSum float64
 	for s, p := range plans {
-		rows := t.segLen(s)
+		rows := infos[s].rows
 		agg.SegmentDetails = append(agg.SegmentDetails, SegmentPlan{
-			Segment:         s,
+			Segment:         infos[s].seg,
 			Rows:            rows,
 			Access:          p.Access,
 			Reason:          p.Reason,

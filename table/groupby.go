@@ -212,6 +212,9 @@ func (g *GroupedQuery) groupSegment(en *execNode, s int, binds []aggBind, keyCol
 // aggregation (except Limit(0), which returns no groups).
 func (g *GroupedQuery) Aggregate(specs ...AggSpec) (*GroupedResult, core.QueryStats, error) {
 	q := g.q
+	if q.t.shard != nil {
+		return g.shardAggregate(specs)
+	}
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
 	var st core.QueryStats

@@ -2,6 +2,7 @@ package table
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -45,6 +46,12 @@ import (
 const (
 	tableMagic   = "CTBL"
 	tableVersion = 3
+	// shardVersion is the sharded-envelope format: after the shared
+	// magic/version, name + segmentRows uint32 + nshards uint16, then
+	// per shard a uint64 byte length followed by that shard's complete,
+	// pure-v3 table image (magic and all). Unsharded tables keep writing
+	// v3 unchanged; v2/v3 files load as a single shard.
+	shardVersion = 4
 )
 
 // ErrCorrupt reports an invalid persisted table.
@@ -57,6 +64,9 @@ var ErrCorrupt = errors.New("table: corrupt persisted table")
 // past the image) — the persisted format stays pure v3 with no delta
 // section.
 func (t *Table) Write(w io.Writer) error {
+	if t.shard != nil {
+		return t.writeSharded(w)
+	}
 	if t.deltaPtr() != nil {
 		t.mu.Lock()
 		defer t.mu.Unlock()
@@ -97,6 +107,105 @@ func (t *Table) writeLocked(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// writeSharded persists a sharded table as a v4 envelope of per-shard
+// v3 images. Commits are quiesced via the tokens; each kid's Write
+// drains its own delta under its own lock, so the envelope embeds
+// fully drained images across all shards.
+func (t *Table) writeSharded(w io.Writer) error {
+	sh := t.shard
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	sh.lockTokens()
+	defer sh.unlockTokens()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(tableMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(shardVersion)); err != nil {
+		return err
+	}
+	if err := writeString(bw, t.name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(t.segRows)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(sh.nshards)); err != nil {
+		return err
+	}
+	for c, kid := range sh.kids {
+		var buf bytes.Buffer
+		if err := kid.Write(&buf); err != nil {
+			return fmt.Errorf("table %s, shard %d: %w", t.name, c, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readSharded loads the v4 envelope's per-shard images into a sharded
+// table; the caller consumed magic and version.
+func readSharded(br io.Reader) (*Table, error) {
+	name, err := readString(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var sr uint32
+	if err := binary.Read(br, binary.LittleEndian, &sr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var nshards uint16
+	if err := binary.Read(br, binary.LittleEndian, &nshards); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if nshards < 2 {
+		return nil, fmt.Errorf("%w: sharded envelope with %d shards", ErrCorrupt, nshards)
+	}
+	t := NewWithOptions(name, TableOptions{SegmentRows: int(sr), Shards: int(nshards)})
+	if t.segRows != int(sr) {
+		return nil, fmt.Errorf("%w: segment size %d is not a whole number of blocks", ErrCorrupt, sr)
+	}
+	sh := t.shard
+	for c := 0; c < int(nshards); c++ {
+		var n uint64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("%w: shard %d: %v", ErrCorrupt, c, err)
+		}
+		kid, err := Read(io.LimitReader(br, int64(n)))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", c, err)
+		}
+		if kid.shard != nil {
+			return nil, fmt.Errorf("%w: shard %d is itself sharded", ErrCorrupt, c)
+		}
+		if kid.name != name || kid.segRows != t.segRows {
+			return nil, fmt.Errorf("%w: shard %d image (table %q, %d rows/segment) does not match envelope (%q, %d)",
+				ErrCorrupt, c, kid.name, kid.segRows, name, t.segRows)
+		}
+		if c == 0 {
+			t.order = append([]string(nil), kid.order...)
+		} else if len(kid.order) != len(t.order) {
+			return nil, fmt.Errorf("%w: shard %d carries %d columns, shard 0 carries %d",
+				ErrCorrupt, c, len(kid.order), len(t.order))
+		} else {
+			for i, col := range kid.order {
+				if col != t.order[i] {
+					return nil, fmt.Errorf("%w: shard %d column %d is %q, shard 0 has %q",
+						ErrCorrupt, c, i, col, t.order[i])
+				}
+			}
+		}
+		sh.kids[c] = kid
+	}
+	sh.refreshRowsLocked()
+	return t, nil
 }
 
 func writeString(w io.Writer, s string) error {
@@ -253,6 +362,9 @@ func Read(r io.Reader) (*Table, error) {
 	var version uint16
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if version == shardVersion {
+		return readSharded(br)
 	}
 	if version != 2 && version != tableVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)

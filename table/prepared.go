@@ -51,6 +51,10 @@ type Prepared struct {
 	// immutable — plans resolve segment state live), so steady-state
 	// executions skip the per-execution tree build entirely.
 	static *execNode
+	// kids holds a sharded table's per-shard statements (nil
+	// otherwise); each execution binds every shard's own compilation,
+	// so per-segment dictionary caches stay shard-local.
+	kids []*Prepared
 }
 
 // paramInfo records how one named placeholder is used across the tree,
@@ -74,6 +78,18 @@ func (pi *paramInfo) want() string {
 // evaluation options; individual executions may override them with
 // Query.Options.
 func (t *Table) Prepare(pred Predicate, opts SelectOptions) (*Prepared, error) {
+	if t.shard != nil {
+		p := &Prepared{t: t, opts: opts, kids: make([]*Prepared, t.shard.nshards)}
+		for c, kid := range t.shard.kids {
+			kp, err := kid.Prepare(pred, opts)
+			if err != nil {
+				return nil, err
+			}
+			p.kids[c] = kp
+		}
+		p.params = p.kids[0].params
+		return p, nil
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	p := &Prepared{t: t, opts: opts}

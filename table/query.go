@@ -228,6 +228,9 @@ func (q *Query) collectIDs(en *execNode, s int) segOut {
 // ordering column's value in the requested direction, ties by
 // ascending id), capped by Limit — the top-k.
 func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
+	if q.t.shard != nil {
+		return q.shardIDs()
+	}
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
 	var st core.QueryStats
@@ -355,6 +358,9 @@ func (q *Query) countSegment(en *execNode, s int) segOut {
 // counted in parallel and the tallies summed in segment order; with one
 // worker the whole execution is allocation-free in steady state.
 func (q *Query) Count() (uint64, core.QueryStats, error) {
+	if q.t.shard != nil {
+		return q.shardCount()
+	}
 	q.t.mu.RLock()
 	defer q.t.mu.RUnlock()
 	var st core.QueryStats
@@ -437,6 +443,9 @@ func (q *Query) countParallel(en *execNode, nsegs int, limit uint64) (uint64, co
 // write after the loop. Plan errors (unknown column, type-mismatched
 // bound) yield no rows and are reported by Err.
 func (q *Query) Rows() iter.Seq2[int, Row] {
+	if q.t.shard != nil {
+		return func(yield func(int, Row) bool) { q.shardRows(yield) }
+	}
 	return func(yield func(int, Row) bool) {
 		q.t.mu.RLock()
 		defer q.t.mu.RUnlock()

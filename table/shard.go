@@ -1,0 +1,497 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/coltype"
+)
+
+// Sharded tables (shard.go, shardexec.go): TableOptions.Shards > 1
+// splits a table into N child shards, each a complete single-shard
+// Table with its own RWMutex, segment lists, delta store + background
+// sealer, and generation counters. Batch commits, point updates, seal
+// installs and merge-compaction on different shards proceed fully
+// concurrently — a seal install takes only the owning shard's write
+// lock, so readers and writers on every other shard are never blocked
+// by it. The parent Table carries no column storage of its own: its
+// lock guards only the schema mirror (t.order), which changes solely
+// under AddColumn / load.
+//
+// Global row ids interleave the shards' segments round-robin: global
+// segment g lives on shard g%N as that shard's local segment g/N, so
+// global id = ((lid/S)*N + c)*S + lid%S for shard c, local id lid,
+// and S = SegmentRows. Serial commits fill global segments in order,
+// producing exactly the ids an unsharded table would assign — which is
+// what lets the oracle pin sharded results byte-identical at every
+// shard count. Concurrent commits may leave transient holes in the
+// global id space (shards fill at independent rates); queries are
+// indifferent, since they enumerate whatever (shard, segment) units
+// exist and merge in global-segment order.
+//
+// Commit routing is lock-free with respect to the shards themselves:
+// a committer try-locks the per-shard commit tokens, picks the
+// acquired shard whose next free global id is lowest, and appends a
+// chunk bounded by that shard's segment boundary. Shard fill levels
+// are tracked in per-shard atomic counters so routing never touches a
+// shard's RWMutex (which a seal install may hold).
+type shardState struct {
+	nshards int
+	segRows int
+	kids    []*Table
+	// tokens serialize commits per shard; they order after the parent
+	// lock and before any kid lock (commit: parent.RLock -> token ->
+	// kid lock inside kid.Commit; admin: parent.Lock -> all tokens ->
+	// kid locks inside kid calls).
+	tokens []sync.Mutex
+	// rows tracks each shard's total local rows (sealed + delta),
+	// updated under the shard's token after a successful commit and
+	// refreshed under all tokens after compaction/load. Routing and
+	// Rows() read it without any lock.
+	rows []atomic.Int64
+	// ingest records that EnableDeltaIngest ran (guarded by the parent
+	// write lock; enabling is one-way).
+	ingest bool
+}
+
+func newShardState(segRows, nshards int) *shardState {
+	return &shardState{
+		nshards: nshards,
+		segRows: segRows,
+		tokens:  make([]sync.Mutex, nshards),
+		rows:    make([]atomic.Int64, nshards),
+	}
+}
+
+// gidOf maps a shard's local row id to the global id space: local
+// segment lid/S of shard c is global segment (lid/S)*N + c.
+func (sh *shardState) gidOf(c, lid int) int {
+	s := sh.segRows
+	return ((lid/s)*sh.nshards+c)*s + lid%s
+}
+
+// decode maps a global row id to its owning shard and local id.
+// Negative ids route to shard 0 unchanged so the kid's range check
+// reports them.
+func (sh *shardState) decode(gid int) (c, lid int) {
+	if gid < 0 {
+		return 0, gid
+	}
+	s := sh.segRows
+	gseg := gid / s
+	return gseg % sh.nshards, (gseg/sh.nshards)*s + gid%s
+}
+
+// totalRows sums the per-shard row counters (sealed + buffered).
+func (sh *shardState) totalRows() int {
+	n := 0
+	for c := range sh.rows {
+		n += int(sh.rows[c].Load())
+	}
+	return n
+}
+
+// lockTokens acquires every commit token in shard order (admin
+// operations quiesce commits this way); unlockTokens releases them.
+func (sh *shardState) lockTokens() {
+	for c := range sh.tokens {
+		sh.tokens[c].Lock()
+	}
+}
+
+func (sh *shardState) unlockTokens() {
+	for c := len(sh.tokens) - 1; c >= 0; c-- {
+		sh.tokens[c].Unlock()
+	}
+}
+
+// refreshRowsLocked re-seeds the routing counters from the kids'
+// actual row counts; callers hold every commit token.
+func (sh *shardState) refreshRowsLocked() {
+	for c, kid := range sh.kids {
+		sh.rows[c].Store(int64(kid.Rows()))
+	}
+}
+
+// shardRLock read-locks every kid in ascending shard order (query
+// executions hold all of them for the duration of the merge, exactly
+// as an unsharded execution holds its one table lock).
+func (t *Table) shardRLock() {
+	for _, kid := range t.shard.kids {
+		kid.mu.RLock()
+	}
+}
+
+func (t *Table) shardRUnlock() {
+	kids := t.shard.kids
+	for i := len(kids) - 1; i >= 0; i-- {
+		kids[i].mu.RUnlock()
+	}
+}
+
+// ---- commit routing ----
+
+// route picks the shard the next commit chunk lands on and returns
+// with that shard's token held. It try-locks every free token and
+// keeps the acquired shard whose next free global id is lowest — so
+// a lone writer fills global segments in exactly unsharded order,
+// while concurrent writers spread across whatever shards are free.
+func (sh *shardState) route() int {
+	best := -1
+	bestGid := 0
+	for c := range sh.tokens {
+		if !sh.tokens[c].TryLock() {
+			continue
+		}
+		gid := sh.gidOf(c, int(sh.rows[c].Load()))
+		if best < 0 || gid < bestGid {
+			if best >= 0 {
+				sh.tokens[best].Unlock()
+			}
+			best, bestGid = c, gid
+		} else {
+			sh.tokens[c].Unlock()
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Every token is busy: block on the shard that currently looks
+	// least filled. The peek is racy, but that only affects placement
+	// quality, never correctness.
+	best, bestGid = 0, sh.gidOf(0, int(sh.rows[0].Load()))
+	for c := 1; c < sh.nshards; c++ {
+		if gid := sh.gidOf(c, int(sh.rows[c].Load())); gid < bestGid {
+			best, bestGid = c, gid
+		}
+	}
+	sh.tokens[best].Lock()
+	return best
+}
+
+// commitSharded routes a staged batch across the shards in
+// segment-bounded chunks. Rows land contiguously within each chunk;
+// a chunk never spans a shard's segment boundary, so every chunk maps
+// to one run of global ids. The parent read lock keeps the schema
+// stable; it is never write-held by seals, so commits on one shard
+// proceed while another shard's sealer installs.
+func (b *Batch) commitSharded() error {
+	if b.rows <= 0 {
+		b.staged = map[string]stagedCol{}
+		b.rows = -1
+		return nil
+	}
+	t := b.t
+	sh := t.shard
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, name := range t.order {
+		if _, ok := b.staged[name]; !ok {
+			return fmt.Errorf("table %s: batch is missing column %q", t.name, name)
+		}
+	}
+	for from := 0; from < b.rows; {
+		c := sh.route()
+		lrows := int(sh.rows[c].Load())
+		n := min(b.rows-from, t.segRows-lrows%t.segRows)
+		if err := sh.commitChunk(c, b, from, from+n); err != nil {
+			sh.tokens[c].Unlock()
+			return err
+		}
+		sh.rows[c].Add(int64(n))
+		sh.tokens[c].Unlock()
+		from += n
+	}
+	b.staged = map[string]stagedCol{}
+	b.rows = -1
+	return nil
+}
+
+// commitChunk re-stages rows [from, to) of the parent batch into a
+// child batch on shard c and commits it there (the child takes the
+// delta-ingest or columnar path on its own); callers hold shard c's
+// token.
+func (sh *shardState) commitChunk(c int, b *Batch, from, to int) error {
+	cb := sh.kids[c].NewBatch()
+	for _, sc := range b.staged {
+		if err := sc.slice(cb, from, to); err != nil {
+			return err
+		}
+	}
+	return cb.Commit()
+}
+
+// ---- columns ----
+
+// shardDenseSplit partitions a dense global value slice into per-shard
+// local slices following the round-robin segment interleave.
+func shardDenseSplit[T any](vals []T, segRows, nshards int) [][]T {
+	parts := make([][]T, nshards)
+	for g := 0; g*segRows < len(vals); g++ {
+		lo := g * segRows
+		hi := min(lo+segRows, len(vals))
+		parts[g%nshards] = append(parts[g%nshards], vals[lo:hi]...)
+	}
+	return parts
+}
+
+// denseKidRows is the local row count shard c holds when total global
+// rows are packed densely (no holes): the sum of its owned global
+// segments' fills.
+func denseKidRows(total, segRows, nshards, c int) int {
+	rows := 0
+	for g := c; g*segRows < total; g += nshards {
+		rows += min(total-g*segRows, segRows)
+	}
+	return rows
+}
+
+// checkShardDense validates a new column definition against the
+// sharded layout; callers hold the parent write lock and all tokens.
+// Splitting a flat value slice across shards is only well defined when
+// the global id space is packed (serial commits, or a fresh/compacted
+// table) — concurrent commits can leave holes that no flat slice can
+// address.
+func (t *Table) checkShardDense(name string, nvals int) error {
+	sh := t.shard
+	for _, have := range t.order {
+		if have == name {
+			return fmt.Errorf("table %s: column %q already exists", t.name, name)
+		}
+	}
+	total := 0
+	for _, kid := range sh.kids {
+		total += kid.Rows()
+	}
+	if len(t.order) == 0 {
+		// First column: the kids are empty and the install seeds each
+		// with its dense split — nothing to validate yet.
+		return nil
+	}
+	if nvals != total {
+		return fmt.Errorf("table %s: column %q has %d rows, table has %d",
+			t.name, name, nvals, total)
+	}
+	for c, kid := range sh.kids {
+		if want := denseKidRows(total, t.segRows, sh.nshards, c); kid.Rows() != want {
+			return fmt.Errorf("table %s: column %q: shards are not densely packed (shard %d holds %d rows, dense layout needs %d) — concurrent commits left id holes; add columns before writing or after a fresh load",
+				t.name, name, c, kid.Rows(), want)
+		}
+	}
+	return nil
+}
+
+// addColumnSharded splits the dense global values across the shards
+// and installs the column on each; callers own nothing (it locks the
+// parent and quiesces commits itself).
+func addColumnSharded[V any](t *Table, name string, vals []V, install func(kid *Table, part []V) error) error {
+	sh := t.shard
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sh.lockTokens()
+	defer sh.unlockTokens()
+	if err := t.checkShardDense(name, len(vals)); err != nil {
+		return err
+	}
+	parts := shardDenseSplit(vals, t.segRows, sh.nshards)
+	for c, kid := range sh.kids {
+		if err := install(kid, parts[c]); err != nil {
+			// The checks a kid install runs are identical across kids and
+			// checkShardDense pre-validated counts, so a failure here hits
+			// the first kid before anything was applied anywhere.
+			return err
+		}
+	}
+	t.order = append(t.order, name)
+	sh.refreshRowsLocked()
+	return nil
+}
+
+// shardColumn materializes a typed column of a sharded table in
+// ascending global-id order (sealed segments and buffered delta rows
+// of every shard, merged by id).
+func shardColumn[V coltype.Value](t *Table, name string) ([]V, error) {
+	sh := t.shard
+	t.shardRLock()
+	defer t.shardRUnlock()
+	type ent struct {
+		gid int
+		v   V
+	}
+	var out []ent
+	for c, kid := range sh.kids {
+		cs, err := typedCol[V](kid, name)
+		if err != nil {
+			return nil, err
+		}
+		lid := 0
+		for _, s := range cs.segs {
+			for _, v := range s.vals {
+				out = append(out, ent{sh.gidOf(c, lid), v})
+				lid++
+			}
+		}
+		if view := kid.deltaViewLocked(); view != nil {
+			if ci := view.colIdx(name); ci >= 0 {
+				for i, row := range view.rows {
+					out = append(out, ent{sh.gidOf(c, view.base+i), row[ci].(V)})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gid < out[j].gid })
+	vals := make([]V, len(out))
+	for i, e := range out {
+		vals[i] = e.v
+	}
+	return vals, nil
+}
+
+// shardStringColumn is shardColumn for dictionary-encoded columns.
+func (t *Table) shardStringColumn(name string) ([]string, error) {
+	sh := t.shard
+	t.shardRLock()
+	defer t.shardRUnlock()
+	type ent struct {
+		gid int
+		v   string
+	}
+	var out []ent
+	for c, kid := range sh.kids {
+		cs, err := strCol(kid, name)
+		if err != nil {
+			return nil, err
+		}
+		for lid, v := range cs.decodeAll() {
+			out = append(out, ent{sh.gidOf(c, lid), v})
+		}
+		if view := kid.deltaViewLocked(); view != nil {
+			if ci := view.colIdx(name); ci >= 0 {
+				for i, row := range view.rows {
+					out = append(out, ent{sh.gidOf(c, view.base+i), row[ci].(string)})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gid < out[j].gid })
+	vals := make([]string, len(out))
+	for i, e := range out {
+		vals[i] = e.v
+	}
+	return vals, nil
+}
+
+// ---- administration ----
+
+// shardIndexStats merges one column's index stats across shards
+// (saturation re-weighted by indexed segment counts).
+func (t *Table) shardIndexStats(name string) (ColumnIndexStats, error) {
+	var st ColumnIndexStats
+	var sat float64
+	for _, kid := range t.shard.kids {
+		ks, err := kid.IndexStats(name)
+		if err != nil {
+			return ColumnIndexStats{}, err
+		}
+		st.Segments += ks.Segments
+		st.IndexedSegments += ks.IndexedSegments
+		st.StoredVectors += ks.StoredVectors
+		st.DictEntries += ks.DictEntries
+		st.SizeBytes += ks.SizeBytes
+		sat += ks.Saturation * float64(ks.IndexedSegments)
+	}
+	if st.IndexedSegments > 0 {
+		st.Saturation = sat / float64(st.IndexedSegments)
+	}
+	return st, nil
+}
+
+// shardCompact compacts every shard with commits quiesced. Each shard
+// renumbers its surviving rows locally (no cross-shard id exchange, no
+// global stop-the-world beyond the commit tokens), so global ids
+// change exactly as each shard's local ids do.
+func (t *Table) shardCompact() int {
+	sh := t.shard
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sh.lockTokens()
+	defer sh.unlockTokens()
+	removed := 0
+	for _, kid := range sh.kids {
+		removed += kid.Compact()
+	}
+	sh.refreshRowsLocked()
+	return removed
+}
+
+// shardMaintain runs the maintenance pass shard by shard and merges
+// the reports; commits are quiesced so a triggered compaction cannot
+// race the routing counters.
+func (t *Table) shardMaintain(opts MaintainOptions) MaintenanceReport {
+	sh := t.shard
+	sh.lockTokens()
+	defer sh.unlockTokens()
+	var rep MaintenanceReport
+	seen := map[string]bool{}
+	for _, kid := range sh.kids {
+		kr := kid.Maintain(opts)
+		for _, name := range kr.Rebuilt {
+			if !seen[name] {
+				seen[name] = true
+				rep.Rebuilt = append(rep.Rebuilt, name)
+			}
+		}
+		rep.SegmentsRebuilt += kr.SegmentsRebuilt
+		rep.Compacted = rep.Compacted || kr.Compacted
+		rep.RowsRemoved += kr.RowsRemoved
+		rep.DeltaRows += kr.DeltaRows
+		rep.MergeBacklog += kr.MergeBacklog
+	}
+	sort.Strings(rep.Rebuilt)
+	sh.refreshRowsLocked()
+	return rep
+}
+
+// ---- ingest control ----
+
+func (t *Table) shardEnableDeltaIngest(opts IngestOptions) error {
+	sh := t.shard
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sh.ingest {
+		return fmt.Errorf("table %s: delta ingest already enabled", t.name)
+	}
+	for _, kid := range sh.kids {
+		if err := kid.EnableDeltaIngest(opts); err != nil {
+			return err
+		}
+	}
+	sh.ingest = true
+	return nil
+}
+
+func (t *Table) shardIngestStats() IngestStats {
+	var st IngestStats
+	perShard := make([]int, len(t.shard.kids))
+	for c, kid := range t.shard.kids {
+		ks := kid.IngestStats()
+		st.Enabled = st.Enabled || ks.Enabled
+		st.DeltaRows += ks.DeltaRows
+		st.Seals += ks.Seals
+		st.SealedSegments += ks.SealedSegments
+		st.SealedRows += ks.SealedRows
+		st.SealRetries += ks.SealRetries
+		st.Flushes += ks.Flushes
+		st.FlushedRows += ks.FlushedRows
+		st.Merges += ks.Merges
+		st.MergeBacklog += ks.MergeBacklog
+		st.Compactions += ks.Compactions
+		perShard[c] = ks.DeltaRows
+	}
+	if st.Enabled {
+		st.ShardDeltaRows = perShard
+	}
+	return st
+}

@@ -1,0 +1,292 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// mkSharded builds an empty sharded table with small segments so tests
+// cross segment and shard boundaries cheaply.
+func mkSharded(t *testing.T, shards, segRows int) *Table {
+	t.Helper()
+	tb := NewWithOptions("orders", TableOptions{SegmentRows: segRows, Shards: shards})
+	if tb.shard == nil || tb.shard.nshards != shards {
+		t.Fatalf("Shards=%d did not build a sharded table", shards)
+	}
+	return tb
+}
+
+// commitRows appends one batch of sequential int64 values starting at
+// lo (with a derived string column) and commits it.
+func commitRows(t *testing.T, tb *Table, lo, n int) {
+	t.Helper()
+	vals := make([]int64, n)
+	strs := make([]string, n)
+	for i := range vals {
+		vals[i] = int64(lo + i)
+		strs[i] = fmt.Sprintf("c%d", (lo+i)%7)
+	}
+	b := tb.NewBatch()
+	if err := Append(b, "qty", vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendStrings("city", strs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seedSharded(t *testing.T, shards, segRows, rows int) *Table {
+	t.Helper()
+	tb := mkSharded(t, shards, segRows)
+	if err := AddColumn(tb, "qty", []int64{}, Imprints, core.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddStringColumn("city", []string{}, Imprints, core.Options{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	commitRows(t, tb, 0, rows)
+	return tb
+}
+
+func TestShardGidMapping(t *testing.T) {
+	for _, nshards := range []int{2, 3, 4, 8} {
+		sh := newShardState(128, nshards)
+		// Round trip every local id of every shard across a few segments.
+		for c := 0; c < nshards; c++ {
+			for lid := 0; lid < 5*128; lid += 37 {
+				gid := sh.gidOf(c, lid)
+				gc, glid := sh.decode(gid)
+				if gc != c || glid != lid {
+					t.Fatalf("N=%d: decode(gidOf(%d,%d)=%d) = (%d,%d)", nshards, c, lid, gid, gc, glid)
+				}
+				if gotSeg, wantSeg := gid/128, (lid/128)*nshards+c; gotSeg != wantSeg {
+					t.Fatalf("N=%d: gid %d in gseg %d, want %d", nshards, gid, gotSeg, wantSeg)
+				}
+			}
+		}
+		// Negative ids route to shard 0 unchanged (range-check errors).
+		if c, lid := sh.decode(-5); c != 0 || lid != -5 {
+			t.Fatalf("decode(-5) = (%d,%d)", c, lid)
+		}
+	}
+}
+
+func TestShardDenseSplit(t *testing.T) {
+	const segRows, nshards = 4, 3
+	vals := make([]int, 30)
+	for i := range vals {
+		vals[i] = i
+	}
+	parts := shardDenseSplit(vals, segRows, nshards)
+	total := 0
+	for c, part := range parts {
+		if want := denseKidRows(len(vals), segRows, nshards, c); len(part) != want {
+			t.Fatalf("shard %d holds %d values, denseKidRows says %d", c, len(part), want)
+		}
+		sh := &shardState{nshards: nshards, segRows: segRows}
+		for lid, v := range part {
+			if got := sh.gidOf(c, lid); got != v {
+				t.Fatalf("shard %d local %d = %d, want gid %d", c, lid, v, got)
+			}
+		}
+		total += len(part)
+	}
+	if total != len(vals) {
+		t.Fatalf("split dropped rows: %d != %d", total, len(vals))
+	}
+}
+
+// TestShardSerialCommitDenseIDs pins the routing invariant the oracle
+// relies on: a lone writer fills the global id space densely in commit
+// order, exactly as an unsharded table would.
+func TestShardSerialCommitDenseIDs(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		tb := seedSharded(t, shards, 128, 1000)
+		if tb.Rows() != 1000 {
+			t.Fatalf("shards=%d: Rows = %d", shards, tb.Rows())
+		}
+		vals, err := Column[int64](tb, "qty")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v != int64(i) {
+				t.Fatalf("shards=%d: global row %d = %d (ids not dense)", shards, i, v)
+			}
+		}
+		ids, _, err := tb.Select().IDs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range ids {
+			if int(id) != i {
+				t.Fatalf("shards=%d: ids[%d] = %d", shards, i, id)
+			}
+		}
+	}
+}
+
+func TestShardPointOps(t *testing.T) {
+	tb := seedSharded(t, 4, 128, 1000)
+	// Point reads, updates and deletes address global ids across every
+	// shard boundary.
+	for _, id := range []int{0, 127, 128, 500, 999} {
+		row, err := tb.ReadRow(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row["qty"].(int64) != int64(id) {
+			t.Fatalf("ReadRow(%d): qty = %v", id, row["qty"])
+		}
+	}
+	if err := Update(tb, "qty", 300, int64(-7)); err != nil {
+		t.Fatal(err)
+	}
+	if row, _ := tb.ReadRow(300); row["qty"].(int64) != -7 {
+		t.Fatalf("update not visible: %v", row["qty"])
+	}
+	if err := tb.UpdateString("city", 301, "zzz"); err != nil {
+		t.Fatal(err)
+	}
+	if row, _ := tb.ReadRow(301); row["city"].(string) != "zzz" {
+		t.Fatalf("string update not visible: %v", row["city"])
+	}
+	if err := tb.Delete(302); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.IsDeleted(302) || tb.LiveRows() != 999 {
+		t.Fatal("delete not visible")
+	}
+	n, _, err := tb.Select().Count()
+	if err != nil || n != 999 {
+		t.Fatalf("Count = %d (%v)", n, err)
+	}
+	if removed := tb.Compact(); removed != 1 {
+		t.Fatalf("Compact removed %d", removed)
+	}
+	if tb.Rows() != 999 {
+		t.Fatalf("Rows after compact = %d", tb.Rows())
+	}
+	if _, err := tb.ReadRow(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := tb.ReadRow(10_000_000); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}
+
+// TestShardSealLockScope pins the tentpole's locking fix: a seal
+// install write-locks only the owning shard, so readers and writers on
+// every other shard proceed while it is held. The test holds shard 1's
+// write lock (exactly what a seal install acquires) and asserts that a
+// point read and a batch commit routed to shard 0 complete promptly.
+func TestShardSealLockScope(t *testing.T) {
+	tb := seedSharded(t, 2, 128, 2*128) // shard 0 and 1 hold one full segment each
+	sh := tb.shard
+
+	// Simulate an in-flight seal install on shard 1.
+	sh.kids[1].mu.Lock()
+	defer sh.kids[1].mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		// Row 0 lives on shard 0; the next serial commit also routes to
+		// shard 0 (its next free gid, 256, is the global minimum).
+		if _, err := tb.ReadRow(0); err != nil {
+			done <- err
+			return
+		}
+		b := tb.NewBatch()
+		if err := Append(b, "qty", []int64{1}); err != nil {
+			done <- err
+			return
+		}
+		if err := b.AppendStrings("city", []string{"x"}); err != nil {
+			done <- err
+			return
+		}
+		done <- b.Commit()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shard-0 read/commit blocked by shard-1 write lock")
+	}
+	if got := int(sh.rows[0].Load()); got != 129 {
+		t.Fatalf("commit did not land on shard 0: shard 0 holds %d rows", got)
+	}
+}
+
+func TestShardIngestStatsPerShard(t *testing.T) {
+	tb := seedSharded(t, 4, 128, 0)
+	if err := tb.EnableDeltaIngest(IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EnableDeltaIngest(IngestOptions{}); err == nil {
+		t.Fatal("double EnableDeltaIngest accepted")
+	}
+	defer tb.Close()
+	commitRows(t, tb, 0, 300) // serial: 128 + 128 + 44 across shards 0,1,2
+	st := tb.IngestStats()
+	if !st.Enabled {
+		t.Fatal("IngestStats not enabled")
+	}
+	if len(st.ShardDeltaRows) != 4 {
+		t.Fatalf("ShardDeltaRows = %v, want 4 entries", st.ShardDeltaRows)
+	}
+	sum := 0
+	for _, n := range st.ShardDeltaRows {
+		sum += n
+	}
+	if sum != st.DeltaRows || sum != 300 {
+		t.Fatalf("per-shard depths %v do not sum to DeltaRows %d", st.ShardDeltaRows, st.DeltaRows)
+	}
+	if st.MaxShardDeltaRows() != 128 {
+		t.Fatalf("MaxShardDeltaRows = %d, want 128", st.MaxShardDeltaRows())
+	}
+	// Unsharded tables report a single-entry depth list.
+	single := New("u")
+	if err := AddColumn(single, "a", []int64{}, NoIndex, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.EnableDeltaIngest(IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	b := single.NewBatch()
+	if err := Append(b, "a", []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if us := single.IngestStats(); len(us.ShardDeltaRows) != 1 || us.ShardDeltaRows[0] != 3 || us.MaxShardDeltaRows() != 3 {
+		t.Fatalf("unsharded ShardDeltaRows = %v", us.ShardDeltaRows)
+	}
+}
+
+func TestShardAddColumnErrors(t *testing.T) {
+	tb := seedSharded(t, 2, 128, 300)
+	if err := AddColumn(tb, "qty", make([]int64, 300), NoIndex, core.Options{}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if err := AddColumn(tb, "extra", make([]int64, 299), NoIndex, core.Options{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := AddColumn(tb, "extra", make([]int64, 300), NoIndex, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Column[int64](tb, "extra")
+	if err != nil || len(vals) != 300 {
+		t.Fatalf("Column(extra): %d vals, %v", len(vals), err)
+	}
+}

@@ -1,0 +1,509 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Sharded aggregation, grouping and explain (see shardexec.go for the
+// execution frame). Aggregate partials merge in ascending
+// global-segment order and each shard's delta partial folds once
+// afterwards in shard order, so results are deterministic at every
+// parallelism level and — on densely-filled tables — identical to the
+// unsharded layout.
+
+// shardResolveAggs validates the specs against every shard (the
+// schemas are identical, so per-shard binds differ only in their
+// column handles).
+func (q *Query) shardResolveAggs(specs []AggSpec) ([][]aggBind, error) {
+	sh := q.t.shard
+	kbinds := make([][]aggBind, sh.nshards)
+	for c, kid := range sh.kids {
+		binds, err := kid.resolveAggs(specs)
+		if err != nil {
+			return nil, err
+		}
+		kbinds[c] = binds
+	}
+	return kbinds, nil
+}
+
+// shardAggregate is Aggregate over a sharded table.
+func (q *Query) shardAggregate(specs []AggSpec) (*AggResult, core.QueryStats, error) {
+	q.t.mu.RLock()
+	defer q.t.mu.RUnlock()
+	q.t.shardRLock()
+	defer q.t.shardRUnlock()
+	var st core.QueryStats
+	if q.order != nil {
+		return nil, st, fmt.Errorf("table %s: OrderBy does not apply to Aggregate (aggregates are order-independent)", q.t.name)
+	}
+	kbinds, err := q.shardResolveAggs(specs)
+	if err != nil {
+		return nil, st, err
+	}
+	if err := q.shardCheckProjection(); err != nil {
+		return nil, st, err
+	}
+	binds := kbinds[0]
+	res := &AggResult{vals: make([]AggValue, len(binds))}
+	merged := make([]aggPartial, len(binds))
+	finish := func() *AggResult {
+		for i, b := range binds {
+			res.vals[i] = merged[i].value(b.spec)
+		}
+		return res
+	}
+	if q.limited && q.limit == 0 {
+		return finish(), st, nil
+	}
+	se, err := q.shardBind()
+	if err != nil {
+		return nil, st, err
+	}
+	if q.limited {
+		return q.shardLimitedAggregate(se, kbinds, merged, finish, &st)
+	}
+	if err := se.forEachUnit(q,
+		func(i int) segOut {
+			u := se.units[i]
+			return se.kids[u.c].aggSegment(se.ens[u.c], u.lseg, kbinds[u.c])
+		},
+		func(i int, o segOut) bool {
+			st.Add(o.st)
+			res.Rows += o.count
+			for i := range merged {
+				merged[i].mergeInto(binds[i].spec.op, o.aggs[i])
+			}
+			return true
+		}); err != nil {
+		return nil, st, q.t.abortErr(err)
+	}
+	for c := range se.views {
+		res.Rows += se.kids[c].deltaAggFold(se.views[c], se.ens[c], kbinds[c], merged, res.Rows, &st)
+	}
+	return finish(), st, nil
+}
+
+// deltaEnt is one qualifying buffered delta row addressed by its
+// global id, for merges that must interleave delta rows with sealed
+// rows in id order.
+type deltaEnt struct {
+	gid uint32
+	c   int
+	row []any
+}
+
+// deltaEntries collects the qualifying delta rows of every shard,
+// ascending by global id.
+func (se *shardExec) deltaEntries(st *core.QueryStats) []deltaEnt {
+	var out []deltaEnt
+	for c, view := range se.views {
+		if view == nil {
+			continue
+		}
+		match := view.matcher(se.ens[c])
+		view.scan(match, st, func(id int, row []any) bool {
+			out = append(out, deltaEnt{gid: uint32(se.sh.gidOf(c, id)), c: c, row: row})
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].gid < out[j].gid })
+	return out
+}
+
+// shardLimitedAggregate folds the first q.limit qualifying rows in
+// ascending global-id order: sealed ids stream unit by unit with each
+// pending delta row folded before the first sealed id that exceeds it
+// (sharded delta ids interleave with sealed ids, unlike the unsharded
+// append-only tail).
+func (q *Query) shardLimitedAggregate(se *shardExec, kbinds [][]aggBind, merged []aggPartial, finish func() *AggResult, st *core.QueryStats) (*AggResult, core.QueryStats, error) {
+	binds := kbinds[0]
+	dents := se.deltaEntries(st)
+	dcis := make([][]int, len(se.views))
+	for c, view := range se.views {
+		if view == nil {
+			continue
+		}
+		dcis[c] = make([]int, len(binds))
+		for i, b := range binds {
+			if b.col != nil {
+				dcis[c][i] = view.colIdx(b.spec.col)
+			}
+		}
+	}
+	var dAccs []deltaAgg
+	var drows uint64
+	foldDelta := func(e deltaEnt) {
+		if dAccs == nil {
+			dAccs = make([]deltaAgg, len(binds))
+			for i, b := range binds {
+				if b.col != nil {
+					dAccs[i] = b.col.deltaAgg(b.spec.op)
+				}
+			}
+		}
+		for i, acc := range dAccs {
+			if acc != nil {
+				acc.add(e.row[dcis[e.c][i]])
+			}
+		}
+		drows++
+	}
+	taken := 0
+	var rows uint64
+	di := 0
+	err := se.forEachUnit(q,
+		func(i int) segOut {
+			u := se.units[i]
+			return se.kids[u.c].collectIDs(se.ens[u.c], u.lseg)
+		},
+		func(ui int, o segOut) bool {
+			u := se.units[ui]
+			st.Add(o.st)
+			defer putIDScratch(o.ids)
+			shift := se.gidShift(u)
+			base := uint32(u.lseg * q.t.segRows)
+			var accs []segAgg
+			var segTaken uint64
+			for _, id := range *o.ids {
+				gid := id + shift
+				for di < len(dents) && dents[di].gid < gid && taken < q.limit {
+					foldDelta(dents[di])
+					di++
+					taken++
+					rows++
+				}
+				if taken >= q.limit {
+					break
+				}
+				if accs == nil {
+					accs = make([]segAgg, len(binds))
+					for i, b := range kbinds[u.c] {
+						if b.col != nil {
+							accs[i] = b.col.aggAcc(b.spec.op, u.lseg)
+						}
+					}
+				}
+				for _, acc := range accs {
+					if acc != nil {
+						acc.addRow(id - base)
+					}
+				}
+				segTaken++
+				taken++
+				rows++
+			}
+			if segTaken > 0 {
+				for i, acc := range accs {
+					if acc != nil {
+						merged[i].mergeInto(binds[i].spec.op, acc.partial())
+					} else {
+						merged[i].mergeInto(binds[i].spec.op, aggPartial{rows: segTaken})
+					}
+				}
+			}
+			return taken < q.limit
+		})
+	if err != nil {
+		return nil, *st, q.t.abortErr(err)
+	}
+	for ; di < len(dents) && taken < q.limit; di++ {
+		foldDelta(dents[di])
+		taken++
+		rows++
+	}
+	if drows > 0 {
+		for i := range merged {
+			if dAccs[i] != nil {
+				merged[i].mergeInto(binds[i].spec.op, dAccs[i].partial())
+			} else {
+				merged[i].mergeInto(binds[i].spec.op, aggPartial{rows: drows})
+			}
+		}
+	}
+	res := finish()
+	res.Rows = rows
+	return res, *st, nil
+}
+
+// shardAggregate is GroupBy.Aggregate over a sharded table: the
+// unchanged per-segment grouping worker per unit, group partials
+// merged in global-segment order, each shard's delta groups folded
+// once afterwards, final groups sorted by key.
+func (g *GroupedQuery) shardAggregate(specs []AggSpec) (*GroupedResult, core.QueryStats, error) {
+	q := g.q
+	t := q.t
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.shardRLock()
+	defer t.shardRUnlock()
+	var st core.QueryStats
+	if q.order != nil {
+		return nil, st, fmt.Errorf("table %s: OrderBy does not apply to GroupBy aggregation", t.name)
+	}
+	if q.limited && q.limit > 0 {
+		return nil, st, fmt.Errorf("table %s: Limit does not apply to GroupBy aggregation (drop the limit or use Limit(0))", t.name)
+	}
+	sh := t.shard
+	kbinds, err := q.shardResolveAggs(specs)
+	if err != nil {
+		return nil, st, err
+	}
+	if err := q.shardCheckProjection(); err != nil {
+		return nil, st, err
+	}
+	keyCols := make([]anyColumn, sh.nshards)
+	for c, kid := range sh.kids {
+		keyCol, ok := kid.cols[g.key]
+		if !ok {
+			return nil, st, fmt.Errorf("table %s: no column %q", t.name, g.key)
+		}
+		if err := keyCol.groupCheck(); err != nil {
+			return nil, st, fmt.Errorf("table %s: %w", t.name, err)
+		}
+		keyCols[c] = keyCol
+	}
+	res := &GroupedResult{Key: g.key}
+	if q.limited && q.limit == 0 {
+		return res, st, nil
+	}
+	se, err := q.shardBind()
+	if err != nil {
+		return nil, st, err
+	}
+	kgs := make([]*GroupedQuery, sh.nshards)
+	for c := range sh.kids {
+		kgs[c] = &GroupedQuery{q: se.kids[c], key: g.key}
+	}
+	binds := kbinds[0]
+	type mergedGroup struct {
+		rows  uint64
+		parts []aggPartial
+	}
+	merged := map[groupKey]*mergedGroup{}
+	if err := se.forEachUnit(q,
+		func(i int) segOut {
+			u := se.units[i]
+			return kgs[u.c].groupSegment(se.ens[u.c], u.lseg, kbinds[u.c], keyCols[u.c])
+		},
+		func(i int, o segOut) bool {
+			st.Add(o.st)
+			for _, gr := range o.groups {
+				mg := merged[gr.key]
+				if mg == nil {
+					mg = &mergedGroup{parts: make([]aggPartial, len(binds))}
+					merged[gr.key] = mg
+				}
+				mg.rows += gr.rows
+				for i := range gr.parts {
+					mg.parts[i].mergeInto(binds[i].spec.op, gr.parts[i])
+				}
+			}
+			return true
+		}); err != nil {
+		return nil, st, t.abortErr(err)
+	}
+	for c, view := range se.views {
+		if view == nil {
+			continue
+		}
+		cbinds := kbinds[c]
+		match := view.matcher(se.ens[c])
+		kci := view.colIdx(g.key)
+		cis := make([]int, len(cbinds))
+		for i, b := range cbinds {
+			if b.col != nil {
+				cis[i] = view.colIdx(b.spec.col)
+			}
+		}
+		type deltaGroup struct {
+			rows uint64
+			accs []deltaAgg
+		}
+		dgroups := map[groupKey]*deltaGroup{}
+		view.scan(match, &st, func(_ int, row []any) bool {
+			k := keyCols[c].deltaGroupKey(row[kci])
+			dg := dgroups[k]
+			if dg == nil {
+				dg = &deltaGroup{accs: make([]deltaAgg, len(cbinds))}
+				for i, b := range cbinds {
+					if b.col != nil {
+						dg.accs[i] = b.col.deltaAgg(b.spec.op)
+					}
+				}
+				dgroups[k] = dg
+			}
+			dg.rows++
+			for i, acc := range dg.accs {
+				if acc != nil {
+					acc.add(row[cis[i]])
+				}
+			}
+			return true
+		})
+		// Fold the shard's delta groups in deterministic key order (map
+		// iteration order would leak into float merge order otherwise).
+		dkeys := make([]groupKey, 0, len(dgroups))
+		for k := range dgroups {
+			dkeys = append(dkeys, k)
+		}
+		sort.Slice(dkeys, func(i, j int) bool { return dkeys[i].less(dkeys[j]) })
+		for _, k := range dkeys {
+			dg := dgroups[k]
+			mg := merged[k]
+			if mg == nil {
+				mg = &mergedGroup{parts: make([]aggPartial, len(cbinds))}
+				merged[k] = mg
+			}
+			mg.rows += dg.rows
+			for i := range cbinds {
+				if dg.accs[i] != nil {
+					mg.parts[i].mergeInto(binds[i].spec.op, dg.accs[i].partial())
+				} else {
+					mg.parts[i].mergeInto(binds[i].spec.op, aggPartial{rows: dg.rows})
+				}
+			}
+		}
+	}
+	keys := make([]groupKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	res.Groups = make([]Group, len(keys))
+	for gi, k := range keys {
+		mg := merged[k]
+		grp := Group{Key: k.value(), Rows: mg.rows, Aggs: make([]AggValue, len(binds))}
+		for i, b := range binds {
+			grp.Aggs[i] = mg.parts[i].value(b.spec)
+		}
+		res.Groups[gi] = grp
+	}
+	return res, st, nil
+}
+
+// shardExplain builds the plan of a sharded execution: every (shard,
+// local segment) unit is evaluated like a real execution and the
+// per-unit plans merge into one tree with per-unit breakdowns labeled
+// by global segment. withAggs distinguishes ExplainAggregate (which
+// validates its specs like Aggregate) from plain Explain.
+func (q *Query) shardExplain(specs []AggSpec, withAggs bool) (*Plan, error) {
+	t := q.t
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.shardRLock()
+	defer t.shardRUnlock()
+	sh := t.shard
+	var kbinds [][]aggBind
+	if withAggs {
+		if q.order != nil {
+			return nil, fmt.Errorf("table %s: OrderBy does not apply to Aggregate (aggregates are order-independent)", t.name)
+		}
+		var err error
+		if kbinds, err = q.shardResolveAggs(specs); err != nil {
+			return nil, err
+		}
+	}
+	names := append([]string(nil), q.cols...)
+	if len(names) == 0 {
+		names = append(names, t.order...)
+	}
+	for _, name := range names {
+		if _, ok := sh.kids[0].cols[name]; !ok {
+			return nil, fmt.Errorf("table %s: no column %q", t.name, name)
+		}
+	}
+	se, err := q.shardBind()
+	if err != nil {
+		return nil, err
+	}
+	var st core.QueryStats
+	nunits := len(se.units)
+	par := resolveParallelism(q.opts, nunits)
+	segPlans := make([]*PlanNode, nunits)
+	infos := make([]planSegInfo, nunits)
+	aggSegs := make([]AggSegmentPlan, nunits)
+	var fast, vect uint64
+	pruned := 0
+	ferr := se.forEachUnit(q,
+		func(i int) segOut {
+			u := se.units[i]
+			kid := sh.kids[u.c]
+			var o segOut
+			ev := kid.evalSegment(se.ens[u.c], u.lseg, q.opts, &o.st, true)
+			o.plan = ev.plan
+			o.fast = kid.fastCountSegment(u.lseg, ev.runs)
+			if !q.opts.Scalar {
+				o.vect = kid.vectorizedBlocksSegment(u.lseg, ev.runs)
+			}
+			if kbinds != nil && !q.limited {
+				ap := kid.aggSegmentPlan(u.lseg, ev, kbinds[u.c])
+				ap.Segment = u.gseg
+				aggSegs[i] = ap
+			}
+			releaseEval(&ev)
+			return o
+		},
+		func(i int, o segOut) bool {
+			u := se.units[i]
+			st.Add(o.st)
+			segPlans[i] = o.plan
+			infos[i] = planSegInfo{seg: u.gseg, rows: sh.kids[u.c].segLen(u.lseg)}
+			fast += o.fast
+			vect += o.vect
+			if o.plan.CandidateBlocks == 0 {
+				pruned++
+			}
+			return true
+		})
+	if ferr != nil {
+		return nil, t.abortErr(ferr)
+	}
+	lim := -1
+	if q.limited {
+		lim = q.limit
+	}
+	sealed := 0
+	for _, kid := range sh.kids {
+		sealed += kid.rows
+	}
+	deltaRows := 0
+	for c, view := range se.views {
+		if view == nil {
+			continue
+		}
+		deltaRows += len(view.rows)
+		view.scan(view.matcher(se.ens[c]), &st, func(int, []any) bool { return true })
+	}
+	p := &Plan{
+		Table:            t.name,
+		Columns:          names,
+		Limit:            lim,
+		TotalRows:        sealed + deltaRows,
+		TotalBlocks:      (sealed + BlockRows - 1) / BlockRows,
+		DeltaRows:        deltaRows,
+		SegmentRows:      t.segRows,
+		Segments:         nunits,
+		Parallelism:      par,
+		SegmentsPruned:   pruned,
+		Root:             aggregatePlans(segPlans, infos),
+		Stats:            st,
+		FastCountRows:    fast,
+		BlocksVectorized: vect,
+	}
+	if q.order != nil {
+		p.OrderBy = q.order.String()
+	}
+	if kbinds != nil {
+		for _, b := range kbinds[0] {
+			p.Aggregates = append(p.Aggregates, b.spec.String())
+		}
+		if !q.limited {
+			p.AggSegments = aggSegs
+		}
+	}
+	return p, nil
+}

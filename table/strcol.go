@@ -60,6 +60,11 @@ func (t *Table) AddStringColumn(name string, vals []string, mode IndexMode, opts
 	if mode == Zonemap {
 		return fmt.Errorf("table %s: column %q: zonemap mode is not supported for string columns", t.name, name)
 	}
+	if t.shard != nil {
+		return addColumnSharded(t, name, vals, func(kid *Table, part []string) error {
+			return kid.AddStringColumn(name, part, mode, opts)
+		})
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	// Layout changes flush first: the delta's row shape must match
@@ -77,6 +82,9 @@ func (t *Table) AddStringColumn(name string, vals []string, mode IndexMode, opts
 // StringColumn materializes the decoded values of a string column. The
 // returned slice is freshly allocated and safe to keep.
 func (t *Table) StringColumn(name string) ([]string, error) {
+	if t.shard != nil {
+		return t.shardStringColumn(name)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	cs, err := strCol(t, name)
@@ -100,6 +108,10 @@ func (t *Table) StringColumn(name string) ([]string, error) {
 // order must stay aligned with string order — leaving every other
 // segment (and plans compiled over them) untouched.
 func (t *Table) UpdateString(name string, id int, v string) error {
+	if sh := t.shard; sh != nil {
+		c, lid := sh.decode(id)
+		return sh.kids[c].UpdateString(name, lid, v)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cs, err := strCol(t, name)

@@ -106,6 +106,15 @@ type TableOptions struct {
 	// multiple of BlockRows so candidate-run composition always works on
 	// whole blocks.
 	SegmentRows int
+	// Shards splits the table into that many independently locked
+	// shards (shard.go): global segments route round-robin across
+	// shards, each shard owns its own lock, segment lists and — with
+	// EnableDeltaIngest — delta store and background sealer, so commits,
+	// updates, seals and merges on different shards run fully
+	// concurrently. 0 or 1 means the existing single-shard layout (and
+	// the unchanged on-disk v3 format); sharded tables persist as a v4
+	// envelope of per-shard v3 images.
+	Shards int
 }
 
 // anyColumn is the type-erased per-column state.
@@ -200,6 +209,7 @@ type Table struct {
 	deleted *bitvec.Vector // lazily sized; nil when nothing deleted
 	ndel    int
 	delta   *deltaState // LSM-style ingest state; nil until enabled
+	shard   *shardState // sharded layout (TableOptions.Shards > 1); nil otherwise
 }
 
 // New creates an empty table with default options.
@@ -207,7 +217,15 @@ func New(name string) *Table { return NewWithOptions(name, TableOptions{}) }
 
 // NewWithOptions creates an empty table with the given storage policy.
 func NewWithOptions(name string, opts TableOptions) *Table {
-	return &Table{name: name, cols: map[string]anyColumn{}, segRows: normalizeSegmentRows(opts.SegmentRows)}
+	t := &Table{name: name, cols: map[string]anyColumn{}, segRows: normalizeSegmentRows(opts.SegmentRows)}
+	if opts.Shards > 1 {
+		t.shard = newShardState(t.segRows, opts.Shards)
+		for c := 0; c < opts.Shards; c++ {
+			t.shard.kids = append(t.shard.kids,
+				NewWithOptions(name, TableOptions{SegmentRows: t.segRows}))
+		}
+	}
+	return t
 }
 
 // normalizeSegmentRows applies the default and rounds up to a whole
@@ -228,6 +246,9 @@ func (t *Table) Name() string { return t.name }
 // Rows returns the number of rows, including deleted-but-not-compacted
 // ones and rows still buffered in the delta store.
 func (t *Table) Rows() int {
+	if t.shard != nil {
+		return t.shard.totalRows()
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.totalRowsLocked()
@@ -235,6 +256,13 @@ func (t *Table) Rows() int {
 
 // LiveRows returns the number of rows not marked deleted.
 func (t *Table) LiveRows() int {
+	if t.shard != nil {
+		n := 0
+		for _, kid := range t.shard.kids {
+			n += kid.LiveRows()
+		}
+		return n
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.totalRowsLocked() - t.ndel
@@ -245,6 +273,13 @@ func (t *Table) SegmentRows() int { return t.segRows }
 
 // Segments returns the current number of storage segments.
 func (t *Table) Segments() int {
+	if t.shard != nil {
+		n := 0
+		for _, kid := range t.shard.kids {
+			n += kid.Segments()
+		}
+		return n
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.segCount()
@@ -276,6 +311,9 @@ func (t *Table) Columns() []string {
 // "string", ...), so external planners (e.g. the SQL front-end) can
 // choose typed literals without reflection over row values.
 func (t *Table) ColumnType(name string) (string, error) {
+	if t.shard != nil {
+		return t.shard.kids[0].ColumnType(name)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	c, ok := t.cols[name]
@@ -287,6 +325,13 @@ func (t *Table) ColumnType(name string) (string, error) {
 
 // SizeBytes returns total column payload bytes.
 func (t *Table) SizeBytes() int64 {
+	if t.shard != nil {
+		var s int64
+		for _, kid := range t.shard.kids {
+			s += kid.SizeBytes()
+		}
+		return s
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var s int64
@@ -298,6 +343,13 @@ func (t *Table) SizeBytes() int64 {
 
 // IndexBytes returns total secondary index bytes.
 func (t *Table) IndexBytes() int64 {
+	if t.shard != nil {
+		var s int64
+		for _, kid := range t.shard.kids {
+			s += kid.IndexBytes()
+		}
+		return s
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	var s int64
@@ -320,6 +372,9 @@ type ColumnIndexStats struct {
 
 // IndexStats reports the aggregated index state of one column.
 func (t *Table) IndexStats(name string) (ColumnIndexStats, error) {
+	if t.shard != nil {
+		return t.shardIndexStats(name)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	c, ok := t.cols[name]
@@ -335,6 +390,11 @@ func (t *Table) IndexStats(name string) (ColumnIndexStats, error) {
 // segments of the table's SegmentRows — so the caller's slice stays
 // independent of the table.
 func AddColumn[V coltype.Value](t *Table, name string, vals []V, mode IndexMode, opts core.Options) error {
+	if t.shard != nil {
+		return addColumnSharded(t, name, vals, func(kid *Table, part []V) error {
+			return AddColumn(kid, name, part, mode, opts)
+		})
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	// Layout changes flush first: the delta's row shape must match
@@ -401,6 +461,9 @@ func (t *Table) installColumn(name string, c anyColumn, nvals int) {
 // reflects the table at call time; later updates are not visible
 // through it.
 func Column[V coltype.Value](t *Table, name string) ([]V, error) {
+	if t.shard != nil {
+		return shardColumn[V](t, name)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	cs, err := typedCol[V](t, name)
@@ -427,6 +490,13 @@ func Column[V coltype.Value](t *Table, name string) ([]V, error) {
 // the table's live one, outside the table lock: probing it while
 // writers are active races — use queries when writers may be running.
 func Index[V coltype.Value](t *Table, name string) (*core.Index[V], error) {
+	if sh := t.shard; sh != nil {
+		if nsegs := t.Segments(); nsegs > 1 {
+			return nil, fmt.Errorf("table %s: column %q has %d segments (use SegmentIndex or IndexStats)",
+				t.name, name, nsegs)
+		}
+		return Index[V](sh.kids[0], name)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	cs, err := typedCol[V](t, name)
@@ -446,6 +516,13 @@ func Index[V coltype.Value](t *Table, name string) (*core.Index[V], error) {
 // SegmentIndex returns the imprints index of one segment of a column,
 // or nil when that segment is unindexed.
 func SegmentIndex[V coltype.Value](t *Table, name string, seg int) (*core.Index[V], error) {
+	if sh := t.shard; sh != nil {
+		c, lseg := 0, seg
+		if seg >= 0 {
+			c, lseg = seg%sh.nshards, seg/sh.nshards
+		}
+		return SegmentIndex[V](sh.kids[c], name, lseg)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	cs, err := typedCol[V](t, name)
@@ -486,10 +563,14 @@ type Batch struct {
 
 // stagedCol is one column's staged batch data: the columnar commit
 // action plus a boxed row accessor so delta-ingest commits can pivot
-// the staging into row-major tuples.
+// the staging into row-major tuples, plus a typed re-stager so sharded
+// commits can carve the staging into per-shard child batches.
 type stagedCol struct {
 	apply func()          // absorb into the columnar tail (write lock held)
 	value func(i int) any // i-th staged value, boxed
+	// slice stages rows [from, to) into a child batch (sharded tables
+	// only; nil otherwise).
+	slice func(cb *Batch, from, to int) error
 }
 
 // NewBatch starts an append batch.
@@ -500,6 +581,24 @@ func (t *Table) NewBatch() *Batch {
 // Append stages new values for one column of the batch. The values are
 // copied, so the caller's slice may be reused afterwards.
 func Append[V coltype.Value](b *Batch, name string, vals []V) error {
+	if sh := b.t.shard; sh != nil {
+		kid := sh.kids[0]
+		kid.mu.RLock()
+		_, err := typedCol[V](kid, name)
+		kid.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		if err := b.stage(name, len(vals)); err != nil {
+			return err
+		}
+		vcopy := append([]V(nil), vals...)
+		b.staged[name] = stagedCol{
+			value: func(i int) any { return vcopy[i] },
+			slice: func(cb *Batch, from, to int) error { return Append(cb, name, vcopy[from:to]) },
+		}
+		return nil
+	}
 	b.t.mu.RLock()
 	cs, err := typedCol[V](b.t, name)
 	b.t.mu.RUnlock()
@@ -519,6 +618,24 @@ func Append[V coltype.Value](b *Batch, name string, vals []V) error {
 
 // AppendStrings stages new values for one string column of the batch.
 func (b *Batch) AppendStrings(name string, vals []string) error {
+	if sh := b.t.shard; sh != nil {
+		kid := sh.kids[0]
+		kid.mu.RLock()
+		_, err := strCol(kid, name)
+		kid.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		if err := b.stage(name, len(vals)); err != nil {
+			return err
+		}
+		vcopy := append([]string(nil), vals...)
+		b.staged[name] = stagedCol{
+			value: func(i int) any { return vcopy[i] },
+			slice: func(cb *Batch, from, to int) error { return cb.AppendStrings(name, vcopy[from:to]) },
+		}
+		return nil
+	}
 	b.t.mu.RLock()
 	cs, err := strCol(b.t, name)
 	b.t.mu.RUnlock()
@@ -559,6 +676,9 @@ func (b *Batch) stage(name string, nvals int) error {
 // as they fill); already sealed segments — and any compiled plans over
 // them — are untouched. On error nothing is applied.
 func (b *Batch) Commit() error {
+	if b.t.shard != nil {
+		return b.commitSharded()
+	}
 	if b.rows <= 0 {
 		b.staged = map[string]stagedCol{}
 		b.rows = -1
@@ -714,6 +834,10 @@ func (c *colState[V]) compact(keep []int) {
 // Repeated updates saturate that segment's index; Maintain rebuilds it
 // — and only it — when they do.
 func Update[V coltype.Value](t *Table, name string, id int, v V) error {
+	if sh := t.shard; sh != nil {
+		c, lid := sh.decode(id)
+		return Update(sh.kids[c], name, lid, v)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cs, err := typedCol[V](t, name)
@@ -737,6 +861,10 @@ func Update[V coltype.Value](t *Table, name string, id int, v V) error {
 // Delete marks a row deleted; it stops appearing in query results.
 // Space is reclaimed by Compact.
 func (t *Table) Delete(id int) error {
+	if sh := t.shard; sh != nil {
+		c, lid := sh.decode(id)
+		return sh.kids[c].Delete(lid)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	total := t.totalRowsLocked()
@@ -757,6 +885,10 @@ func (t *Table) Delete(id int) error {
 
 // IsDeleted reports whether a row is deleted.
 func (t *Table) IsDeleted(id int) bool {
+	if sh := t.shard; sh != nil {
+		c, lid := sh.decode(id)
+		return sh.kids[c].IsDeleted(lid)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.deletedAt(id)
@@ -766,6 +898,9 @@ func (t *Table) IsDeleted(id int) bool {
 // segments (surviving rows are re-chunked, so all but the last segment
 // are full again). It returns the number of rows removed.
 func (t *Table) Compact() int {
+	if t.shard != nil {
+		return t.shardCompact()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.compactLocked()
@@ -857,6 +992,9 @@ type MaintainOptions struct {
 // alone), and the table is compacted when the deleted-row fraction
 // crosses opts.DeletedFraction.
 func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
+	if t.shard != nil {
+		return t.shardMaintain(opts)
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	satLimit := opts.SaturationLimit
@@ -891,6 +1029,10 @@ func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
 // reconstruction of Section 2: values from different columns with the
 // same id belong to the same tuple).
 func (t *Table) ReadRow(id int) (map[string]any, error) {
+	if sh := t.shard; sh != nil {
+		c, lid := sh.decode(id)
+		return sh.kids[c].ReadRow(lid)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if id < 0 || id >= t.totalRowsLocked() {
