@@ -127,11 +127,13 @@ type jsonExperiment struct {
 // leading comment line naming the experiment.
 func emitCSV(exp *harness.Experiment, dir string) error {
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
-		f, err := os.Create(filepath.Join(dir, exp.ID+".csv"))
+		var err error
+		f, err = os.Create(filepath.Join(dir, exp.ID+".csv"))
 		if err != nil {
 			return err
 		}
@@ -148,5 +150,14 @@ func emitCSV(exp *harness.Experiment, dir string) error {
 		return err
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	// A buffered write can surface its error only at close; report it
+	// rather than leaving a silently truncated CSV (the deferred Close
+	// above then returns ErrClosed, which is safe to discard).
+	if f != nil {
+		return f.Close()
+	}
+	return nil
 }

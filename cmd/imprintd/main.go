@@ -74,7 +74,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "imprintd:", err)
 			os.Exit(1)
 		}
-		defer tbl.Close()
+		defer func() {
+			if err := tbl.Close(); err != nil {
+				log.Printf("table close: %v", err)
+			}
+		}()
 		log.Printf("delta ingest enabled (background sealing)")
 	}
 	log.Printf("serving table %q: %d rows, %d segments", tbl.Name(), tbl.Rows(), tbl.Segments())

@@ -36,7 +36,9 @@ func main() {
 		fatal(err)
 	}
 	kind, err := colfile.Kind(f)
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -49,8 +49,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "imprintgen:", err)
 		os.Exit(1)
 	}
-	defer manifest.Close()
-
 	for _, d := range sets {
 		for _, c := range d.Columns {
 			name := fmt.Sprintf("%s.%s.col", strings.ToLower(d.Name), c.Name())
@@ -59,10 +57,19 @@ func main() {
 				fmt.Fprintln(os.Stderr, "imprintgen:", err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(manifest, "%s\t%s\t%s\t%d rows\t%d bytes\n",
-				name, d.Name, c.TypeName(), c.Len(), c.SizeBytes())
+			if _, err := fmt.Fprintf(manifest, "%s\t%s\t%s\t%d rows\t%d bytes\n",
+				name, d.Name, c.TypeName(), c.Len(), c.SizeBytes()); err != nil {
+				fmt.Fprintln(os.Stderr, "imprintgen: MANIFEST:", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Printf("%s\n", d)
+	}
+	// Close before announcing success: a short write surfacing at close
+	// must not leave a truncated MANIFEST reported as written.
+	if err := manifest.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "imprintgen: MANIFEST:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("wrote %s/MANIFEST\n", *out)
 }

@@ -1,0 +1,186 @@
+// Command imprintvet runs the repo's invariant analyzers (locksafe,
+// snapshotsafe, detmerge, hotalloc — see internal/analyzers) as a
+// `go vet` tool:
+//
+//	go build -o /tmp/imprintvet ./cmd/imprintvet
+//	go vet -vettool=/tmp/imprintvet ./...
+//
+// It speaks the cmd/go unitchecker protocol directly on the standard
+// library: go vet invokes the tool once per package with a vet.cfg
+// describing the files and the export data of every dependency
+// (already compiled into the build cache), the tool type-checks the
+// package against that export data and prints file:line:col
+// diagnostics on stderr, exiting nonzero if there are any.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analyzers"
+)
+
+// vetConfig is the subset of cmd/go's vet.cfg JSON the tool consumes.
+type vetConfig struct {
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	vFlag := flag.String("V", "", "print version and exit (protocol handshake)")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flag schema and exit")
+	flag.Parse()
+
+	// go vet's handshake: -V=full wants a unique version string (the
+	// binary's own hash serves as build ID), -flags wants the JSON
+	// schema of tool flags (none).
+	if *vFlag == "full" {
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+			filepath.Base(os.Args[0]), selfHash())
+		return 0
+	}
+	if *flagsFlag {
+		fmt.Println("[]")
+		return 0
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: imprintvet vet.cfg (run via go vet -vettool=imprintvet)")
+		return 2
+	}
+	cfg, err := readConfig(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// Every invocation must write its facts file, even for dependency
+	// packages analyzed only for export (VetxOnly) — cmd/go caches it.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("imprintvet facts v1\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := analyze(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &vetConfig{}
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+func analyze(cfg *vetConfig) ([]analyzers.Diagnostic, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Dependencies import through the export data files cmd/go listed
+	// in PackageFile, with source import paths canonicalized through
+	// ImportMap (vendoring, module versions).
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tc := &types.Config{
+		Importer: &mapImporter{
+			imp:       importer.ForCompiler(fset, compiler, lookup),
+			importMap: cfg.ImportMap,
+		},
+		Sizes: types.SizesFor(compiler, "amd64"),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return analyzers.RunPackage(fset, files, pkg, info), nil
+}
+
+type mapImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.imp.Import(path)
+}
+
+func selfHash() []byte {
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	return h.Sum(nil)
+}

@@ -1,0 +1,192 @@
+// Package analyzers implements imprintvet, a static-analysis suite
+// enforcing the engine's project-specific invariants — the documented
+// lock order and lock balance (locksafe), snapshot discipline over
+// guarded fields (snapshotsafe), deterministic merge output
+// (detmerge), and allocation-free hot paths (hotalloc).
+//
+// The suite is built directly on go/ast and go/types (the build
+// environment vendors no external modules), exposing the same shape as
+// golang.org/x/tools/go/analysis: an Analyzer runs over one
+// type-checked package through a Pass and reports position-anchored
+// diagnostics. cmd/imprintvet adapts the suite to the `go vet
+// -vettool` protocol so it runs over every package in CI.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Pass carries one package's worth of inputs to an analyzer and
+// collects its diagnostics.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Idx   *Index
+
+	analyzer string
+	diags    []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Suite returns the analyzers in their canonical order.
+func Suite() []*Analyzer {
+	return []*Analyzer{Locksafe, Snapshotsafe, Detmerge, Hotalloc}
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunPackage runs the full suite over one type-checked package:
+// test files are excluded, //imprintvet:allow suppressions are
+// honored (and must each suppress something — a stale allow is itself
+// a diagnostic), and malformed directives are reported. Diagnostics
+// come back sorted by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	files = nonTestFiles(fset, files)
+	ix := buildIndex(fset, files, info)
+
+	var all []Diagnostic
+	for _, a := range Suite() {
+		all = append(all, runOne(a, fset, files, pkg, info, ix)...)
+	}
+	all = applyAllows(all, ix)
+
+	for _, pr := range ix.Problems {
+		all = append(all, Diagnostic{Pos: fset.Position(pr.pos), Analyzer: "imprintvet", Message: pr.msg})
+	}
+	for _, al := range ix.Allows {
+		if !al.Used {
+			all = append(all, Diagnostic{
+				Pos:      fset.Position(al.Pos),
+				Analyzer: "imprintvet",
+				Message:  fmt.Sprintf("stale //imprintvet:allow %s: no %s diagnostic here anymore — remove it", al.Analyzer, al.Analyzer),
+			})
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Message < all[j].Message
+	})
+	return all
+}
+
+// RunAnalyzer runs a single analyzer without suppression filtering —
+// the raw view the fixture tests assert against.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	files = nonTestFiles(fset, files)
+	ix := buildIndex(fset, files, info)
+	return runOne(a, fset, files, pkg, info, ix)
+}
+
+func runOne(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, ix *Index) []Diagnostic {
+	p := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, Idx: ix, analyzer: a.Name}
+	a.Run(p)
+	return p.diags
+}
+
+// applyAllows drops diagnostics covered by an //imprintvet:allow on
+// the same line or the line directly above, marking the allows used.
+func applyAllows(diags []Diagnostic, ix *Index) []Diagnostic {
+	if len(ix.Allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, al := range ix.Allows {
+			if al.Analyzer != d.Analyzer || al.File != d.Pos.Filename {
+				continue
+			}
+			if al.Line == d.Pos.Line || al.Line == d.Pos.Line-1 {
+				al.Used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func nonTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	kept := make([]*ast.File, 0, len(files))
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// funcDecls yields every function declaration with a body, paired with
+// its types object.
+func funcDecls(files []*ast.File, info *types.Info) []funcDecl {
+	var out []funcDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcDecl{decl: fd, obj: info.Defs[fd.Name]})
+		}
+	}
+	return out
+}
+
+type funcDecl struct {
+	decl *ast.FuncDecl
+	obj  types.Object
+}

@@ -1,0 +1,168 @@
+// Package analyzertest runs analyzer fixtures: small packages under
+// testdata/src annotated with `// want "regexp"` comments naming the
+// diagnostics each line must produce. It mirrors the x/tools
+// analysistest contract on the stdlib toolchain — fixtures are
+// type-checked with the source importer so no compiled stdlib or
+// module cache is needed.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+var (
+	loadMu sync.Mutex
+	fset   = token.NewFileSet()
+	srcImp types.Importer
+)
+
+// Run type-checks the fixture package in dir and asserts that one
+// analyzer's raw diagnostics (no suppression) match its want
+// comments.
+func Run(t *testing.T, an *analyzers.Analyzer, dir string) {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	files, pkg, info := load(t, dir)
+	compare(t, files, analyzers.RunAnalyzer(an, fset, files, pkg, info))
+}
+
+// RunSuite runs the full suite with suppression and directive
+// validation (analyzers.RunPackage) over the fixture — the mode that
+// exercises //imprintvet:allow handling.
+func RunSuite(t *testing.T, dir string) {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	files, pkg, info := load(t, dir)
+	compare(t, files, analyzers.RunPackage(fset, files, pkg, info))
+}
+
+func load(t *testing.T, dir string) ([]*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	if srcImp == nil {
+		srcImp = importer.ForCompiler(fset, "source", nil)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: srcImp}
+	pkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return files, pkg, info
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	src  string
+	used bool
+}
+
+var quoted = regexp.MustCompile(`"([^"]*)"`)
+
+// wants extracts the expectations: a comment of the form
+// `// want "re"` (or any comment with a trailing `// want "re"`,
+// so directive comments can carry expectations too). Backslashes in
+// the pattern are regexp syntax, taken verbatim.
+func wants(t *testing.T, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				var spec string
+				if s, ok := strings.CutPrefix(text, "want "); ok {
+					spec = s
+				} else if i := strings.Index(text, "// want "); i >= 0 {
+					spec = text[i+len("// want "):]
+				} else {
+					continue
+				}
+				ms := quoted.FindAllStringSubmatch(spec, -1)
+				if len(ms) == 0 {
+					t.Fatalf(`%s: malformed want comment %q (need "regexp")`, fset.Position(c.Pos()), c.Text)
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, src: m[1]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func compare(t *testing.T, files []*ast.File, diags []analyzers.Diagnostic) {
+	t.Helper()
+	ws := wants(t, files)
+	var surplus []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range ws {
+			if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			surplus = append(surplus, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range ws {
+		if !w.used {
+			surplus = append(surplus, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.src))
+		}
+	}
+	sort.Strings(surplus)
+	for _, s := range surplus {
+		t.Error(s)
+	}
+}

@@ -1,0 +1,404 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation grammar. Directives are machine-readable comments (no
+// space after //, like //go:build) that wire the engine's concurrency
+// and determinism conventions into checkable form:
+//
+//	//imprintvet:lockorder sealMu,mu,tokens,kid
+//	    Package scope: the total acquisition order of lock classes.
+//	    Acquiring a class while holding a later one is a violation.
+//
+//	//imprintvet:locks held=mu.R acquires=sealMu returns-held=tokens releases=tokens
+//	    Function scope (doc comment). held= declares locks the caller
+//	    must hold on entry (".R" = read lock suffices; a write hold
+//	    always satisfies a read requirement). acquires= summarizes
+//	    classes the function takes and releases internally (order is
+//	    checked at call sites). returns-held= / releases= mark
+//	    functions that transfer lock ownership across the call; their
+//	    bodies are checked in "loose" mode (order and upgrades only,
+//	    no balance accounting).
+//
+//	//imprintvet:snapshot
+//	    Function scope: the function operates on a captured snapshot
+//	    (deltaView et al.) — guarded-field reads inside it are exempt.
+//
+//	//imprintvet:hotpath
+//	    Function scope: hotalloc flags heap allocations inside.
+//
+//	//imprintvet:guarded by=mu
+//	    Struct-field scope (field doc or trailing comment): reads and
+//	    writes of the field require the named lock class held (writes
+//	    require the write lock).
+//
+//	//imprintvet:allow <analyzer> <reason>
+//	    Suppresses diagnostics of one analyzer on the same line or the
+//	    line directly below. A reason is mandatory, and unused allows
+//	    are themselves diagnostics — stale suppressions fail the build.
+//
+// Lock classes are derived from the lock expression: the mutex field
+// name ("t.mu" -> mu, "sh.tokens[c]" -> tokens, "d.sealMu" -> sealMu).
+// One naming convention refines that: expressions rooted at an
+// identifier containing "kid" (the shard children; "kid.mu",
+// "sh.kids[c]") map class mu to class kid, both for direct Lock calls
+// and for annotated-call summaries, so the parent -> tokens -> kid
+// hierarchy of shard.go is visible to the order check even though
+// parent and kid locks are the same struct field.
+const directivePrefix = "//imprintvet:"
+
+// LockRef names one lock class, optionally read-mode ("mu.R").
+type LockRef struct {
+	Class string
+	Read  bool
+}
+
+func (r LockRef) String() string {
+	if r.Read {
+		return r.Class + ".R"
+	}
+	return r.Class
+}
+
+// FuncLocks is a function's parsed //imprintvet:locks directive.
+type FuncLocks struct {
+	Held        []LockRef
+	Acquires    []LockRef
+	ReturnsHeld []LockRef
+	Releases    []LockRef
+}
+
+// Loose reports whether the function transfers lock ownership across
+// its boundary, limiting what the balance checker can prove.
+func (l *FuncLocks) Loose() bool {
+	return len(l.ReturnsHeld) > 0 || len(l.Releases) > 0
+}
+
+// FuncAnn is everything annotated on one function.
+type FuncAnn struct {
+	Locks    *FuncLocks
+	Snapshot bool
+	Hotpath  bool
+}
+
+// Allow is one //imprintvet:allow suppression.
+type Allow struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	Used     bool
+}
+
+// Index holds a package's parsed annotations.
+type Index struct {
+	Order    []string // lockorder classes, in declared order
+	orderPos map[string]int
+	Funcs    map[types.Object]*FuncAnn
+	Guards   map[*types.Var]string // field -> guard class
+	Allows   []*Allow
+	Problems []problem // malformed or dangling directives
+}
+
+type problem struct {
+	pos token.Pos
+	msg string
+}
+
+// OrderPos returns a class's position in the declared lock order, or
+// -1 when the class is unordered.
+func (ix *Index) OrderPos(class string) int {
+	if p, ok := ix.orderPos[class]; ok {
+		return p
+	}
+	return -1
+}
+
+// FuncAnnOf resolves the annotation of the function a call lands on,
+// nil when unannotated (or not resolvable within this package's
+// type information).
+func (ix *Index) FuncAnnOf(obj types.Object) *FuncAnn {
+	if obj == nil {
+		return nil
+	}
+	if f, ok := obj.(*types.Func); ok {
+		obj = f.Origin()
+	}
+	return ix.Funcs[obj]
+}
+
+// GuardOf returns the guard class of a struct field, "" when the
+// field is unguarded.
+func (ix *Index) GuardOf(field *types.Var) string {
+	if field == nil {
+		return ""
+	}
+	return ix.Guards[field.Origin()]
+}
+
+// buildIndex parses every directive in the package files.
+func buildIndex(fset *token.FileSet, files []*ast.File, info *types.Info) *Index {
+	ix := &Index{
+		orderPos: map[string]int{},
+		Funcs:    map[types.Object]*FuncAnn{},
+		Guards:   map[*types.Var]string{},
+	}
+	consumed := map[*ast.Comment]bool{}
+
+	for _, f := range files {
+		// Declaration-attached directives: function doc comments and
+		// struct-field doc/line comments.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ix.parseFuncDirectives(n, info, consumed)
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					ix.parseFieldDirectives(field, info, consumed)
+				}
+			case *ast.InterfaceType:
+				// Interface methods carry the same function directives as
+				// FuncDecls: calls dispatched through the interface resolve
+				// to the interface method object, so this is where held=
+				// contracts on polymorphic column hooks live.
+				for _, m := range n.Methods.List {
+					ix.parseMethodDirectives(m, info, consumed)
+				}
+			}
+			return true
+		})
+		// Free-floating directives: lockorder, allow. Anything else not
+		// consumed by a declaration is dangling.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kind, rest, ok := splitDirective(c.Text)
+				if !ok || consumed[c] {
+					continue
+				}
+				switch kind {
+				case "lockorder":
+					ix.parseLockOrder(c.Pos(), rest)
+				case "allow":
+					ix.parseAllow(fset, c, rest)
+				case "locks", "snapshot", "hotpath", "guarded":
+					ix.problemf(c.Pos(), "imprintvet:%s directive is not attached to a declaration", kind)
+				default:
+					ix.problemf(c.Pos(), "unknown imprintvet directive %q", kind)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *Index) problemf(pos token.Pos, format string, args ...any) {
+	ix.Problems = append(ix.Problems, problem{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// splitDirective recognizes an //imprintvet: comment and returns its
+// kind and argument text.
+func splitDirective(text string) (kind, rest string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	body := strings.TrimPrefix(text, directivePrefix)
+	kind, rest, _ = strings.Cut(body, " ")
+	return strings.TrimSpace(kind), strings.TrimSpace(rest), true
+}
+
+func (ix *Index) parseFuncDirectives(decl *ast.FuncDecl, info *types.Info, consumed map[*ast.Comment]bool) {
+	ix.parseFuncAnn(decl.Doc, decl.Name, info, consumed)
+}
+
+// parseMethodDirectives handles one interface method (a *ast.Field with
+// a function type): its doc comment may carry the same locks/snapshot/
+// hotpath directives a FuncDecl doc does.
+func (ix *Index) parseMethodDirectives(m *ast.Field, info *types.Info, consumed map[*ast.Comment]bool) {
+	if len(m.Names) != 1 {
+		return // embedded interface; its own declaration carries directives
+	}
+	ix.parseFuncAnn(m.Doc, m.Names[0], info, consumed)
+	ix.parseFuncAnn(m.Comment, m.Names[0], info, consumed)
+}
+
+func (ix *Index) parseFuncAnn(doc *ast.CommentGroup, name *ast.Ident, info *types.Info, consumed map[*ast.Comment]bool) {
+	if doc == nil {
+		return
+	}
+	var ann FuncAnn
+	found := false
+	for _, c := range doc.List {
+		kind, rest, ok := splitDirective(c.Text)
+		if !ok {
+			continue
+		}
+		consumed[c] = true
+		switch kind {
+		case "locks":
+			locks, err := parseFuncLocks(rest)
+			if err != nil {
+				ix.problemf(c.Pos(), "bad imprintvet:locks directive: %v", err)
+				continue
+			}
+			ann.Locks = locks
+			found = true
+		case "snapshot":
+			ann.Snapshot = true
+			found = true
+		case "hotpath":
+			ann.Hotpath = true
+			found = true
+		case "allow", "lockorder":
+			consumed[c] = false // handled by the free-floating scan
+		default:
+			ix.problemf(c.Pos(), "unknown imprintvet directive %q", kind)
+		}
+	}
+	if !found {
+		return
+	}
+	obj := info.Defs[name]
+	if obj == nil {
+		return
+	}
+	if prev, ok := ix.Funcs[obj]; ok {
+		// Doc and line comments of one interface method merge.
+		if ann.Locks != nil {
+			prev.Locks = ann.Locks
+		}
+		prev.Snapshot = prev.Snapshot || ann.Snapshot
+		prev.Hotpath = prev.Hotpath || ann.Hotpath
+		return
+	}
+	ix.Funcs[obj] = &ann
+}
+
+func parseFuncLocks(rest string) (*FuncLocks, error) {
+	if rest == "" {
+		return nil, fmt.Errorf("empty locks directive")
+	}
+	locks := &FuncLocks{}
+	for _, item := range strings.Fields(rest) {
+		key, val, ok := strings.Cut(item, "=")
+		if !ok || val == "" {
+			return nil, fmt.Errorf("want key=class[,class...], got %q", item)
+		}
+		refs, err := parseLockRefs(val)
+		if err != nil {
+			return nil, err
+		}
+		switch key {
+		case "held":
+			locks.Held = append(locks.Held, refs...)
+		case "acquires":
+			locks.Acquires = append(locks.Acquires, refs...)
+		case "returns-held":
+			locks.ReturnsHeld = append(locks.ReturnsHeld, refs...)
+		case "releases":
+			locks.Releases = append(locks.Releases, refs...)
+		default:
+			return nil, fmt.Errorf("unknown locks key %q", key)
+		}
+	}
+	return locks, nil
+}
+
+func parseLockRefs(val string) ([]LockRef, error) {
+	var refs []LockRef
+	for _, part := range strings.Split(val, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty lock class in %q", val)
+		}
+		ref := LockRef{Class: part}
+		if cls, ok := strings.CutSuffix(part, ".R"); ok {
+			ref = LockRef{Class: cls, Read: true}
+		}
+		if strings.Contains(ref.Class, ".") {
+			return nil, fmt.Errorf("lock class %q must be a bare class name (optionally .R)", part)
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
+}
+
+func (ix *Index) parseFieldDirectives(field *ast.Field, info *types.Info, consumed map[*ast.Comment]bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			kind, rest, ok := splitDirective(c.Text)
+			if !ok || kind != "guarded" {
+				continue
+			}
+			consumed[c] = true
+			val, found := strings.CutPrefix(rest, "by=")
+			if !found || val == "" || strings.ContainsAny(val, " .,") {
+				ix.problemf(c.Pos(), "bad imprintvet:guarded directive: want by=<class>, got %q", rest)
+				continue
+			}
+			if len(field.Names) == 0 {
+				ix.problemf(c.Pos(), "imprintvet:guarded on an embedded field is not supported")
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					ix.Guards[v] = val
+				}
+			}
+		}
+	}
+}
+
+func (ix *Index) parseLockOrder(pos token.Pos, rest string) {
+	if len(ix.Order) > 0 {
+		ix.problemf(pos, "duplicate imprintvet:lockorder (first order wins)")
+		return
+	}
+	for _, cls := range strings.Split(rest, ",") {
+		cls = strings.TrimSpace(cls)
+		if cls == "" {
+			ix.problemf(pos, "bad imprintvet:lockorder %q: empty class", rest)
+			return
+		}
+		if _, dup := ix.orderPos[cls]; dup {
+			ix.problemf(pos, "bad imprintvet:lockorder %q: class %s repeats", rest, cls)
+			return
+		}
+		ix.orderPos[cls] = len(ix.Order)
+		ix.Order = append(ix.Order, cls)
+	}
+}
+
+func (ix *Index) parseAllow(fset *token.FileSet, c *ast.Comment, rest string) {
+	analyzer, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	if analyzer == "" {
+		ix.problemf(c.Pos(), "imprintvet:allow needs an analyzer name and a reason")
+		return
+	}
+	if !knownAnalyzer(analyzer) {
+		ix.problemf(c.Pos(), "imprintvet:allow names unknown analyzer %q", analyzer)
+		return
+	}
+	if reason == "" {
+		ix.problemf(c.Pos(), "imprintvet:allow %s needs a justification", analyzer)
+		return
+	}
+	p := fset.Position(c.Pos())
+	ix.Allows = append(ix.Allows, &Allow{
+		File:     p.Filename,
+		Line:     p.Line,
+		Analyzer: analyzer,
+		Reason:   reason,
+		Pos:      c.Pos(),
+	})
+}

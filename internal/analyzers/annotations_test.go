@@ -1,0 +1,127 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one import-free source text and runs the full
+// suite over it.
+func checkSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return RunPackage(fset, []*ast.File{f}, pkg, info)
+}
+
+// TestDirectiveValidation pins the meta checks: malformed or dangling
+// //imprintvet: directives are diagnostics in their own right, so a
+// typo cannot silently disable an invariant.
+func TestDirectiveValidation(t *testing.T) {
+	diags := checkSrc(t, `package p
+
+//imprintvet:allow locksafe
+
+//imprintvet:bogus x
+
+var x int //imprintvet:hotpath
+
+type s struct {
+	f int //imprintvet:guarded by=
+}
+
+//imprintvet:locks held=
+func g() {}
+`)
+	wantSubstrings := []string{
+		"needs a justification",
+		`unknown imprintvet directive "bogus"`,
+		"imprintvet:hotpath directive is not attached to a declaration",
+		"bad imprintvet:guarded directive",
+		"bad imprintvet:locks directive",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "imprintvet" && strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no imprintvet diagnostic containing %q in %v", want, diags)
+		}
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(diags), len(wantSubstrings), diags)
+	}
+}
+
+// TestLockOrderValidation pins duplicate/empty lockorder handling.
+func TestLockOrderValidation(t *testing.T) {
+	diags := checkSrc(t, `package p
+
+//imprintvet:lockorder a,b
+
+//imprintvet:lockorder c,d
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "duplicate imprintvet:lockorder") {
+		t.Errorf("want one duplicate-lockorder diagnostic, got %v", diags)
+	}
+
+	diags = checkSrc(t, `package p
+
+//imprintvet:lockorder a,a
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "class a repeats") {
+		t.Errorf("want one repeated-class diagnostic, got %v", diags)
+	}
+}
+
+// TestTestFilesExcluded verifies _test.go files are neither analyzed
+// nor allowed to carry suppressions.
+func TestTestFilesExcluded(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p_test.go", `package p
+
+//imprintvet:hotpath
+func hot() []int {
+	return make([]int, 1)
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	if diags := RunPackage(fset, []*ast.File{f}, pkg, info); len(diags) != 0 {
+		t.Errorf("test file produced diagnostics: %v", diags)
+	}
+}

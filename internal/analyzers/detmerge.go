@@ -1,0 +1,177 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Detmerge guards the byte-identity invariant: results must not
+// depend on Go's randomized map iteration order. It flags a `range`
+// over a map whose body appends to a slice declared outside the loop,
+// unless the slice is sorted later in the same function — the
+// canonical guarded shape is groupby's "collect keys, sort.Slice,
+// emit". Order-insensitive sinks (feeding a map, counting) are not
+// flagged; intentional exceptions carry //imprintvet:allow detmerge.
+var Detmerge = &Analyzer{
+	Name: "detmerge",
+	Doc:  "check that map-ordered iteration cannot reach result slices unsorted",
+	Run:  runDetmerge,
+}
+
+func runDetmerge(p *Pass) {
+	for _, fd := range funcDecls(p.Files, p.Info) {
+		checkDetmerge(p, fd.decl.Body)
+	}
+}
+
+func checkDetmerge(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := p.Info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, tgt := range mapOrderAppends(p, rs) {
+			if !sortedAfter(p, body, rs, tgt) {
+				p.Reportf(tgt.pos.Pos(), "%s accumulates map-iteration-ordered values from the range at line %d and is never sorted in this function; sort it before it reaches a result",
+					tgt.name, p.Fset.Position(rs.Pos()).Line)
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget is one `v = append(v, ...)` sink inside a map range.
+type appendTarget struct {
+	name string       // rendered target expression
+	obj  types.Object // non-nil for plain identifiers
+	pos  ast.Node     // the append assignment, for reporting
+}
+
+// mapOrderAppends collects appends inside the range body whose target
+// outlives the loop.
+func mapOrderAppends(p *Pass, rs *ast.RangeStmt) []appendTarget {
+	var out []appendTarget
+	seen := map[string]bool{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(p.Info, call) {
+				continue
+			}
+			tgt, ok := appendTargetOf(p, as.Lhs[i], rs)
+			if !ok || seen[tgt.name] {
+				continue
+			}
+			seen[tgt.name] = true
+			tgt.pos = as
+			out = append(out, tgt)
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// appendTargetOf resolves an append's destination, rejecting targets
+// scoped inside the loop body (per-iteration slices are fine).
+func appendTargetOf(p *Pass, lhs ast.Expr, rs *ast.RangeStmt) (appendTarget, bool) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		obj := p.Info.ObjectOf(lhs)
+		if obj == nil || lhs.Name == "_" {
+			return appendTarget{}, false
+		}
+		if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+			return appendTarget{}, false
+		}
+		return appendTarget{name: lhs.Name, obj: obj}, true
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return appendTarget{name: types.ExprString(lhs)}, true
+	}
+	return appendTarget{}, false
+}
+
+// sortedAfter reports whether a sort call over the target appears
+// after the range statement in the same function.
+func sortedAfter(p *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, tgt appendTarget) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		if !isSortCall(call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(p, arg, tgt) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes the sort and slices ordering entry points.
+func isSortCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch pkg.Name {
+	case "sort":
+		return true // sort.Slice, sort.Sort, sort.Strings, ...
+	case "slices":
+		return strings.HasPrefix(sel.Sel.Name, "Sort")
+	}
+	return false
+}
+
+// refersTo reports whether an expression mentions the append target
+// (by object for identifiers, by rendered text otherwise).
+func refersTo(p *Pass, x ast.Expr, tgt appendTarget) bool {
+	found := false
+	ast.Inspect(x, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if tgt.obj != nil && p.Info.ObjectOf(n) == tgt.obj {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if tgt.obj == nil && types.ExprString(n) == tgt.name {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

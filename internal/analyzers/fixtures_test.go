@@ -1,0 +1,28 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/analyzers"
+	"repro/internal/analyzers/analyzertest"
+)
+
+func TestLocksafeFixture(t *testing.T) {
+	analyzertest.Run(t, analyzers.Locksafe, "testdata/src/locksafe")
+}
+
+func TestSnapshotsafeFixture(t *testing.T) {
+	analyzertest.Run(t, analyzers.Snapshotsafe, "testdata/src/snapshotsafe")
+}
+
+func TestDetmergeFixture(t *testing.T) {
+	analyzertest.Run(t, analyzers.Detmerge, "testdata/src/detmerge")
+}
+
+func TestHotallocFixture(t *testing.T) {
+	analyzertest.Run(t, analyzers.Hotalloc, "testdata/src/hotalloc")
+}
+
+func TestAllowSuppression(t *testing.T) {
+	analyzertest.RunSuite(t, "testdata/src/allow")
+}

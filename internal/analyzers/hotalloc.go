@@ -1,0 +1,157 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc locks in the zero-allocation discipline of functions
+// annotated //imprintvet:hotpath (the serial prepared-Count spine and
+// the pooled-scratch kernels): inside one it flags the constructs
+// that heap-allocate per call —
+//
+//   - make/new and slice/map composite literals,
+//   - address-of composite literals (escaping composites),
+//   - append to a function-local slice (growth is not amortized by a
+//     pool the way field- and parameter-backed scratch is),
+//   - function literals (closure capture),
+//   - string concatenation and string<->[]byte conversions,
+//   - fmt.* calls.
+//
+// Amortized or intentional allocations carry an
+// //imprintvet:allow hotalloc suppression with the justification.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap allocations inside //imprintvet:hotpath functions",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(p *Pass) {
+	for _, fd := range funcDecls(p.Files, p.Info) {
+		ann := p.Idx.FuncAnnOf(fd.obj)
+		if ann == nil || !ann.Hotpath {
+			continue
+		}
+		checkHotalloc(p, fd.decl)
+	}
+}
+
+func checkHotalloc(p *Pass, fd *ast.FuncDecl) {
+	body := fd.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "function literal in hot path allocates a closure per call; hoist it or pass state explicitly")
+			return false // the literal runs in its own frame
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "address-of composite literal escapes to the heap in a hot path")
+					return false
+				}
+			}
+
+		case *ast.CompositeLit:
+			switch p.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(n.Pos(), "%s literal allocates in a hot path", typeKind(p.Info.TypeOf(n)))
+			}
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(p.Info.TypeOf(n.X)) {
+				p.Reportf(n.Pos(), "string concatenation allocates in a hot path")
+			}
+
+		case *ast.CallExpr:
+			hotallocCall(p, body, n)
+		}
+		return true
+	})
+}
+
+func hotallocCall(p *Pass, body *ast.BlockStmt, call *ast.CallExpr) {
+	// Conversions: T(x) where T is a type.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := p.Info.TypeOf(call.Fun), p.Info.TypeOf(call.Args[0])
+		if isStringBytes(to, from) || isStringBytes(from, to) {
+			p.Reportf(call.Pos(), "string/[]byte conversion copies and allocates in a hot path")
+		}
+		return
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				p.Reportf(call.Pos(), "%s allocates in a hot path; use pooled or preallocated scratch", b.Name())
+			case "append":
+				if tgt, ok := localAppendTarget(p, body, call); ok {
+					p.Reportf(call.Pos(), "append to function-local %s can grow per call in a hot path; back it with pooled or caller-owned scratch", tgt)
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok && pkg.Name == "fmt" {
+			if _, isPkg := p.Info.Uses[pkg].(*types.PkgName); isPkg {
+				p.Reportf(call.Pos(), "fmt.%s allocates (interface boxing and formatting) in a hot path", fun.Sel.Name)
+			}
+		}
+	}
+}
+
+// localAppendTarget reports appends whose destination slice lives only
+// in this function — growth there is a per-call allocation, unlike
+// appends into caller-owned or pooled field scratch.
+func localAppendTarget(p *Pass, body *ast.BlockStmt, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return "", false
+	}
+	if obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+		return id.Name, true
+	}
+	return "", false // parameter or field-backed: assumed pooled
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringBytes(a, b types.Type) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if !isString(a) {
+		return false
+	}
+	sl, ok := b.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	el, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (el.Kind() == types.Byte || el.Kind() == types.Rune || el.Kind() == types.Uint8 || el.Kind() == types.Int32)
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

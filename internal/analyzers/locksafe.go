@@ -1,0 +1,129 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Locksafe enforces the engine's lock discipline on every function:
+//
+//   - every Lock/RLock is released on every return path (directly or
+//     by a deferred unlock);
+//   - no RLock -> Lock upgrade on the same mutex (an upgrade
+//     self-deadlocks under sync.RWMutex);
+//   - no re-acquisition of a lock class already held (sync mutexes are
+//     not reentrant);
+//   - acquisitions respect the declared //imprintvet:lockorder;
+//   - calls into //imprintvet:locks held= functions happen with the
+//     required locks held.
+//
+// Functions annotated returns-held=/releases= transfer ownership and
+// are checked in loose mode (order + upgrades only).
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "check lock balance, upgrades, and the declared lock order",
+	Run:  runLocksafe,
+}
+
+func runLocksafe(p *Pass) {
+	for _, fd := range funcDecls(p.Files, p.Info) {
+		ann := p.Idx.FuncAnnOf(fd.obj)
+		var locks *FuncLocks
+		if ann != nil {
+			locks = ann.Locks
+		}
+		lockScope(p, fd.decl.Body, locks, nil)
+	}
+}
+
+// lockScope interprets one function scope (declaration or literal).
+// lexical is the lock state captured at a literal's creation point —
+// holds the literal can rely on but does not own.
+func lockScope(p *Pass, body *ast.BlockStmt, locks *FuncLocks, lexical lockState) {
+	loose := locks != nil && locks.Loose()
+	tr := &tracer{info: p.Info, idx: p.Idx, loose: loose}
+
+	seed := lexical.clone()
+	if locks != nil {
+		seed = append(seed, seedState(locks.Held, body.Pos())...)
+	}
+
+	tr.onAcquire = func(pos token.Pos, nl heldLock, held lockState) {
+		checkAcquire(p, pos, nl, held, loose)
+	}
+	tr.onBadRelease = func(pos token.Pos, key string, read bool) {
+		op := "Unlock"
+		if read {
+			op = "RUnlock"
+		}
+		p.Reportf(pos, "%s of %s which is not held on this path", op, key)
+	}
+	tr.onExit = func(pos token.Pos, leaked lockState) {
+		if loose {
+			return
+		}
+		for _, l := range leaked {
+			p.Reportf(l.pos, "%s is locked here but not released on the return path at line %d",
+				l.key, p.Fset.Position(pos).Line)
+		}
+	}
+	tr.onMismatch = func(pos token.Pos, what string, a, b lockState) {
+		p.Reportf(pos, "lock state diverges across %s: %s vs %s (annotate returns-held=/releases= if ownership transfer is intended)",
+			what, describe(a), describe(b))
+	}
+	tr.onCallReq = func(pos token.Pos, callee string, req LockRef, ok bool) {
+		if !ok {
+			p.Reportf(pos, "call to %s requires %s held (//imprintvet:locks held=%s) but it is not on this path",
+				callee, req, req)
+		}
+	}
+	tr.onUnhandled = func(pos token.Pos, what string) {
+		p.Reportf(pos, "locksafe cannot follow %s", what)
+	}
+	tr.onFuncLit = func(lit *ast.FuncLit, st lockState) {
+		// A literal's body is its own scope: it may rely on the locks
+		// lexically held where it was created (segment callbacks run
+		// under the coordinator's read lock) but must balance its own.
+		inherited := st.clone()
+		for i := range inherited {
+			inherited[i].seeded = true
+		}
+		lockScope(p, lit.Body, nil, inherited)
+	}
+
+	tr.run(body, seed)
+}
+
+// checkAcquire validates one acquisition (direct or summarized)
+// against the current holds: upgrades, re-entry, and declared order.
+func checkAcquire(p *Pass, pos token.Pos, nl heldLock, held lockState, loose bool) {
+	for _, h := range held {
+		if h.key == nl.key {
+			if h.read && !nl.read {
+				p.Reportf(pos, "lock upgrade: %s is read-locked and Lock would deadlock; release the read lock first", nl.key)
+			} else {
+				p.Reportf(pos, "%s is already held (acquired at line %d); sync mutexes are not reentrant",
+					nl.key, p.Fset.Position(h.pos).Line)
+			}
+			return
+		}
+	}
+	for _, h := range held {
+		if h.class == nl.class {
+			// Two holds of one class are distinct instances only in
+			// ownership-transfer code (the shard kid loops) — loose
+			// scopes suppress this, everything else reports.
+			if !loose {
+				p.Reportf(pos, "acquiring %s while %s of the same lock class %q is held", nl.key, h.key, nl.class)
+				return
+			}
+			continue
+		}
+		hp, np := p.Idx.OrderPos(h.class), p.Idx.OrderPos(nl.class)
+		if hp >= 0 && np >= 0 && np < hp {
+			p.Reportf(pos, "lock order violation: acquiring %s (class %s) while holding %s (class %s); declared order is %s before %s",
+				nl.key, nl.class, h.key, h.class, nl.class, h.class)
+			return
+		}
+	}
+}

@@ -1,0 +1,686 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The lock interpreter walks one function body statement by statement,
+// tracking the multiset of sync.Mutex / sync.RWMutex holds as an
+// abstract state. It is intra-procedural; annotated callees
+// (//imprintvet:locks) act as summaries at their call sites. Branches
+// are walked with copies of the state and merged at the join; loops
+// are walked once and must be lock-balanced. Functions annotated
+// returns-held= / releases= transfer ownership across their boundary,
+// so their bodies run in "loose" mode: order and upgrade checks stay
+// on, balance accounting is off.
+
+// heldLock is one abstract lock hold.
+type heldLock struct {
+	class  string    // lock class (mu, sealMu, tokens, kid, ...)
+	key    string    // rendered source expression, for same-lock upgrade checks
+	read   bool      // read-mode hold
+	pos    token.Pos // acquisition site
+	seeded bool      // from a held= annotation: the caller's hold, never released here
+}
+
+type lockState []heldLock
+
+func (st lockState) clone() lockState {
+	return append(lockState(nil), st...)
+}
+
+// sameShape reports whether two states hold the same multiset of
+// (class, read) pairs — the merge-consistency criterion at branch
+// joins.
+func sameShape(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := map[[2]string]int{}
+	mode := func(read bool) string {
+		if read {
+			return "R"
+		}
+		return "W"
+	}
+	for _, l := range a {
+		counts[[2]string{l.class, mode(l.read)}]++
+	}
+	for _, l := range b {
+		counts[[2]string{l.class, mode(l.read)}]--
+	}
+	for _, n := range counts {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func describe(st lockState) string {
+	if len(st) == 0 {
+		return "no locks"
+	}
+	parts := make([]string, len(st))
+	for i, l := range st {
+		parts[i] = l.key
+		if l.read {
+			parts[i] += "(R)"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// tracer runs the interpreter over one function. Hooks are optional;
+// locksafe wires the violation hooks, snapshotsafe wires onStmt.
+type tracer struct {
+	info  *types.Info
+	idx   *Index
+	loose bool
+
+	// deferred unlocks registered so far, applied (best effort, as
+	// optional releases) at every exit.
+	deferred []heldLock
+
+	onAcquire    func(pos token.Pos, nl heldLock, held lockState)         // before push
+	onBadRelease func(pos token.Pos, key string, read bool)               // unlock with no matching hold
+	onExit       func(pos token.Pos, leaked lockState)                    // non-seeded holds left at a return
+	onMismatch   func(pos token.Pos, what string, a, b lockState)         // branch-join or loop imbalance
+	onCallReq    func(pos token.Pos, callee string, req LockRef, ok bool) // held= requirement at a call
+	onStmt       func(n ast.Node, held lockState)                         // pre-state of every statement
+	onFuncLit    func(lit *ast.FuncLit, held lockState)                   // nested function literal + lexical state
+	onUnhandled  func(pos token.Pos, what string)                         // patterns the interpreter cannot follow
+}
+
+// run interprets a function body starting from the seed state (the
+// held= annotations of the function).
+func (tr *tracer) run(body *ast.BlockStmt, seed lockState) {
+	st, terminated := tr.stmts(body.List, seed)
+	if !terminated {
+		tr.exit(body.Rbrace, st)
+	}
+}
+
+// seedState builds the entry state from a held= annotation.
+func seedState(held []LockRef, pos token.Pos) lockState {
+	st := make(lockState, 0, len(held))
+	for _, h := range held {
+		st = append(st, heldLock{class: h.Class, key: "<held=" + h.Class + ">", read: h.Read, pos: pos, seeded: true})
+	}
+	return st
+}
+
+// exit applies deferred unlocks and reports any non-seeded leftovers.
+func (tr *tracer) exit(pos token.Pos, st lockState) {
+	st = st.clone()
+	// Deferred releases run in reverse order; each releases a matching
+	// hold if present (a defer guarded by a branch may have nothing to
+	// release on this path — that is fine).
+	for i := len(tr.deferred) - 1; i >= 0; i-- {
+		d := tr.deferred[i]
+		if j := st.find(d.key, d.class, d.read); j >= 0 {
+			st = append(st[:j], st[j+1:]...)
+		}
+	}
+	var leaked lockState
+	for _, l := range st {
+		if !l.seeded {
+			leaked = append(leaked, l)
+		}
+	}
+	if tr.onExit != nil {
+		tr.onExit(pos, leaked)
+	}
+}
+
+// find locates the hold a release matches: prefer the exact source
+// expression, fall back to the class (the same lock reached through an
+// alias), newest first.
+func (st lockState) find(key, class string, read bool) int {
+	for i := len(st) - 1; i >= 0; i-- {
+		if st[i].key == key && st[i].read == read && !st[i].seeded {
+			return i
+		}
+	}
+	for i := len(st) - 1; i >= 0; i-- {
+		if st[i].class == class && st[i].read == read && !st[i].seeded {
+			return i
+		}
+	}
+	return -1
+}
+
+// stmts interprets a statement list. The returned bool is true when
+// every path through the list terminates (return/branch), making the
+// fall-through state meaningless.
+func (tr *tracer) stmts(list []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range list {
+		var terminated bool
+		st, terminated = tr.stmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (tr *tracer) stmt(s ast.Stmt, st lockState) (lockState, bool) {
+	if s == nil {
+		return st, false
+	}
+	if tr.onStmt != nil {
+		tr.onStmt(s, st)
+	}
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return tr.stmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return tr.stmt(s.Stmt, st)
+
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		return tr.calls(s, st), false
+
+	case *ast.DeferStmt:
+		tr.funcLits(s.Call, st)
+		tr.deferCall(s.Call, st)
+		return st, false
+
+	case *ast.GoStmt:
+		// The goroutine call itself runs later; only surface a literal
+		// body (with its lexical state) to the hook.
+		tr.funcLits(s.Call, st)
+		return st, false
+
+	case *ast.ReturnStmt:
+		st = tr.calls(s, st)
+		tr.exit(s.Pos(), st)
+		return st, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the walked region; treat as a
+		// terminator so TryLock-style "if fail { continue }" patterns
+		// keep the success state on the fall-through path.
+		return st, true
+
+	case *ast.IfStmt:
+		return tr.ifStmt(s, st)
+
+	case *ast.ForStmt:
+		st = tr.stmtPair(s.Init, st).first()
+		body, _ := tr.stmts(s.Body.List, st.clone())
+		tr.loopCheck(s.Pos(), st, body)
+		return st, false
+
+	case *ast.RangeStmt:
+		st = tr.calls(s.X, st)
+		body, _ := tr.stmts(s.Body.List, st.clone())
+		tr.loopCheck(s.Pos(), st, body)
+		return st, false
+
+	case *ast.SwitchStmt:
+		st = tr.stmtPair(s.Init, st).first()
+		if s.Tag != nil {
+			st = tr.calls(s.Tag, st)
+		}
+		return tr.clauses(s.Body.List, st, s.Pos())
+
+	case *ast.TypeSwitchStmt:
+		st = tr.stmtPair(s.Init, st).first()
+		return tr.clauses(s.Body.List, st, s.Pos())
+
+	case *ast.SelectStmt:
+		return tr.clauses(s.Body.List, st, s.Pos())
+
+	default:
+		return st, false
+	}
+}
+
+// first adapts stmt's (state, terminated) pair for positions where
+// termination is impossible (for/switch init statements).
+type stPair struct {
+	st   lockState
+	term bool
+}
+
+func (tr *tracer) stmtPair(s ast.Stmt, st lockState) stPair {
+	n, t := tr.stmt(s, st)
+	return stPair{n, t}
+}
+
+func (p stPair) first() lockState { return p.st }
+
+// ifStmt handles branches, including the two supported TryLock forms:
+//
+//	if x.TryLock() { ...holds x... }
+//	if !x.TryLock() { return/continue }  // fall-through holds x
+func (tr *tracer) ifStmt(s *ast.IfStmt, st lockState) (lockState, bool) {
+	st = tr.stmtPair(s.Init, st).first()
+
+	thenSt := st.clone()
+	elseSt := st.clone()
+	if op, ok := tr.lockOp(tryCall(s.Cond, false)); ok {
+		thenSt = tr.acquire(thenSt, op)
+	} else if op, ok := tr.lockOp(tryCall(s.Cond, true)); ok {
+		elseSt = tr.acquire(elseSt, op)
+	} else {
+		st = tr.calls(s.Cond, st)
+		thenSt, elseSt = st.clone(), st.clone()
+	}
+
+	thenOut, thenTerm := tr.stmts(s.Body.List, thenSt)
+	elseOut, elseTerm := elseSt, false
+	if s.Else != nil {
+		elseOut, elseTerm = tr.stmt(s.Else, elseSt)
+	}
+
+	switch {
+	case thenTerm && elseTerm:
+		return thenOut, true
+	case thenTerm:
+		return elseOut, false
+	case elseTerm:
+		return thenOut, false
+	default:
+		if !tr.loose && !sameShape(thenOut, elseOut) && tr.onMismatch != nil {
+			tr.onMismatch(s.Pos(), "if/else branches", thenOut, elseOut)
+		}
+		return thenOut, false
+	}
+}
+
+// clauses merges switch/select clause bodies: every non-terminating
+// clause must leave the same lock shape.
+func (tr *tracer) clauses(list []ast.Stmt, st lockState, pos token.Pos) (lockState, bool) {
+	var outs []lockState
+	sawClause := false
+	for _, cs := range list {
+		var body []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			body = cs.Body
+		case *ast.CommClause:
+			if cs.Comm != nil {
+				if tr.onStmt != nil {
+					tr.onStmt(cs.Comm, st)
+				}
+			}
+			body = cs.Body
+		default:
+			continue
+		}
+		sawClause = true
+		out, term := tr.stmts(body, st.clone())
+		if !term {
+			outs = append(outs, out)
+		}
+	}
+	if !sawClause {
+		return st, false
+	}
+	if len(outs) == 0 {
+		// Every clause terminated. A switch without a default can still
+		// fall through unmatched; keep the entry state.
+		return st, false
+	}
+	for _, o := range outs[1:] {
+		if !tr.loose && !sameShape(outs[0], o) && tr.onMismatch != nil {
+			tr.onMismatch(pos, "switch/select clauses", outs[0], o)
+			break
+		}
+	}
+	return outs[0], false
+}
+
+func (tr *tracer) loopCheck(pos token.Pos, in, out lockState) {
+	if !tr.loose && !sameShape(in, out) && tr.onMismatch != nil {
+		tr.onMismatch(pos, "loop body (state differs after one iteration)", in, out)
+	}
+}
+
+// funcLits hands nested function literals (and their lexical lock
+// state) to the hook, without descending into them here — their bodies
+// are interpreted as their own scopes by the caller.
+func (tr *tracer) funcLits(n ast.Node, st lockState) {
+	if tr.onFuncLit == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			tr.onFuncLit(lit, st.clone())
+			return false
+		}
+		return true
+	})
+}
+
+// calls processes every call expression in a leaf statement (or
+// expression), in source order, surfacing nested function literals to
+// the hook without descending into them.
+func (tr *tracer) calls(s ast.Node, st lockState) lockState {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if tr.onFuncLit != nil {
+				tr.onFuncLit(n, st.clone())
+			}
+			return false
+		case *ast.CallExpr:
+			st = tr.call(n, st)
+		}
+		return true
+	})
+	return st
+}
+
+// call applies one call's lock effects to the state.
+func (tr *tracer) call(call *ast.CallExpr, st lockState) lockState {
+	if op, ok := tr.lockOp(call); ok {
+		switch op.kind {
+		case opLock:
+			return tr.acquire(st, op)
+		case opUnlock:
+			return tr.release(st, op)
+		case opTry:
+			// A TryLock outside the two supported if-forms: the hold
+			// becomes conditional in a way the interpreter cannot track.
+			if tr.onUnhandled != nil && !tr.loose {
+				tr.onUnhandled(call.Pos(), "TryLock outside `if x.TryLock()` / `if !x.TryLock()`")
+			}
+			return st
+		}
+	}
+	return tr.summaryCall(call, st)
+}
+
+type opKind int
+
+const (
+	opNone opKind = iota
+	opLock
+	opUnlock
+	opTry
+)
+
+type lockOp struct {
+	kind  opKind
+	class string
+	key   string
+	read  bool
+	pos   token.Pos
+}
+
+// tryCall unwraps `x.TryLock()` (negate=false) or `!x.TryLock()`
+// (negate=true) conditions; returns nil otherwise.
+func tryCall(cond ast.Expr, negate bool) *ast.CallExpr {
+	if negate {
+		un, ok := cond.(*ast.UnaryExpr)
+		if !ok || un.Op != token.NOT {
+			return nil
+		}
+		cond = un.X
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); !ok || !strings.HasPrefix(sel.Sel.Name, "Try") {
+		return nil
+	}
+	return call
+}
+
+// lockOp classifies a call as a sync.(RW)Mutex operation.
+func (tr *tracer) lockOp(call *ast.CallExpr) (lockOp, bool) {
+	if call == nil {
+		return lockOp{}, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var kind opKind
+	var read bool
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = opLock
+	case "RLock":
+		kind, read = opLock, true
+	case "Unlock":
+		kind = opUnlock
+	case "RUnlock":
+		kind, read = opUnlock, true
+	case "TryLock":
+		kind = opTry
+	case "TryRLock":
+		kind, read = opTry, true
+	default:
+		return lockOp{}, false
+	}
+	if !isSyncMutex(tr.info.TypeOf(sel.X)) {
+		return lockOp{}, false
+	}
+	key := types.ExprString(sel.X)
+	return lockOp{
+		kind:  kind,
+		class: lockClass(sel.X, key),
+		key:   key,
+		read:  read,
+		pos:   call.Pos(),
+	}, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockClass derives the lock class of a mutex expression: the final
+// field name, remapped mu->kid for expressions rooted in the shard
+// children (see the grammar comment in annotations.go).
+func lockClass(x ast.Expr, key string) string {
+	name := baseName(x)
+	if name == "" {
+		name = key
+	}
+	if isKidExpr(key) && name == "mu" {
+		return "kid"
+	}
+	return name
+}
+
+func baseName(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.IndexExpr:
+		return baseName(x.X)
+	case *ast.ParenExpr:
+		return baseName(x.X)
+	case *ast.StarExpr:
+		return baseName(x.X)
+	}
+	return ""
+}
+
+// isKidExpr reports whether a rendered expression runs through the
+// shard children ("kid.mu", "sh.kids[c].mu", "t.shard.kids[0]").
+func isKidExpr(key string) bool {
+	return strings.HasPrefix(key, "kid.") || key == "kid" || strings.Contains(key, "kids[")
+}
+
+// acquire reports order/upgrade violations through the hook, then
+// pushes the hold.
+func (tr *tracer) acquire(st lockState, op lockOp) lockState {
+	nl := heldLock{class: op.class, key: op.key, read: op.read, pos: op.pos}
+	if tr.onAcquire != nil {
+		tr.onAcquire(op.pos, nl, st)
+	}
+	return append(st.clone(), nl)
+}
+
+// release pops the matching hold, reporting an unmatched unlock.
+func (tr *tracer) release(st lockState, op lockOp) lockState {
+	if i := st.find(op.key, op.class, op.read); i >= 0 {
+		st = st.clone()
+		return append(st[:i], st[i+1:]...)
+	}
+	if tr.onBadRelease != nil && !tr.loose {
+		tr.onBadRelease(op.pos, op.key, op.read)
+	}
+	return st
+}
+
+// deferCall registers a deferred mutex unlock, or a deferred call to a
+// releases= annotated function.
+func (tr *tracer) deferCall(call *ast.CallExpr, st lockState) {
+	if op, ok := tr.lockOp(call); ok && op.kind == opUnlock {
+		tr.deferred = append(tr.deferred, heldLock{class: op.class, key: op.key, read: op.read, pos: op.pos})
+		return
+	}
+	if ann, kidCall := tr.calleeAnn(call); ann != nil && ann.Locks != nil {
+		for _, r := range ann.Locks.Releases {
+			r = remapRef(r, kidCall)
+			tr.deferred = append(tr.deferred, heldLock{class: r.Class, key: "<releases=" + r.Class + ">", read: r.Read, pos: call.Pos()})
+		}
+	}
+}
+
+// calleeAnn resolves the annotation of a call's target (same-package
+// functions and methods only), plus whether the call runs through a
+// shard kid receiver.
+func (tr *tracer) calleeAnn(call *ast.CallExpr) (*FuncAnn, bool) {
+	var obj types.Object
+	kidCall := false
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = tr.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = tr.info.Uses[fun.Sel]
+		kidCall = isKidExpr(types.ExprString(fun.X))
+	default:
+		return nil, false
+	}
+	return tr.idx.FuncAnnOf(obj), kidCall
+}
+
+// remapRef applies the kid-receiver class remap to a summary ref.
+func remapRef(r LockRef, kidCall bool) LockRef {
+	if kidCall && r.Class == "mu" {
+		r.Class = "kid"
+	}
+	return r
+}
+
+// summaryCall applies an annotated callee's lock summary: held=
+// requirements are checked, acquires= order-checked, returns-held=
+// pushed, releases= popped.
+func (tr *tracer) summaryCall(call *ast.CallExpr, st lockState) lockState {
+	ann, kidCall := tr.calleeAnn(call)
+	if ann == nil || ann.Locks == nil {
+		return st
+	}
+	name := calleeName(call)
+	for _, req := range ann.Locks.Held {
+		req = remapRef(req, kidCall)
+		if tr.onCallReq != nil {
+			tr.onCallReq(call.Pos(), name, req, st.satisfies(req))
+		}
+	}
+	for _, acq := range ann.Locks.Acquires {
+		acq = remapRef(acq, kidCall)
+		if tr.onAcquire != nil {
+			tr.onAcquire(call.Pos(), heldLock{
+				class: acq.Class,
+				key:   "<" + name + " acquires=" + acq.Class + ">",
+				read:  acq.Read,
+				pos:   call.Pos(),
+			}, st)
+		}
+	}
+	for _, r := range ann.Locks.Releases {
+		r = remapRef(r, kidCall)
+		if i := st.find("", r.Class, r.Read); i >= 0 {
+			st = st.clone()
+			st = append(st[:i], st[i+1:]...)
+		} else if tr.onBadRelease != nil && !tr.loose {
+			tr.onBadRelease(call.Pos(), name+" releases="+r.Class, r.Read)
+		}
+	}
+	for _, rh := range ann.Locks.ReturnsHeld {
+		rh = remapRef(rh, kidCall)
+		nl := heldLock{class: rh.Class, key: "<" + name + " returns-held=" + rh.Class + ">", read: rh.Read, pos: call.Pos()}
+		if tr.onAcquire != nil {
+			tr.onAcquire(call.Pos(), nl, st)
+		}
+		st = append(st.clone(), nl)
+	}
+	return st
+}
+
+// satisfies reports whether a held= requirement is met: same class,
+// and a write hold satisfies a read requirement (never the reverse).
+// A kid hold satisfies a mu requirement — the kid class is the same
+// struct field, seen through a shard child (see holdsClass).
+func (st lockState) satisfies(req LockRef) bool {
+	for _, l := range st {
+		if l.class != req.Class && !(req.Class == "mu" && l.class == "kid") {
+			continue
+		}
+		if req.Read || !l.read {
+			return true
+		}
+	}
+	return false
+}
+
+// holdsClass reports whether any hold of the class exists (any mode);
+// the kid class counts as holding mu for guard purposes (a kid's lock
+// is the same struct field).
+func (st lockState) holdsClass(class string) bool {
+	for _, l := range st {
+		if l.class == class || (class == "mu" && l.class == "kid") {
+			return true
+		}
+	}
+	return false
+}
+
+func (st lockState) holdsClassWrite(class string) bool {
+	for _, l := range st {
+		if (l.class == class || (class == "mu" && l.class == "kid")) && !l.read {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

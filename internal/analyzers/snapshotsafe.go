@@ -1,0 +1,163 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Snapshotsafe makes "one snapshot per read-lock acquisition" a
+// checked property. Fields annotated //imprintvet:guarded by=<class>
+// (segment lists, the delta handle, the delete bitmap) may only be
+// touched while the guard class is held — tracked by the same lock
+// interpreter locksafe uses — or inside a function annotated
+// //imprintvet:snapshot, which declares that it operates on state
+// captured while the lock was held (a deltaView, a sealed segment
+// handed to a builder). Writes additionally require the write lock.
+var Snapshotsafe = &Analyzer{
+	Name: "snapshotsafe",
+	Doc:  "check guarded-field access against held locks and snapshot annotations",
+	Run:  runSnapshotsafe,
+}
+
+func runSnapshotsafe(p *Pass) {
+	if len(p.Idx.Guards) == 0 {
+		return
+	}
+	for _, fd := range funcDecls(p.Files, p.Info) {
+		ann := p.Idx.FuncAnnOf(fd.obj)
+		if ann != nil && ann.Snapshot {
+			continue
+		}
+		var locks *FuncLocks
+		if ann != nil {
+			locks = ann.Locks
+		}
+		snapshotScope(p, fd.decl.Body, locks, nil)
+	}
+}
+
+func snapshotScope(p *Pass, body *ast.BlockStmt, locks *FuncLocks, lexical lockState) {
+	tr := &tracer{info: p.Info, idx: p.Idx, loose: true} // balance is locksafe's job
+	seed := lexical.clone()
+	if locks != nil {
+		seed = append(seed, seedState(locks.Held, body.Pos())...)
+	}
+	tr.onStmt = func(n ast.Node, held lockState) {
+		checkGuardedUses(p, n, held)
+	}
+	tr.onFuncLit = func(lit *ast.FuncLit, st lockState) {
+		// Callbacks run while their creator's locks are held (segment
+		// visitors execute under the coordinator's read lock), so the
+		// lexical state carries into the literal.
+		snapshotScope(p, lit.Body, nil, st)
+	}
+	tr.run(body, seed)
+}
+
+// checkGuardedUses inspects the expression operands of one leaf
+// statement for guarded-field access.
+func checkGuardedUses(p *Pass, n ast.Node, held lockState) {
+	switch s := n.(type) {
+	case *ast.ExprStmt:
+		guardedExpr(p, s.X, held, false)
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			guardedExpr(p, lhs, held, true)
+		}
+		for _, rhs := range s.Rhs {
+			guardedExpr(p, rhs, held, false)
+		}
+	case *ast.IncDecStmt:
+		guardedExpr(p, s.X, held, true)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			guardedExpr(p, r, held, false)
+		}
+	case *ast.IfStmt:
+		guardedExpr(p, s.Cond, held, false)
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			guardedExpr(p, s.Cond, held, false)
+		}
+	case *ast.RangeStmt:
+		guardedExpr(p, s.X, held, false)
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			guardedExpr(p, s.Tag, held, false)
+		}
+	case *ast.SendStmt:
+		guardedExpr(p, s.Chan, held, false)
+		guardedExpr(p, s.Value, held, false)
+	case *ast.GoStmt:
+		guardedExpr(p, s.Call, held, false)
+	case *ast.DeferStmt:
+		guardedExpr(p, s.Call, held, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						guardedExpr(p, v, held, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// guardedExpr reports guarded-field selectors in one expression tree,
+// skipping nested function literals (they are their own scopes).
+func guardedExpr(p *Pass, x ast.Expr, held lockState, write bool) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			field := fieldOf(p.Info, n)
+			guard := p.Idx.GuardOf(field)
+			if guard == "" {
+				return true
+			}
+			expr := types.ExprString(n)
+			switch {
+			case write && n == rootOf(x) && !held.holdsClassWrite(guard):
+				p.Reportf(n.Pos(), "write to %s guarded by %q without the write lock held", expr, guard)
+			case !held.holdsClass(guard):
+				p.Reportf(n.Pos(), "access to %s guarded by %q without the lock held (hold %s, or annotate the function //imprintvet:locks held=%s or //imprintvet:snapshot)",
+					expr, guard, guard, guard)
+			}
+		}
+		return true
+	})
+}
+
+// rootOf unwraps index/star/paren wrappers to the selector a write
+// lands on: `cs.segs[i] = x` writes through cs.segs.
+func rootOf(x ast.Expr) ast.Expr {
+	for {
+		switch w := x.(type) {
+		case *ast.IndexExpr:
+			x = w.X
+		case *ast.StarExpr:
+			x = w.X
+		case *ast.ParenExpr:
+			x = w.X
+		default:
+			return x
+		}
+	}
+}
+
+// fieldOf resolves a selector to the struct field it names, nil for
+// methods, package selectors, and unresolved expressions.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

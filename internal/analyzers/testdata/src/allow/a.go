@@ -1,0 +1,24 @@
+// Allow fixture, run through the full suite: a justified suppression
+// silences its diagnostic, a stale one is itself reported, and
+// malformed directives are caught.
+package fixture
+
+import "fmt"
+
+//imprintvet:hotpath
+func allowedFmt(v int64) string {
+	//imprintvet:allow hotalloc cold error formatting is intentional here
+	return fmt.Sprintf("%d", v)
+}
+
+//imprintvet:hotpath
+func staleAllow(v int64) int64 {
+	//imprintvet:allow hotalloc nothing allocates on this line // want "stale //imprintvet:allow hotalloc"
+	return v + 1
+}
+
+//imprintvet:hotpath
+func unknownName(v int64) int64 {
+	//imprintvet:allow nosuchcheck because reasons // want "names unknown analyzer"
+	return v + 3
+}

@@ -1,0 +1,57 @@
+// Detmerge fixture: map-ordered accumulation with and without a
+// downstream sort.
+package fixture
+
+import "sort"
+
+func unsortedEmit(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "out accumulates map-iteration-ordered values"
+	}
+	return out
+}
+
+func sortedEmit(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortSliceEmit(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func perIterScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+type bucket struct{ rows []string }
+
+func fieldSink(m map[string]int, b *bucket) {
+	for k := range m {
+		b.rows = append(b.rows, k) // want "b\.rows accumulates map-iteration-ordered values"
+	}
+}
+
+func sliceRange(vs []string) []string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	return out
+}

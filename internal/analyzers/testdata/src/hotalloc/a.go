@@ -1,0 +1,72 @@
+// Hotalloc fixture: per-call allocations inside annotated hot paths;
+// pooled scratch and unannotated functions stay quiet.
+package fixture
+
+import "fmt"
+
+type cursor struct {
+	scratch []int64
+}
+
+//imprintvet:hotpath
+func hotCount(vals []int64, lo, hi int64) int {
+	n := 0
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return n
+}
+
+//imprintvet:hotpath
+func (c *cursor) hotIDs(vals []int64, lo int64) []int64 {
+	c.scratch = c.scratch[:0]
+	for i, v := range vals {
+		if v >= lo {
+			c.scratch = append(c.scratch, int64(i))
+		}
+	}
+	return c.scratch
+}
+
+//imprintvet:hotpath
+func hotBad(vals []int64) []int64 {
+	out := make([]int64, 0, len(vals)) // want "make allocates in a hot path"
+	for _, v := range vals {
+		out = append(out, v) // want "append to function-local out can grow per call"
+	}
+	return out
+}
+
+//imprintvet:hotpath
+func hotClosure(vals []int64, f func(int64)) {
+	g := func(v int64) { f(v) } // want "function literal in hot path allocates a closure"
+	for _, v := range vals {
+		g(v)
+	}
+}
+
+//imprintvet:hotpath
+func hotFmt(v int64) string {
+	return fmt.Sprintf("%d", v) // want "fmt\.Sprintf allocates"
+}
+
+func coldFmt(v int64) string {
+	return fmt.Sprintf("%d", v)
+}
+
+//imprintvet:hotpath
+func hotConvert(b []byte) string {
+	return string(b) // want "conversion copies and allocates"
+}
+
+//imprintvet:hotpath
+func hotComposite(v int64) []int64 {
+	return []int64{v} // want "slice literal allocates in a hot path"
+}
+
+//imprintvet:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation allocates in a hot path"
+}

@@ -1,0 +1,126 @@
+// Locksafe fixture: balance, upgrades, ordering, held= requirements,
+// and ownership transfer.
+//
+//imprintvet:lockorder a,mu
+package fixture
+
+import "sync"
+
+type T struct {
+	a  sync.Mutex
+	mu sync.RWMutex
+}
+
+func (t *T) leaks(cond bool) {
+	t.mu.Lock() // want "t\.mu is locked here but not released on the return path"
+	if cond {
+		return
+	}
+	t.mu.Unlock()
+}
+
+func (t *T) balanced() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+}
+
+func (t *T) upgrade() {
+	t.mu.RLock()
+	t.mu.Lock() // want "lock upgrade: t\.mu is read-locked"
+	t.mu.Unlock()
+	t.mu.RUnlock()
+}
+
+func (t *T) wrongOrder() {
+	t.mu.Lock()
+	t.a.Lock() // want "lock order violation: acquiring t\.a \(class a\) while holding t\.mu \(class mu\)"
+	t.a.Unlock()
+	t.mu.Unlock()
+}
+
+func (t *T) rightOrder() {
+	t.a.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.a.Unlock()
+}
+
+// useLocked reads state the caller must have locked.
+//
+//imprintvet:locks held=mu.R
+func (t *T) useLocked() int { return 0 }
+
+func (t *T) callsWithout() int {
+	return t.useLocked() // want "call to useLocked requires mu\.R held"
+}
+
+func (t *T) callsWith() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.useLocked()
+}
+
+// acquireRead hands its read lock to the caller.
+//
+//imprintvet:locks returns-held=mu.R
+func (t *T) acquireRead() { t.mu.RLock() }
+
+func (t *T) usesTransfer() int {
+	t.acquireRead()
+	n := t.useLocked()
+	t.mu.RUnlock()
+	return n
+}
+
+func (t *T) diverges(cond bool) {
+	if cond { // want "lock state diverges across if/else branches"
+		t.mu.Lock()
+	}
+	t.mu.Unlock()
+}
+
+func (t *T) unlocksUnheld() {
+	t.mu.Unlock() // want "Unlock of t\.mu which is not held on this path"
+}
+
+type U struct{ mu sync.Mutex }
+
+func two(x, y *U) {
+	x.mu.Lock()
+	y.mu.Lock() // want "acquiring y\.mu while x\.mu of the same lock class .mu. is held"
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// column mimics the engine's anyColumn: held= contracts live on the
+// interface methods, so calls through the interface are checked.
+type column interface {
+	// install appends under the table's write lock.
+	//
+	//imprintvet:locks held=mu
+	install(v int)
+}
+
+func (t *T) installsWithout(c column) {
+	c.install(1) // want "call to install requires mu held"
+}
+
+func (t *T) installsWith(c column) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.install(1)
+}
+
+func (t *T) tryOK() {
+	if t.mu.TryLock() {
+		t.mu.Unlock()
+	}
+}
+
+func (t *T) tryNeg() bool {
+	if !t.mu.TryLock() {
+		return false
+	}
+	t.mu.Unlock()
+	return true
+}

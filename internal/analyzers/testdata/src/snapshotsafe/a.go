@@ -1,0 +1,57 @@
+// Snapshotsafe fixture: guarded-field access under held locks,
+// held= annotations, snapshot functions, and closures.
+//
+//imprintvet:lockorder mu
+package fixture
+
+import "sync"
+
+type Table struct {
+	mu   sync.RWMutex
+	segs []int //imprintvet:guarded by=mu
+}
+
+func (t *Table) bad() int {
+	return len(t.segs) // want "access to t\.segs guarded by .mu. without the lock held"
+}
+
+func (t *Table) locked() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.segs)
+}
+
+// helper runs under the caller's read lock.
+//
+//imprintvet:locks held=mu.R
+func (t *Table) helper() int { return len(t.segs) }
+
+// snapshotted works on state captured under the lock.
+//
+//imprintvet:snapshot
+func (t *Table) snapshotted() int { return len(t.segs) }
+
+func (t *Table) writeUnderRead() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.segs = append(t.segs, 1) // want "write to t\.segs guarded by .mu. without the write lock held"
+}
+
+func (t *Table) writeUnderWrite() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.segs = append(t.segs, 1)
+}
+
+func (t *Table) closureUnderLock() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f := func() int { return len(t.segs) }
+	return f()
+}
+
+func (t *Table) closureUnlocked() func() int {
+	return func() int {
+		return len(t.segs) // want "access to t\.segs guarded by .mu. without the lock held"
+	}
+}

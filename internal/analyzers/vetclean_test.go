@@ -1,0 +1,55 @@
+package analyzers_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoVetClean builds the imprintvet vettool and runs it over the
+// whole module, asserting zero diagnostics. This is the enforcement
+// point for the suite's invariants in CI, and — because a stale
+// //imprintvet:allow is itself reported as a diagnostic — it also
+// guarantees every suppression in the tree still matches a real
+// finding: deleting the code an allow was written for makes this test
+// fail until the allow is deleted too.
+func TestRepoVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and vets the whole module")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "imprintvet")
+
+	build := exec.Command("go", "build", "-o", tool, "./cmd/imprintvet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool reported diagnostics (stale allows count):\n%s", out)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the
+// directory holding go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -65,11 +65,15 @@ func (v *Vector) Word(i int) uint64 { return v.words[i] }
 // from+n must not exceed Len — the ragged tail block of a vector simply
 // passes its shorter n. One load, one AND-NOT: this is how the deleted
 // bitmap folds into a 64-row selection mask.
+//
+//imprintvet:hotpath
 func (v *Vector) LiveMask64(from, n int) uint64 {
 	if from&63 != 0 {
+		//imprintvet:allow hotalloc formats only on the panic path, never in steady state
 		panic(fmt.Sprintf("bitvec: LiveMask64 start %d is not 64-aligned", from))
 	}
 	if n <= 0 || n > 64 || from+n > v.n {
+		//imprintvet:allow hotalloc formats only on the panic path, never in steady state
 		panic(fmt.Sprintf("bitvec: LiveMask64 [%d, %d+%d) out of range 0..%d", from, from, n, v.n))
 	}
 	return (^uint64(0) >> (64 - uint(n))) &^ v.Word(from>>6)
@@ -94,8 +98,11 @@ func (v *Vector) Count() int {
 // CountRange returns the number of set bits in [from, to), one masked
 // popcount per word — no per-bit probing. An empty or inverted range
 // counts zero.
+//
+//imprintvet:hotpath
 func (v *Vector) CountRange(from, to int) int {
 	if from < 0 || to > v.n {
+		//imprintvet:allow hotalloc formats only on the panic path, never in steady state
 		panic(fmt.Sprintf("bitvec: CountRange [%d, %d) out of range 0..%d", from, to, v.n))
 	}
 	if from >= to {

@@ -203,6 +203,8 @@ func (ix *Index[V]) RangeCheck(low, high V) CheckFunc {
 // of a 64-row selection mask. It is the one expansion step from
 // selection masks back to row ids, shared by the vectorized table
 // executors and MaterializeRuns.
+//
+//imprintvet:hotpath
 func AppendMaskIDs(dst []uint32, base uint32, mask uint64) []uint32 {
 	for mask != 0 {
 		dst = append(dst, base+uint32(bits.TrailingZeros64(mask)))

@@ -101,7 +101,12 @@ func table(f func(w *tabwriter.Writer)) string {
 	var sb strings.Builder
 	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
 	f(w)
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		// strings.Builder writes cannot fail, so a flush error here can
+		// only be a tabwriter usage bug — surface it, don't render a
+		// silently truncated table.
+		panic(err)
+	}
 	return sb.String()
 }
 

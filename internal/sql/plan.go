@@ -3,6 +3,7 @@ package sql
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/coltype"
@@ -64,11 +65,7 @@ func (s *Statement) Params() []ParamInfo {
 	for name, pc := range s.params {
 		out = append(out, ParamInfo{Name: name, Type: pc.want()})
 	}
-	for i := 1; i < len(out); i++ { // insertion sort: n is tiny
-		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

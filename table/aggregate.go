@@ -290,6 +290,8 @@ func (c *colState[V]) aggCheck(op aggOp) error { return nil }
 // the summary is exact (no in-place update widened it). The caller
 // guarantees full coverage and a delete-free segment, and fills in the
 // row count.
+//
+//imprintvet:locks held=mu.R
 func (c *colState[V]) aggSummary(op aggOp, s int) (aggPartial, bool) {
 	seg := c.segs[s]
 	if seg.sumWide || len(seg.vals) == 0 {
@@ -310,6 +312,7 @@ func (c *colState[V]) aggSummary(op aggOp, s int) (aggPartial, bool) {
 	return aggPartial{kind: partFloat, f: float64(v)}, true
 }
 
+//imprintvet:locks held=mu.R
 func (c *colState[V]) aggAcc(op aggOp, s int) segAgg {
 	return &numSegAgg[V]{op: op, vals: c.segs[s].vals, isInt: isIntType[V]()}
 }
@@ -442,10 +445,13 @@ func (c *strColState) aggCheck(op aggOp) error {
 // aggSummary: a string segment's dictionary can hold symbols no live
 // row carries anymore (updates reuse codes, deletes keep theirs), so
 // min/max always fold over the code slab — never summary-answered.
+//
+//imprintvet:locks held=mu.R
 func (c *strColState) aggSummary(op aggOp, s int) (aggPartial, bool) {
 	return aggPartial{}, false
 }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) aggAcc(op aggOp, s int) segAgg {
 	seg := c.segs[s]
 	return &strSegAgg{op: op, seg: seg, codes: seg.codes()}
@@ -571,6 +577,8 @@ func runCoverage(runs []core.CandidateRun, blocks int) (full, allExact bool) {
 // without visiting rows one by one: every candidate run exact and
 // covering the whole segment, with no pending deletes. Callers hold
 // the read lock.
+//
+//imprintvet:locks held=mu.R
 func (t *Table) aggSummaryEligible(s int, runs []core.CandidateRun) bool {
 	n := t.segLen(s)
 	full, allExact := runCoverage(runs, (n+BlockRows-1)/BlockRows)
@@ -583,6 +591,8 @@ func (t *Table) aggSummaryEligible(s int, runs []core.CandidateRun) bool {
 // block arrives at visitMask as its segment-local base row plus the
 // surviving-lane selection mask (deleted folded, residual evaluated).
 // Callers hold the read lock.
+//
+//imprintvet:locks held=mu.R
 func (t *Table) aggWalk(s int, ev evaluated, st *core.QueryStats, visitSpan func(from, to int), visitMask func(base int, mask uint64)) {
 	base := s * t.segRows
 	t.walkBlocks(s, ev, st,
@@ -602,6 +612,8 @@ func (t *Table) aggWalk(s int, ev evaluated, st *core.QueryStats, visitSpan func
 // aggSegment is the per-segment aggregate worker: evaluate the
 // predicate, then fold each aggregate at the cheapest tier (summary /
 // wholesale / scanned) the coverage allows.
+//
+//imprintvet:locks held=mu.R
 func (q *Query) aggSegment(en *execNode, s int, binds []aggBind) segOut {
 	var o segOut
 	t := q.t
@@ -675,6 +687,8 @@ func (q *Query) aggSegment(en *execNode, s int, binds []aggBind) segOut {
 // Delta ids all follow their table's sealed ids, so folding after the
 // segment merge preserves the deterministic merge order. Callers hold
 // the read lock the view was captured under.
+//
+//imprintvet:locks held=mu.R
 func (q *Query) deltaAggFold(view *deltaView, en *execNode, binds []aggBind, merged []aggPartial, already uint64, st *core.QueryStats) uint64 {
 	if view == nil {
 		return 0
@@ -778,6 +792,8 @@ func (q *Query) Aggregate(specs ...AggSpec) (*AggResult, core.QueryStats, error)
 // order: segment workers materialize capped id lists (the IDs
 // machinery) and the consumer folds them row by row, so the cap is
 // applied deterministically across segments.
+//
+//imprintvet:locks held=mu.R
 func (q *Query) limitedAggregate(en *execNode, binds []aggBind, merged []aggPartial, finish func() *AggResult, st *core.QueryStats) (*AggResult, core.QueryStats, error) {
 	taken := 0
 	var rows uint64

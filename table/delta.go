@@ -1,6 +1,7 @@
 package table
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -135,10 +136,11 @@ func (t *Table) EnableDeltaIngest(opts IngestOptions) error {
 // idempotent and a no-op without delta ingest.
 func (t *Table) Close() error {
 	if t.shard != nil {
+		var err error
 		for _, kid := range t.shard.kids {
-			kid.Close()
+			err = errors.Join(err, kid.Close())
 		}
-		return nil
+		return err
 	}
 	d := t.deltaPtr()
 	if d == nil {
@@ -159,6 +161,8 @@ func (t *Table) deltaPtr() *deltaState {
 
 // totalRowsLocked returns sealed plus buffered rows (including
 // deleted-but-not-compacted ones); callers hold a lock.
+//
+//imprintvet:locks held=mu.R
 func (t *Table) totalRowsLocked() int {
 	if t.delta == nil {
 		return t.rows
@@ -187,6 +191,8 @@ func (t *Table) DeltaRows() int {
 // deletedAt is the length-guarded deleted-bitmap probe: delta rows may
 // sit beyond the bitmap's tail when no delete grew it that far.
 // Callers hold a lock.
+//
+//imprintvet:locks held=mu.R
 func (t *Table) deletedAt(id int) bool {
 	return t.deleted != nil && id < t.deleted.Len() && t.deleted.Get(id)
 }
@@ -195,6 +201,8 @@ func (t *Table) deletedAt(id int) bool {
 // preserving set bits; callers hold the write lock. The invariant it
 // maintains: whenever the bitmap exists it covers at least every
 // sealed row, so the block walk's LiveMask64 never runs off its end.
+//
+//imprintvet:locks held=mu
 func (t *Table) growDeletedTo(n int) {
 	if t.deleted == nil || t.deleted.Len() >= n {
 		return
@@ -209,6 +217,8 @@ func (t *Table) growDeletedTo(n int) {
 // commitDeltaLocked applies a staged batch to the delta store; callers
 // hold at least the read lock (appends contend only on the store's own
 // mutex, so streaming writers never block readers).
+//
+//imprintvet:locks held=mu.R
 func (b *Batch) commitDeltaLocked(d *deltaState) error {
 	t := b.t
 	for _, name := range t.order {
@@ -235,6 +245,8 @@ func (b *Batch) commitDeltaLocked(d *deltaState) error {
 // deltaSetLocked updates one value of a buffered row copy-on-write;
 // callers hold the write lock and have range-checked id against the
 // buffered window.
+//
+//imprintvet:locks held=mu
 func (t *Table) deltaSetLocked(name string, id int, v any) error {
 	d := t.delta
 	ci := d.store.ColIndex(name)
@@ -249,6 +261,8 @@ func (t *Table) deltaSetLocked(name string, id int, v any) error {
 // tail (indexes extend under the lock — the synchronous path used by
 // Save, AddColumn, Compact and tail alignment); callers hold the write
 // lock.
+//
+//imprintvet:locks held=mu
 func (t *Table) flushDeltaLocked(n int) {
 	d := t.delta
 	_, rows := d.store.View()
@@ -265,6 +279,8 @@ func (t *Table) flushDeltaLocked(n int) {
 
 // flushAllLocked drains the whole delta into columnar storage; callers
 // hold the write lock. Returns the rows flushed.
+//
+//imprintvet:locks held=mu
 func (t *Table) flushAllLocked() int {
 	d := t.delta
 	if d == nil {
@@ -396,6 +412,8 @@ func (t *Table) IngestStats() IngestStats {
 
 // mergeBacklogLocked counts sealed segments awaiting a merge rewrite;
 // callers hold a lock.
+//
+//imprintvet:locks held=mu.R
 func (t *Table) mergeBacklogLocked(satLimit float64) int {
 	n := 0
 	for _, name := range t.order {
@@ -413,6 +431,7 @@ type deltaAgg interface {
 	partial() aggPartial
 }
 
+//imprintvet:locks held=mu
 func (c *colState[V]) absorbAny(rows [][]any, ci int) {
 	vals := make([]V, len(rows))
 	for r, row := range rows {
@@ -421,6 +440,7 @@ func (c *colState[V]) absorbAny(rows [][]any, ci int) {
 	c.absorb(vals)
 }
 
+//imprintvet:locks held=mu
 func (c *strColState) absorbAny(rows [][]any, ci int) {
 	vals := make([]string, len(rows))
 	for r, row := range rows {

@@ -1,0 +1,26 @@
+package table
+
+import "fmt"
+
+// ShardDenseError reports an AddColumn / AddStringColumn rejected on a
+// sharded table because its global id space has holes: splitting a flat
+// value slice across shards is only well defined when ids are densely
+// packed (serial commits, or a fresh/compacted table), and concurrent
+// commits can leave gaps no flat slice can address.
+//
+// Callers that want to recover programmatically match it with
+// errors.As and read which shard broke density and by how much; the
+// fix is to add columns before concurrent writers start, or after a
+// fresh load/compaction repacks the id space.
+type ShardDenseError struct {
+	Table  string // table name
+	Column string // column whose install was rejected
+	Shard  int    // first shard whose row count breaks the dense layout
+	Have   int    // rows that shard actually holds
+	Want   int    // rows a dense layout would give it
+}
+
+func (e *ShardDenseError) Error() string {
+	return fmt.Sprintf("table %s: column %q: shards are not densely packed (shard %d holds %d rows, dense layout needs %d) — concurrent commits left id holes; add columns before writing or after a fresh load",
+		e.Table, e.Column, e.Shard, e.Have, e.Want)
+}

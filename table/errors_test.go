@@ -1,0 +1,62 @@
+package table
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShardDenseError checks that AddColumn on a sharded table with a
+// holey id space fails with a typed, inspectable error: errors.As
+// exposes which shard broke the dense layout and by how much, while a
+// dense table keeps accepting columns.
+func TestShardDenseError(t *testing.T) {
+	tb := seedSharded(t, 2, 64, 64) // fills shard 0's first segment: dense
+
+	// Control: the packed layout accepts a new column.
+	if err := AddColumn(tb, "price", make([]int64, 64), Imprints, core.Options{Seed: 3}); err != nil {
+		t.Fatalf("dense AddColumn: %v", err)
+	}
+
+	// Punch a hole: commit rows straight into shard 0, skipping the
+	// parent's segment-interleaved routing. Global ids now have gaps
+	// no flat value slice can address.
+	kid := tb.shard.kids[0]
+	b := kid.NewBatch()
+	if err := Append(b, "qty", []int64{100, 101}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendStrings("city", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(b, "price", []int64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for _, k := range tb.shard.kids {
+		total += k.Rows()
+	}
+	err := AddColumn(tb, "tax", make([]int64, total), Imprints, core.Options{Seed: 3})
+	if err == nil {
+		t.Fatal("AddColumn on a non-dense sharded table succeeded")
+	}
+	var dense *ShardDenseError
+	if !errors.As(err, &dense) {
+		t.Fatalf("error is %T (%v), want *ShardDenseError", err, err)
+	}
+	if dense.Table != "orders" || dense.Column != "tax" {
+		t.Fatalf("error names table %q column %q, want orders/tax", dense.Table, dense.Column)
+	}
+	if dense.Shard != 0 || dense.Have != 66 || dense.Want != 64 {
+		t.Fatalf("error blames shard %d (have %d, want %d); expected shard 0 holding 66 vs dense 64",
+			dense.Shard, dense.Have, dense.Want)
+	}
+	if dense.Error() == "" || !errors.As(error(dense), new(*ShardDenseError)) {
+		t.Fatal("ShardDenseError does not round-trip through the error interface")
+	}
+}

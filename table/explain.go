@@ -174,6 +174,7 @@ func (q *Query) ExplainAggregate(specs ...AggSpec) (*Plan, error) {
 	return q.explainLocked(binds)
 }
 
+//imprintvet:locks held=mu.R
 func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 	names, _, err := q.projection()
 	if err != nil {
@@ -271,6 +272,8 @@ func (q *Query) explainLocked(binds []aggBind) (*Plan, error) {
 // without folding any value. ScannedRows counts the live candidate
 // rows the scan tier would visit row by row (qualifying or not — the
 // residual checks have not run). Callers hold the read lock.
+//
+//imprintvet:locks held=mu.R
 func (t *Table) aggSegmentPlan(s int, ev evaluated, binds []aggBind) AggSegmentPlan {
 	n := t.segLen(s)
 	ap := AggSegmentPlan{Segment: s, Rows: n}

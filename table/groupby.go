@@ -111,6 +111,7 @@ func (c *colState[V]) groupCheck() error {
 	return nil
 }
 
+//imprintvet:locks held=mu.R
 func (c *colState[V]) grouper(s int) segGrouper { return numGrouper[V]{vals: c.segs[s].vals} }
 
 type numGrouper[V coltype.Value] struct{ vals []V }
@@ -120,6 +121,7 @@ func (g numGrouper[V]) finalize(k int64) groupKey { return groupKey{i: k} }
 
 func (c *strColState) groupCheck() error { return nil }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) grouper(s int) segGrouper {
 	seg := c.segs[s]
 	return strGrouper{seg: seg, codes: seg.codes()}
@@ -145,6 +147,8 @@ func (g strGrouper) finalize(k int64) groupKey {
 // vary row to row, so grouped aggregation always visits rows (no
 // summary or wholesale pushdown); exact runs still skip the residual
 // check.
+//
+//imprintvet:locks held=mu.R
 func (g *GroupedQuery) groupSegment(en *execNode, s int, binds []aggBind, keyCol anyColumn) segOut {
 	var o segOut
 	q := g.q
@@ -190,8 +194,17 @@ func (g *GroupedQuery) groupSegment(en *execNode, s int, binds []aggBind, keyCol
 			}
 		})
 	releaseEval(&ev)
+	// Emit in sorted key order so map iteration order never leaks into
+	// the merge: per-key float folds then happen in a fixed order at
+	// every parallelism level (same defense as shardagg's dkeys sort).
+	keys := make([]int64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	o.groups = make([]groupOut, 0, len(groups))
-	for k, ga := range groups {
+	for _, k := range keys {
+		ga := groups[k]
 		out := groupOut{key: grouper.finalize(k), rows: ga.rows, parts: make([]aggPartial, len(binds))}
 		for i, acc := range ga.accs {
 			if acc != nil {

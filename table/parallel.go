@@ -196,6 +196,9 @@ func blockOnes(n int) uint64 { return ^uint64(0) >> (64 - uint(n)) }
 // global row b (64-aligned): bit i set iff row b+i is not deleted,
 // lanes >= n zero. One word load folds 64 rows of delete state.
 // Callers hold the read lock.
+//
+//imprintvet:locks held=mu.R
+//imprintvet:hotpath
 func (t *Table) liveMask64(b, n int) uint64 {
 	if t.deleted == nil || t.ndel == 0 {
 		return blockOnes(n)
@@ -220,6 +223,9 @@ func (t *Table) liveMask64(b, n int) uint64 {
 // boundaries and segments hold whole blocks, so every mask is 64-row
 // aligned; only a segment's ragged tail yields a shorter block.
 // Callers hold the read lock.
+//
+//imprintvet:locks held=mu.R
+//imprintvet:hotpath
 func (t *Table) walkBlocks(s int, ev evaluated, st *core.QueryStats, span func(from, to int, exact bool) spanAction, block func(base int, mask uint64) bool) {
 	base := s * t.segRows
 	end := base + t.segLen(s)
@@ -274,6 +280,9 @@ func (t *Table) walkBlocks(s int, ev evaluated, st *core.QueryStats, span func(f
 
 // deletedInSpan popcounts the deleted bitmap over [from, to); callers
 // hold the read lock.
+//
+//imprintvet:locks held=mu.R
+//imprintvet:hotpath
 func (t *Table) deletedInSpan(from, to int) int {
 	if t.deleted == nil || t.ndel == 0 {
 		return 0
@@ -285,6 +294,9 @@ func (t *Table) deletedInSpan(from, to int) int {
 // tally for one row span: the span minus a popcount over the deleted
 // bitmap, no per-row work. Count applies it to exact runs and Explain
 // previews it (fastCountRows); callers hold the read lock.
+//
+//imprintvet:locks held=mu.R
+//imprintvet:hotpath
 func (t *Table) liveRows(from, to int) int {
 	return to - from - t.deletedInSpan(from, to)
 }
@@ -292,6 +304,9 @@ func (t *Table) liveRows(from, to int) int {
 // fastCountSegment previews the Count fast path's coverage across one
 // segment's run list: the live rows of its exact runs. Callers hold the
 // read lock.
+//
+//imprintvet:locks held=mu.R
+//imprintvet:hotpath
 func (t *Table) fastCountSegment(s int, runs []core.CandidateRun) uint64 {
 	base := s * t.segRows
 	end := base + t.segLen(s)

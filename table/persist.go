@@ -204,6 +204,9 @@ func readSharded(br io.Reader) (*Table, error) {
 		}
 		sh.kids[c] = kid
 	}
+	// The table is still being constructed and has not escaped to any
+	// other goroutine, so the commit tokens cannot be contended yet.
+	//imprintvet:allow locksafe freshly constructed table, not yet shared
 	sh.refreshRowsLocked()
 	return t, nil
 }
@@ -301,6 +304,8 @@ func persistHeader(w io.Writer, name string, kind reflect.Kind, mode IndexMode, 
 }
 
 // persist is part of anyColumn (implemented on colState).
+//
+//imprintvet:locks held=mu.R
 func (c *colState[V]) persist(w io.Writer) error {
 	var zero V
 	if err := persistHeader(w, c.name, reflect.TypeOf(zero).Kind(), c.mode, c.vpcOpts, len(c.segs)); err != nil {
@@ -319,6 +324,8 @@ func (c *colState[V]) persist(w io.Writer) error {
 
 // persist for string columns: per segment, the dictionary symbols, the
 // code column, and the code imprint image.
+//
+//imprintvet:locks held=mu.R
 func (c *strColState) persist(w io.Writer) error {
 	if err := persistHeader(w, c.name, reflect.String, c.mode, c.vpcOpts, len(c.segs)); err != nil {
 		return err
@@ -469,6 +476,7 @@ func installLoadedColumn(t *Table, name string, c anyColumn, nvals int) error {
 	if len(t.order) > 0 && nvals != t.rows {
 		return fmt.Errorf("%w: column %s has %d rows, table has %d", ErrCorrupt, name, nvals, t.rows)
 	}
+	//imprintvet:allow locksafe loading into a freshly constructed table, not yet shared
 	t.installColumn(name, c, nvals)
 	return nil
 }
@@ -526,6 +534,7 @@ func loadColumn[V coltype.Value](t *Table, name string, mode IndexMode, opts cor
 		if _, err := readIndexImage(r, name, mode, vals); err != nil {
 			return err
 		}
+		//imprintvet:allow locksafe loading into a freshly constructed column, not yet shared
 		cs.absorb(vals)
 		return installLoadedColumn(t, name, cs, len(vals))
 	}
@@ -543,6 +552,7 @@ func loadColumn[V coltype.Value](t *Table, name string, mode IndexMode, opts cor
 			// save time): rebuild whatever index the mode calls for.
 			s.rebuild(mode, opts)
 		}
+		//imprintvet:allow snapshotsafe loading into a freshly constructed column, not yet shared
 		cs.segs = append(cs.segs, s)
 		n += len(s.vals)
 	}
@@ -626,6 +636,7 @@ func loadStringColumn(t *Table, name string, mode IndexMode, opts core.Options, 
 		for i, code := range codes {
 			vals[i] = dict.Symbol(code)
 		}
+		//imprintvet:allow locksafe loading into a freshly constructed column, not yet shared
 		cs.absorbStrings(vals)
 		return installLoadedColumn(t, name, cs, len(vals))
 	}
@@ -646,6 +657,7 @@ func loadStringColumn(t *Table, name string, mode IndexMode, opts core.Options, 
 		if ix == nil {
 			cs.rebuildSegmentIndex(s)
 		}
+		//imprintvet:allow snapshotsafe loading into a freshly constructed column, not yet shared
 		cs.segs = append(cs.segs, s)
 		n += s.rows()
 	}

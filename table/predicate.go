@@ -1027,8 +1027,8 @@ type numLeafPlan[V coltype.Value] struct {
 	// current value slab (same backing array, same length): in-place
 	// updates keep it, appends and rebuilds that move or grow the slab
 	// re-derive it.
-	mu    sync.Mutex
-	kerns []numKernEntry[V]
+	cacheMu sync.Mutex
+	kerns   []numKernEntry[V]
 }
 
 // numKernEntry is one cached kernel with the slab identity it reads.
@@ -1075,6 +1075,8 @@ func (pl *numLeafPlan[V]) access() string { return pl.c.indexKind() }
 // prune applies the segment's [min, max] summary: true when no value of
 // the segment can satisfy the leaf. Sound under updates (widen grows
 // the summary) and deletes (summary only over-covers).
+//
+//imprintvet:locks held=mu.R
 func (pl *numLeafPlan[V]) prune(s int) bool {
 	seg := pl.c.segs[s]
 	if len(seg.vals) == 0 {
@@ -1095,6 +1097,7 @@ func (pl *numLeafPlan[V]) prune(s int) bool {
 	return false
 }
 
+//imprintvet:locks held=mu.R
 func (pl *numLeafPlan[V]) segCheck(s int) core.CheckFunc {
 	vals := pl.c.segs[s].vals
 	switch pl.kind {
@@ -1136,6 +1139,7 @@ func (pl *numLeafPlan[V]) rowCheck() func(v any) bool {
 	}
 }
 
+//imprintvet:locks held=mu.R
 func (pl *numLeafPlan[V]) segRuns(s int, dst []core.CandidateRun) ([]core.CandidateRun, core.QueryStats) {
 	seg := pl.c.segs[s]
 	if seg.ix == nil && seg.zm == nil {
@@ -1196,13 +1200,15 @@ func (pl *numLeafPlan[V]) segRuns(s int, dst []core.CandidateRun) ([]core.Candid
 // segKernel returns the leaf's cached selection-mask kernel for segment
 // s, deriving a fresh monomorphized one when the segment's slab changed
 // since it was cached.
+//
+//imprintvet:locks held=mu.R
 func (pl *numLeafPlan[V]) segKernel(s int) blockKernel {
 	vals := pl.c.segs[s].vals
 	if len(vals) == 0 {
 		return zeroMask
 	}
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
+	pl.cacheMu.Lock()
+	defer pl.cacheMu.Unlock()
 	for len(pl.kerns) <= s {
 		pl.kerns = append(pl.kerns, numKernEntry[V]{})
 	}
@@ -1233,6 +1239,8 @@ func (pl *numLeafPlan[V]) segKernel(s int) blockKernel {
 // segEstimate returns the leaf's selectivity estimate within segment s
 // from that segment's imprint histogram, or a negative value when the
 // segment has no imprint to estimate from.
+//
+//imprintvet:locks held=mu.R
 func (pl *numLeafPlan[V]) segEstimate(s int) float64 {
 	ix := pl.c.segs[s].ix
 	if ix == nil {

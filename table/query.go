@@ -170,6 +170,8 @@ func (q *Query) checkProjection() error {
 // live row. Delta ids are all larger than sealed ids, so appending
 // after the segment merge keeps ids ascending. Callers hold the read
 // lock.
+//
+//imprintvet:locks held=mu.R
 func (q *Query) deltaIDs(en *execNode, res []uint32, st *core.QueryStats) []uint32 {
 	view := q.t.deltaViewLocked()
 	if view == nil {
@@ -185,6 +187,8 @@ func (q *Query) deltaIDs(en *execNode, res []uint32, st *core.QueryStats) []uint
 
 // deltaCount adds the buffered delta rows' qualifying count to n
 // (capped by Limit); callers hold the read lock.
+//
+//imprintvet:locks held=mu.R
 func (q *Query) deltaCount(en *execNode, n uint64, st *core.QueryStats) uint64 {
 	view := q.t.deltaViewLocked()
 	if view == nil {
@@ -204,6 +208,8 @@ func (q *Query) deltaCount(en *execNode, n uint64, st *core.QueryStats) uint64 {
 // into a pooled scratch buffer. Each surviving block's selection mask
 // expands to ids by trailing-zero iteration; the buffer may run at most
 // one block past the limit (the merging consumer truncates).
+//
+//imprintvet:locks held=mu.R
 func (q *Query) collectIDs(en *execNode, s int) segOut {
 	var o segOut
 	ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
@@ -258,6 +264,8 @@ func (q *Query) IDs() ([]uint32, core.QueryStats, error) {
 // into one shared pooled buffer on the calling goroutine, and the only
 // allocation left in steady state is the returned slice itself (the
 // vectorized zero-alloc pin relies on this path).
+//
+//imprintvet:locks held=mu.R
 func (q *Query) idsSerial(en *execNode, nsegs int) ([]uint32, core.QueryStats, error) {
 	var st core.QueryStats
 	buf, reused := getIDScratch()
@@ -295,6 +303,8 @@ func (q *Query) idsSerial(en *execNode, nsegs int) ([]uint32, core.QueryStats, e
 
 // idsParallel fans the segments across the worker pool and concatenates
 // the per-segment id lists in segment order.
+//
+//imprintvet:locks held=mu.R
 func (q *Query) idsParallel(en *execNode, nsegs int) ([]uint32, core.QueryStats, error) {
 	var st core.QueryStats
 	var res []uint32
@@ -323,6 +333,8 @@ func (q *Query) idsParallel(en *execNode, nsegs int) ([]uint32, core.QueryStats,
 // countSegment tallies one segment: exact candidate runs wholesale via
 // the deleted-bitmap popcount (the count fast path), inexact runs one
 // popcount per surviving block mask.
+//
+//imprintvet:locks held=mu.R
 func (q *Query) countSegment(en *execNode, s int) segOut {
 	var o segOut
 	ev := q.t.evalSegment(en, s, q.opts, &o.st, false)
@@ -402,6 +414,8 @@ func (q *Query) Count() (uint64, core.QueryStats, error) {
 
 // countParallel fans the segments across the worker pool, summing the
 // tallies in segment order.
+//
+//imprintvet:locks held=mu.R
 func (q *Query) countParallel(en *execNode, nsegs int, limit uint64) (uint64, core.QueryStats, error) {
 	var st core.QueryStats
 	var n uint64

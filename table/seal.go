@@ -206,10 +206,12 @@ func (c *colState[V]) buildSealed(rows [][]any, ci int) any {
 	return s
 }
 
+//imprintvet:locks held=mu
 func (c *colState[V]) installSealed(built any) {
 	c.segs = append(c.segs, built.(*segment[V]))
 }
 
+//imprintvet:locks held=mu.R
 func (c *colState[V]) mergeBacklog(satLimit float64) int {
 	n := 0
 	for _, s := range c.segs {
@@ -220,6 +222,7 @@ func (c *colState[V]) mergeBacklog(satLimit float64) int {
 	return n
 }
 
+//imprintvet:locks held=mu
 func (c *colState[V]) mergeOne(satLimit float64) bool {
 	for _, s := range c.segs {
 		if c.needsMerge(s, satLimit) {
@@ -249,12 +252,14 @@ func (c *strColState) buildSealed(rows [][]any, ci int) any {
 	return s
 }
 
+//imprintvet:locks held=mu
 func (c *strColState) installSealed(built any) {
 	s := built.(*strSegment)
 	s.gen = c.nextGen()
 	c.segs = append(c.segs, s)
 }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) mergeBacklog(satLimit float64) int {
 	n := 0
 	for _, s := range c.segs {
@@ -265,6 +270,7 @@ func (c *strColState) mergeBacklog(satLimit float64) int {
 	return n
 }
 
+//imprintvet:locks held=mu
 func (c *strColState) mergeOne(satLimit float64) bool {
 	for _, s := range c.segs {
 		if s.ix != nil && s.ix.NeedsRebuild(satLimit, 0, 0) {

@@ -37,6 +37,15 @@ import (
 // chunk bounded by that shard's segment boundary. Shard fill levels
 // are tracked in per-shard atomic counters so routing never touches a
 // shard's RWMutex (which a seal install may hold).
+//
+// The package-wide lock order (checked by imprintvet's locksafe):
+// a sealer's sealMu orders before its table's mu; the parent table's
+// mu orders before the commit tokens; the tokens order before any kid
+// shard's mu ("kid" is the class of a child Table's mu as seen from
+// the parent); a leaf plan's cacheMu nests innermost (taken under an
+// execution's read lock, never holding anything else).
+//
+//imprintvet:lockorder sealMu,mu,tokens,kid,cacheMu
 type shardState struct {
 	nshards int
 	segRows int
@@ -95,12 +104,15 @@ func (sh *shardState) totalRows() int {
 
 // lockTokens acquires every commit token in shard order (admin
 // operations quiesce commits this way); unlockTokens releases them.
+//
+//imprintvet:locks returns-held=tokens
 func (sh *shardState) lockTokens() {
 	for c := range sh.tokens {
 		sh.tokens[c].Lock()
 	}
 }
 
+//imprintvet:locks releases=tokens
 func (sh *shardState) unlockTokens() {
 	for c := len(sh.tokens) - 1; c >= 0; c-- {
 		sh.tokens[c].Unlock()
@@ -109,6 +121,8 @@ func (sh *shardState) unlockTokens() {
 
 // refreshRowsLocked re-seeds the routing counters from the kids'
 // actual row counts; callers hold every commit token.
+//
+//imprintvet:locks held=tokens
 func (sh *shardState) refreshRowsLocked() {
 	for c, kid := range sh.kids {
 		sh.rows[c].Store(int64(kid.Rows()))
@@ -118,12 +132,15 @@ func (sh *shardState) refreshRowsLocked() {
 // shardRLock read-locks every kid in ascending shard order (query
 // executions hold all of them for the duration of the merge, exactly
 // as an unsharded execution holds its one table lock).
+//
+//imprintvet:locks returns-held=kid.R
 func (t *Table) shardRLock() {
 	for _, kid := range t.shard.kids {
 		kid.mu.RLock()
 	}
 }
 
+//imprintvet:locks releases=kid.R
 func (t *Table) shardRUnlock() {
 	kids := t.shard.kids
 	for i := len(kids) - 1; i >= 0; i-- {
@@ -138,6 +155,8 @@ func (t *Table) shardRUnlock() {
 // keeps the acquired shard whose next free global id is lowest — so
 // a lone writer fills global segments in exactly unsharded order,
 // while concurrent writers spread across whatever shards are free.
+//
+//imprintvet:locks returns-held=tokens
 func (sh *shardState) route() int {
 	best := -1
 	bestGid := 0
@@ -213,6 +232,8 @@ func (b *Batch) commitSharded() error {
 // child batch on shard c and commits it there (the child takes the
 // delta-ingest or columnar path on its own); callers hold shard c's
 // token.
+//
+//imprintvet:locks held=tokens acquires=kid
 func (sh *shardState) commitChunk(c int, b *Batch, from, to int) error {
 	cb := sh.kids[c].NewBatch()
 	for _, sc := range b.staged {
@@ -276,8 +297,7 @@ func (t *Table) checkShardDense(name string, nvals int) error {
 	}
 	for c, kid := range sh.kids {
 		if want := denseKidRows(total, t.segRows, sh.nshards, c); kid.Rows() != want {
-			return fmt.Errorf("table %s: column %q: shards are not densely packed (shard %d holds %d rows, dense layout needs %d) — concurrent commits left id holes; add columns before writing or after a fresh load",
-				t.name, name, c, kid.Rows(), want)
+			return &ShardDenseError{Table: t.name, Column: name, Shard: c, Have: kid.Rows(), Want: want}
 		}
 	}
 	return nil

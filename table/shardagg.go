@@ -98,6 +98,8 @@ type deltaEnt struct {
 
 // deltaEntries collects the qualifying delta rows of every shard,
 // ascending by global id.
+//
+//imprintvet:locks held=kid.R
 func (se *shardExec) deltaEntries(st *core.QueryStats) []deltaEnt {
 	var out []deltaEnt
 	for c, view := range se.views {
@@ -119,6 +121,8 @@ func (se *shardExec) deltaEntries(st *core.QueryStats) []deltaEnt {
 // pending delta row folded before the first sealed id that exceeds it
 // (sharded delta ids interleave with sealed ids, unlike the unsharded
 // append-only tail).
+//
+//imprintvet:locks held=mu.R,kid.R
 func (q *Query) shardLimitedAggregate(se *shardExec, kbinds [][]aggBind, merged []aggPartial, finish func() *AggResult, st *core.QueryStats) (*AggResult, core.QueryStats, error) {
 	binds := kbinds[0]
 	dents := se.deltaEntries(st)

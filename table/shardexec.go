@@ -48,6 +48,8 @@ type shardExec struct {
 // query clones (prepared executions pick up the statement's per-shard
 // compilation), bound execution trees, delta watermarks, and the unit
 // list. Callers hold the parent read lock and every shard's read lock.
+//
+//imprintvet:locks held=mu.R,kid.R
 func (q *Query) shardBind() (*shardExec, error) {
 	sh := q.t.shard
 	se := &shardExec{
@@ -112,6 +114,8 @@ func (q *Query) shardCheckProjection() error {
 // ids all follow sealed ids — one shard's delta rows can precede
 // another shard's sealed segments in the global id space, so sharded
 // merges interleave delta ids rather than appending them.
+//
+//imprintvet:locks held=kid.R
 func (se *shardExec) deltaGids(st *core.QueryStats) []uint32 {
 	var out []uint32
 	for c, view := range se.views {
@@ -132,6 +136,8 @@ func (se *shardExec) deltaGids(st *core.QueryStats) []uint32 {
 // sealed result ids (both ascending) and applies the limit. Sealed
 // ids dropped by an early limit stop all exceed every kept id, so
 // merge-then-truncate returns exactly the first Limit qualifying ids.
+//
+//imprintvet:locks held=kid.R
 func (se *shardExec) mergeDeltaIDs(q *Query, res []uint32, st *core.QueryStats) []uint32 {
 	dg := se.deltaGids(st)
 	switch {
@@ -405,6 +411,8 @@ func (q *Query) shardRows(yield func(int, Row) bool) {
 // per shard, all ranked by the typed merge. Callers hold the parent
 // and every shard's read lock; se may be nil (bound here after the
 // ordering column is validated, preserving error precedence).
+//
+//imprintvet:locks held=mu.R,kid.R
 func (q *Query) shardOrderedIDs(se *shardExec) ([]uint32, core.QueryStats, error) {
 	var st core.QueryStats
 	sh := q.t.shard

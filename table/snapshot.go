@@ -30,6 +30,8 @@ type deltaView struct {
 // deltaViewLocked captures the delta watermark for one execution; nil
 // when the table has no delta ingest or nothing is buffered. Callers
 // hold the read lock for the view's lifetime.
+//
+//imprintvet:locks held=mu.R
 func (t *Table) deltaViewLocked() *deltaView {
 	d := t.delta
 	if d == nil {
@@ -108,6 +110,8 @@ func (v *deltaView) matchKids(en *execNode) []func(row []any) bool {
 // matches all) exactly and visiting qualifying rows until visit
 // returns false. It reports whether the walk ran to completion and
 // counts evaluated rows into st.DeltaRowsScanned.
+//
+//imprintvet:locks held=mu.R
 func (v *deltaView) scan(match func(row []any) bool, st *core.QueryStats, visit func(id int, row []any) bool) bool {
 	for i, row := range v.rows {
 		id := v.base + i

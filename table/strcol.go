@@ -36,9 +36,11 @@ func (s *strSegment) rows() int      { return s.dict.Codes().Len() }
 // intervals, so StrRange and friends compose in the same And/Or/AndNot
 // trees as numeric leaves.
 type strColState struct {
-	name    string
-	segs    []*strSegment
-	mode    IndexMode // Imprints or NoIndex
+	name string
+	// segs is written only under the owning table's write lock and read
+	// under at least its read lock (snapshotsafe enforces both).
+	segs    []*strSegment //imprintvet:guarded by=mu
+	mode    IndexMode     // Imprints or NoIndex
 	vpcOpts core.Options
 	segRows int
 	genSeq  uint64 // generation source; each (re-)encode gets a fresh value
@@ -157,8 +159,11 @@ func strCol(t *Table, name string) (*strColState, error) {
 
 func (c *strColState) colName() string { return c.name }
 func (c *strColState) colType() string { return "string" }
-func (c *strColState) segments() int   { return len(c.segs) }
 
+//imprintvet:locks held=mu.R
+func (c *strColState) segments() int { return len(c.segs) }
+
+//imprintvet:locks held=mu.R
 func (c *strColState) colRows() int {
 	if len(c.segs) == 0 {
 		return 0
@@ -166,6 +171,7 @@ func (c *strColState) colRows() int {
 	return (len(c.segs)-1)*c.segRows + c.segs[len(c.segs)-1].rows()
 }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) sizeBytes() int64 {
 	var n int64
 	for _, s := range c.segs {
@@ -174,6 +180,7 @@ func (c *strColState) sizeBytes() int64 {
 	return n
 }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) indexBytes() int64 {
 	var n int64
 	for _, s := range c.segs {
@@ -191,6 +198,7 @@ func (c *strColState) indexKind() string {
 	return "scan"
 }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) indexStats() ColumnIndexStats {
 	st := ColumnIndexStats{Segments: len(c.segs)}
 	var sat float64
@@ -210,6 +218,7 @@ func (c *strColState) indexStats() ColumnIndexStats {
 	return st
 }
 
+//imprintvet:locks held=mu
 func (c *strColState) maintain(satLimit float64, rebuild bool) int {
 	n := 0
 	for _, s := range c.segs {
@@ -233,6 +242,7 @@ func (c *strColState) rebuildSegmentIndex(s *strSegment) {
 	s.ix = core.Build(s.codes(), c.vpcOpts)
 }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) valueAt(id int) any {
 	seg := c.segs[id/c.segRows]
 	return seg.dict.Symbol(seg.codes()[id%c.segRows])
@@ -247,6 +257,7 @@ func (c *strColState) decodeSegment(s *strSegment) []string {
 	return out
 }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) decodeAll() []string {
 	out := make([]string, 0, c.colRows())
 	for _, s := range c.segs {
@@ -272,6 +283,7 @@ func (c *strColState) reencodeSegment(s *strSegment, vals []string) {
 	c.rebuildSegmentIndex(s)
 }
 
+//imprintvet:locks held=mu
 func (c *strColState) compact(keep []int) {
 	kept := make([]string, 0, len(keep))
 	for _, id := range keep {
@@ -287,6 +299,8 @@ func (c *strColState) compact(keep []int) {
 // appended to the tail is already in its dictionary, the codes and the
 // imprint extend in place (Section 4.1's cheap append); a novel string
 // re-encodes the tail segment only — sealed segments never change.
+//
+//imprintvet:locks held=mu
 func (c *strColState) absorbStrings(vals []string) {
 	for len(vals) > 0 {
 		if len(c.segs) == 0 || c.segs[len(c.segs)-1].rows() == c.segRows {
@@ -352,9 +366,9 @@ type strLeafPlan struct {
 	low, high string
 	inSet     []string // kindIn
 
-	mu    sync.Mutex
-	cache []*strSegTrans // indexed by segment
-	kerns []strKernEntry // cached per-segment selection-mask kernels
+	cacheMu sync.Mutex
+	cache   []*strSegTrans // indexed by segment
+	kerns   []strKernEntry // cached per-segment selection-mask kernels
 }
 
 // strKernEntry is one cached code-slab kernel with the identity it was
@@ -403,10 +417,12 @@ func (c *strColState) compileLeaf(p *leafPred) (leafPlan, error) {
 
 // trans returns segment s's cached dictionary translation, deriving it
 // when missing or stale (the segment re-encoded since).
+//
+//imprintvet:locks held=mu.R
 func (pl *strLeafPlan) trans(s int) *strSegTrans {
 	seg := pl.c.segs[s]
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
+	pl.cacheMu.Lock()
+	defer pl.cacheMu.Unlock()
 	for len(pl.cache) <= s {
 		pl.cache = append(pl.cache, nil)
 	}
@@ -462,6 +478,8 @@ func (pl *strLeafPlan) access() string { return pl.c.indexKind() }
 
 // prune is exact for string leaves: the segment's own dictionary
 // proves whether any of its values can satisfy the predicate.
+//
+//imprintvet:locks held=mu.R
 func (pl *strLeafPlan) prune(s int) bool {
 	if pl.c.segs[s].rows() == 0 {
 		return true
@@ -469,6 +487,7 @@ func (pl *strLeafPlan) prune(s int) bool {
 	return pl.trans(s).none
 }
 
+//imprintvet:locks held=mu.R
 func (pl *strLeafPlan) segCheck(s int) core.CheckFunc {
 	e := pl.trans(s)
 	if e.none {
@@ -512,6 +531,7 @@ func (pl *strLeafPlan) rowCheck() func(v any) bool {
 	}
 }
 
+//imprintvet:locks held=mu.R
 func (pl *strLeafPlan) segRuns(s int, dst []core.CandidateRun) ([]core.CandidateRun, core.QueryStats) {
 	e := pl.trans(s)
 	if e.none {
@@ -541,6 +561,8 @@ func (pl *strLeafPlan) segRuns(s int, dst []core.CandidateRun) ([]core.Candidate
 // segKernel returns the leaf's cached selection-mask kernel over
 // segment s's code slab, re-deriving it when the segment re-encoded
 // (generation bump) or its slab moved or grew (tail append).
+//
+//imprintvet:locks held=mu.R
 func (pl *strLeafPlan) segKernel(s int) blockKernel {
 	e := pl.trans(s)
 	seg := pl.c.segs[s]
@@ -548,8 +570,8 @@ func (pl *strLeafPlan) segKernel(s int) blockKernel {
 	if e.none || len(codes) == 0 {
 		return zeroMask
 	}
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
+	pl.cacheMu.Lock()
+	defer pl.cacheMu.Unlock()
 	for len(pl.kerns) <= s {
 		pl.kerns = append(pl.kerns, strKernEntry{})
 	}
@@ -568,6 +590,8 @@ func (pl *strLeafPlan) segKernel(s int) blockKernel {
 
 // segEstimate mirrors numLeafPlan.segEstimate: negative means segment s
 // has no imprint-backed estimate.
+//
+//imprintvet:locks held=mu.R
 func (pl *strLeafPlan) segEstimate(s int) float64 {
 	seg := pl.c.segs[s]
 	if seg.ix == nil {

@@ -189,8 +189,10 @@ type anyColumn interface {
 // fixed-size segments. All segments but the last hold exactly segRows
 // values; the last (the active tail) absorbs appends until full.
 type colState[V coltype.Value] struct {
-	name    string
-	segs    []*segment[V]
+	name string
+	// segs is written only under the owning table's write lock and read
+	// under at least its read lock (snapshotsafe enforces both).
+	segs    []*segment[V] //imprintvet:guarded by=mu
 	mode    IndexMode
 	vpcOpts core.Options
 	segRows int
@@ -206,10 +208,14 @@ type Table struct {
 	cols    map[string]anyColumn
 	rows    int // sealed (columnar) rows; totalRowsLocked adds the delta
 	segRows int
-	deleted *bitvec.Vector // lazily sized; nil when nothing deleted
+	// deleted is lazily sized; nil when nothing deleted.
+	deleted *bitvec.Vector //imprintvet:guarded by=mu
 	ndel    int
-	delta   *deltaState // LSM-style ingest state; nil until enabled
-	shard   *shardState // sharded layout (TableOptions.Shards > 1); nil otherwise
+	// delta is the LSM-style ingest state; nil until enabled (the
+	// pointer is assigned once under the write lock; the store behind it
+	// has its own mutex).
+	delta *deltaState //imprintvet:guarded by=mu
+	shard *shardState // sharded layout (TableOptions.Shards > 1); nil otherwise
 }
 
 // New creates an empty table with default options.
@@ -442,6 +448,8 @@ func validateOptions(o core.Options) error {
 }
 
 // installColumn registers a validated column; callers hold mu.
+//
+//imprintvet:locks held=mu
 func (t *Table) installColumn(name string, c anyColumn, nvals int) {
 	t.cols[name] = c
 	t.order = append(t.order, name)
@@ -610,6 +618,8 @@ func Append[V coltype.Value](b *Batch, name string, vals []V) error {
 	}
 	vcopy := append([]V(nil), vals...)
 	b.staged[name] = stagedCol{
+		// The apply closure runs later, under Commit's write lock.
+		//imprintvet:allow locksafe apply closures run under Commit's write lock
 		apply: func() { cs.absorb(vcopy) },
 		value: func(i int) any { return vcopy[i] },
 	}
@@ -647,6 +657,8 @@ func (b *Batch) AppendStrings(name string, vals []string) error {
 	}
 	vcopy := append([]string(nil), vals...)
 	b.staged[name] = stagedCol{
+		// The apply closure runs later, under Commit's write lock.
+		//imprintvet:allow locksafe apply closures run under Commit's write lock
 		apply: func() { cs.absorbStrings(vcopy) },
 		value: func(i int) any { return vcopy[i] },
 	}
@@ -729,8 +741,11 @@ func (b *Batch) Commit() error {
 
 func (c *colState[V]) colName() string { return c.name }
 func (c *colState[V]) colType() string { return coltype.TypeName[V]() }
-func (c *colState[V]) segments() int   { return len(c.segs) }
 
+//imprintvet:locks held=mu.R
+func (c *colState[V]) segments() int { return len(c.segs) }
+
+//imprintvet:locks held=mu.R
 func (c *colState[V]) colRows() int {
 	if len(c.segs) == 0 {
 		return 0
@@ -738,10 +753,12 @@ func (c *colState[V]) colRows() int {
 	return (len(c.segs)-1)*c.segRows + len(c.segs[len(c.segs)-1].vals)
 }
 
+//imprintvet:locks held=mu.R
 func (c *colState[V]) sizeBytes() int64 {
 	return int64(c.colRows()) * int64(coltype.Width[V]())
 }
 
+//imprintvet:locks held=mu.R
 func (c *colState[V]) indexBytes() int64 {
 	var n int64
 	for _, s := range c.segs {
@@ -760,6 +777,7 @@ func (c *colState[V]) indexKind() string {
 	return "scan"
 }
 
+//imprintvet:locks held=mu.R
 func (c *colState[V]) indexStats() ColumnIndexStats {
 	st := ColumnIndexStats{Segments: len(c.segs)}
 	var sat float64
@@ -783,6 +801,8 @@ func (c *colState[V]) indexStats() ColumnIndexStats {
 // absorb extends the column with new rows, filling the active tail
 // segment and opening fresh segments as it fills. Only the tail's
 // index is ever touched.
+//
+//imprintvet:locks held=mu
 func (c *colState[V]) absorb(vals []V) {
 	for len(vals) > 0 {
 		if len(c.segs) == 0 || len(c.segs[len(c.segs)-1].vals) == c.segRows {
@@ -798,6 +818,7 @@ func (c *colState[V]) absorb(vals []V) {
 	}
 }
 
+//imprintvet:locks held=mu.R
 func (c *colState[V]) valueAt(id int) any {
 	return c.segs[id/c.segRows].vals[id%c.segRows]
 }
@@ -805,6 +826,8 @@ func (c *colState[V]) valueAt(id int) any {
 // maintain applies the Section 4.2 saturation heuristic segment by
 // segment: only segments whose own imprint is saturated are rebuilt,
 // leaving the rest untouched.
+//
+//imprintvet:locks held=mu
 func (c *colState[V]) maintain(satLimit float64, rebuild bool) int {
 	n := 0
 	for _, s := range c.segs {
@@ -818,6 +841,7 @@ func (c *colState[V]) maintain(satLimit float64, rebuild bool) int {
 	return n
 }
 
+//imprintvet:locks held=mu
 func (c *colState[V]) compact(keep []int) {
 	out := make([]V, 0, len(keep))
 	for _, id := range keep {
@@ -906,6 +930,7 @@ func (t *Table) Compact() int {
 	return t.compactLocked()
 }
 
+//imprintvet:locks held=mu
 func (t *Table) compactLocked() int {
 	// Fold buffered rows first so the keep-list covers them and ids
 	// renumber consistently across sealed and delta rows.

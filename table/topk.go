@@ -165,6 +165,7 @@ func mergeEntries[V coltype.Value](parts []orderPartial, desc bool, k int) []uin
 
 // ---- numeric columns ----
 
+//imprintvet:locks held=mu.R
 func (c *colState[V]) topkAcc(s int, desc bool, k int) segTopK {
 	return &numTopK[V]{vals: c.segs[s].vals, heap: boundedHeap[V]{desc: desc, k: k}}
 }
@@ -193,6 +194,7 @@ type strTopK struct {
 	heap boundedHeap[int32]
 }
 
+//imprintvet:locks held=mu.R
 func (c *strColState) topkAcc(s int, desc bool, k int) segTopK {
 	seg := c.segs[s]
 	return &strTopK{seg: seg, heap: boundedHeap[int32]{desc: desc, k: k}}
@@ -251,6 +253,8 @@ func (c *strColState) topkMerge(parts []orderPartial, desc bool, k int) []uint32
 // ids; the caller holds the table's read lock. Every segment must
 // report (a pruned one cheaply), so there is no early cancel; the
 // bounded heaps keep per-segment work at O(rows · log k).
+//
+//imprintvet:locks held=mu.R
 func (q *Query) orderedIDsLocked() ([]uint32, core.QueryStats, error) {
 	var st core.QueryStats
 	col, ok := q.t.cols[q.order.col]
