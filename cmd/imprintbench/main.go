@@ -19,7 +19,7 @@
 //
 // Usage:
 //
-//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared|segments|aggregate|vectorized|serve[,...]]
+//	imprintbench [-exp all|table1|fig3|...|fig11|queryplan|prepared|segments|aggregate|vectorized|serve|ingest|shards|ingest-recover[,...]]
 //	             [-scale 1.0] [-seed 42] [-queries 3] [-maxcols 0]
 //	             [-format text|csv] [-json] [-outdir DIR]
 //

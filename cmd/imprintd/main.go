@@ -12,17 +12,29 @@
 //	         [-workers 0] [-queue 0] [-cache 128]
 //	         [-default-timeout 0] [-parallelism 1]
 //	         [-ingest] [-max-shard-backlog 0]
+//	         [-wal DIR] [-fsync always|group|off] [-group-window 2ms]
+//	         [-quarantine]
 //
 // Exactly one of -load (a table file written by Table.Write) or
 // -sample (a synthetic "orders" table with that many rows) selects the
 // served relation; -sample is the default.
 //
+// With -wal (requires -ingest), every commit, update and delete is
+// written to a write-ahead log under DIR before it is acknowledged;
+// on startup the log is replayed and the recovery report logged, so a
+// crash — kill -9 included — loses no acknowledged write. -fsync
+// picks the durability policy, -group-window the group-commit
+// latency bound. With -quarantine, a -load image with checksum
+// damage confined to individual segments loads degraded (casualties
+// in /stats, /healthz reports "degraded") instead of failing.
+//
 // Endpoints:
 //
 //	POST /query    {"query": "select ...", "params": {...}, "timeout_ms": 0}
+//	POST /insert   {"columns": {"qty": [1,2], "city": ["Oslo","Rome"]}}
 //	GET  /explain  ?q=select ...&params={...}
-//	GET  /stats    serving counters and latency histograms
-//	GET  /healthz  liveness plus table identity
+//	GET  /stats    serving counters, latency histograms, recovery report
+//	GET  /healthz  liveness plus table identity and degraded state
 //
 // SIGINT/SIGTERM drains in-flight requests, then logs the serving
 // summary (queries served, rejections, cancellations, cache counters).
@@ -43,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/table"
 )
 
@@ -61,12 +74,24 @@ func main() {
 		ingest      = flag.Bool("ingest", false, "enable LSM-style delta ingest (background sealing) on the served table")
 		shards      = flag.Int("shards", 1, "sample table shard count (per-shard locks and ingest; ignored with -load)")
 		maxBacklog  = flag.Int("max-shard-backlog", 0, "shed queries with 429 while the hottest shard buffers more than this many delta rows (0 = never)")
+		walDir      = flag.String("wal", "", "write-ahead log directory (requires -ingest); replayed on startup")
+		fsyncPolicy = flag.String("fsync", "always", "WAL durability policy: always, group, or off")
+		groupWindow = flag.Duration("group-window", 2*time.Millisecond, "max latency a group commit waits to batch fsyncs (with -fsync group)")
+		quarantine  = flag.Bool("quarantine", false, "load past segment-level corruption in -load images (damaged segments served empty, rows marked deleted)")
 	)
 	flag.Parse()
 
-	tbl, err := loadTable(*load, *sample, *seed, *segRows, *shards)
+	tbl, err := loadTable(*load, *sample, *seed, *segRows, *shards, *quarantine)
 	if err != nil {
+		var cse *table.CorruptSegmentError
+		if errors.As(err, &cse) {
+			log.Printf("corrupt segment: %v", cse)
+		}
 		fmt.Fprintln(os.Stderr, "imprintd:", err)
+		os.Exit(1)
+	}
+	if *walDir != "" && !*ingest {
+		fmt.Fprintln(os.Stderr, "imprintd: -wal requires -ingest")
 		os.Exit(1)
 	}
 	if *ingest {
@@ -80,6 +105,29 @@ func main() {
 			}
 		}()
 		log.Printf("delta ingest enabled (background sealing)")
+	}
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imprintd:", err)
+			os.Exit(1)
+		}
+		rep, err := tbl.EnableWAL(table.WALOptions{
+			Dir:         *walDir,
+			Policy:      policy,
+			GroupWindow: *groupWindow,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "imprintd:", err)
+			os.Exit(1)
+		}
+		log.Printf("wal enabled at %s (fsync %s): recovery %s", *walDir, *fsyncPolicy, rep)
+	}
+	if q := tbl.Quarantined(); len(q) > 0 {
+		for _, qs := range q {
+			log.Printf("quarantined: %s", qs.Err)
+		}
+		log.Printf("serving DEGRADED: %d segments quarantined (rows marked deleted)", len(q))
 	}
 	log.Printf("serving table %q: %d rows, %d segments", tbl.Name(), tbl.Rows(), tbl.Segments())
 
@@ -128,14 +176,16 @@ func main() {
 // loadTable reads a persisted table (its shard layout comes from the
 // file) or synthesizes the sample "orders" relation (qty int64, price
 // float64, pri uint8, city string), sharded when -shards > 1.
-func loadTable(path string, rows int, seed int64, segRows, shards int) (*table.Table, error) {
+func loadTable(path string, rows int, seed int64, segRows, shards int, quarantine bool) (*table.Table, error) {
 	if path != "" {
-		f, err := os.Open(path)
+		tbl, rep, err := table.Open(path, table.LoadOptions{Quarantine: quarantine})
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		return table.Read(f)
+		if rep.Degraded() {
+			log.Printf("loaded %s degraded: %d segments quarantined", path, len(rep.Quarantined))
+		}
+		return tbl, nil
 	}
 	if rows <= 0 {
 		return nil, fmt.Errorf("need -load or a positive -sample row count")

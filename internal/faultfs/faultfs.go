@@ -1,0 +1,162 @@
+// Package faultfs abstracts the small slice of filesystem behavior the
+// durability layer depends on — create/rename/remove/truncate, file
+// sync and directory-entry sync — behind an interface so tests can
+// substitute an in-memory filesystem with an explicit crash model
+// (MemFS) and inject faults at every write-path operation (Injector).
+//
+// The production implementation (OS) forwards to package os. The
+// durability code in internal/wal and table persistence is written
+// against FS exclusively, which is what makes the crash-point oracle
+// possible: the same code path runs against MemFS, is killed at an
+// arbitrary operation, "crashes" (volatile state reverts to the
+// durable image), and recovers.
+package faultfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is an open file handle. Writes always append (the durability
+// layer never seeks); Sync persists previously written bytes the way
+// fsync does.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync makes every byte written before the call durable. After a
+	// Sync error the file's durable state is unknown; callers are
+	// expected to fail-stop (fsyncgate semantics) rather than retry.
+	Sync() error
+}
+
+// FS is the filesystem surface the durability layer uses. Directory
+// entries created by Create or moved by Rename are NOT durable until
+// SyncDir is called on the parent directory — exactly the POSIX
+// contract, and exactly what MemFS models.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname's file. The new
+	// entry is volatile until SyncDir on the parent.
+	Rename(oldname, newname string) error
+	// Remove unlinks name.
+	Remove(name string) error
+	// MkdirAll creates the directory path and any missing parents.
+	MkdirAll(name string) error
+	// ReadDir lists the entry names of a directory, sorted.
+	ReadDir(name string) ([]string, error)
+	// Truncate cuts the named file to size bytes. Used by WAL recovery
+	// to physically discard a torn tail; implementations make the
+	// truncation durable before returning.
+	Truncate(name string, size int64) error
+	// SyncDir makes the directory's current entries (creations,
+	// renames, removals) durable.
+	SyncDir(name string) error
+	// Size reports the current length of the named file.
+	Size(name string) (int64, error)
+}
+
+// OS is the production FS backed by package os.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(name string) error { return os.MkdirAll(name, 0o755) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Truncate implements FS. The shortened length is made durable by
+// re-syncing the file, so a torn WAL tail discarded during recovery
+// cannot resurrect after the next crash.
+func (OS) Truncate(name string, size int64) error {
+	if err := os.Truncate(name, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// SyncDir implements FS by fsyncing the directory inode.
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Size implements FS.
+func (OS) Size(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// clean normalizes a path for use as a map key in MemFS.
+func clean(name string) string { return filepath.Clean(name) }
+
+// parentOf returns the directory containing name.
+func parentOf(name string) string { return filepath.Dir(clean(name)) }
+
+// childOf reports whether path sits directly inside dir.
+func childOf(dir, path string) bool {
+	return parentOf(path) == clean(dir) && clean(path) != clean(dir)
+}
+
+// baseOf returns the last element of the path.
+func baseOf(name string) string {
+	if i := strings.LastIndexByte(clean(name), '/'); i >= 0 {
+		return clean(name)[i+1:]
+	}
+	return clean(name)
+}

@@ -1,0 +1,203 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+)
+
+func writeFile(t *testing.T, fs FS, name, data string, sync bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatalf("write %s: %v", name, err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatalf("sync %s: %v", name, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", name, err)
+	}
+}
+
+func readFile(t *testing.T, fs FS, name string) string {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(b)
+}
+
+// Unsynced file contents do not survive a crash; synced contents do.
+func TestMemFSCrashContents(t *testing.T) {
+	fs := NewMemFS()
+	if err := fs.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, fs, "d/a", "hello", true)
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("d/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("volatile"))
+	f.Close()
+
+	// a gains unsynced extra bytes.
+	g, err := fs.Open("d/a")
+	_ = g
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := fs.Create("d/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Write([]byte("synced-but-unlinked"))
+	h.Sync()
+	h.Close()
+
+	fs.Crash()
+	if got := readFile(t, fs, "d/a"); got != "hello" {
+		t.Fatalf("a after crash = %q, want hello", got)
+	}
+	if _, err := fs.Open("d/b"); err == nil {
+		t.Fatal("unsynced-dir file b survived crash")
+	}
+	if _, err := fs.Open("d/c"); err == nil {
+		t.Fatal("file c created after SyncDir survived crash without a second SyncDir")
+	}
+}
+
+// A rename is volatile until SyncDir: crash before it reverts to the
+// old name, crash after it keeps the new name.
+func TestMemFSCrashRename(t *testing.T) {
+	fs := NewMemFS()
+	fs.MkdirAll("d")
+	writeFile(t, fs, "d/old", "v1", true)
+	fs.SyncDir("d")
+	writeFile(t, fs, "d/old.tmp", "v2", true)
+	fs.SyncDir("d")
+	if err := fs.Rename("d/old.tmp", "d/old"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash before SyncDir: the rename rolls back.
+	fs.Crash()
+	if got := readFile(t, fs, "d/old"); got != "v1" {
+		t.Fatalf("old after crash = %q, want v1", got)
+	}
+	if got := readFile(t, fs, "d/old.tmp"); got != "v2" {
+		t.Fatalf("old.tmp after crash = %q, want v2", got)
+	}
+
+	// Redo with SyncDir: the rename sticks.
+	if err := fs.Rename("d/old.tmp", "d/old"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if got := readFile(t, fs, "d/old"); got != "v2" {
+		t.Fatalf("old after synced rename + crash = %q, want v2", got)
+	}
+	if _, err := fs.Open("d/old.tmp"); err == nil {
+		t.Fatal("old.tmp survived synced rename")
+	}
+}
+
+// Create over an existing durable file truncates the durable image:
+// an in-place overwrite that crashes loses the previous contents.
+func TestMemFSCreateTruncatesDurable(t *testing.T) {
+	fs := NewMemFS()
+	writeFile(t, fs, "a", "good image", true)
+	fs.SyncDir(".")
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("half-writ"))
+	f.Close()
+	fs.Crash()
+	if got := readFile(t, fs, "a"); got != "" {
+		t.Fatalf("in-place overwrite survived crash with %q; want empty (old image destroyed)", got)
+	}
+}
+
+// Truncate is durable immediately and bounds the persisted prefix.
+func TestMemFSTruncate(t *testing.T) {
+	fs := NewMemFS()
+	writeFile(t, fs, "a", "0123456789", true)
+	fs.SyncDir(".")
+	if err := fs.Truncate("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, fs, "a"); got != "0123" {
+		t.Fatalf("after truncate = %q", got)
+	}
+	fs.Crash()
+	if got := readFile(t, fs, "a"); got != "0123" {
+		t.Fatalf("after truncate+crash = %q", got)
+	}
+}
+
+// The injector fails the armed op, tears writes in torn mode, and
+// stays failed (fail-stop) afterwards.
+func TestInjectorModes(t *testing.T) {
+	mem := NewMemFS()
+	in := NewInjector(mem)
+
+	// Count a tiny workload: create(1) + write(2) + sync(3) + syncdir(4).
+	writeFile(t, in, "a", "abcdefgh", true)
+	in.SyncDir(".")
+	if got := in.Ops(); got != 4 {
+		t.Fatalf("ops = %d, want 4", got)
+	}
+
+	// Torn write: arm the write (op 2).
+	in.Arm(2, FailTorn)
+	f, err := in.Create("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcdefgh")); err == nil {
+		t.Fatal("armed write succeeded")
+	}
+	if got := readFile(t, mem, "b"); got != "abcd" {
+		t.Fatalf("torn write left %q, want abcd", got)
+	}
+	if !in.Fired() {
+		t.Fatal("injector did not record firing")
+	}
+	// Fail-stop: everything after the fault fails too.
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync after fault succeeded")
+	}
+	if _, err := in.Create("c"); err == nil {
+		t.Fatal("create after fault succeeded")
+	}
+
+	// ENOSPC mode surfaces syscall.ENOSPC via errors.Is.
+	in.Arm(1, FailENOSPC)
+	if _, err := in.Create("d"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("ENOSPC mode error = %v", err)
+	}
+	if !errors.Is(injectErr("x", FailError), ErrInjected) {
+		t.Fatal("injectErr does not wrap ErrInjected")
+	}
+}

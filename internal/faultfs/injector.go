@@ -1,0 +1,191 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+)
+
+// ErrInjected is the base error returned by an armed Injector once it
+// fires (and, fail-stop, for every mutating operation afterwards).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Mode selects how an armed Injector fails the chosen operation.
+type Mode int
+
+const (
+	// FailError fails the operation cleanly: no bytes written, error
+	// returned.
+	FailError Mode = iota
+	// FailTorn fails a Write after persisting only a prefix of the
+	// buffer — the torn-tail case a crashed append leaves behind. For
+	// non-write operations it behaves like FailError.
+	FailTorn
+	// FailENOSPC fails with an error wrapping syscall.ENOSPC.
+	FailENOSPC
+)
+
+// Injector wraps an FS and fails the Nth mutating operation. Every
+// Create, Rename, Remove, Truncate, SyncDir, File.Write and File.Sync
+// counts as one injection point; reads never fail. After firing the
+// injector is sticky: all further mutating operations fail too,
+// modeling a process that must fail-stop once durability is in doubt
+// (the fsyncgate lesson — retrying a failed fsync silently drops
+// writes on most filesystems).
+//
+// Typical use: run a workload once unarmed and read Ops() to learn the
+// injection-point count, then re-run it once per point with
+// Arm(k, mode) and crash at the first error.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	ops    int
+	failAt int
+	mode   Mode
+	fired  bool
+}
+
+// NewInjector wraps fs with an unarmed injector (counts operations,
+// never fails).
+func NewInjector(fs FS) *Injector { return &Injector{inner: fs} }
+
+// Arm schedules the failAt-th mutating operation from now (1-based) to
+// fail with the given mode, and resets the operation counter.
+func (in *Injector) Arm(failAt int, mode Mode) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ops = 0
+	in.failAt = failAt
+	in.mode = mode
+	in.fired = false
+}
+
+// Ops reports the number of mutating operations observed since the
+// injector was created or last armed.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Fired reports whether the armed fault has triggered.
+func (in *Injector) Fired() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// step counts one mutating operation and reports whether it must fail
+// and how.
+func (in *Injector) step() (fail bool, mode Mode) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fired {
+		return true, FailError
+	}
+	in.ops++
+	if in.failAt > 0 && in.ops == in.failAt {
+		in.fired = true
+		return true, in.mode
+	}
+	return false, 0
+}
+
+// injectErr builds the error for a failed operation.
+func injectErr(op string, mode Mode) error {
+	if mode == FailENOSPC {
+		return fmt.Errorf("%w: %s: %w", ErrInjected, op, syscall.ENOSPC)
+	}
+	return fmt.Errorf("%w: %s", ErrInjected, op)
+}
+
+// Create implements FS.
+func (in *Injector) Create(name string) (File, error) {
+	if fail, mode := in.step(); fail {
+		return nil, injectErr("create "+name, mode)
+	}
+	f, err := in.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{in: in, f: f, name: name}, nil
+}
+
+// Open implements FS (never fails by injection).
+func (in *Injector) Open(name string) (File, error) { return in.inner.Open(name) }
+
+// Rename implements FS.
+func (in *Injector) Rename(oldname, newname string) error {
+	if fail, mode := in.step(); fail {
+		return injectErr("rename "+oldname, mode)
+	}
+	return in.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if fail, mode := in.step(); fail {
+		return injectErr("remove "+name, mode)
+	}
+	return in.inner.Remove(name)
+}
+
+// MkdirAll implements FS (not an injection point: directory creation
+// happens once at startup, before any data is at risk).
+func (in *Injector) MkdirAll(name string) error { return in.inner.MkdirAll(name) }
+
+// ReadDir implements FS (never fails by injection).
+func (in *Injector) ReadDir(name string) ([]string, error) { return in.inner.ReadDir(name) }
+
+// Truncate implements FS.
+func (in *Injector) Truncate(name string, size int64) error {
+	if fail, mode := in.step(); fail {
+		return injectErr("truncate "+name, mode)
+	}
+	return in.inner.Truncate(name, size)
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(name string) error {
+	if fail, mode := in.step(); fail {
+		return injectErr("syncdir "+name, mode)
+	}
+	return in.inner.SyncDir(name)
+}
+
+// Size implements FS (never fails by injection).
+func (in *Injector) Size(name string) (int64, error) { return in.inner.Size(name) }
+
+type injectFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+// Read implements io.Reader (never fails by injection).
+func (g *injectFile) Read(p []byte) (int, error) { return g.f.Read(p) }
+
+// Write implements io.Writer; FailTorn persists a prefix first.
+func (g *injectFile) Write(p []byte) (int, error) {
+	if fail, mode := g.in.step(); fail {
+		if mode == FailTorn && len(p) > 1 {
+			n, _ := g.f.Write(p[:len(p)/2])
+			return n, injectErr("write "+g.name, mode)
+		}
+		return 0, injectErr("write "+g.name, mode)
+	}
+	return g.f.Write(p)
+}
+
+// Sync implements File.
+func (g *injectFile) Sync() error {
+	if fail, mode := g.in.step(); fail {
+		return injectErr("sync "+g.name, mode)
+	}
+	return g.f.Sync()
+}
+
+// Close implements io.Closer (never fails by injection).
+func (g *injectFile) Close() error { return g.f.Close() }

@@ -1,0 +1,295 @@
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS with an explicit crash model. It tracks two
+// views of every file:
+//
+//   - the volatile view: what reads observe while the process lives —
+//     every write is immediately visible;
+//   - the durable view: what survives Crash — file contents as of the
+//     last successful Sync, and directory entries (creations, renames,
+//     removals) as of the last SyncDir on the parent.
+//
+// Crash discards the volatile view: files whose directory entry was
+// never SyncDir'd vanish entirely; surviving files revert to their
+// last-synced contents; un-dirsynced renames roll back to the old
+// name. Create over an existing file pessimistically truncates the
+// durable view too (the truncate may reach disk before any new data),
+// which is exactly what makes a non-atomic save visibly destroy the
+// previous good image under the crash oracle.
+//
+// Directories themselves are modeled as durable on creation; only file
+// entries within them are volatile. That keeps the model focused on
+// the failure class the durability layer must defend against
+// (un-synced data and entries) without simulating full dentry trees.
+type MemFS struct {
+	mu      sync.Mutex
+	dirs    map[string]bool
+	live    map[string]*memInode // volatile namespace
+	durable map[string]*memInode // crash-surviving namespace
+}
+
+// memInode carries a file's volatile contents and the prefix of them
+// made durable by Sync.
+type memInode struct {
+	data      []byte
+	persisted []byte
+}
+
+// NewMemFS returns an empty MemFS whose root directory "." exists.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		dirs:    map[string]bool{".": true, "/": true},
+		live:    map[string]*memInode{},
+		durable: map[string]*memInode{},
+	}
+}
+
+type memHandle struct {
+	fs  *MemFS
+	ino *memInode
+	pos int
+	ro  bool
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if !m.dirs[parentOf(name)] {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrNotExist}
+	}
+	if m.dirs[name] {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrInvalid}
+	}
+	ino := m.live[name]
+	if ino == nil {
+		ino = &memInode{}
+		m.live[name] = ino
+	} else {
+		// O_TRUNC over an existing file: the truncation may hit disk at
+		// any point before the next sync, so the pessimistic durable
+		// image is the empty file.
+		ino.data = nil
+		ino.persisted = nil
+	}
+	return &memHandle{fs: m, ino: ino}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino := m.live[clean(name)]
+	if ino == nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &memHandle{fs: m, ino: ino, ro: true}, nil
+}
+
+// Rename implements FS. The moved entry is volatile until SyncDir.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = clean(oldname), clean(newname)
+	ino := m.live[oldname]
+	if ino == nil {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	if !m.dirs[parentOf(newname)] {
+		return &fs.PathError{Op: "rename", Path: newname, Err: fs.ErrNotExist}
+	}
+	delete(m.live, oldname)
+	m.live[newname] = ino
+	return nil
+}
+
+// Remove implements FS. The removal is volatile until SyncDir.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if m.live[name] == nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.live, name)
+	return nil
+}
+
+// MkdirAll implements FS. Directories are durable on creation (see the
+// type comment for the modeling choice).
+func (m *MemFS) MkdirAll(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	for p := name; ; p = parentOf(p) {
+		if m.live[p] != nil {
+			return &fs.PathError{Op: "mkdir", Path: p, Err: fs.ErrInvalid}
+		}
+		m.dirs[p] = true
+		if p == parentOf(p) || parentOf(p) == "." || parentOf(p) == "/" {
+			break
+		}
+	}
+	m.dirs["."] = true
+	m.dirs["/"] = true
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(name string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if !m.dirs[name] {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for p := range m.live {
+		if childOf(name, p) {
+			names = append(names, baseOf(p))
+		}
+	}
+	for p := range m.dirs {
+		if childOf(name, p) {
+			names = append(names, baseOf(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Truncate implements FS. Like OS.Truncate it makes the shortened
+// length durable immediately.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino := m.live[clean(name)]
+	if ino == nil {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(ino.data)) {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrInvalid}
+	}
+	ino.data = ino.data[:size]
+	if int64(len(ino.persisted)) > size {
+		ino.persisted = ino.persisted[:size]
+	}
+	return nil
+}
+
+// SyncDir implements FS: every live entry of the directory becomes
+// durable (pointing at its current inode), and durably recorded
+// entries that were removed or renamed away are durably forgotten.
+func (m *MemFS) SyncDir(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = clean(name)
+	if !m.dirs[name] {
+		return &fs.PathError{Op: "syncdir", Path: name, Err: fs.ErrNotExist}
+	}
+	for p := range m.durable {
+		if childOf(name, p) && m.live[p] == nil {
+			delete(m.durable, p)
+		}
+	}
+	for p, ino := range m.live {
+		if childOf(name, p) {
+			m.durable[p] = ino
+		}
+	}
+	return nil
+}
+
+// Size implements FS.
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino := m.live[clean(name)]
+	if ino == nil {
+		return 0, &fs.PathError{Op: "size", Path: name, Err: fs.ErrNotExist}
+	}
+	return int64(len(ino.data)), nil
+}
+
+// Crash simulates a machine crash: the volatile namespace is replaced
+// by the durable one and every surviving file reverts to its
+// last-synced contents. Handles open across a Crash keep writing to
+// orphaned inodes; tests are expected to discard them.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live = map[string]*memInode{}
+	names := make([]string, 0, len(m.durable))
+	for p := range m.durable {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	for _, p := range names {
+		ino := m.durable[p]
+		ino.data = append([]byte(nil), ino.persisted...)
+		m.live[p] = ino
+	}
+}
+
+// DumpDurable lists the durable namespace with per-file durable sizes,
+// for test diagnostics.
+func (m *MemFS) DumpDurable() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for p := range m.durable {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, p := range names {
+		s += fmt.Sprintf("%s (%d bytes)\n", p, len(m.durable[p].persisted))
+	}
+	return s
+}
+
+// Read implements io.Reader over the volatile contents.
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.pos >= len(h.ino.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+// Write appends to the volatile contents.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.ro {
+		return 0, fs.ErrInvalid
+	}
+	h.ino.data = append(h.ino.data, p...)
+	return len(p), nil
+}
+
+// Sync makes the volatile contents durable.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.ro {
+		return nil
+	}
+	h.ino.persisted = append([]byte(nil), h.ino.data...)
+	return nil
+}
+
+// Close implements io.Closer.
+func (h *memHandle) Close() error { return nil }

@@ -24,7 +24,7 @@ type Experiment struct {
 
 // IDs lists all experiment identifiers in paper order.
 func IDs() []string {
-	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate", "vectorized", "serve", "ingest", "shards"}
+	return []string{"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "queryplan", "prepared", "segments", "aggregate", "vectorized", "serve", "ingest", "shards", "ingest-recover"}
 }
 
 // Run executes one experiment by id.
@@ -66,6 +66,8 @@ func Run(id string, cfg Config) (*Experiment, error) {
 		return IngestExp(cfg), nil
 	case "shards":
 		return ShardsExp(cfg), nil
+	case "ingest-recover":
+		return IngestRecoverExp(cfg), nil
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (want one of %s)", id, strings.Join(IDs(), ", "))
 }

@@ -94,6 +94,7 @@ func New(cfg Config) (*Server, error) {
 		quit:  make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /query", s.timed("/query", s.handleQuery))
+	s.mux.HandleFunc("POST /insert", s.timed("/insert", s.handleInsert))
 	s.mux.HandleFunc("GET /explain", s.timed("/explain", s.handleExplain))
 	s.mux.HandleFunc("GET /stats", s.timed("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /healthz", s.timed("/healthz", s.handleHealthz))
@@ -128,10 +129,14 @@ func (s *Server) Close() {
 }
 
 // Stats snapshots the serving counters plus the table's ingest health
-// (also served at GET /stats).
+// (also served at GET /stats). Recovery and quarantine state ride
+// along: Ingest carries the WAL replay report, and Quarantined lists
+// segments the table loaded degraded without.
 func (s *Server) Stats() ServerStats {
 	st := s.counters.snapshot(s.cache)
 	st.Ingest = s.tbl.IngestStats()
+	st.Quarantined = s.tbl.Quarantined()
+	st.Degraded = len(st.Quarantined) > 0
 	return st
 }
 
@@ -293,8 +298,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Quarantined segments mean the table is serving with holes marked
+	// deleted: alive, but degraded until re-ingested and compacted.
+	status := "ok"
+	if len(s.tbl.Quarantined()) > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+		"status":   status,
 		"table":    s.tbl.Name(),
 		"rows":     s.tbl.Rows(),
 		"segments": s.tbl.Segments(),

@@ -55,23 +55,28 @@ type CacheStats struct {
 // the server started, plus the served table's ingest health (delta
 // rows buffered, seal and merge progress) when delta ingest is on.
 type ServerStats struct {
-	Served       uint64                   `json:"queries_served"`
-	Errors       uint64                   `json:"query_errors"`
-	Rejected     uint64                   `json:"rejected"`
-	Canceled     uint64                   `json:"canceled"`
-	Cache        CacheStats               `json:"statement_cache"`
-	Ingest       table.IngestStats        `json:"ingest"`
-	BucketLabels []string                 `json:"latency_bucket_labels"`
-	Endpoints    map[string]EndpointStats `json:"endpoints"`
+	Served       uint64                     `json:"queries_served"`
+	Errors       uint64                     `json:"query_errors"`
+	Rejected     uint64                     `json:"rejected"`
+	Canceled     uint64                     `json:"canceled"`
+	InsertedRows uint64                     `json:"rows_inserted"`
+	Cache        CacheStats                 `json:"statement_cache"`
+	Ingest       table.IngestStats          `json:"ingest"`
+	Degraded     bool                       `json:"degraded"`
+	Quarantined  []table.QuarantinedSegment `json:"quarantined,omitempty"`
+	BucketLabels []string                   `json:"latency_bucket_labels"`
+	Endpoints    map[string]EndpointStats   `json:"endpoints"`
 }
 
 // serverCounters aggregates the live atomic counters behind /stats.
 type serverCounters struct {
 	served   atomic.Uint64 // successful /query executions
-	errors   atomic.Uint64 // failed /query executions (parse, bind, exec)
+	errors   atomic.Uint64 // failed /query and /insert executions
 	rejected atomic.Uint64 // admission-control 429s
 	canceled atomic.Uint64 // executions ended by deadline or disconnect
+	inserted atomic.Uint64 // rows committed via /insert
 	query    histogram
+	insert   histogram
 	explain  histogram
 	stats    histogram
 	healthz  histogram
@@ -81,6 +86,8 @@ func (c *serverCounters) endpoint(path string) *histogram {
 	switch path {
 	case "/query":
 		return &c.query
+	case "/insert":
+		return &c.insert
 	case "/explain":
 		return &c.explain
 	case "/stats":
@@ -94,10 +101,11 @@ func (c *serverCounters) endpoint(path string) *histogram {
 func (c *serverCounters) snapshot(cache *stmtCache) ServerStats {
 	hits, misses, evictions, size, capacity := cache.counters()
 	st := ServerStats{
-		Served:   c.served.Load(),
-		Errors:   c.errors.Load(),
-		Rejected: c.rejected.Load(),
-		Canceled: c.canceled.Load(),
+		Served:       c.served.Load(),
+		Errors:       c.errors.Load(),
+		Rejected:     c.rejected.Load(),
+		Canceled:     c.canceled.Load(),
+		InsertedRows: c.inserted.Load(),
 		Cache: CacheStats{
 			Hits: hits, Misses: misses, Evictions: evictions,
 			Size: size, Capacity: capacity,
@@ -109,7 +117,7 @@ func (c *serverCounters) snapshot(cache *stmtCache) ServerStats {
 		name string
 		h    *histogram
 	}{
-		{"/query", &c.query}, {"/explain", &c.explain},
+		{"/query", &c.query}, {"/insert", &c.insert}, {"/explain", &c.explain},
 		{"/stats", &c.stats}, {"/healthz", &c.healthz},
 	} {
 		es := EndpointStats{Count: ep.h.total.Load(), Buckets: make([]uint64, len(BucketLabels))}

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/faultfs"
+)
+
+// ReplayStats summarizes one recovery pass over a log directory.
+type ReplayStats struct {
+	// Segments is the number of segment files visited.
+	Segments int
+	// Records is the number of intact records delivered to the apply
+	// callback.
+	Records int
+	// TornRecords counts trailing frames discarded as torn (0 or 1:
+	// everything from the first bad frame of the final segment is one
+	// tear).
+	TornRecords int
+	// BytesTruncated is the number of torn tail bytes physically
+	// removed from the final segment.
+	BytesTruncated int64
+}
+
+// ErrCorrupt marks replay failures that are not a tolerable torn tail:
+// a bad frame in a non-final segment means history was damaged after
+// it was acknowledged, and replaying past it could resurrect rows out
+// of order.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Replay scans dir's segments in sequence order and hands every intact
+// payload to apply. A bad frame (impossible length, checksum mismatch,
+// or truncated tail) in the final segment is treated as a torn write:
+// the segment is physically truncated at the first bad byte — durably,
+// so the tear cannot return — and replay succeeds with the damage
+// counted in ReplayStats. A bad frame anywhere else fails with
+// ErrCorrupt. A missing directory is an empty log.
+func Replay(fsys faultfs.FS, dir string, apply func(seq uint64, payload []byte) error) (ReplayStats, error) {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	var stats ReplayStats
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return stats, nil // no directory: nothing logged yet
+	}
+	var seqs []uint64
+	for _, name := range names {
+		if seq, ok := parseSegName(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	// ReadDir returns sorted names and segment names are fixed-width,
+	// so seqs is already ascending.
+	for i, seq := range seqs {
+		final := i == len(seqs)-1
+		path := dir + "/" + segName(seq)
+		data, err := readAll(fsys, path)
+		if err != nil {
+			return stats, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		stats.Segments++
+		off := 0
+		for off < len(data) {
+			n, payload := nextFrame(data[off:])
+			if n < 0 {
+				if !final {
+					return stats, fmt.Errorf("%w: bad frame at %s offset %d (not the final segment)", ErrCorrupt, segName(seq), off)
+				}
+				stats.TornRecords++
+				stats.BytesTruncated = int64(len(data) - off)
+				if err := fsys.Truncate(path, int64(off)); err != nil {
+					return stats, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+				}
+				off = len(data)
+				continue
+			}
+			if err := apply(seq, payload); err != nil {
+				return stats, err
+			}
+			stats.Records++
+			off += n
+		}
+	}
+	return stats, nil
+}
+
+// nextFrame decodes one frame from the head of b. It returns the total
+// frame length and the payload, or n < 0 if the bytes at the head are
+// not an intact frame (truncated, impossible length, or checksum
+// mismatch).
+func nextFrame(b []byte) (n int, payload []byte) {
+	if len(b) < frameHeader {
+		return -1, nil
+	}
+	ln := int(getU32(b))
+	if ln == 0 || ln > MaxRecord || ln > len(b)-frameHeader {
+		return -1, nil
+	}
+	payload = b[frameHeader : frameHeader+ln]
+	if crc32.Checksum(payload, crcTable) != getU32(b[4:]) {
+		return -1, nil
+	}
+	return frameHeader + ln, payload
+}
+
+// readAll slurps one segment file.
+func readAll(fsys faultfs.FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

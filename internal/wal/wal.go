@@ -1,0 +1,476 @@
+// Package wal implements a segment-rolling, CRC32C-framed write-ahead
+// log. The table layer logs raw ingest records (commits, updates,
+// deletes) through it before acknowledging them; on restart the log is
+// replayed to rebuild everything the in-memory delta store lost. The
+// paper's economics make this the whole durability story: imprints are
+// ~1-2% of column size and rebuilt cheaply from slabs, so the log
+// never needs to contain index state — only rows.
+//
+// Frame format, repeated back to back inside each segment file:
+//
+//	u32 payload length (little endian, 1 .. MaxRecord)
+//	u32 CRC-32C (Castagnoli) of the payload
+//	payload bytes
+//
+// Segments are named wal-%08d.log with a monotonically increasing
+// sequence number. A log never appends to a pre-existing segment: Open
+// always starts a fresh one, so a tail torn by a crash is repaired
+// exactly once (by Replay) and never written past. Checkpoints (see
+// Log.Cut and Log.TruncateBefore) let the owner drop segments fully
+// covered by a persisted image.
+//
+// Durability is governed by a SyncPolicy: SyncAlways fsyncs inside
+// every Append, SyncGroup batches concurrent commits into one fsync
+// after at most GroupWindow, SyncOff never fsyncs (bounded data loss,
+// maximal throughput). Any write or sync error is sticky and fails all
+// subsequent operations: once durability is in doubt the log refuses
+// to acknowledge anything more (fail-stop, per fsyncgate semantics).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// SyncPolicy selects when appended records are made durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every Append returns.
+	SyncAlways SyncPolicy = iota
+	// SyncGroup batches commits: WaitDurable waiters share one fsync
+	// issued after at most Options.GroupWindow.
+	SyncGroup
+	// SyncOff never fsyncs; a crash loses everything since the last
+	// OS writeback. WaitDurable returns immediately.
+	SyncOff
+)
+
+// String names the policy the way the -fsync flag spells it.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncGroup:
+		return "group"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy converts a -fsync flag value into a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "group":
+		return SyncGroup, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, group or off)", s)
+}
+
+const (
+	// MaxRecord bounds a single payload; larger length prefixes are
+	// treated as torn/corrupt during replay.
+	MaxRecord = 1 << 28
+	// DefaultSegmentBytes is the roll threshold when
+	// Options.SegmentBytes is zero.
+	DefaultSegmentBytes = 4 << 20
+	frameHeader         = 8
+)
+
+var (
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// crcTable is the Castagnoli polynomial (CRC-32C), hardware
+	// accelerated on amd64/arm64.
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the fsync policy; the zero value is SyncAlways.
+	Policy SyncPolicy
+	// GroupWindow is the max extra latency one commit absorbs waiting
+	// for companions under SyncGroup. Zero means sync immediately (the
+	// group is whatever appended concurrently).
+	GroupWindow time.Duration
+	// SegmentBytes is the roll threshold (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// FS is the filesystem to write through (nil = the real OS).
+	FS faultfs.FS
+}
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	fs   faultfs.FS
+	dir  string
+	opts Options
+
+	// syncMu serializes group-commit sync rounds; held across the
+	// fsync itself so a checkpoint can exclude in-flight syncs by
+	// acquiring it.
+	syncMu sync.Mutex
+
+	mu       sync.Mutex // guards the fields below
+	seg      faultfs.File
+	segSeq   uint64
+	segBytes int64
+	lsn      int64 // total framed bytes appended, across all segments
+	durable  int64 // prefix of lsn known durable
+	retired  []faultfs.File
+	sticky   error
+	closed   bool
+}
+
+// segName formats the file name of segment seq.
+func segName(seq uint64) string { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// parseSegName extracts the sequence number from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%d.log", &seq); err != nil {
+		return 0, false
+	}
+	if segName(seq) != name {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open creates (or reuses) dir and starts a fresh segment numbered one
+// past the highest existing segment. It never appends to an existing
+// file: pre-existing segments are replay-only history. The new
+// segment's directory entry is made durable before Open returns.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.FS == nil {
+		opts.FS = faultfs.OS{}
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := opts.FS.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	maxSeq := uint64(0)
+	names, err := opts.FS.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: scan %s: %w", dir, err)
+	}
+	for _, name := range names {
+		if seq, ok := parseSegName(name); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	l := &Log{fs: opts.FS, dir: dir, opts: opts}
+	if err := l.openSegmentLocked(maxSeq + 1); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// openSegmentLocked creates segment seq, makes its directory entry
+// durable, and installs it as the active segment. Callers hold mu (or
+// own the log exclusively during Open).
+func (l *Log) openSegmentLocked(seq uint64) error {
+	path := l.dir + "/" + segName(seq)
+	f, err := l.fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncdir %s: %w", l.dir, err)
+	}
+	if l.seg != nil {
+		l.retired = append(l.retired, l.seg)
+	}
+	l.seg = f
+	l.segSeq = seq
+	l.segBytes = 0
+	return nil
+}
+
+// Append frames payload and writes it to the active segment, returning
+// the record's end LSN — the token WaitDurable accepts. Under
+// SyncAlways the record is durable when Append returns; under
+// SyncGroup/SyncOff it is buffered. A payload must be 1..MaxRecord
+// bytes.
+func (l *Log) Append(payload []byte) (int64, error) {
+	if len(payload) == 0 || len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: payload size %d out of range [1, %d]", len(payload), MaxRecord)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.sticky != nil {
+		return 0, l.sticky
+	}
+	if l.segBytes >= l.opts.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			l.sticky = err
+			return 0, err
+		}
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	putU32(frame[0:], uint32(len(payload)))
+	putU32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeader:], payload)
+	if _, err := l.seg.Write(frame); err != nil {
+		// The tail may now hold a partial frame; nothing after it could
+		// be replayed, so refuse all further appends.
+		l.sticky = fmt.Errorf("wal: append: %w", err)
+		return 0, l.sticky
+	}
+	l.lsn += int64(len(frame))
+	l.segBytes += int64(len(frame))
+	if l.opts.Policy == SyncAlways {
+		if err := l.seg.Sync(); err != nil {
+			l.sticky = fmt.Errorf("wal: sync: %w", err)
+			return 0, l.sticky
+		}
+		l.durable = l.lsn
+	}
+	return l.lsn, nil
+}
+
+// rollLocked syncs and retires the active segment and starts the next
+// one. Callers hold mu. The old segment is synced first so that the
+// invariant "every byte outside the active segment is durable" holds
+// (WaitDurable only ever syncs the active segment).
+func (l *Log) rollLocked() error {
+	if l.opts.Policy != SyncOff {
+		if err := l.seg.Sync(); err != nil {
+			return fmt.Errorf("wal: sync on roll: %w", err)
+		}
+		l.durable = l.lsn
+	}
+	return l.openSegmentLocked(l.segSeq + 1)
+}
+
+// WaitDurable blocks until the record ending at lsn is durable under
+// the log's policy: returns immediately under SyncOff and (normally)
+// SyncAlways; under SyncGroup it joins the in-flight group commit or
+// leads a new one after GroupWindow.
+func (l *Log) WaitDurable(lsn int64) error {
+	if l.opts.Policy == SyncOff {
+		return nil
+	}
+	for {
+		l.mu.Lock()
+		err, done := l.sticky, l.durable >= lsn
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		l.syncRound(lsn)
+	}
+}
+
+// syncRound performs (or piggybacks on) one group-commit fsync.
+// Waiters serialize on syncMu: the leader sleeps the group window,
+// snapshots the append frontier, syncs the active segment and
+// publishes the new durable LSN; followers acquiring syncMu afterwards
+// see their LSN already durable and return without syncing.
+func (l *Log) syncRound(lsn int64) {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	skip := l.sticky != nil || l.durable >= lsn
+	l.mu.Unlock()
+	if skip {
+		return
+	}
+	if l.opts.Policy == SyncGroup && l.opts.GroupWindow > 0 {
+		time.Sleep(l.opts.GroupWindow)
+	}
+	l.mu.Lock()
+	f, target := l.seg, l.lsn
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	if err != nil {
+		l.sticky = fmt.Errorf("wal: sync: %w", err)
+	} else if target > l.durable {
+		l.durable = target
+	}
+	l.mu.Unlock()
+}
+
+// Sync forces everything appended so far durable, regardless of
+// policy (SyncOff included — Close uses it for a best-effort flush).
+func (l *Log) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.sticky != nil {
+		err := l.sticky
+		l.mu.Unlock()
+		return err
+	}
+	f, target := l.seg, l.lsn
+	l.mu.Unlock()
+	err := f.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		l.sticky = fmt.Errorf("wal: sync: %w", err)
+		return l.sticky
+	}
+	if target > l.durable {
+		l.durable = target
+	}
+	return nil
+}
+
+// Cut syncs and rolls to a fresh segment, returning its sequence
+// number. Records appended after Cut land in segments >= the returned
+// sequence, so a caller that snapshots state and then persists it can
+// later drop everything older with TruncateBefore. Holding syncMu
+// excludes in-flight group syncs while the active segment changes.
+func (l *Log) Cut() (uint64, error) {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.sticky != nil {
+		return 0, l.sticky
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.sticky = fmt.Errorf("wal: sync on cut: %w", err)
+		return 0, l.sticky
+	}
+	l.durable = l.lsn
+	if err := l.openSegmentLocked(l.segSeq + 1); err != nil {
+		l.sticky = err
+		return 0, err
+	}
+	return l.segSeq, nil
+}
+
+// TruncateBefore appends checkpoint (an opaque payload recorded like
+// any other, typically encoding the persisted row watermark), makes it
+// durable, then removes every segment with sequence < keepSeq and
+// syncs the directory. Used after a successful image save: keepSeq is
+// the sequence returned by the Cut taken while the image's contents
+// were frozen.
+func (l *Log) TruncateBefore(keepSeq uint64, checkpoint []byte) error {
+	if len(checkpoint) > 0 {
+		lsn, err := l.Append(checkpoint)
+		if err != nil {
+			return err
+		}
+		if err := l.WaitDurable(lsn); err != nil {
+			return err
+		}
+		if l.opts.Policy == SyncOff {
+			if err := l.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: scan %s: %w", l.dir, err)
+	}
+	removed := false
+	for _, name := range names {
+		seq, ok := parseSegName(name)
+		if !ok || seq >= keepSeq || seq == l.segSeq {
+			continue
+		}
+		if err := l.fs.Remove(l.dir + "/" + name); err != nil {
+			return fmt.Errorf("wal: remove %s: %w", name, err)
+		}
+		removed = true
+	}
+	for _, f := range l.retired {
+		f.Close()
+	}
+	l.retired = nil
+	if removed {
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("wal: syncdir %s: %w", l.dir, err)
+		}
+	}
+	return nil
+}
+
+// LSN returns the append frontier (total framed bytes logged).
+func (l *Log) LSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// Err returns the sticky failure, if any. A non-nil result means the
+// log has fail-stopped and no further records can be acknowledged.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sticky
+}
+
+// Close flushes (best effort under a sticky error) and closes the log.
+func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	if l.sticky == nil && l.durable < l.lsn {
+		if err := l.seg.Sync(); err != nil {
+			first = err
+		} else {
+			l.durable = l.lsn
+		}
+	}
+	for _, f := range l.retired {
+		f.Close()
+	}
+	l.retired = nil
+	if err := l.seg.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// putU32 encodes v little-endian into b[0:4].
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// getU32 decodes a little-endian u32 from b[0:4].
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

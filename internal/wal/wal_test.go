@@ -1,0 +1,318 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// collect replays dir into a slice of payload copies.
+func collect(t *testing.T, fs faultfs.FS, dir string) ([][]byte, ReplayStats) {
+	t.Helper()
+	var got [][]byte
+	stats, err := Replay(fs, dir, func(seq uint64, payload []byte) error {
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, stats
+}
+
+// Records written across several rolled segments replay in order.
+func TestAppendReplayAcrossSegments(t *testing.T) {
+	fs := faultfs.NewMemFS()
+	l, err := Open("w", Options{FS: fs, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("record-%02d-%s", i, "xxxxxxxxxxxxxxxx"))
+		want = append(want, p)
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, stats := collect(t, fs, "w")
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d (stats %+v)", len(got), len(want), stats)
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if stats.Segments < 2 {
+		t.Fatalf("expected multiple segments, got %d", stats.Segments)
+	}
+	if stats.TornRecords != 0 || stats.BytesTruncated != 0 {
+		t.Fatalf("unexpected tear: %+v", stats)
+	}
+}
+
+// A crash between Append and fsync tears the tail; replay truncates it
+// durably and keeps the acknowledged prefix. A second replay sees no
+// tear.
+func TestTornTailTruncated(t *testing.T) {
+	fs := faultfs.NewMemFS()
+	l, err := Open("w", Options{FS: fs, Policy: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append([]byte("durable-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// Appended but never synced: lost by the crash entirely — MemFS
+	// drops unsynced bytes, which is a clean (non-torn) loss.
+	if _, err := l.Append([]byte("volatile-two")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, stats := collect(t, fs, "w")
+	if len(got) != 1 || string(got[0]) != "durable-one" {
+		t.Fatalf("replay after crash = %q (stats %+v)", got, stats)
+	}
+
+	// Now a genuinely torn frame: valid prefix + garbage tail.
+	f, err := fs.Open("w/" + segName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	path := "w/" + segName(1)
+	af, err := appendRaw(fs, path, []byte{9, 0, 0, 0, 1, 2, 3, 4, 'p', 'a', 'r'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = af
+	got, stats = collect(t, fs, "w")
+	if len(got) != 1 || string(got[0]) != "durable-one" {
+		t.Fatalf("replay with torn tail = %q", got)
+	}
+	if stats.TornRecords != 1 || stats.BytesTruncated != 11 {
+		t.Fatalf("tear not counted: %+v", stats)
+	}
+	// The tear was physically removed: replaying again is clean.
+	got, stats = collect(t, fs, "w")
+	if len(got) != 1 || stats.TornRecords != 0 || stats.BytesTruncated != 0 {
+		t.Fatalf("tear resurrected on second replay: %q %+v", got, stats)
+	}
+}
+
+// appendRaw appends raw bytes to an existing MemFS file by re-writing
+// it (MemFS Create truncates, so copy out first).
+func appendRaw(fs *faultfs.MemFS, path string, tail []byte) (faultfs.File, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 256)
+	tmp := make([]byte, 64)
+	for {
+		n, err := f.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	f.Close()
+	w, err := fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(append(buf, tail...)); err != nil {
+		return nil, err
+	}
+	if err := w.Sync(); err != nil {
+		return nil, err
+	}
+	return w, w.Close()
+}
+
+// A bad frame in a non-final segment is corruption, not a tear.
+func TestCorruptInteriorSegment(t *testing.T) {
+	fs := faultfs.NewMemFS()
+	l, err := Open("w", Options{FS: fs, SegmentBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("rec-%d-aaaaaaaaaaaa", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	if _, err := appendRaw(fs, "w/"+segName(1), []byte{0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(fs, "w", func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("interior corruption error = %v, want ErrCorrupt", err)
+	}
+}
+
+// Cut + TruncateBefore drops covered segments; replay afterwards sees
+// only the checkpoint and post-cut records.
+func TestCheckpointTruncates(t *testing.T) {
+	fs := faultfs.NewMemFS()
+	l, err := Open("w", Options{FS: fs, SegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("old-%d-aaaaaaaaaaaaaaaa", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep, err := l.Cut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("new-after-cut")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateBefore(keep, []byte("ckpt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	got, _ := collect(t, fs, "w")
+	var names []string
+	for _, g := range got {
+		names = append(names, string(g))
+	}
+	if len(got) != 2 || names[0] != "new-after-cut" || names[1] != "ckpt" {
+		t.Fatalf("after checkpoint replay = %v", names)
+	}
+}
+
+// Group commit: concurrent committers share fsyncs and all observe
+// durability; a crash loses nothing acknowledged.
+func TestGroupCommitConcurrent(t *testing.T) {
+	fs := faultfs.NewMemFS()
+	l, err := Open("w", Options{FS: fs, Policy: SyncGroup, GroupWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := l.Append([]byte(fmt.Sprintf("g-%02d", i)))
+			if err == nil {
+				err = l.WaitDurable(lsn)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+	fs.Crash()
+	got, _ := collect(t, fs, "w")
+	if len(got) != n {
+		t.Fatalf("replayed %d acknowledged group commits, want %d", len(got), n)
+	}
+}
+
+// A sync failure is sticky: the log fail-stops.
+func TestSyncErrorFailStop(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	in := faultfs.NewInjector(mem)
+	l, err := Open("w", Options{FS: in, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Next ops: write (1), sync (2) — fail the sync with ENOSPC.
+	in.Arm(2, faultfs.FailENOSPC)
+	if _, err := l.Append([]byte("doomed")); err == nil {
+		t.Fatal("append with failing sync succeeded")
+	}
+	if _, err := l.Append([]byte("after")); err == nil {
+		t.Fatal("append after sticky sync error succeeded")
+	}
+	if l.Err() == nil {
+		t.Fatal("sticky error not exposed")
+	}
+	if err := l.WaitDurable(1); err == nil {
+		t.Fatal("WaitDurable after sticky error succeeded")
+	}
+}
+
+// Open never appends to an existing segment: a fresh Open after a
+// crash starts a new file, leaving history replay-only.
+func TestOpenStartsFreshSegment(t *testing.T) {
+	fs := faultfs.NewMemFS()
+	l, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := l.Append([]byte("one"))
+	l.WaitDurable(lsn)
+	l.Close()
+	fs.Crash()
+	l2, err := Open("w", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.segSeq != 2 {
+		t.Fatalf("second Open segment = %d, want 2", l2.segSeq)
+	}
+	lsn, _ = l2.Append([]byte("two"))
+	l2.WaitDurable(lsn)
+	l2.Close()
+	fs.Crash()
+	got, stats := collect(t, fs, "w")
+	if len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("replay = %q (stats %+v)", got, stats)
+	}
+}
+
+// ParsePolicy round-trips the flag spellings.
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"", SyncAlways}, {"group", SyncGroup}, {"off", SyncOff}} {
+		got, err := ParsePolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

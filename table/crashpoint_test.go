@@ -1,0 +1,155 @@
+package table
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+)
+
+// Crash-point oracle: run a fixed ingest workload against a fault
+// injector, kill the filesystem at every single injection point, and
+// prove recovery always lands on a serial prefix of the workload that
+// covers at least the acknowledged operations — no torn state, no lost
+// acks, no resurrections.
+
+// crashOp is one workload step. durable means a nil error is a
+// durability acknowledgement: a commit, update or delete returns only
+// after its record is synced, so recovery must preserve it. Compact
+// and seal are maintenance: compaction is logged without a durability
+// wait (prefix-ordering covers it) and sealing is not logged at all,
+// so neither advances the acknowledged frontier.
+type crashOp struct {
+	name    string
+	durable bool
+	run     func(*Table) error
+}
+
+func crashOps() []crashOp {
+	return []crashOp{
+		{"commit-0-30", true, func(tb *Table) error { q, c := seqRows(0, 30); return commitQC(tb, q, c) }},
+		{"commit-30-40", true, func(tb *Table) error { q, c := seqRows(30, 40); return commitQC(tb, q, c) }},
+		{"update-qty-5", true, func(tb *Table) error { return Update(tb, "qty", 5, int64(1111)) }},
+		{"update-city-12", true, func(tb *Table) error { return tb.UpdateString("city", 12, "Xanadu") }},
+		{"delete-3", true, func(tb *Table) error { return tb.Delete(3) }},
+		{"seal", false, func(tb *Table) error { tb.SealDelta(); return nil }},
+		{"commit-70-30", true, func(tb *Table) error { q, c := seqRows(70, 30); return commitQC(tb, q, c) }},
+		{"delete-80", true, func(tb *Table) error { return tb.Delete(80) }},
+		{"compact", false, func(tb *Table) error { tb.Compact(); return nil }},
+		{"commit-100-20", true, func(tb *Table) error { q, c := seqRows(100, 20); return commitQC(tb, q, c) }},
+		{"delete-50", true, func(tb *Table) error { return tb.Delete(50) }},
+	}
+}
+
+// mkCrashSchema builds the workload's empty qty/city schema with delta
+// ingest on and no WAL attached yet.
+func mkCrashSchema(t *testing.T) *Table {
+	t.Helper()
+	tb := NewWithOptions("orders", TableOptions{SegmentRows: 64})
+	if err := AddColumn(tb, "qty", []int64{}, Imprints, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddStringColumn("city", []string{}, Imprints, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.EnableDeltaIngest(IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// runCrashWorkload attaches a WAL through fs and applies ops until the
+// first failure (fail-stop), returning the acknowledged frontier: the
+// number of leading ops whose durability the caller was promised.
+func runCrashWorkload(t *testing.T, fs faultfs.FS, ops []crashOp) int {
+	t.Helper()
+	tb := mkCrashSchema(t)
+	if _, err := tb.EnableWAL(WALOptions{Dir: "wal", Policy: wal.SyncAlways, FS: fs}); err != nil {
+		return 0
+	}
+	acked := 0
+	for i, op := range ops {
+		if err := op.run(tb); err != nil {
+			return acked
+		}
+		if op.durable {
+			acked = i + 1
+		}
+	}
+	return acked
+}
+
+// TestCrashPointOracle is the exhaustive crash test: for every
+// injection point k and both failure modes, the workload is killed at
+// its k-th filesystem mutation, the machine "crashes" (volatile state
+// discarded), and the recovered table must equal the serial replay of
+// some workload prefix no shorter than the acknowledged one.
+func TestCrashPointOracle(t *testing.T) {
+	ops := crashOps()
+
+	// Serial oracle: the table contents after every prefix of the
+	// workload, computed WAL-free.
+	states := make([]string, len(ops)+1)
+	shadow := mkCrashSchema(t)
+	states[0] = dumpTable(t, shadow)
+	for i, op := range ops {
+		if err := op.run(shadow); err != nil {
+			t.Fatalf("shadow op %s: %v", op.name, err)
+		}
+		states[i+1] = dumpTable(t, shadow)
+	}
+
+	// Unarmed pass: everything must succeed, and it tells us how many
+	// injection points the workload has.
+	mem := faultfs.NewMemFS()
+	inj := faultfs.NewInjector(mem)
+	if acked := runCrashWorkload(t, inj, ops); acked != len(ops) {
+		t.Fatalf("unarmed workload acked %d/%d ops", acked, len(ops))
+	}
+	n := inj.Ops()
+	if n < 10 {
+		t.Fatalf("workload crossed only %d injection points; the oracle is not covering the write path", n)
+	}
+
+	for _, mode := range []faultfs.Mode{faultfs.FailError, faultfs.FailTorn} {
+		for k := 1; k <= n; k++ {
+			mem := faultfs.NewMemFS()
+			inj := faultfs.NewInjector(mem)
+			inj.Arm(k, mode)
+			acked := runCrashWorkload(t, inj, ops)
+			if acked == len(ops) {
+				t.Fatalf("mode %d k=%d: armed workload acked every op without failing", mode, k)
+			}
+			mem.Crash()
+			inj.Arm(0, mode) // disarm for recovery
+
+			rec := mkCrashSchema(t)
+			rep, err := rec.EnableWAL(WALOptions{Dir: "wal", Policy: wal.SyncAlways, FS: inj})
+			if err != nil {
+				t.Fatalf("mode %d k=%d: recovery failed after %d acked ops: %v\ndurable:\n%s",
+					mode, k, acked, err, mem.DumpDurable())
+			}
+			got := dumpTable(t, rec)
+			match := -1
+			for m := acked; m <= len(ops); m++ {
+				if states[m] == got {
+					match = m
+					break
+				}
+			}
+			if match < 0 {
+				// Diagnose: is it a state before the acknowledged frontier
+				// (lost ack) or no prefix at all (torn state)?
+				for m := 0; m < acked; m++ {
+					if states[m] == got {
+						t.Fatalf("mode %d k=%d: LOST ACK: recovered state is prefix %d but %d ops were acknowledged (recovery %s)",
+							mode, k, m, acked, rep)
+					}
+				}
+				t.Fatalf("mode %d k=%d: TORN STATE: recovered table matches no serial prefix (acked %d, recovery %s)\ngot:\n%s",
+					mode, k, acked, rep, got)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/coltype"
 	"repro/internal/delta"
+	"repro/internal/wal"
 )
 
 // LSM-style ingest (delta.go, seal.go, snapshot.go): with delta ingest
@@ -65,6 +66,24 @@ type deltaState struct {
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+
+	// walMu serializes WAL appends with delta-store appends so the
+	// log's record order is exactly the memory order; it nests inside
+	// the table locks (mu -> walMu) and is never held while waiting for
+	// durability. wal, walTags, recovery and pendingCut are assigned
+	// once by EnableWAL under the table write lock and read under at
+	// least the read lock afterwards.
+	walMu      sync.Mutex
+	wal        *wal.Log
+	walTags    []byte
+	recovery   *RecoveryReport
+	pendingCut walCut
+
+	// conflictStreak counts consecutive optimistic seal-install
+	// conflicts; backoffNanos is the current retry backoff the streak
+	// selected (both reset on the next successful install).
+	conflictStreak atomic.Uint32
+	backoffNanos   atomic.Int64
 
 	seals       atomic.Uint64
 	sealedSegs  atomic.Uint64
@@ -148,6 +167,9 @@ func (t *Table) Close() error {
 	}
 	d.stopOnce.Do(func() { close(d.stop) })
 	<-d.done
+	if lg := t.walPtr(); lg != nil {
+		return lg.Close()
+	}
 	return nil
 }
 
@@ -216,14 +238,19 @@ func (t *Table) growDeletedTo(n int) {
 
 // commitDeltaLocked applies a staged batch to the delta store; callers
 // hold at least the read lock (appends contend only on the store's own
-// mutex, so streaming writers never block readers).
+// mutex, so streaming writers never block readers). With a WAL
+// attached the batch is framed into the log first, under walMu spanning
+// both appends so log order equals memory order; the returned log and
+// LSN let the caller wait for durability after releasing the table
+// lock (the log is nil without a WAL). A log write error fails the
+// commit before anything becomes visible.
 //
 //imprintvet:locks held=mu.R
-func (b *Batch) commitDeltaLocked(d *deltaState) error {
+func (b *Batch) commitDeltaLocked(d *deltaState) (*wal.Log, int64, error) {
 	t := b.t
 	for _, name := range t.order {
 		if _, ok := b.staged[name]; !ok {
-			return fmt.Errorf("table %s: batch is missing column %q", t.name, name)
+			return nil, 0, fmt.Errorf("table %s: batch is missing column %q", t.name, name)
 		}
 	}
 	rows := make([][]any, b.rows)
@@ -234,12 +261,34 @@ func (b *Batch) commitDeltaLocked(d *deltaState) error {
 		}
 		rows[r] = row
 	}
-	if err := d.store.Append(rows); err != nil {
-		return err
+	var lsn int64
+	lg := d.wal
+	if lg != nil {
+		var err error
+		if lsn, err = d.logAndBuffer(t, lg, rows); err != nil {
+			return nil, 0, err
+		}
+	} else if err := d.store.Append(rows); err != nil {
+		return nil, 0, err
 	}
 	b.staged = map[string]stagedCol{}
 	b.rows = -1
-	return nil
+	return lg, lsn, nil
+}
+
+// logAndBuffer appends the batch to the WAL and then to the delta
+// store under walMu, so log order is exactly memory order. A log
+// append failure (the log is fail-stop) rejects the commit before the
+// rows become visible.
+func (d *deltaState) logAndBuffer(t *Table, lg *wal.Log, rows [][]any) (int64, error) {
+	d.walMu.Lock()
+	defer d.walMu.Unlock()
+	base := d.store.Base() + d.store.Len()
+	lsn, err := lg.Append(encodeWALCommit(d.walTags, base, rows))
+	if err != nil {
+		return 0, fmt.Errorf("table %s: wal append: %w", t.name, err)
+	}
+	return lsn, d.store.Append(rows)
 }
 
 // deltaSetLocked updates one value of a buffered row copy-on-write;
@@ -364,6 +413,14 @@ type IngestStats struct {
 	// Compactions counts delete-folding compactions the background
 	// worker triggered (CompactFraction crossed).
 	Compactions uint64 `json:"compactions"`
+	// WALEnabled reports whether a write-ahead log is attached
+	// (EnableWAL); WALError carries the log's sticky fail-stop error,
+	// if any — once set, every further commit is refused.
+	WALEnabled bool   `json:"wal_enabled,omitempty"`
+	WALError   string `json:"wal_error,omitempty"`
+	// Recovery is the startup WAL replay report (nil when no replay
+	// ran); sharded tables aggregate their shards' reports.
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
 	// ShardDeltaRows breaks DeltaRows down per shard (one entry per
 	// shard, in shard order; a single entry for unsharded tables).
 	// Admission control uses the hottest entry as its backpressure
@@ -394,7 +451,7 @@ func (t *Table) IngestStats() IngestStats {
 	if d == nil {
 		return IngestStats{}
 	}
-	return IngestStats{
+	st := IngestStats{
 		Enabled:        true,
 		DeltaRows:      d.store.Len(),
 		Seals:          d.seals.Load(),
@@ -406,8 +463,16 @@ func (t *Table) IngestStats() IngestStats {
 		Merges:         d.merges.Load(),
 		MergeBacklog:   t.mergeBacklogLocked(d.mergeSat),
 		Compactions:    d.compactions.Load(),
+		Recovery:       d.recovery,
 		ShardDeltaRows: []int{d.store.Len()},
 	}
+	if d.wal != nil {
+		st.WALEnabled = true
+		if err := d.wal.Err(); err != nil {
+			st.WALError = err.Error()
+		}
+	}
+	return st
 }
 
 // mergeBacklogLocked counts sealed segments awaiting a merge rewrite;

@@ -15,54 +15,59 @@ import (
 	"repro/internal/core"
 )
 
-// Persistence format (little endian):
+// Persistence format: tables are written in the checksummed sectioned
+// layouts — version 5 (unsharded) and version 6 (sharded envelope) —
+// described in persistcrc.go. The legacy uncheckummed layouts are
+// still loaded:
 //
-//	magic "CTBL", version uint16 (3)
-//	nameLen uint16, name bytes
-//	rows uint64, segmentRows uint32, ncols uint16
-//	per column:
+//	version 3 (little endian):
+//	  magic "CTBL", version uint16 (3)
 //	  nameLen uint16, name bytes
-//	  kind uint8 (reflect.Kind), mode uint8 (IndexMode)
-//	  build options: sampleSize uint32, seed uint64, countDup uint8,
-//	                 valuesPerCacheline uint32, maxBins uint32
-//	  nsegs uint32
-//	  per segment:
-//	    numeric kinds:
-//	      segment payload (colfile format, self-delimiting)
-//	    string kind (reflect.String):
-//	      nsymbols uint32, per symbol: len uint32 + bytes
-//	      code payload (colfile int32 format, self-delimiting)
-//	    hasIndex uint8; if 1: index image (core serialization, self-delimiting)
+//	  rows uint64, segmentRows uint32, ncols uint16
+//	  per column:
+//	    nameLen uint16, name bytes
+//	    kind uint8 (reflect.Kind), mode uint8 (IndexMode)
+//	    build options: sampleSize uint32, seed uint64, countDup uint8,
+//	                   valuesPerCacheline uint32, maxBins uint32
+//	    nsegs uint32
+//	    per segment:
+//	      numeric kinds:
+//	        segment payload (colfile format, self-delimiting)
+//	      string kind (reflect.String):
+//	        nsymbols uint32, per symbol: len uint32 + bytes
+//	        code payload (colfile int32 format, self-delimiting)
+//	      hasIndex uint8; if 1: index image (core serialization, self-delimiting)
 //
 // Version 2 files — one monolithic payload and one index image per
 // column — are still loaded: the values are read whole, re-chunked into
 // segments of the loading table's default segment size, and the
 // per-segment indexes rebuilt (the monolithic image no longer matches
-// any storage unit, so it is read and discarded).
+// any storage unit, so it is read and discarded). Version 4 is the
+// unchecksummed sharded envelope of per-shard v3 images.
 //
 // Deleted-row marks are not persisted: Compact before Write (Write
 // refuses otherwise, keeping load semantics unambiguous).
 
 const (
 	tableMagic   = "CTBL"
-	tableVersion = 3
-	// shardVersion is the sharded-envelope format: after the shared
-	// magic/version, name + segmentRows uint32 + nshards uint16, then
-	// per shard a uint64 byte length followed by that shard's complete,
-	// pure-v3 table image (magic and all). Unsharded tables keep writing
-	// v3 unchanged; v2/v3 files load as a single shard.
+	tableVersion = 3 // legacy unsharded layout, read-only
+	// shardVersion is the legacy sharded-envelope format, read-only:
+	// after the shared magic/version, name + segmentRows uint32 +
+	// nshards uint16, then per shard a uint64 byte length followed by
+	// that shard's complete, pure-v3 table image (magic and all).
 	shardVersion = 4
 )
 
 // ErrCorrupt reports an invalid persisted table.
 var ErrCorrupt = errors.New("table: corrupt persisted table")
 
-// Write persists the table: per-segment column payloads plus index
-// images. Tables with pending deletes must be compacted first. With
+// Write persists the table: checksummed sections carrying per-segment
+// column payloads plus index images (v5, or a v6 envelope when
+// sharded). Tables with pending deletes must be compacted first. With
 // delta ingest enabled, buffered delta rows are folded into columnar
 // storage first (under the exclusive lock, so no committed row races
-// past the image) — the persisted format stays pure v3 with no delta
-// section.
+// past the image) and, with a WAL attached, the log is cut under the
+// same lock so the image carries its own checkpoint watermark.
 func (t *Table) Write(w io.Writer) error {
 	if t.shard != nil {
 		return t.writeSharded(w)
@@ -71,6 +76,9 @@ func (t *Table) Write(w io.Writer) error {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		t.flushAllLocked()
+		if err := t.walCutLocked(); err != nil {
+			return err
+		}
 		return t.writeLocked(w)
 	}
 	t.mu.RLock()
@@ -78,6 +86,7 @@ func (t *Table) Write(w io.Writer) error {
 	return t.writeLocked(w)
 }
 
+//imprintvet:locks held=mu.R
 func (t *Table) writeLocked(w io.Writer) error {
 	if t.ndel > 0 {
 		return fmt.Errorf("table %s: compact before persisting (%d deleted rows pending)", t.name, t.ndel)
@@ -86,73 +95,57 @@ func (t *Table) writeLocked(w io.Writer) error {
 	if _, err := bw.WriteString(tableMagic); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(tableVersion)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint16(tableVersionCRC)); err != nil {
 		return err
 	}
-	if err := writeString(bw, t.name); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(t.rows)); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(t.segRows)); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(len(t.order))); err != nil {
+	if err := writeSection(bw, func(buf *bytes.Buffer) error {
+		if err := writeString(buf, t.name); err != nil {
+			return err
+		}
+		for _, v := range []any{
+			uint64(t.rows), uint32(t.segRows), uint16(len(t.order)), t.walKeepSeqLocked(),
+		} {
+			if err := binary.Write(buf, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
 		return err
 	}
 	for _, name := range t.order {
-		if err := t.cols[name].persist(bw); err != nil {
+		if err := t.cols[name].persistCRC(bw); err != nil {
 			return fmt.Errorf("table %s, column %s: %w", t.name, name, err)
 		}
 	}
 	return bw.Flush()
 }
 
-// writeSharded persists a sharded table as a v4 envelope of per-shard
-// v3 images. Commits are quiesced via the tokens; each kid's Write
-// drains its own delta under its own lock, so the envelope embeds
-// fully drained images across all shards.
+// writeSharded persists a sharded table as a v6 envelope of per-shard
+// v5 images. Commits are quiesced via the tokens; each kid's Write
+// drains its own delta (and cuts its own WAL) under its own lock, so
+// the envelope embeds fully drained images across all shards.
 func (t *Table) writeSharded(w io.Writer) error {
-	sh := t.shard
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	sh.lockTokens()
-	defer sh.unlockTokens()
+	t.shard.lockTokens()
+	defer t.shard.unlockTokens()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(tableMagic); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(shardVersion)); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint16(shardVersionCRC)); err != nil {
 		return err
 	}
-	if err := writeString(bw, t.name); err != nil {
+	if err := t.writeShardedV6(bw); err != nil {
 		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(t.segRows)); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint16(sh.nshards)); err != nil {
-		return err
-	}
-	for c, kid := range sh.kids {
-		var buf bytes.Buffer
-		if err := kid.Write(&buf); err != nil {
-			return fmt.Errorf("table %s, shard %d: %w", t.name, c, err)
-		}
-		if err := binary.Write(bw, binary.LittleEndian, uint64(buf.Len())); err != nil {
-			return err
-		}
-		if _, err := bw.Write(buf.Bytes()); err != nil {
-			return err
-		}
 	}
 	return bw.Flush()
 }
 
 // readSharded loads the v4 envelope's per-shard images into a sharded
 // table; the caller consumed magic and version.
-func readSharded(br io.Reader) (*Table, error) {
+func readSharded(br io.Reader, ctx *loadCtx) (*Table, error) {
 	name, err := readString(br)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
@@ -178,7 +171,9 @@ func readSharded(br io.Reader) (*Table, error) {
 		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
 			return nil, fmt.Errorf("%w: shard %d: %v", ErrCorrupt, c, err)
 		}
-		kid, err := Read(io.LimitReader(br, int64(n)))
+		ctx.shard = c
+		kid, err := readInternal(io.LimitReader(br, int64(n)), ctx)
+		ctx.shard = -1
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", c, err)
 		}
@@ -303,61 +298,16 @@ func persistHeader(w io.Writer, name string, kind reflect.Kind, mode IndexMode, 
 	return binary.Write(w, binary.LittleEndian, uint32(nsegs))
 }
 
-// persist is part of anyColumn (implemented on colState).
-//
-//imprintvet:locks held=mu.R
-func (c *colState[V]) persist(w io.Writer) error {
-	var zero V
-	if err := persistHeader(w, c.name, reflect.TypeOf(zero).Kind(), c.mode, c.vpcOpts, len(c.segs)); err != nil {
-		return err
-	}
-	for _, s := range c.segs {
-		if err := colfile.Write(w, s.vals); err != nil {
-			return err
-		}
-		if err := writeIndexImage(w, s.ix); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// persist for string columns: per segment, the dictionary symbols, the
-// code column, and the code imprint image.
-//
-//imprintvet:locks held=mu.R
-func (c *strColState) persist(w io.Writer) error {
-	if err := persistHeader(w, c.name, reflect.String, c.mode, c.vpcOpts, len(c.segs)); err != nil {
-		return err
-	}
-	for _, s := range c.segs {
-		card := s.dict.Cardinality()
-		if err := binary.Write(w, binary.LittleEndian, uint32(card)); err != nil {
-			return err
-		}
-		for code := 0; code < card; code++ {
-			sym := s.dict.Symbol(int32(code))
-			if err := binary.Write(w, binary.LittleEndian, uint32(len(sym))); err != nil {
-				return err
-			}
-			if _, err := io.WriteString(w, sym); err != nil {
-				return err
-			}
-		}
-		if err := colfile.Write(w, s.codes()); err != nil {
-			return err
-		}
-		if err := writeIndexImage(w, s.ix); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Read loads a table persisted with Write: the current per-segment
-// format (version 3) or the legacy monolithic format (version 2, one
-// payload and index per column — re-chunked into segments on load).
+// Read loads a table persisted with Write: the current checksummed
+// formats (versions 5 and 6) or the legacy layouts (versions 2-4).
+// Corruption is fatal; use ReadWithOptions to quarantine instead.
 func Read(r io.Reader) (*Table, error) {
+	return readInternal(r, &loadCtx{shard: -1})
+}
+
+// readInternal parses magic and version and dispatches to the
+// version's loader, threading the load policy through.
+func readInternal(r io.Reader, ctx *loadCtx) (*Table, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -370,8 +320,13 @@ func Read(r io.Reader) (*Table, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	if version == shardVersion {
-		return readSharded(br)
+	switch version {
+	case tableVersionCRC:
+		return readV5(br, ctx)
+	case shardVersionCRC:
+		return readShardedV6(br, ctx)
+	case shardVersion:
+		return readSharded(br, ctx)
 	}
 	if version != 2 && version != tableVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)

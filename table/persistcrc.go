@@ -1,0 +1,789 @@
+package table
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"reflect"
+
+	"repro/internal/bitvec"
+	"repro/internal/colfile"
+	"repro/internal/coltype"
+	"repro/internal/column"
+	"repro/internal/core"
+	"repro/internal/faultfs"
+)
+
+// Checksummed persistence (versions 5 and 6): every logical unit of a
+// persisted table travels in its own framed section —
+//
+//	[len uint32][payload][crc32c(payload) uint32]
+//
+// — so a flipped bit is caught at load time and named (table, shard,
+// column, segment, section) instead of surfacing as a wrong query
+// answer or a panic deep in deserialization. The v5 layout is the v3
+// layout re-framed: a "header" section (name, rows, segment size,
+// column count, WAL checkpoint sequence), then per column a "colhdr"
+// section (name, kind, mode, build options, segment count) followed
+// per segment by a "slab" section (numeric value payload) or a "dict"
+// section (string symbols + codes) and an "index" section (optional
+// imprint image). Version 6 is the sharded envelope: a checksummed
+// header section (name, segment size, shard count), then per shard a
+// uint64 byte length and that shard's complete v5 image.
+//
+// Corruption is fatal by default; with LoadOptions.Quarantine, damage
+// confined to a segment's slab/dict/index sections is contained: the
+// segment is replaced by a placeholder of the right shape, its rows
+// are marked deleted, and the load succeeds degraded with the casualty
+// list in the LoadReport. Header and colhdr corruption stays fatal —
+// without them nothing downstream can be interpreted. Since Write
+// refuses tables with pending deletes, a degraded table cannot be
+// re-persisted (and the damage silently laundered) without an explicit
+// Compact first.
+const (
+	tableVersionCRC = 5
+	shardVersionCRC = 6
+	// maxSectionBytes bounds a section's declared length so a corrupt
+	// frame cannot demand an absurd allocation. Sections are at most
+	// segment-sized; 1 GiB is generous beyond any real image.
+	maxSectionBytes = 1 << 30
+)
+
+// Section names as they appear in errors and quarantine reports.
+const (
+	secHeader = "header"
+	secColHdr = "colhdr"
+	secSlab   = "slab"
+	secDict   = "dict"
+	secIndex  = "index"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptSegmentError reports checksum or decode failure in one
+// persisted section, pinpointing the storage unit it covers. It
+// unwraps to ErrCorrupt, so errors.Is(err, ErrCorrupt) keeps working.
+type CorruptSegmentError struct {
+	Table   string
+	Shard   int    // -1 for unsharded tables
+	Column  string // empty for the table header section
+	Segment int    // -1 for header/colhdr sections
+	Section string // "header", "colhdr", "slab", "dict", "index"
+	Got     uint32 // computed checksum; Got == Want when the payload
+	Want    uint32 // verified but failed structural decoding
+	Err     error
+}
+
+func (e *CorruptSegmentError) Error() string {
+	loc := fmt.Sprintf("table %s", e.Table)
+	if e.Shard >= 0 {
+		loc += fmt.Sprintf(", shard %d", e.Shard)
+	}
+	if e.Column != "" {
+		loc += fmt.Sprintf(", column %s", e.Column)
+	}
+	if e.Segment >= 0 {
+		loc += fmt.Sprintf(", segment %d", e.Segment)
+	}
+	if e.Got != e.Want {
+		return fmt.Sprintf("%s: %s section checksum mismatch (got %08x, want %08x): %v",
+			loc, e.Section, e.Got, e.Want, e.Err)
+	}
+	return fmt.Sprintf("%s: %s section invalid: %v", loc, e.Section, e.Err)
+}
+
+func (e *CorruptSegmentError) Unwrap() error { return ErrCorrupt }
+
+// QuarantinedSegment describes one segment replaced by a placeholder
+// during a Quarantine load; its rows are marked deleted.
+type QuarantinedSegment struct {
+	Shard   int    `json:"shard"` // -1 for unsharded tables
+	Column  string `json:"column"`
+	Segment int    `json:"segment"`
+	Section string `json:"section"`
+	Rows    int    `json:"rows"`
+	Err     string `json:"error"`
+}
+
+// LoadOptions controls how persisted images are loaded.
+type LoadOptions struct {
+	// Quarantine loads past segment-level corruption: damaged segments
+	// are replaced by placeholders with their rows marked deleted, and
+	// reported in the LoadReport instead of failing the load.
+	Quarantine bool
+	// FS is the filesystem Open reads through (nil means the real one).
+	FS faultfs.FS
+}
+
+// LoadReport describes what a load had to tolerate.
+type LoadReport struct {
+	Quarantined []QuarantinedSegment `json:"quarantined,omitempty"`
+}
+
+// Degraded reports whether any segment was quarantined.
+func (r *LoadReport) Degraded() bool { return r != nil && len(r.Quarantined) > 0 }
+
+// Quarantined returns the casualty list recorded when this table was
+// loaded degraded (LoadOptions.Quarantine); empty for healthy tables.
+func (t *Table) Quarantined() []QuarantinedSegment {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]QuarantinedSegment(nil), t.quarantined...)
+}
+
+// loadCtx threads load policy and provenance (which shard is being
+// decoded) through the reader call tree.
+type loadCtx struct {
+	opts  LoadOptions
+	shard int // -1 outside a sharded envelope
+	rep   *LoadReport
+	table string // outermost table name, for error messages
+}
+
+// ---- section framing ----
+
+// writeSection frames one section: the payload produced by fill is
+// length-prefixed and trailed by its CRC32-C.
+func writeSection(w io.Writer, fill func(*bytes.Buffer) error) error {
+	var buf bytes.Buffer
+	if err := fill(&buf); err != nil {
+		return err
+	}
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], uint32(buf.Len()))
+	if _, err := w.Write(word[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(word[:], crc32.Checksum(buf.Bytes(), crcTable))
+	_, err := w.Write(word[:])
+	return err
+}
+
+// crcMismatch is the internal marker readSection returns alongside the
+// payload when framing succeeded but the checksum did not verify; the
+// caller wraps it with location context (and may quarantine, since the
+// stream position is still good).
+type crcMismatch struct{ got, want uint32 }
+
+func (e *crcMismatch) Error() string {
+	return fmt.Sprintf("checksum mismatch (got %08x, want %08x)", e.got, e.want)
+}
+
+// readSection reads one framed section. On a checksum mismatch the
+// payload is returned together with a *crcMismatch error — the frame
+// was intact, so the caller can skip the section and keep reading. A
+// nil payload with a non-nil error means the framing itself failed and
+// the stream position is lost (always fatal).
+func readSection(r io.Reader) ([]byte, error) {
+	var word [4]byte
+	if _, err := io.ReadFull(r, word[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(word[:])
+	if n > maxSectionBytes {
+		return nil, fmt.Errorf("section of %d bytes exceeds limit", n)
+	}
+	// CopyN grows the buffer as bytes actually arrive, so a corrupt
+	// length against a truncated file fails fast instead of allocating
+	// the declared size up front.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, word[:]); err != nil {
+		return nil, err
+	}
+	want := binary.LittleEndian.Uint32(word[:])
+	if got := crc32.Checksum(buf.Bytes(), crcTable); got != want {
+		return buf.Bytes(), &crcMismatch{got: got, want: want}
+	}
+	return buf.Bytes(), nil
+}
+
+// sectionError wraps a readSection/decode failure into a typed
+// *CorruptSegmentError with full provenance.
+func sectionError(ctx *loadCtx, col string, seg int, section string, err error) *CorruptSegmentError {
+	e := &CorruptSegmentError{
+		Table: ctx.table, Shard: ctx.shard, Column: col, Segment: seg,
+		Section: section, Err: err,
+	}
+	var cm *crcMismatch
+	if errors.As(err, &cm) {
+		e.Got, e.Want = cm.got, cm.want
+	}
+	return e
+}
+
+// ---- write side (v5 column payloads) ----
+
+// persistCRC is part of anyColumn: the column's v5 sectioned image.
+//
+//imprintvet:locks held=mu.R
+func (c *colState[V]) persistCRC(w io.Writer) error {
+	var zero V
+	if err := writeSection(w, func(buf *bytes.Buffer) error {
+		return persistHeader(buf, c.name, reflect.TypeOf(zero).Kind(), c.mode, c.vpcOpts, len(c.segs))
+	}); err != nil {
+		return err
+	}
+	for _, s := range c.segs {
+		if err := writeSection(w, func(buf *bytes.Buffer) error {
+			return colfile.Write(buf, s.vals)
+		}); err != nil {
+			return err
+		}
+		if err := writeSection(w, func(buf *bytes.Buffer) error {
+			return writeIndexImage(buf, s.ix)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+//imprintvet:locks held=mu.R
+func (c *strColState) persistCRC(w io.Writer) error {
+	if err := writeSection(w, func(buf *bytes.Buffer) error {
+		return persistHeader(buf, c.name, reflect.String, c.mode, c.vpcOpts, len(c.segs))
+	}); err != nil {
+		return err
+	}
+	for _, s := range c.segs {
+		if err := writeSection(w, func(buf *bytes.Buffer) error {
+			return persistDict(buf, s)
+		}); err != nil {
+			return err
+		}
+		if err := writeSection(w, func(buf *bytes.Buffer) error {
+			return writeIndexImage(buf, s.ix)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// persistDict writes one string segment's dictionary: symbol table
+// plus code payload (the v3 dict layout, now inside one section).
+func persistDict(w io.Writer, s *strSegment) error {
+	card := s.dict.Cardinality()
+	if err := binary.Write(w, binary.LittleEndian, uint32(card)); err != nil {
+		return err
+	}
+	for code := 0; code < card; code++ {
+		sym := s.dict.Symbol(int32(code))
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(sym))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, sym); err != nil {
+			return err
+		}
+	}
+	return colfile.Write(w, s.codes())
+}
+
+// ---- read side (v5) ----
+
+// readV5 loads one v5 table image; the caller consumed magic+version.
+func readV5(r io.Reader, ctx *loadCtx) (*Table, error) {
+	hdr, err := readSection(r)
+	if err != nil {
+		return nil, sectionError(ctx, "", -1, secHeader, err)
+	}
+	hr := bytes.NewReader(hdr)
+	name, err := readString(hr)
+	if err != nil {
+		return nil, sectionError(ctx, "", -1, secHeader, err)
+	}
+	if ctx.table == "" {
+		ctx.table = name
+	}
+	var rows uint64
+	var sr uint32
+	var ncols uint16
+	var keepSeq uint64
+	for _, v := range []any{&rows, &sr, &ncols, &keepSeq} {
+		if err := binary.Read(hr, binary.LittleEndian, v); err != nil {
+			return nil, sectionError(ctx, "", -1, secHeader, err)
+		}
+	}
+	if hr.Len() != 0 {
+		return nil, sectionError(ctx, "", -1, secHeader, fmt.Errorf("%d trailing bytes", hr.Len()))
+	}
+	t := NewWithOptions(name, TableOptions{SegmentRows: int(sr)})
+	if t.segRows != int(sr) {
+		return nil, fmt.Errorf("%w: segment size %d is not a whole number of blocks", ErrCorrupt, sr)
+	}
+	t.walKeepSeq = keepSeq
+	nq := 0
+	if ctx.rep != nil {
+		nq = len(ctx.rep.Quarantined)
+	}
+	for i := 0; i < int(ncols); i++ {
+		if err := readColumnV5(t, r, rows, ctx); err != nil {
+			return nil, err
+		}
+	}
+	if t.rows != int(rows) {
+		return nil, fmt.Errorf("%w: header says %d rows, columns carry %d", ErrCorrupt, rows, t.rows)
+	}
+	if ctx.rep != nil && len(ctx.rep.Quarantined) > nq {
+		markQuarantined(t, ctx.rep.Quarantined[nq:])
+	}
+	return t, nil
+}
+
+// markQuarantined marks every row of each quarantined segment deleted,
+// once per segment even when several columns lost it. The table is
+// freshly constructed and unshared, so the lock discipline is vacuous.
+func markQuarantined(t *Table, qs []QuarantinedSegment) {
+	segs := map[int]int{} // segment index -> rows
+	for _, q := range qs {
+		segs[q.Segment] = q.Rows
+	}
+	//imprintvet:allow snapshotsafe loading into a freshly constructed table, not yet shared
+	if t.deleted == nil {
+		//imprintvet:allow snapshotsafe loading into a freshly constructed table, not yet shared
+		t.deleted = bitvec.New(t.rows)
+	} else {
+		//imprintvet:allow locksafe loading into a freshly constructed table, not yet shared
+		t.growDeletedTo(t.rows)
+	}
+	for seg, rows := range segs {
+		base := seg * t.segRows
+		for id := base; id < base+rows; id++ {
+			//imprintvet:allow snapshotsafe loading into a freshly constructed table, not yet shared
+			if !t.deleted.Get(id) {
+				//imprintvet:allow snapshotsafe loading into a freshly constructed table, not yet shared
+				t.deleted.Set(id)
+				t.ndel++
+			}
+		}
+	}
+}
+
+// readColumnV5 reads one column: its colhdr section (fatal on any
+// damage) and its per-segment sections (quarantinable).
+func readColumnV5(t *Table, r io.Reader, rows uint64, ctx *loadCtx) error {
+	hdr, err := readSection(r)
+	if err != nil {
+		return sectionError(ctx, "", -1, secColHdr, err)
+	}
+	hr := bytes.NewReader(hdr)
+	name, err := readString(hr)
+	if err != nil {
+		return sectionError(ctx, "", -1, secColHdr, err)
+	}
+	var kindMode [2]byte
+	if _, err := io.ReadFull(hr, kindMode[:]); err != nil {
+		return sectionError(ctx, name, -1, secColHdr, err)
+	}
+	mode := IndexMode(kindMode[1])
+	if mode != Imprints && mode != NoIndex && mode != Zonemap {
+		return sectionError(ctx, name, -1, secColHdr, fmt.Errorf("invalid index mode %d", mode))
+	}
+	opts, err := readOptions(hr)
+	if err != nil {
+		return sectionError(ctx, name, -1, secColHdr, err)
+	}
+	if err := validateOptions(opts); err != nil {
+		return sectionError(ctx, name, -1, secColHdr, err)
+	}
+	var ns uint32
+	if err := binary.Read(hr, binary.LittleEndian, &ns); err != nil {
+		return sectionError(ctx, name, -1, secColHdr, err)
+	}
+	if hr.Len() != 0 {
+		return sectionError(ctx, name, -1, secColHdr, fmt.Errorf("%d trailing bytes", hr.Len()))
+	}
+	// v5 pins the segment count to the header row count exactly — that
+	// is what makes placeholder shapes computable under quarantine.
+	if want := (rows + uint64(t.segRows) - 1) / uint64(t.segRows); uint64(ns) != want {
+		return sectionError(ctx, name, -1, secColHdr,
+			fmt.Errorf("%d segments, but %d rows at %d rows/segment needs %d", ns, rows, t.segRows, want))
+	}
+	nsegs := int(ns)
+	switch reflect.Kind(kindMode[0]) {
+	case reflect.Int8:
+		return loadColumnV5[int8](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Int16:
+		return loadColumnV5[int16](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Int32:
+		return loadColumnV5[int32](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Int64:
+		return loadColumnV5[int64](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Uint8:
+		return loadColumnV5[uint8](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Uint16:
+		return loadColumnV5[uint16](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Uint32:
+		return loadColumnV5[uint32](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Uint64:
+		return loadColumnV5[uint64](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Float32:
+		return loadColumnV5[float32](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.Float64:
+		return loadColumnV5[float64](t, name, mode, opts, r, rows, nsegs, ctx)
+	case reflect.String:
+		return loadStringColumnV5(t, name, mode, opts, r, rows, nsegs, ctx)
+	}
+	return sectionError(ctx, name, -1, secColHdr, fmt.Errorf("unsupported kind %d", kindMode[0]))
+}
+
+// segFillV5 returns the rows segment i must hold: full everywhere but
+// the tail (guaranteed consistent by the colhdr nsegs validation).
+func segFillV5(rows uint64, segRows, i, nsegs int) int {
+	if i < nsegs-1 {
+		return segRows
+	}
+	return int(rows) - (nsegs-1)*segRows
+}
+
+// quarantineOrFail either records the casualty (Quarantine mode) and
+// reports "use a placeholder", or fails the load with the typed error.
+func quarantineOrFail(ctx *loadCtx, cse *CorruptSegmentError, rows int) error {
+	if !ctx.opts.Quarantine {
+		return cse
+	}
+	ctx.rep.Quarantined = append(ctx.rep.Quarantined, QuarantinedSegment{
+		Shard: cse.Shard, Column: cse.Column, Segment: cse.Segment,
+		Section: cse.Section, Rows: rows, Err: cse.Error(),
+	})
+	return nil
+}
+
+func loadColumnV5[V coltype.Value](t *Table, name string, mode IndexMode, opts core.Options, r io.Reader, rows uint64, nsegs int, ctx *loadCtx) error {
+	cs := &colState[V]{name: name, mode: mode, vpcOpts: opts, segRows: t.segRows}
+	n := 0
+	for i := 0; i < nsegs; i++ {
+		fill := segFillV5(rows, t.segRows, i, nsegs)
+		slab, slabErr := readSection(r)
+		if slab == nil && slabErr != nil {
+			return sectionError(ctx, name, i, secSlab, slabErr)
+		}
+		image, imageErr := readSection(r)
+		if image == nil && imageErr != nil {
+			return sectionError(ctx, name, i, secIndex, imageErr)
+		}
+		s, cse := decodeNumSegment[V](name, i, mode, slab, slabErr, image, imageErr, fill, ctx)
+		if cse != nil {
+			if err := quarantineOrFail(ctx, cse, fill); err != nil {
+				return err
+			}
+			// Placeholder: right shape, zero values, rows marked deleted
+			// by markQuarantined once the table is assembled.
+			s = &segment[V]{vals: make([]V, fill)}
+			s.rebuild(mode, opts)
+		}
+		//imprintvet:allow snapshotsafe loading into a freshly constructed column, not yet shared
+		cs.segs = append(cs.segs, s)
+		n += fill
+	}
+	return installLoadedColumn(t, name, cs, n)
+}
+
+// decodeNumSegment turns verified slab+index payloads into a sealed
+// segment, or a *CorruptSegmentError naming the first section at
+// fault. Checksum failures surface before decode failures.
+func decodeNumSegment[V coltype.Value](name string, i int, mode IndexMode, slab []byte, slabErr error, image []byte, imageErr error, fill int, ctx *loadCtx) (*segment[V], *CorruptSegmentError) {
+	if slabErr != nil {
+		return nil, sectionError(ctx, name, i, secSlab, slabErr)
+	}
+	sr := bytes.NewReader(slab)
+	vals, err := colfile.Read[V](sr)
+	if err != nil {
+		return nil, sectionError(ctx, name, i, secSlab, err)
+	}
+	if sr.Len() != 0 {
+		return nil, sectionError(ctx, name, i, secSlab, fmt.Errorf("%d trailing bytes", sr.Len()))
+	}
+	if len(vals) != fill {
+		return nil, sectionError(ctx, name, i, secSlab, fmt.Errorf("segment has %d rows, want %d", len(vals), fill))
+	}
+	if imageErr != nil {
+		return nil, sectionError(ctx, name, i, secIndex, imageErr)
+	}
+	ir := bytes.NewReader(image)
+	ix, err := readIndexImage(ir, name, mode, vals)
+	if err != nil {
+		return nil, sectionError(ctx, name, i, secIndex, err)
+	}
+	if ir.Len() != 0 {
+		return nil, sectionError(ctx, name, i, secIndex, fmt.Errorf("%d trailing bytes", ir.Len()))
+	}
+	s := &segment[V]{vals: vals, ix: ix}
+	s.min, s.max, _ = summarize(vals)
+	if ix == nil {
+		s.rebuild(mode, core.Options{})
+	}
+	return s, nil
+}
+
+func loadStringColumnV5(t *Table, name string, mode IndexMode, opts core.Options, r io.Reader, rows uint64, nsegs int, ctx *loadCtx) error {
+	if mode == Zonemap {
+		return sectionError(ctx, name, -1, secColHdr, fmt.Errorf("string column has zonemap mode"))
+	}
+	cs := &strColState{name: name, mode: mode, vpcOpts: opts, segRows: t.segRows}
+	n := 0
+	for i := 0; i < nsegs; i++ {
+		fill := segFillV5(rows, t.segRows, i, nsegs)
+		dictB, dictErr := readSection(r)
+		if dictB == nil && dictErr != nil {
+			return sectionError(ctx, name, i, secDict, dictErr)
+		}
+		image, imageErr := readSection(r)
+		if image == nil && imageErr != nil {
+			return sectionError(ctx, name, i, secIndex, imageErr)
+		}
+		s, cse := decodeStrSegment(cs, name, i, mode, dictB, dictErr, image, imageErr, fill, ctx)
+		if cse != nil {
+			if err := quarantineOrFail(ctx, cse, fill); err != nil {
+				return err
+			}
+			dict, err := column.Reconstruct(name, make([]int32, fill), []string{""})
+			if err != nil {
+				return fmt.Errorf("%w: column %s: placeholder: %v", ErrCorrupt, name, err)
+			}
+			s = &strSegment{dict: dict, gen: cs.nextGen()}
+			cs.rebuildSegmentIndex(s)
+		}
+		//imprintvet:allow snapshotsafe loading into a freshly constructed column, not yet shared
+		cs.segs = append(cs.segs, s)
+		n += fill
+	}
+	return installLoadedColumn(t, name, cs, n)
+}
+
+func decodeStrSegment(cs *strColState, name string, i int, mode IndexMode, dictB []byte, dictErr error, image []byte, imageErr error, fill int, ctx *loadCtx) (*strSegment, *CorruptSegmentError) {
+	if dictErr != nil {
+		return nil, sectionError(ctx, name, i, secDict, dictErr)
+	}
+	dr := bytes.NewReader(dictB)
+	dict, err := readDict(dr, name, uint64(fill))
+	if err != nil {
+		return nil, sectionError(ctx, name, i, secDict, err)
+	}
+	if dr.Len() != 0 {
+		return nil, sectionError(ctx, name, i, secDict, fmt.Errorf("%d trailing bytes", dr.Len()))
+	}
+	if dict.Codes().Len() != fill {
+		return nil, sectionError(ctx, name, i, secDict, fmt.Errorf("segment has %d rows, want %d", dict.Codes().Len(), fill))
+	}
+	if imageErr != nil {
+		return nil, sectionError(ctx, name, i, secIndex, imageErr)
+	}
+	ir := bytes.NewReader(image)
+	ix, err := readIndexImage(ir, name, mode, dict.Codes().Values())
+	if err != nil {
+		return nil, sectionError(ctx, name, i, secIndex, err)
+	}
+	if ir.Len() != 0 {
+		return nil, sectionError(ctx, name, i, secIndex, fmt.Errorf("%d trailing bytes", ir.Len()))
+	}
+	s := &strSegment{dict: dict, ix: ix, gen: cs.nextGen()}
+	if ix == nil {
+		cs.rebuildSegmentIndex(s)
+	}
+	return s, nil
+}
+
+// ---- sharded envelope (v6) ----
+
+// writeShardedV6 persists the sharded envelope: a checksummed header
+// section, then per shard a length-prefixed complete v5 image.
+//
+//imprintvet:locks held=mu.R
+func (t *Table) writeShardedV6(bw io.Writer) error {
+	sh := t.shard
+	if err := writeSection(bw, func(buf *bytes.Buffer) error {
+		if err := writeString(buf, t.name); err != nil {
+			return err
+		}
+		if err := binary.Write(buf, binary.LittleEndian, uint32(t.segRows)); err != nil {
+			return err
+		}
+		return binary.Write(buf, binary.LittleEndian, uint16(sh.nshards))
+	}); err != nil {
+		return err
+	}
+	for c, kid := range sh.kids {
+		var buf bytes.Buffer
+		if err := kid.Write(&buf); err != nil {
+			return fmt.Errorf("table %s, shard %d: %w", t.name, c, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(buf.Len())); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readShardedV6 loads the v6 envelope; the caller consumed
+// magic+version.
+func readShardedV6(br io.Reader, ctx *loadCtx) (*Table, error) {
+	hdr, err := readSection(br)
+	if err != nil {
+		return nil, sectionError(ctx, "", -1, secHeader, err)
+	}
+	hr := bytes.NewReader(hdr)
+	name, err := readString(hr)
+	if err != nil {
+		return nil, sectionError(ctx, "", -1, secHeader, err)
+	}
+	ctx.table = name
+	var sr uint32
+	if err := binary.Read(hr, binary.LittleEndian, &sr); err != nil {
+		return nil, sectionError(ctx, "", -1, secHeader, err)
+	}
+	var nshards uint16
+	if err := binary.Read(hr, binary.LittleEndian, &nshards); err != nil {
+		return nil, sectionError(ctx, "", -1, secHeader, err)
+	}
+	if hr.Len() != 0 {
+		return nil, sectionError(ctx, "", -1, secHeader, fmt.Errorf("%d trailing bytes", hr.Len()))
+	}
+	if nshards < 2 {
+		return nil, fmt.Errorf("%w: sharded envelope with %d shards", ErrCorrupt, nshards)
+	}
+	t := NewWithOptions(name, TableOptions{SegmentRows: int(sr), Shards: int(nshards)})
+	if t.segRows != int(sr) {
+		return nil, fmt.Errorf("%w: segment size %d is not a whole number of blocks", ErrCorrupt, sr)
+	}
+	sh := t.shard
+	for c := 0; c < int(nshards); c++ {
+		var n uint64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("%w: shard %d: %v", ErrCorrupt, c, err)
+		}
+		ctx.shard = c
+		kid, err := readInternal(io.LimitReader(br, int64(n)), ctx)
+		ctx.shard = -1
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", c, err)
+		}
+		if kid.shard != nil {
+			return nil, fmt.Errorf("%w: shard %d is itself sharded", ErrCorrupt, c)
+		}
+		if kid.name != name || kid.segRows != t.segRows {
+			return nil, fmt.Errorf("%w: shard %d image (table %q, %d rows/segment) does not match envelope (%q, %d)",
+				ErrCorrupt, c, kid.name, kid.segRows, name, t.segRows)
+		}
+		if c == 0 {
+			t.order = append([]string(nil), kid.order...)
+		} else if len(kid.order) != len(t.order) {
+			return nil, fmt.Errorf("%w: shard %d carries %d columns, shard 0 carries %d",
+				ErrCorrupt, c, len(kid.order), len(t.order))
+		} else {
+			for i, col := range kid.order {
+				if col != t.order[i] {
+					return nil, fmt.Errorf("%w: shard %d column %d is %q, shard 0 has %q",
+						ErrCorrupt, c, i, col, t.order[i])
+				}
+			}
+		}
+		sh.kids[c] = kid
+	}
+	// The table is still being constructed and has not escaped to any
+	// other goroutine, so the commit tokens cannot be contended yet.
+	//imprintvet:allow locksafe freshly constructed table, not yet shared
+	sh.refreshRowsLocked()
+	return t, nil
+}
+
+// ---- file-level entry points ----
+
+// fsysOr returns the table's injected filesystem, defaulting to the
+// real one.
+func (t *Table) fsysOr() faultfs.FS {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.fsys != nil {
+		return t.fsys
+	}
+	return faultfs.OS{}
+}
+
+// WriteFile persists the table atomically: the image is written to a
+// temp file, fsynced, renamed over the destination, and the parent
+// directory fsynced — a crash anywhere leaves either the old image or
+// the new one, never a torn mix. Once the rename is durable, the WAL
+// checkpoint cut during the drain is applied, truncating log segments
+// the image supersedes.
+func (t *Table) WriteFile(path string) error {
+	fsys := t.fsysOr()
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	t.walCheckpoint()
+	return nil
+}
+
+// Open loads a table image from a file, optionally through an injected
+// filesystem and with quarantine enabled. The returned LoadReport is
+// non-nil on success; the table remembers the filesystem for later
+// WriteFile/WAL use.
+func Open(path string, opts LoadOptions) (*Table, *LoadReport, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	t, rep, err := ReadWithOptions(f, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.fsys = fsys
+	return t, rep, nil
+}
+
+// ReadWithOptions loads a table persisted with Write, applying the
+// given load policy. With Quarantine set, segment-level corruption in
+// v5/v6 images is tolerated: the table loads degraded (damaged
+// segments emptied, their rows marked deleted) and the report lists
+// the casualties.
+func ReadWithOptions(r io.Reader, opts LoadOptions) (*Table, *LoadReport, error) {
+	ctx := &loadCtx{opts: opts, shard: -1, rep: &LoadReport{}}
+	t, err := readInternal(r, ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.quarantined = ctx.rep.Quarantined
+	return t, ctx.rep, nil
+}

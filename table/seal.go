@@ -2,6 +2,7 @@ package table
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/column"
 	"repro/internal/core"
@@ -37,29 +38,57 @@ func (t *Table) sealLoop(d *deltaState) {
 	}
 }
 
+// Conflict backoff: consecutive discarded builds grow an exponential
+// retry delay (reset by the next successful install), so a sustained
+// update storm does not burn CPU rebuilding segments it will discard.
+const (
+	sealBackoffBase = time.Millisecond
+	sealBackoffCap  = 50 * time.Millisecond
+)
+
+// sealBackoffFor maps a conflict streak to its capped retry delay.
+func sealBackoffFor(streak uint32) time.Duration {
+	wait := sealBackoffBase << min(streak-1, 8)
+	return min(wait, sealBackoffCap)
+}
+
 // sealFullChunks seals every full segment-sized chunk currently
-// buffered and returns the rows moved. Repeated install conflicts
-// (concurrent updates keep bumping the store generation) degrade to
-// folding full chunks under the lock so the pass always terminates.
+// buffered and returns the rows moved. Install conflicts (concurrent
+// updates keep bumping the store generation) back off exponentially —
+// capped, and reset by the next successful optimistic install — and
+// every fourth consecutive conflict degrades to folding full chunks
+// under the lock so the pass always terminates.
 func (t *Table) sealFullChunks(d *deltaState) int {
 	d.sealMu.Lock()
 	defer d.sealMu.Unlock()
-	sealed, conflicts := 0, 0
+	sealed := 0
 	for {
 		n, retry := t.sealChunk(d)
 		sealed += n
 		if retry {
 			d.sealRetries.Add(1)
-			if conflicts++; conflicts >= 4 {
+			streak := d.conflictStreak.Add(1)
+			if streak%4 == 0 {
 				t.mu.Lock()
 				if full := (t.delta.store.Len() / t.segRows) * t.segRows; full > 0 {
 					t.flushDeltaLocked(full)
 					sealed += full
 				}
 				t.mu.Unlock()
-				conflicts = 0
+			}
+			wait := sealBackoffFor(streak)
+			d.backoffNanos.Store(int64(wait))
+			select {
+			case <-d.stop:
+				return sealed
+			case <-time.After(wait):
 			}
 			continue
+		}
+		if n > 0 {
+			// A clean optimistic install: the storm (if any) has passed.
+			d.conflictStreak.Store(0)
+			d.backoffNanos.Store(0)
 		}
 		if n == 0 {
 			return sealed

@@ -42,10 +42,13 @@ import (
 // a sealer's sealMu orders before its table's mu; the parent table's
 // mu orders before the commit tokens; the tokens order before any kid
 // shard's mu ("kid" is the class of a child Table's mu as seen from
-// the parent); a leaf plan's cacheMu nests innermost (taken under an
-// execution's read lock, never holding anything else).
+// the parent); the WAL serialization mutex walMu nests inside every
+// table lock (commit: mu.R -> walMu; update/delete: mu -> walMu) and
+// is never held while waiting for durability; a leaf plan's cacheMu
+// nests innermost (taken under an execution's read lock, never
+// holding anything else).
 //
-//imprintvet:lockorder sealMu,mu,tokens,kid,cacheMu
+//imprintvet:lockorder sealMu,mu,tokens,kid,walMu,cacheMu
 type shardState struct {
 	nshards int
 	segRows int
@@ -312,6 +315,13 @@ func addColumnSharded[V any](t *Table, name string, vals []V, install func(kid *
 	defer t.mu.Unlock()
 	sh.lockTokens()
 	defer sh.unlockTokens()
+	if len(sh.kids) > 0 {
+		// The kid check would also catch this, but only after earlier
+		// kids applied the change; refuse up front so no shard diverges.
+		if sh.kids[0].walPtr() != nil {
+			return fmt.Errorf("table %s: schema changes are not supported with a write-ahead log attached", t.name)
+		}
+	}
 	if err := t.checkShardDense(name, len(vals)); err != nil {
 		return err
 	}
@@ -468,6 +478,8 @@ func (t *Table) shardMaintain(opts MaintainOptions) MaintenanceReport {
 		rep.RowsRemoved += kr.RowsRemoved
 		rep.DeltaRows += kr.DeltaRows
 		rep.MergeBacklog += kr.MergeBacklog
+		rep.SealRetries += kr.SealRetries
+		rep.SealBackoff = max(rep.SealBackoff, kr.SealBackoff)
 	}
 	sort.Strings(rep.Rebuilt)
 	sh.refreshRowsLocked()
@@ -508,6 +520,16 @@ func (t *Table) shardIngestStats() IngestStats {
 		st.Merges += ks.Merges
 		st.MergeBacklog += ks.MergeBacklog
 		st.Compactions += ks.Compactions
+		st.WALEnabled = st.WALEnabled || ks.WALEnabled
+		if st.WALError == "" {
+			st.WALError = ks.WALError
+		}
+		if ks.Recovery != nil {
+			if st.Recovery == nil {
+				st.Recovery = &RecoveryReport{}
+			}
+			st.Recovery.add(ks.Recovery)
+		}
 		perShard[c] = ks.DeltaRows
 	}
 	if st.Enabled {

@@ -2,11 +2,13 @@ package table
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"sync"
 
 	"repro/internal/column"
 	"repro/internal/core"
+	"repro/internal/wal"
 )
 
 // strSegment is one horizontal slice of a string column: its own
@@ -69,6 +71,9 @@ func (t *Table) AddStringColumn(name string, vals []string, mode IndexMode, opts
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.checkWALSchemaChangeLocked(); err != nil {
+		return err
+	}
 	// Layout changes flush first: the delta's row shape must match
 	// t.order, and the new column's values must cover buffered rows too.
 	t.flushAllLocked()
@@ -114,19 +119,32 @@ func (t *Table) UpdateString(name string, id int, v string) error {
 		c, lid := sh.decode(id)
 		return sh.kids[c].UpdateString(name, lid, v)
 	}
+	lg, lsn, err := t.updateStringLocked(name, id, v)
+	if err != nil || lg == nil {
+		return err
+	}
+	return lg.WaitDurable(lsn)
+}
+
+// updateStringLocked applies the update under the write lock and, with
+// a WAL attached, logs it in the same critical section.
+func (t *Table) updateStringLocked(name string, id int, v string) (*wal.Log, int64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cs, err := strCol(t, name)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	if id < 0 || id >= t.totalRowsLocked() {
-		return fmt.Errorf("table %s: row %d out of range", t.name, id)
+		return nil, 0, fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
 	if id >= cs.colRows() {
 		// Still buffered: replace the delta row copy-on-write; no
 		// re-encode, no imprint widening.
-		return t.deltaSetLocked(name, id, v)
+		if err := t.deltaSetLocked(name, id, v); err != nil {
+			return nil, 0, err
+		}
+		return t.logStringUpdateLocked(name, id, v)
 	}
 	seg, local := cs.segs[id/cs.segRows], id%cs.segRows
 	if code, ok := seg.dict.Code(v); ok {
@@ -134,12 +152,25 @@ func (t *Table) UpdateString(name string, id int, v string) error {
 		if seg.ix != nil {
 			seg.ix.MarkUpdated(local, code)
 		}
-		return nil
+		return t.logStringUpdateLocked(name, id, v)
 	}
 	all := cs.decodeSegment(seg)
 	all[local] = v
 	cs.reencodeSegment(seg, all)
-	return nil
+	return t.logStringUpdateLocked(name, id, v)
+}
+
+// logStringUpdateLocked frames one string update into the attached WAL
+// (no-op without one); callers hold the write lock.
+//
+//imprintvet:locks held=mu
+func (t *Table) logStringUpdateLocked(name string, id int, v string) (*wal.Log, int64, error) {
+	d := t.delta
+	if d == nil || d.wal == nil {
+		return nil, 0, nil
+	}
+	ci := slices.Index(t.order, name)
+	return t.walAppendLocked(d, encodeWALUpdate(id, ci, walTagString, v))
 }
 
 func strCol(t *Table, name string) (*strColState, error) {

@@ -76,13 +76,17 @@ package table
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/bitvec"
 	"repro/internal/coltype"
 	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/wal"
 )
 
 // IndexMode selects the secondary index maintained for a column.
@@ -131,7 +135,8 @@ type anyColumn interface {
 	maintain(satLimit float64, rebuild bool) int
 	compact(keep []int) // drop deleted rows (ids to keep, ascending)
 	valueAt(id int) any
-	persist(io.Writer) error
+	// persistCRC writes the column's checksummed v5 sections.
+	persistCRC(io.Writer) error
 	indexStats() ColumnIndexStats
 	// compileLeaf translates one predicate leaf against this column
 	// exactly once: typed bounds and IN-sets are derived here and
@@ -216,6 +221,18 @@ type Table struct {
 	// has its own mutex).
 	delta *deltaState //imprintvet:guarded by=mu
 	shard *shardState // sharded layout (TableOptions.Shards > 1); nil otherwise
+	// fsys is the filesystem WriteFile/checkpointing goes through (nil
+	// means the real one); set by Open and EnableWAL.
+	fsys faultfs.FS
+	// walKeepSeq is the checkpoint baked into the loaded image: WAL
+	// records in segments below it are superseded and skipped on
+	// replay. Set once at load, read by EnableWAL before any
+	// concurrency starts.
+	walKeepSeq uint64
+	// quarantined lists segments replaced by placeholders because their
+	// persisted sections failed checksum verification (LoadOptions.
+	// Quarantine); their rows are marked deleted. Set once at load.
+	quarantined []QuarantinedSegment
 }
 
 // New creates an empty table with default options.
@@ -403,6 +420,9 @@ func AddColumn[V coltype.Value](t *Table, name string, vals []V, mode IndexMode,
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.checkWALSchemaChangeLocked(); err != nil {
+		return err
+	}
 	// Layout changes flush first: the delta's row shape must match
 	// t.order, and the new column's values must cover buffered rows too.
 	t.flushAllLocked()
@@ -412,6 +432,19 @@ func AddColumn[V coltype.Value](t *Table, name string, vals []V, mode IndexMode,
 	cs := &colState[V]{name: name, mode: mode, vpcOpts: opts, segRows: t.segRows}
 	cs.absorb(vals)
 	t.installColumn(name, cs, len(vals))
+	return nil
+}
+
+// checkWALSchemaChangeLocked refuses layout changes on a WAL-attached
+// table: logged commit records carry the column layout they were
+// framed under, and replaying them against a different layout would be
+// unsound. Detach (Close) and re-enable after the change instead.
+//
+//imprintvet:locks held=mu.R
+func (t *Table) checkWALSchemaChangeLocked() error {
+	if t.delta != nil && t.delta.wal != nil {
+		return fmt.Errorf("table %s: schema changes are not supported with a write-ahead log attached", t.name)
+	}
 	return nil
 }
 
@@ -698,25 +731,35 @@ func (b *Batch) Commit() error {
 	}
 	b.t.mu.RLock()
 	if d := b.t.delta; d != nil {
-		err := b.commitDeltaLocked(d)
+		lg, lsn, err := b.commitDeltaLocked(d)
 		b.t.mu.RUnlock()
 		if err == nil {
 			d.kickSeal()
+			if lg != nil {
+				// Acknowledge only once the logged batch is durable
+				// (fsync policy decides what that costs); waiting
+				// happens outside every lock.
+				err = lg.WaitDurable(lsn)
+			}
 		}
 		return err
 	}
 	b.t.mu.RUnlock()
 	b.t.mu.Lock()
-	defer b.t.mu.Unlock()
 	if d := b.t.delta; d != nil {
 		// Delta ingest was enabled between the two lock acquisitions;
 		// the exclusive lock satisfies commitDeltaLocked's contract too.
-		err := b.commitDeltaLocked(d)
+		lg, lsn, err := b.commitDeltaLocked(d)
+		b.t.mu.Unlock()
 		if err == nil {
 			d.kickSeal()
+			if lg != nil {
+				err = lg.WaitDurable(lsn)
+			}
 		}
 		return err
 	}
+	defer b.t.mu.Unlock()
 	for _, name := range b.t.order {
 		if _, ok := b.staged[name]; !ok {
 			return fmt.Errorf("table %s: batch is missing column %q", b.t.name, name)
@@ -862,24 +905,44 @@ func Update[V coltype.Value](t *Table, name string, id int, v V) error {
 		c, lid := sh.decode(id)
 		return Update(sh.kids[c], name, lid, v)
 	}
+	lg, lsn, err := updateLocked(t, name, id, v)
+	if err != nil || lg == nil {
+		return err
+	}
+	return lg.WaitDurable(lsn)
+}
+
+// updateLocked applies the update under the write lock and, with a WAL
+// attached, logs it in the same critical section (so log order matches
+// apply order); the caller waits for durability after the lock drops.
+func updateLocked[V coltype.Value](t *Table, name string, id int, v V) (*wal.Log, int64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cs, err := typedCol[V](t, name)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	if id < 0 || id >= t.totalRowsLocked() {
-		return fmt.Errorf("table %s: row %d out of range", t.name, id)
+		return nil, 0, fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
 	if id >= cs.colRows() {
 		// Still buffered: replace the delta row copy-on-write; no
 		// segment summary widens, no index saturates.
-		return t.deltaSetLocked(name, id, v)
+		if err := t.deltaSetLocked(name, id, v); err != nil {
+			return nil, 0, err
+		}
+	} else {
+		seg, local := cs.segs[id/cs.segRows], id%cs.segRows
+		seg.vals[local] = v
+		seg.widen(local, v)
 	}
-	seg, local := cs.segs[id/cs.segRows], id%cs.segRows
-	seg.vals[local] = v
-	seg.widen(local, v)
-	return nil
+	d := t.delta
+	if d == nil || d.wal == nil {
+		return nil, 0, nil
+	}
+	ci := slices.Index(t.order, name)
+	tag, _ := walValueTag(any(v))
+	return t.walAppendLocked(d, encodeWALUpdate(id, ci, tag, any(v)))
 }
 
 // Delete marks a row deleted; it stops appearing in query results.
@@ -889,11 +952,21 @@ func (t *Table) Delete(id int) error {
 		c, lid := sh.decode(id)
 		return sh.kids[c].Delete(lid)
 	}
+	lg, lsn, err := t.deleteLocked(id)
+	if err != nil || lg == nil {
+		return err
+	}
+	return lg.WaitDurable(lsn)
+}
+
+// deleteLocked marks the row deleted and, with a WAL attached, logs the
+// delete in the same critical section.
+func (t *Table) deleteLocked(id int) (*wal.Log, int64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	total := t.totalRowsLocked()
 	if id < 0 || id >= total {
-		return fmt.Errorf("table %s: row %d out of range", t.name, id)
+		return nil, 0, fmt.Errorf("table %s: row %d out of range", t.name, id)
 	}
 	if t.deleted == nil {
 		t.deleted = bitvec.New(total)
@@ -904,7 +977,11 @@ func (t *Table) Delete(id int) error {
 		t.deleted.Set(id)
 		t.ndel++
 	}
-	return nil
+	d := t.delta
+	if d == nil || d.wal == nil {
+		return nil, 0, nil
+	}
+	return t.walAppendLocked(d, encodeWALDelete(id))
 }
 
 // IsDeleted reports whether a row is deleted.
@@ -938,6 +1015,7 @@ func (t *Table) compactLocked() int {
 	if t.ndel == 0 {
 		return 0
 	}
+	pre := t.totalRowsLocked()
 	keep := make([]int, 0, t.rows-t.ndel)
 	for id := 0; id < t.rows; id++ {
 		if !t.deleted.Get(id) {
@@ -951,8 +1029,23 @@ func (t *Table) compactLocked() int {
 	t.rows = len(keep)
 	t.deleted = nil
 	t.ndel = 0
-	if t.delta != nil {
-		t.delta.store.SetBase(t.rows)
+	if d := t.delta; d != nil {
+		d.store.SetBase(t.rows)
+		if d.wal != nil {
+			// Compaction renumbers ids, so later logged updates and
+			// deletes only replay correctly if recovery re-runs the
+			// same compaction at the same point. The record is logical:
+			// replay recomputes the identical keep-list from the
+			// replayed delete set. No durability wait (the write lock
+			// is held); WAL durability is prefix-ordered, so a later
+			// durable record implies this one survived too.
+			if _, _, err := t.walAppendLocked(d, encodeWALCompact(pre, t.rows)); err != nil {
+				// The log has fail-stopped: no later record can be
+				// acknowledged, so recovery replays the pre-compaction
+				// epoch consistently. Nothing to unwind here.
+				_ = err
+			}
+		}
 	}
 	return removed
 }
@@ -977,6 +1070,12 @@ type MaintenanceReport struct {
 	// MergeBacklog counts sealed segments still awaiting a merge
 	// rewrite (widened summary or saturated index) after the pass.
 	MergeBacklog int
+	// SealRetries counts off-lock seal builds discarded because a
+	// concurrent mutation invalidated them (lifetime total);
+	// SealBackoff is the retry backoff the sealer is currently applying
+	// after consecutive conflicts (0 when the last install succeeded).
+	SealRetries uint64
+	SealBackoff time.Duration
 }
 
 // String renders the report for logs.
@@ -993,6 +1092,9 @@ func (r MaintenanceReport) String() string {
 	}
 	if r.MergeBacklog > 0 {
 		parts = append(parts, fmt.Sprintf("%d segment(s) awaiting merge", r.MergeBacklog))
+	}
+	if r.SealBackoff > 0 {
+		parts = append(parts, fmt.Sprintf("sealer backing off %v after %d retries", r.SealBackoff, r.SealRetries))
 	}
 	if len(parts) == 0 {
 		return "nothing to do"
@@ -1045,6 +1147,8 @@ func (t *Table) Maintain(opts MaintainOptions) MaintenanceReport {
 	if t.delta != nil {
 		rep.DeltaRows = t.delta.store.Len()
 		rep.MergeBacklog = t.mergeBacklogLocked(t.delta.mergeSat)
+		rep.SealRetries = t.delta.sealRetries.Load()
+		rep.SealBackoff = time.Duration(t.delta.backoffNanos.Load())
 		t.delta.kickSeal()
 	}
 	return rep
